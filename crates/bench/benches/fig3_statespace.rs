@@ -1,0 +1,67 @@
+//! E1/E2 — Fig. 3: FSM construction and state-space accounting.
+//!
+//! Measures (a) the closed-form paper accounting, (b) actual SMV
+//! translation of the trained network, and (c) explicit flattening of the
+//! [0,1]%-noise model whose size the paper reports (65 states / 4160
+//! transitions).
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use fannet_bench::{paper_study, paper_test_inputs};
+use fannet_smv::flatten::TransitionSystem;
+use fannet_smv::nn_to_smv::{network_to_smv, TranslationConfig};
+use fannet_smv::parser::parse_module;
+use fannet_smv::printer::print_module;
+use fannet_smv::statespace::{growth_table, PaperFsm};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let cs = paper_study();
+    let x = &paper_test_inputs()[0];
+    let label = cs.test5.labels()[0];
+
+    let mut group = c.benchmark_group("fig3_statespace");
+
+    group.bench_function("paper_accounting_fig3c", |b| {
+        b.iter(|| {
+            let fsm = PaperFsm::with_noise(black_box(2), black_box(6));
+            black_box((fsm.states(), fsm.transitions()))
+        });
+    });
+
+    group.bench_function("growth_table_to_50pct", |b| {
+        b.iter(|| black_box(growth_table(&[0, 1, 2, 5, 11, 25, 50], 5)));
+    });
+
+    group.bench_function("translate_network_to_smv", |b| {
+        b.iter(|| {
+            black_box(network_to_smv(
+                &cs.exact_net,
+                x,
+                label,
+                &TranslationConfig::symmetric(1),
+            ))
+        });
+    });
+
+    let module = network_to_smv(&cs.exact_net, x, label, &TranslationConfig::symmetric(1));
+    group.bench_function("print_parse_round_trip", |b| {
+        b.iter(|| {
+            let text = print_module(black_box(&module));
+            black_box(parse_module(&text).expect("round trip"))
+        });
+    });
+
+    group.sample_size(10);
+    group.bench_function("flatten_pm1_noise_model", |b| {
+        b.iter_batched(
+            || module.clone(),
+            |m| black_box(TransitionSystem::from_module(&m, 1 << 20).expect("fits")),
+            BatchSize::SmallInput,
+        );
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

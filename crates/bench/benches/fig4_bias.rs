@@ -1,0 +1,41 @@
+//! E5/A1 — Fig. 4 bias panel: adversarial extraction + training-bias
+//! aggregation, on the biased training set.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use fannet_bench::paper_study;
+use fannet_core::{adversarial, behavior, bias, tolerance};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let cs = paper_study();
+    let correct = behavior::correctly_classified(&cs.exact_net, &cs.test5);
+    // Fix the extraction range once (the repro binary derives it from the
+    // measured tolerance; benches need a constant workload).
+    let delta = 16;
+    let tol = tolerance::analyze(&cs.exact_net, &cs.test5, &correct, 20);
+
+    let mut group = c.benchmark_group("fig4_bias");
+    group.sample_size(10);
+
+    group.bench_function("extract_adversarial_pm16_cap20", |b| {
+        b.iter(|| {
+            black_box(adversarial::extract(
+                &cs.exact_net,
+                &cs.test5,
+                &correct,
+                delta,
+                20,
+            ))
+        });
+    });
+
+    let report = adversarial::extract(&cs.exact_net, &cs.test5, &correct, delta, 60);
+    group.bench_function("aggregate_bias_flows", |b| {
+        b.iter(|| black_box(bias::analyze(&report, &tol, &cs.train5)));
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,32 @@
+//! E7 — Fig. 4 boundary panel: per-input radii joined with exact margins.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use fannet_bench::{paper_study, paper_test_inputs};
+use fannet_core::{behavior, boundary, tolerance};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let cs = paper_study();
+    let inputs = paper_test_inputs();
+    let correct = behavior::correctly_classified(&cs.exact_net, &cs.test5);
+    let tol = tolerance::analyze(&cs.exact_net, &cs.test5, &correct, 20);
+
+    let mut group = c.benchmark_group("fig4_boundary");
+
+    group.bench_function("exact_margin_testset", |b| {
+        b.iter(|| {
+            for (x, &label) in inputs.iter().zip(cs.test5.labels()) {
+                black_box(boundary::exact_margin(&cs.exact_net, x, label));
+            }
+        });
+    });
+
+    group.bench_function("boundary_report", |b| {
+        b.iter(|| black_box(boundary::analyze(&cs.exact_net, &cs.test5, &tol, 15)));
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,32 @@
+//! E6 — Fig. 4 node panels: per-node sensitivity statistics over the
+//! extracted noise matrix `e`.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use fannet_bench::paper_study;
+use fannet_core::{adversarial, behavior, sensitivity};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let cs = paper_study();
+    let correct = behavior::correctly_classified(&cs.exact_net, &cs.test5);
+    let report = adversarial::extract(&cs.exact_net, &cs.test5, &correct, 16, 60);
+
+    let mut group = c.benchmark_group("fig4_sensitivity");
+
+    group.bench_function("node_sign_statistics", |b| {
+        b.iter(|| black_box(sensitivity::analyze(&report)));
+    });
+
+    group.sample_size(10);
+    group.bench_function("extract_plus_analyze", |b| {
+        b.iter(|| {
+            let r = adversarial::extract(&cs.exact_net, &cs.test5, &correct, 16, 20);
+            black_box(sensitivity::analyze(&r))
+        });
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

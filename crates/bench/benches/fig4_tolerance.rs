@@ -1,0 +1,64 @@
+//! E4 — Fig. 4 main panel: noise-tolerance computation.
+//!
+//! Measures single P2 queries at the paper's sweep ranges and the
+//! binary-search robustness radius that drives the tolerance number.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use fannet_bench::{paper_study, paper_test_inputs};
+use fannet_core::tolerance::robustness_radius;
+use fannet_verify::bab::find_counterexample;
+use fannet_verify::region::NoiseRegion;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let cs = paper_study();
+    let inputs = paper_test_inputs();
+    let labels = cs.test5.labels();
+
+    let mut group = c.benchmark_group("fig4_tolerance");
+    group.sample_size(20);
+
+    // One P2 query per sweep range, on a robust input — the worst case for
+    // proofs (the whole box must be covered).
+    let idx = 6;
+    for delta in [5i64, 10, 20, 40] {
+        group.bench_with_input(BenchmarkId::new("p2_query", delta), &delta, |b, &d| {
+            let region = NoiseRegion::symmetric(d, 5);
+            b.iter(|| {
+                black_box(
+                    find_counterexample(&cs.exact_net, &inputs[idx], labels[idx], &region)
+                        .expect("widths match"),
+                )
+            });
+        });
+    }
+
+    // The binary-search radius on a near-boundary input (flips quickly)
+    // and on a robust one (needs the full proof at ±50).
+    let near = 3;
+    group.bench_function("radius_near_boundary", |b| {
+        b.iter(|| {
+            black_box(robustness_radius(
+                &cs.exact_net,
+                &inputs[near],
+                labels[near],
+                50,
+            ))
+        });
+    });
+    group.bench_function("radius_robust_input", |b| {
+        b.iter(|| {
+            black_box(robustness_radius(
+                &cs.exact_net,
+                &inputs[idx],
+                labels[idx],
+                50,
+            ))
+        });
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

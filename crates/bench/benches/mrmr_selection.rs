@@ -1,0 +1,54 @@
+//! A3 — feature-selection ablation: mRMR (MID and MIQ) vs variance ranking
+//! vs seeded random choice, on the full 7129-gene training matrix.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use fannet_bench::paper_study;
+use fannet_data::discretize::Discretizer;
+use fannet_data::mrmr::{select_by_variance, select_mrmr, select_random, MrmrScheme};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let cs = paper_study();
+    let columns = cs.data.train.columns();
+    let labels = cs.data.train.labels();
+
+    let mut group = c.benchmark_group("mrmr_selection");
+    group.sample_size(10);
+
+    group.bench_function("mrmr_mid_7129_genes", |b| {
+        b.iter(|| {
+            black_box(select_mrmr(
+                &columns,
+                labels,
+                5,
+                MrmrScheme::Difference,
+                Discretizer::SigmaBands,
+            ))
+        });
+    });
+
+    group.bench_function("mrmr_miq_7129_genes", |b| {
+        b.iter(|| {
+            black_box(select_mrmr(
+                &columns,
+                labels,
+                5,
+                MrmrScheme::Quotient,
+                Discretizer::SigmaBands,
+            ))
+        });
+    });
+
+    group.bench_function("variance_ranking", |b| {
+        b.iter(|| black_box(select_by_variance(&columns, 5)));
+    });
+
+    group.bench_function("random_selection", |b| {
+        b.iter(|| black_box(select_random(columns.len(), 5, 42)));
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,55 @@
+//! E3 — P1 validation throughput: exact-rational vs float vs Q32.32
+//! forward passes over the whole test set, plus the full validation pass.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use fannet_bench::{paper_study, paper_test_inputs};
+use fannet_core::behavior;
+use fannet_nn::quantize;
+use fannet_numeric::Fixed;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let cs = paper_study();
+    let exact_inputs = paper_test_inputs();
+    let float_inputs = cs.test5.samples();
+    let fixed_net = quantize::to_fixed(&cs.float_net);
+    let fixed_inputs: Vec<Vec<Fixed>> = float_inputs
+        .iter()
+        .map(|s| s.iter().map(|&v| Fixed::from_f64(v)).collect())
+        .collect();
+
+    let mut group = c.benchmark_group("p1_validation");
+
+    group.bench_function("forward_f64_testset", |b| {
+        b.iter(|| {
+            for x in float_inputs {
+                black_box(cs.float_net.classify(x).expect("width"));
+            }
+        });
+    });
+
+    group.bench_function("forward_rational_testset", |b| {
+        b.iter(|| {
+            for x in exact_inputs {
+                black_box(cs.exact_net.classify(x).expect("width"));
+            }
+        });
+    });
+
+    group.bench_function("forward_fixed_testset", |b| {
+        b.iter(|| {
+            for x in &fixed_inputs {
+                black_box(fixed_net.classify(x).expect("width"));
+            }
+        });
+    });
+
+    group.bench_function("validate_p1_full", |b| {
+        b.iter(|| black_box(behavior::validate(&cs.exact_net, &cs.float_net, &cs.test5)));
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,50 @@
+//! E8 — the P3 loop: counterexample enumeration with exclusion sets.
+//!
+//! Compares the paper-faithful restart loop (re-check the model with a
+//! growing exclusion matrix `e` after every counterexample) against this
+//! reproduction's single-pass collector — the engineering win DESIGN.md §5
+//! describes.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use fannet_bench::{paper_study, paper_test_inputs};
+use fannet_verify::bab::collect_region_counterexamples;
+use fannet_verify::enumerate::CounterexampleEnumerator;
+use fannet_verify::region::NoiseRegion;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let cs = paper_study();
+    let inputs = paper_test_inputs();
+    let labels = cs.test5.labels();
+    // A near-boundary input with counterexamples at ±16.
+    let idx = 3;
+    let region = NoiseRegion::symmetric(16, 5);
+    let k = 10;
+
+    let mut group = c.benchmark_group("p3_enumeration");
+    group.sample_size(10);
+
+    group.bench_function("restart_loop_10_vectors", |b| {
+        b.iter(|| {
+            let found: Vec<_> =
+                CounterexampleEnumerator::new(&cs.exact_net, &inputs[idx], labels[idx], region.clone())
+                    .take(k)
+                    .collect();
+            black_box(found)
+        });
+    });
+
+    group.bench_function("single_pass_10_vectors", |b| {
+        b.iter(|| {
+            black_box(
+                collect_region_counterexamples(&cs.exact_net, &inputs[idx], labels[idx], &region, k)
+                    .expect("widths match"),
+            )
+        });
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

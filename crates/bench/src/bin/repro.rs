@@ -1,0 +1,235 @@
+//! Regenerates every figure/table of the FANNet paper (DATE 2020) as text,
+//! with paper-reported values alongside the measured ones. The output of
+//! this binary is the data recorded in EXPERIMENTS.md.
+//!
+//! ```text
+//! cargo run --release -p fannet-bench --bin repro
+//! ```
+
+use fannet_bench::paper_study;
+use fannet_core::pipeline::{self, AnalysisConfig};
+use fannet_core::{behavior, bias, tolerance};
+use fannet_data::discretize::Discretizer;
+use fannet_data::golub::{L0_AML, L1_ALL};
+use fannet_data::mrmr::{select_by_variance, select_mrmr, select_random, MrmrScheme};
+use fannet_data::normalize::Affine;
+use fannet_nn::{fold, init, quantize, train, Activation};
+use fannet_smv::statespace::{growth_table, PaperFsm};
+use fannet_verify::bab::{check_region_exhaustive, find_counterexample};
+use fannet_verify::noise::ExclusionSet;
+use fannet_verify::region::NoiseRegion;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::time::Instant;
+
+fn header(title: &str) {
+    println!("\n{}", "=".repeat(72));
+    println!("{title}");
+    println!("{}", "=".repeat(72));
+}
+
+fn main() {
+    let started = Instant::now();
+    println!("FANNet (DATE 2020) reproduction — full experiment regeneration");
+
+    // =====================================================================
+    header("E1/E2 — Fig. 3: FSM state-space accounting");
+    let fig3b = PaperFsm::without_noise(2);
+    println!(
+        "Fig. 3b (no noise):        measured {} states / {} transitions   (paper: 3 / 6)",
+        fig3b.states(),
+        fig3b.transitions()
+    );
+    let fig3c = PaperFsm::with_noise(2, 6);
+    println!(
+        "Fig. 3c (noise [0,1]%x6):  measured {} states / {} transitions   (paper: 65 / 4160)",
+        fig3c.states(),
+        fig3c.transitions()
+    );
+    println!("\nstate-space growth, ±Δ on the 5 input nodes (paper: \"grows exponentially\"):");
+    for row in growth_table(&[0, 1, 2, 5, 11, 25, 50], 5) {
+        println!(
+            "  ±{:2}%: {:>15} states {:>24} transitions",
+            row.delta, row.states, row.transitions
+        );
+    }
+
+    // =====================================================================
+    header("E3 — §V-A: dataset, training and accuracy");
+    let cs = paper_study();
+    println!(
+        "dataset: {} genes, train {} (AML {}/ALL {}), test {} (AML {}/ALL {})",
+        cs.data.train.features(),
+        cs.train5.len(),
+        cs.train5.class_counts()[L0_AML],
+        cs.train5.class_counts()[L1_ALL],
+        cs.test5.len(),
+        cs.test5.class_counts()[L0_AML],
+        cs.test5.class_counts()[L1_ALL],
+    );
+    println!(
+        "training-set L1 fraction: measured {:.1}%   (paper: ~70%)",
+        100.0 * cs.train5.label_fraction(L1_ALL)
+    );
+    println!("mRMR-selected genes: {:?}", cs.selection.features);
+    println!(
+        "train accuracy: measured {:.2}%   (paper: 100%)",
+        100.0 * cs.train_accuracy()
+    );
+    println!(
+        "test accuracy:  measured {:.2}%   (paper: 94.12%)",
+        100.0 * cs.test_accuracy()
+    );
+
+    // =====================================================================
+    header("E4–E8 — the full FANNet analysis (P1/P2/P3 + Fig. 4)");
+    let t = Instant::now();
+    let report = pipeline::run(
+        &cs.exact_net,
+        &cs.float_net,
+        &cs.train5,
+        &cs.test5,
+        &AnalysisConfig::default(),
+    );
+    println!("(analysis wall time: {:?})\n", t.elapsed());
+    println!("{}", report.render_text());
+    println!(
+        "noise tolerance: measured ±{}%   (paper: ±11%)",
+        report.noise_tolerance()
+    );
+    println!(
+        "misclassification flow: measured L0->L1 {} / L1->L0 {}   (paper: all L0->L1)",
+        report.bias.flow(L0_AML, L1_ALL),
+        report.bias.flow(L1_ALL, L0_AML)
+    );
+    let insensitive = report.sensitivity.positive_insensitive_nodes();
+    println!(
+        "positive-noise-insensitive nodes: measured {:?}   (paper: node i5)",
+        insensitive.iter().map(|n| format!("i{}", n + 1)).collect::<Vec<_>>()
+    );
+    println!(
+        "inputs robust through ±50%: measured {}   (paper: \"noise even as large as 50% did not trigger misclassification\" for some inputs)",
+        report.boundary.far_from_boundary().len()
+    );
+
+    // =====================================================================
+    header("A1 — ablation: balanced-training bias check");
+    let balanced_train = cs.train5.balanced_subsample(&mut StdRng::seed_from_u64(99));
+    let norm = Affine::fit_max_abs(&balanced_train);
+    let train_norm = norm.apply_dataset(&balanced_train);
+    let mut net = init::fresh_network(
+        &mut StdRng::seed_from_u64(0xFA_77E7),
+        &[5, 20, 2],
+        Activation::ReLU,
+        init::Init::XavierUniform,
+    );
+    train::train(&mut net, train_norm.samples(), train_norm.labels(), &train::TrainConfig::paper())
+        .expect("shapes fixed");
+    let float_net = fold::fold_input_affine(&net, norm.scale(), norm.offset()).expect("width");
+    let exact_net = quantize::to_rational_default(&float_net);
+    let balanced_report =
+        pipeline::run(&exact_net, &float_net, &balanced_train, &cs.test5, &AnalysisConfig::default());
+    println!(
+        "biased   (27/11 train): majority-flow {:.0}%  fragility L0 {:?} vs L1 {:?}",
+        100.0 * report.bias.majority_flow_fraction(),
+        report.bias.per_class_fragility[L0_AML],
+        report.bias.per_class_fragility[L1_ALL],
+    );
+    println!(
+        "balanced (11/11 train): majority-flow {:.0}%  fragility L0 {:?} vs L1 {:?}",
+        100.0 * balanced_report.bias.majority_flow_fraction(),
+        balanced_report.bias.per_class_fragility[L0_AML],
+        balanced_report.bias.per_class_fragility[L1_ALL],
+    );
+    println!("(expectation: the directional signal weakens once training is balanced)");
+
+    // =====================================================================
+    header("A2 — ablation: branch-and-bound vs exhaustive grid");
+    let inputs = fannet_bench::paper_test_inputs();
+    let labels = cs.test5.labels();
+    let idx = 6;
+    for delta in [1i64, 2, 3] {
+        let region = NoiseRegion::symmetric(delta, 5);
+        let t0 = Instant::now();
+        let (exh, exh_stats) = check_region_exhaustive(
+            &cs.exact_net,
+            &inputs[idx],
+            labels[idx],
+            &region,
+            &ExclusionSet::new(),
+        )
+        .expect("widths");
+        let exh_time = t0.elapsed();
+        let t1 = Instant::now();
+        let (bab_out, bab_stats) =
+            find_counterexample(&cs.exact_net, &inputs[idx], labels[idx], &region).expect("widths");
+        let bab_time = t1.elapsed();
+        assert_eq!(exh.is_robust(), bab_out.is_robust(), "checkers must agree");
+        println!(
+            "±{delta}%: exhaustive {:>10?} ({} evals)   bab {:>10?} ({} boxes, {} evals) — verdicts agree",
+            exh_time,
+            exh_stats.exact_evals,
+            bab_time,
+            bab_stats.boxes_visited,
+            bab_stats.exact_evals
+        );
+    }
+    for delta in [11i64, 50] {
+        let region = NoiseRegion::symmetric(delta, 5);
+        let t1 = Instant::now();
+        let (_, stats) =
+            find_counterexample(&cs.exact_net, &inputs[idx], labels[idx], &region).expect("widths");
+        println!(
+            "±{delta}%: exhaustive would need {} evals; bab proved it in {:?} ({} boxes)",
+            region.point_count(),
+            t1.elapsed(),
+            stats.boxes_visited
+        );
+    }
+
+    // =====================================================================
+    header("A3 — ablation: mRMR vs variance vs random gene selection");
+    let columns = cs.data.train.columns();
+    let train_labels = cs.data.train.labels();
+    let informative = &cs.data.informative_genes;
+    let hit = |features: &[usize]| {
+        features
+            .iter()
+            .filter(|&&g| {
+                informative
+                    .iter()
+                    .any(|&i| g >= i && g <= i + cs.data.config.redundant_per_informative)
+            })
+            .count()
+    };
+    let mid = select_mrmr(&columns, train_labels, 5, MrmrScheme::Difference, Discretizer::SigmaBands);
+    let miq = select_mrmr(&columns, train_labels, 5, MrmrScheme::Quotient, Discretizer::SigmaBands);
+    let var = select_by_variance(&columns, 5);
+    let rnd = select_random(columns.len(), 5, 42);
+    println!("signal genes recovered out of 5 selected:");
+    println!("  mRMR-MID: {}   features {:?}", hit(&mid.features), mid.features);
+    println!("  mRMR-MIQ: {}   features {:?}", hit(&miq.features), miq.features);
+    println!("  variance: {}   features {:?}", hit(&var.features), var.features);
+    println!("  random:   {}   features {:?}", hit(&rnd.features), rnd.features);
+
+    // =====================================================================
+    header("sanity: per-input robustness radii (boundary panel data)");
+    let correct = behavior::correctly_classified(&cs.exact_net, &cs.test5);
+    let tol = tolerance::analyze(&cs.exact_net, &cs.test5, &correct, 50);
+    for r in &tol.per_input {
+        let tag = match r.radius {
+            Some(radius) => format!("±{radius}%"),
+            None => "robust@50".to_string(),
+        };
+        print!("{}:{} ", r.index, tag);
+    }
+    println!();
+    let b = bias::analyze(&report.adversarial, &tol, &cs.train5);
+    println!(
+        "fragility rates: L0 {:.2} vs L1 {:.2} (paper: L0 inputs more likely to flip)",
+        b.fragility_rate(L0_AML),
+        b.fragility_rate(L1_ALL)
+    );
+
+    println!("\ntotal wall time: {:?}", started.elapsed());
+}

@@ -1,0 +1,58 @@
+//! # fannet-bench
+//!
+//! Benchmark harness for the FANNet (DATE 2020) reproduction.
+//!
+//! * One Criterion bench per paper artifact (`benches/fig3_statespace.rs`,
+//!   `benches/fig4_*.rs`, `benches/p1_validation.rs`,
+//!   `benches/p3_enumeration.rs`) plus the ablations
+//!   (`checker_ablation.rs`, `mrmr_selection.rs`).
+//! * `src/bin/repro.rs` regenerates every figure/table of the paper as
+//!   text — the data behind EXPERIMENTS.md.
+//!
+//! This library crate only hosts the shared fixtures: the trained case
+//! study is expensive enough (~100 ms) that benches build it once through
+//! [`paper_study`]/[`small_study`].
+
+use std::sync::OnceLock;
+
+use fannet_core::casestudy::{build, CaseStudy, CaseStudyConfig};
+use fannet_numeric::Rational;
+
+/// The full-size (7129-gene) case study, built once per process.
+pub fn paper_study() -> &'static CaseStudy {
+    static STUDY: OnceLock<CaseStudy> = OnceLock::new();
+    STUDY.get_or_init(|| build(&CaseStudyConfig::paper()))
+}
+
+/// The reduced (500-gene) case study, built once per process.
+pub fn small_study() -> &'static CaseStudy {
+    static STUDY: OnceLock<CaseStudy> = OnceLock::new();
+    STUDY.get_or_init(|| build(&CaseStudyConfig::small()))
+}
+
+/// The exact rational inputs of the test split, cached.
+pub fn paper_test_inputs() -> &'static Vec<Vec<Rational>> {
+    static INPUTS: OnceLock<Vec<Vec<Rational>>> = OnceLock::new();
+    INPUTS.get_or_init(|| {
+        paper_study()
+            .test5
+            .samples()
+            .iter()
+            .map(|s| fannet_core::behavior::rational_input(s))
+            .collect()
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fixtures_are_cached_and_consistent() {
+        let a = paper_study();
+        let b = paper_study();
+        assert!(std::ptr::eq(a, b), "fixture must be built once");
+        assert_eq!(paper_test_inputs().len(), a.test5.len());
+        assert_eq!(small_study().test5.len(), 34);
+    }
+}

@@ -1,0 +1,212 @@
+//! Behaviour extraction and model validation (property **P1**).
+//!
+//! Before any noise analysis, FANNet validates that the translated model
+//! reproduces the trained network's behaviour: the model's computed output
+//! class `OC` must equal the true label `Sx` on the functional test set
+//! (paper Fig. 2, "Validation of Translated SMV Model"). In this
+//! reproduction the "translated model" is the exactly-quantized rational
+//! network, so P1 additionally certifies that quantization did not move any
+//! test sample across the decision boundary.
+
+use fannet_data::Dataset;
+use fannet_numeric::Rational;
+use fannet_nn::Network;
+use serde::{Deserialize, Serialize};
+
+/// Converts an `f64` feature vector (integer-valued gene expressions) to
+/// exact rationals.
+///
+/// # Panics
+///
+/// Panics if a value is not finite.
+#[must_use]
+pub fn rational_input(sample: &[f64]) -> Vec<Rational> {
+    sample
+        .iter()
+        .map(|&v| {
+            Rational::from_f64_exact(v)
+                .unwrap_or_else(|| panic!("non-finite feature value {v}"))
+        })
+        .collect()
+}
+
+/// Outcome of the P1 validation pass over a labelled dataset.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ValidationReport {
+    /// Samples checked.
+    pub total: usize,
+    /// Samples whose computed class equals the true label.
+    pub correct: usize,
+    /// Indices (into the dataset) of misclassified samples.
+    pub misclassified: Vec<usize>,
+    /// Samples where the exact model disagrees with the `f64` reference
+    /// network (must be 0 for a faithful translation).
+    pub float_disagreements: usize,
+}
+
+impl ValidationReport {
+    /// Classification accuracy in `[0, 1]`.
+    #[must_use]
+    pub fn accuracy(&self) -> f64 {
+        if self.total == 0 {
+            0.0
+        } else {
+            self.correct as f64 / self.total as f64
+        }
+    }
+
+    /// `true` if the exact model matched the float reference everywhere —
+    /// the P1 pass/fail criterion for the *translation* (independent of
+    /// the network's own test accuracy).
+    #[must_use]
+    pub fn translation_faithful(&self) -> bool {
+        self.float_disagreements == 0
+    }
+}
+
+/// Runs P1: classifies every sample with the exact rational model, compares
+/// against the true labels and against the `f64` reference network.
+///
+/// # Panics
+///
+/// Panics if dataset width differs from the networks' input width, or the
+/// two networks have different shapes.
+#[must_use]
+pub fn validate(
+    exact: &Network<Rational>,
+    reference: &Network<f64>,
+    data: &Dataset,
+) -> ValidationReport {
+    assert_eq!(
+        exact.inputs(),
+        data.features(),
+        "dataset width must match the network"
+    );
+    assert_eq!(
+        exact.topology(),
+        reference.topology(),
+        "exact and reference networks must share a topology"
+    );
+    let mut report = ValidationReport {
+        total: data.len(),
+        correct: 0,
+        misclassified: Vec::new(),
+        float_disagreements: 0,
+    };
+    for (i, (sample, label)) in data.iter().enumerate() {
+        let qx = rational_input(sample);
+        let predicted = exact.classify(&qx).expect("width checked above");
+        let float_predicted = reference.classify(sample).expect("width checked above");
+        if predicted != float_predicted {
+            report.float_disagreements += 1;
+        }
+        if predicted == label {
+            report.correct += 1;
+        } else {
+            report.misclassified.push(i);
+        }
+    }
+    report
+}
+
+/// The indices of correctly classified samples — the inputs the paper's
+/// noise analysis quantifies over ("for fair analysis of the impact of
+/// noise, only the correctly classified inputs are considered", Fig. 4).
+#[must_use]
+pub fn correctly_classified(exact: &Network<Rational>, data: &Dataset) -> Vec<usize> {
+    data.iter()
+        .enumerate()
+        .filter(|(_, (sample, label))| {
+            let qx = rational_input(sample);
+            exact.classify(&qx).expect("widths validated upstream") == *label
+        })
+        .map(|(i, _)| i)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fannet_nn::quantize;
+    use fannet_nn::{init, train, Activation};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn trained_pair() -> (Network<Rational>, Network<f64>, Dataset) {
+        let xs = vec![
+            vec![10.0, 1.0],
+            vec![12.0, 0.0],
+            vec![9.0, 2.0],
+            vec![1.0, 11.0],
+            vec![0.0, 10.0],
+            vec![2.0, 12.0],
+        ];
+        let ys = vec![0, 0, 0, 1, 1, 1];
+        let mut net = init::fresh_network(
+            &mut StdRng::seed_from_u64(21),
+            &[2, 6, 2],
+            Activation::ReLU,
+            init::Init::XavierUniform,
+        );
+        train::train(&mut net, &xs, &ys, &train::TrainConfig::paper()).unwrap();
+        let exact = quantize::to_rational_default(&net);
+        let data = Dataset::new(xs, ys, 2).unwrap();
+        (exact, net, data)
+    }
+
+    #[test]
+    fn p1_passes_on_training_data() {
+        let (exact, reference, data) = trained_pair();
+        let report = validate(&exact, &reference, &data);
+        assert_eq!(report.total, 6);
+        assert_eq!(report.correct, 6, "misclassified: {:?}", report.misclassified);
+        assert_eq!(report.accuracy(), 1.0);
+        assert!(report.translation_faithful());
+        assert!(report.misclassified.is_empty());
+    }
+
+    #[test]
+    fn misclassifications_are_indexed() {
+        let (exact, reference, _) = trained_pair();
+        // Deliberately wrong labels: everything flips.
+        let flipped = Dataset::new(
+            vec![vec![10.0, 1.0], vec![1.0, 11.0]],
+            vec![1, 0],
+            2,
+        )
+        .unwrap();
+        let report = validate(&exact, &reference, &flipped);
+        assert_eq!(report.correct, 0);
+        assert_eq!(report.misclassified, vec![0, 1]);
+        assert_eq!(report.accuracy(), 0.0);
+        // Translation is still faithful even though labels are wrong.
+        assert!(report.translation_faithful());
+    }
+
+    #[test]
+    fn correctly_classified_filters() {
+        let (exact, _, data) = trained_pair();
+        let ok = correctly_classified(&exact, &data);
+        assert_eq!(ok, vec![0, 1, 2, 3, 4, 5]);
+        let mixed = Dataset::new(
+            vec![vec![10.0, 1.0], vec![12.0, 0.0]],
+            vec![0, 1], // second label wrong
+            2,
+        )
+        .unwrap();
+        assert_eq!(correctly_classified(&exact, &mixed), vec![0]);
+    }
+
+    #[test]
+    fn rational_input_is_exact() {
+        let q = rational_input(&[3.0, -0.5]);
+        assert_eq!(q[0], Rational::from_integer(3));
+        assert_eq!(q[1], Rational::new(-1, 2));
+    }
+
+    #[test]
+    #[should_panic(expected = "non-finite")]
+    fn rational_input_rejects_nan() {
+        let _ = rational_input(&[f64::NAN]);
+    }
+}

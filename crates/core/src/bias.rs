@@ -1,0 +1,269 @@
+//! Training-bias analysis (paper §V-C.3).
+//!
+//! The paper observes that with ≈70 % of training samples in class L1,
+//! *every* extracted misclassification flows L0 → L1: noise pushes inputs
+//! toward the over-represented class, never away from it. This module
+//! quantifies that flow from an [`AdversarialReport`] and checks it against
+//! the training-set composition.
+
+use fannet_data::Dataset;
+use serde::{Deserialize, Serialize};
+
+use crate::adversarial::AdversarialReport;
+use crate::tolerance::ToleranceReport;
+
+/// Misclassification flow between classes, plus the training composition
+/// that explains it.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BiasReport {
+    /// `flows[a][b]` counts extracted counterexamples with true label `a`
+    /// misclassified as `b`.
+    pub flows: Vec<Vec<usize>>,
+    /// Per-class fractions of the *training* dataset.
+    pub train_fractions: Vec<f64>,
+    /// Per-class input fragility `(flippable, analysed)`: how many of the
+    /// correctly classified inputs of each class have a counterexample
+    /// within the extraction range — the paper's "inputs with Sx = L0 were
+    /// observed as more likely to be misclassified".
+    pub per_class_fragility: Vec<(usize, usize)>,
+}
+
+impl BiasReport {
+    /// Total number of counterexamples aggregated.
+    #[must_use]
+    pub fn total(&self) -> usize {
+        self.flows.iter().flatten().sum()
+    }
+
+    /// Counterexamples flowing from `a` to `b`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a label is out of range.
+    #[must_use]
+    pub fn flow(&self, a: usize, b: usize) -> usize {
+        self.flows[a][b]
+    }
+
+    /// The class most misclassifications flow *into*, or `None` when no
+    /// counterexamples were observed.
+    #[must_use]
+    pub fn dominant_target(&self) -> Option<usize> {
+        let classes = self.flows.len();
+        (0..classes)
+            .map(|b| (b, (0..classes).map(|a| self.flows[a][b]).sum::<usize>()))
+            .max_by_key(|&(_, n)| n)
+            .filter(|&(_, n)| n > 0)
+            .map(|(b, _)| b)
+    }
+
+    /// The majority class of the training set.
+    #[must_use]
+    pub fn majority_class(&self) -> usize {
+        self.train_fractions
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).expect("fractions are finite"))
+            .map(|(i, _)| i)
+            .expect("≥1 class")
+    }
+
+    /// The paper's training-bias finding: misclassifications flow
+    /// predominantly *into the majority training class*. `None` when no
+    /// counterexamples exist to judge from.
+    #[must_use]
+    pub fn bias_toward_majority(&self) -> Option<bool> {
+        self.dominant_target().map(|t| t == self.majority_class())
+    }
+
+    /// Fraction of class-`c` inputs that are flippable within the
+    /// extraction range; `0.0` when no inputs of that class were analysed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `c` is out of range.
+    #[must_use]
+    pub fn fragility_rate(&self, c: usize) -> f64 {
+        let (flippable, total) = self.per_class_fragility[c];
+        if total == 0 {
+            0.0
+        } else {
+            flippable as f64 / total as f64
+        }
+    }
+
+    /// The class whose inputs flip most readily, or `None` if no class has
+    /// analysed inputs.
+    #[must_use]
+    pub fn most_fragile_class(&self) -> Option<usize> {
+        (0..self.per_class_fragility.len())
+            .filter(|&c| self.per_class_fragility[c].1 > 0)
+            .max_by(|&a, &b| {
+                self.fragility_rate(a)
+                    .partial_cmp(&self.fragility_rate(b))
+                    .expect("rates are finite")
+            })
+    }
+
+    /// Fraction of all flows that end in the majority class (1.0 in the
+    /// paper's experiment: *all* misclassifications were L0 → L1).
+    #[must_use]
+    pub fn majority_flow_fraction(&self) -> f64 {
+        let total = self.total();
+        if total == 0 {
+            return 0.0;
+        }
+        let m = self.majority_class();
+        let into_majority: usize = (0..self.flows.len()).map(|a| self.flows[a][m]).sum();
+        into_majority as f64 / total as f64
+    }
+}
+
+/// Aggregates misclassification flows from extracted counterexamples, the
+/// per-class input fragility (from the tolerance radii, at the extraction
+/// range), and the training-set composition.
+///
+/// # Panics
+///
+/// Panics if a counterexample's labels exceed `train.classes()`.
+#[must_use]
+pub fn analyze(
+    report: &AdversarialReport,
+    tolerance: &ToleranceReport,
+    train: &Dataset,
+) -> BiasReport {
+    let classes = train.classes();
+    let mut flows = vec![vec![0usize; classes]; classes];
+    for (_, ce) in report.iter_all() {
+        assert!(
+            ce.expected < classes && ce.predicted < classes,
+            "counterexample labels must fit the dataset's class count"
+        );
+        flows[ce.expected][ce.predicted] += 1;
+    }
+    let mut per_class_fragility = vec![(0usize, 0usize); classes];
+    for r in &tolerance.per_input {
+        let entry = &mut per_class_fragility[r.label];
+        entry.1 += 1;
+        if r.radius.is_some_and(|radius| radius <= report.delta) {
+            entry.0 += 1;
+        }
+    }
+    let train_fractions = (0..classes).map(|c| train.label_fraction(c)).collect();
+    BiasReport { flows, train_fractions, per_class_fragility }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::adversarial::InputAdversaries;
+    use fannet_numeric::Rational;
+    use fannet_verify::exact::Counterexample;
+    use fannet_verify::noise::NoiseVector;
+
+    fn ce(expected: usize, predicted: usize) -> Counterexample {
+        Counterexample {
+            noise: NoiseVector::new(vec![1, -1]),
+            noisy_input: vec![Rational::ONE, Rational::ONE],
+            outputs: vec![Rational::ZERO, Rational::ONE],
+            predicted,
+            expected,
+        }
+    }
+
+    fn report(flows: &[(usize, usize, usize)]) -> AdversarialReport {
+        // flows: (expected, predicted, count)
+        let mut per_input = Vec::new();
+        for (i, &(a, b, n)) in flows.iter().enumerate() {
+            per_input.push(InputAdversaries {
+                index: i,
+                label: a,
+                counterexamples: (0..n).map(|_| ce(a, b)).collect(),
+                exhausted: true,
+            });
+        }
+        AdversarialReport { delta: 10, per_input }
+    }
+
+    fn tol(rows: &[(usize, usize, Option<i64>)]) -> ToleranceReport {
+        // rows: (index, label, radius)
+        ToleranceReport {
+            max_delta: 20,
+            per_input: rows
+                .iter()
+                .map(|&(index, label, radius)| crate::tolerance::InputRadius {
+                    index,
+                    label,
+                    radius,
+                })
+                .collect(),
+        }
+    }
+
+    fn biased_train() -> Dataset {
+        // 3 of 4 samples in class 1 (75 % majority).
+        Dataset::new(
+            vec![vec![0.0], vec![1.0], vec![2.0], vec![3.0]],
+            vec![0, 1, 1, 1],
+            2,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn flows_counted_per_direction() {
+        let b = analyze(&report(&[(0, 1, 5), (1, 0, 2)]), &tol(&[]), &biased_train());
+        assert_eq!(b.flow(0, 1), 5);
+        assert_eq!(b.flow(1, 0), 2);
+        assert_eq!(b.total(), 7);
+    }
+
+    #[test]
+    fn paper_shape_all_flows_into_majority() {
+        let b = analyze(&report(&[(0, 1, 9)]), &tol(&[(0, 0, Some(3)), (1, 1, None)]), &biased_train());
+        assert_eq!(b.majority_class(), 1);
+        assert_eq!(b.dominant_target(), Some(1));
+        assert_eq!(b.bias_toward_majority(), Some(true));
+        assert_eq!(b.majority_flow_fraction(), 1.0);
+        assert!((b.train_fractions[1] - 0.75).abs() < 1e-12);
+        // Fragility: the L0 input (radius 3 ≤ delta 10) flips, L1 does not.
+        assert_eq!(b.per_class_fragility, vec![(1, 1), (0, 1)]);
+        assert_eq!(b.fragility_rate(0), 1.0);
+        assert_eq!(b.fragility_rate(1), 0.0);
+        assert_eq!(b.most_fragile_class(), Some(0));
+    }
+
+    #[test]
+    fn counter_shape_detected() {
+        // Flows into the minority class: bias NOT toward majority.
+        let b = analyze(&report(&[(1, 0, 4)]), &tol(&[]), &biased_train());
+        assert_eq!(b.dominant_target(), Some(0));
+        assert_eq!(b.bias_toward_majority(), Some(false));
+        assert_eq!(b.majority_flow_fraction(), 0.0);
+    }
+
+    #[test]
+    fn no_counterexamples_is_inconclusive() {
+        let b = analyze(&report(&[]), &tol(&[(0, 0, None)]), &biased_train());
+        assert_eq!(b.total(), 0);
+        assert_eq!(b.dominant_target(), None);
+        assert_eq!(b.bias_toward_majority(), None);
+        assert_eq!(b.majority_flow_fraction(), 0.0);
+    }
+
+    #[test]
+    fn balanced_training_fractions() {
+        let balanced = Dataset::new(
+            vec![vec![0.0], vec![1.0]],
+            vec![0, 1],
+            2,
+        )
+        .unwrap();
+        let b = analyze(&report(&[(0, 1, 1), (1, 0, 1)]), &tol(&[]), &balanced);
+        assert!((b.train_fractions[0] - 0.5).abs() < 1e-12);
+        // Tie in flows: dominant target is the max — with equal counts the
+        // lower class wins via max_by_key order stability; either way the
+        // fraction splits evenly.
+        assert!((b.majority_flow_fraction() - 0.5).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,65 @@
+//! # fannet-core
+//!
+//! The FANNet methodology itself — the primary contribution of
+//! *"FANNet: Formal Analysis of Noise Tolerance, Training Bias and Input
+//! Sensitivity in Neural Networks"* (DATE 2020) — implemented on top of the
+//! substrate crates (`fannet-nn`, `fannet-data`, `fannet-smv`,
+//! `fannet-verify`).
+//!
+//! * [`property`] — the paper's formal properties P1/P2/P3.
+//! * [`behavior`] — behaviour extraction and P1 model validation.
+//! * [`tolerance`] — noise-tolerance computation (the ±11 % headline).
+//! * [`adversarial`] — P3 extraction of the unique noise-vector matrix `e`.
+//! * [`bias`] — training-bias analysis of misclassification flows.
+//! * [`sensitivity`] — per-input-node noise-sign statistics.
+//! * [`boundary`] — classification-boundary proximity estimation.
+//! * [`casestudy`] — the leukemia case study, dataset to quantized network.
+//! * [`pipeline`] — the full methodology as a single [`pipeline::run`].
+//!
+//! ## Example: a miniature FANNet run
+//!
+//! ```
+//! use fannet_core::pipeline::{self, AnalysisConfig};
+//! use fannet_data::Dataset;
+//! use fannet_numeric::Rational;
+//! use fannet_nn::{Activation, DenseLayer, Network, Readout};
+//! use fannet_tensor::Matrix;
+//!
+//! let r = |n: i128| Rational::from_integer(n);
+//! let exact = Network::new(vec![DenseLayer::new(
+//!     Matrix::from_rows(vec![vec![r(1), r(0)], vec![r(0), r(1)]])?,
+//!     vec![r(0), r(0)],
+//!     Activation::Identity,
+//! )?], Readout::MaxPool)?;
+//! let float = exact.map(|v| v.to_f64());
+//!
+//! let train = Dataset::new(vec![vec![100.0, 40.0], vec![40.0, 100.0]], vec![0, 1], 2)?;
+//! let test = Dataset::new(vec![vec![100.0, 90.0]], vec![0], 2)?;
+//!
+//! let config = AnalysisConfig {
+//!     max_delta: 10,
+//!     sweep_deltas: vec![2, 5, 10],
+//!     extraction_delta: Some(8),
+//!     per_input_cap: 20,
+//!     near_threshold: 3,
+//! };
+//! let report = pipeline::run(&exact, &float, &train, &test, &config);
+//! assert_eq!(report.validation.correct, 1);
+//! // 100 vs 90 flips once the 10 % relative gap closes: radius 6 ⇒ tolerance 5.
+//! assert_eq!(report.noise_tolerance(), 5);
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+pub mod adversarial;
+pub mod behavior;
+pub mod bias;
+pub mod boundary;
+pub mod casestudy;
+pub mod pipeline;
+pub mod property;
+pub mod sensitivity;
+pub mod tolerance;
+
+pub use casestudy::{CaseStudy, CaseStudyConfig};
+pub use pipeline::{AnalysisConfig, FannetReport};
+pub use property::{Property, PropertyKind};

@@ -1,0 +1,165 @@
+//! The paper's formal properties **P1**, **P2**, **P3** as first-class
+//! objects.
+//!
+//! Fig. 2 of the paper drives the whole methodology off three temporal
+//! properties:
+//!
+//! | id | formula | role |
+//! |----|---------------------------|-------------------------------------|
+//! | P1 | `AG (OC = Sx)`            | validate the translated model, no noise |
+//! | P2 | `AG (OCn = Sx)`           | noise-tolerance query at range ±Δ   |
+//! | P3 | `AG ((OCn = Sx) ∨ NV ∈ e)`| fresh-counterexample query          |
+//!
+//! A [`Property`] bundles the formula identity with its parameters (noise
+//! region, exclusion set size) so reports can say exactly which query
+//! produced which verdict, and so the SMV text of the property can be
+//! emitted next to the translated model.
+
+use std::fmt;
+
+use fannet_verify::region::NoiseRegion;
+
+/// Which of the paper's three properties a query instantiates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PropertyKind {
+    /// `P1`: functional validation without noise.
+    P1Validation,
+    /// `P2`: classification invariance under a noise range.
+    P2NoiseTolerance,
+    /// `P3`: P2 weakened by an exclusion matrix `e`, forcing fresh
+    /// counterexamples.
+    P3FreshCounterexample,
+}
+
+/// A concrete property instance for one input sample.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Property {
+    kind: PropertyKind,
+    /// The noise region the query quantifies over (a point region for P1).
+    region: NoiseRegion,
+    /// Number of excluded vectors (0 unless P3).
+    excluded: usize,
+    /// The expected (true) label `Sx`.
+    label: usize,
+}
+
+impl Property {
+    /// The P1 validation property for a network with `nodes` inputs.
+    #[must_use]
+    pub fn p1(nodes: usize, label: usize) -> Self {
+        Property {
+            kind: PropertyKind::P1Validation,
+            region: NoiseRegion::symmetric(0, nodes),
+            excluded: 0,
+            label,
+        }
+    }
+
+    /// The P2 noise-tolerance property over `region`.
+    #[must_use]
+    pub fn p2(region: NoiseRegion, label: usize) -> Self {
+        Property { kind: PropertyKind::P2NoiseTolerance, region, excluded: 0, label }
+    }
+
+    /// The P3 fresh-counterexample property over `region` with `excluded`
+    /// vectors already in the matrix `e`.
+    #[must_use]
+    pub fn p3(region: NoiseRegion, label: usize, excluded: usize) -> Self {
+        Property { kind: PropertyKind::P3FreshCounterexample, region, excluded, label }
+    }
+
+    /// Which paper property this is.
+    #[must_use]
+    pub fn kind(&self) -> PropertyKind {
+        self.kind
+    }
+
+    /// The noise region quantified over.
+    #[must_use]
+    pub fn region(&self) -> &NoiseRegion {
+        &self.region
+    }
+
+    /// The expected label `Sx`.
+    #[must_use]
+    pub fn label(&self) -> usize {
+        self.label
+    }
+
+    /// Size of the exclusion matrix `e`.
+    #[must_use]
+    pub fn excluded(&self) -> usize {
+        self.excluded
+    }
+
+    /// The property formula in SMV `INVARSPEC` syntax.
+    #[must_use]
+    pub fn smv_formula(&self) -> String {
+        match self.kind {
+            PropertyKind::P1Validation => format!("oc = {}", self.label),
+            PropertyKind::P2NoiseTolerance => format!("oc_n = {}", self.label),
+            PropertyKind::P3FreshCounterexample => {
+                format!("oc_n = {} | nv_in_e", self.label)
+            }
+        }
+    }
+}
+
+impl fmt::Display for Property {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.kind {
+            PropertyKind::P1Validation => {
+                write!(f, "P1: AG (OC = L{}) [no noise]", self.label)
+            }
+            PropertyKind::P2NoiseTolerance => {
+                write!(f, "P2: AG (OCn = L{}) over {}", self.label, self.region)
+            }
+            PropertyKind::P3FreshCounterexample => write!(
+                f,
+                "P3: AG ((OCn = L{}) | NV in e) over {}, |e| = {}",
+                self.label, self.region, self.excluded
+            ),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors_set_kind() {
+        assert_eq!(Property::p1(5, 0).kind(), PropertyKind::P1Validation);
+        let region = NoiseRegion::symmetric(5, 5);
+        assert_eq!(
+            Property::p2(region.clone(), 1).kind(),
+            PropertyKind::P2NoiseTolerance
+        );
+        assert_eq!(
+            Property::p3(region, 1, 7).kind(),
+            PropertyKind::P3FreshCounterexample
+        );
+    }
+
+    #[test]
+    fn p1_region_is_zero_noise_point() {
+        let p = Property::p1(3, 0);
+        assert!(p.region().is_point());
+        assert_eq!(p.region().nodes(), 3);
+        assert_eq!(p.excluded(), 0);
+    }
+
+    #[test]
+    fn display_and_formula() {
+        let region = NoiseRegion::symmetric(11, 5);
+        let p2 = Property::p2(region.clone(), 1);
+        let s = p2.to_string();
+        assert!(s.starts_with("P2:"));
+        assert!(s.contains("[-11, 11]"));
+        assert_eq!(p2.smv_formula(), "oc_n = 1");
+        let p3 = Property::p3(region, 0, 3);
+        assert!(p3.to_string().contains("|e| = 3"));
+        assert!(p3.smv_formula().contains("nv_in_e"));
+        assert_eq!(Property::p1(5, 1).smv_formula(), "oc = 1");
+    }
+}

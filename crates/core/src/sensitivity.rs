@@ -1,0 +1,390 @@
+//! Input-node sensitivity analysis (paper §V-C.4).
+//!
+//! The paper inspects the extracted adversarial noise vectors per input
+//! node: for their network, *no* counterexample carried positive noise at
+//! node `i5`, while node `i2` appeared with positive noise far more often
+//! than with negative — knowledge that could drive variable-precision data
+//! acquisition. This module computes those per-node sign statistics from
+//! an [`AdversarialReport`].
+
+use serde::{Deserialize, Serialize};
+
+use crate::adversarial::AdversarialReport;
+
+/// Sign statistics of one input node across all extracted noise vectors.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct NodeSensitivity {
+    /// Input-node index (0-based; the paper's `i1`…`i5` are 1-based).
+    pub node: usize,
+    /// Vectors with strictly positive noise at this node.
+    pub positive: usize,
+    /// Vectors with strictly negative noise at this node.
+    pub negative: usize,
+    /// Vectors with zero noise at this node.
+    pub zero: usize,
+    /// Largest positive percent observed at this node.
+    pub max_positive: i64,
+    /// Most negative percent observed at this node.
+    pub min_negative: i64,
+}
+
+impl NodeSensitivity {
+    /// Total vectors inspected.
+    #[must_use]
+    pub fn total(&self) -> usize {
+        self.positive + self.negative + self.zero
+    }
+
+    /// `true` if the node never appears with positive noise although
+    /// counterexamples exist — the paper's "insensitive to positive noise"
+    /// finding for node i5.
+    #[must_use]
+    pub fn insensitive_to_positive(&self) -> bool {
+        self.total() > 0 && self.positive == 0
+    }
+
+    /// `true` if the node never appears with negative noise although
+    /// counterexamples exist.
+    #[must_use]
+    pub fn insensitive_to_negative(&self) -> bool {
+        self.total() > 0 && self.negative == 0
+    }
+
+    /// Signed asymmetry in `[-1, 1]`: `(positive − negative) / (positive +
+    /// negative)`; positive values mean the node is more often attacked
+    /// with positive noise (the paper's node-i2 shape). `0.0` when the node
+    /// never carries nonzero noise.
+    #[must_use]
+    pub fn sign_asymmetry(&self) -> f64 {
+        let nonzero = self.positive + self.negative;
+        if nonzero == 0 {
+            0.0
+        } else {
+            (self.positive as f64 - self.negative as f64) / nonzero as f64
+        }
+    }
+}
+
+/// Per-node sensitivity table for a whole extraction run.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SensitivityReport {
+    /// One entry per input node.
+    pub nodes: Vec<NodeSensitivity>,
+}
+
+impl SensitivityReport {
+    /// Nodes that never carry positive noise in any counterexample.
+    #[must_use]
+    pub fn positive_insensitive_nodes(&self) -> Vec<usize> {
+        self.nodes
+            .iter()
+            .filter(|n| n.insensitive_to_positive())
+            .map(|n| n.node)
+            .collect()
+    }
+
+    /// The node with the strongest positive-sign asymmetry, if any vectors
+    /// were observed.
+    #[must_use]
+    pub fn most_positive_skewed(&self) -> Option<usize> {
+        self.nodes
+            .iter()
+            .filter(|n| n.positive + n.negative > 0)
+            .max_by(|a, b| {
+                a.sign_asymmetry()
+                    .partial_cmp(&b.sign_asymmetry())
+                    .expect("asymmetry is finite")
+            })
+            .map(|n| n.node)
+    }
+}
+
+/// Computes per-node sign statistics over every extracted noise vector.
+///
+/// # Panics
+///
+/// Panics if the report contains vectors of inconsistent width.
+#[must_use]
+pub fn analyze(report: &AdversarialReport) -> SensitivityReport {
+    let width = report
+        .iter_all()
+        .next()
+        .map_or(0, |(_, ce)| ce.noise.len());
+    let mut nodes: Vec<NodeSensitivity> = (0..width)
+        .map(|node| NodeSensitivity {
+            node,
+            positive: 0,
+            negative: 0,
+            zero: 0,
+            max_positive: 0,
+            min_negative: 0,
+        })
+        .collect();
+    for (_, ce) in report.iter_all() {
+        assert_eq!(ce.noise.len(), width, "noise vectors must share a width");
+        for (node, &p) in ce.noise.percents().iter().enumerate() {
+            let entry = &mut nodes[node];
+            if p > 0 {
+                entry.positive += 1;
+                entry.max_positive = entry.max_positive.max(p);
+            } else if p < 0 {
+                entry.negative += 1;
+                entry.min_negative = entry.min_negative.min(p);
+            } else {
+                entry.zero += 1;
+            }
+        }
+    }
+    SensitivityReport { nodes }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::adversarial::InputAdversaries;
+    use fannet_numeric::Rational;
+    use fannet_verify::exact::Counterexample;
+    use fannet_verify::noise::NoiseVector;
+
+    fn report_from_vectors(vectors: Vec<Vec<i64>>) -> AdversarialReport {
+        let counterexamples = vectors
+            .into_iter()
+            .map(|v| Counterexample {
+                noise: NoiseVector::new(v),
+                noisy_input: vec![Rational::ONE],
+                outputs: vec![Rational::ZERO, Rational::ONE],
+                predicted: 1,
+                expected: 0,
+            })
+            .collect();
+        AdversarialReport {
+            delta: 10,
+            per_input: vec![InputAdversaries {
+                index: 0,
+                label: 0,
+                counterexamples,
+                exhausted: true,
+            }],
+        }
+    }
+
+    #[test]
+    fn sign_counts_per_node() {
+        let r = report_from_vectors(vec![
+            vec![5, -3, 0],
+            vec![2, -7, 0],
+            vec![-1, -2, 0],
+        ]);
+        let s = analyze(&r);
+        assert_eq!(s.nodes.len(), 3);
+        let n0 = &s.nodes[0];
+        assert_eq!((n0.positive, n0.negative, n0.zero), (2, 1, 0));
+        assert_eq!(n0.max_positive, 5);
+        assert_eq!(n0.min_negative, -1);
+        let n1 = &s.nodes[1];
+        assert_eq!((n1.positive, n1.negative, n1.zero), (0, 3, 0));
+        let n2 = &s.nodes[2];
+        assert_eq!(n2.zero, 3);
+    }
+
+    #[test]
+    fn paper_shape_positive_insensitive_node() {
+        // Node 1 never positive (the paper's i5 shape); node 0 skews
+        // positive (the i2 shape).
+        let r = report_from_vectors(vec![
+            vec![6, -2],
+            vec![4, 0],
+            vec![3, -5],
+            vec![-1, -1],
+        ]);
+        let s = analyze(&r);
+        assert_eq!(s.positive_insensitive_nodes(), vec![1]);
+        assert!(s.nodes[1].insensitive_to_positive());
+        assert!(!s.nodes[1].insensitive_to_negative());
+        assert_eq!(s.most_positive_skewed(), Some(0));
+        assert!(s.nodes[0].sign_asymmetry() > 0.0);
+        assert!(s.nodes[1].sign_asymmetry() < 0.0);
+    }
+
+    #[test]
+    fn empty_report_yields_empty_table() {
+        let r = AdversarialReport { delta: 5, per_input: vec![] };
+        let s = analyze(&r);
+        assert!(s.nodes.is_empty());
+        assert!(s.positive_insensitive_nodes().is_empty());
+        assert_eq!(s.most_positive_skewed(), None);
+    }
+
+    #[test]
+    fn asymmetry_bounds() {
+        let r = report_from_vectors(vec![vec![1], vec![2], vec![3]]);
+        let s = analyze(&r);
+        assert_eq!(s.nodes[0].sign_asymmetry(), 1.0);
+        let r2 = report_from_vectors(vec![vec![-1], vec![-2]]);
+        let s2 = analyze(&r2);
+        assert_eq!(s2.nodes[0].sign_asymmetry(), -1.0);
+        let r3 = report_from_vectors(vec![vec![0]]);
+        assert_eq!(analyze(&r3).nodes[0].sign_asymmetry(), 0.0);
+    }
+}
+
+/// A per-node data-acquisition recommendation derived from sensitivities —
+/// the application the paper sketches in §V-C.4: "the knowledge of the
+/// input node sensitivity … could be exploited in the design of
+/// variable-precision data acquisition methodologies, where the
+/// resource-greedy measurements could be reserved for obtaining the
+/// sensitive inputs."
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum AcquisitionTier {
+    /// The node appears in many counterexamples with both signs: acquire
+    /// with high-precision (resource-greedy) measurement.
+    HighPrecision,
+    /// The node is attacked predominantly from one side: precision matters
+    /// for that sign only (e.g. guard against under-measurement).
+    OneSidedGuard,
+    /// The node rarely carries nonzero noise in counterexamples: a cheap,
+    /// low-precision measurement suffices.
+    LowPrecision,
+}
+
+/// Per-node acquisition plan.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct AcquisitionPlan {
+    /// One `(node, tier)` entry per input node.
+    pub tiers: Vec<(usize, AcquisitionTier)>,
+}
+
+impl AcquisitionPlan {
+    /// The tier assigned to `node`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is out of range.
+    #[must_use]
+    pub fn tier(&self, node: usize) -> AcquisitionTier {
+        self.tiers[node].1
+    }
+
+    /// Nodes in a given tier.
+    #[must_use]
+    pub fn nodes_in(&self, tier: AcquisitionTier) -> Vec<usize> {
+        self.tiers
+            .iter()
+            .filter(|(_, t)| *t == tier)
+            .map(|(n, _)| *n)
+            .collect()
+    }
+}
+
+/// Derives the acquisition plan from a sensitivity report.
+///
+/// A node whose nonzero-noise participation is below `low_participation`
+/// (fraction of all vectors) is [`AcquisitionTier::LowPrecision`]; a node
+/// with `|sign asymmetry| ≥ one_sided_threshold` is
+/// [`AcquisitionTier::OneSidedGuard`]; everything else is
+/// [`AcquisitionTier::HighPrecision`].
+///
+/// # Panics
+///
+/// Panics if thresholds are outside `[0, 1]`.
+#[must_use]
+pub fn acquisition_plan(
+    report: &SensitivityReport,
+    low_participation: f64,
+    one_sided_threshold: f64,
+) -> AcquisitionPlan {
+    assert!((0.0..=1.0).contains(&low_participation), "fraction in [0,1]");
+    assert!((0.0..=1.0).contains(&one_sided_threshold), "threshold in [0,1]");
+    let tiers = report
+        .nodes
+        .iter()
+        .map(|n| {
+            let total = n.total();
+            let participation = if total == 0 {
+                0.0
+            } else {
+                (n.positive + n.negative) as f64 / total as f64
+            };
+            let tier = if participation < low_participation {
+                AcquisitionTier::LowPrecision
+            } else if n.sign_asymmetry().abs() >= one_sided_threshold {
+                AcquisitionTier::OneSidedGuard
+            } else {
+                AcquisitionTier::HighPrecision
+            };
+            (n.node, tier)
+        })
+        .collect();
+    AcquisitionPlan { tiers }
+}
+
+#[cfg(test)]
+mod acquisition_tests {
+    use super::*;
+    use crate::adversarial::{AdversarialReport, InputAdversaries};
+    use fannet_numeric::Rational;
+    use fannet_verify::exact::Counterexample;
+    use fannet_verify::noise::NoiseVector;
+
+    fn report_from(vectors: Vec<Vec<i64>>) -> SensitivityReport {
+        let counterexamples = vectors
+            .into_iter()
+            .map(|v| Counterexample {
+                noise: NoiseVector::new(v),
+                noisy_input: vec![Rational::ONE],
+                outputs: vec![Rational::ZERO, Rational::ONE],
+                predicted: 1,
+                expected: 0,
+            })
+            .collect();
+        analyze(&AdversarialReport {
+            delta: 10,
+            per_input: vec![InputAdversaries {
+                index: 0,
+                label: 0,
+                counterexamples,
+                exhausted: true,
+            }],
+        })
+    }
+
+    #[test]
+    fn tiers_follow_participation_and_asymmetry() {
+        // node 0: both signs (high precision)
+        // node 1: only negative (one-sided)
+        // node 2: almost always zero (low precision)
+        let s = report_from(vec![
+            vec![5, -1, 0],
+            vec![-5, -2, 0],
+            vec![4, -3, 0],
+            vec![-4, -4, 1],
+        ]);
+        let plan = acquisition_plan(&s, 0.5, 0.9);
+        assert_eq!(plan.tier(0), AcquisitionTier::HighPrecision);
+        assert_eq!(plan.tier(1), AcquisitionTier::OneSidedGuard);
+        assert_eq!(plan.tier(2), AcquisitionTier::LowPrecision);
+        assert_eq!(plan.nodes_in(AcquisitionTier::OneSidedGuard), vec![1]);
+    }
+
+    #[test]
+    fn empty_report_gives_empty_plan() {
+        let s = analyze(&AdversarialReport { delta: 5, per_input: vec![] });
+        let plan = acquisition_plan(&s, 0.5, 0.9);
+        assert!(plan.tiers.is_empty());
+    }
+
+    #[test]
+    fn all_zero_nodes_are_low_precision() {
+        let s = report_from(vec![vec![0, 0], vec![0, 0]]);
+        let plan = acquisition_plan(&s, 0.1, 0.9);
+        assert_eq!(plan.tier(0), AcquisitionTier::LowPrecision);
+        assert_eq!(plan.tier(1), AcquisitionTier::LowPrecision);
+    }
+
+    #[test]
+    #[should_panic(expected = "fraction in [0,1]")]
+    fn invalid_threshold_panics() {
+        let s = report_from(vec![vec![1]]);
+        let _ = acquisition_plan(&s, 1.5, 0.5);
+    }
+}

@@ -1,0 +1,317 @@
+//! Labelled datasets: samples, labels and feature projections.
+
+use rand::seq::SliceRandom;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+use crate::stats;
+
+/// A labelled classification dataset: `samples[i]` is a feature vector with
+/// label `labels[i] < classes`.
+///
+/// # Examples
+///
+/// ```
+/// use fannet_data::Dataset;
+/// let ds = Dataset::new(vec![vec![1.0, 2.0], vec![3.0, 4.0]], vec![0, 1], 2)?;
+/// assert_eq!(ds.len(), 2);
+/// assert_eq!(ds.features(), 2);
+/// assert_eq!(ds.class_counts(), vec![1, 1]);
+/// # Ok::<(), fannet_data::DatasetError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Dataset {
+    samples: Vec<Vec<f64>>,
+    labels: Vec<usize>,
+    classes: usize,
+}
+
+/// Error raised when constructing an inconsistent [`Dataset`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DatasetError {
+    message: String,
+}
+
+impl std::fmt::Display for DatasetError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "invalid dataset: {}", self.message)
+    }
+}
+
+impl std::error::Error for DatasetError {}
+
+impl Dataset {
+    /// Creates a dataset after validating shapes and label ranges.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DatasetError`] if samples/labels lengths differ, feature
+    /// vectors are ragged or empty, or a label is `>= classes`.
+    pub fn new(
+        samples: Vec<Vec<f64>>,
+        labels: Vec<usize>,
+        classes: usize,
+    ) -> Result<Self, DatasetError> {
+        if samples.len() != labels.len() {
+            return Err(DatasetError {
+                message: format!("{} samples but {} labels", samples.len(), labels.len()),
+            });
+        }
+        if samples.is_empty() {
+            return Err(DatasetError { message: "dataset must be non-empty".into() });
+        }
+        let width = samples[0].len();
+        if width == 0 {
+            return Err(DatasetError { message: "samples must have ≥1 feature".into() });
+        }
+        if let Some((i, s)) = samples.iter().enumerate().find(|(_, s)| s.len() != width) {
+            return Err(DatasetError {
+                message: format!("sample {i} has {} features, expected {width}", s.len()),
+            });
+        }
+        if let Some(&bad) = labels.iter().find(|&&y| y >= classes) {
+            return Err(DatasetError {
+                message: format!("label {bad} out of range for {classes} classes"),
+            });
+        }
+        Ok(Dataset { samples, labels, classes })
+    }
+
+    /// Number of samples.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// `true` if the dataset holds no samples (never true for a validated
+    /// instance; present for API completeness).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    /// Number of features per sample.
+    #[must_use]
+    pub fn features(&self) -> usize {
+        self.samples[0].len()
+    }
+
+    /// Number of classes.
+    #[must_use]
+    pub fn classes(&self) -> usize {
+        self.classes
+    }
+
+    /// The feature vectors.
+    #[must_use]
+    pub fn samples(&self) -> &[Vec<f64>] {
+        &self.samples
+    }
+
+    /// The labels, parallel to [`Dataset::samples`].
+    #[must_use]
+    pub fn labels(&self) -> &[usize] {
+        &self.labels
+    }
+
+    /// Iterates over `(sample, label)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (&[f64], usize)> {
+        self.samples
+            .iter()
+            .map(Vec::as_slice)
+            .zip(self.labels.iter().copied())
+    }
+
+    /// Column-major view: `columns()[j][i]` is feature `j` of sample `i`.
+    /// (Feature selection operates on columns.)
+    #[must_use]
+    pub fn columns(&self) -> Vec<Vec<f64>> {
+        let mut cols = vec![Vec::with_capacity(self.len()); self.features()];
+        for sample in &self.samples {
+            for (j, &v) in sample.iter().enumerate() {
+                cols[j].push(v);
+            }
+        }
+        cols
+    }
+
+    /// One feature column.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `j >= self.features()`.
+    #[must_use]
+    pub fn column(&self, j: usize) -> Vec<f64> {
+        assert!(j < self.features(), "feature {j} out of range");
+        self.samples.iter().map(|s| s[j]).collect()
+    }
+
+    /// Projects every sample onto the given feature indices (in the given
+    /// order) — the "keep only the mRMR-selected genes" step.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any index is out of range or `features` is empty.
+    #[must_use]
+    pub fn select_features(&self, features: &[usize]) -> Dataset {
+        assert!(!features.is_empty(), "must keep at least one feature");
+        assert!(
+            features.iter().all(|&j| j < self.features()),
+            "feature index out of range"
+        );
+        Dataset {
+            samples: self
+                .samples
+                .iter()
+                .map(|s| features.iter().map(|&j| s[j]).collect())
+                .collect(),
+            labels: self.labels.clone(),
+            classes: self.classes,
+        }
+    }
+
+    /// Per-class sample counts.
+    #[must_use]
+    pub fn class_counts(&self) -> Vec<usize> {
+        stats::class_counts(&self.labels, self.classes)
+    }
+
+    /// Fraction of samples with the given label.
+    #[must_use]
+    pub fn label_fraction(&self, label: usize) -> f64 {
+        stats::label_fraction(&self.labels, label)
+    }
+
+    /// The subset at the given sample indices.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an index is out of range or `indices` is empty.
+    #[must_use]
+    pub fn subset(&self, indices: &[usize]) -> Dataset {
+        assert!(!indices.is_empty(), "subset must be non-empty");
+        Dataset {
+            samples: indices.iter().map(|&i| self.samples[i].clone()).collect(),
+            labels: indices.iter().map(|&i| self.labels[i]).collect(),
+            classes: self.classes,
+        }
+    }
+
+    /// A class-balanced subsample: every class is randomly downsampled to
+    /// the size of the rarest class. Used by the training-bias ablation
+    /// (A1): retraining on a balanced set should erase the bias signal.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any class has zero samples.
+    #[must_use]
+    pub fn balanced_subsample<R: Rng>(&self, rng: &mut R) -> Dataset {
+        let counts = self.class_counts();
+        let target = *counts.iter().min().expect("≥1 class");
+        assert!(target > 0, "every class needs at least one sample to balance");
+        let mut keep: Vec<usize> = Vec::with_capacity(target * self.classes);
+        for class in 0..self.classes {
+            let mut members: Vec<usize> = (0..self.len())
+                .filter(|&i| self.labels[i] == class)
+                .collect();
+            members.shuffle(rng);
+            keep.extend(members.into_iter().take(target));
+        }
+        keep.sort_unstable();
+        self.subset(&keep)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn ds() -> Dataset {
+        Dataset::new(
+            vec![
+                vec![1.0, 10.0, 100.0],
+                vec![2.0, 20.0, 200.0],
+                vec![3.0, 30.0, 300.0],
+                vec![4.0, 40.0, 400.0],
+            ],
+            vec![0, 1, 1, 1],
+            2,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn accessors() {
+        let d = ds();
+        assert_eq!(d.len(), 4);
+        assert!(!d.is_empty());
+        assert_eq!(d.features(), 3);
+        assert_eq!(d.classes(), 2);
+        assert_eq!(d.class_counts(), vec![1, 3]);
+        assert!((d.label_fraction(1) - 0.75).abs() < 1e-12);
+        assert_eq!(d.iter().count(), 4);
+    }
+
+    #[test]
+    fn validation_errors() {
+        assert!(Dataset::new(vec![vec![1.0]], vec![0, 1], 2).is_err());
+        assert!(Dataset::new(vec![], vec![], 2).is_err());
+        assert!(Dataset::new(vec![vec![]], vec![0], 2).is_err());
+        assert!(Dataset::new(vec![vec![1.0], vec![1.0, 2.0]], vec![0, 0], 2).is_err());
+        let err = Dataset::new(vec![vec![1.0]], vec![5], 2).unwrap_err();
+        assert!(err.to_string().contains("label 5"));
+    }
+
+    #[test]
+    fn columns_and_column() {
+        let d = ds();
+        let cols = d.columns();
+        assert_eq!(cols.len(), 3);
+        assert_eq!(cols[1], vec![10.0, 20.0, 30.0, 40.0]);
+        assert_eq!(d.column(2), vec![100.0, 200.0, 300.0, 400.0]);
+    }
+
+    #[test]
+    fn feature_selection_projects_and_orders() {
+        let d = ds();
+        let p = d.select_features(&[2, 0]);
+        assert_eq!(p.features(), 2);
+        assert_eq!(p.samples()[0], vec![100.0, 1.0]);
+        assert_eq!(p.labels(), d.labels());
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn select_features_bounds_checked() {
+        let _ = ds().select_features(&[7]);
+    }
+
+    #[test]
+    fn subset_picks_rows() {
+        let d = ds();
+        let s = d.subset(&[0, 2]);
+        assert_eq!(s.len(), 2);
+        assert_eq!(s.labels(), &[0, 1]);
+        assert_eq!(s.samples()[1], vec![3.0, 30.0, 300.0]);
+    }
+
+    #[test]
+    fn balanced_subsample_equalizes_classes() {
+        let d = ds();
+        let b = d.balanced_subsample(&mut StdRng::seed_from_u64(1));
+        assert_eq!(b.class_counts(), vec![1, 1]);
+        // Deterministic for a fixed seed.
+        let b2 = d.balanced_subsample(&mut StdRng::seed_from_u64(1));
+        assert_eq!(b, b2);
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let d = ds();
+        let json = serde_json::to_string(&d).unwrap();
+        let back: Dataset = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, d);
+    }
+}

@@ -1,0 +1,131 @@
+//! Discretization of continuous gene-expression values into a small number
+//! of levels, as required by mutual-information estimation.
+//!
+//! The mRMR literature (Peng et al., 2005) discretizes microarray data into
+//! three states around the mean: below `μ − σ/2`, within `μ ± σ/2`, above
+//! `μ + σ/2`. [`Discretizer::SigmaBands`] reproduces that; an equal-width
+//! binning is provided as an alternative.
+
+use crate::stats::{mean, min_max, std_dev};
+
+/// A discretization rule mapping `f64` values to level indices.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Discretizer {
+    /// Three levels split at `μ ± k·σ` with `k = 0.5` (the mRMR convention).
+    SigmaBands,
+    /// `n` equal-width bins across the observed range.
+    EqualWidth(usize),
+}
+
+impl Discretizer {
+    /// Number of levels this rule produces.
+    #[must_use]
+    pub fn levels(self) -> usize {
+        match self {
+            Discretizer::SigmaBands => 3,
+            Discretizer::EqualWidth(n) => n,
+        }
+    }
+
+    /// Discretizes one feature column into level indices
+    /// `0..self.levels()`.
+    ///
+    /// Constant columns map to level 0 everywhere.
+    ///
+    /// # Panics
+    ///
+    /// Panics for `EqualWidth(0)`.
+    #[must_use]
+    pub fn apply(self, column: &[f64]) -> Vec<usize> {
+        match self {
+            Discretizer::SigmaBands => {
+                let m = mean(column);
+                let s = std_dev(column);
+                if s == 0.0 {
+                    return vec![0; column.len()];
+                }
+                let lo = m - 0.5 * s;
+                let hi = m + 0.5 * s;
+                column
+                    .iter()
+                    .map(|&x| {
+                        if x < lo {
+                            0
+                        } else if x > hi {
+                            2
+                        } else {
+                            1
+                        }
+                    })
+                    .collect()
+            }
+            Discretizer::EqualWidth(n) => {
+                assert!(n > 0, "equal-width binning needs at least one bin");
+                let Some((lo, hi)) = min_max(column) else {
+                    return Vec::new();
+                };
+                if lo == hi {
+                    return vec![0; column.len()];
+                }
+                let width = (hi - lo) / n as f64;
+                column
+                    .iter()
+                    .map(|&x| (((x - lo) / width) as usize).min(n - 1))
+                    .collect()
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sigma_bands_three_levels() {
+        // mean 0, std 1: thresholds at ±0.5.
+        let col = [-2.0, -0.4, 0.0, 0.4, 2.0];
+        let d = Discretizer::SigmaBands.apply(&col);
+        assert_eq!(d[0], 0);
+        assert_eq!(d[2], 1);
+        assert_eq!(d[4], 2);
+        assert_eq!(Discretizer::SigmaBands.levels(), 3);
+    }
+
+    #[test]
+    fn sigma_bands_constant_column() {
+        assert_eq!(Discretizer::SigmaBands.apply(&[5.0; 4]), vec![0; 4]);
+    }
+
+    #[test]
+    fn equal_width_bins() {
+        let col = [0.0, 1.0, 2.0, 3.0, 4.0];
+        let d = Discretizer::EqualWidth(5).apply(&col);
+        assert_eq!(d, vec![0, 1, 2, 3, 4]);
+        // Max value lands in the last bin, not out of range.
+        assert_eq!(*d.last().unwrap(), 4);
+        assert_eq!(Discretizer::EqualWidth(7).levels(), 7);
+    }
+
+    #[test]
+    fn equal_width_constant_and_empty() {
+        assert_eq!(Discretizer::EqualWidth(4).apply(&[2.0; 3]), vec![0; 3]);
+        assert!(Discretizer::EqualWidth(4).apply(&[]).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one bin")]
+    fn zero_bins_panics() {
+        let _ = Discretizer::EqualWidth(0).apply(&[1.0]);
+    }
+
+    #[test]
+    fn all_levels_in_range() {
+        let col: Vec<f64> = (0..100).map(|i| (i as f64).sin() * 10.0).collect();
+        for disc in [Discretizer::SigmaBands, Discretizer::EqualWidth(6)] {
+            let levels = disc.apply(&col);
+            assert!(levels.iter().all(|&l| l < disc.levels()));
+            assert_eq!(levels.len(), col.len());
+        }
+    }
+}

@@ -1,0 +1,367 @@
+//! Synthetic Golub-leukemia dataset generator.
+//!
+//! The paper's case study uses the classic Golub et al. ALL/AML microarray
+//! dataset: 7129 integer gene-expression attributes, 38 training samples and
+//! 34 testing samples, with ≈70 % of the *training* samples labelled ALL —
+//! the imbalance whose consequences FANNet's training-bias analysis
+//! exposes. The original CSV is a web download; this environment is
+//! offline, so [`generate`] synthesizes a dataset with the same published
+//! shape (see DESIGN.md §2 for the substitution argument):
+//!
+//! * 7129 genes, integer expression levels in the Affymetrix-like range;
+//! * exact split sizes 38/34 with the published per-class counts
+//!   (train 11 AML + 27 ALL ≈ 71 % ALL; test 14 AML + 20 ALL);
+//! * a small set of **informative genes** whose class-conditional means
+//!   differ (split between up-in-ALL and up-in-AML directions, so input
+//!   nodes acquire asymmetric noise sensitivities);
+//! * **redundant genes** that are noisy affine copies of informative ones
+//!   (so mRMR's redundancy term has real work to do);
+//! * background genes with class-independent distributions;
+//! * a configurable number of **boundary test samples** drawn slightly on
+//!   the wrong side of the class boundary (reproducing the paper's
+//!   imperfect 94.12 % test accuracy) and **near-boundary test samples**
+//!   on the correct side (giving the noise-tolerance and boundary analyses
+//!   their non-trivial structure).
+//!
+//! Label convention (paper §V-C.3): `L0` = AML (minority), `L1` = ALL
+//! (majority).
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+use crate::dataset::Dataset;
+
+/// Label index for AML (the paper's minority class `L0`).
+pub const L0_AML: usize = 0;
+/// Label index for ALL (the paper's majority class `L1`).
+pub const L1_ALL: usize = 1;
+
+/// Configuration for the synthetic Golub generator.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GolubConfig {
+    /// Total number of gene attributes (paper: 7129).
+    pub genes: usize,
+    /// Training samples per class, `[AML, ALL]` (published split: 11/27).
+    pub train_per_class: [usize; 2],
+    /// Test samples per class, `[AML, ALL]` (published split: 14/20).
+    pub test_per_class: [usize; 2],
+    /// Number of genuinely class-informative genes.
+    pub informative: usize,
+    /// Noisy affine copies per informative gene.
+    pub redundant_per_informative: usize,
+    /// Class-mean separation in units of the gene's standard deviation.
+    pub effect_size: f64,
+    /// Test samples drawn slightly on the *wrong* side of the boundary —
+    /// the paper's two zero-noise test errors (32/34 = 94.12 %).
+    pub boundary_test_samples: usize,
+    /// Mix for boundary samples: 1 = exactly on the class midpoint,
+    /// values > 1 overshoot onto the wrong side.
+    pub boundary_mix: f64,
+    /// Test samples near, but on the correct side of, the boundary — these
+    /// set the network's measurable noise tolerance.
+    pub near_test_samples: usize,
+    /// Mix for near samples (0 = at the class mean, 1 = on the midpoint).
+    pub near_mix: f64,
+    /// RNG seed; the whole dataset is a pure function of this config.
+    pub seed: u64,
+}
+
+impl GolubConfig {
+    /// The published dataset shape with moderate signal strength.
+    #[must_use]
+    pub fn paper() -> Self {
+        GolubConfig {
+            genes: 7129,
+            train_per_class: [11, 27],
+            test_per_class: [14, 20],
+            informative: 30,
+            redundant_per_informative: 3,
+            effect_size: 4.5,
+            boundary_test_samples: 2,
+            boundary_mix: 1.6,
+            near_test_samples: 4,
+            near_mix: 0.46,
+            seed: 0x601_B,
+        }
+    }
+
+    /// A reduced-size configuration for fast unit tests (500 genes, same
+    /// split sizes).
+    #[must_use]
+    pub fn small() -> Self {
+        GolubConfig { genes: 500, informative: 10, ..Self::paper() }
+    }
+
+    fn validate(&self) {
+        assert!(self.genes >= self.informative * (1 + self.redundant_per_informative),
+            "genes ({}) must fit {} informative + {} redundant",
+            self.genes, self.informative,
+            self.informative * self.redundant_per_informative);
+        assert!(self.informative > 0, "need at least one informative gene");
+        assert!(self.effect_size > 0.0, "effect size must be positive");
+        assert!(
+            (0.0..=2.0).contains(&self.boundary_mix) && (0.0..=1.0).contains(&self.near_mix),
+            "boundary_mix must be in [0,2], near_mix in [0,1]"
+        );
+        assert!(
+            self.boundary_test_samples + self.near_test_samples
+                <= self.test_per_class[0] + self.test_per_class[1],
+            "more special samples than test samples"
+        );
+    }
+}
+
+/// The generated dataset plus ground-truth metadata.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GolubLeukemia {
+    /// Training split (38 samples under [`GolubConfig::paper`]).
+    pub train: Dataset,
+    /// Testing split (34 samples under [`GolubConfig::paper`]).
+    pub test: Dataset,
+    /// Ground-truth indices of the informative genes (useful for checking
+    /// what mRMR recovers).
+    pub informative_genes: Vec<usize>,
+    /// The configuration that produced this dataset.
+    pub config: GolubConfig,
+}
+
+/// Per-gene generation plan.
+#[derive(Debug, Clone, Copy)]
+enum GenePlan {
+    /// Same distribution in both classes.
+    Background { mean: f64, sd: f64 },
+    /// Class-dependent mean: `mean ± direction·shift/2`.
+    Informative { mean: f64, sd: f64, shift: f64, direction: f64 },
+    /// Affine copy of another gene plus noise.
+    Redundant { source: usize, a: f64, b: f64, sd: f64 },
+}
+
+/// Samples a normal variate via Box–Muller (rand 0.8 has no normal
+/// distribution without `rand_distr`).
+fn normal<R: Rng>(rng: &mut R, mean: f64, sd: f64) -> f64 {
+    let u1: f64 = rng.gen_range(f64::EPSILON..1.0);
+    let u2: f64 = rng.gen_range(0.0..1.0);
+    mean + sd * (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+}
+
+/// Rounds to the integer expression level and clamps to the chip range.
+fn quantize_expression(v: f64) -> f64 {
+    v.round().clamp(-1_000.0, 30_000.0)
+}
+
+/// Generates the synthetic dataset. Deterministic in `config` (including
+/// its seed).
+///
+/// # Panics
+///
+/// Panics if the configuration is inconsistent (see field docs).
+#[must_use]
+pub fn generate(config: &GolubConfig) -> GolubLeukemia {
+    config.validate();
+    let mut rng = StdRng::seed_from_u64(config.seed);
+
+    // ---- Assign roles to gene indices ---------------------------------
+    let mut plans: Vec<Option<GenePlan>> = vec![None; config.genes];
+    // Spread informative genes across the index range deterministically.
+    let mut informative_genes = Vec::with_capacity(config.informative);
+    let stride = config.genes / (config.informative * (1 + config.redundant_per_informative));
+    let mut cursor = rng.gen_range(0..stride.max(1));
+    for i in 0..config.informative {
+        let mean = rng.gen_range(800.0..4000.0);
+        let sd = rng.gen_range(150.0..450.0);
+        let shift = config.effect_size * sd;
+        // Alternate direction so roughly half the informative genes are
+        // up-regulated in ALL and half in AML — this is what later gives
+        // the network's input nodes their asymmetric sign sensitivities.
+        let direction = if i % 2 == 0 { 1.0 } else { -1.0 };
+        plans[cursor] = Some(GenePlan::Informative { mean, sd, shift, direction });
+        informative_genes.push(cursor);
+        // Its redundant copies go right after (realistic: co-regulated
+        // genes cluster on chips by probe family).
+        let mut at = cursor;
+        for _ in 0..config.redundant_per_informative {
+            at += 1;
+            plans[at] = Some(GenePlan::Redundant {
+                source: cursor,
+                a: rng.gen_range(0.6..1.4),
+                b: rng.gen_range(-200.0..200.0),
+                sd: rng.gen_range(50.0..150.0),
+            });
+        }
+        cursor += stride.max(config.redundant_per_informative + 1);
+        cursor = cursor.min(config.genes - 1 - config.redundant_per_informative);
+    }
+    // Remaining genes are background.
+    for plan in plans.iter_mut() {
+        if plan.is_none() {
+            *plan = Some(GenePlan::Background {
+                mean: rng.gen_range(100.0..5000.0),
+                sd: rng.gen_range(80.0..600.0),
+            });
+        }
+    }
+    let plans: Vec<GenePlan> = plans.into_iter().map(|p| p.expect("all assigned")).collect();
+
+    // ---- Draw samples ---------------------------------------------------
+    let draw_sample = |rng: &mut StdRng, class: usize, mix: f64| -> Vec<f64> {
+        let mut sample = vec![0.0f64; plans.len()];
+        for (g, plan) in plans.iter().enumerate() {
+            let v = match *plan {
+                GenePlan::Background { mean, sd } => normal(rng, mean, sd),
+                GenePlan::Informative { mean, sd, shift, direction } => {
+                    let class_sign = if class == L1_ALL { 1.0 } else { -1.0 };
+                    // mix pulls the class mean toward the midpoint (mean).
+                    let offset = class_sign * direction * shift / 2.0 * (1.0 - mix);
+                    normal(rng, mean + offset, sd)
+                }
+                GenePlan::Redundant { source, a, b, sd } => {
+                    normal(rng, a * sample[source] + b, sd)
+                }
+            };
+            sample[g] = quantize_expression(v);
+        }
+        sample
+    };
+
+    let mut train_samples = Vec::new();
+    let mut train_labels = Vec::new();
+    for class in [L0_AML, L1_ALL] {
+        for _ in 0..config.train_per_class[class] {
+            train_samples.push(draw_sample(&mut rng, class, 0.0));
+            train_labels.push(class);
+        }
+    }
+
+    let mut test_samples = Vec::new();
+    let mut test_labels = Vec::new();
+    // Special-sample plan: boundary (wrong-side) samples come from the AML
+    // minority class, as do most near-boundary ones — matching the paper's
+    // finding that the fragile inputs are predominantly L0. One near sample
+    // goes to L1 so the boundary panel has structure on both sides.
+    let near_l1 = config.near_test_samples / 4;
+    let near_l0 = config.near_test_samples - near_l1;
+    let mut mix_plan: [Vec<f64>; 2] = [Vec::new(), Vec::new()];
+    mix_plan[L0_AML].extend(std::iter::repeat(config.boundary_mix).take(config.boundary_test_samples));
+    mix_plan[L0_AML].extend(std::iter::repeat(config.near_mix).take(near_l0));
+    mix_plan[L1_ALL].extend(std::iter::repeat(config.near_mix).take(near_l1));
+    for class in [L0_AML, L1_ALL] {
+        for i in 0..config.test_per_class[class] {
+            let mix = mix_plan[class].get(i).copied().unwrap_or(0.0);
+            test_samples.push(draw_sample(&mut rng, class, mix));
+            test_labels.push(class);
+        }
+    }
+
+    let train = Dataset::new(train_samples, train_labels, 2).expect("generator emits valid data");
+    let test = Dataset::new(test_samples, test_labels, 2).expect("generator emits valid data");
+    GolubLeukemia { train, test, informative_genes, config: config.clone() }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::discretize::Discretizer;
+    use crate::mrmr::{select_mrmr, MrmrScheme};
+    use crate::stats::mean;
+
+    #[test]
+    fn published_shape() {
+        let data = generate(&GolubConfig::small());
+        assert_eq!(data.train.len(), 38);
+        assert_eq!(data.test.len(), 34);
+        assert_eq!(data.train.features(), 500);
+        assert_eq!(data.train.class_counts(), vec![11, 27]);
+        assert_eq!(data.test.class_counts(), vec![14, 20]);
+        // ≈71 % of training samples are ALL (L1) — the paper's ~70 % bias.
+        let frac = data.train.label_fraction(L1_ALL);
+        assert!((frac - 27.0 / 38.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn full_size_generation_has_7129_genes() {
+        let data = generate(&GolubConfig::paper());
+        assert_eq!(data.train.features(), 7129);
+        assert_eq!(data.informative_genes.len(), 30);
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = generate(&GolubConfig::small());
+        let b = generate(&GolubConfig::small());
+        assert_eq!(a.train, b.train);
+        assert_eq!(a.test, b.test);
+        let mut other = GolubConfig::small();
+        other.seed += 1;
+        let c = generate(&other);
+        assert_ne!(a.train, c.train);
+    }
+
+    #[test]
+    fn expression_levels_are_integers_in_range() {
+        let data = generate(&GolubConfig::small());
+        for (sample, _) in data.train.iter().chain(data.test.iter()) {
+            for &v in sample {
+                assert_eq!(v, v.round(), "expression levels are integers");
+                assert!((-1000.0..=30000.0).contains(&v));
+            }
+        }
+    }
+
+    #[test]
+    fn informative_genes_separate_classes() {
+        let data = generate(&GolubConfig::small());
+        let cols = data.train.columns();
+        let labels = data.train.labels();
+        for &g in &data.informative_genes {
+            let class0: Vec<f64> = labels
+                .iter()
+                .zip(&cols[g])
+                .filter(|(&y, _)| y == L0_AML)
+                .map(|(_, &v)| v)
+                .collect();
+            let class1: Vec<f64> = labels
+                .iter()
+                .zip(&cols[g])
+                .filter(|(&y, _)| y == L1_ALL)
+                .map(|(_, &v)| v)
+                .collect();
+            let gap = (mean(&class0) - mean(&class1)).abs();
+            assert!(gap > 100.0, "gene {g} gap {gap} too small to be informative");
+        }
+    }
+
+    #[test]
+    fn mrmr_recovers_informative_structure() {
+        let data = generate(&GolubConfig::small());
+        let cols = data.train.columns();
+        let sel = select_mrmr(
+            &cols,
+            data.train.labels(),
+            5,
+            MrmrScheme::Difference,
+            Discretizer::SigmaBands,
+        );
+        // Every selected gene should be informative or a redundant copy of
+        // one (copies carry the same signal).
+        let informative_or_copy = |g: usize| {
+            data.informative_genes
+                .iter()
+                .any(|&i| g >= i && g <= i + data.config.redundant_per_informative)
+        };
+        let hits = sel.features.iter().filter(|&&g| informative_or_copy(g)).count();
+        assert!(
+            hits >= 4,
+            "mRMR found only {hits}/5 signal genes: {:?} (informative: {:?})",
+            sel.features,
+            data.informative_genes
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "must fit")]
+    fn invalid_config_panics() {
+        let bad = GolubConfig { genes: 10, ..GolubConfig::paper() };
+        let _ = generate(&bad);
+    }
+}

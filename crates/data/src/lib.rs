@@ -1,0 +1,38 @@
+//! # fannet-data
+//!
+//! Dataset substrate for the FANNet (DATE 2020) reproduction: the synthetic
+//! Golub-leukemia generator ([`golub`]), labelled [`Dataset`]s,
+//! normalization ([`normalize`]), discretization ([`discretize`]),
+//! mutual-information estimation ([`mutual_info`]) and mRMR feature
+//! selection ([`mrmr`]) — everything needed to rebuild the paper's
+//! 7129-gene → 5-input preprocessing pipeline offline.
+//!
+//! ## Example: the paper's preprocessing pipeline
+//!
+//! ```
+//! use fannet_data::{golub, mrmr, discretize::Discretizer};
+//!
+//! let data = golub::generate(&golub::GolubConfig::small());
+//! let selection = mrmr::select_mrmr(
+//!     &data.train.columns(),
+//!     data.train.labels(),
+//!     5,
+//!     mrmr::MrmrScheme::Quotient,
+//!     Discretizer::SigmaBands,
+//! );
+//! let train5 = data.train.select_features(&selection.features);
+//! assert_eq!(train5.features(), 5);
+//! assert_eq!(train5.len(), 38);
+//! ```
+
+pub mod dataset;
+pub mod discretize;
+pub mod golub;
+pub mod mrmr;
+pub mod mutual_info;
+pub mod normalize;
+pub mod stats;
+
+pub use dataset::{Dataset, DatasetError};
+pub use golub::{GolubConfig, GolubLeukemia};
+pub use normalize::Affine;

@@ -1,0 +1,156 @@
+//! Discrete entropy and mutual information.
+//!
+//! These are the primitives behind mRMR feature selection: the *relevance*
+//! of a gene is its mutual information with the class label, and the
+//! *redundancy* between two genes is their mutual information with each
+//! other, both computed over discretized expression levels.
+//!
+//! All logarithms are natural (nats); mRMR rankings are invariant to the
+//! base.
+
+/// Shannon entropy (in nats) of a discrete sample given as level indices.
+///
+/// # Examples
+///
+/// ```
+/// use fannet_data::mutual_info::entropy;
+/// assert_eq!(entropy(&[0, 0, 0]), 0.0);
+/// let h = entropy(&[0, 1]);
+/// assert!((h - (2.0f64).ln()).abs() < 1e-12); // one fair bit
+/// ```
+#[must_use]
+pub fn entropy(xs: &[usize]) -> f64 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    let levels = xs.iter().copied().max().unwrap_or(0) + 1;
+    let mut counts = vec![0usize; levels];
+    for &x in xs {
+        counts[x] += 1;
+    }
+    let n = xs.len() as f64;
+    counts
+        .into_iter()
+        .filter(|&c| c > 0)
+        .map(|c| {
+            let p = c as f64 / n;
+            -p * p.ln()
+        })
+        .sum()
+}
+
+/// Joint entropy `H(X, Y)` of two paired discrete samples.
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths.
+#[must_use]
+pub fn joint_entropy(xs: &[usize], ys: &[usize]) -> f64 {
+    assert_eq!(xs.len(), ys.len(), "joint entropy inputs must pair up");
+    if xs.is_empty() {
+        return 0.0;
+    }
+    let y_levels = ys.iter().copied().max().unwrap_or(0) + 1;
+    let x_levels = xs.iter().copied().max().unwrap_or(0) + 1;
+    let mut counts = vec![0usize; x_levels * y_levels];
+    for (&x, &y) in xs.iter().zip(ys) {
+        counts[x * y_levels + y] += 1;
+    }
+    let n = xs.len() as f64;
+    counts
+        .into_iter()
+        .filter(|&c| c > 0)
+        .map(|c| {
+            let p = c as f64 / n;
+            -p * p.ln()
+        })
+        .sum()
+}
+
+/// Mutual information `I(X; Y) = H(X) + H(Y) − H(X, Y)`, clamped at zero to
+/// absorb floating-point residue.
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths.
+///
+/// # Examples
+///
+/// ```
+/// use fannet_data::mutual_info::mutual_information;
+/// // Identical variables share all their entropy.
+/// let x = [0, 1, 0, 1];
+/// let i = mutual_information(&x, &x);
+/// assert!((i - (2.0f64).ln()).abs() < 1e-12);
+/// // Independent variables share none.
+/// let y = [0, 0, 1, 1];
+/// assert!(mutual_information(&x, &y).abs() < 1e-12);
+/// ```
+#[must_use]
+pub fn mutual_information(xs: &[usize], ys: &[usize]) -> f64 {
+    (entropy(xs) + entropy(ys) - joint_entropy(xs, ys)).max(0.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn entropy_uniform_and_degenerate() {
+        assert_eq!(entropy(&[]), 0.0);
+        assert_eq!(entropy(&[3, 3, 3]), 0.0);
+        let h4 = entropy(&[0, 1, 2, 3]);
+        assert!((h4 - (4.0f64).ln()).abs() < 1e-12);
+        // Skewed distribution has lower entropy than uniform.
+        assert!(entropy(&[0, 0, 0, 1]) < entropy(&[0, 0, 1, 1]));
+    }
+
+    #[test]
+    fn joint_entropy_bounds() {
+        let x = [0, 0, 1, 1];
+        let y = [0, 1, 0, 1];
+        let hx = entropy(&x);
+        let hy = entropy(&y);
+        let hxy = joint_entropy(&x, &y);
+        // max(H(X), H(Y)) ≤ H(X,Y) ≤ H(X) + H(Y)
+        assert!(hxy >= hx.max(hy) - 1e-12);
+        assert!(hxy <= hx + hy + 1e-12);
+        // Independence: equality with the sum.
+        assert!((hxy - (hx + hy)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mi_symmetry_and_self() {
+        let x = [0, 1, 2, 0, 1, 2, 0, 1];
+        let y = [1, 1, 0, 0, 1, 0, 1, 1];
+        let ixy = mutual_information(&x, &y);
+        let iyx = mutual_information(&y, &x);
+        assert!((ixy - iyx).abs() < 1e-12);
+        assert!((mutual_information(&x, &x) - entropy(&x)).abs() < 1e-12);
+        assert!(ixy >= 0.0);
+    }
+
+    #[test]
+    fn mi_detects_deterministic_relation() {
+        let x = [0, 1, 2, 3, 0, 1, 2, 3];
+        let y: Vec<usize> = x.iter().map(|&v| v % 2).collect();
+        let i = mutual_information(&x, &y);
+        assert!((i - entropy(&y)).abs() < 1e-12, "y is a function of x");
+    }
+
+    #[test]
+    fn mi_data_processing_inequality_flavour() {
+        // Adding noise to a copy reduces MI.
+        let x = [0, 1, 0, 1, 0, 1, 0, 1, 0, 1, 0, 1];
+        let mut noisy = x;
+        noisy[0] = 1 - noisy[0];
+        noisy[5] = 1 - noisy[5];
+        assert!(mutual_information(&x, &noisy) < mutual_information(&x, &x));
+    }
+
+    #[test]
+    #[should_panic(expected = "pair up")]
+    fn joint_length_mismatch_panics() {
+        let _ = joint_entropy(&[0], &[0, 1]);
+    }
+}

@@ -1,0 +1,249 @@
+//! Feature normalization as an explicit affine map.
+//!
+//! Training is numerically healthier on standardized inputs, but FANNet's
+//! noise model is *relative to the raw integer gene expressions*
+//! (`x' = x ± x·Δ/100`). The resolution: fit an [`Affine`] on the training
+//! columns, train on normalized data, then **fold the affine map into the
+//! first network layer** (`fannet_nn::fold`), producing a network that
+//! consumes raw integer inputs with identical semantics. The verifier then
+//! applies noise directly to the raw inputs, exactly as the paper does.
+
+use serde::{Deserialize, Serialize};
+
+use crate::dataset::Dataset;
+use crate::stats::{mean, min_max, std_dev};
+
+/// A per-feature affine normalization `x_norm[j] = (x[j] − offset[j]) · scale[j]`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Affine {
+    scale: Vec<f64>,
+    offset: Vec<f64>,
+}
+
+impl Affine {
+    /// Creates an affine map from explicit vectors.
+    ///
+    /// # Panics
+    ///
+    /// Panics if lengths differ or any scale is zero/non-finite.
+    #[must_use]
+    pub fn new(scale: Vec<f64>, offset: Vec<f64>) -> Self {
+        assert_eq!(scale.len(), offset.len(), "scale and offset must pair up");
+        assert!(
+            scale.iter().all(|s| s.is_finite() && *s != 0.0),
+            "scales must be finite and non-zero"
+        );
+        Affine { scale, offset }
+    }
+
+    /// The identity map on `n` features.
+    #[must_use]
+    pub fn identity(n: usize) -> Self {
+        Affine { scale: vec![1.0; n], offset: vec![0.0; n] }
+    }
+
+    /// Fits a z-score map (`offset = μ`, `scale = 1/σ`) on the dataset's
+    /// training columns. Constant features get scale 1 to stay invertible.
+    #[must_use]
+    pub fn fit_zscore(data: &Dataset) -> Self {
+        let mut scale = Vec::with_capacity(data.features());
+        let mut offset = Vec::with_capacity(data.features());
+        for j in 0..data.features() {
+            let col = data.column(j);
+            let sd = std_dev(&col);
+            offset.push(mean(&col));
+            scale.push(if sd > 0.0 { 1.0 / sd } else { 1.0 });
+        }
+        Affine { scale, offset }
+    }
+
+    /// Fits a scale-only map (`offset = 0`, `scale = 1/σ`).
+    ///
+    /// Unlike z-scoring, this keeps the origin fixed: when the map is later
+    /// folded into the first layer, no large mean-compensation bias is
+    /// introduced, so the network stays approximately scale-equivariant —
+    /// the property that lets far-from-boundary inputs survive even ±50 %
+    /// relative noise, as the paper's raw-integer-input network does.
+    #[must_use]
+    pub fn fit_scale_only(data: &Dataset) -> Self {
+        let mut scale = Vec::with_capacity(data.features());
+        for j in 0..data.features() {
+            let col = data.column(j);
+            let sd = std_dev(&col);
+            scale.push(if sd > 0.0 { 1.0 / sd } else { 1.0 });
+        }
+        Affine { offset: vec![0.0; data.features()], scale }
+    }
+
+    /// Fits a max-abs map (`offset = 0`, `scale = 1/max|x|`): features land
+    /// in `[-1, 1]` with the origin fixed.
+    ///
+    /// Combines the training stability of bounded features with the
+    /// scale-equivariance of [`Affine::fit_scale_only`] (no mean
+    /// compensation folded into the first-layer bias).
+    #[must_use]
+    pub fn fit_max_abs(data: &Dataset) -> Self {
+        let mut scale = Vec::with_capacity(data.features());
+        for j in 0..data.features() {
+            let col = data.column(j);
+            let max_abs = col.iter().fold(0.0f64, |m, &v| m.max(v.abs()));
+            scale.push(if max_abs > 0.0 { 1.0 / max_abs } else { 1.0 });
+        }
+        Affine { offset: vec![0.0; data.features()], scale }
+    }
+
+    /// Fits a min-max map onto `[0, 1]`. Constant features get scale 1.
+    #[must_use]
+    pub fn fit_minmax(data: &Dataset) -> Self {
+        let mut scale = Vec::with_capacity(data.features());
+        let mut offset = Vec::with_capacity(data.features());
+        for j in 0..data.features() {
+            let col = data.column(j);
+            let (lo, hi) = min_max(&col).expect("datasets are non-empty");
+            offset.push(lo);
+            scale.push(if hi > lo { 1.0 / (hi - lo) } else { 1.0 });
+        }
+        Affine { scale, offset }
+    }
+
+    /// Number of features the map covers.
+    #[must_use]
+    pub fn features(&self) -> usize {
+        self.scale.len()
+    }
+
+    /// Per-feature multiplicative factors.
+    #[must_use]
+    pub fn scale(&self) -> &[f64] {
+        &self.scale
+    }
+
+    /// Per-feature offsets subtracted before scaling.
+    #[must_use]
+    pub fn offset(&self) -> &[f64] {
+        &self.offset
+    }
+
+    /// Applies the map to one sample.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != self.features()`.
+    #[must_use]
+    pub fn apply(&self, x: &[f64]) -> Vec<f64> {
+        assert_eq!(x.len(), self.features(), "sample width mismatch");
+        x.iter()
+            .zip(self.scale.iter().zip(&self.offset))
+            .map(|(&v, (&s, &o))| (v - o) * s)
+            .collect()
+    }
+
+    /// Inverse map `x = x_norm / scale + offset`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != self.features()`.
+    #[must_use]
+    pub fn invert(&self, x_norm: &[f64]) -> Vec<f64> {
+        assert_eq!(x_norm.len(), self.features(), "sample width mismatch");
+        x_norm
+            .iter()
+            .zip(self.scale.iter().zip(&self.offset))
+            .map(|(&v, (&s, &o))| v / s + o)
+            .collect()
+    }
+
+    /// Applies the map to a whole dataset, preserving labels.
+    #[must_use]
+    pub fn apply_dataset(&self, data: &Dataset) -> Dataset {
+        let samples = data.samples().iter().map(|s| self.apply(s)).collect();
+        Dataset::new(samples, data.labels().to_vec(), data.classes())
+            .expect("normalization preserves validity")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ds() -> Dataset {
+        Dataset::new(
+            vec![vec![0.0, 100.0], vec![10.0, 200.0], vec![20.0, 300.0]],
+            vec![0, 1, 0],
+            2,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn zscore_centers_and_scales() {
+        let d = ds();
+        let z = Affine::fit_zscore(&d);
+        let nd = z.apply_dataset(&d);
+        for j in 0..nd.features() {
+            let col = nd.column(j);
+            assert!(mean(&col).abs() < 1e-12);
+            assert!((std_dev(&col) - 1.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn minmax_hits_unit_interval() {
+        let d = ds();
+        let m = Affine::fit_minmax(&d);
+        let nd = m.apply_dataset(&d);
+        for j in 0..nd.features() {
+            let (lo, hi) = min_max(&nd.column(j)).unwrap();
+            assert_eq!(lo, 0.0);
+            assert_eq!(hi, 1.0);
+        }
+    }
+
+    #[test]
+    fn apply_invert_round_trip() {
+        let d = ds();
+        let z = Affine::fit_zscore(&d);
+        let x = vec![7.0, 142.0];
+        let back = z.invert(&z.apply(&x));
+        for (a, b) in x.iter().zip(&back) {
+            assert!((a - b).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn constant_feature_stays_finite() {
+        let d = Dataset::new(vec![vec![5.0], vec![5.0]], vec![0, 1], 2).unwrap();
+        let z = Affine::fit_zscore(&d);
+        assert_eq!(z.scale(), &[1.0]);
+        let m = Affine::fit_minmax(&d);
+        let out = m.apply(&[5.0]);
+        assert!(out[0].is_finite());
+    }
+
+    #[test]
+    fn identity_is_noop() {
+        let id = Affine::identity(2);
+        assert_eq!(id.apply(&[3.0, 4.0]), vec![3.0, 4.0]);
+        assert_eq!(id.features(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "width mismatch")]
+    fn apply_checks_width() {
+        let _ = Affine::identity(2).apply(&[1.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-zero")]
+    fn zero_scale_rejected() {
+        let _ = Affine::new(vec![0.0], vec![0.0]);
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let z = Affine::fit_zscore(&ds());
+        let json = serde_json::to_string(&z).unwrap();
+        let back: Affine = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, z);
+    }
+}

@@ -1,0 +1,147 @@
+//! Small statistics helpers shared by the dataset and feature-selection
+//! modules.
+
+/// Arithmetic mean; `0.0` for an empty slice.
+///
+/// # Examples
+///
+/// ```
+/// use fannet_data::stats::mean;
+/// assert_eq!(mean(&[1.0, 2.0, 3.0]), 2.0);
+/// assert_eq!(mean(&[]), 0.0);
+/// ```
+#[must_use]
+pub fn mean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    xs.iter().sum::<f64>() / xs.len() as f64
+}
+
+/// Population variance; `0.0` for slices with fewer than two elements.
+#[must_use]
+pub fn variance(xs: &[f64]) -> f64 {
+    if xs.len() < 2 {
+        return 0.0;
+    }
+    let m = mean(xs);
+    xs.iter().map(|&x| (x - m) * (x - m)).sum::<f64>() / xs.len() as f64
+}
+
+/// Population standard deviation.
+#[must_use]
+pub fn std_dev(xs: &[f64]) -> f64 {
+    variance(xs).sqrt()
+}
+
+/// Minimum and maximum; `None` for an empty slice.
+#[must_use]
+pub fn min_max(xs: &[f64]) -> Option<(f64, f64)> {
+    let mut iter = xs.iter().copied();
+    let first = iter.next()?;
+    Some(iter.fold((first, first), |(lo, hi), x| (lo.min(x), hi.max(x))))
+}
+
+/// Pearson correlation coefficient; `0.0` when either side is constant.
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths.
+#[must_use]
+pub fn pearson(xs: &[f64], ys: &[f64]) -> f64 {
+    assert_eq!(xs.len(), ys.len(), "pearson inputs must pair up");
+    if xs.len() < 2 {
+        return 0.0;
+    }
+    let mx = mean(xs);
+    let my = mean(ys);
+    let mut cov = 0.0;
+    let mut vx = 0.0;
+    let mut vy = 0.0;
+    for (&x, &y) in xs.iter().zip(ys) {
+        cov += (x - mx) * (y - my);
+        vx += (x - mx) * (x - mx);
+        vy += (y - my) * (y - my);
+    }
+    if vx == 0.0 || vy == 0.0 {
+        return 0.0;
+    }
+    cov / (vx.sqrt() * vy.sqrt())
+}
+
+/// Counts occurrences of each label `0..classes`.
+///
+/// # Panics
+///
+/// Panics if any label is `>= classes`.
+#[must_use]
+pub fn class_counts(labels: &[usize], classes: usize) -> Vec<usize> {
+    let mut counts = vec![0usize; classes];
+    for &y in labels {
+        assert!(y < classes, "label {y} out of range for {classes} classes");
+        counts[y] += 1;
+    }
+    counts
+}
+
+/// Fraction of samples carrying `label`; `0.0` for an empty slice.
+#[must_use]
+pub fn label_fraction(labels: &[usize], label: usize) -> f64 {
+    if labels.is_empty() {
+        return 0.0;
+    }
+    labels.iter().filter(|&&y| y == label).count() as f64 / labels.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_variance_std() {
+        let xs = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0];
+        assert_eq!(mean(&xs), 5.0);
+        assert_eq!(variance(&xs), 4.0);
+        assert_eq!(std_dev(&xs), 2.0);
+        assert_eq!(variance(&[42.0]), 0.0);
+        assert_eq!(std_dev(&[]), 0.0);
+    }
+
+    #[test]
+    fn min_max_cases() {
+        assert_eq!(min_max(&[3.0, -1.0, 2.0]), Some((-1.0, 3.0)));
+        assert_eq!(min_max(&[5.0]), Some((5.0, 5.0)));
+        assert_eq!(min_max(&[]), None);
+    }
+
+    #[test]
+    fn pearson_perfect_and_anti() {
+        let xs = [1.0, 2.0, 3.0, 4.0];
+        let ys = [2.0, 4.0, 6.0, 8.0];
+        assert!((pearson(&xs, &ys) - 1.0).abs() < 1e-12);
+        let neg: Vec<f64> = ys.iter().map(|y| -y).collect();
+        assert!((pearson(&xs, &neg) + 1.0).abs() < 1e-12);
+        assert_eq!(pearson(&xs, &[1.0, 1.0, 1.0, 1.0]), 0.0);
+        assert_eq!(pearson(&[1.0], &[2.0]), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "pair up")]
+    fn pearson_length_mismatch_panics() {
+        let _ = pearson(&[1.0], &[1.0, 2.0]);
+    }
+
+    #[test]
+    fn class_counting() {
+        assert_eq!(class_counts(&[0, 1, 1, 0, 1], 2), vec![2, 3]);
+        assert_eq!(class_counts(&[], 3), vec![0, 0, 0]);
+        assert!((label_fraction(&[0, 1, 1, 1], 1) - 0.75).abs() < 1e-12);
+        assert_eq!(label_fraction(&[], 0), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn class_counts_rejects_bad_label() {
+        let _ = class_counts(&[2], 2);
+    }
+}

@@ -1,0 +1,202 @@
+//! Activation functions.
+//!
+//! The paper's case-study network uses **ReLU** in the hidden layer and a
+//! **maxpool** readout over the output nodes (i.e. the predicted class is the
+//! index of the maximal output, see Fig. 3a of the paper). The maxpool
+//! readout is modelled at the network level ([`crate::Readout`]); this module
+//! covers the per-neuron nonlinearities, including the sigmoid/softmax
+//! helpers used only during `f64` training.
+
+use fannet_numeric::Scalar;
+use serde::{Deserialize, Serialize};
+
+/// A per-neuron activation function.
+///
+/// Only piecewise-linear activations (`Identity`, `ReLU`) are admitted on
+/// the verification path; `Sigmoid` exists for training experiments and is
+/// rejected by the exact verifier (it is not closed over rationals).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Activation {
+    /// `f(x) = x` — used on output layers (classification happens in the
+    /// readout).
+    Identity,
+    /// `f(x) = max(0, x)` — the paper's hidden-layer activation.
+    ReLU,
+    /// `f(x) = 1/(1+e^{-x})` — training-only; not piecewise-linear.
+    Sigmoid,
+}
+
+impl Activation {
+    /// Applies the activation to one value.
+    ///
+    /// # Panics
+    ///
+    /// Panics for [`Activation::Sigmoid`] with a non-`f64` scalar: sigmoid
+    /// is transcendental, so it only exists on the `f64` training path. The
+    /// check is indirect (sigmoid is computed in `f64` and converted back),
+    /// so for exact scalars use [`Activation::is_piecewise_linear`] to
+    /// validate first.
+    #[must_use]
+    pub fn apply<S: Scalar>(self, x: S) -> S {
+        match self {
+            Activation::Identity => x,
+            Activation::ReLU => x.relu(),
+            Activation::Sigmoid => S::from_f64(sigmoid(x.to_f64())),
+        }
+    }
+
+    /// Applies the activation elementwise.
+    #[must_use]
+    pub fn apply_vec<S: Scalar>(self, xs: &[S]) -> Vec<S> {
+        xs.iter().map(|&x| self.apply(x)).collect()
+    }
+
+    /// Derivative with respect to the pre-activation, evaluated in `f64`
+    /// (training path only). For ReLU the subgradient at 0 is taken as 0.
+    #[must_use]
+    pub fn derivative(self, x: f64) -> f64 {
+        match self {
+            Activation::Identity => 1.0,
+            Activation::ReLU => {
+                if x > 0.0 {
+                    1.0
+                } else {
+                    0.0
+                }
+            }
+            Activation::Sigmoid => {
+                let s = sigmoid(x);
+                s * (1.0 - s)
+            }
+        }
+    }
+
+    /// `true` if the function is piecewise linear and therefore admissible
+    /// for exact verification.
+    #[must_use]
+    pub const fn is_piecewise_linear(self) -> bool {
+        matches!(self, Activation::Identity | Activation::ReLU)
+    }
+}
+
+/// Numerically stable logistic sigmoid.
+#[must_use]
+pub fn sigmoid(x: f64) -> f64 {
+    if x >= 0.0 {
+        1.0 / (1.0 + (-x).exp())
+    } else {
+        let e = x.exp();
+        e / (1.0 + e)
+    }
+}
+
+/// Numerically stable softmax (training/reporting only).
+///
+/// Returns an empty vector for empty input.
+///
+/// # Examples
+///
+/// ```
+/// use fannet_nn::activation::softmax;
+/// let p = softmax(&[1.0, 1.0]);
+/// assert!((p[0] - 0.5).abs() < 1e-12);
+/// ```
+#[must_use]
+pub fn softmax(xs: &[f64]) -> Vec<f64> {
+    let Some(max) = xs.iter().copied().reduce(f64::max) else {
+        return Vec::new();
+    };
+    let exps: Vec<f64> = xs.iter().map(|&x| (x - max).exp()).collect();
+    let total: f64 = exps.iter().sum();
+    exps.into_iter().map(|e| e / total).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fannet_numeric::Rational;
+
+    #[test]
+    fn identity_passes_through() {
+        assert_eq!(Activation::Identity.apply(-3.5f64), -3.5);
+        assert_eq!(
+            Activation::Identity.apply(Rational::new(-7, 2)),
+            Rational::new(-7, 2)
+        );
+    }
+
+    #[test]
+    fn relu_clamps_negative() {
+        assert_eq!(Activation::ReLU.apply(-1.0f64), 0.0);
+        assert_eq!(Activation::ReLU.apply(2.5f64), 2.5);
+        assert_eq!(Activation::ReLU.apply(Rational::new(-1, 3)), Rational::ZERO);
+        assert_eq!(
+            Activation::ReLU.apply(Rational::new(1, 3)),
+            Rational::new(1, 3)
+        );
+    }
+
+    #[test]
+    fn apply_vec_elementwise() {
+        assert_eq!(
+            Activation::ReLU.apply_vec(&[-1.0, 0.0, 1.0]),
+            vec![0.0, 0.0, 1.0]
+        );
+    }
+
+    #[test]
+    fn sigmoid_properties() {
+        assert!((sigmoid(0.0) - 0.5).abs() < 1e-12);
+        assert!(sigmoid(10.0) > 0.9999);
+        assert!(sigmoid(-10.0) < 0.0001);
+        // Stability at extremes: no NaN.
+        assert!(sigmoid(1e9).is_finite());
+        assert!(sigmoid(-1e9).is_finite());
+        // Symmetry: σ(-x) = 1 - σ(x).
+        for x in [-3.0, -0.5, 0.7, 4.2] {
+            assert!((sigmoid(-x) - (1.0 - sigmoid(x))).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn derivatives() {
+        assert_eq!(Activation::Identity.derivative(5.0), 1.0);
+        assert_eq!(Activation::ReLU.derivative(2.0), 1.0);
+        assert_eq!(Activation::ReLU.derivative(-2.0), 0.0);
+        assert_eq!(Activation::ReLU.derivative(0.0), 0.0);
+        let d = Activation::Sigmoid.derivative(0.0);
+        assert!((d - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn softmax_normalizes() {
+        let p = softmax(&[1.0, 2.0, 3.0]);
+        assert!((p.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+        assert!(p[2] > p[1] && p[1] > p[0]);
+        // Shift invariance.
+        let q = softmax(&[11.0, 12.0, 13.0]);
+        for (a, b) in p.iter().zip(&q) {
+            assert!((a - b).abs() < 1e-12);
+        }
+        assert!(softmax(&[]).is_empty());
+        // Large values do not overflow.
+        let r = softmax(&[1e300_f64.ln(), 0.0]);
+        assert!(r[0].is_finite() && r[1].is_finite());
+    }
+
+    #[test]
+    fn piecewise_linear_flags() {
+        assert!(Activation::Identity.is_piecewise_linear());
+        assert!(Activation::ReLU.is_piecewise_linear());
+        assert!(!Activation::Sigmoid.is_piecewise_linear());
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        for a in [Activation::Identity, Activation::ReLU, Activation::Sigmoid] {
+            let json = serde_json::to_string(&a).unwrap();
+            let back: Activation = serde_json::from_str(&json).unwrap();
+            assert_eq!(back, a);
+        }
+    }
+}

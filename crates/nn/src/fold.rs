@@ -1,0 +1,140 @@
+//! Folding an input normalization into the first network layer.
+//!
+//! Training happens on standardized features, but FANNet's noise model is
+//! relative to the **raw integer gene expressions** (`x' = x ± x·Δ/100`,
+//! paper Fig. 1/2). Given a per-feature affine normalization
+//! `x_norm[j] = (x[j] − offset[j]) · scale[j]`, this module rewrites the
+//! first layer so the composed network consumes raw inputs directly:
+//!
+//! ```text
+//! z = W·x_norm + b = (W·diag(scale))·x + (b − W·diag(scale)·offset)
+//! ```
+//!
+//! The rewrite is exact in real arithmetic, so the folded network is
+//! semantically identical to normalize-then-forward — which the tests
+//! verify — and the verifier can apply relative noise to raw inputs exactly
+//! as nuXmv does in the paper.
+
+use fannet_tensor::{Matrix, ShapeError};
+
+use crate::layer::DenseLayer;
+use crate::network::Network;
+
+/// Returns a network accepting *raw* inputs, equivalent to applying the
+/// affine normalization `(x − offset) · scale` and then `net`.
+///
+/// # Errors
+///
+/// Returns [`ShapeError`] if `scale`/`offset` lengths differ from
+/// `net.inputs()`.
+///
+/// # Examples
+///
+/// ```
+/// use fannet_nn::{fold, init, Activation};
+/// use rand::SeedableRng;
+///
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+/// let net = init::fresh_network(&mut rng, &[2, 4, 2], Activation::ReLU,
+///                               init::Init::XavierUniform);
+/// let scale = [0.5, 0.25];
+/// let offset = [10.0, -4.0];
+/// let raw_net = fold::fold_input_affine(&net, &scale, &offset)?;
+///
+/// let raw = [12.0, 0.0];
+/// let normalized: Vec<f64> = raw.iter().zip(scale.iter().zip(&offset))
+///     .map(|(&x, (&s, &o))| (x - o) * s).collect();
+/// assert_eq!(raw_net.forward(&raw)?, net.forward(&normalized)?);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+pub fn fold_input_affine(
+    net: &Network<f64>,
+    scale: &[f64],
+    offset: &[f64],
+) -> Result<Network<f64>, ShapeError> {
+    let inputs = net.inputs();
+    if scale.len() != inputs || offset.len() != inputs {
+        return Err(ShapeError::new(format!(
+            "affine of width {}/{} against network with {inputs} inputs",
+            scale.len(),
+            offset.len()
+        )));
+    }
+    let first = &net.layers()[0];
+    let w = first.weights();
+    let mut folded_w = Matrix::zeros(w.rows(), w.cols());
+    let mut folded_b = first.biases().to_vec();
+    for r in 0..w.rows() {
+        for c in 0..w.cols() {
+            let scaled = w[(r, c)] * scale[c];
+            folded_w[(r, c)] = scaled;
+            folded_b[r] -= scaled * offset[c];
+        }
+    }
+    let mut layers = Vec::with_capacity(net.layers().len());
+    layers.push(DenseLayer::new(folded_w, folded_b, first.activation())?);
+    layers.extend(net.layers()[1..].iter().cloned());
+    Network::new(layers, net.readout())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::activation::Activation;
+    use crate::init::{fresh_network, Init};
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    #[test]
+    fn folded_network_matches_normalize_then_forward() {
+        let mut rng = StdRng::seed_from_u64(17);
+        let net = fresh_network(&mut rng, &[5, 20, 2], Activation::ReLU, Init::XavierUniform);
+        let scale: Vec<f64> = (0..5).map(|_| rng.gen_range(0.001..0.1)).collect();
+        let offset: Vec<f64> = (0..5).map(|_| rng.gen_range(-500.0..3000.0)).collect();
+        let folded = fold_input_affine(&net, &scale, &offset).unwrap();
+
+        for _ in 0..100 {
+            let raw: Vec<f64> = (0..5).map(|_| rng.gen_range(-100.0..8000.0)).collect();
+            let normalized: Vec<f64> = raw
+                .iter()
+                .zip(scale.iter().zip(&offset))
+                .map(|(&x, (&s, &o))| (x - o) * s)
+                .collect();
+            let a = folded.forward(&raw).unwrap();
+            let b = net.forward(&normalized).unwrap();
+            for (x, y) in a.iter().zip(&b) {
+                assert!((x - y).abs() < 1e-9, "folded {x} vs normalized {y}");
+            }
+            assert_eq!(
+                folded.classify(&raw).unwrap(),
+                net.classify(&normalized).unwrap()
+            );
+        }
+    }
+
+    #[test]
+    fn identity_affine_is_noop() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let net = fresh_network(&mut rng, &[3, 4, 2], Activation::ReLU, Init::XavierUniform);
+        let folded = fold_input_affine(&net, &[1.0; 3], &[0.0; 3]).unwrap();
+        assert_eq!(folded, net);
+    }
+
+    #[test]
+    fn only_first_layer_changes() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let net = fresh_network(&mut rng, &[3, 4, 4, 2], Activation::ReLU, Init::XavierUniform);
+        let folded = fold_input_affine(&net, &[2.0; 3], &[1.0; 3]).unwrap();
+        assert_eq!(folded.layers()[1], net.layers()[1]);
+        assert_eq!(folded.layers()[2], net.layers()[2]);
+        assert_ne!(folded.layers()[0], net.layers()[0]);
+    }
+
+    #[test]
+    fn width_mismatch_rejected() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let net = fresh_network(&mut rng, &[3, 4, 2], Activation::ReLU, Init::XavierUniform);
+        assert!(fold_input_affine(&net, &[1.0; 2], &[0.0; 3]).is_err());
+        assert!(fold_input_affine(&net, &[1.0; 3], &[0.0; 4]).is_err());
+    }
+}

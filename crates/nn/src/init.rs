@@ -1,0 +1,166 @@
+//! Deterministic weight initialization.
+//!
+//! All initializers take an explicit RNG so the entire reproduction is
+//! seed-deterministic: the same seed yields the same trained network, the
+//! same counterexamples and the same report numbers.
+
+use fannet_numeric::Scalar;
+use fannet_tensor::Matrix;
+use rand::Rng;
+
+use crate::activation::Activation;
+use crate::layer::DenseLayer;
+use crate::network::{Network, Readout};
+
+/// Weight-initialization scheme.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Init {
+    /// Xavier/Glorot uniform: `U(-√(6/(fan_in+fan_out)), +√(6/(fan_in+fan_out)))`.
+    XavierUniform,
+    /// He/Kaiming uniform: `U(-√(6/fan_in), +√(6/fan_in))` — suited to ReLU.
+    HeUniform,
+    /// Uniform in `[-bound, bound]`.
+    Uniform(f64),
+}
+
+impl Init {
+    fn bound(self, fan_in: usize, fan_out: usize) -> f64 {
+        match self {
+            Init::XavierUniform => (6.0 / (fan_in + fan_out) as f64).sqrt(),
+            Init::HeUniform => (6.0 / fan_in as f64).sqrt(),
+            Init::Uniform(b) => b,
+        }
+    }
+
+    /// Samples a weight matrix of shape `fan_out × fan_in`.
+    pub fn weights<R: Rng>(self, rng: &mut R, fan_in: usize, fan_out: usize) -> Matrix<f64> {
+        let b = self.bound(fan_in, fan_out);
+        let data: Vec<f64> = (0..fan_in * fan_out)
+            .map(|_| rng.gen_range(-b..=b))
+            .collect();
+        Matrix::from_vec(fan_out, fan_in, data).expect("generated buffer has exact size")
+    }
+}
+
+/// Builds a fresh fully-connected classifier with the given layer sizes:
+/// hidden layers use `hidden_activation`, the output layer is `Identity`
+/// with a maxpool readout (the paper's architecture).
+///
+/// # Panics
+///
+/// Panics if `sizes` has fewer than two entries or contains a zero.
+///
+/// # Examples
+///
+/// ```
+/// use fannet_nn::{init, Activation};
+/// use rand::SeedableRng;
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(42);
+/// let net = init::fresh_network(&mut rng, &[5, 20, 2], Activation::ReLU, init::Init::XavierUniform);
+/// assert_eq!(net.topology(), vec![5, 20, 2]);
+/// ```
+pub fn fresh_network<R: Rng>(
+    rng: &mut R,
+    sizes: &[usize],
+    hidden_activation: Activation,
+    init: Init,
+) -> Network<f64> {
+    assert!(sizes.len() >= 2, "need at least input and output sizes");
+    assert!(sizes.iter().all(|&s| s > 0), "layer sizes must be positive");
+    let mut layers = Vec::with_capacity(sizes.len() - 1);
+    for (i, pair) in sizes.windows(2).enumerate() {
+        let (fan_in, fan_out) = (pair[0], pair[1]);
+        let act = if i + 2 == sizes.len() {
+            Activation::Identity
+        } else {
+            hidden_activation
+        };
+        let weights = init.weights(rng, fan_in, fan_out);
+        let layer = DenseLayer::new(weights, vec![f64::zero(); fan_out], act)
+            .expect("bias length matches rows by construction");
+        layers.push(layer);
+    }
+    Network::new(layers, Readout::MaxPool).expect("sizes chain by construction")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn deterministic_for_fixed_seed() {
+        let a = fresh_network(
+            &mut StdRng::seed_from_u64(7),
+            &[5, 20, 2],
+            Activation::ReLU,
+            Init::XavierUniform,
+        );
+        let b = fresh_network(
+            &mut StdRng::seed_from_u64(7),
+            &[5, 20, 2],
+            Activation::ReLU,
+            Init::XavierUniform,
+        );
+        assert_eq!(a, b);
+        let c = fresh_network(
+            &mut StdRng::seed_from_u64(8),
+            &[5, 20, 2],
+            Activation::ReLU,
+            Init::XavierUniform,
+        );
+        assert_ne!(a, c, "different seeds must give different weights");
+    }
+
+    #[test]
+    fn architecture_matches_request() {
+        let net = fresh_network(
+            &mut StdRng::seed_from_u64(1),
+            &[6, 10, 4, 3],
+            Activation::ReLU,
+            Init::HeUniform,
+        );
+        assert_eq!(net.topology(), vec![6, 10, 4, 3]);
+        assert_eq!(net.layers()[0].activation(), Activation::ReLU);
+        assert_eq!(net.layers()[1].activation(), Activation::ReLU);
+        assert_eq!(net.layers()[2].activation(), Activation::Identity);
+    }
+
+    #[test]
+    fn bounds_respected() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let w = Init::Uniform(0.25).weights(&mut rng, 50, 50);
+        assert!(w.as_slice().iter().all(|v| v.abs() <= 0.25));
+        let x = Init::XavierUniform.weights(&mut rng, 8, 8);
+        let bound = (6.0 / 16.0_f64).sqrt();
+        assert!(x.as_slice().iter().all(|v| v.abs() <= bound));
+        let h = Init::HeUniform.weights(&mut rng, 6, 8);
+        let hbound = 1.0;
+        assert!(h.as_slice().iter().all(|v| v.abs() <= hbound));
+    }
+
+    #[test]
+    fn biases_start_at_zero() {
+        let net = fresh_network(
+            &mut StdRng::seed_from_u64(1),
+            &[5, 20, 2],
+            Activation::ReLU,
+            Init::XavierUniform,
+        );
+        for layer in net.layers() {
+            assert!(layer.biases().iter().all(|&b| b == 0.0));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least input and output")]
+    fn too_few_sizes_panics() {
+        let _ = fresh_network(
+            &mut StdRng::seed_from_u64(1),
+            &[5],
+            Activation::ReLU,
+            Init::XavierUniform,
+        );
+    }
+}

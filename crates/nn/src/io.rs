@@ -1,0 +1,155 @@
+//! Saving and loading trained networks.
+//!
+//! Models serialize to a small self-describing JSON document (via serde),
+//! so a network trained by one example binary can be re-analysed by
+//! another, and regression tests can pin exact trained weights.
+
+use std::fmt;
+use std::fs;
+use std::path::Path;
+
+use fannet_numeric::Scalar;
+use serde::de::DeserializeOwned;
+use serde::Serialize;
+
+use crate::network::Network;
+
+/// Error raised while saving or loading a model.
+#[derive(Debug)]
+pub enum ModelIoError {
+    /// Underlying filesystem failure.
+    Io(std::io::Error),
+    /// Malformed or incompatible model document.
+    Format(String),
+}
+
+impl fmt::Display for ModelIoError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ModelIoError::Io(e) => write!(f, "model i/o failed: {e}"),
+            ModelIoError::Format(msg) => write!(f, "invalid model document: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for ModelIoError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ModelIoError::Io(e) => Some(e),
+            ModelIoError::Format(_) => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for ModelIoError {
+    fn from(e: std::io::Error) -> Self {
+        ModelIoError::Io(e)
+    }
+}
+
+/// Serializes a network to a pretty-printed JSON string.
+///
+/// # Errors
+///
+/// Returns [`ModelIoError::Format`] if serialization fails (should not
+/// happen for well-formed networks).
+pub fn to_json<S: Scalar + Serialize>(net: &Network<S>) -> Result<String, ModelIoError> {
+    serde_json::to_string_pretty(net).map_err(|e| ModelIoError::Format(e.to_string()))
+}
+
+/// Parses a network from JSON produced by [`to_json`].
+///
+/// # Errors
+///
+/// Returns [`ModelIoError::Format`] on malformed input.
+pub fn from_json<S: Scalar + DeserializeOwned>(json: &str) -> Result<Network<S>, ModelIoError> {
+    serde_json::from_str(json).map_err(|e| ModelIoError::Format(e.to_string()))
+}
+
+/// Writes a network to `path` as JSON.
+///
+/// # Errors
+///
+/// Returns [`ModelIoError`] on serialization or filesystem failure.
+pub fn save<S: Scalar + Serialize>(
+    net: &Network<S>,
+    path: impl AsRef<Path>,
+) -> Result<(), ModelIoError> {
+    fs::write(path, to_json(net)?)?;
+    Ok(())
+}
+
+/// Reads a network from a JSON file written by [`save`].
+///
+/// # Errors
+///
+/// Returns [`ModelIoError`] on filesystem or parse failure.
+pub fn load<S: Scalar + DeserializeOwned>(
+    path: impl AsRef<Path>,
+) -> Result<Network<S>, ModelIoError> {
+    let text = fs::read_to_string(path)?;
+    from_json(&text)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::activation::Activation;
+    use crate::init::{fresh_network, Init};
+    use fannet_numeric::Rational;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use std::error::Error as _;
+
+    fn sample() -> Network<f64> {
+        fresh_network(
+            &mut StdRng::seed_from_u64(1),
+            &[3, 4, 2],
+            Activation::ReLU,
+            Init::XavierUniform,
+        )
+    }
+
+    #[test]
+    fn json_round_trip_f64() {
+        let net = sample();
+        let json = to_json(&net).unwrap();
+        let back: Network<f64> = from_json(&json).unwrap();
+        assert_eq!(back, net);
+    }
+
+    #[test]
+    fn json_round_trip_rational_is_exact() {
+        let net = crate::quantize::to_rational(&sample(), 16);
+        let json = to_json(&net).unwrap();
+        let back: Network<Rational> = from_json(&json).unwrap();
+        assert_eq!(back, net);
+    }
+
+    #[test]
+    fn file_round_trip() {
+        let dir = std::env::temp_dir().join("fannet-io-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("model.json");
+        let net = sample();
+        save(&net, &path).unwrap();
+        let back: Network<f64> = load(&path).unwrap();
+        assert_eq!(back, net);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn malformed_json_rejected() {
+        assert!(from_json::<f64>("{not json").is_err());
+        assert!(from_json::<f64>("{\"layers\": []}").is_err());
+        let err = from_json::<f64>("null").unwrap_err();
+        assert!(err.to_string().contains("invalid model document"));
+    }
+
+    #[test]
+    fn missing_file_is_io_error() {
+        let err = load::<f64>("/nonexistent/path/model.json").unwrap_err();
+        assert!(matches!(err, ModelIoError::Io(_)));
+        assert!(err.source().is_some());
+    }
+}

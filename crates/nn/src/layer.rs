@@ -1,0 +1,195 @@
+//! A fully-connected layer: affine transform plus activation.
+
+use fannet_numeric::Scalar;
+use fannet_tensor::{Matrix, ShapeError};
+use serde::{Deserialize, Serialize};
+
+use crate::activation::Activation;
+
+/// One fully-connected layer `a = σ(W·x + b)`.
+///
+/// `W` is `outputs × inputs`, `b` has length `outputs`.
+///
+/// # Examples
+///
+/// ```
+/// use fannet_nn::{Activation, DenseLayer};
+/// use fannet_tensor::Matrix;
+///
+/// let w = Matrix::from_rows(vec![vec![1.0, -1.0]])?;
+/// let layer = DenseLayer::new(w, vec![0.5], Activation::ReLU)?;
+/// assert_eq!(layer.forward(&[2.0, 1.0])?, vec![1.5]);
+/// assert_eq!(layer.forward(&[0.0, 1.0])?, vec![0.0]); // clamped by ReLU
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DenseLayer<S> {
+    weights: Matrix<S>,
+    biases: Vec<S>,
+    activation: Activation,
+}
+
+impl<S: Scalar> DenseLayer<S> {
+    /// Creates a layer, validating that `biases.len() == weights.rows()`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ShapeError`] on a bias/weight row-count mismatch.
+    pub fn new(
+        weights: Matrix<S>,
+        biases: Vec<S>,
+        activation: Activation,
+    ) -> Result<Self, ShapeError> {
+        if biases.len() != weights.rows() {
+            return Err(ShapeError::new(format!(
+                "layer: {} biases for a weight matrix with {} rows",
+                biases.len(),
+                weights.rows()
+            )));
+        }
+        Ok(DenseLayer { weights, biases, activation })
+    }
+
+    /// Number of input features.
+    #[must_use]
+    pub fn inputs(&self) -> usize {
+        self.weights.cols()
+    }
+
+    /// Number of output neurons.
+    #[must_use]
+    pub fn outputs(&self) -> usize {
+        self.weights.rows()
+    }
+
+    /// The weight matrix (`outputs × inputs`).
+    #[must_use]
+    pub fn weights(&self) -> &Matrix<S> {
+        &self.weights
+    }
+
+    /// Mutable access to the weight matrix (training).
+    pub fn weights_mut(&mut self) -> &mut Matrix<S> {
+        &mut self.weights
+    }
+
+    /// The bias vector.
+    #[must_use]
+    pub fn biases(&self) -> &[S] {
+        &self.biases
+    }
+
+    /// Mutable access to the bias vector (training).
+    pub fn biases_mut(&mut self) -> &mut Vec<S> {
+        &mut self.biases
+    }
+
+    /// The activation function.
+    #[must_use]
+    pub fn activation(&self) -> Activation {
+        self.activation
+    }
+
+    /// Pre-activation `z = W·x + b`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ShapeError`] if `x.len() != self.inputs()`.
+    pub fn preactivation(&self, x: &[S]) -> Result<Vec<S>, ShapeError> {
+        let mut z = self.weights.matvec(x)?;
+        for (zi, b) in z.iter_mut().zip(&self.biases) {
+            *zi = *zi + *b;
+        }
+        Ok(z)
+    }
+
+    /// Full forward pass `σ(W·x + b)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ShapeError`] if `x.len() != self.inputs()`.
+    pub fn forward(&self, x: &[S]) -> Result<Vec<S>, ShapeError> {
+        Ok(self.activation.apply_vec(&self.preactivation(x)?))
+    }
+
+    /// Converts the layer to another scalar type via an elementwise map.
+    #[must_use]
+    pub fn map<T: Scalar>(&self, mut f: impl FnMut(&S) -> T) -> DenseLayer<T> {
+        DenseLayer {
+            weights: self.weights.map(&mut f),
+            biases: self.biases.iter().map(&mut f).collect(),
+            activation: self.activation,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fannet_numeric::Rational;
+
+    fn layer() -> DenseLayer<f64> {
+        DenseLayer::new(
+            Matrix::from_rows(vec![vec![1.0, 2.0], vec![-1.0, 0.5]]).unwrap(),
+            vec![0.0, 1.0],
+            Activation::ReLU,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn shape_accessors() {
+        let l = layer();
+        assert_eq!(l.inputs(), 2);
+        assert_eq!(l.outputs(), 2);
+        assert_eq!(l.activation(), Activation::ReLU);
+        assert_eq!(l.biases(), &[0.0, 1.0]);
+    }
+
+    #[test]
+    fn bias_mismatch_rejected() {
+        let err = DenseLayer::new(
+            Matrix::<f64>::zeros(2, 2),
+            vec![0.0; 3],
+            Activation::Identity,
+        )
+        .unwrap_err();
+        assert!(err.to_string().contains("3 biases"));
+    }
+
+    #[test]
+    fn preactivation_and_forward() {
+        let l = layer();
+        let z = l.preactivation(&[1.0, 1.0]).unwrap();
+        assert_eq!(z, vec![3.0, 0.5]);
+        let a = l.forward(&[1.0, -1.0]).unwrap();
+        // z = [1-2, -1-0.5+1] = [-1, -0.5] → relu → [0, 0]
+        assert_eq!(a, vec![0.0, 0.0]);
+        assert!(l.forward(&[1.0]).is_err());
+    }
+
+    #[test]
+    fn map_to_rational_preserves_semantics() {
+        let l = layer();
+        let q = l.map(|v| Rational::from_f64_exact(*v).unwrap());
+        let x = [Rational::from_integer(1), Rational::from_integer(1)];
+        let y = q.forward(&x).unwrap();
+        assert_eq!(y, vec![Rational::from_integer(3), Rational::new(1, 2)]);
+    }
+
+    #[test]
+    fn mutable_access_for_training() {
+        let mut l = layer();
+        l.weights_mut()[(0, 0)] = 10.0;
+        l.biases_mut()[1] = -1.0;
+        assert_eq!(l.preactivation(&[1.0, 0.0]).unwrap(), vec![10.0, -2.0]);
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let l = layer();
+        let json = serde_json::to_string(&l).unwrap();
+        let back: DenseLayer<f64> = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, l);
+    }
+}

@@ -1,0 +1,342 @@
+//! The feed-forward fully-connected network type.
+//!
+//! A [`Network`] is a chain of [`DenseLayer`]s plus a [`Readout`] that turns
+//! the final layer's activations into a class label. The paper's case-study
+//! network (Fig. 3a) is `5 → 20(ReLU) → 2(identity)` with a **maxpool
+//! readout**: the predicted label is the output node with the maximal
+//! activation (`L0 ≥ L1 → L0`, `L1 > L0 → L1`).
+
+use fannet_numeric::Scalar;
+use fannet_tensor::{vector, ShapeError};
+use serde::{Deserialize, Serialize};
+
+use crate::layer::DenseLayer;
+
+/// How the final layer's activations are turned into a class label.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[non_exhaustive]
+pub enum Readout {
+    /// Maxpool over the output nodes: the label is the index of the maximal
+    /// output, ties breaking toward the lower index (the paper's
+    /// `L0 ≥ L1 → L0` rule).
+    MaxPool,
+}
+
+/// A feed-forward fully-connected classifier.
+///
+/// # Examples
+///
+/// ```
+/// use fannet_nn::{Activation, DenseLayer, Network, Readout};
+/// use fannet_tensor::Matrix;
+///
+/// let hidden = DenseLayer::new(
+///     Matrix::from_rows(vec![vec![1.0, 0.0], vec![0.0, 1.0]])?,
+///     vec![0.0, 0.0],
+///     Activation::ReLU,
+/// )?;
+/// let output = DenseLayer::new(
+///     Matrix::from_rows(vec![vec![1.0, -1.0], vec![-1.0, 1.0]])?,
+///     vec![0.0, 0.0],
+///     Activation::Identity,
+/// )?;
+/// let net = Network::new(vec![hidden, output], Readout::MaxPool)?;
+/// assert_eq!(net.classify(&[3.0, 1.0])?, 0);
+/// assert_eq!(net.classify(&[1.0, 3.0])?, 1);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Network<S> {
+    layers: Vec<DenseLayer<S>>,
+    readout: Readout,
+}
+
+impl<S: Scalar> Network<S> {
+    /// Creates a network, validating that consecutive layer shapes chain.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ShapeError`] if `layers` is empty or the output size of a
+    /// layer differs from the input size of the next.
+    pub fn new(layers: Vec<DenseLayer<S>>, readout: Readout) -> Result<Self, ShapeError> {
+        if layers.is_empty() {
+            return Err(ShapeError::new("network must have at least one layer"));
+        }
+        for (i, pair) in layers.windows(2).enumerate() {
+            if pair[0].outputs() != pair[1].inputs() {
+                return Err(ShapeError::new(format!(
+                    "layer {i} emits {} values but layer {} expects {}",
+                    pair[0].outputs(),
+                    i + 1,
+                    pair[1].inputs()
+                )));
+            }
+        }
+        Ok(Network { layers, readout })
+    }
+
+    /// Number of input features.
+    #[must_use]
+    pub fn inputs(&self) -> usize {
+        self.layers[0].inputs()
+    }
+
+    /// Number of output nodes (class labels).
+    #[must_use]
+    pub fn outputs(&self) -> usize {
+        self.layers.last().expect("validated non-empty").outputs()
+    }
+
+    /// Layer sizes from input to output, e.g. `[5, 20, 2]`.
+    #[must_use]
+    pub fn topology(&self) -> Vec<usize> {
+        let mut t = vec![self.inputs()];
+        t.extend(self.layers.iter().map(DenseLayer::outputs));
+        t
+    }
+
+    /// The layers, input-side first.
+    #[must_use]
+    pub fn layers(&self) -> &[DenseLayer<S>] {
+        &self.layers
+    }
+
+    /// Mutable access to the layers (training).
+    pub fn layers_mut(&mut self) -> &mut [DenseLayer<S>] {
+        &mut self.layers
+    }
+
+    /// The readout rule.
+    #[must_use]
+    pub fn readout(&self) -> Readout {
+        self.readout
+    }
+
+    /// Total number of trainable parameters.
+    #[must_use]
+    pub fn parameter_count(&self) -> usize {
+        self.layers
+            .iter()
+            .map(|l| l.inputs() * l.outputs() + l.outputs())
+            .sum()
+    }
+
+    /// `true` if every activation is piecewise-linear, i.e. the network is
+    /// admissible for exact verification.
+    #[must_use]
+    pub fn is_piecewise_linear(&self) -> bool {
+        self.layers
+            .iter()
+            .all(|l| l.activation().is_piecewise_linear())
+    }
+
+    /// Forward pass returning the output-layer activations.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ShapeError`] if `x.len() != self.inputs()`.
+    pub fn forward(&self, x: &[S]) -> Result<Vec<S>, ShapeError> {
+        let mut a = x.to_vec();
+        for layer in &self.layers {
+            a = layer.forward(&a)?;
+        }
+        Ok(a)
+    }
+
+    /// Forward pass keeping every layer's pre-activation and activation.
+    ///
+    /// Index 0 of `activations` is the input itself; entry `l+1` corresponds
+    /// to layer `l`. Used by the trainer (backprop) and by the SMV
+    /// translation, which needs named intermediate signals.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ShapeError`] if `x.len() != self.inputs()`.
+    pub fn forward_trace(&self, x: &[S]) -> Result<ForwardTrace<S>, ShapeError> {
+        let mut activations = vec![x.to_vec()];
+        let mut preactivations = Vec::with_capacity(self.layers.len());
+        for layer in &self.layers {
+            let z = layer.preactivation(activations.last().expect("non-empty"))?;
+            let a = layer.activation().apply_vec(&z);
+            preactivations.push(z);
+            activations.push(a);
+        }
+        Ok(ForwardTrace { preactivations, activations })
+    }
+
+    /// Classifies an input: runs [`Network::forward`] and applies the
+    /// readout.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ShapeError`] if `x.len() != self.inputs()`.
+    pub fn classify(&self, x: &[S]) -> Result<usize, ShapeError> {
+        let out = self.forward(x)?;
+        Ok(self.readout_label(&out))
+    }
+
+    /// Applies only the readout rule to output activations.
+    #[must_use]
+    pub fn readout_label(&self, outputs: &[S]) -> usize {
+        match self.readout {
+            Readout::MaxPool => vector::argmax(outputs).expect("network has ≥1 output"),
+        }
+    }
+
+    /// The classification margin for `label`: `out[label] - max(out[other])`.
+    ///
+    /// Positive ⇔ the readout (with its lower-index tie-break) certainly
+    /// picks `label` when `label` is the lowest maximal index; the exact
+    /// boundary case margin = 0 classifies as `label` only if no *lower*
+    /// index attains the max. A strictly positive margin is therefore the
+    /// sound criterion used by the verifier.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ShapeError`] if `x.len() != self.inputs()`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `label >= self.outputs()`.
+    pub fn margin(&self, x: &[S], label: usize) -> Result<S, ShapeError> {
+        let out = self.forward(x)?;
+        assert!(label < out.len(), "label {label} out of range");
+        let best_other = out
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| *i != label)
+            .map(|(_, v)| *v)
+            .reduce(|a, b| a.max_val(b))
+            .expect("network has ≥2 outputs for margin");
+        Ok(out[label] - best_other)
+    }
+
+    /// Converts the network to another scalar type via an elementwise map
+    /// over all parameters.
+    #[must_use]
+    pub fn map<T: Scalar>(&self, mut f: impl FnMut(&S) -> T) -> Network<T> {
+        Network {
+            layers: self.layers.iter().map(|l| l.map(&mut f)).collect(),
+            readout: self.readout,
+        }
+    }
+}
+
+/// All intermediate signals of one forward pass.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ForwardTrace<S> {
+    /// Pre-activations `z_l = W_l·a_{l-1} + b_l`, one entry per layer.
+    pub preactivations: Vec<Vec<S>>,
+    /// Activations; entry 0 is the input, entry `l+1` is layer `l`'s output.
+    pub activations: Vec<Vec<S>>,
+}
+
+impl<S: Scalar> ForwardTrace<S> {
+    /// The network output (final activation vector).
+    #[must_use]
+    pub fn output(&self) -> &[S] {
+        self.activations.last().expect("trace has ≥1 entry")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::activation::Activation;
+    use fannet_numeric::Rational;
+    use fannet_tensor::Matrix;
+
+    fn xor_like() -> Network<f64> {
+        // 2-2-2 network distinguishing x0>x1 from x1>x0.
+        let hidden = DenseLayer::new(
+            Matrix::from_rows(vec![vec![1.0, -1.0], vec![-1.0, 1.0]]).unwrap(),
+            vec![0.0, 0.0],
+            Activation::ReLU,
+        )
+        .unwrap();
+        let output = DenseLayer::new(
+            Matrix::from_rows(vec![vec![1.0, -1.0], vec![-1.0, 1.0]]).unwrap(),
+            vec![0.0, 0.0],
+            Activation::Identity,
+        )
+        .unwrap();
+        Network::new(vec![hidden, output], Readout::MaxPool).unwrap()
+    }
+
+    #[test]
+    fn topology_and_counts() {
+        let net = xor_like();
+        assert_eq!(net.topology(), vec![2, 2, 2]);
+        assert_eq!(net.inputs(), 2);
+        assert_eq!(net.outputs(), 2);
+        assert_eq!(net.parameter_count(), 4 + 2 + 4 + 2);
+        assert!(net.is_piecewise_linear());
+        assert_eq!(net.readout(), Readout::MaxPool);
+    }
+
+    #[test]
+    fn shape_chain_validated() {
+        let a = DenseLayer::new(Matrix::<f64>::zeros(3, 2), vec![0.0; 3], Activation::ReLU)
+            .unwrap();
+        let b = DenseLayer::new(Matrix::<f64>::zeros(2, 4), vec![0.0; 2], Activation::Identity)
+            .unwrap();
+        let err = Network::new(vec![a, b], Readout::MaxPool).unwrap_err();
+        assert!(err.to_string().contains("layer 0 emits 3"));
+        assert!(Network::<f64>::new(vec![], Readout::MaxPool).is_err());
+    }
+
+    #[test]
+    fn classify_both_sides() {
+        let net = xor_like();
+        assert_eq!(net.classify(&[2.0, 0.0]).unwrap(), 0);
+        assert_eq!(net.classify(&[0.0, 2.0]).unwrap(), 1);
+        // Tie breaks toward the lower index (paper's L0 ≥ L1 → L0).
+        assert_eq!(net.classify(&[1.0, 1.0]).unwrap(), 0);
+    }
+
+    #[test]
+    fn margin_sign_matches_classification() {
+        let net = xor_like();
+        assert!(net.margin(&[2.0, 0.0], 0).unwrap() > 0.0);
+        assert!(net.margin(&[2.0, 0.0], 1).unwrap() < 0.0);
+        assert_eq!(net.margin(&[1.0, 1.0], 0).unwrap(), 0.0);
+    }
+
+    #[test]
+    fn forward_trace_consistent_with_forward() {
+        let net = xor_like();
+        let x = [1.5, -0.5];
+        let trace = net.forward_trace(&x).unwrap();
+        assert_eq!(trace.activations.len(), 3);
+        assert_eq!(trace.preactivations.len(), 2);
+        assert_eq!(trace.activations[0], x.to_vec());
+        assert_eq!(trace.output(), net.forward(&x).unwrap().as_slice());
+        // Hidden pre-activation: [x0-x1, x1-x0] = [2, -2]; relu → [2, 0].
+        assert_eq!(trace.preactivations[0], vec![2.0, -2.0]);
+        assert_eq!(trace.activations[1], vec![2.0, 0.0]);
+    }
+
+    #[test]
+    fn exact_rational_forward_matches_f64() {
+        let net = xor_like();
+        let qnet = net.map(|v| Rational::from_f64_exact(*v).unwrap());
+        for x in [[2.0, 0.0], [0.0, 2.0], [0.7, 0.9]] {
+            let fx = net.classify(&x).unwrap();
+            let qx = qnet
+                .classify(&[
+                    Rational::from_f64_exact(x[0]).unwrap(),
+                    Rational::from_f64_exact(x[1]).unwrap(),
+                ])
+                .unwrap();
+            assert_eq!(fx, qx, "f64 and exact classification must agree on {x:?}");
+        }
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let net = xor_like();
+        let json = serde_json::to_string(&net).unwrap();
+        let back: Network<f64> = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, net);
+    }
+}

@@ -1,0 +1,184 @@
+//! Quantization of trained `f64` networks into exact [`Rational`] and
+//! fixed-point [`Fixed`] parameter domains.
+//!
+//! FANNet's "behaviour extraction" step (Fig. 2 of the paper) translates a
+//! trained network into the model checker's language. nuXmv works over
+//! exact reals/integers, so the translation implicitly fixes an exact value
+//! for every weight; we make that step explicit: each `f64` weight is
+//! rounded to the nearest rational with a caller-chosen power-of-two
+//! denominator. With `DEFAULT_DENOM_BITS` = 20 the rounding error per
+//! parameter is ≤ 2⁻²¹, far below any decision boundary the 5–20–2 network
+//! produces on integer-valued inputs; the validation property **P1**
+//! (`fannet-core::behavior`) then *proves* that the quantized model agrees
+//! with the float model on the whole test set before any noise analysis
+//! begins.
+
+use fannet_numeric::{Fixed, Rational};
+
+use crate::network::Network;
+
+/// Default denominator precision (bits) for weight quantization.
+pub const DEFAULT_DENOM_BITS: u32 = 20;
+
+/// Quantizes every parameter to the nearest rational with denominator
+/// `2^denom_bits`, yielding the exact network analysed by the verifier.
+///
+/// # Panics
+///
+/// Panics if `denom_bits >= 127` (the denominator would overflow `i128`) or
+/// if a parameter is not finite.
+///
+/// # Examples
+///
+/// ```
+/// use fannet_nn::{quantize, Activation, DenseLayer, Network, Readout};
+/// use fannet_tensor::Matrix;
+/// use fannet_numeric::Rational;
+///
+/// let layer = DenseLayer::new(
+///     Matrix::from_rows(vec![vec![0.3333333333f64]])?,
+///     vec![0.0],
+///     Activation::Identity,
+/// )?;
+/// let net = Network::new(vec![layer], Readout::MaxPool)?;
+/// let exact = quantize::to_rational(&net, 20);
+/// let w = exact.layers()[0].weights()[(0, 0)];
+/// assert_eq!(w.denom(), 1 << 20); // nearest 20-bit dyadic to 1/3
+/// assert!((w.to_f64() - 1.0 / 3.0).abs() < 1e-6);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[must_use]
+pub fn to_rational(net: &Network<f64>, denom_bits: u32) -> Network<Rational> {
+    assert!(denom_bits < 127, "denominator 2^{denom_bits} would overflow i128");
+    let den = 1i128 << denom_bits;
+    net.map(|&w| Rational::from_f64_approx(w, den))
+}
+
+/// Quantizes with the default precision ([`DEFAULT_DENOM_BITS`]).
+#[must_use]
+pub fn to_rational_default(net: &Network<f64>) -> Network<Rational> {
+    to_rational(net, DEFAULT_DENOM_BITS)
+}
+
+/// Converts a network to the Q32.32 fixed-point datapath (deployment
+/// simulation; *not* used for verification).
+#[must_use]
+pub fn to_fixed(net: &Network<f64>) -> Network<Fixed> {
+    net.map(|&w| Fixed::from_f64(w))
+}
+
+/// Converts an exact rational network back to `f64` (reporting).
+#[must_use]
+pub fn to_f64(net: &Network<Rational>) -> Network<f64> {
+    net.map(|w| w.to_f64())
+}
+
+/// The largest absolute quantization error across all parameters, as an
+/// exact rational — useful for error-budget arguments in reports.
+#[must_use]
+pub fn max_quantization_error(net: &Network<f64>, denom_bits: u32) -> Rational {
+    let q = to_rational(net, denom_bits);
+    let mut worst = Rational::ZERO;
+    for (orig, quant) in net.layers().iter().zip(q.layers()) {
+        let pairs = orig
+            .weights()
+            .as_slice()
+            .iter()
+            .zip(quant.weights().as_slice())
+            .chain(orig.biases().iter().zip(quant.biases()));
+        for (&fw, &qw) in pairs {
+            let exact = Rational::from_f64_exact(fw).expect("trained weights are finite");
+            let err = (exact - qw).abs();
+            if err > worst {
+                worst = err;
+            }
+        }
+    }
+    worst
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::activation::Activation;
+    use crate::init::{fresh_network, Init};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn sample_net() -> Network<f64> {
+        fresh_network(
+            &mut StdRng::seed_from_u64(99),
+            &[5, 20, 2],
+            Activation::ReLU,
+            Init::XavierUniform,
+        )
+    }
+
+    #[test]
+    fn quantization_error_bounded_by_half_ulp() {
+        let net = sample_net();
+        for bits in [8, 16, 20] {
+            let bound = Rational::new(1, 1i128 << (bits + 1));
+            let worst = max_quantization_error(&net, bits);
+            assert!(
+                worst <= bound,
+                "bits={bits}: worst error {worst} exceeds {bound}"
+            );
+        }
+    }
+
+    #[test]
+    fn higher_precision_never_worse() {
+        let net = sample_net();
+        let coarse = max_quantization_error(&net, 8);
+        let fine = max_quantization_error(&net, 20);
+        assert!(fine <= coarse);
+    }
+
+    #[test]
+    fn quantized_net_classifies_like_float_net() {
+        let net = sample_net();
+        let q = to_rational_default(&net);
+        let mut rng = StdRng::seed_from_u64(5);
+        use rand::Rng;
+        for _ in 0..50 {
+            let x: Vec<f64> = (0..5).map(|_| rng.gen_range(-100.0..100.0)).collect();
+            let fx = net.classify(&x).unwrap();
+            let qx = q
+                .classify(
+                    &x.iter()
+                        .map(|&v| Rational::from_f64_exact(v).unwrap())
+                        .collect::<Vec<_>>(),
+                )
+                .unwrap();
+            // With 20-bit quantization and margins not astronomically small
+            // the classifications agree; tolerate no disagreement here since
+            // the seed gives comfortable margins.
+            assert_eq!(fx, qx, "disagreement at {x:?}");
+        }
+    }
+
+    #[test]
+    fn fixed_point_round_trip_is_close() {
+        let net = sample_net();
+        let fx = to_fixed(&net);
+        let back = fx.map(|v| v.to_f64());
+        for (a, b) in net.layers().iter().zip(back.layers()) {
+            for (&wa, &wb) in a.weights().as_slice().iter().zip(b.weights().as_slice()) {
+                assert!((wa - wb).abs() < 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn to_f64_round_trip() {
+        let net = sample_net();
+        let q = to_rational(&net, 30);
+        let back = to_f64(&q);
+        for (a, b) in net.layers().iter().zip(back.layers()) {
+            for (&wa, &wb) in a.weights().as_slice().iter().zip(b.weights().as_slice()) {
+                assert!((wa - wb).abs() < 1e-8);
+            }
+        }
+    }
+}

@@ -1,0 +1,415 @@
+//! Signed Q32.32 fixed-point arithmetic.
+//!
+//! FANNet targets networks deployed in embedded/safety-critical systems,
+//! where inference typically runs on fixed-point datapaths rather than
+//! floating point. [`Fixed`] models such a datapath: a signed 64-bit value
+//! with 32 fractional bits, saturating on overflow (the usual DSP
+//! convention), with rounding-to-nearest on multiplication.
+//!
+//! The exact decision procedure in `fannet-verify` never uses `Fixed`
+//! (soundness requires [`Rational`](crate::Rational)); `Fixed` exists so the
+//! examples and benches can compare an "as-deployed" quantized datapath
+//! against the exact model, and so quantization error itself can be studied.
+
+use std::cmp::Ordering;
+use std::fmt;
+use std::ops::{Add, AddAssign, Div, Mul, MulAssign, Neg, Sub, SubAssign};
+
+use serde::{Deserialize, Serialize};
+
+use crate::rational::Rational;
+
+/// Number of fractional bits in the Q32.32 format.
+pub const FRAC_BITS: u32 = 32;
+/// The scale factor `2^32` as an `i128`.
+const SCALE: i128 = 1i128 << FRAC_BITS;
+
+/// A signed Q32.32 fixed-point number with saturating arithmetic.
+///
+/// # Examples
+///
+/// ```
+/// use fannet_numeric::Fixed;
+/// let a = Fixed::from_f64(1.5);
+/// let b = Fixed::from_f64(2.25);
+/// assert_eq!((a * b).to_f64(), 3.375);
+/// assert_eq!((a + b).to_f64(), 3.75);
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Fixed {
+    raw: i64,
+}
+
+impl Fixed {
+    /// Zero in Q32.32.
+    pub const ZERO: Fixed = Fixed { raw: 0 };
+    /// One in Q32.32.
+    pub const ONE: Fixed = Fixed { raw: 1i64 << FRAC_BITS };
+    /// The largest representable value (saturation bound).
+    pub const MAX: Fixed = Fixed { raw: i64::MAX };
+    /// The smallest representable value (saturation bound).
+    pub const MIN: Fixed = Fixed { raw: i64::MIN };
+
+    /// Builds a value from its raw Q32.32 bit pattern.
+    #[must_use]
+    pub const fn from_raw(raw: i64) -> Self {
+        Fixed { raw }
+    }
+
+    /// Returns the raw Q32.32 bit pattern.
+    #[must_use]
+    pub const fn to_raw(self) -> i64 {
+        self.raw
+    }
+
+    /// Converts from `f64`, rounding to nearest and saturating at the format
+    /// bounds. NaN maps to zero.
+    #[must_use]
+    pub fn from_f64(v: f64) -> Self {
+        if v.is_nan() {
+            return Self::ZERO;
+        }
+        let scaled = v * SCALE as f64;
+        if scaled >= i64::MAX as f64 {
+            Self::MAX
+        } else if scaled <= i64::MIN as f64 {
+            Self::MIN
+        } else {
+            Fixed { raw: scaled.round_ties_even() as i64 }
+        }
+    }
+
+    /// Converts from an integer, saturating at the format bounds.
+    #[must_use]
+    pub fn from_int(v: i64) -> Self {
+        let wide = i128::from(v) << FRAC_BITS;
+        Self::from_wide(wide)
+    }
+
+    /// Converts to the nearest `f64`.
+    #[must_use]
+    pub fn to_f64(self) -> f64 {
+        self.raw as f64 / SCALE as f64
+    }
+
+    /// Converts to the *exactly equal* rational `raw / 2^32`.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use fannet_numeric::{Fixed, Rational};
+    /// assert_eq!(Fixed::from_f64(0.25).to_rational(), Rational::new(1, 4));
+    /// ```
+    #[must_use]
+    pub fn to_rational(self) -> Rational {
+        Rational::new(i128::from(self.raw), SCALE)
+    }
+
+    /// Rounds a rational to the nearest representable Q32.32 value,
+    /// saturating at the format bounds.
+    #[must_use]
+    pub fn from_rational(r: Rational) -> Self {
+        // round(r * 2^32) = floor(r * 2^32 + 1/2)
+        let scaled = r.checked_mul(Rational::from_integer(SCALE));
+        match scaled {
+            Some(s) => {
+                let half = Rational::new(1, 2);
+                Self::from_wide((s + half).floor())
+            }
+            None => {
+                if r.is_negative() {
+                    Self::MIN
+                } else {
+                    Self::MAX
+                }
+            }
+        }
+    }
+
+    fn from_wide(wide: i128) -> Self {
+        if wide > i128::from(i64::MAX) {
+            Self::MAX
+        } else if wide < i128::from(i64::MIN) {
+            Self::MIN
+        } else {
+            Fixed { raw: wide as i64 }
+        }
+    }
+
+    /// Saturating addition.
+    #[must_use]
+    pub fn saturating_add(self, rhs: Self) -> Self {
+        Fixed { raw: self.raw.saturating_add(rhs.raw) }
+    }
+
+    /// Saturating subtraction.
+    #[must_use]
+    pub fn saturating_sub(self, rhs: Self) -> Self {
+        Fixed { raw: self.raw.saturating_sub(rhs.raw) }
+    }
+
+    /// Saturating multiplication with round-to-nearest-even on the dropped
+    /// fractional bits.
+    #[must_use]
+    pub fn saturating_mul(self, rhs: Self) -> Self {
+        let wide = i128::from(self.raw) * i128::from(rhs.raw);
+        // Round to nearest: add half ulp before shifting (arith shift floors).
+        let rounded = (wide + (1i128 << (FRAC_BITS - 1))) >> FRAC_BITS;
+        Self::from_wide(rounded)
+    }
+
+    /// Saturating division; saturates (by sign) on division by zero, the
+    /// customary behaviour for a non-trapping datapath.
+    #[must_use]
+    pub fn saturating_div(self, rhs: Self) -> Self {
+        if rhs.raw == 0 {
+            return if self.raw >= 0 { Self::MAX } else { Self::MIN };
+        }
+        let wide = (i128::from(self.raw) << FRAC_BITS) / i128::from(rhs.raw);
+        Self::from_wide(wide)
+    }
+
+    /// Absolute value (saturating at `MAX` for `MIN`).
+    #[must_use]
+    pub fn abs(self) -> Self {
+        if self.raw == i64::MIN {
+            Self::MAX
+        } else {
+            Fixed { raw: self.raw.abs() }
+        }
+    }
+
+    /// The larger of `self` and `other`.
+    #[must_use]
+    pub fn max(self, other: Self) -> Self {
+        if self.raw >= other.raw {
+            self
+        } else {
+            other
+        }
+    }
+
+    /// The smaller of `self` and `other`.
+    #[must_use]
+    pub fn min(self, other: Self) -> Self {
+        if self.raw <= other.raw {
+            self
+        } else {
+            other
+        }
+    }
+
+    /// Rectified linear unit: `max(self, 0)`.
+    #[must_use]
+    pub fn relu(self) -> Self {
+        self.max(Self::ZERO)
+    }
+
+    /// Returns `true` if the value is exactly zero.
+    #[must_use]
+    pub const fn is_zero(self) -> bool {
+        self.raw == 0
+    }
+}
+
+impl Default for Fixed {
+    fn default() -> Self {
+        Self::ZERO
+    }
+}
+
+impl fmt::Debug for Fixed {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Fixed({} ~ {})", self.raw, self.to_f64())
+    }
+}
+
+impl fmt::Display for Fixed {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.to_f64())
+    }
+}
+
+impl PartialOrd for Fixed {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Fixed {
+    fn cmp(&self, other: &Self) -> Ordering {
+        self.raw.cmp(&other.raw)
+    }
+}
+
+impl Add for Fixed {
+    type Output = Fixed;
+    fn add(self, rhs: Self) -> Self::Output {
+        self.saturating_add(rhs)
+    }
+}
+
+impl Sub for Fixed {
+    type Output = Fixed;
+    fn sub(self, rhs: Self) -> Self::Output {
+        self.saturating_sub(rhs)
+    }
+}
+
+impl Mul for Fixed {
+    type Output = Fixed;
+    fn mul(self, rhs: Self) -> Self::Output {
+        self.saturating_mul(rhs)
+    }
+}
+
+impl Div for Fixed {
+    type Output = Fixed;
+    fn div(self, rhs: Self) -> Self::Output {
+        self.saturating_div(rhs)
+    }
+}
+
+impl Neg for Fixed {
+    type Output = Fixed;
+    fn neg(self) -> Self::Output {
+        Fixed { raw: self.raw.checked_neg().unwrap_or(i64::MAX) }
+    }
+}
+
+impl AddAssign for Fixed {
+    fn add_assign(&mut self, rhs: Self) {
+        *self = *self + rhs;
+    }
+}
+
+impl SubAssign for Fixed {
+    fn sub_assign(&mut self, rhs: Self) {
+        *self = *self - rhs;
+    }
+}
+
+impl MulAssign for Fixed {
+    fn mul_assign(&mut self, rhs: Self) {
+        *self = *self * rhs;
+    }
+}
+
+impl std::iter::Sum for Fixed {
+    fn sum<I: Iterator<Item = Self>>(iter: I) -> Self {
+        iter.fold(Fixed::ZERO, |acc, x| acc + x)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constants() {
+        assert_eq!(Fixed::ZERO.to_f64(), 0.0);
+        assert_eq!(Fixed::ONE.to_f64(), 1.0);
+        assert!(Fixed::MAX > Fixed::ONE);
+        assert!(Fixed::MIN < -Fixed::ONE);
+    }
+
+    #[test]
+    fn f64_round_trip_within_ulp() {
+        for v in [0.0, 1.0, -1.0, 0.5, -0.125, 3.141592653589793, -1e4, 1e-8] {
+            let f = Fixed::from_f64(v);
+            assert!(
+                (f.to_f64() - v).abs() <= 1.0 / SCALE as f64,
+                "round-trip error too large for {v}: got {}",
+                f.to_f64()
+            );
+        }
+    }
+
+    #[test]
+    fn nan_maps_to_zero() {
+        assert_eq!(Fixed::from_f64(f64::NAN), Fixed::ZERO);
+    }
+
+    #[test]
+    fn saturation_at_bounds() {
+        assert_eq!(Fixed::from_f64(1e30), Fixed::MAX);
+        assert_eq!(Fixed::from_f64(-1e30), Fixed::MIN);
+        assert_eq!(Fixed::MAX + Fixed::ONE, Fixed::MAX);
+        assert_eq!(Fixed::MIN - Fixed::ONE, Fixed::MIN);
+        assert_eq!(Fixed::MAX * Fixed::MAX, Fixed::MAX);
+        assert_eq!(Fixed::MIN * Fixed::MAX, Fixed::MIN);
+    }
+
+    #[test]
+    fn exact_dyadic_multiplication() {
+        let a = Fixed::from_f64(1.5);
+        let b = Fixed::from_f64(-2.25);
+        assert_eq!((a * b).to_f64(), -3.375);
+        assert_eq!((a * Fixed::ZERO), Fixed::ZERO);
+        assert_eq!((a * Fixed::ONE), a);
+    }
+
+    #[test]
+    fn division() {
+        let a = Fixed::from_f64(3.0);
+        let b = Fixed::from_f64(2.0);
+        assert_eq!((a / b).to_f64(), 1.5);
+        assert_eq!(a / Fixed::ZERO, Fixed::MAX);
+        assert_eq!((-a) / Fixed::ZERO, Fixed::MIN);
+    }
+
+    #[test]
+    fn to_rational_is_exact() {
+        let f = Fixed::from_f64(0.3125);
+        assert_eq!(f.to_rational(), Rational::new(5, 16));
+        assert_eq!(Fixed::ONE.to_rational(), Rational::ONE);
+    }
+
+    #[test]
+    fn from_rational_rounds_to_nearest() {
+        let third = Rational::new(1, 3);
+        let f = Fixed::from_rational(third);
+        let err = (f.to_rational() - third).abs();
+        assert!(err <= Rational::new(1, SCALE), "rounding error {err} too large");
+        assert_eq!(Fixed::from_rational(Rational::new(1, 4)).to_f64(), 0.25);
+    }
+
+    #[test]
+    fn from_int_and_ordering() {
+        assert_eq!(Fixed::from_int(7).to_f64(), 7.0);
+        assert_eq!(Fixed::from_int(-3).to_f64(), -3.0);
+        assert!(Fixed::from_int(2) < Fixed::from_int(3));
+        assert!(Fixed::from_int(-2) > Fixed::from_int(-3));
+    }
+
+    #[test]
+    fn relu_min_max_abs() {
+        let neg = Fixed::from_f64(-2.5);
+        let pos = Fixed::from_f64(1.25);
+        assert_eq!(neg.relu(), Fixed::ZERO);
+        assert_eq!(pos.relu(), pos);
+        assert_eq!(neg.abs(), Fixed::from_f64(2.5));
+        assert_eq!(neg.max(pos), pos);
+        assert_eq!(neg.min(pos), neg);
+    }
+
+    #[test]
+    fn sum_iterator() {
+        let total: Fixed = (1..=4).map(Fixed::from_int).sum();
+        assert_eq!(total, Fixed::from_int(10));
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let f = Fixed::from_f64(-1.75);
+        let json = serde_json::to_string(&f).unwrap();
+        let back: Fixed = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, f);
+    }
+
+    #[test]
+    fn debug_display_nonempty() {
+        assert!(!format!("{:?}", Fixed::ZERO).is_empty());
+        assert_eq!(Fixed::from_f64(0.5).to_string(), "0.5");
+    }
+}

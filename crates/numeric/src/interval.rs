@@ -1,0 +1,419 @@
+//! Exact interval arithmetic over [`Rational`] endpoints.
+//!
+//! The branch-and-bound verifier in `fannet-verify` abstracts a *box* of
+//! noise vectors by propagating one [`Interval`] per neuron through the
+//! network. Because endpoints are rationals and every transformer below is
+//! exactly the tightest enclosure for its concrete operation (intervals are
+//! closed under affine maps, `max` and ReLU), the propagation is both
+//! **sound** (never loses a behaviour) and, for monotone paths, tight.
+//!
+//! Intervals are closed: `[lo, hi]` with `lo <= hi`.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::rational::Rational;
+
+/// A closed rational interval `[lo, hi]`.
+///
+/// # Examples
+///
+/// ```
+/// use fannet_numeric::{Interval, Rational};
+/// let a = Interval::new(Rational::from_integer(-1), Rational::from_integer(2));
+/// let b = Interval::point(Rational::from_integer(3));
+/// let sum = a + b;
+/// assert_eq!(sum, Interval::new(Rational::from_integer(2), Rational::from_integer(5)));
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Interval {
+    lo: Rational,
+    hi: Rational,
+}
+
+impl Interval {
+    /// The degenerate interval `[0, 0]`.
+    pub const ZERO: Interval = Interval { lo: Rational::ZERO, hi: Rational::ZERO };
+
+    /// Creates `[lo, hi]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo > hi`.
+    #[must_use]
+    pub fn new(lo: Rational, hi: Rational) -> Self {
+        assert!(lo <= hi, "interval lower bound {lo} exceeds upper bound {hi}");
+        Interval { lo, hi }
+    }
+
+    /// Creates the degenerate (single-point) interval `[v, v]`.
+    #[must_use]
+    pub const fn point(v: Rational) -> Self {
+        Interval { lo: v, hi: v }
+    }
+
+    /// Creates the hull of two values given in either order.
+    #[must_use]
+    pub fn hull_of(a: Rational, b: Rational) -> Self {
+        if a <= b {
+            Interval { lo: a, hi: b }
+        } else {
+            Interval { lo: b, hi: a }
+        }
+    }
+
+    /// The lower endpoint.
+    #[must_use]
+    pub const fn lo(&self) -> Rational {
+        self.lo
+    }
+
+    /// The upper endpoint.
+    #[must_use]
+    pub const fn hi(&self) -> Rational {
+        self.hi
+    }
+
+    /// The width `hi - lo`.
+    #[must_use]
+    pub fn width(&self) -> Rational {
+        self.hi - self.lo
+    }
+
+    /// `true` if the interval is a single point.
+    #[must_use]
+    pub fn is_point(&self) -> bool {
+        self.lo == self.hi
+    }
+
+    /// `true` if `v` lies within the closed interval.
+    #[must_use]
+    pub fn contains(&self, v: Rational) -> bool {
+        self.lo <= v && v <= self.hi
+    }
+
+    /// `true` if `other` is entirely within `self`.
+    #[must_use]
+    pub fn contains_interval(&self, other: &Interval) -> bool {
+        self.lo <= other.lo && other.hi <= self.hi
+    }
+
+    /// `true` if the intervals share at least one point.
+    #[must_use]
+    pub fn intersects(&self, other: &Interval) -> bool {
+        self.lo <= other.hi && other.lo <= self.hi
+    }
+
+    /// The midpoint `(lo + hi) / 2`.
+    #[must_use]
+    pub fn midpoint(&self) -> Rational {
+        (self.lo + self.hi) * Rational::new(1, 2)
+    }
+
+    /// Smallest interval containing both operands.
+    #[must_use]
+    pub fn hull(&self, other: &Interval) -> Self {
+        Interval {
+            lo: self.lo.min(other.lo),
+            hi: self.hi.max(other.hi),
+        }
+    }
+
+    /// Exact interval ReLU: `[max(lo,0), max(hi,0)]` (tight since ReLU is
+    /// monotone).
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use fannet_numeric::{Interval, Rational};
+    /// let x = Interval::new(Rational::from_integer(-2), Rational::from_integer(3));
+    /// assert_eq!(x.relu(), Interval::new(Rational::ZERO, Rational::from_integer(3)));
+    /// ```
+    #[must_use]
+    pub fn relu(&self) -> Self {
+        Interval {
+            lo: self.lo.relu(),
+            hi: self.hi.relu(),
+        }
+    }
+
+    /// Exact interval `max`: `[max(lo_a, lo_b), max(hi_a, hi_b)]` (tight
+    /// since `max` is monotone in both arguments).
+    #[must_use]
+    pub fn max_interval(&self, other: &Interval) -> Self {
+        Interval {
+            lo: self.lo.max(other.lo),
+            hi: self.hi.max(other.hi),
+        }
+    }
+
+    /// Multiplies by a scalar constant (endpoints swap for negative scale).
+    #[must_use]
+    pub fn scale(&self, k: Rational) -> Self {
+        if k.is_negative() {
+            Interval { lo: self.hi * k, hi: self.lo * k }
+        } else {
+            Interval { lo: self.lo * k, hi: self.hi * k }
+        }
+    }
+
+    /// Adds a scalar constant to both endpoints.
+    #[must_use]
+    pub fn shift(&self, k: Rational) -> Self {
+        Interval { lo: self.lo + k, hi: self.hi + k }
+    }
+
+    /// General interval multiplication (min/max over the four endpoint
+    /// products). Needed for the relative-noise transformer
+    /// `x · (1 + p/100)` when both factors are intervals.
+    #[must_use]
+    pub fn mul_interval(&self, other: &Interval) -> Self {
+        let p1 = self.lo * other.lo;
+        let p2 = self.lo * other.hi;
+        let p3 = self.hi * other.lo;
+        let p4 = self.hi * other.hi;
+        Interval {
+            lo: p1.min(p2).min(p3).min(p4),
+            hi: p1.max(p2).max(p3).max(p4),
+        }
+    }
+
+    /// Splits at the midpoint into two halves covering `self`.
+    ///
+    /// For point intervals both halves equal `self`.
+    #[must_use]
+    pub fn bisect(&self) -> (Interval, Interval) {
+        let mid = self.midpoint();
+        (
+            Interval { lo: self.lo, hi: mid },
+            Interval { lo: mid, hi: self.hi },
+        )
+    }
+
+    /// Splits an *integer grid* interval into two halves with no shared
+    /// integer point: `[lo, m]` and `[m+1, hi]` where `m = floor(midpoint)`.
+    ///
+    /// Returns `None` if the interval contains at most one integer (cannot be
+    /// split further on the grid).
+    #[must_use]
+    pub fn bisect_integer(&self) -> Option<(Interval, Interval)> {
+        let lo_int = self.lo.ceil();
+        let hi_int = self.hi.floor();
+        if hi_int <= lo_int {
+            return None;
+        }
+        let mid = (lo_int + hi_int).div_euclid(2);
+        Some((
+            Interval::new(Rational::from_integer(lo_int), Rational::from_integer(mid)),
+            Interval::new(
+                Rational::from_integer(mid + 1),
+                Rational::from_integer(hi_int),
+            ),
+        ))
+    }
+
+    /// Number of integers contained in the closed interval.
+    #[must_use]
+    pub fn integer_count(&self) -> i128 {
+        let lo = self.lo.ceil();
+        let hi = self.hi.floor();
+        (hi - lo + 1).max(0)
+    }
+}
+
+impl fmt::Debug for Interval {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{}, {}]", self.lo, self.hi)
+    }
+}
+
+impl fmt::Display for Interval {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{}, {}]", self.lo, self.hi)
+    }
+}
+
+impl std::ops::Add for Interval {
+    type Output = Interval;
+    fn add(self, rhs: Self) -> Self::Output {
+        Interval {
+            lo: self.lo + rhs.lo,
+            hi: self.hi + rhs.hi,
+        }
+    }
+}
+
+impl std::ops::Sub for Interval {
+    type Output = Interval;
+    fn sub(self, rhs: Self) -> Self::Output {
+        Interval {
+            lo: self.lo - rhs.hi,
+            hi: self.hi - rhs.lo,
+        }
+    }
+}
+
+impl std::ops::Neg for Interval {
+    type Output = Interval;
+    fn neg(self) -> Self::Output {
+        Interval { lo: -self.hi, hi: -self.lo }
+    }
+}
+
+impl From<Rational> for Interval {
+    fn from(v: Rational) -> Self {
+        Interval::point(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn int(a: i128, b: i128) -> Interval {
+        Interval::new(Rational::from_integer(a), Rational::from_integer(b))
+    }
+
+    #[test]
+    fn construction_and_accessors() {
+        let i = int(-2, 5);
+        assert_eq!(i.lo(), Rational::from_integer(-2));
+        assert_eq!(i.hi(), Rational::from_integer(5));
+        assert_eq!(i.width(), Rational::from_integer(7));
+        assert!(!i.is_point());
+        assert!(Interval::point(Rational::ONE).is_point());
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds upper bound")]
+    fn inverted_bounds_panic() {
+        let _ = int(3, 2);
+    }
+
+    #[test]
+    fn hull_of_orders_endpoints() {
+        assert_eq!(
+            Interval::hull_of(Rational::from_integer(5), Rational::from_integer(-1)),
+            int(-1, 5)
+        );
+    }
+
+    #[test]
+    fn containment_and_intersection() {
+        let outer = int(-10, 10);
+        let inner = int(-1, 1);
+        assert!(outer.contains_interval(&inner));
+        assert!(!inner.contains_interval(&outer));
+        assert!(outer.contains(Rational::ZERO));
+        assert!(!inner.contains(Rational::from_integer(5)));
+        assert!(outer.intersects(&inner));
+        assert!(int(0, 2).intersects(&int(2, 4)));
+        assert!(!int(0, 1).intersects(&int(2, 3)));
+    }
+
+    #[test]
+    fn addition_subtraction_negation() {
+        let a = int(-1, 2);
+        let b = int(3, 4);
+        assert_eq!(a + b, int(2, 6));
+        assert_eq!(a - b, int(-5, -1));
+        assert_eq!(-a, int(-2, 1));
+    }
+
+    #[test]
+    fn scaling() {
+        let a = int(-1, 2);
+        assert_eq!(a.scale(Rational::from_integer(3)), int(-3, 6));
+        assert_eq!(a.scale(Rational::from_integer(-2)), int(-4, 2));
+        assert_eq!(a.scale(Rational::ZERO), Interval::ZERO);
+        assert_eq!(a.shift(Rational::from_integer(10)), int(9, 12));
+    }
+
+    #[test]
+    fn multiplication_covers_sign_cases() {
+        // pos × pos
+        assert_eq!(int(1, 2).mul_interval(&int(3, 4)), int(3, 8));
+        // neg × pos
+        assert_eq!(int(-2, -1).mul_interval(&int(3, 4)), int(-8, -3));
+        // mixed × mixed
+        assert_eq!(int(-2, 3).mul_interval(&int(-1, 4)), int(-8, 12));
+        // symmetric around zero
+        assert_eq!(int(-1, 1).mul_interval(&int(-1, 1)), int(-1, 1));
+    }
+
+    #[test]
+    fn mul_interval_soundness_on_samples() {
+        let a = int(-3, 2);
+        let b = int(-1, 5);
+        let prod = a.mul_interval(&b);
+        for x in -3..=2 {
+            for y in -1..=5 {
+                let v = Rational::from_integer(x * y);
+                assert!(prod.contains(v), "{prod:?} should contain {v}");
+            }
+        }
+    }
+
+    #[test]
+    fn relu_transformer() {
+        assert_eq!(int(-5, -1).relu(), int(0, 0));
+        assert_eq!(int(-5, 3).relu(), int(0, 3));
+        assert_eq!(int(2, 3).relu(), int(2, 3));
+    }
+
+    #[test]
+    fn max_transformer() {
+        assert_eq!(int(-5, 1).max_interval(&int(0, 2)), int(0, 2));
+        assert_eq!(int(3, 4).max_interval(&int(0, 2)), int(3, 4));
+        // Overlapping: lo/hi computed pointwise.
+        assert_eq!(int(0, 5).max_interval(&int(2, 3)), int(2, 5));
+    }
+
+    #[test]
+    fn hull_and_midpoint() {
+        let a = int(-1, 1);
+        let b = int(4, 6);
+        assert_eq!(a.hull(&b), int(-1, 6));
+        assert_eq!(a.midpoint(), Rational::ZERO);
+        assert_eq!(b.midpoint(), Rational::from_integer(5));
+    }
+
+    #[test]
+    fn bisect_covers() {
+        let a = int(0, 10);
+        let (l, r) = a.bisect();
+        assert_eq!(l.hi(), r.lo());
+        assert_eq!(l.lo(), a.lo());
+        assert_eq!(r.hi(), a.hi());
+    }
+
+    #[test]
+    fn bisect_integer_partitions_grid() {
+        let a = int(-3, 4);
+        let (l, r) = a.bisect_integer().expect("splittable");
+        // Halves must not share an integer and must cover all of them.
+        assert_eq!(l.hi() + Rational::ONE, r.lo());
+        assert_eq!(l.integer_count() + r.integer_count(), a.integer_count());
+        assert_eq!(a.integer_count(), 8);
+        // Single-integer interval cannot be split.
+        assert!(int(2, 2).bisect_integer().is_none());
+        // Interval with no integer cannot be split.
+        let tiny = Interval::new(Rational::new(1, 3), Rational::new(2, 3));
+        assert!(tiny.bisect_integer().is_none());
+        assert_eq!(tiny.integer_count(), 0);
+    }
+
+    #[test]
+    fn from_rational_makes_point() {
+        let p: Interval = Rational::new(1, 2).into();
+        assert!(p.is_point());
+        assert_eq!(p.lo(), Rational::new(1, 2));
+    }
+
+    #[test]
+    fn display_nonempty() {
+        assert_eq!(int(0, 1).to_string(), "[0, 1]");
+        assert!(!format!("{:?}", int(0, 1)).is_empty());
+    }
+}

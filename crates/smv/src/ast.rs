@@ -1,0 +1,340 @@
+//! Abstract syntax for the SMV subset used by FANNet's behaviour
+//! extraction.
+//!
+//! The paper translates the trained network into "the SMV language" of
+//! nuXmv (Fig. 2). This module models the fragment that translation needs:
+//!
+//! * `MODULE main` with `VAR`, `DEFINE`, `ASSIGN` and `INVARSPEC` sections;
+//! * finite integer variable domains (ranges and explicit sets) — the noise
+//!   variables;
+//! * arithmetic over exact rationals (nuXmv's `real`), `max`, comparison,
+//!   boolean connectives and `case … esac` — the network equations;
+//! * non-deterministic `init`/`next` assignments — the noise selection.
+//!
+//! Deviations from full SMV are purely restrictive except one notational
+//! convenience: rational constants print as `num/den` (nuXmv would accept
+//! the equivalent `f'num/den`).
+
+use fannet_numeric::Rational;
+use serde::{Deserialize, Serialize};
+
+/// A variable's finite domain.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Sort {
+    /// `boolean`.
+    Boolean,
+    /// Integer range `lo..hi` (inclusive).
+    Range(i64, i64),
+    /// Explicit integer enumeration `{v1, v2, …}`.
+    IntSet(Vec<i64>),
+}
+
+impl Sort {
+    /// The concrete values of the domain, in declaration order.
+    #[must_use]
+    pub fn values(&self) -> Vec<Value> {
+        match self {
+            Sort::Boolean => vec![Value::Bool(false), Value::Bool(true)],
+            Sort::Range(lo, hi) => (*lo..=*hi).map(Value::int).collect(),
+            Sort::IntSet(vs) => vs.iter().map(|&v| Value::int(v)).collect(),
+        }
+    }
+
+    /// Number of values in the domain.
+    #[must_use]
+    pub fn cardinality(&self) -> usize {
+        match self {
+            Sort::Boolean => 2,
+            Sort::Range(lo, hi) => usize::try_from(hi - lo + 1).unwrap_or(0),
+            Sort::IntSet(vs) => vs.len(),
+        }
+    }
+}
+
+/// A runtime value: exact rational or boolean.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Value {
+    /// Numeric value (integers are rationals with denominator 1).
+    Rat(Rational),
+    /// Boolean value.
+    Bool(bool),
+}
+
+impl Value {
+    /// Integer shorthand.
+    #[must_use]
+    pub fn int(v: i64) -> Self {
+        Value::Rat(Rational::from_integer(i128::from(v)))
+    }
+
+    /// The rational payload, if numeric.
+    #[must_use]
+    pub fn as_rat(&self) -> Option<Rational> {
+        match self {
+            Value::Rat(r) => Some(*r),
+            Value::Bool(_) => None,
+        }
+    }
+
+    /// The boolean payload, if boolean.
+    #[must_use]
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            Value::Rat(_) => None,
+        }
+    }
+}
+
+/// Binary operators of the subset.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum BinOp {
+    /// `+`
+    Add,
+    /// `-`
+    Sub,
+    /// `*`
+    Mul,
+    /// `/` (exact rational division)
+    Div,
+    /// `=`
+    Eq,
+    /// `!=`
+    Ne,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// `&`
+    And,
+    /// `|`
+    Or,
+}
+
+/// An expression of the SMV subset.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Expr {
+    /// Integer literal.
+    Int(i64),
+    /// Rational literal (printed `num/den`).
+    Rat(Rational),
+    /// Boolean literal (`TRUE`/`FALSE`).
+    Bool(bool),
+    /// Variable or DEFINE reference.
+    Var(String),
+    /// Arithmetic negation.
+    Neg(Box<Expr>),
+    /// Boolean negation (`!`).
+    Not(Box<Expr>),
+    /// Binary operation.
+    Bin(BinOp, Box<Expr>, Box<Expr>),
+    /// `max(a, b)`.
+    Max(Box<Expr>, Box<Expr>),
+    /// `case c1 : e1; …; TRUE : eN; esac`.
+    Case(Vec<(Expr, Expr)>),
+    /// Non-deterministic choice `{e1, e2, …}` (assign right-hand sides).
+    Set(Vec<Expr>),
+    /// Non-deterministic integer range `lo..hi` (assign right-hand sides).
+    IntRange(i64, i64),
+}
+
+impl Expr {
+    /// Variable reference shorthand.
+    #[must_use]
+    pub fn var(name: impl Into<String>) -> Self {
+        Expr::Var(name.into())
+    }
+
+    /// `a + b`.
+    #[must_use]
+    pub fn add(a: Expr, b: Expr) -> Self {
+        Expr::Bin(BinOp::Add, Box::new(a), Box::new(b))
+    }
+
+    /// `a * b`.
+    #[must_use]
+    pub fn mul(a: Expr, b: Expr) -> Self {
+        Expr::Bin(BinOp::Mul, Box::new(a), Box::new(b))
+    }
+
+    /// `a / b`.
+    #[must_use]
+    pub fn div(a: Expr, b: Expr) -> Self {
+        Expr::Bin(BinOp::Div, Box::new(a), Box::new(b))
+    }
+
+    /// `a = b`.
+    #[must_use]
+    pub fn eq(a: Expr, b: Expr) -> Self {
+        Expr::Bin(BinOp::Eq, Box::new(a), Box::new(b))
+    }
+
+    /// `a >= b`.
+    #[must_use]
+    pub fn ge(a: Expr, b: Expr) -> Self {
+        Expr::Bin(BinOp::Ge, Box::new(a), Box::new(b))
+    }
+
+    /// `max(a, b)`.
+    #[must_use]
+    pub fn max(a: Expr, b: Expr) -> Self {
+        Expr::Max(Box::new(a), Box::new(b))
+    }
+
+    /// All nondeterministic choices this expression denotes when used as an
+    /// assignment right-hand side (deterministic expressions denote
+    /// themselves).
+    #[must_use]
+    pub fn choices(&self) -> Vec<Expr> {
+        match self {
+            Expr::Set(es) => es.clone(),
+            Expr::IntRange(lo, hi) => (*lo..=*hi).map(Expr::Int).collect(),
+            other => vec![other.clone()],
+        }
+    }
+}
+
+/// A state variable declaration.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct VarDecl {
+    /// Variable name.
+    pub name: String,
+    /// Finite domain.
+    pub sort: Sort,
+}
+
+/// A `DEFINE name := expr;` item.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Define {
+    /// Defined symbol.
+    pub name: String,
+    /// Definition body (may reference variables and earlier defines).
+    pub expr: Expr,
+}
+
+/// An `ASSIGN` item for one variable: `init(v) := e;` and
+/// `next(v) := e;` (either may be omitted; omitted means "any domain
+/// value", SMV's implicit nondeterminism).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Assign {
+    /// Target variable name.
+    pub var: String,
+    /// Initial-state constraint, if any.
+    pub init: Option<Expr>,
+    /// Transition constraint, if any.
+    pub next: Option<Expr>,
+}
+
+/// A `MODULE main` of the subset.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SmvModule {
+    /// Module name (conventionally `main`).
+    pub name: String,
+    /// State variables.
+    pub vars: Vec<VarDecl>,
+    /// Defines, in dependency order.
+    pub defines: Vec<Define>,
+    /// Assignments.
+    pub assigns: Vec<Assign>,
+    /// `INVARSPEC` properties.
+    pub invarspecs: Vec<Expr>,
+}
+
+impl SmvModule {
+    /// An empty module with the given name.
+    #[must_use]
+    pub fn new(name: impl Into<String>) -> Self {
+        SmvModule {
+            name: name.into(),
+            vars: Vec::new(),
+            defines: Vec::new(),
+            assigns: Vec::new(),
+            invarspecs: Vec::new(),
+        }
+    }
+
+    /// Looks up a variable declaration by name.
+    #[must_use]
+    pub fn var(&self, name: &str) -> Option<&VarDecl> {
+        self.vars.iter().find(|v| v.name == name)
+    }
+
+    /// Looks up a define by name.
+    #[must_use]
+    pub fn define(&self, name: &str) -> Option<&Define> {
+        self.defines.iter().find(|d| d.name == name)
+    }
+
+    /// Looks up the assignment block for a variable.
+    #[must_use]
+    pub fn assign(&self, var: &str) -> Option<&Assign> {
+        self.assigns.iter().find(|a| a.var == var)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sort_values_and_cardinality() {
+        assert_eq!(Sort::Boolean.cardinality(), 2);
+        assert_eq!(Sort::Range(-2, 2).cardinality(), 5);
+        assert_eq!(Sort::Range(-2, 2).values().len(), 5);
+        assert_eq!(Sort::IntSet(vec![0, 5, 9]).cardinality(), 3);
+        assert_eq!(
+            Sort::IntSet(vec![7]).values(),
+            vec![Value::int(7)]
+        );
+        assert_eq!(
+            Sort::Boolean.values(),
+            vec![Value::Bool(false), Value::Bool(true)]
+        );
+    }
+
+    #[test]
+    fn value_accessors() {
+        assert_eq!(Value::int(3).as_rat(), Some(Rational::from_integer(3)));
+        assert_eq!(Value::int(3).as_bool(), None);
+        assert_eq!(Value::Bool(true).as_bool(), Some(true));
+        assert_eq!(Value::Bool(true).as_rat(), None);
+    }
+
+    #[test]
+    fn expr_builders() {
+        let e = Expr::add(Expr::var("a"), Expr::Int(1));
+        assert_eq!(
+            e,
+            Expr::Bin(BinOp::Add, Box::new(Expr::Var("a".into())), Box::new(Expr::Int(1)))
+        );
+        assert!(matches!(Expr::max(Expr::Int(0), Expr::var("z")), Expr::Max(_, _)));
+    }
+
+    #[test]
+    fn choices_expand_nondeterminism() {
+        assert_eq!(Expr::Int(5).choices(), vec![Expr::Int(5)]);
+        assert_eq!(
+            Expr::Set(vec![Expr::Int(1), Expr::Int(2)]).choices().len(),
+            2
+        );
+        assert_eq!(Expr::IntRange(-1, 1).choices().len(), 3);
+        assert_eq!(Expr::IntRange(-1, 1).choices()[0], Expr::Int(-1));
+    }
+
+    #[test]
+    fn module_lookups() {
+        let mut m = SmvModule::new("main");
+        m.vars.push(VarDecl { name: "n0".into(), sort: Sort::Range(-5, 5) });
+        m.defines.push(Define { name: "x0".into(), expr: Expr::Int(42) });
+        m.assigns.push(Assign { var: "n0".into(), init: Some(Expr::IntRange(-5, 5)), next: None });
+        assert!(m.var("n0").is_some());
+        assert!(m.var("n1").is_none());
+        assert!(m.define("x0").is_some());
+        assert!(m.assign("n0").is_some());
+        assert_eq!(m.name, "main");
+    }
+}

@@ -1,0 +1,239 @@
+//! Exact evaluation of SMV expressions under a variable environment.
+//!
+//! The evaluator is the semantic core shared by the flattener (labelling
+//! states), the explicit-state checker (deciding invariants) and the
+//! NN-translation validation (property **P1**). All arithmetic is exact
+//! rational arithmetic — the same soundness discipline as `fannet-verify`.
+
+use std::collections::HashMap;
+use std::fmt;
+
+use fannet_numeric::Rational;
+
+use crate::ast::{BinOp, Define, Expr, Value};
+
+/// Error raised during evaluation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EvalError {
+    message: String,
+}
+
+impl EvalError {
+    fn new(message: impl Into<String>) -> Self {
+        EvalError { message: message.into() }
+    }
+
+    /// Wraps an arbitrary message (used by the flattener to add context).
+    pub(crate) fn from_message(message: String) -> Self {
+        EvalError { message }
+    }
+}
+
+impl fmt::Display for EvalError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "smv evaluation error: {}", self.message)
+    }
+}
+
+impl std::error::Error for EvalError {}
+
+/// A variable/define environment mapping names to values.
+pub type Env = HashMap<String, Value>;
+
+/// Evaluates an expression under `env`.
+///
+/// `Set`/`IntRange` right-hand sides are nondeterministic and have no
+/// single value; evaluating one is an error (expand with
+/// [`Expr::choices`] first).
+///
+/// # Errors
+///
+/// Returns [`EvalError`] on unbound variables, type mismatches, division by
+/// zero, fall-through `case` without a matching arm, or nondeterministic
+/// expressions.
+pub fn eval(expr: &Expr, env: &Env) -> Result<Value, EvalError> {
+    match expr {
+        Expr::Int(v) => Ok(Value::int(*v)),
+        Expr::Rat(r) => Ok(Value::Rat(*r)),
+        Expr::Bool(b) => Ok(Value::Bool(*b)),
+        Expr::Var(name) => env
+            .get(name)
+            .cloned()
+            .ok_or_else(|| EvalError::new(format!("unbound identifier `{name}`"))),
+        Expr::Neg(inner) => {
+            let r = num(eval(inner, env)?, "unary -")?;
+            Ok(Value::Rat(-r))
+        }
+        Expr::Not(inner) => {
+            let b = boolean(eval(inner, env)?, "!")?;
+            Ok(Value::Bool(!b))
+        }
+        Expr::Bin(op, a, b) => {
+            let lhs = eval(a, env)?;
+            let rhs = eval(b, env)?;
+            apply_bin(*op, lhs, rhs)
+        }
+        Expr::Max(a, b) => {
+            let lhs = num(eval(a, env)?, "max")?;
+            let rhs = num(eval(b, env)?, "max")?;
+            Ok(Value::Rat(lhs.max(rhs)))
+        }
+        Expr::Case(arms) => {
+            for (cond, val) in arms {
+                if boolean(eval(cond, env)?, "case condition")? {
+                    return eval(val, env);
+                }
+            }
+            Err(EvalError::new("no case arm matched (missing TRUE default?)"))
+        }
+        Expr::Set(_) | Expr::IntRange(_, _) => Err(EvalError::new(
+            "nondeterministic expression has no single value; expand choices first",
+        )),
+    }
+}
+
+fn num(v: Value, ctx: &str) -> Result<Rational, EvalError> {
+    v.as_rat()
+        .ok_or_else(|| EvalError::new(format!("{ctx} expects a numeric operand")))
+}
+
+fn boolean(v: Value, ctx: &str) -> Result<bool, EvalError> {
+    v.as_bool()
+        .ok_or_else(|| EvalError::new(format!("{ctx} expects a boolean operand")))
+}
+
+fn apply_bin(op: BinOp, lhs: Value, rhs: Value) -> Result<Value, EvalError> {
+    match op {
+        BinOp::Add | BinOp::Sub | BinOp::Mul | BinOp::Div => {
+            let a = num(lhs, "arithmetic")?;
+            let b = num(rhs, "arithmetic")?;
+            let r = match op {
+                BinOp::Add => a + b,
+                BinOp::Sub => a - b,
+                BinOp::Mul => a * b,
+                BinOp::Div => {
+                    if b.is_zero() {
+                        return Err(EvalError::new("division by zero"));
+                    }
+                    a / b
+                }
+                _ => unreachable!(),
+            };
+            Ok(Value::Rat(r))
+        }
+        BinOp::Eq | BinOp::Ne => {
+            let equal = match (&lhs, &rhs) {
+                (Value::Rat(a), Value::Rat(b)) => a == b,
+                (Value::Bool(a), Value::Bool(b)) => a == b,
+                _ => return Err(EvalError::new("= compares values of the same type")),
+            };
+            Ok(Value::Bool(if op == BinOp::Eq { equal } else { !equal }))
+        }
+        BinOp::Lt | BinOp::Le | BinOp::Gt | BinOp::Ge => {
+            let a = num(lhs, "comparison")?;
+            let b = num(rhs, "comparison")?;
+            let r = match op {
+                BinOp::Lt => a < b,
+                BinOp::Le => a <= b,
+                BinOp::Gt => a > b,
+                BinOp::Ge => a >= b,
+                _ => unreachable!(),
+            };
+            Ok(Value::Bool(r))
+        }
+        BinOp::And | BinOp::Or => {
+            let a = boolean(lhs, "boolean operator")?;
+            let b = boolean(rhs, "boolean operator")?;
+            Ok(Value::Bool(if op == BinOp::And { a && b } else { a || b }))
+        }
+    }
+}
+
+/// Extends `env` with every `DEFINE`, evaluated in order (defines may
+/// reference variables and *earlier* defines, as in SMV).
+///
+/// # Errors
+///
+/// Returns [`EvalError`] if any define fails to evaluate.
+pub fn bind_defines(defines: &[Define], env: &mut Env) -> Result<(), EvalError> {
+    for d in defines {
+        let v = eval(&d.expr, env)
+            .map_err(|e| EvalError::new(format!("in DEFINE {}: {e}", d.name)))?;
+        env.insert(d.name.clone(), v);
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_expr;
+
+    fn env(pairs: &[(&str, Value)]) -> Env {
+        pairs.iter().map(|(k, v)| ((*k).to_string(), v.clone())).collect()
+    }
+
+    fn eval_str(src: &str, e: &Env) -> Result<Value, EvalError> {
+        eval(&parse_expr(src).unwrap(), e)
+    }
+
+    #[test]
+    fn arithmetic_is_exact() {
+        let e = env(&[("n", Value::int(-11))]);
+        // The paper's noise expression at x = 1234, p = -11.
+        let v = eval_str("1234 * (100 + n) / 100", &e).unwrap();
+        assert_eq!(v, Value::Rat(Rational::new(1234 * 89, 100)));
+    }
+
+    #[test]
+    fn comparisons_and_booleans() {
+        let e = env(&[("a", Value::int(3)), ("b", Value::int(5))]);
+        assert_eq!(eval_str("a < b", &e).unwrap(), Value::Bool(true));
+        assert_eq!(eval_str("a >= b", &e).unwrap(), Value::Bool(false));
+        assert_eq!(eval_str("a != b & TRUE", &e).unwrap(), Value::Bool(true));
+        assert_eq!(eval_str("a = b | b = 5", &e).unwrap(), Value::Bool(true));
+        assert_eq!(eval_str("!(a = 3)", &e).unwrap(), Value::Bool(false));
+    }
+
+    #[test]
+    fn max_and_case() {
+        let e = env(&[("z", Value::int(-4))]);
+        assert_eq!(eval_str("max(0, z)", &e).unwrap(), Value::int(0));
+        assert_eq!(eval_str("max(z, -10)", &e).unwrap(), Value::int(-4));
+        let c = eval_str("case z > 0 : 1; TRUE : 0; esac", &e).unwrap();
+        assert_eq!(c, Value::int(0));
+    }
+
+    #[test]
+    fn error_cases() {
+        let e = env(&[("b", Value::Bool(true))]);
+        assert!(eval_str("missing + 1", &e).is_err());
+        assert!(eval_str("b + 1", &e).is_err());
+        assert!(eval_str("1 / 0", &e).is_err());
+        assert!(eval_str("case FALSE : 1; esac", &e).is_err());
+        assert!(eval_str("1 = TRUE", &e).is_err());
+        assert!(eval_str("{1, 2}", &e).is_err());
+        assert!(eval_str("!(1)", &e).is_err());
+        assert!(eval_str("max(TRUE, 1)", &e).is_err());
+    }
+
+    #[test]
+    fn defines_bind_in_order() {
+        let mut e = env(&[("n", Value::int(2))]);
+        let defines = vec![
+            Define { name: "a".into(), expr: parse_expr("n * 10").unwrap() },
+            Define { name: "b".into(), expr: parse_expr("a + 1").unwrap() },
+        ];
+        bind_defines(&defines, &mut e).unwrap();
+        assert_eq!(e["a"], Value::int(20));
+        assert_eq!(e["b"], Value::int(21));
+        // A define referencing a later define fails.
+        let bad = vec![
+            Define { name: "p".into(), expr: parse_expr("q + 1").unwrap() },
+            Define { name: "q".into(), expr: parse_expr("1").unwrap() },
+        ];
+        let mut e2 = Env::new();
+        let err = bind_defines(&bad, &mut e2).unwrap_err();
+        assert!(err.to_string().contains("in DEFINE p"));
+    }
+}

@@ -1,0 +1,199 @@
+//! Explicit-state invariant checking (`INVARSPEC`) over a flattened
+//! transition system.
+//!
+//! This is the "model checker" half of the nuXmv substitute: breadth-first
+//! reachability from the initial states, evaluating the invariant in every
+//! reached state and reconstructing a counterexample trace on violation —
+//! the standard algorithm BDD/SAT engines implement symbolically.
+
+use std::collections::VecDeque;
+
+use crate::ast::{Expr, Value};
+use crate::eval::{eval, EvalError};
+use crate::flatten::TransitionSystem;
+
+/// Result of checking one `INVARSPEC`.
+#[derive(Debug, Clone, PartialEq)]
+pub enum InvariantResult {
+    /// The property holds in every reachable state; `reachable` is the
+    /// number of states explored (the proof's coverage).
+    Holds {
+        /// States reached from the initial set.
+        reachable: usize,
+    },
+    /// A reachable state violates the property; the trace runs from an
+    /// initial state (index 0 of the vector) to the violating state.
+    Violated {
+        /// State indices along a shortest path initial → violation.
+        trace: Vec<usize>,
+    },
+}
+
+impl InvariantResult {
+    /// `true` when the property holds.
+    #[must_use]
+    pub fn holds(&self) -> bool {
+        matches!(self, InvariantResult::Holds { .. })
+    }
+
+    /// The violating trace, if any.
+    #[must_use]
+    pub fn trace(&self) -> Option<&[usize]> {
+        match self {
+            InvariantResult::Holds { .. } => None,
+            InvariantResult::Violated { trace } => Some(trace),
+        }
+    }
+}
+
+/// Checks `AG spec` (SMV `INVARSPEC spec`) on the flattened system.
+///
+/// # Errors
+///
+/// Returns [`EvalError`] if the spec fails to evaluate or is non-boolean in
+/// some state.
+pub fn check_invariant(
+    ts: &TransitionSystem,
+    spec: &Expr,
+) -> Result<InvariantResult, EvalError> {
+    let mut visited = vec![false; ts.state_count()];
+    let mut parent: Vec<Option<usize>> = vec![None; ts.state_count()];
+    let mut queue = VecDeque::new();
+
+    let violated_at = |state: usize| -> Result<bool, EvalError> {
+        let env = ts.state_env(state)?;
+        match eval(spec, &env)? {
+            Value::Bool(ok) => Ok(!ok),
+            Value::Rat(_) => Err(EvalError::from_message(
+                "INVARSPEC must evaluate to a boolean".to_string(),
+            )),
+        }
+    };
+
+    for &s in ts.initial_states() {
+        if !visited[s] {
+            visited[s] = true;
+            queue.push_back(s);
+        }
+    }
+
+    let mut reachable = 0usize;
+    while let Some(s) = queue.pop_front() {
+        reachable += 1;
+        if violated_at(s)? {
+            // Reconstruct the shortest path back to an initial state.
+            let mut trace = vec![s];
+            let mut cur = s;
+            while let Some(p) = parent[cur] {
+                trace.push(p);
+                cur = p;
+            }
+            trace.reverse();
+            return Ok(InvariantResult::Violated { trace });
+        }
+        for &t in ts.successors(s) {
+            if !visited[t] {
+                visited[t] = true;
+                parent[t] = Some(s);
+                queue.push_back(t);
+            }
+        }
+    }
+    Ok(InvariantResult::Holds { reachable })
+}
+
+/// Checks every `INVARSPEC` of the flattened module, in order.
+///
+/// # Errors
+///
+/// Returns [`EvalError`] if any spec fails to evaluate.
+pub fn check_all_invariants(
+    ts: &TransitionSystem,
+) -> Result<Vec<InvariantResult>, EvalError> {
+    ts.module()
+        .invarspecs
+        .clone()
+        .iter()
+        .map(|spec| check_invariant(ts, spec))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::{parse_expr, parse_module};
+
+    fn system(src: &str) -> TransitionSystem {
+        TransitionSystem::from_module(&parse_module(src).unwrap(), 1 << 16).unwrap()
+    }
+
+    #[test]
+    fn invariant_holds_on_safe_counter() {
+        let ts = system(
+            "MODULE main\nVAR c : 0..3;\nASSIGN\n  init(c) := 0;\n  next(c) := case c < 3 : c + 1; TRUE : c; esac;",
+        );
+        let res = check_invariant(&ts, &parse_expr("c <= 3").unwrap()).unwrap();
+        assert!(res.holds());
+        match res {
+            InvariantResult::Holds { reachable } => assert_eq!(reachable, 4),
+            InvariantResult::Violated { .. } => unreachable!(),
+        }
+    }
+
+    #[test]
+    fn violation_produces_shortest_trace() {
+        let ts = system(
+            "MODULE main\nVAR c : 0..5;\nASSIGN\n  init(c) := 0;\n  next(c) := case c < 5 : c + 1; TRUE : c; esac;",
+        );
+        let res = check_invariant(&ts, &parse_expr("c < 3").unwrap()).unwrap();
+        let trace = res.trace().expect("c reaches 3");
+        // Path 0 → 1 → 2 → 3: four states, last one violating.
+        assert_eq!(trace.len(), 4);
+        let last = *trace.last().unwrap();
+        assert_eq!(ts.state_values(last), &[Value::int(3)]);
+        let first = trace[0];
+        assert!(ts.initial_states().contains(&first));
+        // Consecutive trace states are really connected.
+        for w in trace.windows(2) {
+            assert!(ts.successors(w[0]).contains(&w[1]));
+        }
+    }
+
+    #[test]
+    fn initial_state_violation_gives_unit_trace() {
+        let ts = system("MODULE main\nVAR n : 0..1;\nASSIGN\n  init(n) := 1;");
+        let res = check_invariant(&ts, &parse_expr("n = 0").unwrap()).unwrap();
+        assert_eq!(res.trace().map(<[usize]>::len), Some(1));
+    }
+
+    #[test]
+    fn unreachable_violations_do_not_count() {
+        // Domain contains 2 but it is never reachable.
+        let ts = system(
+            "MODULE main\nVAR c : 0..2;\nASSIGN\n  init(c) := 0;\n  next(c) := 0;",
+        );
+        let res = check_invariant(&ts, &parse_expr("c != 2").unwrap()).unwrap();
+        assert!(res.holds());
+        match res {
+            InvariantResult::Holds { reachable } => assert_eq!(reachable, 1),
+            InvariantResult::Violated { .. } => unreachable!(),
+        }
+    }
+
+    #[test]
+    fn non_boolean_spec_is_error() {
+        let ts = system("MODULE main\nVAR c : 0..1;");
+        assert!(check_invariant(&ts, &parse_expr("c + 1").unwrap()).is_err());
+    }
+
+    #[test]
+    fn check_all_runs_every_spec() {
+        let ts = system(
+            "MODULE main\nVAR c : 0..1;\nASSIGN\n  init(c) := 0;\n  next(c) := c;\nINVARSPEC c = 0;\nINVARSPEC c = 1;",
+        );
+        let results = check_all_invariants(&ts).unwrap();
+        assert_eq!(results.len(), 2);
+        assert!(results[0].holds());
+        assert!(!results[1].holds());
+    }
+}

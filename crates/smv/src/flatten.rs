@@ -1,0 +1,383 @@
+//! Flattening an [`SmvModule`] into an explicit finite transition system.
+//!
+//! The state space is the Cartesian product of the `VAR` domains; `init`
+//! assignments carve out the initial states and `next` assignments define
+//! the transition relation (omitted `init`/`next` means unconstrained, as
+//! in SMV). `DEFINE`s are evaluated per state to label it.
+//!
+//! Flattening is exponential in the number of variables — exactly the
+//! state-space explosion the paper's Fig. 3 illustrates (3 states → 65
+//! states, 6 → 4160 transitions for a [0,1] % noise range). The `max_states`
+//! guard turns that explosion into a typed error instead of an OOM; the
+//! branch-and-bound engine in `fannet-verify` exists because real noise
+//! ranges blow far past any explicit limit.
+
+use std::collections::HashMap;
+use std::fmt;
+
+use crate::ast::{Expr, SmvModule, Value};
+use crate::eval::{bind_defines, eval, Env, EvalError};
+
+/// Error raised while flattening a module.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FlattenError {
+    /// The Cartesian product exceeds the configured state limit.
+    TooManyStates {
+        /// Number of states the product would have (saturating).
+        needed: u128,
+        /// The configured cap.
+        limit: usize,
+    },
+    /// An expression failed to evaluate.
+    Eval(EvalError),
+    /// An `init`/`next` choice produced a value outside the variable's
+    /// domain.
+    OutOfDomain {
+        /// The variable concerned.
+        var: String,
+    },
+}
+
+impl fmt::Display for FlattenError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FlattenError::TooManyStates { needed, limit } => write!(
+                f,
+                "state space of {needed} states exceeds the explicit limit of {limit} \
+                 (use the branch-and-bound verifier for large noise ranges)"
+            ),
+            FlattenError::Eval(e) => write!(f, "flattening failed: {e}"),
+            FlattenError::OutOfDomain { var } => {
+                write!(f, "assignment for `{var}` leaves its declared domain")
+            }
+        }
+    }
+}
+
+impl std::error::Error for FlattenError {}
+
+impl From<EvalError> for FlattenError {
+    fn from(e: EvalError) -> Self {
+        FlattenError::Eval(e)
+    }
+}
+
+/// An explicit finite transition system.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TransitionSystem {
+    var_names: Vec<String>,
+    states: Vec<Vec<Value>>,
+    index: HashMap<Vec<Value>, usize>,
+    initial: Vec<usize>,
+    successors: Vec<Vec<usize>>,
+    module: SmvModule,
+}
+
+impl TransitionSystem {
+    /// Flattens `module`, refusing products larger than `max_states`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FlattenError`] on state explosion, evaluation failure, or
+    /// domain violations.
+    pub fn from_module(module: &SmvModule, max_states: usize) -> Result<Self, FlattenError> {
+        // ---- state product ---------------------------------------------
+        let mut needed: u128 = 1;
+        for v in &module.vars {
+            needed = needed.saturating_mul(v.sort.cardinality() as u128);
+        }
+        if needed > max_states as u128 {
+            return Err(FlattenError::TooManyStates { needed, limit: max_states });
+        }
+        let var_names: Vec<String> = module.vars.iter().map(|v| v.name.clone()).collect();
+        let domains: Vec<Vec<Value>> = module.vars.iter().map(|v| v.sort.values()).collect();
+        let states = cartesian(&domains);
+        let index: HashMap<Vec<Value>, usize> = states
+            .iter()
+            .enumerate()
+            .map(|(i, s)| (s.clone(), i))
+            .collect();
+
+        // ---- initial states ---------------------------------------------
+        let mut init_choices: Vec<Vec<Value>> = Vec::with_capacity(module.vars.len());
+        for (v, domain) in module.vars.iter().zip(&domains) {
+            let choices = match module.assign(&v.name).and_then(|a| a.init.as_ref()) {
+                None => domain.clone(),
+                Some(e) => constant_choices(e, &v.name)?,
+            };
+            for c in &choices {
+                if !domain.contains(c) {
+                    return Err(FlattenError::OutOfDomain { var: v.name.clone() });
+                }
+            }
+            init_choices.push(choices);
+        }
+        let initial: Vec<usize> = cartesian(&init_choices)
+            .into_iter()
+            .map(|s| index[&s])
+            .collect();
+
+        // ---- transition relation ---------------------------------------
+        let mut successors = Vec::with_capacity(states.len());
+        for state in &states {
+            let mut env: Env = var_names
+                .iter()
+                .cloned()
+                .zip(state.iter().cloned())
+                .collect();
+            bind_defines(&module.defines, &mut env)?;
+            let mut per_var: Vec<Vec<Value>> = Vec::with_capacity(module.vars.len());
+            for (v, domain) in module.vars.iter().zip(&domains) {
+                let choices = match module.assign(&v.name).and_then(|a| a.next.as_ref()) {
+                    None => domain.clone(),
+                    Some(e) => {
+                        let mut vals = Vec::new();
+                        for choice in e.choices() {
+                            vals.push(eval(&choice, &env)?);
+                        }
+                        vals
+                    }
+                };
+                for c in &choices {
+                    if !domain.contains(c) {
+                        return Err(FlattenError::OutOfDomain { var: v.name.clone() });
+                    }
+                }
+                per_var.push(choices);
+            }
+            let succ: Vec<usize> = cartesian(&per_var)
+                .into_iter()
+                .map(|s| index[&s])
+                .collect();
+            successors.push(succ);
+        }
+
+        Ok(TransitionSystem {
+            var_names,
+            states,
+            index,
+            initial,
+            successors,
+            module: module.clone(),
+        })
+    }
+
+    /// Number of states (the full variable product).
+    #[must_use]
+    pub fn state_count(&self) -> usize {
+        self.states.len()
+    }
+
+    /// Total number of transitions (sum of out-degrees).
+    #[must_use]
+    pub fn transition_count(&self) -> u64 {
+        self.successors.iter().map(|s| s.len() as u64).sum()
+    }
+
+    /// Indices of the initial states.
+    #[must_use]
+    pub fn initial_states(&self) -> &[usize] {
+        &self.initial
+    }
+
+    /// Successor state indices of `state`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `state` is out of range.
+    #[must_use]
+    pub fn successors(&self, state: usize) -> &[usize] {
+        &self.successors[state]
+    }
+
+    /// The variable valuation of a state.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `state` is out of range.
+    #[must_use]
+    pub fn state_values(&self, state: usize) -> &[Value] {
+        &self.states[state]
+    }
+
+    /// Variable names, in state-vector order.
+    #[must_use]
+    pub fn var_names(&self) -> &[String] {
+        &self.var_names
+    }
+
+    /// The environment (variables + defines) of a state.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EvalError`] if a define fails to evaluate in this state.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `state` is out of range.
+    pub fn state_env(&self, state: usize) -> Result<Env, EvalError> {
+        let mut env: Env = self
+            .var_names
+            .iter()
+            .cloned()
+            .zip(self.states[state].iter().cloned())
+            .collect();
+        bind_defines(&self.module.defines, &mut env)?;
+        Ok(env)
+    }
+
+    /// The module this system was flattened from.
+    #[must_use]
+    pub fn module(&self) -> &SmvModule {
+        &self.module
+    }
+}
+
+/// `init`/`next` choice expressions must be constants in our subset when
+/// used for initial states (they cannot see any prior state).
+fn constant_choices(e: &Expr, var: &str) -> Result<Vec<Value>, FlattenError> {
+    let empty = Env::new();
+    let mut out = Vec::new();
+    for choice in e.choices() {
+        let v = eval(&choice, &empty).map_err(|err| {
+            FlattenError::Eval(EvalError::from_message(format!(
+                "init({var}) must be constant: {err}"
+            )))
+        })?;
+        out.push(v);
+    }
+    Ok(out)
+}
+
+fn cartesian(domains: &[Vec<Value>]) -> Vec<Vec<Value>> {
+    let mut out: Vec<Vec<Value>> = vec![Vec::new()];
+    for domain in domains {
+        let mut next = Vec::with_capacity(out.len() * domain.len());
+        for prefix in &out {
+            for v in domain {
+                let mut s = prefix.clone();
+                s.push(v.clone());
+                next.push(s);
+            }
+        }
+        out = next;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_module;
+
+    #[test]
+    fn paper_fig3c_dimensions_from_semantics() {
+        // Six input nodes with noise domain {0, 1}: the variable product has
+        // 2^6 = 64 states and, with unconstrained re-selection, 64
+        // successors each → 4096 transitions. Together with the paper's
+        // distinguished Initial node (see `statespace`), this yields the
+        // published 65 states / 4160 transitions.
+        let mut src = String::from("MODULE main\nVAR\n");
+        for k in 0..6 {
+            src.push_str(&format!("  n{k} : 0..1;\n"));
+        }
+        let m = parse_module(&src).unwrap();
+        let ts = TransitionSystem::from_module(&m, 1 << 20).unwrap();
+        assert_eq!(ts.state_count(), 64);
+        assert_eq!(ts.transition_count(), 64 * 64);
+        assert_eq!(ts.initial_states().len(), 64);
+    }
+
+    #[test]
+    fn init_constrains_initial_states() {
+        let m = parse_module(
+            "MODULE main\nVAR a : 0..2; b : 0..1;\nASSIGN\n  init(a) := {0, 2};\n  init(b) := 1;",
+        )
+        .unwrap();
+        let ts = TransitionSystem::from_module(&m, 100).unwrap();
+        assert_eq!(ts.state_count(), 6);
+        assert_eq!(ts.initial_states().len(), 2);
+        for &s in ts.initial_states() {
+            let vals = ts.state_values(s);
+            assert_ne!(vals[0], Value::int(1));
+            assert_eq!(vals[1], Value::int(1));
+        }
+    }
+
+    #[test]
+    fn next_constrains_transitions() {
+        // A counter that can only stay or step up to its cap.
+        let m = parse_module(
+            "MODULE main\nVAR c : 0..2;\nASSIGN\n  init(c) := 0;\n  next(c) := case c < 2 : c + 1; TRUE : c; esac;",
+        )
+        .unwrap();
+        let ts = TransitionSystem::from_module(&m, 100).unwrap();
+        assert_eq!(ts.state_count(), 3);
+        // Deterministic next → exactly one successor per state.
+        assert_eq!(ts.transition_count(), 3);
+        let idx0 = ts.initial_states()[0];
+        assert_eq!(ts.state_values(idx0), &[Value::int(0)]);
+        let s1 = ts.successors(idx0)[0];
+        assert_eq!(ts.state_values(s1), &[Value::int(1)]);
+        let s2 = ts.successors(s1)[0];
+        assert_eq!(ts.state_values(s2), &[Value::int(2)]);
+        assert_eq!(ts.successors(s2), &[s2], "cap state self-loops");
+    }
+
+    #[test]
+    fn defines_label_states() {
+        let m = parse_module(
+            "MODULE main\nVAR n : -1..1;\nDEFINE doubled := 2 * n;",
+        )
+        .unwrap();
+        let ts = TransitionSystem::from_module(&m, 100).unwrap();
+        for s in 0..ts.state_count() {
+            let env = ts.state_env(s).unwrap();
+            let n = env["n"].as_rat().unwrap();
+            let d = env["doubled"].as_rat().unwrap();
+            assert_eq!(d, n * fannet_numeric::Rational::from_integer(2));
+        }
+    }
+
+    #[test]
+    fn state_limit_enforced() {
+        let mut src = String::from("MODULE main\nVAR\n");
+        for k in 0..10 {
+            src.push_str(&format!("  n{k} : 0..9;\n"));
+        }
+        let m = parse_module(&src).unwrap();
+        let err = TransitionSystem::from_module(&m, 1 << 20).unwrap_err();
+        match err {
+            FlattenError::TooManyStates { needed, .. } => {
+                assert_eq!(needed, 10u128.pow(10));
+            }
+            other => panic!("expected TooManyStates, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn out_of_domain_assignment_rejected() {
+        let m = parse_module(
+            "MODULE main\nVAR c : 0..1;\nASSIGN\n  next(c) := c + 5;",
+        )
+        .unwrap();
+        let err = TransitionSystem::from_module(&m, 100).unwrap_err();
+        assert!(matches!(err, FlattenError::OutOfDomain { .. }));
+        let m2 = parse_module(
+            "MODULE main\nVAR c : 0..1;\nASSIGN\n  init(c) := 7;",
+        )
+        .unwrap();
+        assert!(matches!(
+            TransitionSystem::from_module(&m2, 100),
+            Err(FlattenError::OutOfDomain { .. })
+        ));
+    }
+
+    #[test]
+    fn boolean_variables_flatten() {
+        let m = parse_module("MODULE main\nVAR b : boolean;").unwrap();
+        let ts = TransitionSystem::from_module(&m, 10).unwrap();
+        assert_eq!(ts.state_count(), 2);
+        assert_eq!(ts.var_names(), &["b".to_string()]);
+    }
+}

@@ -1,0 +1,60 @@
+//! # fannet-smv
+//!
+//! The model-checking front end of the FANNet (DATE 2020) reproduction —
+//! the half of the nuXmv substitute that deals with *models* (the other
+//! half, the decision procedure, is `fannet-verify`; DESIGN.md §2 gives the
+//! substitution argument).
+//!
+//! * [`ast`] / [`printer`] / [`parser`] — an SMV-language subset with a
+//!   round-tripping pretty-printer, rich enough for the paper's network
+//!   translation.
+//! * [`nn_to_smv`] — behaviour extraction: compiles a trained rational
+//!   network, a test input and a noise range into a `MODULE main` whose
+//!   `INVARSPEC` is the paper's property P2 (P1 at zero noise).
+//! * [`eval`] — exact rational evaluation of SMV expressions.
+//! * [`flatten`] — explicit transition systems from modules (with a
+//!   state-explosion guard).
+//! * [`explicit`] — BFS invariant checking with counterexample traces.
+//! * [`statespace`] — the paper-style FSM accounting that reproduces
+//!   Fig. 3's *3 states / 6 transitions* → *65 states / 4160 transitions*
+//!   growth.
+//!
+//! ## Example: translate and print a model
+//!
+//! ```
+//! use fannet_numeric::Rational;
+//! use fannet_nn::{Activation, DenseLayer, Network, Readout};
+//! use fannet_smv::{nn_to_smv, printer};
+//! use fannet_tensor::Matrix;
+//!
+//! let r = |n: i128| Rational::from_integer(n);
+//! let net = Network::new(vec![DenseLayer::new(
+//!     Matrix::from_rows(vec![vec![r(1), r(0)], vec![r(0), r(1)]])?,
+//!     vec![r(0), r(0)],
+//!     Activation::Identity,
+//! )?], Readout::MaxPool)?;
+//!
+//! let module = nn_to_smv::network_to_smv(
+//!     &net,
+//!     &[r(120), r(80)],
+//!     0,
+//!     &nn_to_smv::TranslationConfig::symmetric(5),
+//! );
+//! let text = printer::print_module(&module);
+//! assert!(text.contains("INVARSPEC oc = 0;"));
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+pub mod ast;
+pub mod eval;
+pub mod explicit;
+pub mod flatten;
+pub mod nn_to_smv;
+pub mod parser;
+pub mod printer;
+pub mod statespace;
+
+pub use ast::{Expr, SmvModule};
+pub use explicit::InvariantResult;
+pub use flatten::TransitionSystem;
+pub use statespace::PaperFsm;

@@ -1,0 +1,325 @@
+//! Behaviour extraction: translating a trained network into an SMV model.
+//!
+//! This is the first stage of the FANNet methodology (paper Fig. 2): the
+//! weights and activations of the trained network, one concrete test input
+//! `X`, its true label `Sx`, and the noise range are compiled into a
+//! `MODULE main` whose `INVARSPEC` is the paper's property
+//! **P2**: `OCn = Sx`. Setting the noise range to zero degenerates P2 into
+//! **P1** (`OC = Sx`), the translation-validation property.
+//!
+//! The generated model mirrors the paper's network equations (Fig. 3a):
+//!
+//! ```text
+//! VAR    noise_k : -Δ..Δ;                        -- nondeterministic noise
+//! DEFINE x_k  := Xₖ * (100 + noise_k) / 100;     -- relative noise
+//!        h1_j := max(0, b_j + Σ w_jk * x_k);     -- FC + ReLU
+//!        out_i := c_i + Σ v_ij * h1_j;           -- FC output
+//!        oc := case … esac;                      -- maxpool readout
+//! INVARSPEC oc = Sx;                             -- P2
+//! ```
+
+use fannet_numeric::Rational;
+use fannet_nn::{Activation, Network};
+
+use crate::ast::{Assign, Define, Expr, SmvModule, Sort, VarDecl};
+
+/// Renders a rational as the smallest matching literal: `Expr::Int` for
+/// integers (so printed models round-trip through the parser), `Expr::Rat`
+/// otherwise.
+fn rat_expr(r: Rational) -> Expr {
+    if r.is_integer() {
+        if let Ok(v) = i64::try_from(r.numer()) {
+            return Expr::Int(v);
+        }
+    }
+    Expr::Rat(r)
+}
+
+/// Options for the NN → SMV translation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TranslationConfig {
+    /// Symmetric noise range `±delta` (integer percent) on every input.
+    pub delta: i64,
+    /// Also add a noise variable for the bias node (the paper's Fig. 3a
+    /// input layer has six nodes: five inputs plus the constant-1 bias, and
+    /// Fig. 3c's 65-state FSM perturbs all six).
+    pub bias_noise: bool,
+    /// Name of the generated module.
+    pub module_name: String,
+}
+
+impl TranslationConfig {
+    /// A `±delta` translation without bias noise, module name `main`.
+    #[must_use]
+    pub fn symmetric(delta: i64) -> Self {
+        TranslationConfig { delta, bias_noise: false, module_name: "main".into() }
+    }
+}
+
+/// Translates `net` (exact rational parameters), one input `x` and its true
+/// label into an SMV module with the P2 invariant.
+///
+/// # Panics
+///
+/// Panics if widths mismatch, `label` is out of range, `delta` is negative,
+/// or the network is not piecewise-linear (sigmoid has no SMV encoding in
+/// this subset).
+#[must_use]
+pub fn network_to_smv(
+    net: &Network<Rational>,
+    x: &[Rational],
+    label: usize,
+    config: &TranslationConfig,
+) -> SmvModule {
+    assert_eq!(x.len(), net.inputs(), "input width must match the network");
+    assert!(label < net.outputs(), "label {label} out of range");
+    assert!(config.delta >= 0, "noise range must be non-negative");
+    assert!(
+        net.is_piecewise_linear(),
+        "SMV translation supports ReLU/Identity networks only"
+    );
+
+    let mut module = SmvModule::new(config.module_name.clone());
+    let range = Expr::IntRange(-config.delta, config.delta);
+
+    // --- noise variables (nondeterministic init and next) ---------------
+    let mut noise_names: Vec<String> = (0..net.inputs()).map(|k| format!("noise_{k}")).collect();
+    if config.bias_noise {
+        noise_names.push("noise_bias".into());
+    }
+    for name in &noise_names {
+        module.vars.push(VarDecl {
+            name: name.clone(),
+            sort: Sort::Range(-config.delta, config.delta),
+        });
+        module.assigns.push(Assign {
+            var: name.clone(),
+            init: Some(range.clone()),
+            next: Some(range.clone()),
+        });
+    }
+
+    // --- noisy inputs ----------------------------------------------------
+    for (k, &xk) in x.iter().enumerate() {
+        module.defines.push(Define {
+            name: format!("x_{k}"),
+            expr: noisy_factor(rat_expr(xk), &format!("noise_{k}")),
+        });
+    }
+
+    // --- layers ------------------------------------------------------------
+    let mut prev_names: Vec<String> = (0..net.inputs()).map(|k| format!("x_{k}")).collect();
+    let last = net.layers().len() - 1;
+    for (l, layer) in net.layers().iter().enumerate() {
+        let mut names = Vec::with_capacity(layer.outputs());
+        for j in 0..layer.outputs() {
+            let name = if l == last {
+                format!("out_{j}")
+            } else {
+                format!("h{}_{j}", l + 1)
+            };
+            let mut sum = bias_term(layer.biases()[j], l == 0 && config.bias_noise);
+            for (k, prev) in prev_names.iter().enumerate() {
+                let w = layer.weights()[(j, k)];
+                if w.is_zero() {
+                    continue;
+                }
+                sum = Expr::add(sum, Expr::mul(rat_expr(w), Expr::var(prev.clone())));
+            }
+            let body = match layer.activation() {
+                Activation::Identity => sum,
+                Activation::ReLU => Expr::max(Expr::Int(0), sum),
+                Activation::Sigmoid => unreachable!("checked piecewise-linear above"),
+            };
+            module.defines.push(Define { name: name.clone(), expr: body });
+            names.push(name);
+        }
+        prev_names = names;
+    }
+
+    // --- maxpool readout (argmax, ties toward the lower index) ----------
+    let outputs = prev_names;
+    let mut arms = Vec::with_capacity(outputs.len());
+    for (i, oi) in outputs.iter().enumerate() {
+        if i + 1 == outputs.len() {
+            arms.push((Expr::Bool(true), Expr::Int(i as i64)));
+            break;
+        }
+        let mut cond: Option<Expr> = None;
+        for (j, oj) in outputs.iter().enumerate() {
+            if i == j {
+                continue;
+            }
+            // Lower rivals win ties, so i must beat j < i strictly.
+            let cmp = if j < i {
+                Expr::Bin(
+                    crate::ast::BinOp::Gt,
+                    Box::new(Expr::var(oi.clone())),
+                    Box::new(Expr::var(oj.clone())),
+                )
+            } else {
+                Expr::ge(Expr::var(oi.clone()), Expr::var(oj.clone()))
+            };
+            cond = Some(match cond {
+                None => cmp,
+                Some(c) => Expr::Bin(crate::ast::BinOp::And, Box::new(c), Box::new(cmp)),
+            });
+        }
+        arms.push((cond.expect("≥2 outputs"), Expr::Int(i as i64)));
+    }
+    module.defines.push(Define { name: "oc".into(), expr: Expr::Case(arms) });
+
+    // --- property P2 (P1 when delta = 0) ---------------------------------
+    module
+        .invarspecs
+        .push(Expr::eq(Expr::var("oc"), Expr::Int(label as i64)));
+
+    module
+}
+
+/// `base * (100 + noise)/100` with the division kept non-constant so it
+/// survives parsing untouched.
+fn noisy_factor(base: Expr, noise_var: &str) -> Expr {
+    Expr::div(
+        Expr::mul(base, Expr::add(Expr::Int(100), Expr::var(noise_var))),
+        Expr::Int(100),
+    )
+}
+
+fn bias_term(bias: Rational, noisy_bias: bool) -> Expr {
+    if noisy_bias && !bias.is_zero() {
+        noisy_factor(rat_expr(bias), "noise_bias")
+    } else {
+        rat_expr(bias)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::eval::{bind_defines, Env};
+    use crate::parser::parse_module;
+    use crate::printer::print_module;
+    use fannet_nn::{DenseLayer, Readout};
+    use fannet_tensor::Matrix;
+
+    fn r(n: i128) -> Rational {
+        Rational::from_integer(n)
+    }
+
+    fn tiny_net() -> Network<Rational> {
+        let hidden = DenseLayer::new(
+            Matrix::from_rows(vec![
+                vec![Rational::new(1, 2), r(-1)],
+                vec![r(1), Rational::new(1, 4)],
+            ])
+            .unwrap(),
+            vec![r(1), r(-2)],
+            Activation::ReLU,
+        )
+        .unwrap();
+        let output = DenseLayer::new(
+            Matrix::from_rows(vec![vec![r(1), r(-1)], vec![r(-1), r(1)]]).unwrap(),
+            vec![r(0), r(0)],
+            Activation::Identity,
+        )
+        .unwrap();
+        Network::new(vec![hidden, output], Readout::MaxPool).unwrap()
+    }
+
+    #[test]
+    fn structure_of_generated_module() {
+        let net = tiny_net();
+        let x = [r(100), r(40)];
+        let m = network_to_smv(&net, &x, 0, &TranslationConfig::symmetric(5));
+        assert_eq!(m.vars.len(), 2);
+        assert_eq!(m.vars[0].sort, Sort::Range(-5, 5));
+        // 2 inputs + 2 hidden + 2 outputs + oc = 7 defines.
+        assert_eq!(m.defines.len(), 7);
+        assert!(m.define("x_0").is_some());
+        assert!(m.define("h1_1").is_some());
+        assert!(m.define("out_0").is_some());
+        assert!(m.define("oc").is_some());
+        assert_eq!(m.invarspecs.len(), 1);
+        // init and next both nondeterministic over the range.
+        let a = m.assign("noise_0").unwrap();
+        assert_eq!(a.init, Some(Expr::IntRange(-5, 5)));
+        assert_eq!(a.next, Some(Expr::IntRange(-5, 5)));
+    }
+
+    #[test]
+    fn bias_noise_adds_sixth_node() {
+        let net = tiny_net();
+        let x = [r(100), r(40)];
+        let mut cfg = TranslationConfig::symmetric(1);
+        cfg.bias_noise = true;
+        let m = network_to_smv(&net, &x, 0, &cfg);
+        assert_eq!(m.vars.len(), 3);
+        assert!(m.var("noise_bias").is_some());
+        let text = print_module(&m);
+        assert!(text.contains("noise_bias"), "{text}");
+    }
+
+    #[test]
+    fn printed_model_parses_back() {
+        let net = tiny_net();
+        let x = [r(100), r(40)];
+        let m = network_to_smv(&net, &x, 1, &TranslationConfig::symmetric(3));
+        let text = print_module(&m);
+        let back = parse_module(&text).unwrap();
+        assert_eq!(back, m, "translation must round-trip through the printer");
+    }
+
+    #[test]
+    fn model_semantics_match_network_exactly() {
+        // Evaluate the generated defines under concrete noise and compare
+        // with direct exact network evaluation — the P1 validation step.
+        let net = tiny_net();
+        let x = [r(100), r(40)];
+        let m = network_to_smv(&net, &x, 0, &TranslationConfig::symmetric(10));
+        for noise in [[0i64, 0], [10, -10], [-7, 3], [5, 5]] {
+            let mut env = Env::new();
+            env.insert("noise_0".into(), crate::ast::Value::int(noise[0]));
+            env.insert("noise_1".into(), crate::ast::Value::int(noise[1]));
+            bind_defines(&m.defines, &mut env).unwrap();
+            // Exact reference computation.
+            let noisy: Vec<Rational> = x
+                .iter()
+                .zip(noise)
+                .map(|(&xk, p)| xk * Rational::new(100 + i128::from(p), 100))
+                .collect();
+            let expected_out = net.forward(&noisy).unwrap();
+            for (i, &eo) in expected_out.iter().enumerate() {
+                let got = env[&format!("out_{i}")].as_rat().unwrap();
+                assert_eq!(got, eo, "out_{i} under noise {noise:?}");
+            }
+            let oc = env["oc"].as_rat().unwrap();
+            let expected_label = net.classify(&noisy).unwrap();
+            assert_eq!(oc, r(expected_label as i128), "oc under noise {noise:?}");
+        }
+    }
+
+    #[test]
+    fn zero_weights_are_omitted_from_sums() {
+        let layer = DenseLayer::new(
+            Matrix::from_rows(vec![vec![r(0), r(2)], vec![r(3), r(0)]]).unwrap(),
+            vec![r(0), r(0)],
+            Activation::Identity,
+        )
+        .unwrap();
+        let net = Network::new(vec![layer], Readout::MaxPool).unwrap();
+        let m = network_to_smv(&net, &[r(1), r(1)], 0, &TranslationConfig::symmetric(0));
+        let text = print_module(&m);
+        // out_0 references x_1 only.
+        let line = text.lines().find(|l| l.contains("out_0 :=")).unwrap();
+        assert!(!line.contains("x_0"), "{line}");
+        assert!(line.contains("x_1"), "{line}");
+    }
+
+    #[test]
+    #[should_panic(expected = "width must match")]
+    fn width_mismatch_panics() {
+        let net = tiny_net();
+        let _ = network_to_smv(&net, &[r(1)], 0, &TranslationConfig::symmetric(1));
+    }
+}

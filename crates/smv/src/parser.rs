@@ -1,0 +1,663 @@
+//! Lexer and recursive-descent parser for the SMV subset.
+//!
+//! Accepts everything [`crate::printer`] emits (round-trip tested), plus
+//! `--` line comments and flexible whitespace. Constant folding is applied
+//! to literal negation and literal division, so `3/4` parses to the exact
+//! rational `3/4` rather than a division node — mirroring how nuXmv treats
+//! real constants.
+
+use std::fmt;
+
+use fannet_numeric::Rational;
+
+use crate::ast::{Assign, BinOp, Define, Expr, SmvModule, Sort, VarDecl};
+
+/// Error produced by the lexer or parser, with 1-based line/column.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseSmvError {
+    message: String,
+    line: usize,
+    col: usize,
+}
+
+impl fmt::Display for ParseSmvError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "smv parse error at {}:{}: {}", self.line, self.col, self.message)
+    }
+}
+
+impl std::error::Error for ParseSmvError {}
+
+#[derive(Debug, Clone, PartialEq)]
+enum Tok {
+    Ident(String),
+    Int(i64),
+    // symbols
+    Colon,
+    Semi,
+    Comma,
+    Assign, // :=
+    DotDot,
+    LBrace,
+    RBrace,
+    LParen,
+    RParen,
+    Plus,
+    Minus,
+    Star,
+    Slash,
+    Eq,
+    Ne,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+    Amp,
+    Pipe,
+    Bang,
+}
+
+#[derive(Debug, Clone)]
+struct Spanned {
+    tok: Tok,
+    line: usize,
+    col: usize,
+}
+
+fn lex(src: &str) -> Result<Vec<Spanned>, ParseSmvError> {
+    let mut out = Vec::new();
+    let bytes: Vec<char> = src.chars().collect();
+    let mut i = 0;
+    let mut line = 1;
+    let mut col = 1;
+    let err = |msg: &str, line: usize, col: usize| ParseSmvError {
+        message: msg.to_string(),
+        line,
+        col,
+    };
+    while i < bytes.len() {
+        let c = bytes[i];
+        let (tline, tcol) = (line, col);
+        let push = |tok: Tok, out: &mut Vec<Spanned>| {
+            out.push(Spanned { tok, line: tline, col: tcol });
+        };
+        match c {
+            '\n' => {
+                line += 1;
+                col = 1;
+                i += 1;
+                continue;
+            }
+            c if c.is_whitespace() => {}
+            '-' if i + 1 < bytes.len() && bytes[i + 1] == '-' => {
+                // line comment
+                while i < bytes.len() && bytes[i] != '\n' {
+                    i += 1;
+                }
+                continue;
+            }
+            ':' if i + 1 < bytes.len() && bytes[i + 1] == '=' => {
+                push(Tok::Assign, &mut out);
+                i += 1;
+                col += 1;
+            }
+            ':' => push(Tok::Colon, &mut out),
+            ';' => push(Tok::Semi, &mut out),
+            ',' => push(Tok::Comma, &mut out),
+            '.' if i + 1 < bytes.len() && bytes[i + 1] == '.' => {
+                push(Tok::DotDot, &mut out);
+                i += 1;
+                col += 1;
+            }
+            '{' => push(Tok::LBrace, &mut out),
+            '}' => push(Tok::RBrace, &mut out),
+            '(' => push(Tok::LParen, &mut out),
+            ')' => push(Tok::RParen, &mut out),
+            '+' => push(Tok::Plus, &mut out),
+            '-' => push(Tok::Minus, &mut out),
+            '*' => push(Tok::Star, &mut out),
+            '/' => push(Tok::Slash, &mut out),
+            '=' => push(Tok::Eq, &mut out),
+            '!' if i + 1 < bytes.len() && bytes[i + 1] == '=' => {
+                push(Tok::Ne, &mut out);
+                i += 1;
+                col += 1;
+            }
+            '!' => push(Tok::Bang, &mut out),
+            '<' if i + 1 < bytes.len() && bytes[i + 1] == '=' => {
+                push(Tok::Le, &mut out);
+                i += 1;
+                col += 1;
+            }
+            '<' => push(Tok::Lt, &mut out),
+            '>' if i + 1 < bytes.len() && bytes[i + 1] == '=' => {
+                push(Tok::Ge, &mut out);
+                i += 1;
+                col += 1;
+            }
+            '>' => push(Tok::Gt, &mut out),
+            '&' => push(Tok::Amp, &mut out),
+            '|' => push(Tok::Pipe, &mut out),
+            c if c.is_ascii_digit() => {
+                let start = i;
+                while i < bytes.len() && bytes[i].is_ascii_digit() {
+                    i += 1;
+                    col += 1;
+                }
+                let text: String = bytes[start..i].iter().collect();
+                let v: i64 = text
+                    .parse()
+                    .map_err(|_| err(&format!("integer literal `{text}` too large"), tline, tcol))?;
+                out.push(Spanned { tok: Tok::Int(v), line: tline, col: tcol });
+                continue;
+            }
+            c if c.is_ascii_alphabetic() || c == '_' => {
+                let start = i;
+                while i < bytes.len()
+                    && (bytes[i].is_ascii_alphanumeric() || bytes[i] == '_' || bytes[i] == '.')
+                {
+                    // Identifiers with dots exist in full SMV; our subset
+                    // allows plain idents only, but '.' here would be
+                    // ambiguous with `..`, so stop before '..'.
+                    if bytes[i] == '.' {
+                        if i + 1 < bytes.len() && bytes[i + 1] == '.' {
+                            break;
+                        }
+                    }
+                    i += 1;
+                    col += 1;
+                }
+                let text: String = bytes[start..i].iter().collect();
+                out.push(Spanned { tok: Tok::Ident(text), line: tline, col: tcol });
+                continue;
+            }
+            other => return Err(err(&format!("unexpected character `{other}`"), line, col)),
+        }
+        i += 1;
+        col += 1;
+    }
+    Ok(out)
+}
+
+struct Parser {
+    toks: Vec<Spanned>,
+    pos: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> Option<&Tok> {
+        self.toks.get(self.pos).map(|s| &s.tok)
+    }
+
+    fn peek2(&self) -> Option<&Tok> {
+        self.toks.get(self.pos + 1).map(|s| &s.tok)
+    }
+
+    fn error(&self, msg: impl Into<String>) -> ParseSmvError {
+        let (line, col) = self
+            .toks
+            .get(self.pos.min(self.toks.len().saturating_sub(1)))
+            .map_or((0, 0), |s| (s.line, s.col));
+        ParseSmvError { message: msg.into(), line, col }
+    }
+
+    fn bump(&mut self) -> Option<Tok> {
+        let t = self.toks.get(self.pos).map(|s| s.tok.clone());
+        self.pos += 1;
+        t
+    }
+
+    fn expect(&mut self, want: &Tok, what: &str) -> Result<(), ParseSmvError> {
+        if self.peek() == Some(want) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.error(format!("expected {what}, found {:?}", self.peek())))
+        }
+    }
+
+    fn expect_ident(&mut self) -> Result<String, ParseSmvError> {
+        match self.bump() {
+            Some(Tok::Ident(s)) => Ok(s),
+            other => Err(self.error(format!("expected identifier, found {other:?}"))),
+        }
+    }
+
+    fn at_keyword(&self, kw: &str) -> bool {
+        matches!(self.peek(), Some(Tok::Ident(s)) if s == kw)
+    }
+
+    fn eat_keyword(&mut self, kw: &str) -> bool {
+        if self.at_keyword(kw) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn signed_int(&mut self) -> Result<i64, ParseSmvError> {
+        match self.bump() {
+            Some(Tok::Int(v)) => Ok(v),
+            Some(Tok::Minus) => match self.bump() {
+                Some(Tok::Int(v)) => Ok(-v),
+                other => Err(self.error(format!("expected integer after `-`, found {other:?}"))),
+            },
+            other => Err(self.error(format!("expected integer, found {other:?}"))),
+        }
+    }
+
+    // ---- expressions -------------------------------------------------
+
+    fn expr(&mut self) -> Result<Expr, ParseSmvError> {
+        self.or_expr()
+    }
+
+    fn or_expr(&mut self) -> Result<Expr, ParseSmvError> {
+        let mut lhs = self.and_expr()?;
+        while self.peek() == Some(&Tok::Pipe) {
+            self.pos += 1;
+            let rhs = self.and_expr()?;
+            lhs = Expr::Bin(BinOp::Or, Box::new(lhs), Box::new(rhs));
+        }
+        Ok(lhs)
+    }
+
+    fn and_expr(&mut self) -> Result<Expr, ParseSmvError> {
+        let mut lhs = self.cmp_expr()?;
+        while self.peek() == Some(&Tok::Amp) {
+            self.pos += 1;
+            let rhs = self.cmp_expr()?;
+            lhs = Expr::Bin(BinOp::And, Box::new(lhs), Box::new(rhs));
+        }
+        Ok(lhs)
+    }
+
+    fn cmp_expr(&mut self) -> Result<Expr, ParseSmvError> {
+        let mut lhs = self.add_expr()?;
+        loop {
+            let op = match self.peek() {
+                Some(Tok::Eq) => BinOp::Eq,
+                Some(Tok::Ne) => BinOp::Ne,
+                Some(Tok::Lt) => BinOp::Lt,
+                Some(Tok::Le) => BinOp::Le,
+                Some(Tok::Gt) => BinOp::Gt,
+                Some(Tok::Ge) => BinOp::Ge,
+                _ => break,
+            };
+            self.pos += 1;
+            let rhs = self.add_expr()?;
+            lhs = Expr::Bin(op, Box::new(lhs), Box::new(rhs));
+        }
+        Ok(lhs)
+    }
+
+    fn add_expr(&mut self) -> Result<Expr, ParseSmvError> {
+        let mut lhs = self.mul_expr()?;
+        loop {
+            let op = match self.peek() {
+                Some(Tok::Plus) => BinOp::Add,
+                Some(Tok::Minus) => BinOp::Sub,
+                _ => break,
+            };
+            self.pos += 1;
+            let rhs = self.mul_expr()?;
+            lhs = Expr::Bin(op, Box::new(lhs), Box::new(rhs));
+        }
+        Ok(lhs)
+    }
+
+    fn mul_expr(&mut self) -> Result<Expr, ParseSmvError> {
+        let mut lhs = self.unary_expr()?;
+        loop {
+            let op = match self.peek() {
+                Some(Tok::Star) => BinOp::Mul,
+                Some(Tok::Slash) => BinOp::Div,
+                _ => break,
+            };
+            self.pos += 1;
+            let rhs = self.unary_expr()?;
+            // Constant-fold literal division into exact rationals so the
+            // printed form `3/4` round-trips to `Expr::Rat`.
+            lhs = match (op, &lhs, &rhs) {
+                (BinOp::Div, Expr::Int(a), Expr::Int(b)) if *b != 0 => {
+                    Expr::Rat(Rational::new(i128::from(*a), i128::from(*b)))
+                }
+                (BinOp::Div, Expr::Rat(a), Expr::Int(b)) if *b != 0 => {
+                    Expr::Rat(*a / Rational::from_integer(i128::from(*b)))
+                }
+                _ => Expr::Bin(op, Box::new(lhs), Box::new(rhs)),
+            };
+        }
+        Ok(lhs)
+    }
+
+    fn unary_expr(&mut self) -> Result<Expr, ParseSmvError> {
+        match self.peek() {
+            Some(Tok::Minus) => {
+                // `-5..5` is a range literal, not negation of a range.
+                if let (Some(Tok::Int(lo)), Some(Tok::DotDot)) = (self.peek2(), self.toks.get(self.pos + 2).map(|s| &s.tok)) {
+                    let lo = -lo;
+                    self.pos += 3; // minus, int, dotdot
+                    let hi = self.signed_int()?;
+                    return Ok(Expr::IntRange(lo, hi));
+                }
+                self.pos += 1;
+                let inner = self.unary_expr()?;
+                Ok(match inner {
+                    // Fold literal negation.
+                    Expr::Int(v) => Expr::Int(-v),
+                    Expr::Rat(r) => Expr::Rat(-r),
+                    other => Expr::Neg(Box::new(other)),
+                })
+            }
+            Some(Tok::Bang) => {
+                self.pos += 1;
+                let inner = self.unary_expr()?;
+                Ok(Expr::Not(Box::new(inner)))
+            }
+            _ => self.atom(),
+        }
+    }
+
+    fn atom(&mut self) -> Result<Expr, ParseSmvError> {
+        match self.bump() {
+            Some(Tok::Int(v)) => {
+                if self.peek() == Some(&Tok::DotDot) {
+                    self.pos += 1;
+                    let hi = self.signed_int()?;
+                    Ok(Expr::IntRange(v, hi))
+                } else {
+                    Ok(Expr::Int(v))
+                }
+            }
+            Some(Tok::LParen) => {
+                let inner = self.expr()?;
+                self.expect(&Tok::RParen, "`)`")?;
+                Ok(inner)
+            }
+            Some(Tok::LBrace) => {
+                let mut items = vec![self.expr()?];
+                while self.peek() == Some(&Tok::Comma) {
+                    self.pos += 1;
+                    items.push(self.expr()?);
+                }
+                self.expect(&Tok::RBrace, "`}`")?;
+                Ok(Expr::Set(items))
+            }
+            Some(Tok::Ident(name)) => match name.as_str() {
+                "TRUE" => Ok(Expr::Bool(true)),
+                "FALSE" => Ok(Expr::Bool(false)),
+                "max" => {
+                    self.expect(&Tok::LParen, "`(` after max")?;
+                    let a = self.expr()?;
+                    self.expect(&Tok::Comma, "`,` in max")?;
+                    let b = self.expr()?;
+                    self.expect(&Tok::RParen, "`)` after max")?;
+                    Ok(Expr::Max(Box::new(a), Box::new(b)))
+                }
+                "case" => {
+                    let mut arms = Vec::new();
+                    while !self.at_keyword("esac") {
+                        let cond = self.expr()?;
+                        self.expect(&Tok::Colon, "`:` in case arm")?;
+                        let val = self.expr()?;
+                        self.expect(&Tok::Semi, "`;` after case arm")?;
+                        arms.push((cond, val));
+                    }
+                    self.pos += 1; // esac
+                    if arms.is_empty() {
+                        return Err(self.error("case expression needs at least one arm"));
+                    }
+                    Ok(Expr::Case(arms))
+                }
+                _ => Ok(Expr::Var(name)),
+            },
+            other => Err(self.error(format!("expected expression, found {other:?}"))),
+        }
+    }
+
+    // ---- module structure ---------------------------------------------
+
+    fn sort(&mut self) -> Result<Sort, ParseSmvError> {
+        if self.eat_keyword("boolean") {
+            return Ok(Sort::Boolean);
+        }
+        if self.peek() == Some(&Tok::LBrace) {
+            self.pos += 1;
+            let mut vs = vec![self.signed_int()?];
+            while self.peek() == Some(&Tok::Comma) {
+                self.pos += 1;
+                vs.push(self.signed_int()?);
+            }
+            self.expect(&Tok::RBrace, "`}`")?;
+            return Ok(Sort::IntSet(vs));
+        }
+        let lo = self.signed_int()?;
+        self.expect(&Tok::DotDot, "`..` in range sort")?;
+        let hi = self.signed_int()?;
+        Ok(Sort::Range(lo, hi))
+    }
+
+    fn module(&mut self) -> Result<SmvModule, ParseSmvError> {
+        if !self.eat_keyword("MODULE") {
+            return Err(self.error("expected MODULE"));
+        }
+        let name = self.expect_ident()?;
+        let mut module = SmvModule::new(name);
+        loop {
+            if self.eat_keyword("VAR") {
+                while matches!(self.peek(), Some(Tok::Ident(s)) if !is_section(s)) {
+                    let vname = self.expect_ident()?;
+                    self.expect(&Tok::Colon, "`:` in VAR declaration")?;
+                    let sort = self.sort()?;
+                    self.expect(&Tok::Semi, "`;` after VAR declaration")?;
+                    module.vars.push(VarDecl { name: vname, sort });
+                }
+            } else if self.eat_keyword("DEFINE") {
+                while matches!(self.peek(), Some(Tok::Ident(s)) if !is_section(s)) {
+                    let dname = self.expect_ident()?;
+                    self.expect(&Tok::Assign, "`:=` in DEFINE")?;
+                    let expr = self.expr()?;
+                    self.expect(&Tok::Semi, "`;` after DEFINE")?;
+                    module.defines.push(Define { name: dname, expr });
+                }
+            } else if self.eat_keyword("ASSIGN") {
+                while self.at_keyword("init") || self.at_keyword("next") {
+                    let kind = self.expect_ident()?;
+                    self.expect(&Tok::LParen, "`(`")?;
+                    let var = self.expect_ident()?;
+                    self.expect(&Tok::RParen, "`)`")?;
+                    self.expect(&Tok::Assign, "`:=`")?;
+                    let expr = self.expr()?;
+                    self.expect(&Tok::Semi, "`;` after assignment")?;
+                    let entry = module.assigns.iter_mut().find(|a| a.var == var);
+                    let entry = match entry {
+                        Some(e) => e,
+                        None => {
+                            module.assigns.push(Assign {
+                                var: var.clone(),
+                                init: None,
+                                next: None,
+                            });
+                            module.assigns.last_mut().expect("just pushed")
+                        }
+                    };
+                    if kind == "init" {
+                        entry.init = Some(expr);
+                    } else {
+                        entry.next = Some(expr);
+                    }
+                }
+            } else if self.eat_keyword("INVARSPEC") {
+                let spec = self.expr()?;
+                self.expect(&Tok::Semi, "`;` after INVARSPEC")?;
+                module.invarspecs.push(spec);
+            } else if self.peek().is_none() {
+                break;
+            } else {
+                return Err(self.error(format!("unexpected token {:?}", self.peek())));
+            }
+        }
+        Ok(module)
+    }
+}
+
+fn is_section(s: &str) -> bool {
+    matches!(s, "VAR" | "DEFINE" | "ASSIGN" | "INVARSPEC" | "MODULE")
+}
+
+/// Parses a full module from SMV text.
+///
+/// # Errors
+///
+/// Returns [`ParseSmvError`] with a 1-based source location on malformed
+/// input.
+///
+/// # Examples
+///
+/// ```
+/// use fannet_smv::parser::parse_module;
+/// let m = parse_module("MODULE main\nVAR n : -1..1;\nINVARSPEC n <= 1;")?;
+/// assert_eq!(m.vars.len(), 1);
+/// assert_eq!(m.invarspecs.len(), 1);
+/// # Ok::<(), fannet_smv::parser::ParseSmvError>(())
+/// ```
+pub fn parse_module(src: &str) -> Result<SmvModule, ParseSmvError> {
+    let toks = lex(src)?;
+    let mut p = Parser { toks, pos: 0 };
+    let m = p.module()?;
+    Ok(m)
+}
+
+/// Parses a single expression (useful for tests and property strings).
+///
+/// # Errors
+///
+/// Returns [`ParseSmvError`] on malformed input or trailing tokens.
+pub fn parse_expr(src: &str) -> Result<Expr, ParseSmvError> {
+    let toks = lex(src)?;
+    let mut p = Parser { toks, pos: 0 };
+    let e = p.expr()?;
+    if p.peek().is_some() {
+        return Err(p.error("trailing tokens after expression"));
+    }
+    Ok(e)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::printer::{print_expr, print_module};
+
+    #[test]
+    fn literals_and_vars() {
+        assert_eq!(parse_expr("42").unwrap(), Expr::Int(42));
+        assert_eq!(parse_expr("-42").unwrap(), Expr::Int(-42));
+        assert_eq!(parse_expr("TRUE").unwrap(), Expr::Bool(true));
+        assert_eq!(parse_expr("oc_n").unwrap(), Expr::var("oc_n"));
+    }
+
+    #[test]
+    fn rational_folding() {
+        assert_eq!(
+            parse_expr("3/4").unwrap(),
+            Expr::Rat(Rational::new(3, 4))
+        );
+        assert_eq!(
+            parse_expr("-3/4").unwrap(),
+            Expr::Rat(Rational::new(-3, 4))
+        );
+        // Non-constant division is preserved.
+        assert!(matches!(
+            parse_expr("x / 100").unwrap(),
+            Expr::Bin(BinOp::Div, _, _)
+        ));
+    }
+
+    #[test]
+    fn precedence_matches_printer() {
+        let e = parse_expr("a + b * c").unwrap();
+        assert_eq!(print_expr(&e), "a + b * c");
+        let f = parse_expr("(a + b) * c").unwrap();
+        assert_eq!(print_expr(&f), "(a + b) * c");
+        let g = parse_expr("a = 1 & b = 2 | !c").unwrap();
+        assert_eq!(print_expr(&g), "a = 1 & b = 2 | !c");
+    }
+
+    #[test]
+    fn ranges_and_sets() {
+        assert_eq!(parse_expr("-5..5").unwrap(), Expr::IntRange(-5, 5));
+        assert_eq!(parse_expr("0..3").unwrap(), Expr::IntRange(0, 3));
+        assert_eq!(parse_expr("2..-1").unwrap(), Expr::IntRange(2, -1));
+        assert_eq!(
+            parse_expr("{-1, 0, 1}").unwrap(),
+            Expr::Set(vec![Expr::Int(-1), Expr::Int(0), Expr::Int(1)])
+        );
+    }
+
+    #[test]
+    fn max_and_case() {
+        let m = parse_expr("max(0, b + 2)").unwrap();
+        assert!(matches!(m, Expr::Max(_, _)));
+        let c = parse_expr("case L0 >= L1 : 0; TRUE : 1; esac").unwrap();
+        match c {
+            Expr::Case(arms) => assert_eq!(arms.len(), 2),
+            other => panic!("expected case, got {other:?}"),
+        }
+        assert!(parse_expr("case esac").is_err());
+    }
+
+    #[test]
+    fn comments_and_whitespace() {
+        let m = parse_module(
+            "MODULE main -- the model\nVAR\n  n : -1..1; -- noise\nINVARSPEC n >= -1;",
+        )
+        .unwrap();
+        assert_eq!(m.vars.len(), 1);
+    }
+
+    #[test]
+    fn full_module_round_trip() {
+        let src = "\
+MODULE main
+VAR
+  noise_0 : -1..1;
+  flag : boolean;
+  pick : {0, 2, 4};
+DEFINE
+  x_0 := 1234 * (100 + noise_0) / 100;
+  oc := case x_0 >= 0 : 0; TRUE : 1; esac;
+ASSIGN
+  init(noise_0) := -1..1;
+  next(noise_0) := {-1, 0, 1};
+INVARSPEC oc = 0;
+";
+        let m = parse_module(src).unwrap();
+        let printed = print_module(&m);
+        let reparsed = parse_module(&printed).unwrap();
+        assert_eq!(m, reparsed, "print→parse must be the identity on the AST");
+    }
+
+    #[test]
+    fn error_positions() {
+        let err = parse_module("MODULE main\nVAR\n  n : ???;").unwrap_err();
+        let msg = err.to_string();
+        assert!(msg.contains("3:"), "error should point at line 3: {msg}");
+        assert!(parse_expr("1 +").is_err());
+        assert!(parse_expr("max(1)").is_err());
+        assert!(parse_expr("1 2").is_err(), "trailing tokens rejected");
+        assert!(parse_module("VAR x : boolean;").is_err(), "must start with MODULE");
+    }
+
+    #[test]
+    fn assign_merging() {
+        let m = parse_module(
+            "MODULE main\nVAR n : 0..1;\nASSIGN\n  init(n) := 0;\n  next(n) := {0, 1};",
+        )
+        .unwrap();
+        let a = m.assign("n").unwrap();
+        assert_eq!(a.init, Some(Expr::Int(0)));
+        assert!(matches!(a.next, Some(Expr::Set(_))));
+    }
+}

@@ -1,0 +1,269 @@
+//! Pretty-printer emitting SMV text from the AST.
+//!
+//! Output is accepted back by [`crate::parser`] (round-trip tested) and is
+//! close enough to nuXmv's input language that the generated models document
+//! exactly what the paper's "translation to SMV" step produces.
+
+use std::fmt::Write as _;
+
+use crate::ast::{Assign, BinOp, Expr, SmvModule, Sort};
+
+/// Operator precedence; higher binds tighter.
+fn precedence(op: BinOp) -> u8 {
+    match op {
+        BinOp::Mul | BinOp::Div => 5,
+        BinOp::Add | BinOp::Sub => 4,
+        BinOp::Eq | BinOp::Ne | BinOp::Lt | BinOp::Le | BinOp::Gt | BinOp::Ge => 3,
+        BinOp::And => 2,
+        BinOp::Or => 1,
+    }
+}
+
+fn op_token(op: BinOp) -> &'static str {
+    match op {
+        BinOp::Add => "+",
+        BinOp::Sub => "-",
+        BinOp::Mul => "*",
+        BinOp::Div => "/",
+        BinOp::Eq => "=",
+        BinOp::Ne => "!=",
+        BinOp::Lt => "<",
+        BinOp::Le => "<=",
+        BinOp::Gt => ">",
+        BinOp::Ge => ">=",
+        BinOp::And => "&",
+        BinOp::Or => "|",
+    }
+}
+
+/// Renders an expression as SMV text.
+///
+/// # Examples
+///
+/// ```
+/// use fannet_smv::ast::Expr;
+/// use fannet_smv::printer::print_expr;
+///
+/// let e = Expr::add(Expr::mul(Expr::Int(2), Expr::var("n")), Expr::Int(1));
+/// assert_eq!(print_expr(&e), "2 * n + 1");
+/// let f = Expr::mul(Expr::Int(2), Expr::add(Expr::var("n"), Expr::Int(1)));
+/// assert_eq!(print_expr(&f), "2 * (n + 1)");
+/// ```
+#[must_use]
+pub fn print_expr(expr: &Expr) -> String {
+    print_prec(expr, 0)
+}
+
+fn print_prec(expr: &Expr, parent: u8) -> String {
+    match expr {
+        Expr::Int(v) => v.to_string(),
+        Expr::Rat(r) => {
+            if r.is_integer() {
+                r.to_string()
+            } else if r.is_negative() {
+                // Keep unary minus outside the fraction: -(a/b).
+                format!("-{}/{}", -r.numer(), r.denom())
+            } else {
+                format!("{}/{}", r.numer(), r.denom())
+            }
+        }
+        Expr::Bool(true) => "TRUE".to_string(),
+        Expr::Bool(false) => "FALSE".to_string(),
+        Expr::Var(name) => name.clone(),
+        Expr::Neg(inner) => {
+            let s = format!("-{}", print_prec(inner, 6));
+            if parent > 5 { format!("({s})") } else { s }
+        }
+        Expr::Not(inner) => {
+            let s = format!("!{}", print_prec(inner, 6));
+            if parent > 5 { format!("({s})") } else { s }
+        }
+        Expr::Bin(op, a, b) => {
+            let p = precedence(*op);
+            // Left-associative: right child needs strictly higher context.
+            let s = format!(
+                "{} {} {}",
+                print_prec(a, p),
+                op_token(*op),
+                print_prec(b, p + 1)
+            );
+            if p < parent {
+                format!("({s})")
+            } else {
+                s
+            }
+        }
+        Expr::Max(a, b) => format!("max({}, {})", print_prec(a, 0), print_prec(b, 0)),
+        Expr::Case(arms) => {
+            let mut s = String::from("case ");
+            for (cond, val) in arms {
+                let _ = write!(s, "{} : {}; ", print_prec(cond, 0), print_prec(val, 0));
+            }
+            s.push_str("esac");
+            s
+        }
+        Expr::Set(items) => {
+            let inner: Vec<String> = items.iter().map(|e| print_prec(e, 0)).collect();
+            format!("{{{}}}", inner.join(", "))
+        }
+        Expr::IntRange(lo, hi) => format!("{lo}..{hi}"),
+    }
+}
+
+fn print_sort(sort: &Sort) -> String {
+    match sort {
+        Sort::Boolean => "boolean".to_string(),
+        Sort::Range(lo, hi) => format!("{lo}..{hi}"),
+        Sort::IntSet(vs) => {
+            let inner: Vec<String> = vs.iter().map(i64::to_string).collect();
+            format!("{{{}}}", inner.join(", "))
+        }
+    }
+}
+
+/// Renders a whole module as SMV text.
+#[must_use]
+pub fn print_module(module: &SmvModule) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "MODULE {}", module.name);
+    if !module.vars.is_empty() {
+        let _ = writeln!(out, "VAR");
+        for v in &module.vars {
+            let _ = writeln!(out, "  {} : {};", v.name, print_sort(&v.sort));
+        }
+    }
+    if !module.defines.is_empty() {
+        let _ = writeln!(out, "DEFINE");
+        for d in &module.defines {
+            let _ = writeln!(out, "  {} := {};", d.name, print_expr(&d.expr));
+        }
+    }
+    if !module.assigns.is_empty() {
+        let _ = writeln!(out, "ASSIGN");
+        for Assign { var, init, next } in &module.assigns {
+            if let Some(e) = init {
+                let _ = writeln!(out, "  init({var}) := {};", print_expr(e));
+            }
+            if let Some(e) = next {
+                let _ = writeln!(out, "  next({var}) := {};", print_expr(e));
+            }
+        }
+    }
+    for spec in &module.invarspecs {
+        let _ = writeln!(out, "INVARSPEC {};", print_expr(spec));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::{Define, VarDecl};
+    use fannet_numeric::Rational;
+
+    #[test]
+    fn literals() {
+        assert_eq!(print_expr(&Expr::Int(-3)), "-3");
+        assert_eq!(print_expr(&Expr::Bool(true)), "TRUE");
+        assert_eq!(print_expr(&Expr::Bool(false)), "FALSE");
+        assert_eq!(print_expr(&Expr::Rat(Rational::new(3, 4))), "3/4");
+        assert_eq!(print_expr(&Expr::Rat(Rational::new(-3, 4))), "-3/4");
+        assert_eq!(print_expr(&Expr::Rat(Rational::from_integer(7))), "7");
+        assert_eq!(print_expr(&Expr::var("oc")), "oc");
+    }
+
+    #[test]
+    fn precedence_parenthesization() {
+        // (a + b) * c needs parens; a + b * c does not.
+        let sum = Expr::add(Expr::var("a"), Expr::var("b"));
+        let prod = Expr::mul(sum.clone(), Expr::var("c"));
+        assert_eq!(print_expr(&prod), "(a + b) * c");
+        let plain = Expr::add(Expr::var("a"), Expr::mul(Expr::var("b"), Expr::var("c")));
+        assert_eq!(print_expr(&plain), "a + b * c");
+    }
+
+    #[test]
+    fn left_associativity() {
+        // a - b - c means (a - b) - c; a - (b - c) needs parens.
+        let l = Expr::Bin(
+            BinOp::Sub,
+            Box::new(Expr::Bin(
+                BinOp::Sub,
+                Box::new(Expr::var("a")),
+                Box::new(Expr::var("b")),
+            )),
+            Box::new(Expr::var("c")),
+        );
+        assert_eq!(print_expr(&l), "a - b - c");
+        let r = Expr::Bin(
+            BinOp::Sub,
+            Box::new(Expr::var("a")),
+            Box::new(Expr::Bin(
+                BinOp::Sub,
+                Box::new(Expr::var("b")),
+                Box::new(Expr::var("c")),
+            )),
+        );
+        assert_eq!(print_expr(&r), "a - (b - c)");
+    }
+
+    #[test]
+    fn boolean_structure() {
+        let e = Expr::Bin(
+            BinOp::Or,
+            Box::new(Expr::Bin(
+                BinOp::And,
+                Box::new(Expr::eq(Expr::var("oc"), Expr::Int(1))),
+                Box::new(Expr::Bool(true)),
+            )),
+            Box::new(Expr::Not(Box::new(Expr::var("e0")))),
+        );
+        assert_eq!(print_expr(&e), "oc = 1 & TRUE | !e0");
+    }
+
+    #[test]
+    fn max_and_case() {
+        let m = Expr::max(Expr::Int(0), Expr::var("n1"));
+        assert_eq!(print_expr(&m), "max(0, n1)");
+        let c = Expr::Case(vec![
+            (Expr::ge(Expr::var("L0"), Expr::var("L1")), Expr::Int(0)),
+            (Expr::Bool(true), Expr::Int(1)),
+        ]);
+        assert_eq!(print_expr(&c), "case L0 >= L1 : 0; TRUE : 1; esac");
+    }
+
+    #[test]
+    fn sets_and_ranges() {
+        assert_eq!(
+            print_expr(&Expr::Set(vec![Expr::Int(-1), Expr::Int(0), Expr::Int(1)])),
+            "{-1, 0, 1}"
+        );
+        assert_eq!(print_expr(&Expr::IntRange(-5, 5)), "-5..5");
+    }
+
+    #[test]
+    fn whole_module() {
+        let mut m = SmvModule::new("main");
+        m.vars.push(VarDecl { name: "noise_0".into(), sort: Sort::Range(-1, 1) });
+        m.defines.push(Define {
+            name: "x_0".into(),
+            expr: Expr::div(
+                Expr::mul(Expr::Int(1234), Expr::add(Expr::Int(100), Expr::var("noise_0"))),
+                Expr::Int(100),
+            ),
+        });
+        m.assigns.push(Assign {
+            var: "noise_0".into(),
+            init: Some(Expr::IntRange(-1, 1)),
+            next: Some(Expr::IntRange(-1, 1)),
+        });
+        m.invarspecs.push(Expr::eq(Expr::var("oc"), Expr::Int(1)));
+        let text = print_module(&m);
+        assert!(text.starts_with("MODULE main\n"));
+        assert!(text.contains("VAR\n  noise_0 : -1..1;"));
+        assert!(text.contains("DEFINE\n  x_0 := 1234 * (100 + noise_0) / 100;"));
+        assert!(text.contains("ASSIGN\n  init(noise_0) := -1..1;"));
+        assert!(text.contains("next(noise_0) := -1..1;"));
+        assert!(text.contains("INVARSPEC oc = 1;"));
+    }
+}

@@ -1,0 +1,182 @@
+//! Paper-style FSM state/transition accounting (Fig. 3b/3c).
+//!
+//! The paper draws the analysed network as an FSM with one distinguished
+//! **Initial** node plus one node per "configuration" and reports, for the
+//! 5-input (plus bias) leukemia network:
+//!
+//! * without noise: **3 states, 6 transitions** (Initial + the two decision
+//!   states L0/L1);
+//! * with noise range [0, 1] % on all six input-layer nodes: **65 states,
+//!   4160 transitions** (Initial + 2⁶ = 64 noise configurations).
+//!
+//! The transition counts follow from the FSM semantics: the Initial node
+//! fans out to every configuration (the nondeterministic `init`), and each
+//! configuration steps to every configuration including itself (the
+//! nondeterministic `next` re-selects the noise each step):
+//!
+//! ```text
+//! states      = 1 + n
+//! transitions = n + n²      (n = number of configurations)
+//! ```
+//!
+//! `n = 2`: 3 states, 6 transitions. `n = 64`: 65 states, 4160 transitions —
+//! exactly the published numbers. [`PaperFsm`] implements this accounting
+//! and cross-checks it against the flattened SMV semantics in tests.
+
+use serde::{Deserialize, Serialize};
+
+/// Paper-style FSM size accounting over `n` configuration states.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct PaperFsm {
+    configurations: u128,
+}
+
+impl PaperFsm {
+    /// FSM whose configurations are the output decisions of a noise-free
+    /// network (`labels` of them) — Fig. 3b.
+    #[must_use]
+    pub fn without_noise(labels: usize) -> Self {
+        PaperFsm { configurations: labels as u128 }
+    }
+
+    /// FSM whose configurations are the noise assignments: one value from
+    /// `domain_per_node` for each of `nodes` input-layer nodes — Fig. 3c.
+    ///
+    /// For the paper's [0, 1] % range, `domain_per_node` = 2 (the integer
+    /// percents {0, 1}) and `nodes` = 6 (five inputs plus the bias node).
+    #[must_use]
+    pub fn with_noise(domain_per_node: usize, nodes: usize) -> Self {
+        PaperFsm {
+            configurations: (domain_per_node as u128).saturating_pow(nodes as u32),
+        }
+    }
+
+    /// FSM over an explicit per-node symmetric integer range `±delta`
+    /// (domain size `2·delta + 1` per node).
+    #[must_use]
+    pub fn with_symmetric_noise(delta: u32, nodes: usize) -> Self {
+        Self::with_noise(2 * delta as usize + 1, nodes)
+    }
+
+    /// Number of configuration states (excluding Initial).
+    #[must_use]
+    pub const fn configurations(&self) -> u128 {
+        self.configurations
+    }
+
+    /// Total FSM states: Initial + configurations (saturating).
+    #[must_use]
+    pub fn states(&self) -> u128 {
+        self.configurations.saturating_add(1)
+    }
+
+    /// Total FSM transitions: Initial fan-out + complete digraph with
+    /// self-loops over the configurations (saturating).
+    #[must_use]
+    pub fn transitions(&self) -> u128 {
+        self.configurations
+            .saturating_mul(self.configurations)
+            .saturating_add(self.configurations)
+    }
+}
+
+/// One row of the paper's state-space growth narrative: FSM size as a
+/// function of the symmetric noise range.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct GrowthRow {
+    /// The symmetric range `±delta` (integer percent).
+    pub delta: u32,
+    /// FSM states.
+    pub states: u128,
+    /// FSM transitions.
+    pub transitions: u128,
+}
+
+/// Tabulates FSM growth for `±delta` over each `delta` in `deltas`, on
+/// `nodes` input-layer nodes — the "state space expands exponentially with
+/// noise" series of Fig. 3.
+#[must_use]
+pub fn growth_table(deltas: &[u32], nodes: usize) -> Vec<GrowthRow> {
+    deltas
+        .iter()
+        .map(|&delta| {
+            let fsm = PaperFsm::with_symmetric_noise(delta, nodes);
+            GrowthRow { delta, states: fsm.states(), transitions: fsm.transitions() }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::flatten::TransitionSystem;
+    use crate::parser::parse_module;
+
+    #[test]
+    fn fig3b_published_numbers() {
+        let fsm = PaperFsm::without_noise(2);
+        assert_eq!(fsm.states(), 3);
+        assert_eq!(fsm.transitions(), 6);
+    }
+
+    #[test]
+    fn fig3c_published_numbers() {
+        // Noise range [0, 1]% ⇒ domain {0, 1} per node, 6 input-layer nodes.
+        let fsm = PaperFsm::with_noise(2, 6);
+        assert_eq!(fsm.configurations(), 64);
+        assert_eq!(fsm.states(), 65);
+        assert_eq!(fsm.transitions(), 4160);
+    }
+
+    #[test]
+    fn accounting_matches_flattened_smv_semantics() {
+        // The formula must agree with the actual SMV transition system:
+        // configurations = flattened states, and
+        // transitions = |init| (Initial fan-out) + flattened transitions.
+        let mut src = String::from("MODULE main\nVAR\n");
+        for k in 0..6 {
+            src.push_str(&format!("  n{k} : 0..1;\n"));
+        }
+        let ts =
+            TransitionSystem::from_module(&parse_module(&src).unwrap(), 1 << 20).unwrap();
+        let fsm = PaperFsm::with_noise(2, 6);
+        assert_eq!(fsm.configurations(), ts.state_count() as u128);
+        assert_eq!(
+            fsm.transitions(),
+            ts.initial_states().len() as u128 + u128::from(ts.transition_count())
+        );
+    }
+
+    #[test]
+    fn symmetric_range_domains() {
+        // ±1% ⇒ {-1, 0, 1} ⇒ 3 values per node.
+        let fsm = PaperFsm::with_symmetric_noise(1, 5);
+        assert_eq!(fsm.configurations(), 243);
+        assert_eq!(fsm.states(), 244);
+        let zero = PaperFsm::with_symmetric_noise(0, 5);
+        assert_eq!(zero.configurations(), 1);
+    }
+
+    #[test]
+    fn growth_is_exponential() {
+        let rows = growth_table(&[0, 1, 2, 5, 11], 5);
+        assert_eq!(rows.len(), 5);
+        for w in rows.windows(2) {
+            assert!(w[1].states > w[0].states);
+            assert!(w[1].transitions > w[0].transitions);
+        }
+        // 11% on 5 nodes: 23^5 configurations.
+        assert_eq!(rows[4].states, 23u128.pow(5) + 1);
+        // Exponent check: doubling the per-node domain multiplies
+        // configurations by 2^nodes.
+        let a = PaperFsm::with_noise(2, 5);
+        let b = PaperFsm::with_noise(4, 5);
+        assert_eq!(b.configurations(), a.configurations() * 32);
+    }
+
+    #[test]
+    fn saturation_does_not_panic() {
+        let huge = PaperFsm::with_noise(usize::MAX, 4);
+        assert!(huge.states() > 0);
+    }
+}

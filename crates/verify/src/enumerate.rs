@@ -1,0 +1,249 @@
+//! The paper's **P3 loop**: iterated counterexample extraction with an
+//! exclusion expression.
+//!
+//! FANNet (Fig. 2, "Adversarial Noise Vectors Extraction") repeatedly
+//! re-checks `P3: (OCn = Sx) ∨ (NV ∈ e)` — after each counterexample, its
+//! noise vector `NV` is appended to the matrix `e`, so the next model-checker
+//! run must produce a *fresh* vector. [`CounterexampleEnumerator`] is that
+//! loop as a Rust iterator: each `next()` is one model-checking query.
+
+use fannet_numeric::Rational;
+use fannet_nn::Network;
+
+use crate::bab::{check_region, BabStats, RegionOutcome};
+use crate::exact::Counterexample;
+use crate::noise::ExclusionSet;
+use crate::region::NoiseRegion;
+
+/// Streaming enumeration of unique adversarial noise vectors for one input.
+///
+/// # Examples
+///
+/// ```
+/// use fannet_numeric::Rational;
+/// use fannet_nn::{Activation, DenseLayer, Network, Readout};
+/// use fannet_tensor::Matrix;
+/// use fannet_verify::{enumerate::CounterexampleEnumerator, region::NoiseRegion};
+///
+/// let r = |n: i128| Rational::from_integer(n);
+/// let net = Network::new(vec![DenseLayer::new(
+///     Matrix::from_rows(vec![vec![r(1), r(0)], vec![r(0), r(1)]])?,
+///     vec![r(0), r(0)],
+///     Activation::Identity,
+/// )?], Readout::MaxPool)?;
+/// let x = vec![r(100), r(99)];
+///
+/// let found: Vec<_> =
+///     CounterexampleEnumerator::new(&net, &x, 0, NoiseRegion::symmetric(2, 2)).collect();
+/// // Unique vectors only, each a true misclassification.
+/// assert!(!found.is_empty());
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug)]
+pub struct CounterexampleEnumerator<'a> {
+    net: &'a Network<Rational>,
+    x: &'a [Rational],
+    label: usize,
+    region: NoiseRegion,
+    excluded: ExclusionSet,
+    exhausted: bool,
+    stats: BabStats,
+}
+
+impl<'a> CounterexampleEnumerator<'a> {
+    /// Starts a P3 loop for input `x` with true label `label` over
+    /// `region`, beginning with an empty noise matrix `e`.
+    #[must_use]
+    pub fn new(
+        net: &'a Network<Rational>,
+        x: &'a [Rational],
+        label: usize,
+        region: NoiseRegion,
+    ) -> Self {
+        Self::with_exclusions(net, x, label, region, ExclusionSet::new())
+    }
+
+    /// Starts a P3 loop with a pre-populated noise matrix `e` (e.g. vectors
+    /// carried over from another input).
+    #[must_use]
+    pub fn with_exclusions(
+        net: &'a Network<Rational>,
+        x: &'a [Rational],
+        label: usize,
+        region: NoiseRegion,
+        excluded: ExclusionSet,
+    ) -> Self {
+        CounterexampleEnumerator {
+            net,
+            x,
+            label,
+            region,
+            excluded,
+            exhausted: false,
+            stats: BabStats::default(),
+        }
+    }
+
+    /// The noise matrix `e` accumulated so far.
+    #[must_use]
+    pub fn exclusions(&self) -> &ExclusionSet {
+        &self.excluded
+    }
+
+    /// Aggregate search statistics across all queries so far.
+    #[must_use]
+    pub fn stats(&self) -> BabStats {
+        self.stats
+    }
+
+    /// `true` once the region has been proven free of fresh
+    /// counterexamples.
+    #[must_use]
+    pub fn is_exhausted(&self) -> bool {
+        self.exhausted
+    }
+}
+
+impl Iterator for CounterexampleEnumerator<'_> {
+    type Item = Counterexample;
+
+    fn next(&mut self) -> Option<Counterexample> {
+        if self.exhausted {
+            return None;
+        }
+        let (outcome, stats) =
+            check_region(self.net, self.x, self.label, &self.region, &self.excluded)
+                .expect("enumerator construction validated widths");
+        self.stats.boxes_visited += stats.boxes_visited;
+        self.stats.pruned_correct += stats.pruned_correct;
+        self.stats.proved_wrong += stats.proved_wrong;
+        self.stats.exact_evals += stats.exact_evals;
+        self.stats.splits += stats.splits;
+        match outcome {
+            RegionOutcome::Robust => {
+                self.exhausted = true;
+                None
+            }
+            RegionOutcome::Counterexample(ce) => {
+                self.excluded.insert(ce.noise.clone());
+                Some(ce)
+            }
+        }
+    }
+}
+
+/// Collects up to `limit` unique counterexamples for one input — the usual
+/// way analyses consume the P3 loop (the full population can be huge at
+/// large noise ranges).
+#[must_use]
+pub fn collect_counterexamples(
+    net: &Network<Rational>,
+    x: &[Rational],
+    label: usize,
+    region: &NoiseRegion,
+    limit: usize,
+) -> Vec<Counterexample> {
+    CounterexampleEnumerator::new(net, x, label, region.clone())
+        .take(limit)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exact::classify_noisy;
+    use fannet_nn::{Activation, DenseLayer, Readout};
+    use fannet_tensor::Matrix;
+    use std::collections::HashSet;
+
+    fn r(n: i128) -> Rational {
+        Rational::from_integer(n)
+    }
+
+    fn comparator() -> Network<Rational> {
+        Network::new(
+            vec![DenseLayer::new(
+                Matrix::from_rows(vec![vec![r(1), r(0)], vec![r(0), r(1)]]).unwrap(),
+                vec![r(0), r(0)],
+                Activation::Identity,
+            )
+            .unwrap()],
+            Readout::MaxPool,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn enumerates_exactly_the_misclassifying_grid_points() {
+        let net = comparator();
+        let x = vec![r(100), r(98)];
+        let region = NoiseRegion::symmetric(3, 2);
+        let found: Vec<_> =
+            CounterexampleEnumerator::new(&net, &x, 0, region.clone()).collect();
+        let brute: HashSet<Vec<i64>> = region
+            .iter_points()
+            .filter(|nv| classify_noisy(&net, &x, nv).unwrap() != 0)
+            .map(|nv| nv.percents().to_vec())
+            .collect();
+        let ours: HashSet<Vec<i64>> =
+            found.iter().map(|ce| ce.noise.percents().to_vec()).collect();
+        assert_eq!(ours, brute);
+        assert_eq!(found.len(), brute.len(), "each vector exactly once");
+    }
+
+    #[test]
+    fn exhaustion_is_sticky() {
+        let net = comparator();
+        let x = vec![r(100), r(50)];
+        // Huge margin, tiny noise: no CEs at all.
+        let mut it = CounterexampleEnumerator::new(&net, &x, 0, NoiseRegion::symmetric(2, 2));
+        assert!(it.next().is_none());
+        assert!(it.is_exhausted());
+        assert!(it.next().is_none());
+        assert_eq!(it.exclusions().len(), 0);
+    }
+
+    #[test]
+    fn pre_seeded_exclusions_are_skipped() {
+        let net = comparator();
+        let x = vec![r(100), r(98)];
+        let region = NoiseRegion::symmetric(3, 2);
+        let all: Vec<_> =
+            CounterexampleEnumerator::new(&net, &x, 0, region.clone()).collect();
+        assert!(all.len() >= 2, "need ≥2 CEs for this test");
+        let seed: ExclusionSet = [all[0].noise.clone()].into_iter().collect();
+        let rest: Vec<_> = CounterexampleEnumerator::with_exclusions(
+            &net,
+            &x,
+            0,
+            region,
+            seed,
+        )
+        .collect();
+        assert_eq!(rest.len(), all.len() - 1);
+        assert!(rest.iter().all(|ce| ce.noise != all[0].noise));
+    }
+
+    #[test]
+    fn limit_collection() {
+        let net = comparator();
+        let x = vec![r(100), r(98)];
+        let region = NoiseRegion::symmetric(5, 2);
+        let some = collect_counterexamples(&net, &x, 0, &region, 3);
+        assert_eq!(some.len(), 3);
+        let unique: HashSet<_> = some.iter().map(|ce| ce.noise.clone()).collect();
+        assert_eq!(unique.len(), 3);
+    }
+
+    #[test]
+    fn stats_accumulate() {
+        let net = comparator();
+        let x = vec![r(100), r(98)];
+        let mut it = CounterexampleEnumerator::new(&net, &x, 0, NoiseRegion::symmetric(3, 2));
+        let _ = it.next();
+        let s1 = it.stats();
+        let _ = it.next();
+        let s2 = it.stats();
+        assert!(s2.boxes_visited > s1.boxes_visited);
+    }
+}

@@ -1,0 +1,163 @@
+//! Exact rational evaluation of noisy inputs — the ground truth the
+//! branch-and-bound engine falls back to at singleton boxes.
+
+use fannet_numeric::Rational;
+use fannet_nn::Network;
+use fannet_tensor::ShapeError;
+
+use crate::noise::NoiseVector;
+
+/// A concrete, exactly-evaluated misclassification witness: FANNet's
+/// counterexample object.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Counterexample {
+    /// The adversarial noise vector (integer percents).
+    pub noise: NoiseVector,
+    /// The perturbed input the network saw.
+    pub noisy_input: Vec<Rational>,
+    /// Exact output activations under the perturbed input.
+    pub outputs: Vec<Rational>,
+    /// The (wrong) label the network predicted.
+    pub predicted: usize,
+    /// The true label `Sx`.
+    pub expected: usize,
+}
+
+impl std::fmt::Display for Counterexample {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "noise {} flips L{} -> L{}",
+            self.noise, self.expected, self.predicted
+        )
+    }
+}
+
+/// Exactly classifies `x` under noise `nv`.
+///
+/// # Errors
+///
+/// Returns [`ShapeError`] on width mismatch.
+pub fn classify_noisy(
+    net: &Network<Rational>,
+    x: &[Rational],
+    nv: &NoiseVector,
+) -> Result<usize, ShapeError> {
+    if nv.len() != x.len() {
+        return Err(ShapeError::new(format!(
+            "noise width {} against input width {}",
+            nv.len(),
+            x.len()
+        )));
+    }
+    net.classify(&nv.apply(x))
+}
+
+/// Evaluates `x` under `nv` and, when misclassified, builds the full
+/// [`Counterexample`] record; `None` when classified correctly.
+///
+/// # Errors
+///
+/// Returns [`ShapeError`] on width mismatch.
+pub fn witness(
+    net: &Network<Rational>,
+    x: &[Rational],
+    label: usize,
+    nv: &NoiseVector,
+) -> Result<Option<Counterexample>, ShapeError> {
+    if nv.len() != x.len() {
+        return Err(ShapeError::new(format!(
+            "noise width {} against input width {}",
+            nv.len(),
+            x.len()
+        )));
+    }
+    let noisy_input = nv.apply(x);
+    let outputs = net.forward(&noisy_input)?;
+    let predicted = net.readout_label(&outputs);
+    if predicted == label {
+        Ok(None)
+    } else {
+        Ok(Some(Counterexample {
+            noise: nv.clone(),
+            noisy_input,
+            outputs,
+            predicted,
+            expected: label,
+        }))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fannet_nn::{Activation, DenseLayer, Readout};
+    use fannet_tensor::Matrix;
+
+    fn r(n: i128) -> Rational {
+        Rational::from_integer(n)
+    }
+
+    /// Classifier: label 0 iff x0 ≥ x1 (single identity layer).
+    fn comparator() -> Network<Rational> {
+        let out = DenseLayer::new(
+            Matrix::from_rows(vec![vec![r(1), r(0)], vec![r(0), r(1)]]).unwrap(),
+            vec![r(0), r(0)],
+            Activation::Identity,
+        )
+        .unwrap();
+        Network::new(vec![out], Readout::MaxPool).unwrap()
+    }
+
+    #[test]
+    fn classify_noisy_changes_with_noise() {
+        let net = comparator();
+        let x = [r(100), r(95)];
+        assert_eq!(classify_noisy(&net, &x, &NoiseVector::zero(2)).unwrap(), 0);
+        // -10% on x0 pushes it below x1.
+        assert_eq!(
+            classify_noisy(&net, &x, &NoiseVector::new(vec![-10, 0])).unwrap(),
+            1
+        );
+    }
+
+    #[test]
+    fn witness_none_when_correct() {
+        let net = comparator();
+        let x = [r(100), r(95)];
+        assert!(witness(&net, &x, 0, &NoiseVector::zero(2)).unwrap().is_none());
+    }
+
+    #[test]
+    fn witness_records_full_evidence() {
+        let net = comparator();
+        let x = [r(100), r(95)];
+        let nv = NoiseVector::new(vec![-10, 0]);
+        let ce = witness(&net, &x, 0, &nv).unwrap().expect("misclassified");
+        assert_eq!(ce.noise, nv);
+        assert_eq!(ce.noisy_input, vec![r(90), r(95)]);
+        assert_eq!(ce.outputs, vec![r(90), r(95)]);
+        assert_eq!(ce.predicted, 1);
+        assert_eq!(ce.expected, 0);
+        assert_eq!(ce.to_string(), "noise [-10%, +0%] flips L0 -> L1");
+    }
+
+    #[test]
+    fn tie_breaks_toward_lower_index() {
+        let net = comparator();
+        let x = [r(100), r(100)];
+        // Exact tie → label 0 by the paper's L0 ≥ L1 → L0 rule.
+        assert_eq!(classify_noisy(&net, &x, &NoiseVector::zero(2)).unwrap(), 0);
+        // So label 0 has no witness at the tie, but label 1 does.
+        assert!(witness(&net, &x, 0, &NoiseVector::zero(2)).unwrap().is_none());
+        assert!(witness(&net, &x, 1, &NoiseVector::zero(2)).unwrap().is_some());
+    }
+
+    #[test]
+    fn width_mismatch_rejected() {
+        let net = comparator();
+        let x = [r(1), r(2)];
+        assert!(classify_noisy(&net, &x, &NoiseVector::zero(3)).is_err());
+        assert!(witness(&net, &x, 0, &NoiseVector::zero(1)).is_err());
+    }
+}

@@ -1,0 +1,265 @@
+//! The paper's relative integer-percent noise model.
+//!
+//! FANNet perturbs every input node by a non-deterministically chosen
+//! *integer percentage* of its own magnitude (paper Fig. 1):
+//!
+//! ```text
+//! x'ₖ = xₖ ± xₖ·(ΔX/100)   i.e.   x'ₖ = xₖ·(100 + pₖ)/100,  pₖ ∈ ℤ
+//! ```
+//!
+//! A [`NoiseVector`] is one concrete assignment of percentages `pₖ`; the
+//! paper's noise matrix `e` (property P3) is a set of such vectors, modelled
+//! here as [`ExclusionSet`].
+
+use std::collections::HashSet;
+use std::fmt;
+
+use fannet_numeric::Rational;
+use serde::{Deserialize, Serialize};
+
+/// One concrete noise assignment: integer percent per input node.
+///
+/// # Examples
+///
+/// ```
+/// use fannet_verify::noise::NoiseVector;
+/// use fannet_numeric::Rational;
+///
+/// let nv = NoiseVector::new(vec![10, -5]);
+/// let x = [Rational::from_integer(200), Rational::from_integer(40)];
+/// assert_eq!(
+///     nv.apply(&x),
+///     vec![Rational::from_integer(220), Rational::from_integer(38)]
+/// );
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct NoiseVector {
+    percents: Vec<i64>,
+}
+
+impl NoiseVector {
+    /// Creates a noise vector from per-node integer percentages.
+    #[must_use]
+    pub fn new(percents: Vec<i64>) -> Self {
+        NoiseVector { percents }
+    }
+
+    /// The all-zero (noise-free) vector on `n` nodes.
+    #[must_use]
+    pub fn zero(n: usize) -> Self {
+        NoiseVector { percents: vec![0; n] }
+    }
+
+    /// Number of input nodes covered.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.percents.len()
+    }
+
+    /// `true` if the vector covers zero nodes.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.percents.is_empty()
+    }
+
+    /// The per-node percentages.
+    #[must_use]
+    pub fn percents(&self) -> &[i64] {
+        &self.percents
+    }
+
+    /// The maximum absolute percentage across nodes (`‖p‖∞`).
+    #[must_use]
+    pub fn max_abs(&self) -> i64 {
+        self.percents.iter().map(|p| p.abs()).max().unwrap_or(0)
+    }
+
+    /// Applies the noise to an input exactly:
+    /// `x'ₖ = xₖ·(100 + pₖ)/100`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != self.len()`.
+    #[must_use]
+    pub fn apply(&self, x: &[Rational]) -> Vec<Rational> {
+        assert_eq!(x.len(), self.len(), "noise width must match input width");
+        x.iter()
+            .zip(&self.percents)
+            .map(|(&xk, &pk)| xk * Rational::new(100 + i128::from(pk), 100))
+            .collect()
+    }
+
+    /// The multiplicative factor `(100 + pₖ)/100` for node `k`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k >= self.len()`.
+    #[must_use]
+    pub fn factor(&self, k: usize) -> Rational {
+        Rational::new(100 + i128::from(self.percents[k]), 100)
+    }
+}
+
+impl fmt::Display for NoiseVector {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[")?;
+        for (i, p) in self.percents.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{p:+}%")?;
+        }
+        write!(f, "]")
+    }
+}
+
+/// The paper's noise matrix `e`: the set of already-extracted adversarial
+/// noise vectors, used in property **P3** — `(OCn = Sx) ∨ (NV ∈ e)` — to
+/// force the model checker to produce a *fresh* counterexample each
+/// iteration.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ExclusionSet {
+    vectors: HashSet<NoiseVector>,
+}
+
+impl ExclusionSet {
+    /// An empty exclusion set.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of excluded vectors.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.vectors.len()
+    }
+
+    /// `true` if nothing is excluded yet.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.vectors.is_empty()
+    }
+
+    /// `true` if `nv` was already extracted.
+    #[must_use]
+    pub fn contains(&self, nv: &NoiseVector) -> bool {
+        self.vectors.contains(nv)
+    }
+
+    /// Adds a vector; returns `false` if it was already present.
+    pub fn insert(&mut self, nv: NoiseVector) -> bool {
+        self.vectors.insert(nv)
+    }
+
+    /// Iterates over the excluded vectors in unspecified order.
+    pub fn iter(&self) -> impl Iterator<Item = &NoiseVector> {
+        self.vectors.iter()
+    }
+}
+
+impl FromIterator<NoiseVector> for ExclusionSet {
+    fn from_iter<I: IntoIterator<Item = NoiseVector>>(iter: I) -> Self {
+        ExclusionSet { vectors: iter.into_iter().collect() }
+    }
+}
+
+impl Extend<NoiseVector> for ExclusionSet {
+    fn extend<I: IntoIterator<Item = NoiseVector>>(&mut self, iter: I) {
+        self.vectors.extend(iter);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn apply_is_exact_relative_noise() {
+        let nv = NoiseVector::new(vec![11, -11, 0]);
+        let x = [
+            Rational::from_integer(100),
+            Rational::from_integer(100),
+            Rational::from_integer(-50),
+        ];
+        assert_eq!(
+            nv.apply(&x),
+            vec![
+                Rational::from_integer(111),
+                Rational::from_integer(89),
+                Rational::from_integer(-50),
+            ]
+        );
+    }
+
+    #[test]
+    fn apply_negative_input_scales_correctly() {
+        // Relative noise on a negative input moves it away from zero for
+        // positive percent.
+        let nv = NoiseVector::new(vec![10]);
+        let x = [Rational::from_integer(-200)];
+        assert_eq!(nv.apply(&x), vec![Rational::from_integer(-220)]);
+    }
+
+    #[test]
+    fn zero_vector_is_identity() {
+        let nv = NoiseVector::zero(2);
+        let x = [Rational::new(7, 3), Rational::from_integer(-1)];
+        assert_eq!(nv.apply(&x), x.to_vec());
+        assert_eq!(nv.max_abs(), 0);
+        assert!(!nv.is_empty());
+        assert!(NoiseVector::zero(0).is_empty());
+    }
+
+    #[test]
+    fn factor_and_max_abs() {
+        let nv = NoiseVector::new(vec![25, -50, 3]);
+        assert_eq!(nv.factor(0), Rational::new(5, 4));
+        assert_eq!(nv.factor(1), Rational::new(1, 2));
+        assert_eq!(nv.max_abs(), 50);
+    }
+
+    #[test]
+    #[should_panic(expected = "must match input width")]
+    fn apply_checks_width() {
+        let _ = NoiseVector::new(vec![1]).apply(&[Rational::ZERO, Rational::ZERO]);
+    }
+
+    #[test]
+    fn display_format() {
+        let nv = NoiseVector::new(vec![5, -3]);
+        assert_eq!(nv.to_string(), "[+5%, -3%]");
+    }
+
+    #[test]
+    fn exclusion_set_dedup() {
+        let mut e = ExclusionSet::new();
+        assert!(e.is_empty());
+        assert!(e.insert(NoiseVector::new(vec![1, 2])));
+        assert!(!e.insert(NoiseVector::new(vec![1, 2])));
+        assert!(e.insert(NoiseVector::new(vec![2, 1])));
+        assert_eq!(e.len(), 2);
+        assert!(e.contains(&NoiseVector::new(vec![1, 2])));
+        assert!(!e.contains(&NoiseVector::new(vec![0, 0])));
+        assert_eq!(e.iter().count(), 2);
+    }
+
+    #[test]
+    fn exclusion_from_iterator() {
+        let e: ExclusionSet = vec![NoiseVector::zero(2), NoiseVector::zero(2)]
+            .into_iter()
+            .collect();
+        assert_eq!(e.len(), 1);
+        let mut e2 = ExclusionSet::new();
+        e2.extend(vec![NoiseVector::new(vec![3])]);
+        assert_eq!(e2.len(), 1);
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let nv = NoiseVector::new(vec![-7, 0, 12]);
+        let json = serde_json::to_string(&nv).unwrap();
+        let back: NoiseVector = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, nv);
+    }
+}

@@ -1,0 +1,298 @@
+//! Interval abstract interpretation of a rational network over a noise box.
+//!
+//! Given an exact input `x`, a [`NoiseRegion`] `R` and a piecewise-linear
+//! [`Network<Rational>`], computes per-output [`Interval`]s that **enclose**
+//! every output the network can produce for any noise vector in `R`:
+//!
+//! 1. input enclosure: `Xₖ = xₖ · (100 + [loₖ, hiₖ])/100` (exact interval
+//!    multiplication, correct for negative `xₖ` too);
+//! 2. affine layers: interval dot products, with each weight applied via
+//!    [`Interval::scale`] (exact — weights are constants);
+//! 3. `ReLU`/`max`: exact monotone interval transformers.
+//!
+//! Soundness (every concrete output lies inside the computed interval) is
+//! what makes branch-and-bound pruning in [`crate::bab`] a *proof*; the
+//! enclosure is generally not tight (the dependency problem), which is why
+//! refinement by splitting exists.
+
+use fannet_numeric::{Interval, Rational};
+use fannet_nn::{Activation, Network};
+use fannet_tensor::ShapeError;
+
+use crate::region::NoiseRegion;
+
+/// Output enclosure of `net` on input `x` under every noise vector in
+/// `region`.
+///
+/// # Errors
+///
+/// Returns [`ShapeError`] if widths disagree.
+///
+/// # Panics
+///
+/// Panics if the network contains a non-piecewise-linear activation
+/// (sigmoid): interval transformers here are exact only for `Identity`,
+/// `ReLU` and the maxpool readout.
+pub fn output_intervals(
+    net: &Network<Rational>,
+    x: &[Rational],
+    region: &NoiseRegion,
+) -> Result<Vec<Interval>, ShapeError> {
+    if x.len() != net.inputs() {
+        return Err(ShapeError::new(format!(
+            "input of width {} against network with {} inputs",
+            x.len(),
+            net.inputs()
+        )));
+    }
+    if region.nodes() != net.inputs() {
+        return Err(ShapeError::new(format!(
+            "noise region over {} nodes against network with {} inputs",
+            region.nodes(),
+            net.inputs()
+        )));
+    }
+    assert!(
+        net.is_piecewise_linear(),
+        "interval propagation requires piecewise-linear activations"
+    );
+
+    // Input enclosure under relative noise.
+    let mut acts: Vec<Interval> = x
+        .iter()
+        .enumerate()
+        .map(|(k, &xk)| Interval::point(xk).mul_interval(&region.factor_interval(k)))
+        .collect();
+
+    for layer in net.layers() {
+        let w = layer.weights();
+        let mut next = Vec::with_capacity(layer.outputs());
+        for r in 0..w.rows() {
+            let mut z = Interval::point(layer.biases()[r]);
+            for (c, a) in acts.iter().enumerate() {
+                z = z + a.scale(w[(r, c)]);
+            }
+            let out = match layer.activation() {
+                Activation::Identity => z,
+                Activation::ReLU => z.relu(),
+                Activation::Sigmoid => unreachable!("checked piecewise-linear above"),
+            };
+            next.push(out);
+        }
+        acts = next;
+    }
+    Ok(acts)
+}
+
+/// Sound classification verdict for a whole box, derived from output
+/// enclosures and the maxpool readout's lower-index tie-break.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BoxVerdict {
+    /// Every noise vector in the box keeps the predicted label equal to the
+    /// expected one.
+    AlwaysCorrect,
+    /// Every noise vector in the box produces a different label.
+    AlwaysWrong,
+    /// The enclosure cannot decide; the box must be split or enumerated.
+    Unknown,
+}
+
+/// Classifies a box from its output enclosures, for expected label `label`.
+///
+/// The readout is maxpool with ties broken toward the *lower* index (paper:
+/// `L0 ≥ L1 → L0`). A rival `j < label` therefore wins ties against the
+/// label, while the label wins ties against rivals `j > label`:
+///
+/// * the box is **always correct** if every rival `j < label` satisfies
+///   `hi(outⱼ) < lo(out_label)` (strict — the lower rival would win a tie)
+///   and every rival `j > label` satisfies `hi(outⱼ) ≤ lo(out_label)`;
+/// * the box is **always wrong** if some rival `j < label` satisfies
+///   `lo(outⱼ) ≥ hi(out_label)` or some `j > label` satisfies
+///   `lo(outⱼ) > hi(out_label)`.
+///
+/// Both directions compare interval endpoints, hence are sound but not
+/// complete (returning [`BoxVerdict::Unknown`] is always safe).
+///
+/// # Panics
+///
+/// Panics if `label >= outputs.len()`.
+#[must_use]
+pub fn classify_box(outputs: &[Interval], label: usize) -> BoxVerdict {
+    assert!(label < outputs.len(), "label {label} out of range");
+    let target = &outputs[label];
+
+    let mut always_correct = true;
+    for (j, rival) in outputs.iter().enumerate() {
+        if j == label {
+            continue;
+        }
+        let strict_needed = j < label; // lower rival wins ties
+        let dominated = if strict_needed {
+            rival.hi() < target.lo()
+        } else {
+            rival.hi() <= target.lo()
+        };
+        if !dominated {
+            always_correct = false;
+        }
+        let overwhelms = if strict_needed {
+            rival.lo() >= target.hi()
+        } else {
+            rival.lo() > target.hi()
+        };
+        if overwhelms {
+            return BoxVerdict::AlwaysWrong;
+        }
+    }
+    if always_correct {
+        BoxVerdict::AlwaysCorrect
+    } else {
+        BoxVerdict::Unknown
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fannet_nn::{DenseLayer, Readout};
+    use fannet_tensor::Matrix;
+
+    fn r(n: i128) -> Rational {
+        Rational::from_integer(n)
+    }
+
+    /// 2-4-2 rational network with hand-set weights.
+    fn net() -> Network<Rational> {
+        let hidden = DenseLayer::new(
+            Matrix::from_rows(vec![
+                vec![r(1), r(-1)],
+                vec![r(-1), r(1)],
+                vec![Rational::new(1, 2), Rational::new(1, 2)],
+                vec![r(0), r(1)],
+            ])
+            .unwrap(),
+            vec![r(0), r(0), r(-1), r(2)],
+            Activation::ReLU,
+        )
+        .unwrap();
+        let output = DenseLayer::new(
+            Matrix::from_rows(vec![
+                vec![r(1), r(0), r(1), r(-1)],
+                vec![r(0), r(1), r(-1), r(1)],
+            ])
+            .unwrap(),
+            vec![r(0), r(0)],
+            Activation::Identity,
+        )
+        .unwrap();
+        Network::new(vec![hidden, output], Readout::MaxPool).unwrap()
+    }
+
+    #[test]
+    fn zero_noise_interval_is_exact_point() {
+        let net = net();
+        let x = [r(100), r(-50)];
+        let region = NoiseRegion::symmetric(0, 2);
+        let out = output_intervals(&net, &x, &region).unwrap();
+        let exact = net.forward(&x).unwrap();
+        for (iv, &v) in out.iter().zip(&exact) {
+            assert!(iv.is_point(), "zero-noise interval must be a point");
+            assert_eq!(iv.lo(), v);
+        }
+    }
+
+    #[test]
+    fn enclosure_is_sound_on_every_grid_point() {
+        let net = net();
+        let x = [r(120), r(-80)];
+        let region = NoiseRegion::symmetric(4, 2);
+        let enclosure = output_intervals(&net, &x, &region).unwrap();
+        for nv in region.iter_points() {
+            let noisy = nv.apply(&x);
+            let out = net.forward(&noisy).unwrap();
+            for (iv, v) in enclosure.iter().zip(&out) {
+                assert!(
+                    iv.contains(*v),
+                    "output {v} of noise {nv} escapes enclosure {iv}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn enclosure_tightens_as_region_shrinks() {
+        let net = net();
+        let x = [r(120), r(-80)];
+        let wide = output_intervals(&net, &x, &NoiseRegion::symmetric(20, 2)).unwrap();
+        let narrow = output_intervals(&net, &x, &NoiseRegion::symmetric(2, 2)).unwrap();
+        for (w, n) in wide.iter().zip(&narrow) {
+            assert!(w.contains_interval(n));
+            assert!(w.width() >= n.width());
+        }
+    }
+
+    #[test]
+    fn width_mismatch_is_error() {
+        let net = net();
+        assert!(output_intervals(&net, &[r(1)], &NoiseRegion::symmetric(1, 2)).is_err());
+        assert!(output_intervals(&net, &[r(1), r(2)], &NoiseRegion::symmetric(1, 3)).is_err());
+    }
+
+    #[test]
+    fn classify_box_correct_and_wrong() {
+        // label 1, target [5,6] vs rival [1,2] → rival.hi() < target.lo():
+        // strict not needed for j<label? j=0 < label=1, strict needed:
+        // 2 < 5 holds → AlwaysCorrect.
+        let out = vec![
+            Interval::new(r(1), r(2)),
+            Interval::new(r(5), r(6)),
+        ];
+        assert_eq!(classify_box(&out, 1), BoxVerdict::AlwaysCorrect);
+        // Rival overwhelms: lo(rival)=7 ≥ hi(target)=6 with j<label.
+        let out = vec![
+            Interval::new(r(7), r(9)),
+            Interval::new(r(5), r(6)),
+        ];
+        assert_eq!(classify_box(&out, 1), BoxVerdict::AlwaysWrong);
+        // Overlap → Unknown.
+        let out = vec![
+            Interval::new(r(4), r(7)),
+            Interval::new(r(5), r(6)),
+        ];
+        assert_eq!(classify_box(&out, 1), BoxVerdict::Unknown);
+    }
+
+    #[test]
+    fn classify_box_tie_break_semantics() {
+        // Exact tie at a point: out0 == out1 == [5,5].
+        let tie = vec![Interval::point(r(5)), Interval::point(r(5))];
+        // Label 0 wins ties → always correct for label 0…
+        assert_eq!(classify_box(&tie, 0), BoxVerdict::AlwaysCorrect);
+        // …and always wrong for label 1.
+        assert_eq!(classify_box(&tie, 1), BoxVerdict::AlwaysWrong);
+    }
+
+    #[test]
+    fn verdicts_match_concrete_eval_on_samples() {
+        let net = net();
+        let x = [r(37), r(202)];
+        let label = net.classify(&x).unwrap();
+        for delta in [0, 1, 3, 7] {
+            let region = NoiseRegion::symmetric(delta, 2);
+            let enclosure = output_intervals(&net, &x, &region).unwrap();
+            match classify_box(&enclosure, label) {
+                BoxVerdict::AlwaysCorrect => {
+                    for nv in region.iter_points() {
+                        assert_eq!(net.classify(&nv.apply(&x)).unwrap(), label);
+                    }
+                }
+                BoxVerdict::AlwaysWrong => {
+                    for nv in region.iter_points() {
+                        assert_ne!(net.classify(&nv.apply(&x)).unwrap(), label);
+                    }
+                }
+                BoxVerdict::Unknown => {}
+            }
+        }
+    }
+}

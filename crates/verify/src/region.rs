@@ -1,0 +1,320 @@
+//! Boxes of integer-percent noise vectors — the abstract states explored by
+//! the branch-and-bound verifier.
+
+use std::fmt;
+
+use fannet_numeric::{Interval, Rational};
+use serde::{Deserialize, Serialize};
+
+use crate::noise::NoiseVector;
+
+/// A box `∏ₖ [loₖ, hiₖ] ⊂ ℤⁿ` of per-node noise percentages.
+///
+/// # Examples
+///
+/// ```
+/// use fannet_verify::region::NoiseRegion;
+///
+/// let r = NoiseRegion::symmetric(5, 3); // ±5 % on 3 nodes
+/// assert_eq!(r.point_count(), 11 * 11 * 11);
+/// assert!(!r.is_point());
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct NoiseRegion {
+    ranges: Vec<(i64, i64)>,
+}
+
+impl NoiseRegion {
+    /// Creates a region from per-node `(lo, hi)` percent bounds.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any `lo > hi` or a bound falls outside `[-100, 100]`
+    /// (noise below −100 % would flip the sign of the input, which the
+    /// paper's model `x ± x·ΔX/100` never does for ΔX ≤ 100).
+    #[must_use]
+    pub fn new(ranges: Vec<(i64, i64)>) -> Self {
+        for &(lo, hi) in &ranges {
+            assert!(lo <= hi, "noise range [{lo}, {hi}] is inverted");
+            assert!(
+                (-100..=100).contains(&lo) && (-100..=100).contains(&hi),
+                "noise percent out of the model's [-100, 100] range"
+            );
+        }
+        NoiseRegion { ranges }
+    }
+
+    /// The symmetric region `[-delta, +delta]ⁿ` — the paper's "noise range
+    /// ±Δ%".
+    ///
+    /// # Panics
+    ///
+    /// Panics if `delta` is negative or exceeds 100.
+    #[must_use]
+    pub fn symmetric(delta: i64, nodes: usize) -> Self {
+        assert!((0..=100).contains(&delta), "delta must be in [0, 100]");
+        NoiseRegion { ranges: vec![(-delta, delta); nodes] }
+    }
+
+    /// The single-point region containing exactly `nv`.
+    #[must_use]
+    pub fn point(nv: &NoiseVector) -> Self {
+        NoiseRegion {
+            ranges: nv.percents().iter().map(|&p| (p, p)).collect(),
+        }
+    }
+
+    /// Number of input nodes.
+    #[must_use]
+    pub fn nodes(&self) -> usize {
+        self.ranges.len()
+    }
+
+    /// The per-node bounds.
+    #[must_use]
+    pub fn ranges(&self) -> &[(i64, i64)] {
+        &self.ranges
+    }
+
+    /// Number of integer grid points in the box.
+    #[must_use]
+    pub fn point_count(&self) -> i128 {
+        self.ranges
+            .iter()
+            .map(|&(lo, hi)| i128::from(hi - lo) + 1)
+            .product()
+    }
+
+    /// `true` if the box is a single grid point.
+    #[must_use]
+    pub fn is_point(&self) -> bool {
+        self.ranges.iter().all(|&(lo, hi)| lo == hi)
+    }
+
+    /// The unique grid point of a point region.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the region is not a point.
+    #[must_use]
+    pub fn to_vector(&self) -> NoiseVector {
+        assert!(self.is_point(), "region is not a single point");
+        NoiseVector::new(self.ranges.iter().map(|&(lo, _)| lo).collect())
+    }
+
+    /// `true` if `nv` lies inside the box.
+    #[must_use]
+    pub fn contains(&self, nv: &NoiseVector) -> bool {
+        nv.len() == self.nodes()
+            && nv
+                .percents()
+                .iter()
+                .zip(&self.ranges)
+                .all(|(&p, &(lo, hi))| lo <= p && p <= hi)
+    }
+
+    /// The multiplicative noise-factor interval `(100 + [lo, hi])/100` for
+    /// node `k`, used by interval propagation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k >= self.nodes()`.
+    #[must_use]
+    pub fn factor_interval(&self, k: usize) -> Interval {
+        let (lo, hi) = self.ranges[k];
+        Interval::new(
+            Rational::new(100 + i128::from(lo), 100),
+            Rational::new(100 + i128::from(hi), 100),
+        )
+    }
+
+    /// Splits the box on its widest dimension into two disjoint halves
+    /// covering the same grid points. Returns `None` for point regions.
+    #[must_use]
+    pub fn split(&self) -> Option<(NoiseRegion, NoiseRegion)> {
+        let (widest, &(lo, hi)) = self
+            .ranges
+            .iter()
+            .enumerate()
+            .max_by_key(|(_, &(lo, hi))| hi - lo)?;
+        if lo == hi {
+            return None;
+        }
+        let mid = lo + (hi - lo) / 2;
+        let mut left = self.clone();
+        let mut right = self.clone();
+        left.ranges[widest] = (lo, mid);
+        right.ranges[widest] = (mid + 1, hi);
+        Some((left, right))
+    }
+
+    /// Iterates over every grid point in lexicographic order.
+    ///
+    /// Intended for small boxes (e.g. finding a non-excluded point inside a
+    /// box already proven uniformly misclassified); the verifier never
+    /// enumerates large boxes this way.
+    pub fn iter_points(&self) -> PointIter<'_> {
+        PointIter {
+            region: self,
+            current: self.ranges.iter().map(|&(lo, _)| lo).collect(),
+            done: self.ranges.is_empty(),
+        }
+    }
+}
+
+impl fmt::Display for NoiseRegion {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{{")?;
+        for (i, (lo, hi)) in self.ranges.iter().enumerate() {
+            if i > 0 {
+                write!(f, " × ")?;
+            }
+            write!(f, "[{lo}, {hi}]%")?;
+        }
+        write!(f, "}}")
+    }
+}
+
+/// Iterator over the grid points of a [`NoiseRegion`], lexicographic order.
+#[derive(Debug)]
+pub struct PointIter<'a> {
+    region: &'a NoiseRegion,
+    current: Vec<i64>,
+    done: bool,
+}
+
+impl Iterator for PointIter<'_> {
+    type Item = NoiseVector;
+
+    fn next(&mut self) -> Option<NoiseVector> {
+        if self.done {
+            return None;
+        }
+        let out = NoiseVector::new(self.current.clone());
+        // Advance odometer from the last coordinate.
+        let mut k = self.current.len();
+        loop {
+            if k == 0 {
+                self.done = true;
+                break;
+            }
+            k -= 1;
+            let (lo, hi) = self.region.ranges[k];
+            if self.current[k] < hi {
+                self.current[k] += 1;
+                for j in k + 1..self.current.len() {
+                    self.current[j] = self.region.ranges[j].0;
+                }
+                break;
+            }
+            self.current[k] = lo;
+        }
+        Some(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn symmetric_counts() {
+        let r = NoiseRegion::symmetric(11, 5);
+        assert_eq!(r.nodes(), 5);
+        assert_eq!(r.point_count(), 23i128.pow(5));
+        assert!(r.contains(&NoiseVector::new(vec![11, -11, 0, 5, -3])));
+        assert!(!r.contains(&NoiseVector::new(vec![12, 0, 0, 0, 0])));
+        assert!(!r.contains(&NoiseVector::zero(4)), "width mismatch");
+    }
+
+    #[test]
+    fn zero_delta_is_single_point() {
+        let r = NoiseRegion::symmetric(0, 3);
+        assert!(r.is_point());
+        assert_eq!(r.to_vector(), NoiseVector::zero(3));
+        assert_eq!(r.point_count(), 1);
+        assert!(r.split().is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "inverted")]
+    fn inverted_range_panics() {
+        let _ = NoiseRegion::new(vec![(3, 2)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of the model's")]
+    fn out_of_model_range_panics() {
+        let _ = NoiseRegion::new(vec![(-150, 0)]);
+    }
+
+    #[test]
+    fn split_partitions_grid() {
+        let r = NoiseRegion::new(vec![(-2, 2), (0, 1)]);
+        let (a, b) = r.split().expect("splittable");
+        assert_eq!(a.point_count() + b.point_count(), r.point_count());
+        // Split happens on the widest dimension (index 0 here).
+        assert_eq!(a.ranges()[0], (-2, 0));
+        assert_eq!(b.ranges()[0], (1, 2));
+        assert_eq!(a.ranges()[1], (0, 1));
+        // No point in both halves.
+        for p in a.iter_points() {
+            assert!(!b.contains(&p));
+        }
+    }
+
+    #[test]
+    fn repeated_split_reaches_points() {
+        let mut stack = vec![NoiseRegion::symmetric(3, 2)];
+        let mut points = 0i128;
+        while let Some(r) = stack.pop() {
+            match r.split() {
+                Some((a, b)) => {
+                    stack.push(a);
+                    stack.push(b);
+                }
+                None => {
+                    assert!(r.is_point());
+                    points += 1;
+                }
+            }
+        }
+        assert_eq!(points, 49);
+    }
+
+    #[test]
+    fn factor_intervals() {
+        let r = NoiseRegion::new(vec![(-50, 25)]);
+        let f = r.factor_interval(0);
+        assert_eq!(f.lo(), Rational::new(1, 2));
+        assert_eq!(f.hi(), Rational::new(5, 4));
+    }
+
+    #[test]
+    fn point_iteration_lexicographic_and_complete() {
+        let r = NoiseRegion::new(vec![(0, 1), (5, 7)]);
+        let pts: Vec<NoiseVector> = r.iter_points().collect();
+        assert_eq!(pts.len(), 6);
+        assert_eq!(pts[0], NoiseVector::new(vec![0, 5]));
+        assert_eq!(pts[1], NoiseVector::new(vec![0, 6]));
+        assert_eq!(pts[5], NoiseVector::new(vec![1, 7]));
+        // All distinct.
+        let set: std::collections::HashSet<_> = pts.iter().collect();
+        assert_eq!(set.len(), 6);
+    }
+
+    #[test]
+    fn point_region_round_trip() {
+        let nv = NoiseVector::new(vec![3, -4, 0]);
+        let r = NoiseRegion::point(&nv);
+        assert!(r.is_point());
+        assert_eq!(r.to_vector(), nv);
+        assert_eq!(r.iter_points().count(), 1);
+    }
+
+    #[test]
+    fn display() {
+        let r = NoiseRegion::new(vec![(-5, 5), (0, 0)]);
+        assert_eq!(r.to_string(), "{[-5, 5]% × [0, 0]%}");
+    }
+}

@@ -1,0 +1,175 @@
+//! Property-based tests for the verification engine.
+//!
+//! These pin the two claims the whole reproduction rests on:
+//!
+//! 1. **Soundness of the abstraction** — interval propagation encloses the
+//!    exact output of every grid point of every region, for arbitrary
+//!    quantized ReLU networks;
+//! 2. **Equivalence of the counterexample engines** — the single-pass
+//!    collector, the paper-faithful P3 restart loop and brute-force grid
+//!    filtering all produce the same counterexample sets.
+
+use fannet_numeric::Rational;
+use fannet_nn::{init, quantize, Activation, Network};
+use fannet_verify::bab::{collect_region_counterexamples, find_counterexample};
+use fannet_verify::enumerate::CounterexampleEnumerator;
+use fannet_verify::exact::classify_noisy;
+use fannet_verify::propagate::output_intervals;
+use fannet_verify::region::NoiseRegion;
+use proptest::prelude::*;
+use rand::SeedableRng;
+use std::collections::HashSet;
+
+fn random_net(seed: u64, shape: &[usize]) -> Network<Rational> {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    let net = init::fresh_network(&mut rng, shape, Activation::ReLU, init::Init::Uniform(1.0));
+    quantize::to_rational(&net, 10)
+}
+
+fn rational_point(values: &[i64]) -> Vec<Rational> {
+    values.iter().map(|&v| Rational::from_integer(i128::from(v))).collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Every concrete output of every grid point lies inside the interval
+    /// enclosure — the soundness lemma behind all pruning.
+    #[test]
+    fn enclosure_sound_on_random_networks(
+        seed in 0u64..1000,
+        x0 in -50i64..50,
+        x1 in -50i64..50,
+        delta in 0i64..4,
+    ) {
+        let net = random_net(seed, &[2, 4, 2]);
+        let x = rational_point(&[x0, x1]);
+        let region = NoiseRegion::symmetric(delta, 2);
+        let enclosure = output_intervals(&net, &x, &region).expect("widths");
+        for nv in region.iter_points() {
+            let out = net.forward(&nv.apply(&x)).expect("width");
+            for (iv, v) in enclosure.iter().zip(&out) {
+                prop_assert!(iv.contains(*v), "{v} escapes {iv} under {nv}");
+            }
+        }
+    }
+
+    /// The single-pass collector finds exactly the brute-force
+    /// counterexample set (uncapped).
+    #[test]
+    fn collector_matches_bruteforce(
+        seed in 0u64..1000,
+        x0 in -40i64..40,
+        x1 in -40i64..40,
+        delta in 1i64..4,
+    ) {
+        let net = random_net(seed, &[2, 3, 2]);
+        let x = rational_point(&[x0, x1]);
+        let label = net.classify(&x).expect("width");
+        let region = NoiseRegion::symmetric(delta, 2);
+
+        let (found, exhausted, _) =
+            collect_region_counterexamples(&net, &x, label, &region, usize::MAX)
+                .expect("widths");
+        prop_assert!(exhausted);
+        let ours: HashSet<Vec<i64>> =
+            found.iter().map(|ce| ce.noise.percents().to_vec()).collect();
+        prop_assert_eq!(ours.len(), found.len(), "no duplicates");
+
+        let brute: HashSet<Vec<i64>> = region
+            .iter_points()
+            .filter(|nv| classify_noisy(&net, &x, nv).expect("width") != label)
+            .map(|nv| nv.percents().to_vec())
+            .collect();
+        prop_assert_eq!(ours, brute);
+    }
+
+    /// The paper-faithful restart loop produces the same set as the
+    /// single-pass collector.
+    #[test]
+    fn restart_loop_matches_collector(
+        seed in 0u64..500,
+        x0 in -30i64..30,
+        x1 in -30i64..30,
+        delta in 1i64..3,
+    ) {
+        let net = random_net(seed, &[2, 3, 2]);
+        let x = rational_point(&[x0, x1]);
+        let label = net.classify(&x).expect("width");
+        let region = NoiseRegion::symmetric(delta, 2);
+
+        let (collected, _, _) =
+            collect_region_counterexamples(&net, &x, label, &region, usize::MAX)
+                .expect("widths");
+        let restarted: Vec<_> =
+            CounterexampleEnumerator::new(&net, &x, label, region).collect();
+
+        let a: HashSet<Vec<i64>> =
+            collected.iter().map(|ce| ce.noise.percents().to_vec()).collect();
+        let b: HashSet<Vec<i64>> =
+            restarted.iter().map(|ce| ce.noise.percents().to_vec()).collect();
+        prop_assert_eq!(a, b);
+    }
+
+    /// Robustness verdicts are monotone in the noise range: if ±Δ is
+    /// unsafe, every ±Δ' ⊇ ±Δ is unsafe too.
+    #[test]
+    fn verdicts_monotone_in_delta(
+        seed in 0u64..500,
+        x0 in -30i64..30,
+        x1 in -30i64..30,
+        delta in 1i64..5,
+    ) {
+        let net = random_net(seed, &[2, 3, 2]);
+        let x = rational_point(&[x0, x1]);
+        let label = net.classify(&x).expect("width");
+        let small = NoiseRegion::symmetric(delta, 2);
+        let large = NoiseRegion::symmetric(delta + 1, 2);
+        let (small_out, _) = find_counterexample(&net, &x, label, &small).expect("widths");
+        let (large_out, _) = find_counterexample(&net, &x, label, &large).expect("widths");
+        if !small_out.is_robust() {
+            prop_assert!(!large_out.is_robust(), "monotonicity violated");
+        }
+    }
+
+    /// The zero vector is never a counterexample for the net's own
+    /// classification (P1 self-consistency).
+    #[test]
+    fn zero_noise_never_flips_own_label(
+        seed in 0u64..1000,
+        x0 in -50i64..50,
+        x1 in -50i64..50,
+    ) {
+        let net = random_net(seed, &[2, 4, 2]);
+        let x = rational_point(&[x0, x1]);
+        let label = net.classify(&x).expect("width");
+        let (out, stats) =
+            find_counterexample(&net, &x, label, &NoiseRegion::symmetric(0, 2))
+                .expect("widths");
+        prop_assert!(out.is_robust());
+        prop_assert!(stats.boxes_visited >= 1);
+    }
+
+    /// Region algebra: split partitions both the grid and the verdict work.
+    #[test]
+    fn split_partitions_counterexamples(
+        seed in 0u64..300,
+        x0 in -30i64..30,
+        x1 in -30i64..30,
+        delta in 1i64..4,
+    ) {
+        let net = random_net(seed, &[2, 3, 2]);
+        let x = rational_point(&[x0, x1]);
+        let label = net.classify(&x).expect("width");
+        let region = NoiseRegion::symmetric(delta, 2);
+        let (a, b) = region.split().expect("delta ≥ 1 splits");
+
+        let count = |r: &NoiseRegion| {
+            collect_region_counterexamples(&net, &x, label, r, usize::MAX)
+                .expect("widths")
+                .0
+                .len()
+        };
+        prop_assert_eq!(count(&region), count(&a) + count(&b));
+    }
+}

@@ -1,0 +1,99 @@
+//! Training-bias and input-node-sensitivity analysis (paper §V-C.3/4),
+//! including the balanced-retraining ablation (A1 in DESIGN.md): when the
+//! ≈70 %-L1 training set is rebalanced to 50/50 and the network retrained,
+//! the directional bias in the extracted counterexamples should weaken or
+//! flip — demonstrating that FANNet detects *training-data* bias, not an
+//! artifact of the architecture.
+//!
+//! ```text
+//! cargo run --release --example bias_and_sensitivity
+//! ```
+
+use fannet::core::casestudy::{build, CaseStudyConfig};
+use fannet::core::pipeline::{self, AnalysisConfig};
+use fannet::core::FannetReport;
+use fannet::data::golub::{L0_AML, L1_ALL};
+use fannet::data::normalize::Affine;
+use fannet::nn::{fold, init, quantize, train, Activation};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn describe(tag: &str, report: &FannetReport) {
+    println!("--- {tag} ---");
+    println!(
+        "flows: L0->L1 = {}, L1->L0 = {}   (majority flow {:.0}%)",
+        report.bias.flow(L0_AML, L1_ALL),
+        report.bias.flow(L1_ALL, L0_AML),
+        100.0 * report.bias.majority_flow_fraction()
+    );
+    println!(
+        "fragility: L0 {:?}, L1 {:?}  most fragile: {:?}",
+        report.bias.per_class_fragility[L0_AML],
+        report.bias.per_class_fragility[L1_ALL],
+        report.bias.most_fragile_class()
+    );
+    for n in &report.sensitivity.nodes {
+        println!(
+            "  node i{}: +{} / -{} / zero {}  asymmetry {:+.2}{}",
+            n.node + 1,
+            n.positive,
+            n.negative,
+            n.zero,
+            n.sign_asymmetry(),
+            if n.insensitive_to_positive() { "  << never positive" } else { "" }
+        );
+    }
+    println!();
+}
+
+fn main() {
+    let config = CaseStudyConfig::paper();
+    let cs = build(&config);
+    let analysis = AnalysisConfig::default();
+
+    // --- biased training set (the paper's setting) -----------------------
+    let biased = pipeline::run(&cs.exact_net, &cs.float_net, &cs.train5, &cs.test5, &analysis);
+    println!(
+        "biased training set: {:.0}% L1\n",
+        100.0 * cs.train5.label_fraction(L1_ALL)
+    );
+    describe("biased (paper setting)", &biased);
+
+    // --- ablation A1: balanced retraining --------------------------------
+    let balanced_train = cs
+        .train5
+        .balanced_subsample(&mut StdRng::seed_from_u64(99));
+    println!(
+        "balanced training set: {} AML / {} ALL",
+        balanced_train.class_counts()[L0_AML],
+        balanced_train.class_counts()[L1_ALL]
+    );
+    let normalization = Affine::fit_max_abs(&balanced_train);
+    let train_norm = normalization.apply_dataset(&balanced_train);
+    let mut net = init::fresh_network(
+        &mut StdRng::seed_from_u64(config.init_seed),
+        &[5, config.hidden, 2],
+        Activation::ReLU,
+        init::Init::XavierUniform,
+    );
+    train::train(&mut net, train_norm.samples(), train_norm.labels(), &config.train)
+        .expect("shapes fixed by construction");
+    let float_net = fold::fold_input_affine(&net, normalization.scale(), normalization.offset())
+        .expect("same width");
+    let exact_net = quantize::to_rational(&float_net, config.denom_bits);
+
+    let rebalanced =
+        pipeline::run(&exact_net, &float_net, &balanced_train, &cs.test5, &analysis);
+    describe("balanced retraining (ablation A1)", &rebalanced);
+
+    println!(
+        "bias_toward_majority: biased={:?}  balanced={:?}",
+        biased.bias.bias_toward_majority(),
+        rebalanced.bias.bias_toward_majority()
+    );
+    println!(
+        "majority-flow fraction: biased={:.2}  balanced={:.2} (expect the biased run to be ≥)",
+        biased.bias.majority_flow_fraction(),
+        rebalanced.bias.majority_flow_fraction()
+    );
+}

@@ -1,0 +1,81 @@
+//! Quickstart: train a tiny classifier, quantize it exactly, and ask the
+//! FANNet verifier how much relative input noise it tolerates.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use fannet::core::tolerance;
+use fannet::data::normalize::Affine;
+use fannet::data::Dataset;
+use fannet::nn::{fold, init, quantize, train, Activation};
+use fannet::numeric::Rational;
+use fannet::verify::bab;
+use fannet::verify::region::NoiseRegion;
+use rand::SeedableRng;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // 1. A linearly separable toy problem: class 0 lives near (100, 10),
+    //    class 1 near (10, 100) — integer "sensor readings".
+    let xs: Vec<Vec<f64>> = vec![
+        vec![100.0, 10.0],
+        vec![120.0, 5.0],
+        vec![90.0, 20.0],
+        vec![10.0, 110.0],
+        vec![5.0, 130.0],
+        vec![20.0, 95.0],
+    ];
+    let ys = vec![0, 0, 0, 1, 1, 1];
+
+    // 2. Train the paper's architecture style: FC → ReLU → FC → maxpool,
+    //    with the DATE-2020 learning-rate schedule (0.5 ×40, 0.2 ×40).
+    //    Training happens on max-abs-normalized features; the normalization
+    //    is then folded back into the first layer so the final network
+    //    consumes the raw integer readings (FANNet's noise domain).
+    let data = Dataset::new(xs.clone(), ys.clone(), 2)?;
+    let norm = Affine::fit_max_abs(&data);
+    let normalized = norm.apply_dataset(&data);
+    let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+    let mut net = init::fresh_network(&mut rng, &[2, 8, 2], Activation::ReLU,
+                                      init::Init::XavierUniform);
+    let report = train::train(
+        &mut net,
+        normalized.samples(),
+        normalized.labels(),
+        &train::TrainConfig::paper(),
+    )?;
+    println!("trained: final accuracy {:.0}%", 100.0 * report.final_accuracy());
+    let raw_net = fold::fold_input_affine(&net, norm.scale(), norm.offset())?;
+
+    // 3. Quantize to exact rationals — every verdict below is a proof about
+    //    THIS network, with no floating-point rounding anywhere.
+    let exact = quantize::to_rational_default(&raw_net);
+
+    // 4. One-shot robustness query (property P2): can ±8% relative noise
+    //    flip the first training input?
+    let x: Vec<Rational> = xs[0]
+        .iter()
+        .map(|&v| Rational::from_f64_exact(v).expect("finite"))
+        .collect();
+    let (outcome, stats) =
+        bab::find_counterexample(&exact, &x, 0, &NoiseRegion::symmetric(8, 2))?;
+    println!(
+        "±8% on {:?}: {} ({} boxes explored)",
+        xs[0],
+        if outcome.is_robust() { "ROBUST (proved)" } else { "flips!" },
+        stats.boxes_visited
+    );
+
+    // 5. The exact robustness radius of each input, by binary search.
+    for (x, &y) in xs.iter().zip(&ys) {
+        let qx: Vec<Rational> = x
+            .iter()
+            .map(|&v| Rational::from_f64_exact(v).expect("finite"))
+            .collect();
+        match tolerance::robustness_radius(&exact, &qx, y, 100) {
+            Some(radius) => println!("input {x:?}: first flip at ±{radius}%"),
+            None => println!("input {x:?}: robust through ±100%"),
+        }
+    }
+    Ok(())
+}

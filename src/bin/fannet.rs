@@ -1,0 +1,245 @@
+//! `fannet` — command-line front end for the FANNet reproduction.
+//!
+//! ```text
+//! fannet train [--small] --out model.json     train the leukemia case study
+//!                                             and save the exact model
+//! fannet check --model model.json --input 1,2,3,4,5 --label 0 --delta 11
+//!                                             one P2 robustness query
+//! fannet radius --model model.json --input 1,2,3,4,5 --label 0 [--max 50]
+//!                                             exact robustness radius
+//! fannet export-smv --model model.json --input 1,2,3,4,5 --label 0 --delta 1
+//!                                             print the SMV translation
+//! ```
+//!
+//! Models are the JSON documents written by `fannet::nn::io` (exact
+//! rational weights serialize as `"num/den"` strings).
+
+use std::process::ExitCode;
+
+use fannet::core::casestudy::{build, CaseStudyConfig};
+use fannet::core::tolerance::robustness_radius;
+use fannet::nn::io;
+use fannet::nn::Network;
+use fannet::numeric::Rational;
+use fannet::smv::nn_to_smv::{network_to_smv, TranslationConfig};
+use fannet::smv::printer::print_module;
+use fannet::verify::bab::find_counterexample;
+use fannet::verify::region::NoiseRegion;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(message) => {
+            eprintln!("error: {message}");
+            eprintln!();
+            eprintln!("{USAGE}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+const USAGE: &str = "usage:
+  fannet train [--small] --out <model.json>
+  fannet check --model <model.json> --input <v1,v2,...> --label <L> --delta <D>
+  fannet radius --model <model.json> --input <v1,v2,...> --label <L> [--max <D>]
+  fannet export-smv --model <model.json> --input <v1,v2,...> --label <L> --delta <D>";
+
+fn run(args: &[String]) -> Result<(), String> {
+    let (command, rest) = args.split_first().ok_or("missing command")?;
+    match command.as_str() {
+        "train" => train(rest),
+        "check" => check(rest),
+        "radius" => radius(rest),
+        "export-smv" => export_smv(rest),
+        "--help" | "-h" | "help" => {
+            println!("{USAGE}");
+            Ok(())
+        }
+        other => Err(format!("unknown command `{other}`")),
+    }
+}
+
+/// Looks up the value following `--name`.
+fn flag<'a>(args: &'a [String], name: &str) -> Option<&'a str> {
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1))
+        .map(String::as_str)
+}
+
+fn required<'a>(args: &'a [String], name: &str) -> Result<&'a str, String> {
+    flag(args, name).ok_or_else(|| format!("missing required flag {name} <value>"))
+}
+
+fn has_switch(args: &[String], name: &str) -> bool {
+    args.iter().any(|a| a == name)
+}
+
+fn parse_input(text: &str) -> Result<Vec<Rational>, String> {
+    text.split(',')
+        .map(|part| {
+            part.trim()
+                .parse::<Rational>()
+                .map_err(|e| format!("bad input component `{part}`: {e}"))
+        })
+        .collect()
+}
+
+fn parse_label(text: &str) -> Result<usize, String> {
+    text.parse().map_err(|_| format!("bad label `{text}`"))
+}
+
+fn parse_delta(text: &str) -> Result<i64, String> {
+    let d: i64 = text.parse().map_err(|_| format!("bad delta `{text}`"))?;
+    if !(0..=100).contains(&d) {
+        return Err(format!("delta {d} outside the model's [0, 100] range"));
+    }
+    Ok(d)
+}
+
+fn load_model(path: &str) -> Result<Network<Rational>, String> {
+    io::load(path).map_err(|e| format!("cannot load model `{path}`: {e}"))
+}
+
+fn validate_query(
+    net: &Network<Rational>,
+    x: &[Rational],
+    label: usize,
+) -> Result<(), String> {
+    if x.len() != net.inputs() {
+        return Err(format!(
+            "input has {} components but the model expects {}",
+            x.len(),
+            net.inputs()
+        ));
+    }
+    if label >= net.outputs() {
+        return Err(format!(
+            "label {label} out of range for {} outputs",
+            net.outputs()
+        ));
+    }
+    Ok(())
+}
+
+fn train(args: &[String]) -> Result<(), String> {
+    let out = required(args, "--out")?;
+    let config = if has_switch(args, "--small") {
+        CaseStudyConfig::small()
+    } else {
+        CaseStudyConfig::paper()
+    };
+    eprintln!(
+        "training the {}-gene leukemia case study…",
+        config.golub.genes
+    );
+    let cs = build(&config);
+    io::save(&cs.exact_net, out).map_err(|e| format!("cannot write `{out}`: {e}"))?;
+    println!(
+        "saved exact model to {out} (train acc {:.1}%, test acc {:.2}%)",
+        100.0 * cs.train_accuracy(),
+        100.0 * cs.test_accuracy()
+    );
+    println!(
+        "selected genes: {:?} — inputs to `check`/`radius` are these raw expressions",
+        cs.selection.features
+    );
+    Ok(())
+}
+
+fn check(args: &[String]) -> Result<(), String> {
+    let net = load_model(required(args, "--model")?)?;
+    let x = parse_input(required(args, "--input")?)?;
+    let label = parse_label(required(args, "--label")?)?;
+    let delta = parse_delta(required(args, "--delta")?)?;
+    validate_query(&net, &x, label)?;
+
+    let region = NoiseRegion::symmetric(delta, x.len());
+    let (outcome, stats) =
+        find_counterexample(&net, &x, label, &region).map_err(|e| e.to_string())?;
+    match outcome.counterexample() {
+        None => println!(
+            "ROBUST: no noise vector within ±{delta}% flips label L{label} \
+             ({} boxes, {} exact evaluations — this is a proof)",
+            stats.boxes_visited, stats.exact_evals
+        ),
+        Some(ce) => {
+            println!("COUNTEREXAMPLE: {}", ce);
+            println!("  noisy input: {:?}", ce.noisy_input.iter().map(Rational::to_f64).collect::<Vec<_>>());
+            println!("  outputs:     {:?}", ce.outputs.iter().map(Rational::to_f64).collect::<Vec<_>>());
+        }
+    }
+    Ok(())
+}
+
+fn radius(args: &[String]) -> Result<(), String> {
+    let net = load_model(required(args, "--model")?)?;
+    let x = parse_input(required(args, "--input")?)?;
+    let label = parse_label(required(args, "--label")?)?;
+    let max = match flag(args, "--max") {
+        Some(text) => parse_delta(text)?.max(1),
+        None => 50,
+    };
+    validate_query(&net, &x, label)?;
+
+    match robustness_radius(&net, &x, label, max) {
+        Some(radius) => println!(
+            "first flip at ±{radius}% (tolerance of this input: ±{}%)",
+            radius - 1
+        ),
+        None => println!("robust through ±{max}%"),
+    }
+    Ok(())
+}
+
+fn export_smv(args: &[String]) -> Result<(), String> {
+    let net = load_model(required(args, "--model")?)?;
+    let x = parse_input(required(args, "--input")?)?;
+    let label = parse_label(required(args, "--label")?)?;
+    let delta = parse_delta(required(args, "--delta")?)?;
+    validate_query(&net, &x, label)?;
+
+    let module = network_to_smv(&net, &x, label, &TranslationConfig::symmetric(delta));
+    print!("{}", print_module(&module));
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn strings(items: &[&str]) -> Vec<String> {
+        items.iter().map(|s| (*s).to_string()).collect()
+    }
+
+    #[test]
+    fn flag_parsing() {
+        let args = strings(&["--model", "m.json", "--delta", "5"]);
+        assert_eq!(flag(&args, "--model"), Some("m.json"));
+        assert_eq!(flag(&args, "--delta"), Some("5"));
+        assert_eq!(flag(&args, "--missing"), None);
+        assert!(required(&args, "--nope").is_err());
+        assert!(has_switch(&args, "--model"));
+        assert!(!has_switch(&args, "--small"));
+    }
+
+    #[test]
+    fn input_parsing() {
+        let x = parse_input("1, -2, 3/4").unwrap();
+        assert_eq!(x[2], Rational::new(3, 4));
+        assert!(parse_input("1,abc").is_err());
+        assert!(parse_label("3").is_ok());
+        assert!(parse_label("-1").is_err());
+        assert!(parse_delta("11").is_ok());
+        assert!(parse_delta("101").is_err());
+        assert!(parse_delta("x").is_err());
+    }
+
+    #[test]
+    fn unknown_command_errors() {
+        assert!(run(&strings(&["frobnicate"])).is_err());
+        assert!(run(&[]).is_err());
+        assert!(run(&strings(&["help"])).is_ok());
+    }
+}

@@ -1,0 +1,48 @@
+//! # fannet — reproduction of FANNet (DATE 2020)
+//!
+//! A Rust reproduction of *"FANNet: Formal Analysis of Noise Tolerance,
+//! Training Bias and Input Sensitivity in Neural Networks"* (Naseer, Minhas,
+//! Khalid, Hanif, Hasan, Shafique — DATE 2020, arXiv:1912.01978).
+//!
+//! This facade re-exports the workspace crates:
+//!
+//! | module | crate | contents |
+//! |---|---|---|
+//! | [`numeric`] | `fannet-numeric` | exact rationals, Q32.32 fixed point, interval arithmetic, the `Scalar` abstraction |
+//! | [`tensor`] | `fannet-tensor` | dense matrices/vectors generic over `Scalar` |
+//! | [`nn`] | `fannet-nn` | feed-forward networks, training (paper's two-phase schedule), quantization, model I/O |
+//! | [`data`] | `fannet-data` | synthetic Golub leukemia dataset, normalization, mRMR feature selection |
+//! | [`smv`] | `fannet-smv` | SMV-subset front end, NN→SMV translation, explicit-state model checking, Fig. 3 state-space accounting |
+//! | [`verify`] | `fannet-verify` | exact branch-and-bound decision procedure over integer-percent noise regions |
+//! | [`core`] | `fannet-core` | the FANNet methodology: P1/P2/P3, noise tolerance, adversarial extraction, bias, sensitivity, boundary analysis |
+//!
+//! ## Quickstart
+//!
+//! ```no_run
+//! use fannet::core::casestudy::{build, CaseStudyConfig};
+//! use fannet::core::pipeline::{self, AnalysisConfig};
+//!
+//! // Train the paper's 5–20–2 leukemia classifier end to end…
+//! let cs = build(&CaseStudyConfig::paper());
+//! // …and run the full formal analysis.
+//! let report = pipeline::run(
+//!     &cs.exact_net,
+//!     &cs.float_net,
+//!     &cs.train5,
+//!     &cs.test5,
+//!     &AnalysisConfig::default(),
+//! );
+//! println!("{}", report.render_text());
+//! println!("noise tolerance: ±{}%", report.noise_tolerance());
+//! ```
+//!
+//! See `examples/` for runnable scenarios and `DESIGN.md`/`EXPERIMENTS.md`
+//! for the experiment-by-experiment reproduction map.
+
+pub use fannet_core as core;
+pub use fannet_data as data;
+pub use fannet_nn as nn;
+pub use fannet_numeric as numeric;
+pub use fannet_smv as smv;
+pub use fannet_tensor as tensor;
+pub use fannet_verify as verify;

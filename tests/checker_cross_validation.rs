@@ -1,0 +1,98 @@
+//! Cross-validation of the three "model checkers" against each other:
+//! branch-and-bound, exhaustive grid enumeration, and the explicit-state
+//! SMV checker must return the same verdict for the same P2 property.
+//!
+//! This is the load-bearing correctness argument for the nuXmv
+//! substitution (DESIGN.md §2/§5): three independent implementations of
+//! the same semantics agree on real trained networks.
+
+use fannet::core::behavior;
+use fannet::core::casestudy::{build, CaseStudyConfig};
+use fannet::numeric::Rational;
+use fannet::smv::explicit::check_invariant;
+use fannet::smv::nn_to_smv::{network_to_smv, TranslationConfig};
+use fannet::smv::TransitionSystem;
+use fannet::verify::bab::{check_region_exhaustive, find_counterexample};
+use fannet::verify::noise::ExclusionSet;
+use fannet::verify::region::NoiseRegion;
+use proptest::prelude::*;
+use rand::SeedableRng;
+
+#[test]
+fn three_checkers_agree_on_trained_network() {
+    let cs = build(&CaseStudyConfig::small());
+    let correct = behavior::correctly_classified(&cs.exact_net, &cs.test5);
+
+    // Keep the explicit state space small: ±1% over 5 nodes = 3^5 = 243.
+    for &i in correct.iter().take(6) {
+        let x = behavior::rational_input(&cs.test5.samples()[i]);
+        let label = cs.test5.labels()[i];
+        let region = NoiseRegion::symmetric(1, 5);
+
+        let (bab_out, _) =
+            find_counterexample(&cs.exact_net, &x, label, &region).expect("widths");
+        let (exh_out, _) = check_region_exhaustive(
+            &cs.exact_net,
+            &x,
+            label,
+            &region,
+            &ExclusionSet::new(),
+        )
+        .expect("widths");
+        let module =
+            network_to_smv(&cs.exact_net, &x, label, &TranslationConfig::symmetric(1));
+        let ts = TransitionSystem::from_module(&module, 1 << 12).expect("243 states");
+        let smv_result = check_invariant(&ts, &module.invarspecs[0]).expect("evaluates");
+
+        assert_eq!(
+            bab_out.is_robust(),
+            exh_out.is_robust(),
+            "bab vs exhaustive disagree on input {i}"
+        );
+        assert_eq!(
+            bab_out.is_robust(),
+            smv_result.holds(),
+            "bab vs SMV explicit checker disagree on input {i}"
+        );
+    }
+}
+
+/// Random small ReLU networks: branch-and-bound must agree with brute
+/// force everywhere, including pathological weight patterns.
+fn random_exact_net(seed: u64) -> fannet::nn::Network<Rational> {
+    use fannet::nn::{init, quantize, Activation};
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    let net = init::fresh_network(&mut rng, &[2, 3, 2], Activation::ReLU, init::Init::Uniform(1.5));
+    quantize::to_rational(&net, 8)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(40))]
+
+    #[test]
+    fn bab_agrees_with_bruteforce_on_random_nets(
+        seed in 0u64..500,
+        x0 in -30i64..30,
+        x1 in -30i64..30,
+        delta in 0i64..6,
+    ) {
+        let net = random_exact_net(seed);
+        let x = [
+            Rational::from_integer(i128::from(x0)),
+            Rational::from_integer(i128::from(x1)),
+        ];
+        let label = net.classify(&x).expect("width");
+        let region = NoiseRegion::symmetric(delta, 2);
+        let (bab_out, _) = find_counterexample(&net, &x, label, &region).expect("widths");
+        let (exh_out, _) =
+            check_region_exhaustive(&net, &x, label, &region, &ExclusionSet::new())
+                .expect("widths");
+        prop_assert_eq!(bab_out.is_robust(), exh_out.is_robust());
+        // When both find counterexamples, each witness must be genuine.
+        if let Some(ce) = bab_out.counterexample() {
+            let noisy = ce.noise.apply(&x);
+            prop_assert_ne!(net.classify(&noisy).expect("width"), label);
+            prop_assert!(region.contains(&ce.noise));
+        }
+    }
+}

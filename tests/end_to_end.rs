@@ -1,0 +1,117 @@
+//! End-to-end integration: the complete case study through the complete
+//! pipeline, on the reduced (500-gene) configuration for CI speed.
+
+use fannet::core::casestudy::{build, CaseStudyConfig};
+use fannet::core::pipeline::{self, AnalysisConfig};
+use fannet::data::golub::{L0_AML, L1_ALL};
+
+fn fast_config() -> AnalysisConfig {
+    AnalysisConfig {
+        max_delta: 30,
+        sweep_deltas: vec![5, 10, 20, 30],
+        extraction_delta: None,
+        per_input_cap: 20,
+        near_threshold: 10,
+    }
+}
+
+#[test]
+fn small_case_study_full_pipeline() {
+    let cs = build(&CaseStudyConfig::small());
+    let report = pipeline::run(
+        &cs.exact_net,
+        &cs.float_net,
+        &cs.train5,
+        &cs.test5,
+        &fast_config(),
+    );
+
+    // P1: the quantized model is faithful and the test set imperfect-but-good.
+    assert!(report.validation.translation_faithful());
+    assert!(report.validation.accuracy() >= 0.85);
+    assert!(report.validation.accuracy() < 1.0);
+
+    // P2: a meaningful tolerance exists (not zero, not the whole range).
+    let tol = report.noise_tolerance();
+    assert!(tol >= 1, "tolerance {tol} collapsed");
+
+    // The sweep is monotone in the noise range.
+    let counts: Vec<usize> = report.sweep.iter().map(|r| r.misclassified_inputs).collect();
+    for w in counts.windows(2) {
+        assert!(w[1] >= w[0], "sweep must be monotone: {counts:?}");
+    }
+
+    // P3: vectors were extracted, all unique per input.
+    for per_input in &report.adversarial.per_input {
+        let mut seen = std::collections::HashSet::new();
+        for ce in &per_input.counterexamples {
+            assert!(seen.insert(ce.noise.clone()), "duplicate vector");
+            assert_eq!(ce.expected, per_input.label);
+            assert_ne!(ce.predicted, ce.expected);
+        }
+    }
+
+    // Training bias: flows exist and the training set is ~71% L1.
+    assert!((cs.train5.label_fraction(L1_ALL) - 27.0 / 38.0).abs() < 1e-12);
+    assert!(report.bias.total() > 0, "need counterexamples for bias analysis");
+
+    // Sensitivity: one entry per input node.
+    assert_eq!(report.sensitivity.nodes.len(), 5);
+
+    // Boundary: every analysed point carries a margin consistent with its
+    // correct classification (margin ≥ 0; = 0 only possible for label 0 ties).
+    for p in &report.boundary.points {
+        assert!(
+            p.margin >= 0.0,
+            "correctly classified input {} has negative margin {}",
+            p.index,
+            p.margin
+        );
+    }
+}
+
+#[test]
+fn pipeline_is_deterministic() {
+    let cs = build(&CaseStudyConfig::small());
+    let run = || {
+        let r = pipeline::run(
+            &cs.exact_net,
+            &cs.float_net,
+            &cs.train5,
+            &cs.test5,
+            &fast_config(),
+        );
+        (
+            r.noise_tolerance(),
+            r.adversarial.total_vectors(),
+            r.bias.flows.clone(),
+            r.render_text(),
+        )
+    };
+    assert_eq!(run(), run());
+}
+
+#[test]
+fn bias_direction_follows_training_composition() {
+    let cs = build(&CaseStudyConfig::small());
+    let report = pipeline::run(
+        &cs.exact_net,
+        &cs.float_net,
+        &cs.train5,
+        &cs.test5,
+        &fast_config(),
+    );
+    // The paper's core bias finding: flips into the majority class (L1)
+    // dominate flips out of it.
+    assert!(
+        report.bias.flow(L0_AML, L1_ALL) >= report.bias.flow(L1_ALL, L0_AML),
+        "flows: {:?}",
+        report.bias.flows
+    );
+    // And the minority class is at least as fragile as the majority.
+    assert!(
+        report.bias.fragility_rate(L0_AML) >= report.bias.fragility_rate(L1_ALL),
+        "fragility: {:?}",
+        report.bias.per_class_fragility
+    );
+}

@@ -1,0 +1,110 @@
+//! The paper's case study is binary, but nothing in the methodology is:
+//! these tests exercise the full verification stack on a 3-class problem,
+//! including the lower-index tie-break of the maxpool readout across more
+//! than two rivals.
+
+use fannet::core::{adversarial, behavior, bias, sensitivity, tolerance};
+use fannet::data::Dataset;
+use fannet::numeric::Rational;
+use fannet::nn::{Activation, DenseLayer, Network, Readout};
+use fannet::tensor::Matrix;
+use fannet::verify::bab::{check_region_exhaustive, find_counterexample};
+use fannet::verify::noise::ExclusionSet;
+use fannet::verify::region::NoiseRegion;
+
+fn r(n: i128) -> Rational {
+    Rational::from_integer(n)
+}
+
+/// Three-class "which coordinate is largest" network (identity weights).
+fn three_way() -> Network<Rational> {
+    Network::new(
+        vec![DenseLayer::new(
+            Matrix::from_rows(vec![
+                vec![r(1), r(0), r(0)],
+                vec![r(0), r(1), r(0)],
+                vec![r(0), r(0), r(1)],
+            ])
+            .unwrap(),
+            vec![r(0), r(0), r(0)],
+            Activation::Identity,
+        )
+        .unwrap()],
+        Readout::MaxPool,
+    )
+    .unwrap()
+}
+
+#[test]
+fn three_class_classification_and_ties() {
+    let net = three_way();
+    assert_eq!(net.classify(&[r(3), r(2), r(1)]).unwrap(), 0);
+    assert_eq!(net.classify(&[r(1), r(3), r(2)]).unwrap(), 1);
+    assert_eq!(net.classify(&[r(1), r(2), r(3)]).unwrap(), 2);
+    // Ties break toward the lowest index across all three outputs.
+    assert_eq!(net.classify(&[r(5), r(5), r(5)]).unwrap(), 0);
+    assert_eq!(net.classify(&[r(1), r(5), r(5)]).unwrap(), 1);
+}
+
+#[test]
+fn three_class_bab_agrees_with_bruteforce() {
+    let net = three_way();
+    let cases = [
+        ([100i64, 90, 80], 0usize),
+        ([90, 100, 80], 1),
+        ([80, 90, 100], 2),
+        ([100, 99, 98], 0),
+    ];
+    for (raw, label) in cases {
+        let x: Vec<Rational> = raw.iter().map(|&v| r(i128::from(v))).collect();
+        assert_eq!(net.classify(&x).unwrap(), label);
+        for delta in [1i64, 3, 6] {
+            let region = NoiseRegion::symmetric(delta, 3);
+            let (bab_out, _) = find_counterexample(&net, &x, label, &region).unwrap();
+            let (exh_out, _) =
+                check_region_exhaustive(&net, &x, label, &region, &ExclusionSet::new())
+                    .unwrap();
+            assert_eq!(
+                bab_out.is_robust(),
+                exh_out.is_robust(),
+                "disagreement at {raw:?} ±{delta}"
+            );
+        }
+    }
+}
+
+#[test]
+fn three_class_full_analysis_runs() {
+    let net = three_way();
+    let float = net.map(|v| v.to_f64());
+    let data = Dataset::new(
+        vec![
+            vec![100.0, 90.0, 80.0],
+            vec![90.0, 100.0, 80.0],
+            vec![80.0, 90.0, 100.0],
+            vec![100.0, 98.0, 96.0],
+        ],
+        vec![0, 1, 2, 0],
+        3,
+    )
+    .unwrap();
+
+    let validation = behavior::validate(&net, &float, &data);
+    assert_eq!(validation.correct, 4);
+    let correct = behavior::correctly_classified(&net, &data);
+
+    let tol = tolerance::analyze(&net, &data, &correct, 20);
+    // The (100, 98, 96) input sits near a 3-way boundary; the clean ones
+    // are further out.
+    assert!(tol.per_input[3].radius.unwrap() < tol.per_input[0].radius.unwrap_or(21));
+
+    let adv = adversarial::extract(&net, &data, &correct, 6, 50);
+    let b = bias::analyze(&adv, &tol, &data);
+    assert_eq!(b.flows.len(), 3, "3x3 flow matrix");
+    assert_eq!(b.flows[0].len(), 3);
+
+    let s = sensitivity::analyze(&adv);
+    if adv.total_vectors() > 0 {
+        assert_eq!(s.nodes.len(), 3);
+    }
+}

@@ -1,0 +1,67 @@
+//! Cross-crate serialization and export integration: trained models
+//! round-trip through JSON; translated SMV models round-trip through the
+//! printer/parser; the exported artifacts stay semantically faithful.
+
+use fannet::core::behavior;
+use fannet::core::casestudy::{build, CaseStudyConfig};
+use fannet::nn::io;
+use fannet::numeric::Rational;
+use fannet::smv::nn_to_smv::{network_to_smv, TranslationConfig};
+use fannet::smv::parser::parse_module;
+use fannet::smv::printer::print_module;
+
+#[test]
+fn trained_model_round_trips_through_json() {
+    let cs = build(&CaseStudyConfig::small());
+
+    // Float network.
+    let json = io::to_json(&cs.float_net).expect("serializable");
+    let back: fannet::nn::Network<f64> = io::from_json(&json).expect("parse");
+    assert_eq!(back, cs.float_net);
+
+    // Exact network: rationals serialize as exact "num/den" strings.
+    let json = io::to_json(&cs.exact_net).expect("serializable");
+    let back: fannet::nn::Network<Rational> = io::from_json(&json).expect("parse");
+    assert_eq!(back, cs.exact_net);
+
+    // The reloaded exact model classifies the whole test set identically.
+    let report = behavior::validate(&back, &cs.float_net, &cs.test5);
+    assert!(report.translation_faithful());
+}
+
+#[test]
+fn file_round_trip_preserves_classification() {
+    let cs = build(&CaseStudyConfig::small());
+    let dir = std::env::temp_dir().join("fannet-integration");
+    std::fs::create_dir_all(&dir).expect("tmp dir");
+    let path = dir.join("leukemia_exact.json");
+
+    io::save(&cs.exact_net, &path).expect("save");
+    let back: fannet::nn::Network<Rational> = io::load(&path).expect("load");
+    std::fs::remove_file(&path).ok();
+
+    for (sample, _) in cs.test5.iter() {
+        let x = behavior::rational_input(sample);
+        assert_eq!(
+            back.classify(&x).expect("width"),
+            cs.exact_net.classify(&x).expect("width")
+        );
+    }
+}
+
+#[test]
+fn smv_export_round_trips_for_every_test_input() {
+    let cs = build(&CaseStudyConfig::small());
+    for (i, (sample, label)) in cs.test5.iter().enumerate().take(10) {
+        let x = behavior::rational_input(sample);
+        let module = network_to_smv(&cs.exact_net, &x, label, &TranslationConfig::symmetric(3));
+        let text = print_module(&module);
+        let back = parse_module(&text)
+            .unwrap_or_else(|e| panic!("reparse failed for test input {i}: {e}"));
+        assert_eq!(back, module, "AST round trip for test input {i}");
+        // Structure: 5 noise vars, 5 + 20 + 2 + 1 defines, one invariant.
+        assert_eq!(module.vars.len(), 5);
+        assert_eq!(module.defines.len(), 28);
+        assert_eq!(module.invarspecs.len(), 1);
+    }
+}
