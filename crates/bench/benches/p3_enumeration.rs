@@ -26,10 +26,14 @@ fn bench(c: &mut Criterion) {
 
     group.bench_function("restart_loop_10_vectors", |b| {
         b.iter(|| {
-            let found: Vec<_> =
-                CounterexampleEnumerator::new(&cs.exact_net, &inputs[idx], labels[idx], region.clone())
-                    .take(k)
-                    .collect();
+            let found: Vec<_> = CounterexampleEnumerator::new(
+                &cs.exact_net,
+                &inputs[idx],
+                labels[idx],
+                region.clone(),
+            )
+            .take(k)
+            .collect();
             black_box(found)
         });
     });
@@ -37,8 +41,14 @@ fn bench(c: &mut Criterion) {
     group.bench_function("single_pass_10_vectors", |b| {
         b.iter(|| {
             black_box(
-                collect_region_counterexamples(&cs.exact_net, &inputs[idx], labels[idx], &region, k)
-                    .expect("widths match"),
+                collect_region_counterexamples(
+                    &cs.exact_net,
+                    &inputs[idx],
+                    labels[idx],
+                    &region,
+                    k,
+                )
+                .expect("widths match"),
             )
         });
     });

@@ -5,6 +5,11 @@
 //! ```text
 //! cargo run --release -p fannet-bench --bin repro
 //! ```
+//!
+//! With `--bench-json <path>` the binary instead runs only the
+//! checker-ablation benchmark (A2 plus the screened/parallel arms) and
+//! writes the timings as JSON, so per-PR `BENCH_*.json` trajectories can
+//! be recorded without paying for the full experiment regeneration.
 
 use fannet_bench::paper_study;
 use fannet_core::pipeline::{self, AnalysisConfig};
@@ -15,11 +20,14 @@ use fannet_data::mrmr::{select_by_variance, select_mrmr, select_random, MrmrSche
 use fannet_data::normalize::Affine;
 use fannet_nn::{fold, init, quantize, train, Activation};
 use fannet_smv::statespace::{growth_table, PaperFsm};
-use fannet_verify::bab::{check_region_exhaustive, find_counterexample};
+use fannet_verify::bab::{
+    check_region_exhaustive, find_counterexample, find_counterexample_with, BabStats, CheckerConfig,
+};
 use fannet_verify::noise::ExclusionSet;
 use fannet_verify::region::NoiseRegion;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+use serde::Serialize;
 use std::time::Instant;
 
 fn header(title: &str) {
@@ -28,7 +36,111 @@ fn header(title: &str) {
     println!("{}", "=".repeat(72));
 }
 
+/// One timed arm of the checker ablation.
+#[derive(Serialize)]
+struct AblationRow {
+    variant: &'static str,
+    delta: i64,
+    seconds: f64,
+    robust: bool,
+    screen_hit_rate: Option<f64>,
+    stats: BabStats,
+}
+
+/// The `--bench-json` document.
+#[derive(Serialize)]
+struct AblationReport {
+    checker_ablation: Vec<AblationRow>,
+}
+
+/// The ablation arms: every checker configuration on identical P2 queries
+/// against the trained 5–20–2 case-study network.
+fn checker_ablation_rows(deltas: &[i64]) -> Vec<AblationRow> {
+    let cs = paper_study();
+    let inputs = fannet_bench::paper_test_inputs();
+    let labels = cs.test5.labels();
+    let idx = 6; // robust input: every variant must cover the whole grid
+    let variants: [(&'static str, CheckerConfig); 4] = [
+        ("serial_exact", CheckerConfig::serial_exact()),
+        ("screened", CheckerConfig::screened()),
+        ("parallel", CheckerConfig::parallel()),
+        ("screened_parallel", CheckerConfig::fast()),
+    ];
+    let mut rows = Vec::new();
+    for &delta in deltas {
+        let region = NoiseRegion::symmetric(delta, 5);
+        let mut baseline: Option<bool> = None;
+        for (name, config) in &variants {
+            let t = Instant::now();
+            let (outcome, stats) =
+                find_counterexample_with(&cs.exact_net, &inputs[idx], labels[idx], &region, config)
+                    .expect("widths");
+            let seconds = t.elapsed().as_secs_f64();
+            match baseline {
+                None => baseline = Some(outcome.is_robust()),
+                Some(expected) => assert_eq!(
+                    outcome.is_robust(),
+                    expected,
+                    "checker variants disagree at ±{delta}%"
+                ),
+            }
+            rows.push(AblationRow {
+                variant: name,
+                delta,
+                seconds,
+                robust: outcome.is_robust(),
+                screen_hit_rate: stats.screen_hit_rate(),
+                stats,
+            });
+        }
+    }
+    rows
+}
+
+/// `--bench-json` mode: run the ablation, print a table, write JSON.
+fn run_bench_json(path: &str) {
+    println!("checker ablation (two-tier screening × parallel search)");
+    let rows = checker_ablation_rows(&[5, 11, 15, 25, 50]);
+    let mut serial_time = 0.0;
+    for row in &rows {
+        if row.variant == "serial_exact" {
+            serial_time = row.seconds;
+        }
+        let speedup = if row.seconds > 0.0 {
+            serial_time / row.seconds
+        } else {
+            0.0
+        };
+        println!(
+            "±{:2}% {:18} {:>10.3}ms  {:>6.2}x  boxes {:>8}  screen {:>3.0}%",
+            row.delta,
+            row.variant,
+            row.seconds * 1e3,
+            speedup,
+            row.stats.boxes_visited,
+            100.0 * row.screen_hit_rate.unwrap_or(0.0),
+        );
+    }
+    let json = serde_json::to_string_pretty(&AblationReport {
+        checker_ablation: rows,
+    })
+    .expect("ablation report serializes");
+    std::fs::write(path, &json).unwrap_or_else(|e| panic!("cannot write {path}: {e}"));
+    println!("wrote {path}");
+}
+
 fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    if let Some(pos) = args.iter().position(|a| a == "--bench-json") {
+        let Some(path) = args.get(pos + 1) else {
+            eprintln!("error: --bench-json requires a path argument");
+            eprintln!("usage: repro [--bench-json <path>]");
+            std::process::exit(2);
+        };
+        run_bench_json(path);
+        return;
+    }
+
     let started = Instant::now();
     println!("FANNet (DATE 2020) reproduction — full experiment regeneration");
 
@@ -105,7 +217,10 @@ fn main() {
     let insensitive = report.sensitivity.positive_insensitive_nodes();
     println!(
         "positive-noise-insensitive nodes: measured {:?}   (paper: node i5)",
-        insensitive.iter().map(|n| format!("i{}", n + 1)).collect::<Vec<_>>()
+        insensitive
+            .iter()
+            .map(|n| format!("i{}", n + 1))
+            .collect::<Vec<_>>()
     );
     println!(
         "inputs robust through ±50%: measured {}   (paper: \"noise even as large as 50% did not trigger misclassification\" for some inputs)",
@@ -123,12 +238,22 @@ fn main() {
         Activation::ReLU,
         init::Init::XavierUniform,
     );
-    train::train(&mut net, train_norm.samples(), train_norm.labels(), &train::TrainConfig::paper())
-        .expect("shapes fixed");
+    train::train(
+        &mut net,
+        train_norm.samples(),
+        train_norm.labels(),
+        &train::TrainConfig::paper(),
+    )
+    .expect("shapes fixed");
     let float_net = fold::fold_input_affine(&net, norm.scale(), norm.offset()).expect("width");
     let exact_net = quantize::to_rational_default(&float_net);
-    let balanced_report =
-        pipeline::run(&exact_net, &float_net, &balanced_train, &cs.test5, &AnalysisConfig::default());
+    let balanced_report = pipeline::run(
+        &exact_net,
+        &float_net,
+        &balanced_train,
+        &cs.test5,
+        &AnalysisConfig::default(),
+    );
     println!(
         "biased   (27/11 train): majority-flow {:.0}%  fragility L0 {:?} vs L1 {:?}",
         100.0 * report.bias.majority_flow_fraction(),
@@ -202,15 +327,43 @@ fn main() {
             })
             .count()
     };
-    let mid = select_mrmr(&columns, train_labels, 5, MrmrScheme::Difference, Discretizer::SigmaBands);
-    let miq = select_mrmr(&columns, train_labels, 5, MrmrScheme::Quotient, Discretizer::SigmaBands);
+    let mid = select_mrmr(
+        &columns,
+        train_labels,
+        5,
+        MrmrScheme::Difference,
+        Discretizer::SigmaBands,
+    );
+    let miq = select_mrmr(
+        &columns,
+        train_labels,
+        5,
+        MrmrScheme::Quotient,
+        Discretizer::SigmaBands,
+    );
     let var = select_by_variance(&columns, 5);
     let rnd = select_random(columns.len(), 5, 42);
     println!("signal genes recovered out of 5 selected:");
-    println!("  mRMR-MID: {}   features {:?}", hit(&mid.features), mid.features);
-    println!("  mRMR-MIQ: {}   features {:?}", hit(&miq.features), miq.features);
-    println!("  variance: {}   features {:?}", hit(&var.features), var.features);
-    println!("  random:   {}   features {:?}", hit(&rnd.features), rnd.features);
+    println!(
+        "  mRMR-MID: {}   features {:?}",
+        hit(&mid.features),
+        mid.features
+    );
+    println!(
+        "  mRMR-MIQ: {}   features {:?}",
+        hit(&miq.features),
+        miq.features
+    );
+    println!(
+        "  variance: {}   features {:?}",
+        hit(&var.features),
+        var.features
+    );
+    println!(
+        "  random:   {}   features {:?}",
+        hit(&rnd.features),
+        rnd.features
+    );
 
     // =====================================================================
     header("sanity: per-input robustness radii (boundary panel data)");

@@ -6,13 +6,14 @@
 //! `e`; the bias and sensitivity analyses are computed over it.
 
 use fannet_data::Dataset;
-use fannet_numeric::Rational;
 use fannet_nn::Network;
-use fannet_verify::bab::collect_region_counterexamples;
+use fannet_numeric::Rational;
+use fannet_verify::bab::{CheckerConfig, RegionChecker};
 use fannet_verify::exact::Counterexample;
 use fannet_verify::region::NoiseRegion;
 
 use crate::behavior::rational_input;
+use crate::par;
 
 /// All counterexamples extracted for one input.
 #[derive(Debug, Clone, PartialEq)]
@@ -73,21 +74,57 @@ pub fn extract(
     delta: i64,
     per_input_cap: usize,
 ) -> AdversarialReport {
+    par_extract(
+        net,
+        data,
+        indices,
+        delta,
+        per_input_cap,
+        &CheckerConfig::serial_exact(),
+        1,
+    )
+}
+
+/// [`extract`] with the per-input P3 loops fanned across `input_threads`
+/// workers, each collection running under `config`.
+///
+/// Extraction order within an input is the serial DFS order under every
+/// configuration, and inputs stay in `indices` order, so the report is
+/// identical to the serial one.
+///
+/// # Panics
+///
+/// Panics if an index is out of range, widths mismatch, or
+/// `per_input_cap == 0`.
+#[must_use]
+pub fn par_extract(
+    net: &Network<Rational>,
+    data: &Dataset,
+    indices: &[usize],
+    delta: i64,
+    per_input_cap: usize,
+    config: &CheckerConfig,
+    input_threads: usize,
+) -> AdversarialReport {
     assert!(per_input_cap > 0, "need a positive per-input cap");
-    let per_input = indices
-        .iter()
-        .map(|&i| {
-            let (sample, label) = (data.samples()[i].as_slice(), data.labels()[i]);
-            let x = rational_input(sample);
-            let region = NoiseRegion::symmetric(delta, x.len());
-            // Single-pass collection: semantically the P3 restart loop
-            // (each vector is unique), but each safe box is pruned once.
-            let (counterexamples, exhausted, _) =
-                collect_region_counterexamples(net, &x, label, &region, per_input_cap)
-                    .expect("widths validated upstream");
-            InputAdversaries { index: i, label, exhausted, counterexamples }
-        })
-        .collect();
+    // One shadow build per network, shared by every worker.
+    let checker = RegionChecker::new(net, config.clone());
+    let per_input = par::ordered_map(indices, input_threads, |&i| {
+        let (sample, label) = (data.samples()[i].as_slice(), data.labels()[i]);
+        let x = rational_input(sample);
+        let region = NoiseRegion::symmetric(delta, x.len());
+        // Single-pass collection: semantically the P3 restart loop
+        // (each vector is unique), but each safe box is pruned once.
+        let (counterexamples, exhausted, _) = checker
+            .collect_region_counterexamples(&x, label, &region, per_input_cap)
+            .expect("widths validated upstream");
+        InputAdversaries {
+            index: i,
+            label,
+            exhausted,
+            counterexamples,
+        }
+    });
     AdversarialReport { delta, per_input }
 }
 
@@ -117,12 +154,7 @@ mod tests {
     }
 
     fn data() -> Dataset {
-        Dataset::new(
-            vec![vec![100.0, 97.0], vec![100.0, 40.0]],
-            vec![0, 0],
-            2,
-        )
-        .unwrap()
+        Dataset::new(vec![vec![100.0, 97.0], vec![100.0, 40.0]], vec![0, 0], 2).unwrap()
     }
 
     #[test]

@@ -9,8 +9,8 @@
 //! test sample across the decision boundary.
 
 use fannet_data::Dataset;
-use fannet_numeric::Rational;
 use fannet_nn::Network;
+use fannet_numeric::Rational;
 use serde::{Deserialize, Serialize};
 
 /// Converts an `f64` feature vector (integer-valued gene expressions) to
@@ -24,8 +24,7 @@ pub fn rational_input(sample: &[f64]) -> Vec<Rational> {
     sample
         .iter()
         .map(|&v| {
-            Rational::from_f64_exact(v)
-                .unwrap_or_else(|| panic!("non-finite feature value {v}"))
+            Rational::from_f64_exact(v).unwrap_or_else(|| panic!("non-finite feature value {v}"))
         })
         .collect()
 }
@@ -159,7 +158,11 @@ mod tests {
         let (exact, reference, data) = trained_pair();
         let report = validate(&exact, &reference, &data);
         assert_eq!(report.total, 6);
-        assert_eq!(report.correct, 6, "misclassified: {:?}", report.misclassified);
+        assert_eq!(
+            report.correct, 6,
+            "misclassified: {:?}",
+            report.misclassified
+        );
         assert_eq!(report.accuracy(), 1.0);
         assert!(report.translation_faithful());
         assert!(report.misclassified.is_empty());
@@ -169,12 +172,7 @@ mod tests {
     fn misclassifications_are_indexed() {
         let (exact, reference, _) = trained_pair();
         // Deliberately wrong labels: everything flips.
-        let flipped = Dataset::new(
-            vec![vec![10.0, 1.0], vec![1.0, 11.0]],
-            vec![1, 0],
-            2,
-        )
-        .unwrap();
+        let flipped = Dataset::new(vec![vec![10.0, 1.0], vec![1.0, 11.0]], vec![1, 0], 2).unwrap();
         let report = validate(&exact, &reference, &flipped);
         assert_eq!(report.correct, 0);
         assert_eq!(report.misclassified, vec![0, 1]);

@@ -150,7 +150,11 @@ pub fn analyze(
         }
     }
     let train_fractions = (0..classes).map(|c| train.label_fraction(c)).collect();
-    BiasReport { flows, train_fractions, per_class_fragility }
+    BiasReport {
+        flows,
+        train_fractions,
+        per_class_fragility,
+    }
 }
 
 #[cfg(test)]
@@ -182,7 +186,10 @@ mod tests {
                 exhausted: true,
             });
         }
-        AdversarialReport { delta: 10, per_input }
+        AdversarialReport {
+            delta: 10,
+            per_input,
+        }
     }
 
     fn tol(rows: &[(usize, usize, Option<i64>)]) -> ToleranceReport {
@@ -220,7 +227,11 @@ mod tests {
 
     #[test]
     fn paper_shape_all_flows_into_majority() {
-        let b = analyze(&report(&[(0, 1, 9)]), &tol(&[(0, 0, Some(3)), (1, 1, None)]), &biased_train());
+        let b = analyze(
+            &report(&[(0, 1, 9)]),
+            &tol(&[(0, 0, Some(3)), (1, 1, None)]),
+            &biased_train(),
+        );
         assert_eq!(b.majority_class(), 1);
         assert_eq!(b.dominant_target(), Some(1));
         assert_eq!(b.bias_toward_majority(), Some(true));
@@ -253,12 +264,7 @@ mod tests {
 
     #[test]
     fn balanced_training_fractions() {
-        let balanced = Dataset::new(
-            vec![vec![0.0], vec![1.0]],
-            vec![0, 1],
-            2,
-        )
-        .unwrap();
+        let balanced = Dataset::new(vec![vec![0.0], vec![1.0]], vec![0, 1], 2).unwrap();
         let b = analyze(&report(&[(0, 1, 1), (1, 0, 1)]), &tol(&[]), &balanced);
         assert!((b.train_fractions[0] - 0.5).abs() < 1e-12);
         // Tie in flows: dominant target is the max — with equal counts the

@@ -10,8 +10,8 @@
 //! EXPERIMENTS.md) check.
 
 use fannet_data::Dataset;
-use fannet_numeric::{Rational, Scalar};
 use fannet_nn::Network;
+use fannet_numeric::{Rational, Scalar};
 use serde::{Deserialize, Serialize};
 
 use crate::behavior::rational_input;
@@ -130,7 +130,10 @@ pub fn analyze(
             }
         })
         .collect();
-    BoundaryReport { points, near_threshold }
+    BoundaryReport {
+        points,
+        near_threshold,
+    }
 }
 
 #[cfg(test)]
@@ -160,11 +163,7 @@ mod tests {
     fn dataset() -> Dataset {
         // Margins: 2, 18, 60 — increasing distance from the boundary.
         Dataset::new(
-            vec![
-                vec![100.0, 98.0],
-                vec![100.0, 82.0],
-                vec![100.0, 40.0],
-            ],
+            vec![vec![100.0, 98.0], vec![100.0, 82.0], vec![100.0, 40.0]],
             vec![0, 0, 0],
             2,
         )
@@ -185,7 +184,11 @@ mod tests {
         let tol = tolerance::analyze(&net, &data, &[0, 1, 2], 20);
         let report = analyze(&net, &data, &tol, 5);
         assert_eq!(report.near_boundary(), vec![0], "margin-2 input is near");
-        assert_eq!(report.far_from_boundary(), vec![2], "margin-60 input never flips at ±20");
+        assert_eq!(
+            report.far_from_boundary(),
+            vec![2],
+            "margin-60 input never flips at ±20"
+        );
         assert_eq!(report.points.len(), 3);
     }
 
@@ -202,7 +205,10 @@ mod tests {
 
     #[test]
     fn empty_report_concordance_is_one() {
-        let report = BoundaryReport { points: vec![], near_threshold: 5 };
+        let report = BoundaryReport {
+            points: vec![],
+            near_threshold: 5,
+        };
         assert_eq!(report.margin_radius_concordance(), 1.0);
         assert!(report.near_boundary().is_empty());
         assert!(report.far_from_boundary().is_empty());

@@ -22,9 +22,9 @@ use fannet_data::golub::{self, GolubConfig, GolubLeukemia};
 use fannet_data::mrmr::{self, MrmrScheme, Selection};
 use fannet_data::normalize::Affine;
 use fannet_data::Dataset;
-use fannet_numeric::Rational;
 use fannet_nn::train::{TrainConfig, TrainReport};
 use fannet_nn::{fold, init, quantize, train, Activation, Network};
+use fannet_numeric::Rational;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -65,7 +65,10 @@ impl CaseStudyConfig {
     /// A reduced configuration (500 genes) for fast tests.
     #[must_use]
     pub fn small() -> Self {
-        CaseStudyConfig { golub: GolubConfig::small(), ..Self::paper() }
+        CaseStudyConfig {
+            golub: GolubConfig::small(),
+            ..Self::paper()
+        }
     }
 }
 
@@ -189,7 +192,12 @@ mod tests {
         let cs = study();
         // Paper: 100 % train accuracy; ≥ 94 % test accuracy (exact value
         // depends on the synthetic draw — EXPERIMENTS.md records both).
-        assert_eq!(cs.train_accuracy(), 1.0, "losses: {:?}", cs.train_report.epoch_loss);
+        assert_eq!(
+            cs.train_accuracy(),
+            1.0,
+            "losses: {:?}",
+            cs.train_report.epoch_loss
+        );
         assert!(
             cs.test_accuracy() >= 0.85,
             "test accuracy {:.3} collapsed",

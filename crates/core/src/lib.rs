@@ -42,6 +42,7 @@
 //!     extraction_delta: Some(8),
 //!     per_input_cap: 20,
 //!     near_threshold: 3,
+//!     ..AnalysisConfig::default()
 //! };
 //! let report = pipeline::run(&exact, &float, &train, &test, &config);
 //! assert_eq!(report.validation.correct, 1);
@@ -55,6 +56,7 @@ pub mod behavior;
 pub mod bias;
 pub mod boundary;
 pub mod casestudy;
+pub mod par;
 pub mod pipeline;
 pub mod property;
 pub mod sensitivity;

@@ -1,0 +1,85 @@
+//! Per-input fan-out: the dataset-level parallel layer (DESIGN.md §7).
+//!
+//! The analyses in this crate are embarrassingly parallel across inputs —
+//! every tolerance binary search and every P3 extraction touches one input
+//! only. [`ordered_map`] fans such per-input work across scoped worker
+//! threads while keeping results in input order, so parallel reports are
+//! byte-identical to serial ones.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Maps `f` over `items` with `threads` workers, preserving order.
+///
+/// Work is claimed item-by-item from an atomic cursor (dynamic load
+/// balancing: robustness radii vary wildly between near-boundary and
+/// robust inputs). With `threads <= 1` this degenerates to a plain map
+/// with no thread or lock overhead.
+///
+/// # Panics
+///
+/// Propagates panics from `f` (the scope joins all workers first).
+pub fn ordered_map<T: Sync, R: Send>(
+    items: &[T],
+    threads: usize,
+    f: impl Fn(&T) -> R + Sync,
+) -> Vec<R> {
+    if threads <= 1 || items.len() <= 1 {
+        return items.iter().map(f).collect();
+    }
+    let cursor = AtomicUsize::new(0);
+    let slots: Vec<Mutex<Option<R>>> = items.iter().map(|_| Mutex::new(None)).collect();
+    let workers = threads.min(items.len());
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| loop {
+                let i = cursor.fetch_add(1, Ordering::Relaxed);
+                let Some(item) = items.get(i) else { break };
+                *slots[i].lock().expect("slot mutex poisoned") = Some(f(item));
+            });
+        }
+    });
+    slots
+        .into_iter()
+        .map(|slot| {
+            slot.into_inner()
+                .expect("slot mutex poisoned")
+                .expect("every index was claimed exactly once")
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn preserves_order_and_content() {
+        let items: Vec<usize> = (0..97).collect();
+        let serial = ordered_map(&items, 1, |&v| v * v);
+        let parallel = ordered_map(&items, 8, |&v| v * v);
+        assert_eq!(serial, parallel);
+        assert_eq!(parallel[10], 100);
+    }
+
+    #[test]
+    fn handles_edge_sizes() {
+        assert_eq!(ordered_map(&[] as &[u32], 4, |&v| v), Vec::<u32>::new());
+        assert_eq!(ordered_map(&[7u32], 4, |&v| v + 1), vec![8]);
+        // More threads than items.
+        assert_eq!(ordered_map(&[1u32, 2], 16, |&v| v), vec![1, 2]);
+    }
+
+    #[test]
+    fn uneven_work_is_balanced() {
+        // Slow items early, fast late: dynamic claiming must finish them all.
+        let items: Vec<u64> = (0..32).collect();
+        let out = ordered_map(&items, 4, |&v| {
+            if v < 4 {
+                std::thread::sleep(std::time::Duration::from_millis(5));
+            }
+            v * 2
+        });
+        assert_eq!(out, items.iter().map(|v| v * 2).collect::<Vec<_>>());
+    }
+}

@@ -16,8 +16,9 @@
 //! 6. **Boundary analysis** — radius/margin view of boundary proximity.
 
 use fannet_data::Dataset;
-use fannet_numeric::Rational;
 use fannet_nn::Network;
+use fannet_numeric::Rational;
+use fannet_verify::bab::{default_threads, CheckerConfig};
 
 use crate::adversarial::{self, AdversarialReport};
 use crate::behavior::{self, ValidationReport};
@@ -44,6 +45,12 @@ pub struct AnalysisConfig {
     pub per_input_cap: usize,
     /// Radius at or below which an input counts as near the boundary.
     pub near_threshold: i64,
+    /// Per-query checker tiers (screening on by default; results are
+    /// identical across configurations, only wall clock changes).
+    pub checker: CheckerConfig,
+    /// Worker threads fanning the per-input P2/P3 queries
+    /// (`FANNET_THREADS` overrides the default of all cores; `1` = serial).
+    pub input_threads: usize,
 }
 
 impl Default for AnalysisConfig {
@@ -54,6 +61,10 @@ impl Default for AnalysisConfig {
             extraction_delta: None,
             per_input_cap: 60,
             near_threshold: 15,
+            // Per-input fan-out saturates the cores, so each individual
+            // query stays single-threaded (screening still on).
+            checker: CheckerConfig::screened(),
+            input_threads: default_threads(),
         }
     }
 }
@@ -213,18 +224,27 @@ pub fn run(
     let validation = behavior::validate(exact, reference, test);
     let correct = behavior::correctly_classified(exact, test);
 
-    let tolerance = tolerance::analyze(exact, test, &correct, config.max_delta);
+    let tolerance = tolerance::par_analyze(
+        exact,
+        test,
+        &correct,
+        config.max_delta,
+        &config.checker,
+        config.input_threads,
+    );
     let sweep = tolerance.sweep(&config.sweep_deltas);
 
     let extraction_delta = config
         .extraction_delta
         .unwrap_or_else(|| (tolerance.tolerance() + 5).clamp(1, config.max_delta));
-    let adversarial = adversarial::extract(
+    let adversarial = adversarial::par_extract(
         exact,
         test,
         &correct,
         extraction_delta,
         config.per_input_cap,
+        &config.checker,
+        config.input_threads,
     );
     let bias = bias::analyze(&adversarial, &tolerance, train);
     let sensitivity = sensitivity::analyze(&adversarial);
@@ -303,6 +323,7 @@ mod tests {
             extraction_delta: Some(5),
             per_input_cap: 50,
             near_threshold: 5,
+            ..AnalysisConfig::default()
         }
     }
 
@@ -321,8 +342,11 @@ mod tests {
         assert_eq!(report.tolerance.per_input.len(), 3);
 
         // Sweep is monotone.
-        let counts: Vec<usize> =
-            report.sweep.iter().map(|r| r.misclassified_inputs).collect();
+        let counts: Vec<usize> = report
+            .sweep
+            .iter()
+            .map(|r| r.misclassified_inputs)
+            .collect();
         for w in counts.windows(2) {
             assert!(w[1] >= w[0]);
         }

@@ -58,14 +58,24 @@ impl Property {
     /// The P2 noise-tolerance property over `region`.
     #[must_use]
     pub fn p2(region: NoiseRegion, label: usize) -> Self {
-        Property { kind: PropertyKind::P2NoiseTolerance, region, excluded: 0, label }
+        Property {
+            kind: PropertyKind::P2NoiseTolerance,
+            region,
+            excluded: 0,
+            label,
+        }
     }
 
     /// The P3 fresh-counterexample property over `region` with `excluded`
     /// vectors already in the matrix `e`.
     #[must_use]
     pub fn p3(region: NoiseRegion, label: usize, excluded: usize) -> Self {
-        Property { kind: PropertyKind::P3FreshCounterexample, region, excluded, label }
+        Property {
+            kind: PropertyKind::P3FreshCounterexample,
+            region,
+            excluded,
+            label,
+        }
     }
 
     /// Which paper property this is.

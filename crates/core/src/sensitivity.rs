@@ -106,10 +106,7 @@ impl SensitivityReport {
 /// Panics if the report contains vectors of inconsistent width.
 #[must_use]
 pub fn analyze(report: &AdversarialReport) -> SensitivityReport {
-    let width = report
-        .iter_all()
-        .next()
-        .map_or(0, |(_, ce)| ce.noise.len());
+    let width = report.iter_all().next().map_or(0, |(_, ce)| ce.noise.len());
     let mut nodes: Vec<NodeSensitivity> = (0..width)
         .map(|node| NodeSensitivity {
             node,
@@ -170,11 +167,7 @@ mod tests {
 
     #[test]
     fn sign_counts_per_node() {
-        let r = report_from_vectors(vec![
-            vec![5, -3, 0],
-            vec![2, -7, 0],
-            vec![-1, -2, 0],
-        ]);
+        let r = report_from_vectors(vec![vec![5, -3, 0], vec![2, -7, 0], vec![-1, -2, 0]]);
         let s = analyze(&r);
         assert_eq!(s.nodes.len(), 3);
         let n0 = &s.nodes[0];
@@ -191,12 +184,7 @@ mod tests {
     fn paper_shape_positive_insensitive_node() {
         // Node 1 never positive (the paper's i5 shape); node 0 skews
         // positive (the i2 shape).
-        let r = report_from_vectors(vec![
-            vec![6, -2],
-            vec![4, 0],
-            vec![3, -5],
-            vec![-1, -1],
-        ]);
+        let r = report_from_vectors(vec![vec![6, -2], vec![4, 0], vec![3, -5], vec![-1, -1]]);
         let s = analyze(&r);
         assert_eq!(s.positive_insensitive_nodes(), vec![1]);
         assert!(s.nodes[1].insensitive_to_positive());
@@ -208,7 +196,10 @@ mod tests {
 
     #[test]
     fn empty_report_yields_empty_table() {
-        let r = AdversarialReport { delta: 5, per_input: vec![] };
+        let r = AdversarialReport {
+            delta: 5,
+            per_input: vec![],
+        };
         let s = analyze(&r);
         assert!(s.nodes.is_empty());
         assert!(s.positive_insensitive_nodes().is_empty());
@@ -293,8 +284,14 @@ pub fn acquisition_plan(
     low_participation: f64,
     one_sided_threshold: f64,
 ) -> AcquisitionPlan {
-    assert!((0.0..=1.0).contains(&low_participation), "fraction in [0,1]");
-    assert!((0.0..=1.0).contains(&one_sided_threshold), "threshold in [0,1]");
+    assert!(
+        (0.0..=1.0).contains(&low_participation),
+        "fraction in [0,1]"
+    );
+    assert!(
+        (0.0..=1.0).contains(&one_sided_threshold),
+        "threshold in [0,1]"
+    );
     let tiers = report
         .nodes
         .iter()
@@ -368,7 +365,10 @@ mod acquisition_tests {
 
     #[test]
     fn empty_report_gives_empty_plan() {
-        let s = analyze(&AdversarialReport { delta: 5, per_input: vec![] });
+        let s = analyze(&AdversarialReport {
+            delta: 5,
+            per_input: vec![],
+        });
         let plan = acquisition_plan(&s, 0.5, 0.9);
         assert!(plan.tiers.is_empty());
     }

@@ -9,13 +9,15 @@
 //! sound-and-complete branch-and-bound query (property P2).
 
 use fannet_data::Dataset;
-use fannet_numeric::Rational;
 use fannet_nn::Network;
-use fannet_verify::bab::find_counterexample;
+use fannet_numeric::Rational;
+use fannet_verify::bab::{CheckerConfig, RegionChecker};
+use fannet_verify::noise::ExclusionSet;
 use fannet_verify::region::NoiseRegion;
 use serde::{Deserialize, Serialize};
 
 use crate::behavior::rational_input;
+use crate::par;
 
 /// Robustness radius of one input: the smallest `Δ` whose `±Δ` region
 /// contains a misclassifying noise vector.
@@ -110,11 +112,52 @@ pub fn robustness_radius(
     label: usize,
     max_delta: i64,
 ) -> Option<i64> {
-    assert!((1..=100).contains(&max_delta), "max_delta must be in [1, 100]");
+    robustness_radius_with(net, x, label, max_delta, &CheckerConfig::serial_exact())
+}
+
+/// [`robustness_radius`] under an explicit [`CheckerConfig`] — every probe
+/// of the binary search runs through the configured tiers, with the same
+/// exact result.
+///
+/// # Panics
+///
+/// Panics if `max_delta` is outside `[1, 100]` or widths mismatch.
+#[must_use]
+pub fn robustness_radius_with(
+    net: &Network<Rational>,
+    x: &[Rational],
+    label: usize,
+    max_delta: i64,
+    config: &CheckerConfig,
+) -> Option<i64> {
+    let checker = RegionChecker::new(net, config.clone());
+    robustness_radius_on(&checker, x, label, max_delta)
+}
+
+/// [`robustness_radius_with`] against a prebuilt [`RegionChecker`] — the
+/// form the per-input fan-out uses so the float shadow is built once per
+/// network, not once per probe.
+///
+/// # Panics
+///
+/// Panics if `max_delta` is outside `[1, 100]` or widths mismatch.
+#[must_use]
+pub fn robustness_radius_on(
+    checker: &RegionChecker<'_>,
+    x: &[Rational],
+    label: usize,
+    max_delta: i64,
+) -> Option<i64> {
+    assert!(
+        (1..=100).contains(&max_delta),
+        "max_delta must be in [1, 100]"
+    );
+    let no_exclusions = ExclusionSet::new();
     let has_ce = |delta: i64| -> bool {
         let region = NoiseRegion::symmetric(delta, x.len());
-        let (outcome, _) =
-            find_counterexample(net, x, label, &region).expect("widths validated by caller");
+        let (outcome, _) = checker
+            .check_region(x, label, &region, &no_exclusions)
+            .expect("widths validated by caller");
         !outcome.is_robust()
     };
     if !has_ce(max_delta) {
@@ -150,19 +193,52 @@ pub fn analyze(
     indices: &[usize],
     max_delta: i64,
 ) -> ToleranceReport {
-    let per_input = indices
-        .iter()
-        .map(|&i| {
-            let (sample, label) = (data.samples()[i].as_slice(), data.labels()[i]);
-            let x = rational_input(sample);
-            InputRadius {
-                index: i,
-                label,
-                radius: robustness_radius(net, &x, label, max_delta),
-            }
-        })
-        .collect();
-    ToleranceReport { max_delta, per_input }
+    par_analyze(
+        net,
+        data,
+        indices,
+        max_delta,
+        &CheckerConfig::serial_exact(),
+        1,
+    )
+}
+
+/// [`analyze`] with the per-input binary searches fanned across
+/// `input_threads` workers, each probe running under `config`.
+///
+/// The report is identical to the serial one (probes are exact under every
+/// configuration and inputs are independent); only wall-clock changes.
+/// Per-input parallelism composes with — but usually replaces — per-query
+/// parallelism: with many inputs, one serial screened probe per worker
+/// saturates all cores without oversubscription, so the typical call is
+/// `par_analyze(.., &CheckerConfig::screened(), default_threads())`.
+///
+/// # Panics
+///
+/// Panics if an index is out of range or widths mismatch.
+#[must_use]
+pub fn par_analyze(
+    net: &Network<Rational>,
+    data: &Dataset,
+    indices: &[usize],
+    max_delta: i64,
+    config: &CheckerConfig,
+    input_threads: usize,
+) -> ToleranceReport {
+    let checker = RegionChecker::new(net, config.clone());
+    let per_input = par::ordered_map(indices, input_threads, |&i| {
+        let (sample, label) = (data.samples()[i].as_slice(), data.labels()[i]);
+        let x = rational_input(sample);
+        InputRadius {
+            index: i,
+            label,
+            radius: robustness_radius_on(&checker, &x, label, max_delta),
+        }
+    });
+    ToleranceReport {
+        max_delta,
+        per_input,
+    }
 }
 
 #[cfg(test)]
@@ -217,11 +293,7 @@ mod tests {
         let net = comparator();
         // Radii: (100, 95) → Δ=3; (100, 82) → Δ=10; (100, 50) → None @ 20.
         let data = Dataset::new(
-            vec![
-                vec![100.0, 95.0],
-                vec![100.0, 82.0],
-                vec![100.0, 50.0],
-            ],
+            vec![vec![100.0, 95.0], vec![100.0, 82.0], vec![100.0, 50.0]],
             vec![0, 0, 0],
             2,
         )
@@ -249,18 +321,16 @@ mod tests {
         let data = Dataset::new(vec![vec![100.0, 10.0]], vec![0], 2).unwrap();
         let report = analyze(&net, &data, &[0], 15);
         assert_eq!(report.tolerance(), 15);
-        assert!(report.sweep(&[15]).iter().all(|row| row.misclassified_inputs == 0));
+        assert!(report
+            .sweep(&[15])
+            .iter()
+            .all(|row| row.misclassified_inputs == 0));
     }
 
     #[test]
     fn subset_indices_respected() {
         let net = comparator();
-        let data = Dataset::new(
-            vec![vec![100.0, 95.0], vec![100.0, 82.0]],
-            vec![0, 0],
-            2,
-        )
-        .unwrap();
+        let data = Dataset::new(vec![vec![100.0, 95.0], vec![100.0, 82.0]], vec![0, 0], 2).unwrap();
         let report = analyze(&net, &data, &[1], 20);
         assert_eq!(report.per_input.len(), 1);
         assert_eq!(report.per_input[0].index, 1);

@@ -58,11 +58,15 @@ impl Dataset {
             });
         }
         if samples.is_empty() {
-            return Err(DatasetError { message: "dataset must be non-empty".into() });
+            return Err(DatasetError {
+                message: "dataset must be non-empty".into(),
+            });
         }
         let width = samples[0].len();
         if width == 0 {
-            return Err(DatasetError { message: "samples must have ≥1 feature".into() });
+            return Err(DatasetError {
+                message: "samples must have ≥1 feature".into(),
+            });
         }
         if let Some((i, s)) = samples.iter().enumerate().find(|(_, s)| s.len() != width) {
             return Err(DatasetError {
@@ -74,7 +78,11 @@ impl Dataset {
                 message: format!("label {bad} out of range for {classes} classes"),
             });
         }
-        Ok(Dataset { samples, labels, classes })
+        Ok(Dataset {
+            samples,
+            labels,
+            classes,
+        })
     }
 
     /// Number of samples.
@@ -208,7 +216,10 @@ impl Dataset {
     pub fn balanced_subsample<R: Rng>(&self, rng: &mut R) -> Dataset {
         let counts = self.class_counts();
         let target = *counts.iter().min().expect("≥1 class");
-        assert!(target > 0, "every class needs at least one sample to balance");
+        assert!(
+            target > 0,
+            "every class needs at least one sample to balance"
+        );
         let mut keep: Vec<usize> = Vec::with_capacity(target * self.classes);
         for class in 0..self.classes {
             let mut members: Vec<usize> = (0..self.len())

@@ -123,7 +123,10 @@ pub fn select_mrmr(
         }
     }
 
-    Selection { features: selected, relevance: selected_relevance }
+    Selection {
+        features: selected,
+        relevance: selected_relevance,
+    }
 }
 
 /// Baseline: the `k` features with the largest variance.
@@ -139,7 +142,10 @@ pub fn select_by_variance(columns: &[Vec<f64>], k: usize) -> Selection {
     order.sort_by(|&a, &b| vars[b].partial_cmp(&vars[a]).expect("variances are finite"));
     order.truncate(k);
     let relevance = order.iter().map(|&j| vars[j]).collect();
-    Selection { features: order, relevance }
+    Selection {
+        features: order,
+        relevance,
+    }
 }
 
 /// Baseline: `k` features chosen uniformly at random with a fixed seed.
@@ -154,7 +160,10 @@ pub fn select_random(feature_count: usize, k: usize, seed: u64) -> Selection {
     let mut all: Vec<usize> = (0..feature_count).collect();
     all.shuffle(&mut rng);
     all.truncate(k);
-    Selection { features: all, relevance: vec![0.0; k] }
+    Selection {
+        features: all,
+        relevance: vec![0.0; k],
+    }
 }
 
 #[cfg(test)]
@@ -204,7 +213,13 @@ mod tests {
     #[test]
     fn redundancy_pushes_copy_down() {
         let (cols, labels) = toy_columns();
-        let sel = select_mrmr(&cols, &labels, 3, MrmrScheme::Difference, Discretizer::SigmaBands);
+        let sel = select_mrmr(
+            &cols,
+            &labels,
+            3,
+            MrmrScheme::Difference,
+            Discretizer::SigmaBands,
+        );
         // After picking one of {0,1}, the redundant twin should NOT be the
         // second pick; the weak-but-novel feature 2 should precede it.
         assert_eq!(sel.features.len(), 3);
@@ -222,7 +237,13 @@ mod tests {
     #[test]
     fn relevance_recorded_and_ordered_sensibly() {
         let (cols, labels) = toy_columns();
-        let sel = select_mrmr(&cols, &labels, 5, MrmrScheme::Quotient, Discretizer::SigmaBands);
+        let sel = select_mrmr(
+            &cols,
+            &labels,
+            5,
+            MrmrScheme::Quotient,
+            Discretizer::SigmaBands,
+        );
         assert_eq!(sel.features.len(), 5);
         assert_eq!(sel.relevance.len(), 5);
         // All five distinct.
@@ -236,7 +257,11 @@ mod tests {
 
     #[test]
     fn variance_baseline() {
-        let cols = vec![vec![0.0, 0.0, 0.0], vec![1.0, -1.0, 1.0], vec![0.1, -0.1, 0.1]];
+        let cols = vec![
+            vec![0.0, 0.0, 0.0],
+            vec![1.0, -1.0, 1.0],
+            vec![0.1, -0.1, 0.1],
+        ];
         let sel = select_by_variance(&cols, 2);
         assert_eq!(sel.features, vec![1, 2]);
         assert!(sel.relevance[0] > sel.relevance[1]);
@@ -260,14 +285,25 @@ mod tests {
     #[should_panic(expected = "at least one feature")]
     fn zero_k_panics() {
         let (cols, labels) = toy_columns();
-        let _ = select_mrmr(&cols, &labels, 0, MrmrScheme::Difference, Discretizer::SigmaBands);
+        let _ = select_mrmr(
+            &cols,
+            &labels,
+            0,
+            MrmrScheme::Difference,
+            Discretizer::SigmaBands,
+        );
     }
 
     #[test]
     #[should_panic(expected = "cannot select")]
     fn oversized_k_panics() {
         let (cols, labels) = toy_columns();
-        let _ = select_mrmr(&cols, &labels, 99, MrmrScheme::Difference, Discretizer::SigmaBands);
+        let _ = select_mrmr(
+            &cols,
+            &labels,
+            99,
+            MrmrScheme::Difference,
+            Discretizer::SigmaBands,
+        );
     }
 }
-

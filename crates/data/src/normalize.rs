@@ -39,7 +39,10 @@ impl Affine {
     /// The identity map on `n` features.
     #[must_use]
     pub fn identity(n: usize) -> Self {
-        Affine { scale: vec![1.0; n], offset: vec![0.0; n] }
+        Affine {
+            scale: vec![1.0; n],
+            offset: vec![0.0; n],
+        }
     }
 
     /// Fits a z-score map (`offset = μ`, `scale = 1/σ`) on the dataset's
@@ -72,7 +75,10 @@ impl Affine {
             let sd = std_dev(&col);
             scale.push(if sd > 0.0 { 1.0 / sd } else { 1.0 });
         }
-        Affine { offset: vec![0.0; data.features()], scale }
+        Affine {
+            offset: vec![0.0; data.features()],
+            scale,
+        }
     }
 
     /// Fits a max-abs map (`offset = 0`, `scale = 1/max|x|`): features land
@@ -89,7 +95,10 @@ impl Affine {
             let max_abs = col.iter().fold(0.0f64, |m, &v| m.max(v.abs()));
             scale.push(if max_abs > 0.0 { 1.0 / max_abs } else { 1.0 });
         }
-        Affine { offset: vec![0.0; data.features()], scale }
+        Affine {
+            offset: vec![0.0; data.features()],
+            scale,
+        }
     }
 
     /// Fits a min-max map onto `[0, 1]`. Constant features get scale 1.

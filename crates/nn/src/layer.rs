@@ -47,7 +47,11 @@ impl<S: Scalar> DenseLayer<S> {
                 weights.rows()
             )));
         }
-        Ok(DenseLayer { weights, biases, activation })
+        Ok(DenseLayer {
+            weights,
+            biases,
+            activation,
+        })
     }
 
     /// Number of input features.

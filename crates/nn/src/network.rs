@@ -161,7 +161,10 @@ impl<S: Scalar> Network<S> {
             preactivations.push(z);
             activations.push(a);
         }
-        Ok(ForwardTrace { preactivations, activations })
+        Ok(ForwardTrace {
+            preactivations,
+            activations,
+        })
     }
 
     /// Classifies an input: runs [`Network::forward`] and applies the
@@ -276,10 +279,14 @@ mod tests {
 
     #[test]
     fn shape_chain_validated() {
-        let a = DenseLayer::new(Matrix::<f64>::zeros(3, 2), vec![0.0; 3], Activation::ReLU)
-            .unwrap();
-        let b = DenseLayer::new(Matrix::<f64>::zeros(2, 4), vec![0.0; 2], Activation::Identity)
-            .unwrap();
+        let a =
+            DenseLayer::new(Matrix::<f64>::zeros(3, 2), vec![0.0; 3], Activation::ReLU).unwrap();
+        let b = DenseLayer::new(
+            Matrix::<f64>::zeros(2, 4),
+            vec![0.0; 2],
+            Activation::Identity,
+        )
+        .unwrap();
         let err = Network::new(vec![a, b], Readout::MaxPool).unwrap_err();
         assert!(err.to_string().contains("layer 0 emits 3"));
         assert!(Network::<f64>::new(vec![], Readout::MaxPool).is_err());

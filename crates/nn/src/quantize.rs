@@ -49,7 +49,10 @@ pub const DEFAULT_DENOM_BITS: u32 = 20;
 /// ```
 #[must_use]
 pub fn to_rational(net: &Network<f64>, denom_bits: u32) -> Network<Rational> {
-    assert!(denom_bits < 127, "denominator 2^{denom_bits} would overflow i128");
+    assert!(
+        denom_bits < 127,
+        "denominator 2^{denom_bits} would overflow i128"
+    );
     let den = 1i128 << denom_bits;
     net.map(|&w| Rational::from_f64_approx(w, den))
 }

@@ -89,7 +89,10 @@ impl LrSchedule {
             }
             remaining -= n;
         }
-        panic!("epoch {epoch} beyond schedule of {} epochs", self.total_epochs());
+        panic!(
+            "epoch {epoch} beyond schedule of {} epochs",
+            self.total_epochs()
+        );
     }
 }
 
@@ -109,7 +112,10 @@ impl TrainConfig {
     /// 100 % train accuracy).
     #[must_use]
     pub fn paper() -> Self {
-        TrainConfig { schedule: LrSchedule::paper(), loss: Loss::SoftmaxCrossEntropy }
+        TrainConfig {
+            schedule: LrSchedule::paper(),
+            loss: Loss::SoftmaxCrossEntropy,
+        }
     }
 }
 
@@ -223,7 +229,11 @@ fn batch_gradients(
             .iter()
             .map(|l| Matrix::zeros(l.outputs(), l.inputs()))
             .collect(),
-        biases: net.layers().iter().map(|l| vec![0.0; l.outputs()]).collect(),
+        biases: net
+            .layers()
+            .iter()
+            .map(|l| vec![0.0; l.outputs()])
+            .collect(),
     };
     let mut total_loss = 0.0;
 
@@ -359,7 +369,12 @@ mod tests {
             Init::XavierUniform,
         );
         let report = train(&mut net, &xs, &ys, &TrainConfig::paper()).unwrap();
-        assert_eq!(report.final_accuracy(), 1.0, "losses: {:?}", report.epoch_loss);
+        assert_eq!(
+            report.final_accuracy(),
+            1.0,
+            "losses: {:?}",
+            report.epoch_loss
+        );
         assert_eq!(report.epoch_loss.len(), 80);
         assert!(report.final_loss() < report.epoch_loss[0]);
     }
@@ -378,7 +393,12 @@ mod tests {
             loss: Loss::MeanSquaredError,
         };
         let report = train(&mut net, &xs, &ys, &config).unwrap();
-        assert_eq!(report.final_accuracy(), 1.0, "losses: {:?}", report.epoch_loss);
+        assert_eq!(
+            report.final_accuracy(),
+            1.0,
+            "losses: {:?}",
+            report.epoch_loss
+        );
     }
 
     #[test]
@@ -410,7 +430,10 @@ mod tests {
             &mut net,
             &xs,
             &ys,
-            &TrainConfig { schedule: LrSchedule::constant(60, 0.1), loss: Loss::SoftmaxCrossEntropy },
+            &TrainConfig {
+                schedule: LrSchedule::constant(60, 0.1),
+                loss: Loss::SoftmaxCrossEntropy,
+            },
         )
         .unwrap();
         let first = report.epoch_loss[..10].iter().sum::<f64>();

@@ -44,7 +44,9 @@ impl Fixed {
     /// Zero in Q32.32.
     pub const ZERO: Fixed = Fixed { raw: 0 };
     /// One in Q32.32.
-    pub const ONE: Fixed = Fixed { raw: 1i64 << FRAC_BITS };
+    pub const ONE: Fixed = Fixed {
+        raw: 1i64 << FRAC_BITS,
+    };
     /// The largest representable value (saturation bound).
     pub const MAX: Fixed = Fixed { raw: i64::MAX };
     /// The smallest representable value (saturation bound).
@@ -75,7 +77,9 @@ impl Fixed {
         } else if scaled <= i64::MIN as f64 {
             Self::MIN
         } else {
-            Fixed { raw: scaled.round_ties_even() as i64 }
+            Fixed {
+                raw: scaled.round_ties_even() as i64,
+            }
         }
     }
 
@@ -139,13 +143,17 @@ impl Fixed {
     /// Saturating addition.
     #[must_use]
     pub fn saturating_add(self, rhs: Self) -> Self {
-        Fixed { raw: self.raw.saturating_add(rhs.raw) }
+        Fixed {
+            raw: self.raw.saturating_add(rhs.raw),
+        }
     }
 
     /// Saturating subtraction.
     #[must_use]
     pub fn saturating_sub(self, rhs: Self) -> Self {
-        Fixed { raw: self.raw.saturating_sub(rhs.raw) }
+        Fixed {
+            raw: self.raw.saturating_sub(rhs.raw),
+        }
     }
 
     /// Saturating multiplication with round-to-nearest-even on the dropped
@@ -175,7 +183,9 @@ impl Fixed {
         if self.raw == i64::MIN {
             Self::MAX
         } else {
-            Fixed { raw: self.raw.abs() }
+            Fixed {
+                raw: self.raw.abs(),
+            }
         }
     }
 
@@ -273,7 +283,9 @@ impl Div for Fixed {
 impl Neg for Fixed {
     type Output = Fixed;
     fn neg(self) -> Self::Output {
-        Fixed { raw: self.raw.checked_neg().unwrap_or(i64::MAX) }
+        Fixed {
+            raw: self.raw.checked_neg().unwrap_or(i64::MAX),
+        }
     }
 }
 
@@ -315,7 +327,16 @@ mod tests {
 
     #[test]
     fn f64_round_trip_within_ulp() {
-        for v in [0.0, 1.0, -1.0, 0.5, -0.125, 3.141592653589793, -1e4, 1e-8] {
+        for v in [
+            0.0,
+            1.0,
+            -1.0,
+            0.5,
+            -0.125,
+            std::f64::consts::PI,
+            -1e4,
+            1e-8,
+        ] {
             let f = Fixed::from_f64(v);
             assert!(
                 (f.to_f64() - v).abs() <= 1.0 / SCALE as f64,
@@ -370,7 +391,10 @@ mod tests {
         let third = Rational::new(1, 3);
         let f = Fixed::from_rational(third);
         let err = (f.to_rational() - third).abs();
-        assert!(err <= Rational::new(1, SCALE), "rounding error {err} too large");
+        assert!(
+            err <= Rational::new(1, SCALE),
+            "rounding error {err} too large"
+        );
         assert_eq!(Fixed::from_rational(Rational::new(1, 4)).to_f64(), 0.25);
     }
 

@@ -1,0 +1,333 @@
+//! Outward-rounded `f64` interval arithmetic — the cheap screening tier of
+//! the two-tier verifier (DESIGN.md §6).
+//!
+//! A [`FloatInterval`] `[lo, hi]` is a **conservative enclosure**: every
+//! transformer here widens its result outward by at least one ulp in each
+//! direction, so for any exact-rational computation enclosed by the inputs,
+//! the exact result is enclosed by the output. IEEE-754
+//! round-to-nearest guarantees the computed double of `a ∘ b` differs from
+//! the real value by strictly less than one ulp, hence stepping one ulp
+//! outward ([`f64::next_down`]/[`f64::next_up`]) restores a true bound.
+//!
+//! This makes float-interval verdicts in `fannet-verify` *sound proofs*,
+//! not heuristics: the float enclosure over-approximates the exact
+//! [`Interval`](crate::Interval) semantics, so "always correct" /
+//! "always wrong" classifications derived from it transfer to the exact
+//! network. Only `Unknown` falls back to exact rational propagation.
+//!
+//! Endpoints may be infinite after overflow (still sound: the enclosure
+//! only widens). NaN never appears: constructors reject it and the
+//! transformers cannot produce it from non-NaN finite-or-infinite inputs
+//! used here (`∞ − ∞` is avoided by construction — see `widen`).
+
+use crate::rational::Rational;
+
+/// A closed `f64` interval `[lo, hi]` used as an outward-rounded enclosure
+/// of exact rational quantities.
+///
+/// # Examples
+///
+/// ```
+/// use fannet_numeric::{FloatInterval, Rational};
+///
+/// let x = FloatInterval::from_rational_point(Rational::new(1, 3));
+/// assert!(x.lo() <= 1.0 / 3.0 && 1.0 / 3.0 <= x.hi());
+/// assert!(x.contains_rational(Rational::new(1, 3)));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FloatInterval {
+    lo: f64,
+    hi: f64,
+}
+
+/// Steps `lo` down and `hi` up by one ulp each, recovering sound bounds
+/// from round-to-nearest results.
+#[inline]
+fn widen(lo: f64, hi: f64) -> FloatInterval {
+    // `next_down(-inf)` and `next_up(inf)` are identities, so overflowing
+    // endpoints stay infinite (sound). NaN inputs cannot occur: the only
+    // NaN-producing patterns (∞−∞, 0·∞) are excluded by the callers, which
+    // never mix an infinite endpoint with a zero/opposite-infinite operand
+    // without first checking.
+    debug_assert!(!lo.is_nan() && !hi.is_nan(), "NaN endpoint in widen");
+    FloatInterval {
+        lo: lo.next_down(),
+        hi: hi.next_up(),
+    }
+}
+
+impl FloatInterval {
+    /// The degenerate interval `[0, 0]` (exact — zero is representable).
+    pub const ZERO: FloatInterval = FloatInterval { lo: 0.0, hi: 0.0 };
+
+    /// The whole line `[-∞, +∞]`, the top element (always sound).
+    pub const EVERYTHING: FloatInterval = FloatInterval {
+        lo: f64::NEG_INFINITY,
+        hi: f64::INFINITY,
+    };
+
+    /// Creates `[lo, hi]` from already-sound endpoints.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo > hi` or either endpoint is NaN.
+    #[must_use]
+    pub fn new(lo: f64, hi: f64) -> Self {
+        assert!(!lo.is_nan() && !hi.is_nan(), "NaN interval endpoint");
+        assert!(
+            lo <= hi,
+            "interval lower bound {lo} exceeds upper bound {hi}"
+        );
+        FloatInterval { lo, hi }
+    }
+
+    /// The tightest float enclosure of the exact rational `v`.
+    ///
+    /// `Rational::to_f64` rounds to nearest (within half an ulp), so one
+    /// ulp outward in each direction encloses `v`.
+    #[must_use]
+    pub fn from_rational_point(v: Rational) -> Self {
+        let f = v.to_f64();
+        widen(f, f)
+    }
+
+    /// The float enclosure of the exact rational interval `[lo, hi]`.
+    #[must_use]
+    pub fn from_rationals(lo: Rational, hi: Rational) -> Self {
+        debug_assert!(lo <= hi);
+        widen(lo.to_f64(), hi.to_f64())
+    }
+
+    /// The lower endpoint (a true lower bound of every enclosed quantity).
+    #[must_use]
+    pub const fn lo(&self) -> f64 {
+        self.lo
+    }
+
+    /// The upper endpoint (a true upper bound of every enclosed quantity).
+    #[must_use]
+    pub const fn hi(&self) -> f64 {
+        self.hi
+    }
+
+    /// `true` if the exact rational `v` *provably* lies within the closed
+    /// interval.
+    ///
+    /// Endpoints whose exact dyadic expansion fits `Rational` are compared
+    /// exactly. A finite endpoint outside that range (subnormal-scale or
+    /// beyond `i128`) is checked by a *sufficient* one-ulp `f64` condition
+    /// instead — `v.to_f64()` is within one ulp of `v`, so
+    /// `lo ≤ next_down(v_f)` implies `lo ≤ v` (and dually for `hi`). The
+    /// function can under-report containment by one ulp at such endpoints
+    /// but never over-reports — it is the soundness oracle of the
+    /// enclosure tests, so "unverifiable" must never read as "contained".
+    #[must_use]
+    pub fn contains_rational(&self, v: Rational) -> bool {
+        let lo_ok = self.lo == f64::NEG_INFINITY
+            || match Rational::from_f64_exact(self.lo) {
+                Some(lo) => lo <= v,
+                None => self.lo <= v.to_f64().next_down(),
+            };
+        let hi_ok = self.hi == f64::INFINITY
+            || match Rational::from_f64_exact(self.hi) {
+                Some(hi) => v <= hi,
+                None => v.to_f64().next_up() <= self.hi,
+            };
+        lo_ok && hi_ok
+    }
+
+    /// `true` if `other` lies entirely within `self`.
+    #[must_use]
+    pub fn contains_interval(&self, other: &FloatInterval) -> bool {
+        self.lo <= other.lo && other.hi <= self.hi
+    }
+
+    /// Outward-rounded addition.
+    #[must_use]
+    pub fn add(&self, rhs: &FloatInterval) -> Self {
+        widen(self.lo + rhs.lo, self.hi + rhs.hi)
+    }
+
+    /// Outward-rounded subtraction.
+    #[must_use]
+    pub fn sub(&self, rhs: &FloatInterval) -> Self {
+        widen(self.lo - rhs.hi, self.hi - rhs.lo)
+    }
+
+    /// Negation (exact: IEEE negation has no rounding).
+    #[must_use]
+    pub fn neg(&self) -> Self {
+        FloatInterval {
+            lo: -self.hi,
+            hi: -self.lo,
+        }
+    }
+
+    /// Outward-rounded general interval multiplication (min/max over the
+    /// four endpoint products).
+    #[must_use]
+    pub fn mul(&self, rhs: &FloatInterval) -> Self {
+        // 0 · ±∞ would produce NaN; an infinite endpoint only arises after
+        // overflow, at which point the whole line is an acceptable bound.
+        if !(self.lo.is_finite() && self.hi.is_finite() && rhs.lo.is_finite() && rhs.hi.is_finite())
+        {
+            return FloatInterval::EVERYTHING;
+        }
+        let p1 = self.lo * rhs.lo;
+        let p2 = self.lo * rhs.hi;
+        let p3 = self.hi * rhs.lo;
+        let p4 = self.hi * rhs.hi;
+        widen(p1.min(p2).min(p3).min(p4), p1.max(p2).max(p3).max(p4))
+    }
+
+    /// Outward-rounded ReLU: `[max(lo,0), max(hi,0)]` (the max itself is
+    /// exact; no extra widening needed).
+    #[must_use]
+    pub fn relu(&self) -> Self {
+        FloatInterval {
+            lo: self.lo.max(0.0),
+            hi: self.hi.max(0.0),
+        }
+    }
+
+    /// Pointwise interval max (exact).
+    #[must_use]
+    pub fn max_interval(&self, other: &FloatInterval) -> Self {
+        FloatInterval {
+            lo: self.lo.max(other.lo),
+            hi: self.hi.max(other.hi),
+        }
+    }
+
+    /// The width `hi - lo` (∞ if either endpoint is infinite).
+    #[must_use]
+    pub fn width(&self) -> f64 {
+        self.hi - self.lo
+    }
+}
+
+impl From<Rational> for FloatInterval {
+    fn from(v: Rational) -> Self {
+        FloatInterval::from_rational_point(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::interval::Interval;
+
+    fn r(n: i128, d: i128) -> Rational {
+        Rational::new(n, d)
+    }
+
+    /// The float enclosure of an exact interval must contain it.
+    fn encloses(fi: &FloatInterval, exact: &Interval) -> bool {
+        fi.contains_rational(exact.lo()) && fi.contains_rational(exact.hi())
+    }
+
+    #[test]
+    fn point_enclosure_brackets_value() {
+        for (n, d) in [(1, 3), (-7, 11), (22, 7), (1, 1_000_000), (-355, 113)] {
+            let v = r(n, d);
+            let fi = FloatInterval::from_rational_point(v);
+            assert!(fi.contains_rational(v), "{fi:?} must contain {v}");
+            assert!(fi.lo() < fi.hi(), "outward rounding must widen");
+        }
+    }
+
+    #[test]
+    fn exactly_representable_points_stay_tight() {
+        let fi = FloatInterval::from_rational_point(r(1, 2));
+        assert!(fi.lo() <= 0.5 && 0.5 <= fi.hi());
+        assert!(fi.width() < 1e-15, "half is representable; width is 2 ulp");
+    }
+
+    #[test]
+    fn add_sub_enclose_exact() {
+        let a_exact = Interval::new(r(1, 3), r(2, 3));
+        let b_exact = Interval::new(r(-1, 7), r(5, 7));
+        let a = FloatInterval::from_rationals(a_exact.lo(), a_exact.hi());
+        let b = FloatInterval::from_rationals(b_exact.lo(), b_exact.hi());
+        assert!(encloses(&a.add(&b), &(a_exact + b_exact)));
+        assert!(encloses(&a.sub(&b), &(a_exact - b_exact)));
+        assert!(encloses(&a.neg(), &(-a_exact)));
+    }
+
+    #[test]
+    fn mul_encloses_exact() {
+        let cases = [
+            (
+                Interval::new(r(1, 3), r(2, 3)),
+                Interval::new(r(3, 7), r(9, 7)),
+            ),
+            (
+                Interval::new(r(-5, 3), r(-1, 3)),
+                Interval::new(r(1, 9), r(2, 9)),
+            ),
+            (
+                Interval::new(r(-1, 3), r(1, 3)),
+                Interval::new(r(-2, 7), r(3, 7)),
+            ),
+        ];
+        for (ae, be) in cases {
+            let a = FloatInterval::from_rationals(ae.lo(), ae.hi());
+            let b = FloatInterval::from_rationals(be.lo(), be.hi());
+            let prod = a.mul(&b);
+            let exact = ae.mul_interval(&be);
+            assert!(encloses(&prod, &exact), "{prod:?} must enclose {exact:?}");
+        }
+    }
+
+    #[test]
+    fn relu_and_max_enclose_exact() {
+        let e = Interval::new(r(-5, 3), r(7, 3));
+        let f = FloatInterval::from_rationals(e.lo(), e.hi());
+        assert!(encloses(&f.relu(), &e.relu()));
+        let e2 = Interval::new(r(-1, 9), r(11, 9));
+        let f2 = FloatInterval::from_rationals(e2.lo(), e2.hi());
+        assert!(encloses(&f.max_interval(&f2), &e.max_interval(&e2)));
+    }
+
+    #[test]
+    fn overflow_degrades_to_everything() {
+        let huge = FloatInterval::new(f64::MAX / 2.0, f64::MAX);
+        let sum = huge.add(&huge);
+        assert_eq!(sum.hi(), f64::INFINITY);
+        let prod = FloatInterval::EVERYTHING.mul(&FloatInterval::ZERO);
+        assert_eq!(prod, FloatInterval::EVERYTHING, "no NaN from 0 · ∞");
+    }
+
+    #[test]
+    fn contains_rational_is_conservative_on_unrepresentable_endpoints() {
+        // 1e-40's exact dyadic expansion needs a denominator ≈ 2^133,
+        // beyond i128: the bound cannot be verified, so nothing may be
+        // reported as contained — least of all a value far outside.
+        let tiny = FloatInterval::new(1e-40, 2e-40);
+        assert!(!tiny.contains_rational(r(-1, 1)));
+        assert!(!tiny.contains_rational(r(1, 1)));
+        // Infinite endpoints still pass unconditionally (always sound).
+        assert!(FloatInterval::EVERYTHING.contains_rational(r(-1, 1)));
+    }
+
+    #[test]
+    fn contains_interval_ordering() {
+        let outer = FloatInterval::new(-2.0, 2.0);
+        let inner = FloatInterval::new(-1.0, 1.0);
+        assert!(outer.contains_interval(&inner));
+        assert!(!inner.contains_interval(&outer));
+        assert!(FloatInterval::EVERYTHING.contains_interval(&outer));
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds upper bound")]
+    fn inverted_bounds_panic() {
+        let _ = FloatInterval::new(1.0, 0.0);
+    }
+
+    #[test]
+    fn from_rational_conversion_trait() {
+        let fi: FloatInterval = r(4, 9).into();
+        assert!(fi.contains_rational(r(4, 9)));
+    }
+}

@@ -34,7 +34,10 @@ pub struct Interval {
 
 impl Interval {
     /// The degenerate interval `[0, 0]`.
-    pub const ZERO: Interval = Interval { lo: Rational::ZERO, hi: Rational::ZERO };
+    pub const ZERO: Interval = Interval {
+        lo: Rational::ZERO,
+        hi: Rational::ZERO,
+    };
 
     /// Creates `[lo, hi]`.
     ///
@@ -43,7 +46,10 @@ impl Interval {
     /// Panics if `lo > hi`.
     #[must_use]
     pub fn new(lo: Rational, hi: Rational) -> Self {
-        assert!(lo <= hi, "interval lower bound {lo} exceeds upper bound {hi}");
+        assert!(
+            lo <= hi,
+            "interval lower bound {lo} exceeds upper bound {hi}"
+        );
         Interval { lo, hi }
     }
 
@@ -152,16 +158,25 @@ impl Interval {
     #[must_use]
     pub fn scale(&self, k: Rational) -> Self {
         if k.is_negative() {
-            Interval { lo: self.hi * k, hi: self.lo * k }
+            Interval {
+                lo: self.hi * k,
+                hi: self.lo * k,
+            }
         } else {
-            Interval { lo: self.lo * k, hi: self.hi * k }
+            Interval {
+                lo: self.lo * k,
+                hi: self.hi * k,
+            }
         }
     }
 
     /// Adds a scalar constant to both endpoints.
     #[must_use]
     pub fn shift(&self, k: Rational) -> Self {
-        Interval { lo: self.lo + k, hi: self.hi + k }
+        Interval {
+            lo: self.lo + k,
+            hi: self.hi + k,
+        }
     }
 
     /// General interval multiplication (min/max over the four endpoint
@@ -186,8 +201,14 @@ impl Interval {
     pub fn bisect(&self) -> (Interval, Interval) {
         let mid = self.midpoint();
         (
-            Interval { lo: self.lo, hi: mid },
-            Interval { lo: mid, hi: self.hi },
+            Interval {
+                lo: self.lo,
+                hi: mid,
+            },
+            Interval {
+                lo: mid,
+                hi: self.hi,
+            },
         )
     }
 
@@ -257,7 +278,10 @@ impl std::ops::Sub for Interval {
 impl std::ops::Neg for Interval {
     type Output = Interval;
     fn neg(self) -> Self::Output {
-        Interval { lo: -self.hi, hi: -self.lo }
+        Interval {
+            lo: -self.hi,
+            hi: -self.lo,
+        }
     }
 }
 

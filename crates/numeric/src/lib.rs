@@ -29,11 +29,13 @@
 //! ```
 
 pub mod fixed;
+pub mod float_interval;
 pub mod interval;
 pub mod rational;
 pub mod scalar;
 
 pub use fixed::Fixed;
+pub use float_interval::FloatInterval;
 pub use interval::Interval;
 pub use rational::Rational;
 pub use scalar::Scalar;

@@ -118,7 +118,10 @@ impl Rational {
         let den = den / g;
         let num = i128::try_from(num).expect("rational numerator overflow");
         let den = i128::try_from(den).expect("rational denominator overflow");
-        Rational { num: sign * num, den }
+        Rational {
+            num: sign * num,
+            den,
+        }
     }
 
     /// Creates the integer rational `n / 1`.
@@ -300,6 +303,30 @@ impl Rational {
     /// Checked addition; `None` on overflow.
     #[must_use]
     pub fn checked_add(self, rhs: Self) -> Option<Self> {
+        // Fast paths that keep the `gcd(|num|, den) == 1` invariant without
+        // running a gcd — this is the hottest operation of interval
+        // propagation (one add per weight per neuron per box).
+        if self.den == rhs.den {
+            if self.den == 1 {
+                // Integer + integer: trivially reduced.
+                return Some(Rational {
+                    num: self.num.checked_add(rhs.num)?,
+                    den: 1,
+                });
+            }
+            // Same denominator: one gcd (inside `new`) instead of two.
+            return Some(Rational::new(self.num.checked_add(rhs.num)?, self.den));
+        }
+        if self.den == 1 {
+            // a + b/d = (a·d + b)/d, and gcd(a·d + b, d) = gcd(b, d) = 1
+            // because b/d is already reduced — no gcd needed at all.
+            let num = self.num.checked_mul(rhs.den)?.checked_add(rhs.num)?;
+            return Some(Rational { num, den: rhs.den });
+        }
+        if rhs.den == 1 {
+            let num = rhs.num.checked_mul(self.den)?.checked_add(self.num)?;
+            return Some(Rational { num, den: self.den });
+        }
         // Knuth 4.5.1: reduce by gcd of denominators first to delay overflow.
         let g = gcd(self.den, rhs.den);
         let lhs_scale = rhs.den / g;
@@ -315,15 +342,39 @@ impl Rational {
     /// Checked subtraction; `None` on overflow.
     #[must_use]
     pub fn checked_sub(self, rhs: Self) -> Option<Self> {
-        self.checked_add(Rational { num: rhs.num.checked_neg()?, den: rhs.den })
+        self.checked_add(Rational {
+            num: rhs.num.checked_neg()?,
+            den: rhs.den,
+        })
     }
 
     /// Checked multiplication; `None` on overflow.
     #[must_use]
     pub fn checked_mul(self, rhs: Self) -> Option<Self> {
-        // Cross-reduce before multiplying to keep intermediates small.
-        let g1 = gcd(self.num.unsigned_abs() as i128, rhs.den);
-        let g2 = gcd(rhs.num.unsigned_abs() as i128, self.den);
+        // Fast paths preserving the reduced-form invariant without gcds.
+        if self.num == 0 || rhs.num == 0 {
+            return Some(Rational::ZERO);
+        }
+        if self.den == 1 && rhs.den == 1 {
+            // Integer × integer: trivially reduced.
+            return Some(Rational {
+                num: self.num.checked_mul(rhs.num)?,
+                den: 1,
+            });
+        }
+        // Cross-reduce before multiplying to keep intermediates small. When
+        // a denominator is 1 its cross-gcd is skipped entirely (gcd(x, 1)
+        // is 1 but still costs a binary-gcd loop).
+        let g1 = if rhs.den == 1 {
+            1
+        } else {
+            gcd(self.num.unsigned_abs() as i128, rhs.den)
+        };
+        let g2 = if self.den == 1 {
+            1
+        } else {
+            gcd(rhs.num.unsigned_abs() as i128, self.den)
+        };
         let num = (self.num / g1).checked_mul(rhs.num / g2)?;
         let den = (self.den / g2).checked_mul(rhs.den / g1)?;
         Some(Rational { num, den })
@@ -396,7 +447,7 @@ impl Rational {
         let mut acc = Rational::ONE;
         while exp > 0 {
             if exp & 1 == 1 {
-                acc = acc * base;
+                acc *= base;
             }
             exp >>= 1;
             if exp > 0 {
@@ -496,11 +547,55 @@ impl PartialOrd for Rational {
 
 impl Ord for Rational {
     fn cmp(&self, other: &Self) -> Ordering {
-        // a/b ? c/d  <=>  a*d ? c*b  (b, d > 0). Reduce first to avoid overflow.
+        // a/b ? c/d  <=>  a*d ? c*b  (b, d > 0). Reduce first to delay
+        // overflow; fall back to a continued-fraction comparison (which
+        // cannot overflow) when the cross products exceed i128.
         let g = gcd(self.den, other.den);
-        let lhs = self.num.checked_mul(other.den / g).expect("rational cmp overflow");
-        let rhs = other.num.checked_mul(self.den / g).expect("rational cmp overflow");
-        lhs.cmp(&rhs)
+        match (
+            self.num.checked_mul(other.den / g),
+            other.num.checked_mul(self.den / g),
+        ) {
+            (Some(lhs), Some(rhs)) => lhs.cmp(&rhs),
+            _ => cmp_continued_fraction(self.num, self.den, other.num, other.den),
+        }
+    }
+}
+
+/// Compares `a_num/a_den` with `b_num/b_den` (positive denominators) by
+/// comparing continued-fraction expansions — no intermediate ever exceeds
+/// the inputs, so the comparison is total on all of `Rational`.
+fn cmp_continued_fraction(
+    mut a_num: i128,
+    mut a_den: i128,
+    mut b_num: i128,
+    mut b_den: i128,
+) -> Ordering {
+    loop {
+        let qa = a_num.div_euclid(a_den);
+        let qb = b_num.div_euclid(b_den);
+        if qa != qb {
+            return qa.cmp(&qb);
+        }
+        // rem_euclid, not `num - q·den`: the product can overflow i128 for
+        // numerators near i128::MIN (denominators are positive, so
+        // rem_euclid itself cannot overflow).
+        let ra = a_num.rem_euclid(a_den); // both in [0, den)
+        let rb = b_num.rem_euclid(b_den);
+        match (ra == 0, rb == 0) {
+            (true, true) => return Ordering::Equal,
+            (true, false) => return Ordering::Less, // a == q < q + rb/bd == b
+            (false, true) => return Ordering::Greater,
+            (false, false) => {
+                // Compare ra/ad vs rb/bd (both in (0,1)); equivalently
+                // compare bd/rb vs ad/ra. Remainders strictly decrease, so
+                // this terminates like the Euclidean algorithm.
+                let (na, da, nb, db) = (b_den, rb, a_den, ra);
+                a_num = na;
+                a_den = da;
+                b_num = nb;
+                b_den = db;
+            }
+        }
     }
 }
 
@@ -514,14 +609,16 @@ impl Add for Rational {
 impl Sub for Rational {
     type Output = Rational;
     fn sub(self, rhs: Self) -> Self::Output {
-        self.checked_sub(rhs).expect("rational subtraction overflow")
+        self.checked_sub(rhs)
+            .expect("rational subtraction overflow")
     }
 }
 
 impl Mul for Rational {
     type Output = Rational;
     fn mul(self, rhs: Self) -> Self::Output {
-        self.checked_mul(rhs).expect("rational multiplication overflow")
+        self.checked_mul(rhs)
+            .expect("rational multiplication overflow")
     }
 }
 
@@ -536,7 +633,10 @@ impl Div for Rational {
 impl Neg for Rational {
     type Output = Rational;
     fn neg(self) -> Self::Output {
-        Rational { num: -self.num, den: self.den }
+        Rational {
+            num: -self.num,
+            den: self.den,
+        }
     }
 }
 
@@ -618,7 +718,9 @@ impl FromStr for Rational {
     /// # Ok::<(), fannet_numeric::rational::ParseRationalError>(())
     /// ```
     fn from_str(s: &str) -> Result<Self, Self::Err> {
-        let err = || ParseRationalError { input: s.to_owned() };
+        let err = || ParseRationalError {
+            input: s.to_owned(),
+        };
         let s = s.trim();
         if let Some((numer, denom)) = s.split_once('/') {
             let n: i128 = numer.trim().parse().map_err(|_| err())?;
@@ -630,16 +732,24 @@ impl FromStr for Rational {
         }
         if let Some((int_part, frac_part)) = s.split_once('.') {
             let negative = int_part.trim_start().starts_with('-');
-            let i: i128 = if int_part == "-" { 0 } else { int_part.parse().map_err(|_| err())? };
+            let i: i128 = if int_part == "-" {
+                0
+            } else {
+                int_part.parse().map_err(|_| err())?
+            };
             if frac_part.is_empty() || !frac_part.bytes().all(|b| b.is_ascii_digit()) {
                 return Err(err());
             }
-            let scale = 10i128.checked_pow(u32::try_from(frac_part.len()).map_err(|_| err())?)
+            let scale = 10i128
+                .checked_pow(u32::try_from(frac_part.len()).map_err(|_| err())?)
                 .ok_or_else(err)?;
             let f: i128 = frac_part.parse().map_err(|_| err())?;
-            let magnitude = Rational::new(i.unsigned_abs() as i128, 1)
-                + Rational::new(f, scale);
-            return Ok(if negative || i < 0 { -magnitude } else { magnitude });
+            let magnitude = Rational::new(i.unsigned_abs() as i128, 1) + Rational::new(f, scale);
+            return Ok(if negative || i < 0 {
+                -magnitude
+            } else {
+                magnitude
+            });
         }
         let n: i128 = s.parse().map_err(|_| err())?;
         Ok(Rational::from_integer(n))
@@ -740,7 +850,10 @@ mod tests {
     fn from_f64_exact_dyadics() {
         assert_eq!(Rational::from_f64_exact(0.5), Some(Rational::new(1, 2)));
         assert_eq!(Rational::from_f64_exact(-0.75), Some(Rational::new(-3, 4)));
-        assert_eq!(Rational::from_f64_exact(3.0), Some(Rational::from_integer(3)));
+        assert_eq!(
+            Rational::from_f64_exact(3.0),
+            Some(Rational::from_integer(3))
+        );
         assert_eq!(Rational::from_f64_exact(0.0), Some(Rational::ZERO));
         assert_eq!(Rational::from_f64_exact(f64::INFINITY), None);
         assert_eq!(Rational::from_f64_exact(f64::NAN), None);
@@ -757,7 +870,10 @@ mod tests {
     #[test]
     fn from_f64_approx_quantizes() {
         assert_eq!(Rational::from_f64_approx(0.333, 3), Rational::new(1, 3));
-        assert_eq!(Rational::from_f64_approx(0.5004, 1000), Rational::new(500, 1000));
+        assert_eq!(
+            Rational::from_f64_approx(0.5004, 1000),
+            Rational::new(500, 1000)
+        );
         assert_eq!(Rational::from_f64_approx(-1.5, 2), Rational::new(-3, 2));
         // Half away from zero.
         assert_eq!(Rational::from_f64_approx(0.5, 1), Rational::ONE);
@@ -815,7 +931,10 @@ mod tests {
     fn parse_forms() {
         assert_eq!("3/4".parse::<Rational>().unwrap(), Rational::new(3, 4));
         assert_eq!("-6/8".parse::<Rational>().unwrap(), Rational::new(-3, 4));
-        assert_eq!("42".parse::<Rational>().unwrap(), Rational::from_integer(42));
+        assert_eq!(
+            "42".parse::<Rational>().unwrap(),
+            Rational::from_integer(42)
+        );
         assert_eq!("-1.25".parse::<Rational>().unwrap(), Rational::new(-5, 4));
         assert_eq!("0.04".parse::<Rational>().unwrap(), Rational::new(1, 25));
         assert!("1/0".parse::<Rational>().is_err());
@@ -842,12 +961,104 @@ mod tests {
 
     #[test]
     fn sum_and_product() {
-        let vals = [Rational::new(1, 2), Rational::new(1, 3), Rational::new(1, 6)];
+        let vals = [
+            Rational::new(1, 2),
+            Rational::new(1, 3),
+            Rational::new(1, 6),
+        ];
         assert_eq!(vals.iter().copied().sum::<Rational>(), Rational::ONE);
         assert_eq!(
             vals.iter().copied().product::<Rational>(),
             Rational::new(1, 36)
         );
+    }
+
+    /// The reduced-form invariant `gcd(|num|, den) == 1`, `den > 0`.
+    fn assert_reduced(r: Rational) {
+        assert!(r.denom() > 0, "{r:?} has non-positive denominator");
+        if r.is_zero() {
+            assert_eq!(r.denom(), 1, "{r:?}: zero must be 0/1");
+        } else {
+            assert_eq!(
+                gcd(r.numer().unsigned_abs() as i128, r.denom()),
+                1,
+                "{r:?} is not in lowest terms"
+            );
+        }
+    }
+
+    #[test]
+    fn fast_path_add_keeps_invariant() {
+        // Every branch of checked_add: equal integer dens, equal non-1
+        // dens (with and without reduction), one integer operand on each
+        // side, and the general path.
+        let cases = [
+            (Rational::from_integer(3), Rational::from_integer(-7)),
+            (Rational::new(1, 4), Rational::new(1, 4)), // 2/4 → 1/2
+            (Rational::new(1, 4), Rational::new(3, 4)), // 4/4 → 1
+            (Rational::new(-1, 6), Rational::new(1, 6)), // 0
+            (Rational::from_integer(2), Rational::new(3, 5)),
+            (Rational::new(3, 5), Rational::from_integer(2)),
+            (Rational::from_integer(-2), Rational::new(-3, 5)),
+            (Rational::new(1, 6), Rational::new(1, 10)), // general path
+        ];
+        for (a, b) in cases {
+            let sum = a.checked_add(b).expect("no overflow");
+            assert_reduced(sum);
+            // Cross-check against the naive formula evaluated via `new`.
+            let naive = Rational::new(
+                a.numer() * b.denom() + b.numer() * a.denom(),
+                a.denom() * b.denom(),
+            );
+            assert_eq!(sum, naive, "fast path must agree for {a} + {b}");
+        }
+    }
+
+    #[test]
+    fn fast_path_mul_keeps_invariant() {
+        let cases = [
+            (Rational::from_integer(6), Rational::from_integer(-4)),
+            (Rational::ZERO, Rational::new(3, 7)),
+            (Rational::new(3, 7), Rational::ZERO),
+            (Rational::from_integer(14), Rational::new(3, 7)), // cross-reduce
+            (Rational::new(3, 7), Rational::from_integer(14)),
+            (Rational::new(2, 9), Rational::new(3, 4)), // general path
+        ];
+        for (a, b) in cases {
+            let prod = a.checked_mul(b).expect("no overflow");
+            assert_reduced(prod);
+            let naive = Rational::new(a.numer() * b.numer(), a.denom() * b.denom());
+            assert_eq!(prod, naive, "fast path must agree for {a} * {b}");
+        }
+    }
+
+    #[test]
+    fn cmp_survives_cross_product_overflow() {
+        // Dyadic with a 2^100 denominator vs a small fraction: the naive
+        // cross-multiplication overflows i128; the continued-fraction slow
+        // path must still order them correctly.
+        let tiny = Rational::new(1, 1i128 << 100);
+        let small = Rational::new(1, 1_000_000);
+        assert!(tiny < small);
+        assert!(small > tiny);
+        assert!(-tiny > -small);
+        let close_a = Rational::new((1i128 << 100) + 1, 1i128 << 100);
+        let close_b = Rational::new(1_000_001, 1_000_000);
+        assert!(close_a < close_b);
+        assert_eq!(close_a.cmp(&close_a), std::cmp::Ordering::Equal);
+        // Mixed-sign never reaches the slow path's subtleties.
+        assert!(Rational::new(-1, 1i128 << 100) < Rational::new(1, 1i128 << 100));
+        // Numerators near i128::MIN with equal quotients: the remainder
+        // must come from rem_euclid, or `num - q·den` overflows. With
+        // q = ⌊(MIN+1)/5⌋, a = q + 3/5 (MIN+1 ≡ 3 mod 5) and b = q + 1/4,
+        // so a > b — too close for f64 to distinguish, hence the exact
+        // slow path is the only way to order them.
+        let q = (i128::MIN + 1).div_euclid(5);
+        let a = Rational::new(i128::MIN + 1, 5);
+        let b = Rational::new(4 * q + 1, 4);
+        assert_eq!(a.cmp(&b), std::cmp::Ordering::Greater);
+        assert_eq!(b.cmp(&a), std::cmp::Ordering::Less);
+        assert_eq!(a.cmp(&a), std::cmp::Ordering::Equal);
     }
 
     #[test]

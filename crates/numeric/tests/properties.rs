@@ -4,7 +4,7 @@
 //! relies on: field axioms for [`Rational`], order compatibility, exactness
 //! of conversions, and the *enclosure* property of interval transformers.
 
-use fannet_numeric::{Fixed, Interval, Rational, Scalar};
+use fannet_numeric::{Fixed, FloatInterval, Interval, Rational, Scalar};
 use proptest::prelude::*;
 
 /// Rationals with numerator/denominator small enough that products of a few
@@ -196,6 +196,40 @@ proptest! {
         } else {
             prop_assert!(iv.integer_count() <= 1);
         }
+    }
+
+    #[test]
+    fn float_interval_encloses_exact_transformers(
+        (al, aw) in (small_rational(), small_rational()),
+        (bl, bw) in (small_rational(), small_rational()),
+        t in 0.0f64..=1.0, u in 0.0f64..=1.0,
+    ) {
+        // The screening tier's soundness lemma: the outward-rounded float
+        // image of an exact interval operation encloses the exact image.
+        let a = Interval::new(al, al + aw.abs());
+        let b = Interval::new(bl, bl + bw.abs());
+        let fa = FloatInterval::from_rationals(a.lo(), a.hi());
+        let fb = FloatInterval::from_rationals(b.lo(), b.hi());
+        // Interior sample points of the exact boxes.
+        let ts = Rational::from_f64_approx(t, 1000);
+        let us = Rational::from_f64_approx(u, 1000);
+        let x = a.lo() + a.width() * ts;
+        let y = b.lo() + b.width() * us;
+
+        prop_assert!(fa.contains_rational(x), "input enclosure");
+        prop_assert!(fa.add(&fb).contains_rational(x + y));
+        prop_assert!(fa.sub(&fb).contains_rational(x - y));
+        prop_assert!(fa.neg().contains_rational(-x));
+        prop_assert!(fa.mul(&fb).contains_rational(x * y));
+        prop_assert!(fa.relu().contains_rational(x.relu()));
+        prop_assert!(fa.max_interval(&fb).contains_rational(x.max(y)));
+    }
+
+    #[test]
+    fn float_interval_point_enclosure(n in -1_000_000i128..=1_000_000, d in 1i128..=1_000_000) {
+        let v = Rational::new(n, d);
+        let fi = FloatInterval::from_rational_point(v);
+        prop_assert!(fi.contains_rational(v), "{:?} must contain {}", fi, v);
     }
 
     #[test]

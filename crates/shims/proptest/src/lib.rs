@@ -1,0 +1,356 @@
+//! Offline shim for `proptest`: the `proptest!` macro, `prop_assert*!`,
+//! `prop_assume!`, range and tuple strategies, and `Strategy::prop_map`.
+//!
+//! Differences from crates.io proptest (deliberate, documented):
+//!
+//! * cases are generated from a per-test deterministic seed (FNV hash of
+//!   the test name), so failures reproduce exactly on re-run;
+//! * no shrinking — a failure reports the failing assertion and case
+//!   number.
+
+use rand::rngs::StdRng;
+use rand::{Rng, RngCore, SeedableRng};
+use std::fmt;
+use std::ops::{Range, RangeInclusive};
+
+pub mod prelude {
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest, ProptestConfig,
+        Strategy, TestCaseError,
+    };
+}
+
+/// Per-test configuration (only `cases` is honoured).
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    #[must_use]
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 256 }
+    }
+}
+
+/// Why a generated case did not pass.
+#[derive(Debug, Clone)]
+pub enum TestCaseError {
+    /// An assertion failed; the case is a counterexample.
+    Fail(String),
+    /// `prop_assume!` filtered the case out; it does not count.
+    Reject,
+}
+
+impl TestCaseError {
+    #[must_use]
+    pub fn fail(msg: String) -> Self {
+        TestCaseError::Fail(msg)
+    }
+}
+
+impl fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TestCaseError::Fail(m) => write!(f, "{m}"),
+            TestCaseError::Reject => write!(f, "case rejected by prop_assume!"),
+        }
+    }
+}
+
+/// The deterministic RNG driving generation.
+pub struct TestRng(StdRng);
+
+impl TestRng {
+    /// Seeded from the test name, so every run explores the same cases.
+    #[must_use]
+    pub fn deterministic(name: &str) -> Self {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325; // FNV-1a
+        for b in name.bytes() {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        TestRng(StdRng::seed_from_u64(h))
+    }
+}
+
+impl RngCore for TestRng {
+    fn next_u64(&mut self) -> u64 {
+        self.0.next_u64()
+    }
+}
+
+/// A generator of values of type `Value`.
+pub trait Strategy {
+    type Value;
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Maps generated values through `f`.
+    fn prop_map<O, F: Fn(Self::Value) -> O>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map { inner: self, f }
+    }
+}
+
+/// The result of [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+    type Value = O;
+    fn generate(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// Always yields a clone of the same value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),* $(,)?) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+    )*};
+}
+impl_range_strategy!(i8, i16, i32, i64, u8, u16, u32, u64, usize, f64);
+
+// i128 ranges back onto i64 spans (the workspace only uses spans < 2^64).
+impl Strategy for Range<i128> {
+    type Value = i128;
+    fn generate(&self, rng: &mut TestRng) -> i128 {
+        assert!(self.start < self.end, "empty range");
+        let span = (self.end - self.start) as u128;
+        assert!(span <= u128::from(u64::MAX), "i128 span too wide for shim");
+        self.start + i128::from(rng.next_u64() % span as u64)
+    }
+}
+impl Strategy for RangeInclusive<i128> {
+    type Value = i128;
+    fn generate(&self, rng: &mut TestRng) -> i128 {
+        let (lo, hi) = (*self.start(), *self.end());
+        assert!(lo <= hi, "empty range");
+        let span = (hi - lo) as u128 + 1;
+        assert!(span <= u128::from(u64::MAX), "i128 span too wide for shim");
+        lo + i128::from(rng.next_u64() % span as u64)
+    }
+}
+
+macro_rules! impl_tuple_strategy {
+    ($(($($t:ident),+)),* $(,)?) => {$(
+        #[allow(non_snake_case)]
+        impl<$($t: Strategy),+> Strategy for ($($t,)+) {
+            type Value = ($($t::Value,)+);
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                let ($($t,)+) = self;
+                ($($t.generate(rng),)+)
+            }
+        }
+    )*};
+}
+impl_tuple_strategy!((A), (A, B), (A, B, C), (A, B, C, D), (A, B, C, D, E));
+
+/// Runs `f` over `config.cases` generated cases; used by the `proptest!`
+/// macro expansion.
+///
+/// # Panics
+///
+/// Panics (failing the test) on the first case whose closure returns
+/// [`TestCaseError::Fail`], or when the rejection budget is exhausted.
+pub fn run_cases(
+    name: &str,
+    config: &ProptestConfig,
+    mut f: impl FnMut(&mut TestRng) -> Result<(), TestCaseError>,
+) {
+    let mut rng = TestRng::deterministic(name);
+    let mut accepted = 0u32;
+    let mut rejected = 0u32;
+    let reject_budget = config.cases.saturating_mul(16).max(1024);
+    while accepted < config.cases {
+        match f(&mut rng) {
+            Ok(()) => accepted += 1,
+            Err(TestCaseError::Reject) => {
+                rejected += 1;
+                assert!(
+                    rejected < reject_budget,
+                    "{name}: too many cases rejected by prop_assume! ({rejected})"
+                );
+            }
+            Err(TestCaseError::Fail(msg)) => {
+                panic!("{name}: property failed at case {accepted}: {msg}")
+            }
+        }
+    }
+}
+
+/// Declares deterministic property tests (see module docs for the shim's
+/// semantics).
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_body! { $cfg; $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_body! { $crate::ProptestConfig::default(); $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_body {
+    ($cfg:expr; $( $(#[$meta:meta])* fn $name:ident ( $($pat:pat in $strat:expr),+ $(,)? ) $body:block )*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let __config: $crate::ProptestConfig = $cfg;
+                $crate::run_cases(stringify!($name), &__config, |__rng| {
+                    $(let $pat = $crate::Strategy::generate(&($strat), __rng);)+
+                    $body
+                    Ok(())
+                });
+            }
+        )*
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        if !($cond) {
+            return Err($crate::TestCaseError::fail(format!(
+                "prop_assert!({}) failed", stringify!($cond)
+            )));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return Err($crate::TestCaseError::fail(format!($($fmt)+)));
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr $(,)?) => {{
+        let __a = $a;
+        let __b = $b;
+        if !(__a == __b) {
+            return Err($crate::TestCaseError::fail(format!(
+                "prop_assert_eq! failed: {:?} != {:?}", __a, __b
+            )));
+        }
+    }};
+    ($a:expr, $b:expr, $($fmt:tt)+) => {{
+        let __a = $a;
+        let __b = $b;
+        if !(__a == __b) {
+            return Err($crate::TestCaseError::fail(format!(
+                "prop_assert_eq! failed: {:?} != {:?}: {}", __a, __b, format!($($fmt)+)
+            )));
+        }
+    }};
+}
+
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr $(,)?) => {{
+        let __a = $a;
+        let __b = $b;
+        if __a == __b {
+            return Err($crate::TestCaseError::fail(format!(
+                "prop_assert_ne! failed: both sides are {:?}", __a
+            )));
+        }
+    }};
+    ($a:expr, $b:expr, $($fmt:tt)+) => {{
+        let __a = $a;
+        let __b = $b;
+        if __a == __b {
+            return Err($crate::TestCaseError::fail(format!(
+                "prop_assert_ne! failed: both sides are {:?}: {}", __a, format!($($fmt)+)
+            )));
+        }
+    }};
+}
+
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(,)?) => {
+        if !($cond) {
+            return Err($crate::TestCaseError::Reject);
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    fn evens() -> impl Strategy<Value = i64> {
+        (0i64..100).prop_map(|v| v * 2)
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn ranges_and_maps(a in 0i64..10, b in evens(), (c, d) in (0u32..5, 0.0f64..1.0)) {
+            prop_assert!((0..10).contains(&a));
+            prop_assert_eq!(b % 2, 0);
+            prop_assert!(c < 5, "c was {}", c);
+            prop_assert!((0.0..1.0).contains(&d));
+        }
+
+        #[test]
+        fn assume_rejects(v in 0i64..100) {
+            prop_assume!(v % 2 == 0);
+            prop_assert_eq!(v % 2, 0);
+            prop_assert_ne!(v, 1);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "property failed")]
+    fn failures_panic() {
+        crate::run_cases("failures_panic", &ProptestConfig::with_cases(4), |_| {
+            Err(TestCaseError::fail("forced".into()))
+        });
+    }
+
+    #[test]
+    fn deterministic_generation() {
+        let mut a = crate::TestRng::deterministic("x");
+        let mut b = crate::TestRng::deterministic("x");
+        let s = 0i64..1000;
+        let va: Vec<i64> = (0..10).map(|_| Strategy::generate(&s, &mut a)).collect();
+        let vb: Vec<i64> = (0..10).map(|_| Strategy::generate(&s, &mut b)).collect();
+        assert_eq!(va, vb);
+    }
+}

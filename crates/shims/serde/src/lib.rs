@@ -1,0 +1,691 @@
+//! Offline shim for `serde`: the trait architecture (`Serialize`,
+//! `Deserialize`, `Serializer`, `Deserializer`, error traits) over a single
+//! JSON-shaped [`Value`] data model.
+//!
+//! The surface mirrors real serde closely enough that the workspace's
+//! manual impls (`impl Serialize for Rational` etc.) and the derive output
+//! from the sibling `serde_derive` shim compile unchanged against it. The
+//! one simplification is on the deserialization side: instead of serde's
+//! visitor machinery, a [`Deserializer`] hands out an owned [`Value`] tree
+//! and `Deserialize` impls pattern-match on it.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// The self-describing data model every (de)serializer in this workspace
+/// flows through — deliberately JSON-shaped.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    Null,
+    Bool(bool),
+    /// All integers, signed or not, normalize to `i128` (covers `u64`).
+    Int(i128),
+    Float(f64),
+    Str(String),
+    Seq(Vec<Value>),
+    /// Insertion-ordered map (JSON object).
+    Map(Vec<(String, Value)>),
+}
+
+pub mod ser {
+    use super::Value;
+    use std::fmt::Display;
+
+    /// Error raised by a serializer.
+    pub trait Error: Sized + std::error::Error {
+        fn custom<T: Display>(msg: T) -> Self;
+    }
+
+    /// serde-compatible struct-serialization handle.
+    pub trait SerializeStruct {
+        type Ok;
+        type Error: Error;
+        fn serialize_field<T: ?Sized + super::Serialize>(
+            &mut self,
+            key: &'static str,
+            value: &T,
+        ) -> Result<(), Self::Error>;
+        fn end(self) -> Result<Self::Ok, Self::Error>;
+    }
+
+    /// serde-compatible sequence-serialization handle.
+    pub trait SerializeSeq {
+        type Ok;
+        type Error: Error;
+        fn serialize_element<T: ?Sized + super::Serialize>(
+            &mut self,
+            value: &T,
+        ) -> Result<(), Self::Error>;
+        fn end(self) -> Result<Self::Ok, Self::Error>;
+    }
+
+    /// serde-compatible tuple-serialization handle.
+    pub trait SerializeTuple {
+        type Ok;
+        type Error: Error;
+        fn serialize_element<T: ?Sized + super::Serialize>(
+            &mut self,
+            value: &T,
+        ) -> Result<(), Self::Error>;
+        fn end(self) -> Result<Self::Ok, Self::Error>;
+    }
+
+    /// serde-compatible tuple-variant handle.
+    pub trait SerializeTupleVariant {
+        type Ok;
+        type Error: Error;
+        fn serialize_field<T: ?Sized + super::Serialize>(
+            &mut self,
+            value: &T,
+        ) -> Result<(), Self::Error>;
+        fn end(self) -> Result<Self::Ok, Self::Error>;
+    }
+
+    /// serde-compatible struct-variant handle.
+    pub trait SerializeStructVariant {
+        type Ok;
+        type Error: Error;
+        fn serialize_field<T: ?Sized + super::Serialize>(
+            &mut self,
+            key: &'static str,
+            value: &T,
+        ) -> Result<(), Self::Error>;
+        fn end(self) -> Result<Self::Ok, Self::Error>;
+    }
+
+    /// The concrete error of the in-tree [`ValueSerializer`].
+    #[derive(Debug, Clone)]
+    pub struct ValueError(pub String);
+
+    impl Display for ValueError {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            f.write_str(&self.0)
+        }
+    }
+    impl std::error::Error for ValueError {}
+    impl Error for ValueError {
+        fn custom<T: Display>(msg: T) -> Self {
+            ValueError(msg.to_string())
+        }
+    }
+
+    /// The single concrete [`super::Serializer`]: builds a [`Value`] tree.
+    pub struct ValueSerializer;
+
+    pub struct ValueSeq(Vec<Value>);
+    pub struct ValueStruct(Vec<(String, Value)>);
+    pub struct ValueTupleVariant(&'static str, Vec<Value>);
+    pub struct ValueStructVariant(&'static str, Vec<(String, Value)>);
+
+    impl super::Serializer for ValueSerializer {
+        type Ok = Value;
+        type Error = ValueError;
+        type SerializeSeq = ValueSeq;
+        type SerializeTuple = ValueSeq;
+        type SerializeStruct = ValueStruct;
+        type SerializeTupleVariant = ValueTupleVariant;
+        type SerializeStructVariant = ValueStructVariant;
+
+        fn serialize_bool(self, v: bool) -> Result<Value, ValueError> {
+            Ok(Value::Bool(v))
+        }
+        fn serialize_i128(self, v: i128) -> Result<Value, ValueError> {
+            Ok(Value::Int(v))
+        }
+        fn serialize_u64(self, v: u64) -> Result<Value, ValueError> {
+            Ok(Value::Int(i128::from(v)))
+        }
+        fn serialize_f64(self, v: f64) -> Result<Value, ValueError> {
+            Ok(Value::Float(v))
+        }
+        fn serialize_str(self, v: &str) -> Result<Value, ValueError> {
+            Ok(Value::Str(v.to_owned()))
+        }
+        fn serialize_unit(self) -> Result<Value, ValueError> {
+            Ok(Value::Null)
+        }
+        fn serialize_none(self) -> Result<Value, ValueError> {
+            Ok(Value::Null)
+        }
+        fn serialize_some<T: ?Sized + super::Serialize>(
+            self,
+            value: &T,
+        ) -> Result<Value, ValueError> {
+            value.serialize(ValueSerializer)
+        }
+        fn serialize_unit_variant(
+            self,
+            _name: &'static str,
+            _index: u32,
+            variant: &'static str,
+        ) -> Result<Value, ValueError> {
+            Ok(Value::Str(variant.to_owned()))
+        }
+        fn serialize_newtype_variant<T: ?Sized + super::Serialize>(
+            self,
+            _name: &'static str,
+            _index: u32,
+            variant: &'static str,
+            value: &T,
+        ) -> Result<Value, ValueError> {
+            Ok(Value::Map(vec![(
+                variant.to_owned(),
+                value.serialize(ValueSerializer)?,
+            )]))
+        }
+        fn serialize_seq(self, len: Option<usize>) -> Result<ValueSeq, ValueError> {
+            Ok(ValueSeq(Vec::with_capacity(len.unwrap_or(0))))
+        }
+        fn serialize_tuple(self, len: usize) -> Result<ValueSeq, ValueError> {
+            Ok(ValueSeq(Vec::with_capacity(len)))
+        }
+        fn serialize_struct(
+            self,
+            _name: &'static str,
+            len: usize,
+        ) -> Result<ValueStruct, ValueError> {
+            Ok(ValueStruct(Vec::with_capacity(len)))
+        }
+        fn serialize_tuple_variant(
+            self,
+            _name: &'static str,
+            _index: u32,
+            variant: &'static str,
+            len: usize,
+        ) -> Result<ValueTupleVariant, ValueError> {
+            Ok(ValueTupleVariant(variant, Vec::with_capacity(len)))
+        }
+        fn serialize_struct_variant(
+            self,
+            _name: &'static str,
+            _index: u32,
+            variant: &'static str,
+            len: usize,
+        ) -> Result<ValueStructVariant, ValueError> {
+            Ok(ValueStructVariant(variant, Vec::with_capacity(len)))
+        }
+    }
+
+    impl SerializeSeq for ValueSeq {
+        type Ok = Value;
+        type Error = ValueError;
+        fn serialize_element<T: ?Sized + super::Serialize>(
+            &mut self,
+            value: &T,
+        ) -> Result<(), ValueError> {
+            self.0.push(value.serialize(ValueSerializer)?);
+            Ok(())
+        }
+        fn end(self) -> Result<Value, ValueError> {
+            Ok(Value::Seq(self.0))
+        }
+    }
+
+    impl SerializeTuple for ValueSeq {
+        type Ok = Value;
+        type Error = ValueError;
+        fn serialize_element<T: ?Sized + super::Serialize>(
+            &mut self,
+            value: &T,
+        ) -> Result<(), ValueError> {
+            self.0.push(value.serialize(ValueSerializer)?);
+            Ok(())
+        }
+        fn end(self) -> Result<Value, ValueError> {
+            Ok(Value::Seq(self.0))
+        }
+    }
+
+    impl SerializeStruct for ValueStruct {
+        type Ok = Value;
+        type Error = ValueError;
+        fn serialize_field<T: ?Sized + super::Serialize>(
+            &mut self,
+            key: &'static str,
+            value: &T,
+        ) -> Result<(), ValueError> {
+            self.0
+                .push((key.to_owned(), value.serialize(ValueSerializer)?));
+            Ok(())
+        }
+        fn end(self) -> Result<Value, ValueError> {
+            Ok(Value::Map(self.0))
+        }
+    }
+
+    impl SerializeTupleVariant for ValueTupleVariant {
+        type Ok = Value;
+        type Error = ValueError;
+        fn serialize_field<T: ?Sized + super::Serialize>(
+            &mut self,
+            value: &T,
+        ) -> Result<(), ValueError> {
+            self.1.push(value.serialize(ValueSerializer)?);
+            Ok(())
+        }
+        fn end(self) -> Result<Value, ValueError> {
+            Ok(Value::Map(vec![(self.0.to_owned(), Value::Seq(self.1))]))
+        }
+    }
+
+    impl SerializeStructVariant for ValueStructVariant {
+        type Ok = Value;
+        type Error = ValueError;
+        fn serialize_field<T: ?Sized + super::Serialize>(
+            &mut self,
+            key: &'static str,
+            value: &T,
+        ) -> Result<(), ValueError> {
+            self.1
+                .push((key.to_owned(), value.serialize(ValueSerializer)?));
+            Ok(())
+        }
+        fn end(self) -> Result<Value, ValueError> {
+            Ok(Value::Map(vec![(self.0.to_owned(), Value::Map(self.1))]))
+        }
+    }
+
+    /// Serializes any `T: Serialize` into the [`Value`] tree.
+    pub fn to_value<T: ?Sized + super::Serialize>(value: &T) -> Result<Value, ValueError> {
+        value.serialize(ValueSerializer)
+    }
+}
+
+pub mod de {
+    use super::Value;
+    use std::fmt::Display;
+
+    /// Error raised by a deserializer.
+    pub trait Error: Sized + std::error::Error {
+        fn custom<T: Display>(msg: T) -> Self;
+    }
+
+    /// `T` deserializable without borrowing from the input.
+    pub trait DeserializeOwned: for<'de> super::Deserialize<'de> {}
+    impl<T: for<'de> super::Deserialize<'de>> DeserializeOwned for T {}
+
+    /// The concrete error of the in-tree [`ValueDeserializer`].
+    #[derive(Debug, Clone)]
+    pub struct ValueError(pub String);
+
+    impl Display for ValueError {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            f.write_str(&self.0)
+        }
+    }
+    impl std::error::Error for ValueError {}
+    impl Error for ValueError {
+        fn custom<T: Display>(msg: T) -> Self {
+            ValueError(msg.to_string())
+        }
+    }
+
+    /// The single concrete [`super::Deserializer`]: yields an owned
+    /// [`Value`].
+    pub struct ValueDeserializer(pub Value);
+
+    impl<'de> super::Deserializer<'de> for ValueDeserializer {
+        type Error = ValueError;
+        fn take_value(self) -> Result<Value, ValueError> {
+            Ok(self.0)
+        }
+    }
+
+    /// Deserializes a `T` out of an owned [`Value`] tree.
+    pub fn from_value<T: DeserializeOwned>(value: Value) -> Result<T, ValueError> {
+        T::deserialize(ValueDeserializer(value))
+    }
+
+    /// Removes `key` from an in-order map representation, if present.
+    #[must_use]
+    pub fn take_entry(entries: &mut Vec<(String, Value)>, key: &str) -> Option<Value> {
+        let idx = entries.iter().position(|(k, _)| k == key)?;
+        Some(entries.remove(idx).1)
+    }
+}
+
+/// A type serializable into the shim's [`Value`] data model.
+pub trait Serialize {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error>;
+}
+
+/// A serde-shaped serializer (one concrete impl:
+/// [`ser::ValueSerializer`]).
+pub trait Serializer: Sized {
+    type Ok;
+    type Error: ser::Error;
+    type SerializeSeq: ser::SerializeSeq<Ok = Self::Ok, Error = Self::Error>;
+    type SerializeTuple: ser::SerializeTuple<Ok = Self::Ok, Error = Self::Error>;
+    type SerializeStruct: ser::SerializeStruct<Ok = Self::Ok, Error = Self::Error>;
+    type SerializeTupleVariant: ser::SerializeTupleVariant<Ok = Self::Ok, Error = Self::Error>;
+    type SerializeStructVariant: ser::SerializeStructVariant<Ok = Self::Ok, Error = Self::Error>;
+
+    fn serialize_bool(self, v: bool) -> Result<Self::Ok, Self::Error>;
+    fn serialize_i128(self, v: i128) -> Result<Self::Ok, Self::Error>;
+    fn serialize_u64(self, v: u64) -> Result<Self::Ok, Self::Error>;
+    fn serialize_f64(self, v: f64) -> Result<Self::Ok, Self::Error>;
+    fn serialize_str(self, v: &str) -> Result<Self::Ok, Self::Error>;
+    fn serialize_unit(self) -> Result<Self::Ok, Self::Error>;
+    fn serialize_none(self) -> Result<Self::Ok, Self::Error>;
+    fn serialize_some<T: ?Sized + Serialize>(self, value: &T) -> Result<Self::Ok, Self::Error>;
+    fn serialize_unit_variant(
+        self,
+        name: &'static str,
+        variant_index: u32,
+        variant: &'static str,
+    ) -> Result<Self::Ok, Self::Error>;
+    fn serialize_newtype_variant<T: ?Sized + Serialize>(
+        self,
+        name: &'static str,
+        variant_index: u32,
+        variant: &'static str,
+        value: &T,
+    ) -> Result<Self::Ok, Self::Error>;
+    fn serialize_seq(self, len: Option<usize>) -> Result<Self::SerializeSeq, Self::Error>;
+    fn serialize_tuple(self, len: usize) -> Result<Self::SerializeTuple, Self::Error>;
+    fn serialize_struct(
+        self,
+        name: &'static str,
+        len: usize,
+    ) -> Result<Self::SerializeStruct, Self::Error>;
+    fn serialize_tuple_variant(
+        self,
+        name: &'static str,
+        variant_index: u32,
+        variant: &'static str,
+        len: usize,
+    ) -> Result<Self::SerializeTupleVariant, Self::Error>;
+    fn serialize_struct_variant(
+        self,
+        name: &'static str,
+        variant_index: u32,
+        variant: &'static str,
+        len: usize,
+    ) -> Result<Self::SerializeStructVariant, Self::Error>;
+
+    // Integer convenience defaults, all funnelled through `serialize_i128`.
+    fn serialize_i8(self, v: i8) -> Result<Self::Ok, Self::Error> {
+        self.serialize_i128(i128::from(v))
+    }
+    fn serialize_i16(self, v: i16) -> Result<Self::Ok, Self::Error> {
+        self.serialize_i128(i128::from(v))
+    }
+    fn serialize_i32(self, v: i32) -> Result<Self::Ok, Self::Error> {
+        self.serialize_i128(i128::from(v))
+    }
+    fn serialize_i64(self, v: i64) -> Result<Self::Ok, Self::Error> {
+        self.serialize_i128(i128::from(v))
+    }
+    fn serialize_u8(self, v: u8) -> Result<Self::Ok, Self::Error> {
+        self.serialize_u64(u64::from(v))
+    }
+    fn serialize_u16(self, v: u16) -> Result<Self::Ok, Self::Error> {
+        self.serialize_u64(u64::from(v))
+    }
+    fn serialize_u32(self, v: u32) -> Result<Self::Ok, Self::Error> {
+        self.serialize_u64(u64::from(v))
+    }
+    fn serialize_f32(self, v: f32) -> Result<Self::Ok, Self::Error> {
+        self.serialize_f64(f64::from(v))
+    }
+}
+
+/// A type deserializable from the shim's [`Value`] data model.
+pub trait Deserialize<'de>: Sized {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error>;
+}
+
+/// A serde-shaped deserializer, simplified to a value-pull model: the
+/// deserializer hands over an owned [`Value`] and impls pattern-match on it.
+pub trait Deserializer<'de>: Sized {
+    type Error: de::Error;
+    fn take_value(self) -> Result<Value, Self::Error>;
+}
+
+// ---------------------------------------------------------------------------
+// Serialize impls for primitives / std types
+// ---------------------------------------------------------------------------
+
+macro_rules! impl_ser_int {
+    ($($t:ty => $m:ident),* $(,)?) => {$(
+        impl Serialize for $t {
+            fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+                serializer.$m(*self as _)
+            }
+        }
+    )*};
+}
+impl_ser_int!(
+    i8 => serialize_i8, i16 => serialize_i16, i32 => serialize_i32,
+    i64 => serialize_i64, i128 => serialize_i128,
+    u8 => serialize_u8, u16 => serialize_u16, u32 => serialize_u32,
+    u64 => serialize_u64,
+);
+
+impl Serialize for u128 {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        let v = i128::try_from(*self)
+            .unwrap_or_else(|_| panic!("u128 value {self} exceeds the shim's i128 data model"));
+        serializer.serialize_i128(v)
+    }
+}
+impl Serialize for usize {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_u64(*self as u64)
+    }
+}
+impl Serialize for bool {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_bool(*self)
+    }
+}
+impl Serialize for f64 {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_f64(*self)
+    }
+}
+impl Serialize for f32 {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_f32(*self)
+    }
+}
+impl Serialize for str {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_str(self)
+    }
+}
+impl Serialize for String {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_str(self)
+    }
+}
+impl Serialize for () {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_unit()
+    }
+}
+
+impl<T: ?Sized + Serialize> Serialize for &T {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        (**self).serialize(serializer)
+    }
+}
+impl<T: ?Sized + Serialize> Serialize for Box<T> {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        (**self).serialize(serializer)
+    }
+}
+impl<T: Serialize> Serialize for Option<T> {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        match self {
+            None => serializer.serialize_none(),
+            Some(v) => serializer.serialize_some(v),
+        }
+    }
+}
+impl<T: Serialize> Serialize for Vec<T> {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        self.as_slice().serialize(serializer)
+    }
+}
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        self.as_slice().serialize(serializer)
+    }
+}
+impl<T: Serialize> Serialize for [T] {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        use ser::SerializeSeq as _;
+        let mut seq = serializer.serialize_seq(Some(self.len()))?;
+        for item in self {
+            seq.serialize_element(item)?;
+        }
+        seq.end()
+    }
+}
+
+macro_rules! impl_ser_tuple {
+    ($(($($n:tt $t:ident),+)),* $(,)?) => {$(
+        impl<$($t: Serialize),+> Serialize for ($($t,)+) {
+            fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+                use ser::SerializeTuple as _;
+                let mut t = serializer.serialize_tuple(0 $(+ { let _ = &self.$n; 1 })+)?;
+                $(t.serialize_element(&self.$n)?;)+
+                t.end()
+            }
+        }
+    )*};
+}
+impl_ser_tuple!((0 A), (0 A, 1 B), (0 A, 1 B, 2 C), (0 A, 1 B, 2 C, 3 D));
+
+// ---------------------------------------------------------------------------
+// Deserialize impls for primitives / std types
+// ---------------------------------------------------------------------------
+
+fn expect_int<'de, D: Deserializer<'de>>(d: D, what: &str) -> Result<i128, D::Error> {
+    match d.take_value()? {
+        Value::Int(v) => Ok(v),
+        other => Err(de::Error::custom(format!(
+            "expected {what}, found {other:?}"
+        ))),
+    }
+}
+
+macro_rules! impl_de_int {
+    ($($t:ty),* $(,)?) => {$(
+        impl<'de> Deserialize<'de> for $t {
+            fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+                let v = expect_int(d, stringify!($t))?;
+                <$t>::try_from(v)
+                    .map_err(|_| de::Error::custom(format!("integer {v} out of range for {}", stringify!($t))))
+            }
+        }
+    )*};
+}
+impl_de_int!(i8, i16, i32, i64, u8, u16, u32, u64, usize);
+
+impl<'de> Deserialize<'de> for u128 {
+    fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        let v = expect_int(d, "u128")?;
+        u128::try_from(v)
+            .map_err(|_| de::Error::custom(format!("integer {v} out of range for u128")))
+    }
+}
+impl<'de> Deserialize<'de> for i128 {
+    fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        expect_int(d, "i128")
+    }
+}
+impl<'de> Deserialize<'de> for bool {
+    fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        match d.take_value()? {
+            Value::Bool(v) => Ok(v),
+            other => Err(de::Error::custom(format!("expected bool, found {other:?}"))),
+        }
+    }
+}
+impl<'de> Deserialize<'de> for f64 {
+    fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        match d.take_value()? {
+            Value::Float(v) => Ok(v),
+            // JSON renders e.g. 1.0 as "1"; accept integer-shaped floats.
+            Value::Int(v) => Ok(v as f64),
+            other => Err(de::Error::custom(format!(
+                "expected float, found {other:?}"
+            ))),
+        }
+    }
+}
+impl<'de> Deserialize<'de> for f32 {
+    fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        f64::deserialize(d).map(|v| v as f32)
+    }
+}
+impl<'de> Deserialize<'de> for String {
+    fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        match d.take_value()? {
+            Value::Str(s) => Ok(s),
+            other => Err(de::Error::custom(format!(
+                "expected string, found {other:?}"
+            ))),
+        }
+    }
+}
+impl<'de, T: de::DeserializeOwned> Deserialize<'de> for Option<T> {
+    fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        match d.take_value()? {
+            Value::Null => Ok(None),
+            v => de::from_value(v).map(Some).map_err(de::Error::custom),
+        }
+    }
+}
+impl<'de, T: de::DeserializeOwned> Deserialize<'de> for Box<T> {
+    fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        de::from_value(d.take_value()?)
+            .map(Box::new)
+            .map_err(de::Error::custom)
+    }
+}
+impl<'de, T: de::DeserializeOwned> Deserialize<'de> for Vec<T> {
+    fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        match d.take_value()? {
+            Value::Seq(items) => items
+                .into_iter()
+                .map(|v| de::from_value(v).map_err(de::Error::custom))
+                .collect(),
+            other => Err(de::Error::custom(format!(
+                "expected sequence, found {other:?}"
+            ))),
+        }
+    }
+}
+
+impl<'de, T: de::DeserializeOwned, const N: usize> Deserialize<'de> for [T; N] {
+    fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        let items = Vec::<T>::deserialize(d)?;
+        let len = items.len();
+        <[T; N]>::try_from(items)
+            .map_err(|_| de::Error::custom(format!("expected array of {N}, found {len} items")))
+    }
+}
+
+macro_rules! impl_de_tuple {
+    ($(($len:expr; $($t:ident),+)),* $(,)?) => {$(
+        impl<'de, $($t: de::DeserializeOwned),+> Deserialize<'de> for ($($t,)+) {
+            fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+                match d.take_value()? {
+                    Value::Seq(items) if items.len() == $len => {
+                        let mut it = items.into_iter();
+                        Ok(($(
+                            de::from_value::<$t>(it.next().expect("length checked"))
+                                .map_err(de::Error::custom)?,
+                        )+))
+                    }
+                    other => Err(de::Error::custom(format!(
+                        "expected sequence of {}, found {other:?}", $len
+                    ))),
+                }
+            }
+        }
+    )*};
+}
+impl_de_tuple!((1; T0), (2; T0, T1), (3; T0, T1, T2), (4; T0, T1, T2, T3));

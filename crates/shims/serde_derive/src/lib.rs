@@ -1,0 +1,468 @@
+//! Offline shim for `serde_derive`: implements `#[derive(Serialize)]` and
+//! `#[derive(Deserialize)]` by hand-parsing the item's token stream (no
+//! `syn`/`quote` available in this environment).
+//!
+//! Supported shapes — exactly what this workspace uses:
+//!
+//! * named-field structs, optionally with one or more type parameters
+//!   (bounds in the declaration are ignored; the generated impls bound each
+//!   parameter by `Serialize` / `Deserialize<'de>`);
+//! * enums with unit, newtype (1-tuple), tuple and struct variants.
+//!
+//! The serialized data model matches serde's externally-tagged default:
+//! structs become maps, unit variants become strings, payload variants
+//! become single-entry maps.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_serialize(&item)
+        .parse()
+        .expect("generated Serialize impl parses")
+}
+
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_deserialize(&item)
+        .parse()
+        .expect("generated Deserialize impl parses")
+}
+
+// ---------------------------------------------------------------------------
+// Parsing
+// ---------------------------------------------------------------------------
+
+enum Shape {
+    /// Named-field struct: field identifiers in declaration order.
+    Struct(Vec<String>),
+    Enum(Vec<Variant>),
+}
+
+struct Variant {
+    name: String,
+    kind: VariantKind,
+}
+
+enum VariantKind {
+    Unit,
+    /// Tuple variant with `arity` unnamed fields (arity ≥ 1).
+    Tuple(usize),
+    /// Struct variant with named fields.
+    Struct(Vec<String>),
+}
+
+struct Item {
+    name: String,
+    /// Type-parameter identifiers, e.g. `["S"]` for `Matrix<S>`.
+    generics: Vec<String>,
+    shape: Shape,
+}
+
+fn parse_item(input: TokenStream) -> Item {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+
+    // Skip outer attributes (`#[...]`) and visibility (`pub`, `pub(...)`).
+    loop {
+        match tokens.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                i += 2; // '#' + bracket group
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                i += 1;
+                if let Some(TokenTree::Group(g)) = tokens.get(i) {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        i += 1; // pub(crate) etc.
+                    }
+                }
+            }
+            _ => break,
+        }
+    }
+
+    let kind = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("expected `struct` or `enum`, found {other:?}"),
+    };
+    i += 1;
+    let name = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("expected type name, found {other:?}"),
+    };
+    i += 1;
+
+    // Optional generics: collect top-level type-parameter idents.
+    let mut generics = Vec::new();
+    if let Some(TokenTree::Punct(p)) = tokens.get(i) {
+        if p.as_char() == '<' {
+            i += 1;
+            let mut depth = 1usize;
+            let mut expect_param = true;
+            while depth > 0 {
+                match tokens.get(i) {
+                    Some(TokenTree::Punct(p)) if p.as_char() == '<' => depth += 1,
+                    Some(TokenTree::Punct(p)) if p.as_char() == '>' => depth -= 1,
+                    Some(TokenTree::Punct(p)) if p.as_char() == ',' && depth == 1 => {
+                        expect_param = true;
+                    }
+                    Some(TokenTree::Punct(p)) if p.as_char() == '\'' => {
+                        // Lifetime parameter: skip the following ident.
+                        i += 1;
+                        expect_param = false;
+                    }
+                    Some(TokenTree::Ident(id)) if depth == 1 && expect_param => {
+                        let s = id.to_string();
+                        if s != "const" {
+                            generics.push(s);
+                        }
+                        expect_param = false;
+                    }
+                    None => panic!("unbalanced generics in `{name}`"),
+                    _ => {}
+                }
+                i += 1;
+            }
+        }
+    }
+
+    // Skip forward (past any `where` clause) to the body group.
+    let body = loop {
+        match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => break g,
+            Some(_) => i += 1,
+            None => panic!("`{name}`: derive shim supports only brace-bodied items"),
+        }
+    };
+
+    let shape = if kind == "struct" {
+        Shape::Struct(parse_named_fields(body.stream()))
+    } else {
+        Shape::Enum(parse_variants(body.stream()))
+    };
+    Item {
+        name,
+        generics,
+        shape,
+    }
+}
+
+/// Parses `field: Type, ...` returning the field names.
+fn parse_named_fields(stream: TokenStream) -> Vec<String> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        // Skip attributes and visibility.
+        match &tokens[i] {
+            TokenTree::Punct(p) if p.as_char() == '#' => {
+                i += 2;
+                continue;
+            }
+            TokenTree::Ident(id) if id.to_string() == "pub" => {
+                i += 1;
+                if let Some(TokenTree::Group(g)) = tokens.get(i) {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        i += 1;
+                    }
+                }
+                continue;
+            }
+            _ => {}
+        }
+        let name = match &tokens[i] {
+            TokenTree::Ident(id) => id.to_string(),
+            other => panic!("expected field name, found {other:?}"),
+        };
+        fields.push(name);
+        i += 1;
+        // Skip `: Type` until a top-level comma (angle-bracket aware; all
+        // other bracket kinds arrive as atomic groups).
+        let mut depth = 0isize;
+        while i < tokens.len() {
+            match &tokens[i] {
+                TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => depth -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => {
+                    i += 1;
+                    break;
+                }
+                _ => {}
+            }
+            i += 1;
+        }
+    }
+    fields
+}
+
+fn parse_variants(stream: TokenStream) -> Vec<Variant> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        match &tokens[i] {
+            TokenTree::Punct(p) if p.as_char() == '#' => {
+                i += 2;
+                continue;
+            }
+            _ => {}
+        }
+        let name = match &tokens[i] {
+            TokenTree::Ident(id) => id.to_string(),
+            other => panic!("expected variant name, found {other:?}"),
+        };
+        i += 1;
+        let kind = match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                i += 1;
+                VariantKind::Tuple(tuple_arity(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                i += 1;
+                VariantKind::Struct(parse_named_fields(g.stream()))
+            }
+            _ => VariantKind::Unit,
+        };
+        variants.push(Variant { name, kind });
+        // Skip to the comma separating variants (covers `= discr`).
+        while i < tokens.len() {
+            match &tokens[i] {
+                TokenTree::Punct(p) if p.as_char() == ',' => {
+                    i += 1;
+                    break;
+                }
+                _ => i += 1,
+            }
+        }
+    }
+    variants
+}
+
+/// Number of fields in a tuple-variant payload: top-level commas + 1,
+/// ignoring a trailing comma. Angle-bracket aware.
+fn tuple_arity(stream: TokenStream) -> usize {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    assert!(!tokens.is_empty(), "empty tuple variant unsupported");
+    let mut commas = 0usize;
+    let mut depth = 0isize;
+    let mut last_was_comma = false;
+    for t in &tokens {
+        last_was_comma = false;
+        match t {
+            TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => depth -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => {
+                commas += 1;
+                last_was_comma = true;
+            }
+            _ => {}
+        }
+    }
+    commas + 1 - usize::from(last_was_comma)
+}
+
+// ---------------------------------------------------------------------------
+// Code generation
+// ---------------------------------------------------------------------------
+
+/// `impl<S: ::serde::Serialize> ::serde::Serialize for Name<S>` header parts.
+fn impl_header(item: &Item, trait_bound: &str, extra_lifetime: bool) -> (String, String) {
+    let lt = if extra_lifetime {
+        "'de".to_string()
+    } else {
+        String::new()
+    };
+    let mut params: Vec<String> = Vec::new();
+    if extra_lifetime {
+        params.push(lt);
+    }
+    for g in &item.generics {
+        params.push(format!("{g}: {trait_bound}"));
+    }
+    let impl_generics = if params.is_empty() {
+        String::new()
+    } else {
+        format!("<{}>", params.join(", "))
+    };
+    let ty_generics = if item.generics.is_empty() {
+        String::new()
+    } else {
+        format!("<{}>", item.generics.join(", "))
+    };
+    (impl_generics, ty_generics)
+}
+
+fn gen_serialize(item: &Item) -> String {
+    let name = &item.name;
+    let (impl_generics, ty_generics) = impl_header(item, "::serde::Serialize", false);
+    let body = match &item.shape {
+        Shape::Struct(fields) => {
+            let mut b = format!(
+                "let mut __st = ::serde::Serializer::serialize_struct(__serializer, \"{name}\", {}usize)?;\n",
+                fields.len()
+            );
+            for f in fields {
+                b.push_str(&format!(
+                    "::serde::ser::SerializeStruct::serialize_field(&mut __st, \"{f}\", &self.{f})?;\n"
+                ));
+            }
+            b.push_str("::serde::ser::SerializeStruct::end(__st)\n");
+            b
+        }
+        Shape::Enum(variants) => {
+            let mut arms = String::new();
+            for (idx, v) in variants.iter().enumerate() {
+                let vn = &v.name;
+                match &v.kind {
+                    VariantKind::Unit => arms.push_str(&format!(
+                        "{name}::{vn} => ::serde::Serializer::serialize_unit_variant(__serializer, \"{name}\", {idx}u32, \"{vn}\"),\n"
+                    )),
+                    VariantKind::Tuple(1) => arms.push_str(&format!(
+                        "{name}::{vn}(__f0) => ::serde::Serializer::serialize_newtype_variant(__serializer, \"{name}\", {idx}u32, \"{vn}\", __f0),\n"
+                    )),
+                    VariantKind::Tuple(arity) => {
+                        let binders: Vec<String> =
+                            (0..*arity).map(|k| format!("__f{k}")).collect();
+                        let mut arm = format!(
+                            "{name}::{vn}({}) => {{\nlet mut __tv = ::serde::Serializer::serialize_tuple_variant(__serializer, \"{name}\", {idx}u32, \"{vn}\", {arity}usize)?;\n",
+                            binders.join(", ")
+                        );
+                        for b in &binders {
+                            arm.push_str(&format!(
+                                "::serde::ser::SerializeTupleVariant::serialize_field(&mut __tv, {b})?;\n"
+                            ));
+                        }
+                        arm.push_str("::serde::ser::SerializeTupleVariant::end(__tv)\n}\n");
+                        arms.push_str(&arm);
+                    }
+                    VariantKind::Struct(fields) => {
+                        let binders = fields.join(", ");
+                        let mut arm = format!(
+                            "{name}::{vn} {{ {binders} }} => {{\nlet mut __sv = ::serde::Serializer::serialize_struct_variant(__serializer, \"{name}\", {idx}u32, \"{vn}\", {}usize)?;\n",
+                            fields.len()
+                        );
+                        for f in fields {
+                            arm.push_str(&format!(
+                                "::serde::ser::SerializeStructVariant::serialize_field(&mut __sv, \"{f}\", {f})?;\n"
+                            ));
+                        }
+                        arm.push_str("::serde::ser::SerializeStructVariant::end(__sv)\n}\n");
+                        arms.push_str(&arm);
+                    }
+                }
+            }
+            format!("match self {{\n{arms}}}\n")
+        }
+    };
+    format!(
+        "#[automatically_derived]\n\
+         impl{impl_generics} ::serde::Serialize for {name}{ty_generics} {{\n\
+         fn serialize<__S: ::serde::Serializer>(&self, __serializer: __S) -> ::core::result::Result<__S::Ok, __S::Error> {{\n\
+         {body}\n\
+         }}\n\
+         }}\n"
+    )
+}
+
+/// Expression deserializing `T` from the `Value` expression `$v`, mapping
+/// the concrete shim error into `__D::Error`.
+fn from_value_expr(v_expr: &str) -> String {
+    format!(
+        "::serde::de::from_value({v_expr}).map_err(|__e| <__D::Error as ::serde::de::Error>::custom(__e))?"
+    )
+}
+
+fn gen_deserialize(item: &Item) -> String {
+    let name = &item.name;
+    // `DeserializeOwned` (not `Deserialize<'de>`): nested fields flow
+    // through the owned `from_value`, which needs the for<'de> bound.
+    let (impl_generics, ty_generics) = impl_header(item, "::serde::de::DeserializeOwned", true);
+    let body = match &item.shape {
+        Shape::Struct(fields) => {
+            let mut ctor = String::new();
+            for f in fields {
+                let take = format!(
+                    "::serde::de::take_entry(&mut __m, \"{f}\").ok_or_else(|| <__D::Error as ::serde::de::Error>::custom(\"missing field `{f}` in `{name}`\"))?"
+                );
+                ctor.push_str(&format!("{f}: {},\n", from_value_expr(&take)));
+            }
+            format!(
+                "match __value {{\n\
+                 ::serde::Value::Map(mut __m) => ::core::result::Result::Ok({name} {{\n{ctor}}}),\n\
+                 _ => ::core::result::Result::Err(<__D::Error as ::serde::de::Error>::custom(\"expected a map for struct `{name}`\")),\n\
+                 }}"
+            )
+        }
+        Shape::Enum(variants) => {
+            let mut unit_arms = String::new();
+            let mut payload_arms = String::new();
+            for v in variants {
+                let vn = &v.name;
+                match &v.kind {
+                    VariantKind::Unit => unit_arms.push_str(&format!(
+                        "\"{vn}\" => ::core::result::Result::Ok({name}::{vn}),\n"
+                    )),
+                    VariantKind::Tuple(1) => payload_arms.push_str(&format!(
+                        "\"{vn}\" => ::core::result::Result::Ok({name}::{vn}({})),\n",
+                        from_value_expr("__payload")
+                    )),
+                    VariantKind::Tuple(arity) => {
+                        let mut fields = String::new();
+                        for k in 0..*arity {
+                            fields.push_str(&format!("{},\n", from_value_expr("__seq.remove(0)")));
+                            let _ = k;
+                        }
+                        payload_arms.push_str(&format!(
+                            "\"{vn}\" => match __payload {{\n\
+                             ::serde::Value::Seq(mut __seq) if __seq.len() == {arity} => ::core::result::Result::Ok({name}::{vn}(\n{fields})),\n\
+                             _ => ::core::result::Result::Err(<__D::Error as ::serde::de::Error>::custom(\"variant `{name}::{vn}` expects a sequence of {arity}\")),\n\
+                             }},\n"
+                        ));
+                    }
+                    VariantKind::Struct(fields) => {
+                        let mut ctor = String::new();
+                        for f in fields {
+                            let take = format!(
+                                "::serde::de::take_entry(&mut __m, \"{f}\").ok_or_else(|| <__D::Error as ::serde::de::Error>::custom(\"missing field `{f}` in `{name}::{vn}`\"))?"
+                            );
+                            ctor.push_str(&format!("{f}: {},\n", from_value_expr(&take)));
+                        }
+                        payload_arms.push_str(&format!(
+                            "\"{vn}\" => match __payload {{\n\
+                             ::serde::Value::Map(mut __m) => ::core::result::Result::Ok({name}::{vn} {{\n{ctor}}}),\n\
+                             _ => ::core::result::Result::Err(<__D::Error as ::serde::de::Error>::custom(\"variant `{name}::{vn}` expects a map\")),\n\
+                             }},\n"
+                        ));
+                    }
+                }
+            }
+            format!(
+                "match __value {{\n\
+                 ::serde::Value::Str(ref __s) => match __s.as_str() {{\n\
+                 {unit_arms}\
+                 __other => ::core::result::Result::Err(<__D::Error as ::serde::de::Error>::custom(::std::format!(\"unknown unit variant `{{__other}}` for enum `{name}`\"))),\n\
+                 }},\n\
+                 ::serde::Value::Map(mut __m) if __m.len() == 1 => {{\n\
+                 let (__tag, __payload) = __m.pop().expect(\"len checked\");\n\
+                 match __tag.as_str() {{\n\
+                 {payload_arms}\
+                 __other => ::core::result::Result::Err(<__D::Error as ::serde::de::Error>::custom(::std::format!(\"unknown variant `{{__other}}` for enum `{name}`\"))),\n\
+                 }}\n\
+                 }},\n\
+                 _ => ::core::result::Result::Err(<__D::Error as ::serde::de::Error>::custom(\"expected a string or single-entry map for enum `{name}`\")),\n\
+                 }}"
+            )
+        }
+    };
+    format!(
+        "#[automatically_derived]\n\
+         impl{impl_generics} ::serde::Deserialize<'de> for {name}{ty_generics} {{\n\
+         fn deserialize<__D: ::serde::Deserializer<'de>>(__deserializer: __D) -> ::core::result::Result<Self, __D::Error> {{\n\
+         let __value = ::serde::Deserializer::take_value(__deserializer)?;\n\
+         {body}\n\
+         }}\n\
+         }}\n"
+    )
+}

@@ -142,6 +142,9 @@ pub enum Expr {
     IntRange(i64, i64),
 }
 
+// Associated constructors, not operator impls: these build AST nodes from
+// owned children and are called by name in the translator.
+#[allow(clippy::should_implement_trait)]
 impl Expr {
     /// Variable reference shorthand.
     #[must_use]
@@ -286,10 +289,7 @@ mod tests {
         assert_eq!(Sort::Range(-2, 2).cardinality(), 5);
         assert_eq!(Sort::Range(-2, 2).values().len(), 5);
         assert_eq!(Sort::IntSet(vec![0, 5, 9]).cardinality(), 3);
-        assert_eq!(
-            Sort::IntSet(vec![7]).values(),
-            vec![Value::int(7)]
-        );
+        assert_eq!(Sort::IntSet(vec![7]).values(), vec![Value::int(7)]);
         assert_eq!(
             Sort::Boolean.values(),
             vec![Value::Bool(false), Value::Bool(true)]
@@ -309,9 +309,16 @@ mod tests {
         let e = Expr::add(Expr::var("a"), Expr::Int(1));
         assert_eq!(
             e,
-            Expr::Bin(BinOp::Add, Box::new(Expr::Var("a".into())), Box::new(Expr::Int(1)))
+            Expr::Bin(
+                BinOp::Add,
+                Box::new(Expr::Var("a".into())),
+                Box::new(Expr::Int(1))
+            )
         );
-        assert!(matches!(Expr::max(Expr::Int(0), Expr::var("z")), Expr::Max(_, _)));
+        assert!(matches!(
+            Expr::max(Expr::Int(0), Expr::var("z")),
+            Expr::Max(_, _)
+        ));
     }
 
     #[test]
@@ -328,9 +335,19 @@ mod tests {
     #[test]
     fn module_lookups() {
         let mut m = SmvModule::new("main");
-        m.vars.push(VarDecl { name: "n0".into(), sort: Sort::Range(-5, 5) });
-        m.defines.push(Define { name: "x0".into(), expr: Expr::Int(42) });
-        m.assigns.push(Assign { var: "n0".into(), init: Some(Expr::IntRange(-5, 5)), next: None });
+        m.vars.push(VarDecl {
+            name: "n0".into(),
+            sort: Sort::Range(-5, 5),
+        });
+        m.defines.push(Define {
+            name: "x0".into(),
+            expr: Expr::Int(42),
+        });
+        m.assigns.push(Assign {
+            var: "n0".into(),
+            init: Some(Expr::IntRange(-5, 5)),
+            next: None,
+        });
         assert!(m.var("n0").is_some());
         assert!(m.var("n1").is_none());
         assert!(m.define("x0").is_some());

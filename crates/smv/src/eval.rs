@@ -20,7 +20,9 @@ pub struct EvalError {
 
 impl EvalError {
     fn new(message: impl Into<String>) -> Self {
-        EvalError { message: message.into() }
+        EvalError {
+            message: message.into(),
+        }
     }
 
     /// Wraps an arbitrary message (used by the flattener to add context).
@@ -84,7 +86,9 @@ pub fn eval(expr: &Expr, env: &Env) -> Result<Value, EvalError> {
                     return eval(val, env);
                 }
             }
-            Err(EvalError::new("no case arm matched (missing TRUE default?)"))
+            Err(EvalError::new(
+                "no case arm matched (missing TRUE default?)",
+            ))
         }
         Expr::Set(_) | Expr::IntRange(_, _) => Err(EvalError::new(
             "nondeterministic expression has no single value; expand choices first",
@@ -157,8 +161,8 @@ fn apply_bin(op: BinOp, lhs: Value, rhs: Value) -> Result<Value, EvalError> {
 /// Returns [`EvalError`] if any define fails to evaluate.
 pub fn bind_defines(defines: &[Define], env: &mut Env) -> Result<(), EvalError> {
     for d in defines {
-        let v = eval(&d.expr, env)
-            .map_err(|e| EvalError::new(format!("in DEFINE {}: {e}", d.name)))?;
+        let v =
+            eval(&d.expr, env).map_err(|e| EvalError::new(format!("in DEFINE {}: {e}", d.name)))?;
         env.insert(d.name.clone(), v);
     }
     Ok(())
@@ -170,7 +174,10 @@ mod tests {
     use crate::parser::parse_expr;
 
     fn env(pairs: &[(&str, Value)]) -> Env {
-        pairs.iter().map(|(k, v)| ((*k).to_string(), v.clone())).collect()
+        pairs
+            .iter()
+            .map(|(k, v)| ((*k).to_string(), v.clone()))
+            .collect()
     }
 
     fn eval_str(src: &str, e: &Env) -> Result<Value, EvalError> {
@@ -221,16 +228,28 @@ mod tests {
     fn defines_bind_in_order() {
         let mut e = env(&[("n", Value::int(2))]);
         let defines = vec![
-            Define { name: "a".into(), expr: parse_expr("n * 10").unwrap() },
-            Define { name: "b".into(), expr: parse_expr("a + 1").unwrap() },
+            Define {
+                name: "a".into(),
+                expr: parse_expr("n * 10").unwrap(),
+            },
+            Define {
+                name: "b".into(),
+                expr: parse_expr("a + 1").unwrap(),
+            },
         ];
         bind_defines(&defines, &mut e).unwrap();
         assert_eq!(e["a"], Value::int(20));
         assert_eq!(e["b"], Value::int(21));
         // A define referencing a later define fails.
         let bad = vec![
-            Define { name: "p".into(), expr: parse_expr("q + 1").unwrap() },
-            Define { name: "q".into(), expr: parse_expr("1").unwrap() },
+            Define {
+                name: "p".into(),
+                expr: parse_expr("q + 1").unwrap(),
+            },
+            Define {
+                name: "q".into(),
+                expr: parse_expr("1").unwrap(),
+            },
         ];
         let mut e2 = Env::new();
         let err = bind_defines(&bad, &mut e2).unwrap_err();

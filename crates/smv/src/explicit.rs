@@ -52,10 +52,7 @@ impl InvariantResult {
 ///
 /// Returns [`EvalError`] if the spec fails to evaluate or is non-boolean in
 /// some state.
-pub fn check_invariant(
-    ts: &TransitionSystem,
-    spec: &Expr,
-) -> Result<InvariantResult, EvalError> {
+pub fn check_invariant(ts: &TransitionSystem, spec: &Expr) -> Result<InvariantResult, EvalError> {
     let mut visited = vec![false; ts.state_count()];
     let mut parent: Vec<Option<usize>> = vec![None; ts.state_count()];
     let mut queue = VecDeque::new();
@@ -107,9 +104,7 @@ pub fn check_invariant(
 /// # Errors
 ///
 /// Returns [`EvalError`] if any spec fails to evaluate.
-pub fn check_all_invariants(
-    ts: &TransitionSystem,
-) -> Result<Vec<InvariantResult>, EvalError> {
+pub fn check_all_invariants(ts: &TransitionSystem) -> Result<Vec<InvariantResult>, EvalError> {
     ts.module()
         .invarspecs
         .clone()
@@ -169,9 +164,7 @@ mod tests {
     #[test]
     fn unreachable_violations_do_not_count() {
         // Domain contains 2 but it is never reachable.
-        let ts = system(
-            "MODULE main\nVAR c : 0..2;\nASSIGN\n  init(c) := 0;\n  next(c) := 0;",
-        );
+        let ts = system("MODULE main\nVAR c : 0..2;\nASSIGN\n  init(c) := 0;\n  next(c) := 0;");
         let res = check_invariant(&ts, &parse_expr("c != 2").unwrap()).unwrap();
         assert!(res.holds());
         match res {

@@ -87,7 +87,10 @@ impl TransitionSystem {
             needed = needed.saturating_mul(v.sort.cardinality() as u128);
         }
         if needed > max_states as u128 {
-            return Err(FlattenError::TooManyStates { needed, limit: max_states });
+            return Err(FlattenError::TooManyStates {
+                needed,
+                limit: max_states,
+            });
         }
         let var_names: Vec<String> = module.vars.iter().map(|v| v.name.clone()).collect();
         let domains: Vec<Vec<Value>> = module.vars.iter().map(|v| v.sort.values()).collect();
@@ -107,7 +110,9 @@ impl TransitionSystem {
             };
             for c in &choices {
                 if !domain.contains(c) {
-                    return Err(FlattenError::OutOfDomain { var: v.name.clone() });
+                    return Err(FlattenError::OutOfDomain {
+                        var: v.name.clone(),
+                    });
                 }
             }
             init_choices.push(choices);
@@ -140,15 +145,14 @@ impl TransitionSystem {
                 };
                 for c in &choices {
                     if !domain.contains(c) {
-                        return Err(FlattenError::OutOfDomain { var: v.name.clone() });
+                        return Err(FlattenError::OutOfDomain {
+                            var: v.name.clone(),
+                        });
                     }
                 }
                 per_var.push(choices);
             }
-            let succ: Vec<usize> = cartesian(&per_var)
-                .into_iter()
-                .map(|s| index[&s])
-                .collect();
+            let succ: Vec<usize> = cartesian(&per_var).into_iter().map(|s| index[&s]).collect();
             successors.push(succ);
         }
 
@@ -326,10 +330,7 @@ mod tests {
 
     #[test]
     fn defines_label_states() {
-        let m = parse_module(
-            "MODULE main\nVAR n : -1..1;\nDEFINE doubled := 2 * n;",
-        )
-        .unwrap();
+        let m = parse_module("MODULE main\nVAR n : -1..1;\nDEFINE doubled := 2 * n;").unwrap();
         let ts = TransitionSystem::from_module(&m, 100).unwrap();
         for s in 0..ts.state_count() {
             let env = ts.state_env(s).unwrap();
@@ -357,16 +358,10 @@ mod tests {
 
     #[test]
     fn out_of_domain_assignment_rejected() {
-        let m = parse_module(
-            "MODULE main\nVAR c : 0..1;\nASSIGN\n  next(c) := c + 5;",
-        )
-        .unwrap();
+        let m = parse_module("MODULE main\nVAR c : 0..1;\nASSIGN\n  next(c) := c + 5;").unwrap();
         let err = TransitionSystem::from_module(&m, 100).unwrap_err();
         assert!(matches!(err, FlattenError::OutOfDomain { .. }));
-        let m2 = parse_module(
-            "MODULE main\nVAR c : 0..1;\nASSIGN\n  init(c) := 7;",
-        )
-        .unwrap();
+        let m2 = parse_module("MODULE main\nVAR c : 0..1;\nASSIGN\n  init(c) := 7;").unwrap();
         assert!(matches!(
             TransitionSystem::from_module(&m2, 100),
             Err(FlattenError::OutOfDomain { .. })

@@ -18,8 +18,8 @@
 //! INVARSPEC oc = Sx;                             -- P2
 //! ```
 
-use fannet_numeric::Rational;
 use fannet_nn::{Activation, Network};
+use fannet_numeric::Rational;
 
 use crate::ast::{Assign, Define, Expr, SmvModule, Sort, VarDecl};
 
@@ -52,7 +52,11 @@ impl TranslationConfig {
     /// A `±delta` translation without bias noise, module name `main`.
     #[must_use]
     pub fn symmetric(delta: i64) -> Self {
-        TranslationConfig { delta, bias_noise: false, module_name: "main".into() }
+        TranslationConfig {
+            delta,
+            bias_noise: false,
+            module_name: "main".into(),
+        }
     }
 }
 
@@ -131,7 +135,10 @@ pub fn network_to_smv(
                 Activation::ReLU => Expr::max(Expr::Int(0), sum),
                 Activation::Sigmoid => unreachable!("checked piecewise-linear above"),
             };
-            module.defines.push(Define { name: name.clone(), expr: body });
+            module.defines.push(Define {
+                name: name.clone(),
+                expr: body,
+            });
             names.push(name);
         }
         prev_names = names;
@@ -167,7 +174,10 @@ pub fn network_to_smv(
         }
         arms.push((cond.expect("≥2 outputs"), Expr::Int(i as i64)));
     }
-    module.defines.push(Define { name: "oc".into(), expr: Expr::Case(arms) });
+    module.defines.push(Define {
+        name: "oc".into(),
+        expr: Expr::Case(arms),
+    });
 
     // --- property P2 (P1 when delta = 0) ---------------------------------
     module

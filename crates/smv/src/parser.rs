@@ -22,7 +22,11 @@ pub struct ParseSmvError {
 
 impl fmt::Display for ParseSmvError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "smv parse error at {}:{}: {}", self.line, self.col, self.message)
+        write!(
+            f,
+            "smv parse error at {}:{}: {}",
+            self.line, self.col, self.message
+        )
     }
 }
 
@@ -79,7 +83,11 @@ fn lex(src: &str) -> Result<Vec<Spanned>, ParseSmvError> {
         let c = bytes[i];
         let (tline, tcol) = (line, col);
         let push = |tok: Tok, out: &mut Vec<Spanned>| {
-            out.push(Spanned { tok, line: tline, col: tcol });
+            out.push(Spanned {
+                tok,
+                line: tline,
+                col: tcol,
+            });
         };
         match c {
             '\n' => {
@@ -145,10 +153,14 @@ fn lex(src: &str) -> Result<Vec<Spanned>, ParseSmvError> {
                     col += 1;
                 }
                 let text: String = bytes[start..i].iter().collect();
-                let v: i64 = text
-                    .parse()
-                    .map_err(|_| err(&format!("integer literal `{text}` too large"), tline, tcol))?;
-                out.push(Spanned { tok: Tok::Int(v), line: tline, col: tcol });
+                let v: i64 = text.parse().map_err(|_| {
+                    err(&format!("integer literal `{text}` too large"), tline, tcol)
+                })?;
+                out.push(Spanned {
+                    tok: Tok::Int(v),
+                    line: tline,
+                    col: tcol,
+                });
                 continue;
             }
             c if c.is_ascii_alphabetic() || c == '_' => {
@@ -159,16 +171,18 @@ fn lex(src: &str) -> Result<Vec<Spanned>, ParseSmvError> {
                     // Identifiers with dots exist in full SMV; our subset
                     // allows plain idents only, but '.' here would be
                     // ambiguous with `..`, so stop before '..'.
-                    if bytes[i] == '.' {
-                        if i + 1 < bytes.len() && bytes[i + 1] == '.' {
-                            break;
-                        }
+                    if bytes[i] == '.' && i + 1 < bytes.len() && bytes[i + 1] == '.' {
+                        break;
                     }
                     i += 1;
                     col += 1;
                 }
                 let text: String = bytes[start..i].iter().collect();
-                out.push(Spanned { tok: Tok::Ident(text), line: tline, col: tcol });
+                out.push(Spanned {
+                    tok: Tok::Ident(text),
+                    line: tline,
+                    col: tcol,
+                });
                 continue;
             }
             other => return Err(err(&format!("unexpected character `{other}`"), line, col)),
@@ -198,7 +212,11 @@ impl Parser {
             .toks
             .get(self.pos.min(self.toks.len().saturating_sub(1)))
             .map_or((0, 0), |s| (s.line, s.col));
-        ParseSmvError { message: msg.into(), line, col }
+        ParseSmvError {
+            message: msg.into(),
+            line,
+            col,
+        }
     }
 
     fn bump(&mut self) -> Option<Tok> {
@@ -336,7 +354,9 @@ impl Parser {
         match self.peek() {
             Some(Tok::Minus) => {
                 // `-5..5` is a range literal, not negation of a range.
-                if let (Some(Tok::Int(lo)), Some(Tok::DotDot)) = (self.peek2(), self.toks.get(self.pos + 2).map(|s| &s.tok)) {
+                if let (Some(Tok::Int(lo)), Some(Tok::DotDot)) =
+                    (self.peek2(), self.toks.get(self.pos + 2).map(|s| &s.tok))
+                {
                     let lo = -lo;
                     self.pos += 3; // minus, int, dotdot
                     let hi = self.signed_int()?;
@@ -560,14 +580,8 @@ mod tests {
 
     #[test]
     fn rational_folding() {
-        assert_eq!(
-            parse_expr("3/4").unwrap(),
-            Expr::Rat(Rational::new(3, 4))
-        );
-        assert_eq!(
-            parse_expr("-3/4").unwrap(),
-            Expr::Rat(Rational::new(-3, 4))
-        );
+        assert_eq!(parse_expr("3/4").unwrap(), Expr::Rat(Rational::new(3, 4)));
+        assert_eq!(parse_expr("-3/4").unwrap(), Expr::Rat(Rational::new(-3, 4)));
         // Non-constant division is preserved.
         assert!(matches!(
             parse_expr("x / 100").unwrap(),
@@ -647,7 +661,10 @@ INVARSPEC oc = 0;
         assert!(parse_expr("1 +").is_err());
         assert!(parse_expr("max(1)").is_err());
         assert!(parse_expr("1 2").is_err(), "trailing tokens rejected");
-        assert!(parse_module("VAR x : boolean;").is_err(), "must start with MODULE");
+        assert!(
+            parse_module("VAR x : boolean;").is_err(),
+            "must start with MODULE"
+        );
     }
 
     #[test]

@@ -72,11 +72,19 @@ fn print_prec(expr: &Expr, parent: u8) -> String {
         Expr::Var(name) => name.clone(),
         Expr::Neg(inner) => {
             let s = format!("-{}", print_prec(inner, 6));
-            if parent > 5 { format!("({s})") } else { s }
+            if parent > 5 {
+                format!("({s})")
+            } else {
+                s
+            }
         }
         Expr::Not(inner) => {
             let s = format!("!{}", print_prec(inner, 6));
-            if parent > 5 { format!("({s})") } else { s }
+            if parent > 5 {
+                format!("({s})")
+            } else {
+                s
+            }
         }
         Expr::Bin(op, a, b) => {
             let p = precedence(*op);
@@ -244,11 +252,17 @@ mod tests {
     #[test]
     fn whole_module() {
         let mut m = SmvModule::new("main");
-        m.vars.push(VarDecl { name: "noise_0".into(), sort: Sort::Range(-1, 1) });
+        m.vars.push(VarDecl {
+            name: "noise_0".into(),
+            sort: Sort::Range(-1, 1),
+        });
         m.defines.push(Define {
             name: "x_0".into(),
             expr: Expr::div(
-                Expr::mul(Expr::Int(1234), Expr::add(Expr::Int(100), Expr::var("noise_0"))),
+                Expr::mul(
+                    Expr::Int(1234),
+                    Expr::add(Expr::Int(100), Expr::var("noise_0")),
+                ),
                 Expr::Int(100),
             ),
         });

@@ -36,7 +36,9 @@ impl PaperFsm {
     /// network (`labels` of them) — Fig. 3b.
     #[must_use]
     pub fn without_noise(labels: usize) -> Self {
-        PaperFsm { configurations: labels as u128 }
+        PaperFsm {
+            configurations: labels as u128,
+        }
     }
 
     /// FSM whose configurations are the noise assignments: one value from
@@ -101,7 +103,11 @@ pub fn growth_table(deltas: &[u32], nodes: usize) -> Vec<GrowthRow> {
         .iter()
         .map(|&delta| {
             let fsm = PaperFsm::with_symmetric_noise(delta, nodes);
-            GrowthRow { delta, states: fsm.states(), transitions: fsm.transitions() }
+            GrowthRow {
+                delta,
+                states: fsm.states(),
+                transitions: fsm.transitions(),
+            }
         })
         .collect()
 }
@@ -137,8 +143,7 @@ mod tests {
         for k in 0..6 {
             src.push_str(&format!("  n{k} : 0..1;\n"));
         }
-        let ts =
-            TransitionSystem::from_module(&parse_module(&src).unwrap(), 1 << 20).unwrap();
+        let ts = TransitionSystem::from_module(&parse_module(&src).unwrap(), 1 << 20).unwrap();
         let fsm = PaperFsm::with_noise(2, 6);
         assert_eq!(fsm.configurations(), ts.state_count() as u128);
         assert_eq!(

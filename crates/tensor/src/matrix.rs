@@ -24,7 +24,9 @@ impl ShapeError {
     /// own shape mismatches through the same error type.
     #[must_use]
     pub fn new(message: impl Into<String>) -> Self {
-        ShapeError { message: message.into() }
+        ShapeError {
+            message: message.into(),
+        }
     }
 }
 
@@ -60,7 +62,11 @@ impl<S: Scalar> Matrix<S> {
     /// Creates a matrix of zeros.
     #[must_use]
     pub fn zeros(rows: usize, cols: usize) -> Self {
-        Matrix { rows, cols, data: vec![S::zero(); rows * cols] }
+        Matrix {
+            rows,
+            cols,
+            data: vec![S::zero(); rows * cols],
+        }
     }
 
     /// Creates a matrix from a flat row-major buffer.
@@ -102,7 +108,11 @@ impl<S: Scalar> Matrix<S> {
             }
             data.extend(row);
         }
-        Ok(Matrix { rows: nrows, cols: ncols, data })
+        Ok(Matrix {
+            rows: nrows,
+            cols: ncols,
+            data,
+        })
     }
 
     /// The identity matrix of size `n × n`.
@@ -146,7 +156,11 @@ impl<S: Scalar> Matrix<S> {
     /// Panics if `r >= self.rows()`.
     #[must_use]
     pub fn row(&self, r: usize) -> &[S] {
-        assert!(r < self.rows, "row index {r} out of bounds for {} rows", self.rows);
+        assert!(
+            r < self.rows,
+            "row index {r} out of bounds for {} rows",
+            self.rows
+        );
         &self.data[r * self.cols..(r + 1) * self.cols]
     }
 
@@ -248,7 +262,12 @@ impl<S: Scalar> Matrix<S> {
         Ok(Matrix {
             rows: self.rows,
             cols: self.cols,
-            data: self.data.iter().zip(&rhs.data).map(|(a, b)| *a + *b).collect(),
+            data: self
+                .data
+                .iter()
+                .zip(&rhs.data)
+                .map(|(a, b)| *a + *b)
+                .collect(),
         })
     }
 
@@ -442,7 +461,9 @@ mod tests {
             vec![Rational::new(-1, 4), Rational::new(2, 5)],
         ])
         .unwrap();
-        let y = m.matvec(&[Rational::from_integer(6), Rational::from_integer(15)]).unwrap();
+        let y = m
+            .matvec(&[Rational::from_integer(6), Rational::from_integer(15)])
+            .unwrap();
         assert_eq!(y, vec![Rational::from_integer(8), Rational::new(9, 2)]);
     }
 

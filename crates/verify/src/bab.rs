@@ -8,8 +8,11 @@
 //!
 //! The algorithm is classic interval branch-and-bound:
 //!
-//! 1. propagate the region through the network
-//!    ([`propagate::output_intervals`]);
+//! 1. propagate the region through the network — first through the cheap
+//!    outward-rounded `f64` shadow ([`propagate::FloatShadow`], DESIGN.md
+//!    §6) when screening is enabled, falling back to exact
+//!    [`propagate::output_intervals`] only when the float tier returns
+//!    `Unknown`;
 //! 2. if the enclosure proves the box *always correct*, prune it (for
 //!    counterexample search, a fully-correct box cannot contain any
 //!    counterexample, excluded or not);
@@ -19,21 +22,134 @@
 //! 4. otherwise split the widest dimension and recurse; singleton boxes are
 //!    decided by exact rational evaluation ([`exact`]).
 //!
-//! Every verdict is exact: interval propagation is sound (step 2/3 verdicts
-//! are proofs) and singleton fallback is ground truth, so the procedure is
-//! **sound and complete over the integer noise grid** — the same finite
-//! state space the paper's model checker explores. Completeness holds
-//! because splitting strictly shrinks boxes, terminating at singletons.
+//! Every verdict is exact: both interval tiers are sound (step 2/3 verdicts
+//! are proofs — the float tier *over-approximates* the exact one, see
+//! [`propagate::classify_box_float`]) and singleton fallback is ground
+//! truth, so the procedure is **sound and complete over the integer noise
+//! grid** — the same finite state space the paper's model checker explores.
+//! Completeness holds because splitting strictly shrinks boxes, terminating
+//! at singletons.
+//!
+//! ## Parallel search
+//!
+//! [`CheckerConfig::threads`] > 1 runs the same search as a work-stealing
+//! parallel exploration (DESIGN.md §7): workers keep a private LIFO stack
+//! and overflow halves into a shared steal pool. Each box carries its DFS
+//! *path key* (the left/right split choices from the root), and a found
+//! counterexample only wins if no candidate with a lexicographically
+//! smaller path exists — which reproduces the serial first-counterexample
+//! order exactly, so serial, screened and parallel modes return the
+//! identical counterexample.
 
-use fannet_numeric::Rational;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering as AtomicOrdering};
+use std::sync::{Condvar, Mutex};
+
 use fannet_nn::Network;
+use fannet_numeric::{FloatInterval, Rational};
 use fannet_tensor::ShapeError;
 use serde::{Deserialize, Serialize};
 
 use crate::exact;
 use crate::noise::{ExclusionSet, NoiseVector};
-use crate::propagate::{classify_box, output_intervals, BoxVerdict};
+use crate::propagate::{
+    classify_box, classify_box_float, output_intervals, BoxVerdict, FloatShadow,
+};
 use crate::region::NoiseRegion;
+
+/// Environment variable overriding the default worker count.
+pub const THREADS_ENV: &str = "FANNET_THREADS";
+
+/// How a region check runs: which tiers are active and how many workers
+/// explore the box tree.
+///
+/// All configurations decide the *same* property with the *same* outcome
+/// and counterexample (enforced by `tests/checker_cross_validation.rs`);
+/// they differ only in wall-clock cost.
+///
+/// # Examples
+///
+/// ```
+/// use fannet_verify::bab::CheckerConfig;
+///
+/// assert_eq!(CheckerConfig::serial_exact().threads, 1);
+/// assert!(CheckerConfig::fast().screening);
+/// assert!(CheckerConfig::fast().threads >= 1);
+/// assert_eq!(CheckerConfig::screened().with_threads(4).threads, 4);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CheckerConfig {
+    /// Route each box through the outward-rounded `f64` shadow network
+    /// first, using exact rational propagation only for boxes the float
+    /// tier cannot decide.
+    pub screening: bool,
+    /// Worker threads exploring the box tree (`1` = serial).
+    pub threads: usize,
+}
+
+impl CheckerConfig {
+    /// The seed baseline: single-threaded, exact propagation only.
+    #[must_use]
+    pub fn serial_exact() -> Self {
+        CheckerConfig {
+            screening: false,
+            threads: 1,
+        }
+    }
+
+    /// Single-threaded with float screening.
+    #[must_use]
+    pub fn screened() -> Self {
+        CheckerConfig {
+            screening: true,
+            threads: 1,
+        }
+    }
+
+    /// Parallel exact propagation (no screening).
+    #[must_use]
+    pub fn parallel() -> Self {
+        CheckerConfig {
+            screening: false,
+            threads: default_threads(),
+        }
+    }
+
+    /// Screening + parallel search: the production configuration.
+    #[must_use]
+    pub fn fast() -> Self {
+        CheckerConfig {
+            screening: true,
+            threads: default_threads(),
+        }
+    }
+
+    /// Overrides the worker count (`0` is clamped to 1).
+    #[must_use]
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads.max(1);
+        self
+    }
+}
+
+impl Default for CheckerConfig {
+    /// [`CheckerConfig::fast`]: screening on, all cores.
+    fn default() -> Self {
+        CheckerConfig::fast()
+    }
+}
+
+/// Worker count used by the parallel presets: the `FANNET_THREADS`
+/// environment variable when set (clamped to ≥ 1), otherwise the machine's
+/// available parallelism.
+#[must_use]
+pub fn default_threads() -> usize {
+    if let Ok(v) = std::env::var(THREADS_ENV) {
+        if let Ok(n) = v.trim().parse::<usize>() {
+            return n.max(1);
+        }
+    }
+    std::thread::available_parallelism().map_or(1, |n| n.get())
+}
 
 /// Search statistics, exposed for the checker-ablation bench (A2) and for
 /// state-space-growth reporting.
@@ -41,14 +157,44 @@ use crate::region::NoiseRegion;
 pub struct BabStats {
     /// Boxes taken off the work stack.
     pub boxes_visited: u64,
-    /// Boxes proven uniformly correct by interval propagation.
+    /// Boxes proven uniformly correct by interval propagation (either tier).
     pub pruned_correct: u64,
-    /// Boxes proven uniformly wrong by interval propagation.
+    /// Boxes proven uniformly wrong by interval propagation (either tier).
     pub proved_wrong: u64,
     /// Singleton boxes decided by exact evaluation.
     pub exact_evals: u64,
     /// Splits performed.
     pub splits: u64,
+    /// Boxes resolved by the float screen alone (no exact propagation).
+    pub screen_hits: u64,
+    /// Boxes where the float screen returned `Unknown` and the checker
+    /// fell back to exact rational propagation.
+    pub screen_fallbacks: u64,
+}
+
+impl BabStats {
+    /// Accumulates another run's counters into `self`.
+    pub fn merge(&mut self, other: &BabStats) {
+        self.boxes_visited += other.boxes_visited;
+        self.pruned_correct += other.pruned_correct;
+        self.proved_wrong += other.proved_wrong;
+        self.exact_evals += other.exact_evals;
+        self.splits += other.splits;
+        self.screen_hits += other.screen_hits;
+        self.screen_fallbacks += other.screen_fallbacks;
+    }
+
+    /// Fraction of screened boxes the float tier decided on its own;
+    /// `None` when screening never ran.
+    #[must_use]
+    pub fn screen_hit_rate(&self) -> Option<f64> {
+        let screened = self.screen_hits + self.screen_fallbacks;
+        if screened == 0 {
+            None
+        } else {
+            Some(self.screen_hits as f64 / screened as f64)
+        }
+    }
 }
 
 /// Outcome of a region check.
@@ -78,10 +224,14 @@ impl RegionOutcome {
     }
 }
 
-/// Checks property P2 on `region`: does any noise vector (not in
-/// `excluded`) flip the classification of `x` away from `label`?
+/// Checks property P2 on `region` with the seed's serial-exact
+/// configuration: does any noise vector (not in `excluded`) flip the
+/// classification of `x` away from `label`?
 ///
-/// Returns the outcome together with search statistics.
+/// Returns the outcome together with search statistics. This is the
+/// baseline the faster configurations are cross-validated against; use
+/// [`check_region_with`] + [`CheckerConfig::fast`] for the screened
+/// parallel checker.
 ///
 /// # Errors
 ///
@@ -123,55 +273,174 @@ pub fn check_region(
     region: &NoiseRegion,
     excluded: &ExclusionSet,
 ) -> Result<(RegionOutcome, BabStats), ShapeError> {
-    assert!(label < net.outputs(), "label {label} out of range");
-    let mut stats = BabStats::default();
-    // DFS over sub-boxes; LIFO keeps memory at O(depth · nodes).
-    let mut stack = vec![region.clone()];
-
-    while let Some(current) = stack.pop() {
-        stats.boxes_visited += 1;
-
-        if current.is_point() {
-            stats.exact_evals += 1;
-            let nv = current.to_vector();
-            if excluded.contains(&nv) {
-                continue;
-            }
-            if let Some(ce) = exact::witness(net, x, label, &nv)? {
-                return Ok((RegionOutcome::Counterexample(ce), stats));
-            }
-            continue;
-        }
-
-        let enclosure = output_intervals(net, x, &current)?;
-        match classify_box(&enclosure, label) {
-            BoxVerdict::AlwaysCorrect => {
-                stats.pruned_correct += 1;
-            }
-            BoxVerdict::AlwaysWrong => {
-                stats.proved_wrong += 1;
-                // Every grid point misclassifies; emit the first fresh one.
-                if let Some(nv) = first_not_excluded(&current, excluded) {
-                    let ce = exact::witness(net, x, label, &nv)?
-                        .expect("interval proof of misclassification is sound");
-                    return Ok((RegionOutcome::Counterexample(ce), stats));
-                }
-                // Entire box already extracted — nothing fresh here.
-            }
-            BoxVerdict::Unknown => {
-                stats.splits += 1;
-                let (a, b) = current.split().expect("non-point boxes split");
-                // Push the right half first so the left (more-negative)
-                // half is explored first — deterministic CE order.
-                stack.push(b);
-                stack.push(a);
-            }
-        }
-    }
-    Ok((RegionOutcome::Robust, stats))
+    check_region_with(
+        net,
+        x,
+        label,
+        region,
+        excluded,
+        &CheckerConfig::serial_exact(),
+    )
 }
 
-/// Convenience wrapper: P2 without any exclusions.
+/// [`check_region`] under an explicit [`CheckerConfig`] — the entry point
+/// of the two-tier, optionally parallel checker.
+///
+/// # Errors
+///
+/// Returns [`ShapeError`] if input/region/network widths disagree.
+///
+/// # Panics
+///
+/// Panics if the network is not piecewise-linear or `label` is out of
+/// range.
+pub fn check_region_with(
+    net: &Network<Rational>,
+    x: &[Rational],
+    label: usize,
+    region: &NoiseRegion,
+    excluded: &ExclusionSet,
+    config: &CheckerConfig,
+) -> Result<(RegionOutcome, BabStats), ShapeError> {
+    RegionChecker::new(net, config.clone()).check_region(x, label, region, excluded)
+}
+
+/// A reusable query handle: the network plus its float shadow, built
+/// **once** and shared across any number of queries (and across threads —
+/// the handle is `Sync`).
+///
+/// The analyses in `fannet-core` issue thousands of P2/P3 queries against
+/// the same network; constructing one `RegionChecker` up front amortizes
+/// the shadow construction over all of them. The free functions
+/// ([`check_region_with`] etc.) remain as one-shot conveniences.
+#[derive(Debug, Clone)]
+pub struct RegionChecker<'n> {
+    net: &'n Network<Rational>,
+    config: CheckerConfig,
+    shadow: Option<FloatShadow>,
+}
+
+impl<'n> RegionChecker<'n> {
+    /// Builds the handle; the float shadow is constructed here iff
+    /// `config.screening`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if screening is requested and the network is not
+    /// piecewise-linear.
+    #[must_use]
+    pub fn new(net: &'n Network<Rational>, config: CheckerConfig) -> Self {
+        let shadow = config.screening.then(|| FloatShadow::new(net));
+        RegionChecker {
+            net,
+            config,
+            shadow,
+        }
+    }
+
+    /// The configuration this handle runs under.
+    #[must_use]
+    pub fn config(&self) -> &CheckerConfig {
+        &self.config
+    }
+
+    /// The network this handle queries.
+    #[must_use]
+    pub fn network(&self) -> &'n Network<Rational> {
+        self.net
+    }
+
+    /// [`check_region`] through this handle (see the free function for
+    /// semantics).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ShapeError`] if input/region/network widths disagree.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `label` is out of range.
+    pub fn check_region(
+        &self,
+        x: &[Rational],
+        label: usize,
+        region: &NoiseRegion,
+        excluded: &ExclusionSet,
+    ) -> Result<(RegionOutcome, BabStats), ShapeError> {
+        assert!(label < self.net.outputs(), "label {label} out of range");
+        validate_widths(self.net, x, region)?;
+        let ctx = QueryContext::new(self.net, x, label, excluded, self.shadow.as_ref());
+        if self.config.threads <= 1 {
+            Ok(check_serial(&ctx, region))
+        } else {
+            Ok(check_parallel(&ctx, region, self.config.threads))
+        }
+    }
+
+    /// [`collect_region_counterexamples`] through this handle (see the
+    /// free function for semantics; only `screening` is honoured here).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ShapeError`] if input/region/network widths disagree.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `label` is out of range or `cap == 0`.
+    pub fn collect_region_counterexamples(
+        &self,
+        x: &[Rational],
+        label: usize,
+        region: &NoiseRegion,
+        cap: usize,
+    ) -> Result<(Vec<exact::Counterexample>, bool, BabStats), ShapeError> {
+        assert!(label < self.net.outputs(), "label {label} out of range");
+        assert!(cap > 0, "cap must be positive");
+        validate_widths(self.net, x, region)?;
+        let excluded = ExclusionSet::new();
+        let ctx = QueryContext::new(self.net, x, label, &excluded, self.shadow.as_ref());
+        let mut stats = BabStats::default();
+        let mut found = Vec::new();
+        let mut stack = vec![region.clone()];
+
+        while let Some(current) = stack.pop() {
+            stats.boxes_visited += 1;
+            match ctx.decide_box(&current, &mut stats) {
+                BoxDecision::Pruned => {}
+                BoxDecision::PointCounterexample(ce) => {
+                    found.push(ce);
+                    if found.len() == cap {
+                        return Ok((found, false, stats));
+                    }
+                }
+                BoxDecision::UniformWrong(first) => {
+                    // With an empty exclusion set the uniform witness is
+                    // the box's first grid point; the remaining points all
+                    // misclassify too (interval proof).
+                    found.push(first);
+                    if found.len() == cap {
+                        return Ok((found, false, stats));
+                    }
+                    for nv in current.iter_points().skip(1) {
+                        let ce = exact::witness(self.net, x, label, &nv)?
+                            .expect("interval proof of misclassification is sound");
+                        found.push(ce);
+                        if found.len() == cap {
+                            return Ok((found, false, stats));
+                        }
+                    }
+                }
+                BoxDecision::Split(a, b) => {
+                    stack.push(b);
+                    stack.push(a);
+                }
+            }
+        }
+        Ok((found, true, stats))
+    }
+}
+
+/// Convenience wrapper: P2 without any exclusions (serial-exact baseline).
 ///
 /// # Errors
 ///
@@ -183,6 +452,21 @@ pub fn find_counterexample(
     region: &NoiseRegion,
 ) -> Result<(RegionOutcome, BabStats), ShapeError> {
     check_region(net, x, label, region, &ExclusionSet::new())
+}
+
+/// [`find_counterexample`] under an explicit configuration.
+///
+/// # Errors
+///
+/// Returns [`ShapeError`] if widths disagree.
+pub fn find_counterexample_with(
+    net: &Network<Rational>,
+    x: &[Rational],
+    label: usize,
+    region: &NoiseRegion,
+    config: &CheckerConfig,
+) -> Result<(RegionOutcome, BabStats), ShapeError> {
+    check_region_with(net, x, label, region, &ExclusionSet::new(), config)
 }
 
 /// Exhaustive grid enumeration of the same property — exponentially slower
@@ -218,7 +502,7 @@ fn first_not_excluded(region: &NoiseRegion, excluded: &ExclusionSet) -> Option<N
 }
 
 /// Collects up to `cap` distinct counterexamples in a **single**
-/// branch-and-bound pass.
+/// branch-and-bound pass (serial-exact baseline).
 ///
 /// Semantically equivalent to running the P3 restart loop
 /// ([`crate::enumerate::CounterexampleEnumerator`]) `cap` times, but each
@@ -242,51 +526,405 @@ pub fn collect_region_counterexamples(
     region: &NoiseRegion,
     cap: usize,
 ) -> Result<(Vec<exact::Counterexample>, bool, BabStats), ShapeError> {
-    assert!(label < net.outputs(), "label {label} out of range");
-    assert!(cap > 0, "cap must be positive");
-    let mut stats = BabStats::default();
-    let mut found = Vec::new();
-    let mut stack = vec![region.clone()];
+    collect_region_counterexamples_with(net, x, label, region, cap, &CheckerConfig::serial_exact())
+}
 
-    while let Some(current) = stack.pop() {
-        stats.boxes_visited += 1;
+/// [`collect_region_counterexamples`] with optional float screening.
+///
+/// Collection order is the serial DFS order, so results are identical
+/// across configurations. Only `config.screening` is honoured here —
+/// collection itself stays single-threaded because analyses parallelize
+/// one level up, across inputs (`fannet-core`'s `par_` layer), which keeps
+/// every worker saturated without reordering extracted vectors.
+///
+/// # Errors
+///
+/// Returns [`ShapeError`] if input/region/network widths disagree.
+///
+/// # Panics
+///
+/// Panics if the network is not piecewise-linear, `label` is out of range,
+/// or `cap == 0`.
+pub fn collect_region_counterexamples_with(
+    net: &Network<Rational>,
+    x: &[Rational],
+    label: usize,
+    region: &NoiseRegion,
+    cap: usize,
+    config: &CheckerConfig,
+) -> Result<(Vec<exact::Counterexample>, bool, BabStats), ShapeError> {
+    RegionChecker::new(net, config.clone()).collect_region_counterexamples(x, label, region, cap)
+}
+
+// ---------------------------------------------------------------------------
+// Shared query machinery
+// ---------------------------------------------------------------------------
+
+fn validate_widths(
+    net: &Network<Rational>,
+    x: &[Rational],
+    region: &NoiseRegion,
+) -> Result<(), ShapeError> {
+    if x.len() != net.inputs() {
+        return Err(ShapeError::new(format!(
+            "input of width {} against network with {} inputs",
+            x.len(),
+            net.inputs()
+        )));
+    }
+    if region.nodes() != net.inputs() {
+        return Err(ShapeError::new(format!(
+            "noise region over {} nodes against network with {} inputs",
+            region.nodes(),
+            net.inputs()
+        )));
+    }
+    Ok(())
+}
+
+/// Everything immutable a worker needs to decide boxes for one query.
+struct QueryContext<'a> {
+    net: &'a Network<Rational>,
+    x: &'a [Rational],
+    label: usize,
+    excluded: &'a ExclusionSet,
+    /// `Some` iff screening is enabled: the (borrowed, per-network) float
+    /// shadow plus the per-query input enclosure.
+    shadow: Option<(&'a FloatShadow, Vec<FloatInterval>)>,
+}
+
+/// How one box was resolved.
+enum BoxDecision {
+    /// Proven free of (fresh) counterexamples — or a point that classifies
+    /// correctly / is excluded.
+    Pruned,
+    /// A singleton grid point that misclassifies.
+    PointCounterexample(exact::Counterexample),
+    /// Interval proof that every grid point misclassifies; carries the
+    /// lexicographically first non-excluded witness. `Pruned` is returned
+    /// instead when the whole box is excluded.
+    UniformWrong(exact::Counterexample),
+    /// Undecided: the two halves to recurse into.
+    Split(NoiseRegion, NoiseRegion),
+}
+
+impl<'a> QueryContext<'a> {
+    fn new(
+        net: &'a Network<Rational>,
+        x: &'a [Rational],
+        label: usize,
+        excluded: &'a ExclusionSet,
+        shadow: Option<&'a FloatShadow>,
+    ) -> Self {
+        let shadow = shadow.map(|s| (s, FloatShadow::enclose_input(x)));
+        QueryContext {
+            net,
+            x,
+            label,
+            excluded,
+            shadow,
+        }
+    }
+
+    /// Classifies one box through the active tiers, updating `stats`.
+    ///
+    /// A box counts as a `screen_hit` when the float tier made the exact
+    /// tier unnecessary, and as a `screen_fallback` when exact work still
+    /// had to run. Widths were validated at query entry, so propagation
+    /// cannot fail.
+    fn decide_box(&self, current: &NoiseRegion, stats: &mut BabStats) -> BoxDecision {
+        // Tier 1: float screen (sound by over-approximation).
+        let mut verdict = BoxVerdict::Unknown;
+        if let Some((shadow, xf)) = &self.shadow {
+            verdict = classify_box_float(&shadow.output_intervals(xf, current), self.label);
+        }
+        let screened = self.shadow.is_some();
 
         if current.is_point() {
-            stats.exact_evals += 1;
-            if let Some(ce) = exact::witness(net, x, label, &current.to_vector())? {
-                found.push(ce);
-                if found.len() == cap {
-                    return Ok((found, false, stats));
-                }
+            // The float tier can prove a point correct and skip the exact
+            // forward pass; everything else needs the exact evaluation
+            // anyway (a counterexample record carries exact outputs).
+            if verdict == BoxVerdict::AlwaysCorrect {
+                stats.screen_hits += 1;
+                stats.pruned_correct += 1;
+                return BoxDecision::Pruned;
             }
-            continue;
+            if screened {
+                stats.screen_fallbacks += 1;
+            }
+            stats.exact_evals += 1;
+            let nv = current.to_vector();
+            if self.excluded.contains(&nv) {
+                return BoxDecision::Pruned;
+            }
+            return match exact::witness(self.net, self.x, self.label, &nv)
+                .expect("widths validated at query entry")
+            {
+                Some(ce) => BoxDecision::PointCounterexample(ce),
+                None => BoxDecision::Pruned,
+            };
         }
 
-        let enclosure = output_intervals(net, x, &current)?;
-        match classify_box(&enclosure, label) {
+        // Tier 2: exact propagation when the screen could not decide.
+        if screened {
+            if verdict == BoxVerdict::Unknown {
+                stats.screen_fallbacks += 1;
+            } else {
+                stats.screen_hits += 1;
+            }
+        }
+        if verdict == BoxVerdict::Unknown {
+            let enclosure = output_intervals(self.net, self.x, current)
+                .expect("widths validated at query entry");
+            verdict = classify_box(&enclosure, self.label);
+        }
+
+        match verdict {
             BoxVerdict::AlwaysCorrect => {
                 stats.pruned_correct += 1;
+                BoxDecision::Pruned
             }
             BoxVerdict::AlwaysWrong => {
                 stats.proved_wrong += 1;
-                for nv in current.iter_points() {
-                    let ce = exact::witness(net, x, label, &nv)?
-                        .expect("interval proof of misclassification is sound");
-                    found.push(ce);
-                    if found.len() == cap {
-                        return Ok((found, false, stats));
+                // Every grid point misclassifies; emit the first fresh one.
+                match first_not_excluded(current, self.excluded) {
+                    Some(nv) => {
+                        let ce = exact::witness(self.net, self.x, self.label, &nv)
+                            .expect("widths validated at query entry")
+                            .expect("interval proof of misclassification is sound");
+                        BoxDecision::UniformWrong(ce)
                     }
+                    // Entire box already extracted — nothing fresh here.
+                    None => BoxDecision::Pruned,
                 }
             }
             BoxVerdict::Unknown => {
                 stats.splits += 1;
                 let (a, b) = current.split().expect("non-point boxes split");
+                BoxDecision::Split(a, b)
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Serial engine
+// ---------------------------------------------------------------------------
+
+fn check_serial(ctx: &QueryContext<'_>, region: &NoiseRegion) -> (RegionOutcome, BabStats) {
+    let mut stats = BabStats::default();
+    // DFS over sub-boxes; LIFO keeps memory at O(depth · nodes).
+    let mut stack = vec![region.clone()];
+
+    while let Some(current) = stack.pop() {
+        stats.boxes_visited += 1;
+        match ctx.decide_box(&current, &mut stats) {
+            BoxDecision::Pruned => {}
+            BoxDecision::PointCounterexample(ce) | BoxDecision::UniformWrong(ce) => {
+                return (RegionOutcome::Counterexample(ce), stats);
+            }
+            BoxDecision::Split(a, b) => {
+                // Push the right half first so the left (more-negative)
+                // half is explored first — deterministic CE order.
                 stack.push(b);
                 stack.push(a);
             }
         }
     }
-    Ok((found, true, stats))
+    (RegionOutcome::Robust, stats)
+}
+
+// ---------------------------------------------------------------------------
+// Parallel engine (DESIGN.md §7)
+// ---------------------------------------------------------------------------
+
+/// A box plus its DFS path from the root (`0` = left child, `1` = right).
+///
+/// Decided boxes are leaves of the explored tree, so their paths are
+/// prefix-free and lexicographic path order is exactly serial DFS
+/// pre-order — the key to deterministic first-counterexample semantics.
+struct Work {
+    region: NoiseRegion,
+    path: Vec<u8>,
+}
+
+/// Shared state of one parallel region check.
+struct ParallelSearch {
+    /// Steal pool: idle workers pop from here; busy workers donate the
+    /// sibling of every split while the pool runs low.
+    pool: Mutex<Vec<Work>>,
+    /// Parks idle workers; notified when work arrives, when the last box
+    /// completes, and when a sibling worker panics.
+    available: Condvar,
+    /// Boxes queued or in flight; `0` means the whole tree is explored.
+    pending: AtomicUsize,
+    /// Set when a worker panics so its siblings stop instead of waiting
+    /// forever on `pending` (the dying worker can no longer decrement it).
+    abort: AtomicBool,
+    /// Best (lexicographically-first-path) counterexample found so far.
+    best: Mutex<Option<(Vec<u8>, exact::Counterexample)>>,
+    /// Per-worker stats, merged once at each worker's exit.
+    stats: Mutex<BabStats>,
+}
+
+impl ParallelSearch {
+    /// Records a candidate CE; keeps the smaller path on conflict.
+    fn offer(&self, path: Vec<u8>, ce: exact::Counterexample) {
+        let mut best = self.best.lock().expect("search mutex poisoned");
+        match &*best {
+            Some((existing, _)) if *existing <= path => {}
+            _ => *best = Some((path, ce)),
+        }
+    }
+
+    /// `true` once `path` can no longer influence the outcome: a candidate
+    /// with a smaller (or equal-prefix) path already exists.
+    ///
+    /// A candidate only *loses* to boxes with strictly smaller paths, so
+    /// anything ≥ the current best path is dead work.
+    fn is_dead(&self, path: &[u8]) -> bool {
+        let best = self.best.lock().expect("search mutex poisoned");
+        matches!(&*best, Some((winning, _)) if winning.as_slice() <= path)
+    }
+
+    /// Marks one box fully processed; wakes every parked worker when it
+    /// was the last (taking the pool lock first so no waiter can miss the
+    /// notification between its predicate check and its `wait`).
+    fn finish_box(&self) {
+        if self.pending.fetch_sub(1, AtomicOrdering::AcqRel) == 1 {
+            let _pool = self.pool.lock().expect("search mutex poisoned");
+            self.available.notify_all();
+        }
+    }
+}
+
+/// Raises the search's abort flag if the owning worker unwinds, so sibling
+/// workers exit their idle wait instead of hanging on a `pending` count
+/// that can no longer reach zero; `std::thread::scope` then joins everyone
+/// and propagates the original panic.
+struct AbortOnPanic<'a>(&'a ParallelSearch);
+
+impl Drop for AbortOnPanic<'_> {
+    fn drop(&mut self) {
+        if std::thread::panicking() {
+            self.0.abort.store(true, AtomicOrdering::Release);
+            self.0.available.notify_all();
+        }
+    }
+}
+
+fn check_parallel(
+    ctx: &QueryContext<'_>,
+    region: &NoiseRegion,
+    threads: usize,
+) -> (RegionOutcome, BabStats) {
+    let search = ParallelSearch {
+        pool: Mutex::new(vec![Work {
+            region: region.clone(),
+            path: Vec::new(),
+        }]),
+        available: Condvar::new(),
+        pending: AtomicUsize::new(1),
+        abort: AtomicBool::new(false),
+        best: Mutex::new(None),
+        stats: Mutex::new(BabStats::default()),
+    };
+    // Keep roughly two stealable boxes per worker in the pool; beyond that
+    // splits stay in the worker's private stack.
+    let pool_target = threads * 2;
+
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|| worker(ctx, &search, pool_target));
+        }
+    });
+
+    let stats = *search.stats.lock().expect("search mutex poisoned");
+    let best = search.best.into_inner().expect("search mutex poisoned");
+    match best {
+        Some((_, ce)) => (RegionOutcome::Counterexample(ce), stats),
+        None => (RegionOutcome::Robust, stats),
+    }
+}
+
+fn worker(ctx: &QueryContext<'_>, search: &ParallelSearch, pool_target: usize) {
+    let _abort_guard = AbortOnPanic(search);
+    let mut local: Vec<Work> = Vec::new();
+    let mut stats = BabStats::default();
+    'work: loop {
+        let work = match local.pop() {
+            Some(w) => w,
+            None => {
+                // Park on the pool until work, completion, or abort.
+                let mut pool = search.pool.lock().expect("search mutex poisoned");
+                loop {
+                    if search.abort.load(AtomicOrdering::Acquire) {
+                        break 'work;
+                    }
+                    if let Some(w) = pool.pop() {
+                        break w;
+                    }
+                    if search.pending.load(AtomicOrdering::Acquire) == 0 {
+                        break 'work;
+                    }
+                    pool = search.available.wait(pool).expect("search mutex poisoned");
+                }
+            }
+        };
+
+        if search.abort.load(AtomicOrdering::Acquire) {
+            break;
+        }
+        if search.is_dead(&work.path) {
+            // Nothing in this subtree can beat the current best CE.
+            search.finish_box();
+            continue;
+        }
+
+        stats.boxes_visited += 1;
+        match ctx.decide_box(&work.region, &mut stats) {
+            BoxDecision::Pruned => {}
+            BoxDecision::PointCounterexample(ce) | BoxDecision::UniformWrong(ce) => {
+                search.offer(work.path.clone(), ce);
+            }
+            BoxDecision::Split(a, b) => {
+                let mut left_path = work.path.clone();
+                left_path.push(0);
+                let mut right_path = work.path;
+                right_path.push(1);
+                search.pending.fetch_add(1, AtomicOrdering::AcqRel);
+                let right = Work {
+                    region: b,
+                    path: right_path,
+                };
+                // Donate the right half when the pool runs low so idle
+                // workers always find food; keep it local otherwise.
+                {
+                    let mut pool = search.pool.lock().expect("search mutex poisoned");
+                    if pool.len() < pool_target {
+                        pool.push(right);
+                        search.available.notify_one();
+                    } else {
+                        drop(pool);
+                        local.push(right);
+                    }
+                }
+                local.push(Work {
+                    region: a,
+                    path: left_path,
+                });
+                // The parent box is consumed but two children were added:
+                // net pending change is +1, done above.
+                continue;
+            }
+        }
+        search.finish_box();
+    }
+    search
+        .stats
+        .lock()
+        .expect("search mutex poisoned")
+        .merge(&stats);
 }
 
 #[cfg(test)]
@@ -315,12 +953,8 @@ mod tests {
     /// 2-3-2 ReLU network with interesting nonlinearity.
     fn relu_net() -> Network<Rational> {
         let hidden = DenseLayer::new(
-            Matrix::from_rows(vec![
-                vec![r(2), r(-1)],
-                vec![r(-1), r(2)],
-                vec![r(1), r(1)],
-            ])
-            .unwrap(),
+            Matrix::from_rows(vec![vec![r(2), r(-1)], vec![r(-1), r(2)], vec![r(1), r(1)]])
+                .unwrap(),
             vec![r(-10), r(-10), r(0)],
             Activation::ReLU,
         )
@@ -334,14 +968,27 @@ mod tests {
         Network::new(vec![hidden, output], Readout::MaxPool).unwrap()
     }
 
+    /// Every configuration the cross-validation invariants quantify over.
+    fn all_configs() -> Vec<CheckerConfig> {
+        vec![
+            CheckerConfig::serial_exact(),
+            CheckerConfig::screened(),
+            CheckerConfig::serial_exact().with_threads(4),
+            CheckerConfig::screened().with_threads(4),
+        ]
+    }
+
     #[test]
     fn robust_when_gap_exceeds_noise() {
         let net = comparator();
         let x = [r(100), r(80)];
-        let (out, stats) =
-            find_counterexample(&net, &x, 0, &NoiseRegion::symmetric(5, 2)).unwrap();
-        assert!(out.is_robust());
-        assert!(stats.boxes_visited >= 1);
+        for config in all_configs() {
+            let (out, stats) =
+                find_counterexample_with(&net, &x, 0, &NoiseRegion::symmetric(5, 2), &config)
+                    .unwrap();
+            assert!(out.is_robust(), "{config:?}");
+            assert!(stats.boxes_visited >= 1);
+        }
     }
 
     #[test]
@@ -352,21 +999,25 @@ mod tests {
         // Need -10% & +13%... compute: flipping needs x0(100+p0) < x1(100+p1)
         // ⇔ 100(100+p0) < 80(100+p1). At p0=-11, p1=+11: 8900 vs 8880 → ok.
         // At p0=-12, p1=+12: 8800 vs 8960 → flip. So Δ=12 flips, Δ=11 not.
-        let (out11, _) =
-            find_counterexample(&net, &x, 0, &NoiseRegion::symmetric(11, 2)).unwrap();
-        assert!(out11.is_robust(), "±11% must be safe for this input");
-        let (out12, _) =
-            find_counterexample(&net, &x, 0, &NoiseRegion::symmetric(12, 2)).unwrap();
-        let ce = out12.counterexample().expect("±12% must flip");
-        assert_eq!(ce.expected, 0);
-        assert_eq!(ce.predicted, 1);
-        assert!(ce.noise.max_abs() <= 12);
-        // Verify the witness exactly.
-        assert_ne!(
-            exact::classify_noisy(&net, &x, &ce.noise).unwrap(),
-            0,
-            "witness must really misclassify"
-        );
+        for config in all_configs() {
+            let (out11, _) =
+                find_counterexample_with(&net, &x, 0, &NoiseRegion::symmetric(11, 2), &config)
+                    .unwrap();
+            assert!(out11.is_robust(), "±11% must be safe for {config:?}");
+            let (out12, _) =
+                find_counterexample_with(&net, &x, 0, &NoiseRegion::symmetric(12, 2), &config)
+                    .unwrap();
+            let ce = out12.counterexample().expect("±12% must flip");
+            assert_eq!(ce.expected, 0);
+            assert_eq!(ce.predicted, 1);
+            assert!(ce.noise.max_abs() <= 12);
+            // Verify the witness exactly.
+            assert_ne!(
+                exact::classify_noisy(&net, &x, &ce.noise).unwrap(),
+                0,
+                "witness must really misclassify"
+            );
+        }
     }
 
     #[test]
@@ -383,23 +1034,61 @@ mod tests {
             let label = net.classify(x).unwrap();
             for delta in [0, 1, 2, 4, 8] {
                 let region = NoiseRegion::symmetric(delta, 2);
-                let (bab_out, _) =
-                    find_counterexample(&net, x, label, &region).unwrap();
-                let (exh_out, _) = check_region_exhaustive(
-                    &net,
-                    x,
-                    label,
-                    &region,
-                    &ExclusionSet::new(),
-                )
-                .unwrap();
-                assert_eq!(
-                    bab_out.is_robust(),
-                    exh_out.is_robust(),
-                    "disagreement at x={x:?} delta={delta}"
-                );
+                let (exh_out, _) =
+                    check_region_exhaustive(&net, x, label, &region, &ExclusionSet::new()).unwrap();
+                for config in all_configs() {
+                    let (bab_out, _) =
+                        find_counterexample_with(&net, x, label, &region, &config).unwrap();
+                    assert_eq!(
+                        bab_out.is_robust(),
+                        exh_out.is_robust(),
+                        "disagreement at x={x:?} delta={delta} config={config:?}"
+                    );
+                }
             }
         }
+    }
+
+    #[test]
+    fn all_configs_return_identical_counterexamples() {
+        let net = relu_net();
+        // Inputs chosen to have counterexamples at modest deltas.
+        for x in [[r(9), r(8)], [r(30), r(29)], [r(12), r(5)]] {
+            let label = net.classify(&x).unwrap();
+            for delta in [3, 6, 10] {
+                let region = NoiseRegion::symmetric(delta, 2);
+                let (baseline, _) = find_counterexample(&net, &x, label, &region).unwrap();
+                for config in all_configs() {
+                    let (out, _) =
+                        find_counterexample_with(&net, &x, label, &region, &config).unwrap();
+                    assert_eq!(
+                        baseline.counterexample().map(|c| &c.noise),
+                        out.counterexample().map(|c| &c.noise),
+                        "CE identity must not depend on {config:?}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn screening_stats_are_recorded() {
+        let net = relu_net();
+        let x = [r(9), r(8)];
+        let label = net.classify(&x).unwrap();
+        let region = NoiseRegion::symmetric(6, 2);
+        let (_, stats) =
+            find_counterexample_with(&net, &x, label, &region, &CheckerConfig::screened()).unwrap();
+        assert!(
+            stats.screen_hits + stats.screen_fallbacks > 0,
+            "screening must have been exercised: {stats:?}"
+        );
+        assert!(stats.screen_hit_rate().is_some());
+        // The serial-exact baseline records no screening activity.
+        let (_, base) = find_counterexample(&net, &x, label, &region).unwrap();
+        assert_eq!(base.screen_hits, 0);
+        assert_eq!(base.screen_fallbacks, 0);
+        assert_eq!(base.screen_hit_rate(), None);
     }
 
     #[test]
@@ -407,30 +1096,32 @@ mod tests {
         let net = comparator();
         let x = [r(100), r(99)];
         let region = NoiseRegion::symmetric(3, 2);
-        let mut excluded = ExclusionSet::new();
-        let mut found = Vec::new();
-        loop {
-            let (out, _) = check_region(&net, &x, 0, &region, &excluded).unwrap();
-            match out {
-                RegionOutcome::Counterexample(ce) => {
-                    assert!(
-                        !found.contains(&ce.noise),
-                        "duplicate counterexample {}",
-                        ce.noise
-                    );
-                    excluded.insert(ce.noise.clone());
-                    found.push(ce.noise);
+        for config in all_configs() {
+            let mut excluded = ExclusionSet::new();
+            let mut found = Vec::new();
+            loop {
+                let (out, _) = check_region_with(&net, &x, 0, &region, &excluded, &config).unwrap();
+                match out {
+                    RegionOutcome::Counterexample(ce) => {
+                        assert!(
+                            !found.contains(&ce.noise),
+                            "duplicate counterexample {} under {config:?}",
+                            ce.noise
+                        );
+                        excluded.insert(ce.noise.clone());
+                        found.push(ce.noise);
+                    }
+                    RegionOutcome::Robust => break,
                 }
-                RegionOutcome::Robust => break,
             }
+            // Cross-check the count against brute force.
+            let brute = region
+                .iter_points()
+                .filter(|nv| exact::classify_noisy(&net, &x, nv).unwrap() != 0)
+                .count();
+            assert_eq!(found.len(), brute, "P3 loop must enumerate every CE once");
+            assert!(brute > 0, "test needs a non-trivial CE population");
         }
-        // Cross-check the count against brute force.
-        let brute = region
-            .iter_points()
-            .filter(|nv| exact::classify_noisy(&net, &x, nv).unwrap() != 0)
-            .count();
-        assert_eq!(found.len(), brute, "P3 loop must enumerate every CE once");
-        assert!(brute > 0, "test needs a non-trivial CE population");
     }
 
     #[test]
@@ -449,10 +1140,15 @@ mod tests {
         let net = comparator();
         let x = [r(100), r(80)];
         // Asking for label 1 (wrong) — the zero vector itself is a CE.
-        let (out, _) =
-            find_counterexample(&net, &x, 1, &NoiseRegion::symmetric(0, 2)).unwrap();
-        let ce = out.counterexample().expect("zero noise already misclassifies");
-        assert_eq!(ce.noise, NoiseVector::zero(2));
+        for config in all_configs() {
+            let (out, _) =
+                find_counterexample_with(&net, &x, 1, &NoiseRegion::symmetric(0, 2), &config)
+                    .unwrap();
+            let ce = out
+                .counterexample()
+                .expect("zero noise already misclassifies");
+            assert_eq!(ce.noise, NoiseVector::zero(2));
+        }
     }
 
     #[test]
@@ -480,11 +1176,103 @@ mod tests {
         let net = comparator();
         let x = [r(100), r(99)];
         let region = NoiseRegion::symmetric(4, 2);
-        let (a, _) = find_counterexample(&net, &x, 0, &region).unwrap();
-        let (b, _) = find_counterexample(&net, &x, 0, &region).unwrap();
-        assert_eq!(
-            a.counterexample().map(|c| c.noise.clone()),
-            b.counterexample().map(|c| c.noise.clone())
+        for config in all_configs() {
+            let (a, _) = find_counterexample_with(&net, &x, 0, &region, &config).unwrap();
+            let (b, _) = find_counterexample_with(&net, &x, 0, &region, &config).unwrap();
+            assert_eq!(
+                a.counterexample().map(|c| c.noise.clone()),
+                b.counterexample().map(|c| c.noise.clone()),
+                "repeat runs must agree under {config:?}"
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "scoped thread panicked")]
+    fn parallel_worker_panic_propagates_instead_of_hanging() {
+        // Weights large enough that interval propagation overflows i128:
+        // the first worker to touch the root box panics; the abort flag
+        // must wake its siblings so the scope joins and re-raises the
+        // panic (before the fix this hung with all workers spinning).
+        let huge = Rational::from_integer(i128::MAX / 4);
+        let net = Network::new(
+            vec![DenseLayer::new(
+                Matrix::from_rows(vec![vec![huge, huge], vec![huge, -huge]]).unwrap(),
+                vec![Rational::ZERO, Rational::ZERO],
+                Activation::Identity,
+            )
+            .unwrap()],
+            Readout::MaxPool,
+        )
+        .unwrap();
+        let x = [r(1 << 20), r(1 << 20)];
+        let _ = find_counterexample_with(
+            &net,
+            &x,
+            0,
+            &NoiseRegion::symmetric(8, 2),
+            &CheckerConfig::serial_exact().with_threads(4),
         );
+    }
+
+    #[test]
+    fn stats_merge_accumulates_everything() {
+        let mut a = BabStats {
+            boxes_visited: 1,
+            pruned_correct: 2,
+            proved_wrong: 3,
+            exact_evals: 4,
+            splits: 5,
+            screen_hits: 6,
+            screen_fallbacks: 7,
+        };
+        a.merge(&a.clone());
+        assert_eq!(
+            a,
+            BabStats {
+                boxes_visited: 2,
+                pruned_correct: 4,
+                proved_wrong: 6,
+                exact_evals: 8,
+                splits: 10,
+                screen_hits: 12,
+                screen_fallbacks: 14,
+            }
+        );
+    }
+
+    #[test]
+    fn checker_config_presets_and_env() {
+        assert_eq!(CheckerConfig::serial_exact().threads, 1);
+        assert!(!CheckerConfig::serial_exact().screening);
+        assert_eq!(CheckerConfig::screened().threads, 1);
+        assert!(CheckerConfig::screened().screening);
+        assert!(CheckerConfig::parallel().threads >= 1);
+        assert_eq!(CheckerConfig::default(), CheckerConfig::fast());
+        assert_eq!(CheckerConfig::fast().with_threads(0).threads, 1);
+        assert!(default_threads() >= 1);
+    }
+
+    #[test]
+    fn collector_screened_matches_exact() {
+        let net = comparator();
+        let x = [r(100), r(98)];
+        let region = NoiseRegion::symmetric(4, 2);
+        let (plain, exhausted_a, _) =
+            collect_region_counterexamples(&net, &x, 0, &region, usize::MAX).unwrap();
+        let (screened, exhausted_b, stats) = collect_region_counterexamples_with(
+            &net,
+            &x,
+            0,
+            &region,
+            usize::MAX,
+            &CheckerConfig::screened(),
+        )
+        .unwrap();
+        assert_eq!(exhausted_a, exhausted_b);
+        let a: Vec<_> = plain.iter().map(|ce| ce.noise.clone()).collect();
+        let b: Vec<_> = screened.iter().map(|ce| ce.noise.clone()).collect();
+        assert_eq!(a, b, "screened collection must preserve order and content");
+        assert!(stats.screen_hits + stats.screen_fallbacks > 0);
     }
 }

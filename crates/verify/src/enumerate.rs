@@ -7,10 +7,10 @@
 //! run must produce a *fresh* vector. [`CounterexampleEnumerator`] is that
 //! loop as a Rust iterator: each `next()` is one model-checking query.
 
-use fannet_numeric::Rational;
 use fannet_nn::Network;
+use fannet_numeric::Rational;
 
-use crate::bab::{check_region, BabStats, RegionOutcome};
+use crate::bab::{BabStats, CheckerConfig, RegionChecker, RegionOutcome};
 use crate::exact::Counterexample;
 use crate::noise::ExclusionSet;
 use crate::region::NoiseRegion;
@@ -41,7 +41,7 @@ use crate::region::NoiseRegion;
 /// ```
 #[derive(Debug)]
 pub struct CounterexampleEnumerator<'a> {
-    net: &'a Network<Rational>,
+    checker: RegionChecker<'a>,
     x: &'a [Rational],
     label: usize,
     region: NoiseRegion,
@@ -74,7 +74,7 @@ impl<'a> CounterexampleEnumerator<'a> {
         excluded: ExclusionSet,
     ) -> Self {
         CounterexampleEnumerator {
-            net,
+            checker: RegionChecker::new(net, CheckerConfig::serial_exact()),
             x,
             label,
             region,
@@ -82,6 +82,17 @@ impl<'a> CounterexampleEnumerator<'a> {
             exhausted: false,
             stats: BabStats::default(),
         }
+    }
+
+    /// Overrides the checker configuration for every subsequent query
+    /// (all configurations yield the identical vector sequence). Rebuilds
+    /// the query handle, so the float shadow is constructed once here and
+    /// reused by every `next()`.
+    #[must_use]
+    pub fn with_config(mut self, config: CheckerConfig) -> Self {
+        let net = self.checker.network();
+        self.checker = RegionChecker::new(net, config);
+        self
     }
 
     /// The noise matrix `e` accumulated so far.
@@ -111,14 +122,11 @@ impl Iterator for CounterexampleEnumerator<'_> {
         if self.exhausted {
             return None;
         }
-        let (outcome, stats) =
-            check_region(self.net, self.x, self.label, &self.region, &self.excluded)
-                .expect("enumerator construction validated widths");
-        self.stats.boxes_visited += stats.boxes_visited;
-        self.stats.pruned_correct += stats.pruned_correct;
-        self.stats.proved_wrong += stats.proved_wrong;
-        self.stats.exact_evals += stats.exact_evals;
-        self.stats.splits += stats.splits;
+        let (outcome, stats) = self
+            .checker
+            .check_region(self.x, self.label, &self.region, &self.excluded)
+            .expect("enumerator construction validated widths");
+        self.stats.merge(&stats);
         match outcome {
             RegionOutcome::Robust => {
                 self.exhausted = true;
@@ -178,15 +186,16 @@ mod tests {
         let net = comparator();
         let x = vec![r(100), r(98)];
         let region = NoiseRegion::symmetric(3, 2);
-        let found: Vec<_> =
-            CounterexampleEnumerator::new(&net, &x, 0, region.clone()).collect();
+        let found: Vec<_> = CounterexampleEnumerator::new(&net, &x, 0, region.clone()).collect();
         let brute: HashSet<Vec<i64>> = region
             .iter_points()
             .filter(|nv| classify_noisy(&net, &x, nv).unwrap() != 0)
             .map(|nv| nv.percents().to_vec())
             .collect();
-        let ours: HashSet<Vec<i64>> =
-            found.iter().map(|ce| ce.noise.percents().to_vec()).collect();
+        let ours: HashSet<Vec<i64>> = found
+            .iter()
+            .map(|ce| ce.noise.percents().to_vec())
+            .collect();
         assert_eq!(ours, brute);
         assert_eq!(found.len(), brute.len(), "each vector exactly once");
     }
@@ -208,18 +217,11 @@ mod tests {
         let net = comparator();
         let x = vec![r(100), r(98)];
         let region = NoiseRegion::symmetric(3, 2);
-        let all: Vec<_> =
-            CounterexampleEnumerator::new(&net, &x, 0, region.clone()).collect();
+        let all: Vec<_> = CounterexampleEnumerator::new(&net, &x, 0, region.clone()).collect();
         assert!(all.len() >= 2, "need ≥2 CEs for this test");
         let seed: ExclusionSet = [all[0].noise.clone()].into_iter().collect();
-        let rest: Vec<_> = CounterexampleEnumerator::with_exclusions(
-            &net,
-            &x,
-            0,
-            region,
-            seed,
-        )
-        .collect();
+        let rest: Vec<_> =
+            CounterexampleEnumerator::with_exclusions(&net, &x, 0, region, seed).collect();
         assert_eq!(rest.len(), all.len() - 1);
         assert!(rest.iter().all(|ce| ce.noise != all[0].noise));
     }

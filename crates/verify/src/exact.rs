@@ -1,8 +1,8 @@
 //! Exact rational evaluation of noisy inputs — the ground truth the
 //! branch-and-bound engine falls back to at singleton boxes.
 
-use fannet_numeric::Rational;
 use fannet_nn::Network;
+use fannet_numeric::Rational;
 use fannet_tensor::ShapeError;
 
 use crate::noise::NoiseVector;
@@ -125,7 +125,9 @@ mod tests {
     fn witness_none_when_correct() {
         let net = comparator();
         let x = [r(100), r(95)];
-        assert!(witness(&net, &x, 0, &NoiseVector::zero(2)).unwrap().is_none());
+        assert!(witness(&net, &x, 0, &NoiseVector::zero(2))
+            .unwrap()
+            .is_none());
     }
 
     #[test]
@@ -149,8 +151,12 @@ mod tests {
         // Exact tie → label 0 by the paper's L0 ≥ L1 → L0 rule.
         assert_eq!(classify_noisy(&net, &x, &NoiseVector::zero(2)).unwrap(), 0);
         // So label 0 has no witness at the tie, but label 1 does.
-        assert!(witness(&net, &x, 0, &NoiseVector::zero(2)).unwrap().is_none());
-        assert!(witness(&net, &x, 1, &NoiseVector::zero(2)).unwrap().is_some());
+        assert!(witness(&net, &x, 0, &NoiseVector::zero(2))
+            .unwrap()
+            .is_none());
+        assert!(witness(&net, &x, 1, &NoiseVector::zero(2))
+            .unwrap()
+            .is_some());
     }
 
     #[test]

@@ -44,7 +44,7 @@ pub mod noise;
 pub mod propagate;
 pub mod region;
 
-pub use bab::{BabStats, RegionOutcome};
+pub use bab::{BabStats, CheckerConfig, RegionChecker, RegionOutcome};
 pub use exact::Counterexample;
 pub use noise::{ExclusionSet, NoiseVector};
 pub use region::NoiseRegion;

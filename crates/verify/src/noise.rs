@@ -47,7 +47,9 @@ impl NoiseVector {
     /// The all-zero (noise-free) vector on `n` nodes.
     #[must_use]
     pub fn zero(n: usize) -> Self {
-        NoiseVector { percents: vec![0; n] }
+        NoiseVector {
+            percents: vec![0; n],
+        }
     }
 
     /// Number of input nodes covered.
@@ -160,7 +162,9 @@ impl ExclusionSet {
 
 impl FromIterator<NoiseVector> for ExclusionSet {
     fn from_iter<I: IntoIterator<Item = NoiseVector>>(iter: I) -> Self {
-        ExclusionSet { vectors: iter.into_iter().collect() }
+        ExclusionSet {
+            vectors: iter.into_iter().collect(),
+        }
     }
 }
 

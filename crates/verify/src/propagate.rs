@@ -15,8 +15,8 @@
 //! enclosure is generally not tight (the dependency problem), which is why
 //! refinement by splitting exists.
 
-use fannet_numeric::{Interval, Rational};
 use fannet_nn::{Activation, Network};
+use fannet_numeric::{FloatInterval, Interval, Rational};
 use fannet_tensor::ShapeError;
 
 use crate::region::NoiseRegion;
@@ -151,6 +151,207 @@ pub fn classify_box(outputs: &[Interval], label: usize) -> BoxVerdict {
     }
 }
 
+// ---------------------------------------------------------------------------
+// Float screening tier (DESIGN.md §6)
+// ---------------------------------------------------------------------------
+
+/// A precomputed outward-rounded `f64` copy of a rational network — the
+/// cheap first tier of the two-tier checker.
+///
+/// Weights and biases are enclosed once per network
+/// ([`FloatShadow::new`]); the per-input enclosure is computed once per
+/// query ([`FloatShadow::enclose_input`]); per-box propagation
+/// ([`FloatShadow::output_intervals`]) then runs entirely in `f64`
+/// interval arithmetic, avoiding the gcd-heavy exact path for every box
+/// the float enclosure can already decide.
+///
+/// Every stored interval *encloses* the exact rational constant, and every
+/// transformer of [`FloatInterval`] is outward-rounded, so the propagated
+/// output intervals enclose the exact [`output_intervals`] — which is what
+/// makes verdicts derived from them sound proofs (see
+/// [`classify_box_float`]).
+#[derive(Debug, Clone)]
+pub struct FloatShadow {
+    layers: Vec<FloatShadowLayer>,
+    inputs: usize,
+}
+
+#[derive(Debug, Clone)]
+struct FloatShadowLayer {
+    /// `weights[r][c]` encloses the exact weight of output `r`, input `c`.
+    weights: Vec<Vec<FloatInterval>>,
+    biases: Vec<FloatInterval>,
+    activation: Activation,
+}
+
+impl FloatShadow {
+    /// Builds the shadow of a rational network.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the network is not piecewise-linear (same admissibility
+    /// condition as [`output_intervals`]).
+    #[must_use]
+    pub fn new(net: &Network<Rational>) -> Self {
+        assert!(
+            net.is_piecewise_linear(),
+            "float screening requires piecewise-linear activations"
+        );
+        let layers = net
+            .layers()
+            .iter()
+            .map(|layer| {
+                let w = layer.weights();
+                let weights = (0..w.rows())
+                    .map(|r| {
+                        (0..w.cols())
+                            .map(|c| FloatInterval::from_rational_point(w[(r, c)]))
+                            .collect()
+                    })
+                    .collect();
+                let biases = layer
+                    .biases()
+                    .iter()
+                    .map(|&b| FloatInterval::from_rational_point(b))
+                    .collect();
+                FloatShadowLayer {
+                    weights,
+                    biases,
+                    activation: layer.activation(),
+                }
+            })
+            .collect();
+        FloatShadow {
+            layers,
+            inputs: net.inputs(),
+        }
+    }
+
+    /// Number of input features the shadow expects.
+    #[must_use]
+    pub fn inputs(&self) -> usize {
+        self.inputs
+    }
+
+    /// Per-feature float enclosure of an exact input, computed once per
+    /// query and reused across every box.
+    #[must_use]
+    pub fn enclose_input(x: &[Rational]) -> Vec<FloatInterval> {
+        x.iter()
+            .map(|&xk| FloatInterval::from_rational_point(xk))
+            .collect()
+    }
+
+    /// Float output enclosure of the shadow network on `x_enclosure` under
+    /// every noise vector in `region` — the `f64` counterpart of
+    /// [`output_intervals`], guaranteed to enclose it.
+    ///
+    /// # Panics
+    ///
+    /// Panics if widths disagree (callers validate once per query).
+    #[must_use]
+    pub fn output_intervals(
+        &self,
+        x_enclosure: &[FloatInterval],
+        region: &NoiseRegion,
+    ) -> Vec<FloatInterval> {
+        assert_eq!(x_enclosure.len(), self.inputs, "input width mismatch");
+        assert_eq!(region.nodes(), self.inputs, "region width mismatch");
+
+        // Input enclosure under relative noise: x · (100 + [lo, hi])/100.
+        // The integer-to-f64 conversions are exact (|p| ≤ 200); only the
+        // division rounds, which `from_ratio` widens outward.
+        let mut acts: Vec<FloatInterval> = x_enclosure
+            .iter()
+            .zip(region.ranges())
+            .map(|(xk, &(lo, hi))| xk.mul(&float_factor(lo, hi)))
+            .collect();
+
+        let mut next: Vec<FloatInterval> = Vec::new();
+        for layer in &self.layers {
+            next.clear();
+            next.reserve(layer.biases.len());
+            for (row, bias) in layer.weights.iter().zip(&layer.biases) {
+                let mut z = *bias;
+                for (a, w) in acts.iter().zip(row) {
+                    z = z.add(&a.mul(w));
+                }
+                let out = match layer.activation {
+                    Activation::Identity => z,
+                    Activation::ReLU => z.relu(),
+                    Activation::Sigmoid => unreachable!("checked piecewise-linear in new()"),
+                };
+                next.push(out);
+            }
+            std::mem::swap(&mut acts, &mut next);
+        }
+        acts
+    }
+}
+
+/// Outward float enclosure of the noise factor `(100 + [lo, hi]) / 100`.
+#[must_use]
+pub fn float_factor(lo: i64, hi: i64) -> FloatInterval {
+    // Integer percents are exactly representable; the division by 100
+    // rounds to nearest, so step one ulp outward on each side.
+    let f_lo = ((100 + lo) as f64 / 100.0).next_down();
+    let f_hi = ((100 + hi) as f64 / 100.0).next_up();
+    FloatInterval::new(f_lo, f_hi)
+}
+
+/// Float-tier counterpart of [`classify_box`], with identical tie-break
+/// semantics.
+///
+/// Soundness: each `FloatInterval` endpoint is an *outer* bound of the
+/// exact endpoint (`lo_f ≤ lo_exact`, `hi_f ≥ hi_exact`), so
+///
+/// * `rival.hi_f < target.lo_f` implies `rival.hi ≤ hi_f < lo_f ≤
+///   target.lo` exactly (and likewise for the non-strict form), making
+///   `AlwaysCorrect` a proof;
+/// * `rival.lo_f ≥ target.hi_f` implies `rival.lo ≥ lo_f ≥ hi_f ≥
+///   target.hi` exactly, making `AlwaysWrong` a proof.
+///
+/// The float tier is *less complete* than the exact tier (wider intervals
+/// ⇒ more `Unknown`), never less sound.
+///
+/// # Panics
+///
+/// Panics if `label >= outputs.len()`.
+#[must_use]
+pub fn classify_box_float(outputs: &[FloatInterval], label: usize) -> BoxVerdict {
+    assert!(label < outputs.len(), "label {label} out of range");
+    let target = &outputs[label];
+
+    let mut always_correct = true;
+    for (j, rival) in outputs.iter().enumerate() {
+        if j == label {
+            continue;
+        }
+        let strict_needed = j < label; // lower rival wins ties
+        let dominated = if strict_needed {
+            rival.hi() < target.lo()
+        } else {
+            rival.hi() <= target.lo()
+        };
+        if !dominated {
+            always_correct = false;
+        }
+        let overwhelms = if strict_needed {
+            rival.lo() >= target.hi()
+        } else {
+            rival.lo() > target.hi()
+        };
+        if overwhelms {
+            return BoxVerdict::AlwaysWrong;
+        }
+    }
+    if always_correct {
+        BoxVerdict::AlwaysCorrect
+    } else {
+        BoxVerdict::Unknown
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -243,22 +444,13 @@ mod tests {
         // label 1, target [5,6] vs rival [1,2] → rival.hi() < target.lo():
         // strict not needed for j<label? j=0 < label=1, strict needed:
         // 2 < 5 holds → AlwaysCorrect.
-        let out = vec![
-            Interval::new(r(1), r(2)),
-            Interval::new(r(5), r(6)),
-        ];
+        let out = vec![Interval::new(r(1), r(2)), Interval::new(r(5), r(6))];
         assert_eq!(classify_box(&out, 1), BoxVerdict::AlwaysCorrect);
         // Rival overwhelms: lo(rival)=7 ≥ hi(target)=6 with j<label.
-        let out = vec![
-            Interval::new(r(7), r(9)),
-            Interval::new(r(5), r(6)),
-        ];
+        let out = vec![Interval::new(r(7), r(9)), Interval::new(r(5), r(6))];
         assert_eq!(classify_box(&out, 1), BoxVerdict::AlwaysWrong);
         // Overlap → Unknown.
-        let out = vec![
-            Interval::new(r(4), r(7)),
-            Interval::new(r(5), r(6)),
-        ];
+        let out = vec![Interval::new(r(4), r(7)), Interval::new(r(5), r(6))];
         assert_eq!(classify_box(&out, 1), BoxVerdict::Unknown);
     }
 
@@ -270,6 +462,84 @@ mod tests {
         assert_eq!(classify_box(&tie, 0), BoxVerdict::AlwaysCorrect);
         // …and always wrong for label 1.
         assert_eq!(classify_box(&tie, 1), BoxVerdict::AlwaysWrong);
+    }
+
+    #[test]
+    fn shadow_encloses_exact_propagation() {
+        let net = net();
+        let shadow = FloatShadow::new(&net);
+        let x = [r(120), r(-80)];
+        let xf = FloatShadow::enclose_input(&x);
+        for delta in [0, 1, 4, 11, 25] {
+            let region = NoiseRegion::symmetric(delta, 2);
+            let exact = output_intervals(&net, &x, &region).unwrap();
+            let float = shadow.output_intervals(&xf, &region);
+            for (fi, iv) in float.iter().zip(&exact) {
+                assert!(
+                    fi.contains_rational(iv.lo()) && fi.contains_rational(iv.hi()),
+                    "float {fi:?} must enclose exact {iv:?} at delta {delta}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn shadow_stays_tight_enough_to_decide() {
+        // On a comfortable margin the float tier must reach a verdict, not
+        // just stay sound — otherwise screening would never pay off.
+        let net = net();
+        let shadow = FloatShadow::new(&net);
+        let x = [r(120), r(-80)];
+        let label = net.classify(&x).unwrap();
+        let region = NoiseRegion::symmetric(1, 2);
+        let float = shadow.output_intervals(&FloatShadow::enclose_input(&x), &region);
+        assert_eq!(classify_box_float(&float, label), BoxVerdict::AlwaysCorrect);
+    }
+
+    #[test]
+    fn float_verdicts_never_contradict_exact() {
+        let net = net();
+        let shadow = FloatShadow::new(&net);
+        for (x0, x1) in [(120, -80), (37, 202), (-15, 4), (1000, 999)] {
+            let x = [r(x0), r(x1)];
+            let xf = FloatShadow::enclose_input(&x);
+            let label = net.classify(&x).unwrap();
+            for delta in [0, 2, 5, 13] {
+                let region = NoiseRegion::symmetric(delta, 2);
+                let exact = classify_box(&output_intervals(&net, &x, &region).unwrap(), label);
+                let float = classify_box_float(&shadow.output_intervals(&xf, &region), label);
+                match float {
+                    // A float proof must agree with the exact proof.
+                    BoxVerdict::AlwaysCorrect => assert_eq!(exact, BoxVerdict::AlwaysCorrect),
+                    BoxVerdict::AlwaysWrong => assert_eq!(exact, BoxVerdict::AlwaysWrong),
+                    BoxVerdict::Unknown => {} // always safe
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn float_factor_encloses_exact_factor() {
+        for (lo, hi) in [(-100i64, 100i64), (-11, 11), (0, 0), (-50, 25)] {
+            let f = float_factor(lo, hi);
+            let exact_lo = Rational::new(100 + i128::from(lo), 100);
+            let exact_hi = Rational::new(100 + i128::from(hi), 100);
+            assert!(f.contains_rational(exact_lo), "{f:?} vs {exact_lo}");
+            assert!(f.contains_rational(exact_hi), "{f:?} vs {exact_hi}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "piecewise-linear")]
+    fn shadow_rejects_sigmoid() {
+        let layer = DenseLayer::new(
+            Matrix::from_rows(vec![vec![r(1)]]).unwrap(),
+            vec![r(0)],
+            Activation::Sigmoid,
+        )
+        .unwrap();
+        let net = Network::new(vec![layer], Readout::MaxPool).unwrap();
+        let _ = FloatShadow::new(&net);
     }
 
     #[test]

@@ -53,7 +53,9 @@ impl NoiseRegion {
     #[must_use]
     pub fn symmetric(delta: i64, nodes: usize) -> Self {
         assert!((0..=100).contains(&delta), "delta must be in [0, 100]");
-        NoiseRegion { ranges: vec![(-delta, delta); nodes] }
+        NoiseRegion {
+            ranges: vec![(-delta, delta); nodes],
+        }
     }
 
     /// The single-point region containing exactly `nv`.

@@ -9,8 +9,8 @@
 //!    collector, the paper-faithful P3 restart loop and brute-force grid
 //!    filtering all produce the same counterexample sets.
 
-use fannet_numeric::Rational;
 use fannet_nn::{init, quantize, Activation, Network};
+use fannet_numeric::Rational;
 use fannet_verify::bab::{collect_region_counterexamples, find_counterexample};
 use fannet_verify::enumerate::CounterexampleEnumerator;
 use fannet_verify::exact::classify_noisy;
@@ -27,7 +27,10 @@ fn random_net(seed: u64, shape: &[usize]) -> Network<Rational> {
 }
 
 fn rational_point(values: &[i64]) -> Vec<Rational> {
-    values.iter().map(|&v| Rational::from_integer(i128::from(v))).collect()
+    values
+        .iter()
+        .map(|&v| Rational::from_integer(i128::from(v)))
+        .collect()
 }
 
 proptest! {

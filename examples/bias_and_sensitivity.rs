@@ -40,7 +40,11 @@ fn describe(tag: &str, report: &FannetReport) {
             n.negative,
             n.zero,
             n.sign_asymmetry(),
-            if n.insensitive_to_positive() { "  << never positive" } else { "" }
+            if n.insensitive_to_positive() {
+                "  << never positive"
+            } else {
+                ""
+            }
         );
     }
     println!();
@@ -52,7 +56,13 @@ fn main() {
     let analysis = AnalysisConfig::default();
 
     // --- biased training set (the paper's setting) -----------------------
-    let biased = pipeline::run(&cs.exact_net, &cs.float_net, &cs.train5, &cs.test5, &analysis);
+    let biased = pipeline::run(
+        &cs.exact_net,
+        &cs.float_net,
+        &cs.train5,
+        &cs.test5,
+        &analysis,
+    );
     println!(
         "biased training set: {:.0}% L1\n",
         100.0 * cs.train5.label_fraction(L1_ALL)
@@ -60,9 +70,7 @@ fn main() {
     describe("biased (paper setting)", &biased);
 
     // --- ablation A1: balanced retraining --------------------------------
-    let balanced_train = cs
-        .train5
-        .balanced_subsample(&mut StdRng::seed_from_u64(99));
+    let balanced_train = cs.train5.balanced_subsample(&mut StdRng::seed_from_u64(99));
     println!(
         "balanced training set: {} AML / {} ALL",
         balanced_train.class_counts()[L0_AML],
@@ -76,14 +84,24 @@ fn main() {
         Activation::ReLU,
         init::Init::XavierUniform,
     );
-    train::train(&mut net, train_norm.samples(), train_norm.labels(), &config.train)
-        .expect("shapes fixed by construction");
+    train::train(
+        &mut net,
+        train_norm.samples(),
+        train_norm.labels(),
+        &config.train,
+    )
+    .expect("shapes fixed by construction");
     let float_net = fold::fold_input_affine(&net, normalization.scale(), normalization.offset())
         .expect("same width");
     let exact_net = quantize::to_rational(&float_net, config.denom_bits);
 
-    let rebalanced =
-        pipeline::run(&exact_net, &float_net, &balanced_train, &cs.test5, &analysis);
+    let rebalanced = pipeline::run(
+        &exact_net,
+        &float_net,
+        &balanced_train,
+        &cs.test5,
+        &analysis,
+    );
     describe("balanced retraining (ablation A1)", &rebalanced);
 
     println!(

@@ -64,8 +64,7 @@ fn main() {
     let fixed_net = quantize::to_fixed(&cs.float_net);
     let mut disagreements = 0;
     for (sample, _) in cs.test5.iter() {
-        let fx: Vec<fannet::numeric::Fixed> =
-            sample.iter().map(|&v| Scalar::from_f64(v)).collect();
+        let fx: Vec<fannet::numeric::Fixed> = sample.iter().map(|&v| Scalar::from_f64(v)).collect();
         let fixed_label = fixed_net.classify(&fx).expect("widths match");
         let exact_label = cs
             .exact_net

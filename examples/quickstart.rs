@@ -36,15 +36,22 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let norm = Affine::fit_max_abs(&data);
     let normalized = norm.apply_dataset(&data);
     let mut rng = rand::rngs::StdRng::seed_from_u64(7);
-    let mut net = init::fresh_network(&mut rng, &[2, 8, 2], Activation::ReLU,
-                                      init::Init::XavierUniform);
+    let mut net = init::fresh_network(
+        &mut rng,
+        &[2, 8, 2],
+        Activation::ReLU,
+        init::Init::XavierUniform,
+    );
     let report = train::train(
         &mut net,
         normalized.samples(),
         normalized.labels(),
         &train::TrainConfig::paper(),
     )?;
-    println!("trained: final accuracy {:.0}%", 100.0 * report.final_accuracy());
+    println!(
+        "trained: final accuracy {:.0}%",
+        100.0 * report.final_accuracy()
+    );
     let raw_net = fold::fold_input_affine(&net, norm.scale(), norm.offset())?;
 
     // 3. Quantize to exact rationals — every verdict below is a proof about
@@ -57,12 +64,15 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .iter()
         .map(|&v| Rational::from_f64_exact(v).expect("finite"))
         .collect();
-    let (outcome, stats) =
-        bab::find_counterexample(&exact, &x, 0, &NoiseRegion::symmetric(8, 2))?;
+    let (outcome, stats) = bab::find_counterexample(&exact, &x, 0, &NoiseRegion::symmetric(8, 2))?;
     println!(
         "±8% on {:?}: {} ({} boxes explored)",
         xs[0],
-        if outcome.is_robust() { "ROBUST (proved)" } else { "flips!" },
+        if outcome.is_robust() {
+            "ROBUST (proved)"
+        } else {
+            "flips!"
+        },
         stats.boxes_visited
     );
 

@@ -38,7 +38,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     for line in text.lines().take(12) {
         println!("{line}");
     }
-    println!("…  [{} defines, {} noise variables]\n", module.defines.len(), module.vars.len());
+    println!(
+        "…  [{} defines, {} noise variables]\n",
+        module.defines.len(),
+        module.vars.len()
+    );
 
     // Round-trip through the parser.
     let reparsed = parse_module(&text)?;
@@ -71,11 +75,22 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // --- the paper's Fig. 3 numbers --------------------------------------
     let fig3b = PaperFsm::without_noise(2);
     let fig3c = PaperFsm::with_noise(2, 6);
-    println!("Fig. 3b (no noise):   {} states, {} transitions", fig3b.states(), fig3b.transitions());
-    println!("Fig. 3c ([0,1]% x6):  {} states, {} transitions", fig3c.states(), fig3c.transitions());
+    println!(
+        "Fig. 3b (no noise):   {} states, {} transitions",
+        fig3b.states(),
+        fig3b.transitions()
+    );
+    println!(
+        "Fig. 3c ([0,1]% x6):  {} states, {} transitions",
+        fig3c.states(),
+        fig3c.transitions()
+    );
     println!("\nstate-space growth with ±delta on 5 input nodes:");
     for row in growth_table(&[0, 1, 2, 5, 11, 25, 50], 5) {
-        println!("  ±{:2}%: {:>20} states, {:>25} transitions", row.delta, row.states, row.transitions);
+        println!(
+            "  ±{:2}%: {:>20} states, {:>25} transitions",
+            row.delta, row.states, row.transitions
+        );
     }
     Ok(())
 }

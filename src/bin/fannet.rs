@@ -102,11 +102,7 @@ fn load_model(path: &str) -> Result<Network<Rational>, String> {
     io::load(path).map_err(|e| format!("cannot load model `{path}`: {e}"))
 }
 
-fn validate_query(
-    net: &Network<Rational>,
-    x: &[Rational],
-    label: usize,
-) -> Result<(), String> {
+fn validate_query(net: &Network<Rational>, x: &[Rational], label: usize) -> Result<(), String> {
     if x.len() != net.inputs() {
         return Err(format!(
             "input has {} components but the model expects {}",
@@ -166,8 +162,17 @@ fn check(args: &[String]) -> Result<(), String> {
         ),
         Some(ce) => {
             println!("COUNTEREXAMPLE: {}", ce);
-            println!("  noisy input: {:?}", ce.noisy_input.iter().map(Rational::to_f64).collect::<Vec<_>>());
-            println!("  outputs:     {:?}", ce.outputs.iter().map(Rational::to_f64).collect::<Vec<_>>());
+            println!(
+                "  noisy input: {:?}",
+                ce.noisy_input
+                    .iter()
+                    .map(Rational::to_f64)
+                    .collect::<Vec<_>>()
+            );
+            println!(
+                "  outputs:     {:?}",
+                ce.outputs.iter().map(Rational::to_f64).collect::<Vec<_>>()
+            );
         }
     }
     Ok(())

@@ -12,7 +12,9 @@ use fannet::numeric::Rational;
 use fannet::smv::explicit::check_invariant;
 use fannet::smv::nn_to_smv::{network_to_smv, TranslationConfig};
 use fannet::smv::TransitionSystem;
-use fannet::verify::bab::{check_region_exhaustive, find_counterexample};
+use fannet::verify::bab::{
+    check_region_exhaustive, find_counterexample, find_counterexample_with, CheckerConfig,
+};
 use fannet::verify::noise::ExclusionSet;
 use fannet::verify::region::NoiseRegion;
 use proptest::prelude::*;
@@ -29,18 +31,11 @@ fn three_checkers_agree_on_trained_network() {
         let label = cs.test5.labels()[i];
         let region = NoiseRegion::symmetric(1, 5);
 
-        let (bab_out, _) =
-            find_counterexample(&cs.exact_net, &x, label, &region).expect("widths");
-        let (exh_out, _) = check_region_exhaustive(
-            &cs.exact_net,
-            &x,
-            label,
-            &region,
-            &ExclusionSet::new(),
-        )
-        .expect("widths");
-        let module =
-            network_to_smv(&cs.exact_net, &x, label, &TranslationConfig::symmetric(1));
+        let (bab_out, _) = find_counterexample(&cs.exact_net, &x, label, &region).expect("widths");
+        let (exh_out, _) =
+            check_region_exhaustive(&cs.exact_net, &x, label, &region, &ExclusionSet::new())
+                .expect("widths");
+        let module = network_to_smv(&cs.exact_net, &x, label, &TranslationConfig::symmetric(1));
         let ts = TransitionSystem::from_module(&module, 1 << 12).expect("243 states");
         let smv_result = check_invariant(&ts, &module.invarspecs[0]).expect("evaluates");
 
@@ -62,7 +57,12 @@ fn three_checkers_agree_on_trained_network() {
 fn random_exact_net(seed: u64) -> fannet::nn::Network<Rational> {
     use fannet::nn::{init, quantize, Activation};
     let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
-    let net = init::fresh_network(&mut rng, &[2, 3, 2], Activation::ReLU, init::Init::Uniform(1.5));
+    let net = init::fresh_network(
+        &mut rng,
+        &[2, 3, 2],
+        Activation::ReLU,
+        init::Init::Uniform(1.5),
+    );
     quantize::to_rational(&net, 8)
 }
 
@@ -93,6 +93,47 @@ proptest! {
             let noisy = ce.noise.apply(&x);
             prop_assert_ne!(net.classify(&noisy).expect("width"), label);
             prop_assert!(region.contains(&ce.noise));
+        }
+    }
+
+    /// The tentpole's soundness-is-never-traded guarantee: serial-exact,
+    /// screened, parallel and screened+parallel `check_region` return the
+    /// identical outcome AND the identical (lexicographically-first, i.e.
+    /// serial-DFS-first) counterexample on random small networks.
+    #[test]
+    fn all_checker_variants_agree_on_outcome_and_witness(
+        seed in 0u64..500,
+        x0 in -30i64..30,
+        x1 in -30i64..30,
+        delta in 0i64..6,
+    ) {
+        let net = random_exact_net(seed);
+        let x = [
+            Rational::from_integer(i128::from(x0)),
+            Rational::from_integer(i128::from(x1)),
+        ];
+        let label = net.classify(&x).expect("width");
+        let region = NoiseRegion::symmetric(delta, 2);
+        let (baseline, _) =
+            find_counterexample(&net, &x, label, &region).expect("widths");
+        let baseline_ce = baseline.counterexample().map(|c| c.noise.clone());
+        for config in [
+            CheckerConfig::screened(),
+            CheckerConfig::serial_exact().with_threads(4),
+            CheckerConfig::screened().with_threads(4),
+        ] {
+            let (out, _) = find_counterexample_with(&net, &x, label, &region, &config)
+                .expect("widths");
+            prop_assert_eq!(
+                baseline.is_robust(),
+                out.is_robust(),
+                "outcome differs under {:?}", config
+            );
+            prop_assert_eq!(
+                baseline_ce.clone(),
+                out.counterexample().map(|c| c.noise.clone()),
+                "counterexample identity differs under {:?}", config
+            );
         }
     }
 }

@@ -12,6 +12,7 @@ fn fast_config() -> AnalysisConfig {
         extraction_delta: None,
         per_input_cap: 20,
         near_threshold: 10,
+        ..AnalysisConfig::default()
     }
 }
 
@@ -36,7 +37,11 @@ fn small_case_study_full_pipeline() {
     assert!(tol >= 1, "tolerance {tol} collapsed");
 
     // The sweep is monotone in the noise range.
-    let counts: Vec<usize> = report.sweep.iter().map(|r| r.misclassified_inputs).collect();
+    let counts: Vec<usize> = report
+        .sweep
+        .iter()
+        .map(|r| r.misclassified_inputs)
+        .collect();
     for w in counts.windows(2) {
         assert!(w[1] >= w[0], "sweep must be monotone: {counts:?}");
     }
@@ -53,7 +58,10 @@ fn small_case_study_full_pipeline() {
 
     // Training bias: flows exist and the training set is ~71% L1.
     assert!((cs.train5.label_fraction(L1_ALL) - 27.0 / 38.0).abs() < 1e-12);
-    assert!(report.bias.total() > 0, "need counterexamples for bias analysis");
+    assert!(
+        report.bias.total() > 0,
+        "need counterexamples for bias analysis"
+    );
 
     // Sensitivity: one entry per input node.
     assert_eq!(report.sensitivity.nodes.len(), 5);

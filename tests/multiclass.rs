@@ -5,8 +5,8 @@
 
 use fannet::core::{adversarial, behavior, bias, sensitivity, tolerance};
 use fannet::data::Dataset;
-use fannet::numeric::Rational;
 use fannet::nn::{Activation, DenseLayer, Network, Readout};
+use fannet::numeric::Rational;
 use fannet::tensor::Matrix;
 use fannet::verify::bab::{check_region_exhaustive, find_counterexample};
 use fannet::verify::noise::ExclusionSet;
@@ -62,8 +62,7 @@ fn three_class_bab_agrees_with_bruteforce() {
             let region = NoiseRegion::symmetric(delta, 3);
             let (bab_out, _) = find_counterexample(&net, &x, label, &region).unwrap();
             let (exh_out, _) =
-                check_region_exhaustive(&net, &x, label, &region, &ExclusionSet::new())
-                    .unwrap();
+                check_region_exhaustive(&net, &x, label, &region, &ExclusionSet::new()).unwrap();
             assert_eq!(
                 bab_out.is_robust(),
                 exh_out.is_robust(),

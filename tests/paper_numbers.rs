@@ -84,7 +84,11 @@ fn paper_case_study_headline_numbers() {
     );
 
     // Fig. 4: sweep counts are monotone and nontrivial.
-    let counts: Vec<usize> = report.sweep.iter().map(|r| r.misclassified_inputs).collect();
+    let counts: Vec<usize> = report
+        .sweep
+        .iter()
+        .map(|r| r.misclassified_inputs)
+        .collect();
     assert_eq!(counts[0], 0, "nothing flips at ±5 (below tolerance)");
     assert!(*counts.last().unwrap() > 0, "something flips by ±40");
     for w in counts.windows(2) {
