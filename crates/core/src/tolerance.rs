@@ -9,6 +9,7 @@
 //! sound-and-complete branch-and-bound query (property P2).
 
 use fannet_data::Dataset;
+use fannet_engine::Engine;
 use fannet_nn::Network;
 use fannet_numeric::Rational;
 use fannet_verify::bab::{CheckerConfig, RegionChecker};
@@ -177,6 +178,32 @@ pub fn robustness_radius_on(
     Some(hi)
 }
 
+/// [`robustness_radius`] answered by a resident [`Engine`] — the
+/// incremental form of the binary search (DESIGN.md §8).
+///
+/// The engine's verdict cache warm-starts the bracket from any earlier
+/// traffic on the same `(x, label)` (prior radius searches, `check`
+/// queries, nested analyses) and serves probes that cached verdicts
+/// subsume; a re-search after the cache is warm issues **zero** solver
+/// runs. The returned radius is identical to the cold search's — every
+/// cache rule is sound, so the minimum flipping `δ` cannot move.
+///
+/// # Panics
+///
+/// Panics if `max_delta` is outside `[1, 100]`, `label` is out of range,
+/// or widths mismatch.
+#[must_use]
+pub fn robustness_radius_engine(
+    engine: &Engine,
+    x: &[Rational],
+    label: usize,
+    max_delta: i64,
+) -> Option<i64> {
+    engine
+        .tolerance(x, label, max_delta)
+        .expect("widths validated by caller")
+}
+
 /// Runs the tolerance analysis over the correctly classified samples of
 /// `data` (by the paper's convention, misclassified samples are skipped).
 ///
@@ -233,6 +260,44 @@ pub fn par_analyze(
             index: i,
             label,
             radius: robustness_radius_on(&checker, &x, label, max_delta),
+        }
+    });
+    ToleranceReport {
+        max_delta,
+        per_input,
+    }
+}
+
+/// [`par_analyze`] against a resident [`Engine`]: the per-input binary
+/// searches fan across `input_threads` workers, every probe flows
+/// through the engine's verdict cache, and the report is byte-identical
+/// to [`analyze`]'s.
+///
+/// This replaces the cold re-verification pattern for sweep-style
+/// workloads: successive analyses against the same engine (larger
+/// `max_delta`, refreshed subsets, the Fig. 4 sweep rebuilt after new
+/// traffic) reuse every verdict the cache still holds instead of
+/// restarting each branch-and-bound from scratch.
+///
+/// # Panics
+///
+/// Panics if an index is out of range, widths mismatch, or `max_delta`
+/// is outside `[1, 100]`.
+#[must_use]
+pub fn engine_analyze(
+    engine: &Engine,
+    data: &Dataset,
+    indices: &[usize],
+    max_delta: i64,
+    input_threads: usize,
+) -> ToleranceReport {
+    let per_input = par::ordered_map(indices, input_threads, |&i| {
+        let (sample, label) = (data.samples()[i].as_slice(), data.labels()[i]);
+        let x = rational_input(sample);
+        InputRadius {
+            index: i,
+            label,
+            radius: robustness_radius_engine(engine, &x, label, max_delta),
         }
     });
     ToleranceReport {
@@ -341,5 +406,45 @@ mod tests {
     fn zero_max_delta_panics() {
         let net = comparator();
         let _ = robustness_radius(&net, &[r(1), r(1)], 0, 0);
+    }
+
+    #[test]
+    fn engine_analyze_matches_cold_analyze() {
+        use fannet_engine::EngineConfig;
+        let net = comparator();
+        let data = Dataset::new(
+            vec![vec![100.0, 95.0], vec![100.0, 82.0], vec![100.0, 50.0]],
+            vec![0, 0, 0],
+            2,
+        )
+        .unwrap();
+        let cold = analyze(&net, &data, &[0, 1, 2], 20);
+        let engine = Engine::new(net, EngineConfig::serving());
+        // Cold engine pass, warm engine pass, and a parallel warm pass
+        // must all equal the engine-less report byte for byte.
+        for threads in [1, 1, 4] {
+            let report = engine_analyze(&engine, &data, &[0, 1, 2], 20, threads);
+            assert_eq!(report, cold);
+        }
+        assert!(engine.stats().exact_hits + engine.stats().subsumption_hits > 0);
+        // The warm re-analyses above must not have re-run the solver.
+        let misses = engine.stats().misses;
+        let _ = engine_analyze(&engine, &data, &[0, 1, 2], 20, 1);
+        assert_eq!(engine.stats().misses, misses);
+    }
+
+    #[test]
+    fn engine_radius_matches_closed_form() {
+        use fannet_engine::EngineConfig;
+        let net = comparator();
+        let engine = Engine::new(net, EngineConfig::serving());
+        for (x0, x1) in [(100i64, 82), (100, 95), (100, 99), (200, 100), (1000, 998)] {
+            let x = [r(i128::from(x0)), r(i128::from(x1))];
+            assert_eq!(
+                robustness_radius_engine(&engine, &x, 0, 50),
+                analytic_radius(x0, x1, 50),
+                "radius mismatch for ({x0}, {x1})"
+            );
+        }
     }
 }

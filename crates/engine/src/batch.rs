@@ -1,0 +1,155 @@
+//! The batch scheduler: independent requests fanned across workers
+//! against one resident engine (DESIGN.md §8).
+//!
+//! Requests in one batch are independent by construction (each is a
+//! self-contained query), so they parallelize the same way
+//! `fannet_core`'s per-input layer parallelizes analyses: claim work from
+//! an atomic cursor, write results back by index. Responses therefore
+//! come back in request order regardless of scheduling, and every
+//! `check`/`tolerance` verdict is deterministic. The one caveat is
+//! *counter* reads: a `stats` request racing concurrent queries observes
+//! whatever the cache counted so far — run stats-bearing batches with
+//! `threads = 1` when byte-stable output matters (CI's golden smoke test
+//! does).
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+use crate::engine::Engine;
+use crate::protocol::{handle, Request, Response};
+
+/// Answers a batch of requests, `threads` at a time, preserving order.
+///
+/// With `threads <= 1` this is a plain sequential map (no thread or lock
+/// overhead), which is also the deterministic mode for golden tests.
+///
+/// # Panics
+///
+/// Propagates worker panics (individual query panics are already
+/// contained by [`handle`]; this fires only on engine-internal bugs).
+#[must_use]
+pub fn run_batch(engine: &Engine, requests: &[Request], threads: usize) -> Vec<Response> {
+    if threads <= 1 || requests.len() <= 1 {
+        return requests.iter().map(|r| handle(engine, r)).collect();
+    }
+    let cursor = AtomicUsize::new(0);
+    let slots: Vec<Mutex<Option<Response>>> = requests.iter().map(|_| Mutex::new(None)).collect();
+    let workers = threads.min(requests.len());
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| loop {
+                let i = cursor.fetch_add(1, Ordering::Relaxed);
+                let Some(request) = requests.get(i) else {
+                    break;
+                };
+                *slots[i].lock().expect("slot mutex poisoned") = Some(handle(engine, request));
+            });
+        }
+    });
+    slots
+        .into_iter()
+        .map(|slot| {
+            slot.into_inner()
+                .expect("slot mutex poisoned")
+                .expect("every index was claimed exactly once")
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::EngineConfig;
+    use crate::protocol::parse_request;
+    use fannet_nn::{Activation, DenseLayer, Network, Readout};
+    use fannet_numeric::Rational;
+    use fannet_tensor::Matrix;
+
+    fn r(n: i128) -> Rational {
+        Rational::from_integer(n)
+    }
+
+    fn engine() -> Engine {
+        let net = Network::new(
+            vec![DenseLayer::new(
+                Matrix::from_rows(vec![vec![r(1), r(0)], vec![r(0), r(1)]]).unwrap(),
+                vec![r(0), r(0)],
+                Activation::Identity,
+            )
+            .unwrap()],
+            Readout::MaxPool,
+        )
+        .unwrap();
+        Engine::new(net, EngineConfig::serving())
+    }
+
+    fn mixed_batch() -> Vec<Request> {
+        let mut reqs = Vec::new();
+        for (i, (x0, x1)) in [(100, 82), (100, 95), (100, 99), (200, 100)]
+            .iter()
+            .enumerate()
+        {
+            reqs.push(
+                parse_request(&format!(
+                    r#"{{"op":"tolerance","id":{i},"input":["{x0}","{x1}"],"label":0,"max_delta":20}}"#
+                ))
+                .unwrap(),
+            );
+            for delta in [2, 5, 11] {
+                reqs.push(
+                    parse_request(&format!(
+                        r#"{{"op":"check","input":["{x0}","{x1}"],"label":0,"delta":{delta}}}"#
+                    ))
+                    .unwrap(),
+                );
+            }
+        }
+        reqs
+    }
+
+    #[test]
+    fn parallel_batch_matches_sequential_batch() {
+        let reqs = mixed_batch();
+        let sequential = run_batch(&engine(), &reqs, 1);
+        let parallel = run_batch(&engine(), &reqs, 4);
+        // Which cache path answers (`source`, per-answer solver counters)
+        // legitimately depends on scheduling — a worker can miss a verdict
+        // a sequential run would have found cached. Verdicts, witnesses
+        // and order must not.
+        let verdicts = |responses: &[Response]| -> Vec<String> {
+            responses
+                .iter()
+                .map(|r| {
+                    crate::protocol::render_response(r)
+                        .split(",\"source\":")
+                        .next()
+                        .expect("split yields a prefix")
+                        .to_string()
+                })
+                .collect()
+        };
+        assert_eq!(
+            verdicts(&sequential),
+            verdicts(&parallel),
+            "verdicts and order must not depend on scheduling"
+        );
+    }
+
+    #[test]
+    fn batch_shares_one_cache() {
+        let e = engine();
+        let reqs = mixed_batch();
+        let _ = run_batch(&e, &reqs, 2);
+        let s = e.stats();
+        assert!(s.lookups() > 0);
+        assert!(
+            s.exact_hits + s.subsumption_hits > 0,
+            "the mixed batch must reuse verdicts: {s:?}"
+        );
+    }
+
+    #[test]
+    fn empty_batch_is_empty() {
+        assert!(run_batch(&engine(), &[], 4).is_empty());
+    }
+}

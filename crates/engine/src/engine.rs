@@ -1,0 +1,561 @@
+//! The resident verification engine (DESIGN.md §8).
+//!
+//! An [`Engine`] owns everything PR 1's checker rebuilt per invocation —
+//! the exact network, its float shadow, the checker configuration — plus
+//! the [`VerdictCache`], and answers P2 queries through the cache instead
+//! of starting every branch-and-bound cold. It is `Sync`: one engine
+//! serves concurrent batch workers, which is how `fannet serve` turns one
+//! resident process into a query server.
+
+use std::sync::Mutex;
+
+use fannet_nn::fingerprint::{fingerprint, NetworkFingerprint};
+use fannet_nn::Network;
+use fannet_numeric::Rational;
+use fannet_tensor::ShapeError;
+use fannet_verify::bab::{BabStats, CheckerConfig, RegionChecker, RegionOutcome};
+use fannet_verify::exact::Counterexample;
+use fannet_verify::noise::ExclusionSet;
+use fannet_verify::propagate::FloatShadow;
+use fannet_verify::region::NoiseRegion;
+
+use crate::cache::{Lookup, VerdictCache, WitnessPolicy};
+use crate::stats::EngineStats;
+
+/// How an engine runs its solver and bounds its cache.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EngineConfig {
+    /// Tiers/threads of every solver run the engine performs.
+    pub checker: CheckerConfig,
+    /// LRU bound of the verdict cache (entries, not bytes).
+    pub cache_capacity: usize,
+}
+
+impl EngineConfig {
+    /// Serving preset: screened single-threaded solver runs, so
+    /// parallelism can be spent one level up, across independent requests
+    /// (the same division of labour as `fannet_core`'s per-input layer).
+    #[must_use]
+    pub fn serving() -> Self {
+        EngineConfig {
+            checker: CheckerConfig::screened(),
+            cache_capacity: 4096,
+        }
+    }
+}
+
+impl Default for EngineConfig {
+    /// Screened solver with all cores per query, 4096 cached verdicts.
+    fn default() -> Self {
+        EngineConfig {
+            checker: CheckerConfig::fast(),
+            cache_capacity: 4096,
+        }
+    }
+}
+
+/// Where a [`CheckReply`] came from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AnswerSource {
+    /// A cached verdict with the identical region key.
+    ExactHit,
+    /// A cached verdict related by the subsumption order.
+    SubsumptionHit,
+    /// A fresh branch-and-bound run.
+    Solver,
+}
+
+impl AnswerSource {
+    /// The JSONL wire spelling.
+    #[must_use]
+    pub fn wire_name(self) -> &'static str {
+        match self {
+            AnswerSource::ExactHit => "exact_hit",
+            AnswerSource::SubsumptionHit => "subsumption_hit",
+            AnswerSource::Solver => "solver",
+        }
+    }
+}
+
+/// An engine answer: the outcome plus how it was obtained.
+///
+/// `stats` are the solver counters of **this** answer — all zero when the
+/// cache answered.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CheckReply {
+    /// The verdict, bit-identical to a cold `check_region` run.
+    pub outcome: RegionOutcome,
+    /// Cache path that produced it.
+    pub source: AnswerSource,
+    /// Branch-and-bound counters of this answer (zero on cache hits).
+    pub stats: BabStats,
+}
+
+/// A long-lived verification engine for one trained network.
+pub struct Engine {
+    net: Network<Rational>,
+    fingerprint: NetworkFingerprint,
+    config: EngineConfig,
+    /// Built once iff screening is on; cloned into per-query handles.
+    shadow: Option<FloatShadow>,
+    cache: Mutex<VerdictCache>,
+    /// Cumulative branch-and-bound counters across every solver run.
+    solver_stats: Mutex<BabStats>,
+}
+
+impl std::fmt::Debug for Engine {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Engine")
+            .field("fingerprint", &self.fingerprint)
+            .field("config", &self.config)
+            .finish_non_exhaustive()
+    }
+}
+
+impl Engine {
+    /// Builds the engine: fingerprints the network and constructs the
+    /// float shadow once (iff the checker screens).
+    ///
+    /// # Panics
+    ///
+    /// Panics if screening is requested and the network is not
+    /// piecewise-linear.
+    #[must_use]
+    pub fn new(net: Network<Rational>, config: EngineConfig) -> Self {
+        let fp = fingerprint(&net);
+        let shadow = config.checker.screening.then(|| FloatShadow::new(&net));
+        let cache = VerdictCache::new(config.cache_capacity);
+        Engine {
+            net,
+            fingerprint: fp,
+            config,
+            shadow,
+            cache: Mutex::new(cache),
+            solver_stats: Mutex::new(BabStats::default()),
+        }
+    }
+
+    /// The served network.
+    #[must_use]
+    pub fn network(&self) -> &Network<Rational> {
+        &self.net
+    }
+
+    /// The cache namespace: the network's content fingerprint.
+    #[must_use]
+    pub fn fingerprint(&self) -> NetworkFingerprint {
+        self.fingerprint
+    }
+
+    /// The engine's configuration.
+    #[must_use]
+    pub fn config(&self) -> &EngineConfig {
+        &self.config
+    }
+
+    /// Lifetime cache counters.
+    #[must_use]
+    pub fn stats(&self) -> EngineStats {
+        self.cache.lock().expect("engine cache poisoned").stats()
+    }
+
+    /// Cumulative branch-and-bound counters across every solver run.
+    #[must_use]
+    pub fn solver_stats(&self) -> BabStats {
+        *self.solver_stats.lock().expect("engine stats poisoned")
+    }
+
+    /// Number of cached verdicts.
+    #[must_use]
+    pub fn cache_len(&self) -> usize {
+        self.cache.lock().expect("engine cache poisoned").len()
+    }
+
+    /// A per-query checker handle reusing the resident float shadow.
+    fn checker(&self) -> RegionChecker<'_> {
+        RegionChecker::with_shadow(&self.net, self.config.checker.clone(), self.shadow.clone())
+    }
+
+    fn validate(&self, x: &[Rational], region: &NoiseRegion) -> Result<(), ShapeError> {
+        if x.len() != self.net.inputs() {
+            return Err(ShapeError::new(format!(
+                "input of width {} against network with {} inputs",
+                x.len(),
+                self.net.inputs()
+            )));
+        }
+        if region.nodes() != self.net.inputs() {
+            return Err(ShapeError::new(format!(
+                "noise region over {} nodes against network with {} inputs",
+                region.nodes(),
+                self.net.inputs()
+            )));
+        }
+        Ok(())
+    }
+
+    /// Runs the solver cold and stores the canonical verdict.
+    fn solve(
+        &self,
+        x: &[Rational],
+        label: usize,
+        region: &NoiseRegion,
+    ) -> Result<(RegionOutcome, BabStats), ShapeError> {
+        let (outcome, stats) =
+            self.checker()
+                .check_region(x, label, region, &ExclusionSet::new())?;
+        self.solver_stats
+            .lock()
+            .expect("engine stats poisoned")
+            .merge(&stats);
+        self.cache.lock().expect("engine cache poisoned").insert(
+            x,
+            label,
+            region.clone(),
+            outcome.clone(),
+        );
+        Ok((outcome, stats))
+    }
+
+    /// Property P2 through the cache, **witness-exact**: the reply's
+    /// outcome (verdict *and* counterexample) is bit-identical to a cold
+    /// [`fannet_verify::bab::check_region`] on the same query.
+    ///
+    /// Cache reuse is therefore limited to the rules that preserve the
+    /// canonical witness — exact hits and `Robust` subsumption; a cached
+    /// counterexample for a different region re-solves (its witness need
+    /// not be the queried region's DFS-first one).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ShapeError`] if input/region/network widths disagree.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `label` is out of range.
+    pub fn check(
+        &self,
+        x: &[Rational],
+        label: usize,
+        region: &NoiseRegion,
+    ) -> Result<CheckReply, ShapeError> {
+        assert!(label < self.net.outputs(), "label {label} out of range");
+        self.validate(x, region)?;
+        let hit = self.cache.lock().expect("engine cache poisoned").lookup(
+            x,
+            label,
+            region,
+            WitnessPolicy::Canonical,
+        );
+        let (outcome, source, stats) = match hit {
+            Lookup::Exact(outcome) => (outcome, AnswerSource::ExactHit, BabStats::default()),
+            Lookup::Subsumed(outcome) => {
+                (outcome, AnswerSource::SubsumptionHit, BabStats::default())
+            }
+            Lookup::Miss => {
+                let (outcome, stats) = self.solve(x, label, region)?;
+                (outcome, AnswerSource::Solver, stats)
+            }
+        };
+        Ok(CheckReply {
+            outcome,
+            source,
+            stats,
+        })
+    }
+
+    /// Verdict-level P2 — `true` iff the region is robust. Counterexample
+    /// containment is additionally admissible here, which is what makes
+    /// tolerance probes cheap; the witness behind a `false` is *not*
+    /// surfaced, so no canonicality is promised.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ShapeError`] if input/region/network widths disagree.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `label` is out of range.
+    pub fn check_verdict(
+        &self,
+        x: &[Rational],
+        label: usize,
+        region: &NoiseRegion,
+    ) -> Result<(bool, AnswerSource), ShapeError> {
+        assert!(label < self.net.outputs(), "label {label} out of range");
+        self.validate(x, region)?;
+        let (outcome, source) = self.probe(x, label, region)?;
+        Ok((outcome.is_robust(), source))
+    }
+
+    /// Shared verdict-level lookup-or-solve.
+    fn probe(
+        &self,
+        x: &[Rational],
+        label: usize,
+        region: &NoiseRegion,
+    ) -> Result<(RegionOutcome, AnswerSource), ShapeError> {
+        let hit = self.cache.lock().expect("engine cache poisoned").lookup(
+            x,
+            label,
+            region,
+            WitnessPolicy::VerdictOnly,
+        );
+        Ok(match hit {
+            Lookup::Exact(outcome) => (outcome, AnswerSource::ExactHit),
+            Lookup::Subsumed(outcome) => (outcome, AnswerSource::SubsumptionHit),
+            Lookup::Miss => {
+                let (outcome, _) = self.solve(x, label, region)?;
+                (outcome, AnswerSource::Solver)
+            }
+        })
+    }
+
+    /// Exact robustness radius of one input — the engine-backed
+    /// incremental replacement of `fannet_core::tolerance`'s cold binary
+    /// search, returning the **identical** value: the smallest
+    /// `δ ∈ [1, max_delta]` whose `±δ` region contains a counterexample,
+    /// or `None` if the input is robust throughout `±max_delta`.
+    ///
+    /// Three accelerations compose, all sound, so the result is exact:
+    ///
+    /// 1. **warm start** — cached verdicts for this `(x, label)` bracket
+    ///    the search before any probe runs;
+    /// 2. **subsumed probes** — a probe at `±δ` is free when a cached
+    ///    witness `w` has `‖w‖∞ ≤ δ` (counterexample containment) or a
+    ///    cached robust region contains `±δ`;
+    /// 3. **witness-norm descent** — when a probe at `±mid` solves to a
+    ///    counterexample `w`, the upper bound drops to `max(‖w‖∞, 1)`
+    ///    rather than `mid` (`w` itself lies in `±‖w‖∞`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ShapeError`] if input/network widths disagree.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `label` is out of range or `max_delta` outside
+    /// `[1, 100]`.
+    pub fn tolerance(
+        &self,
+        x: &[Rational],
+        label: usize,
+        max_delta: i64,
+    ) -> Result<Option<i64>, ShapeError> {
+        assert!(label < self.net.outputs(), "label {label} out of range");
+        assert!(
+            (1..=100).contains(&max_delta),
+            "max_delta must be in [1, 100]"
+        );
+        self.validate(x, &NoiseRegion::symmetric(0, x.len()))?;
+
+        let (robust_through, flips_at) = self
+            .cache
+            .lock()
+            .expect("engine cache poisoned")
+            .symmetric_bracket(x, label);
+        if robust_through >= max_delta {
+            return Ok(None);
+        }
+        let mut lo = robust_through; // invariant: ±lo has no CE (or lo = 0)
+        let mut hi = match flips_at.filter(|&m| m <= max_delta) {
+            Some(m) => m, // invariant: ±hi contains a CE
+            None => {
+                let (outcome, _) =
+                    self.probe(x, label, &NoiseRegion::symmetric(max_delta, x.len()))?;
+                match outcome.counterexample() {
+                    None => return Ok(None),
+                    Some(ce) => ce.noise.max_abs().max(1),
+                }
+            }
+        };
+        while hi - lo > 1 {
+            let mid = lo + (hi - lo) / 2;
+            let (outcome, _) = self.probe(x, label, &NoiseRegion::symmetric(mid, x.len()))?;
+            match outcome.counterexample() {
+                Some(ce) => hi = ce.noise.max_abs().max(1),
+                None => lo = mid,
+            }
+        }
+        Ok(Some(hi))
+    }
+
+    /// Collects up to `cap` counterexamples in `region` (the P3
+    /// extraction primitive behind `sensitivity` requests). Uncached —
+    /// the result shape is a set, not a verdict — but it reuses the
+    /// resident float shadow and feeds the cumulative solver counters.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ShapeError`] if input/region/network widths disagree.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `label` is out of range or `cap == 0`.
+    pub fn collect(
+        &self,
+        x: &[Rational],
+        label: usize,
+        region: &NoiseRegion,
+        cap: usize,
+    ) -> Result<(Vec<Counterexample>, bool, BabStats), ShapeError> {
+        let result = self
+            .checker()
+            .collect_region_counterexamples(x, label, region, cap)?;
+        self.solver_stats
+            .lock()
+            .expect("engine stats poisoned")
+            .merge(&result.2);
+        Ok(result)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fannet_nn::{Activation, DenseLayer, Readout};
+    use fannet_tensor::Matrix;
+    use fannet_verify::bab;
+
+    fn r(n: i128) -> Rational {
+        Rational::from_integer(n)
+    }
+
+    /// label 0 iff x0 ≥ x1.
+    fn comparator() -> Network<Rational> {
+        Network::new(
+            vec![DenseLayer::new(
+                Matrix::from_rows(vec![vec![r(1), r(0)], vec![r(0), r(1)]]).unwrap(),
+                vec![r(0), r(0)],
+                Activation::Identity,
+            )
+            .unwrap()],
+            Readout::MaxPool,
+        )
+        .unwrap()
+    }
+
+    fn engine() -> Engine {
+        Engine::new(comparator(), EngineConfig::serving())
+    }
+
+    #[test]
+    fn check_cold_then_exact_hit() {
+        let e = engine();
+        let x = [r(100), r(82)];
+        let region = NoiseRegion::symmetric(5, 2);
+        let first = e.check(&x, 0, &region).unwrap();
+        assert_eq!(first.source, AnswerSource::Solver);
+        assert!(first.outcome.is_robust());
+        let second = e.check(&x, 0, &region).unwrap();
+        assert_eq!(second.source, AnswerSource::ExactHit);
+        assert_eq!(second.outcome, first.outcome);
+        assert_eq!(second.stats, BabStats::default(), "cache hits do no work");
+        let s = e.stats();
+        assert_eq!((s.exact_hits, s.misses), (1, 1));
+    }
+
+    #[test]
+    fn robust_subsumption_answers_nested_check() {
+        let e = engine();
+        let x = [r(100), r(82)];
+        let _ = e.check(&x, 0, &NoiseRegion::symmetric(9, 2)).unwrap();
+        let nested = e.check(&x, 0, &NoiseRegion::symmetric(3, 2)).unwrap();
+        assert_eq!(nested.source, AnswerSource::SubsumptionHit);
+        assert!(nested.outcome.is_robust());
+        assert_eq!(e.stats().subsumption_hits, 1);
+    }
+
+    #[test]
+    fn check_replies_match_cold_solver_bit_for_bit() {
+        let e = engine();
+        let x = [r(100), r(82)];
+        // Mixed robust/flipping deltas, issued twice (miss then hit paths).
+        for _ in 0..2 {
+            for delta in [3, 9, 12, 20, 7] {
+                let region = NoiseRegion::symmetric(delta, 2);
+                let reply = e.check(&x, 0, &region).unwrap();
+                let (cold, _) =
+                    bab::check_region(e.network(), &x, 0, &region, &ExclusionSet::new()).unwrap();
+                assert_eq!(reply.outcome, cold, "delta {delta}");
+            }
+        }
+    }
+
+    #[test]
+    fn tolerance_matches_cold_binary_search() {
+        let e = engine();
+        // Closed form: first flip at min Δ with x0(100−Δ) < x1(100+Δ).
+        for (x0, x1, want) in [
+            (100i64, 82i64, Some(10)),
+            (100, 99, Some(1)),
+            (100, 50, None),
+        ] {
+            let x = [r(i128::from(x0)), r(i128::from(x1))];
+            assert_eq!(e.tolerance(&x, 0, 20).unwrap(), want, "({x0}, {x1})");
+        }
+    }
+
+    #[test]
+    fn repeated_tolerance_resolves_from_cache_alone() {
+        let e = engine();
+        let x = [r(100), r(82)];
+        assert_eq!(e.tolerance(&x, 0, 20).unwrap(), Some(10));
+        let misses_before = e.stats().misses;
+        let subsumed_before = e.stats().subsumption_hits;
+        assert_eq!(e.tolerance(&x, 0, 20).unwrap(), Some(10));
+        assert_eq!(
+            e.stats().misses,
+            misses_before,
+            "no solver runs on re-search"
+        );
+        assert!(
+            e.stats().subsumption_hits > subsumed_before,
+            "the warm-start bracket is a subsumption answer: {:?}",
+            e.stats()
+        );
+    }
+
+    #[test]
+    fn tolerance_warm_starts_from_check_traffic() {
+        let e = engine();
+        let x = [r(100), r(82)];
+        // Prior check traffic proves ±9 robust; the radius search's
+        // bracket reuses that verdict instead of re-probing below it.
+        let _ = e.check(&x, 0, &NoiseRegion::symmetric(9, 2)).unwrap();
+        let subsumed_before = e.stats().subsumption_hits;
+        assert_eq!(e.tolerance(&x, 0, 50).unwrap(), Some(10));
+        assert!(e.stats().subsumption_hits > subsumed_before);
+        // All later probes stay strictly above the bracket's floor.
+        assert_eq!(e.tolerance(&x, 0, 9).unwrap(), None, "±9 is proven robust");
+    }
+
+    #[test]
+    fn collect_feeds_solver_stats() {
+        let e = engine();
+        let x = [r(100), r(99)];
+        let (ces, exhausted, _) = e
+            .collect(&x, 0, &NoiseRegion::symmetric(3, 2), usize::MAX)
+            .unwrap();
+        assert!(exhausted);
+        assert!(!ces.is_empty());
+        assert!(e.solver_stats().boxes_visited > 0);
+    }
+
+    #[test]
+    fn width_mismatches_are_errors_not_panics() {
+        let e = engine();
+        assert!(e.check(&[r(1)], 0, &NoiseRegion::symmetric(1, 2)).is_err());
+        assert!(e
+            .check(&[r(1), r(2)], 0, &NoiseRegion::symmetric(1, 3))
+            .is_err());
+        assert!(e.tolerance(&[r(1)], 0, 10).is_err());
+    }
+
+    #[test]
+    fn fingerprint_is_content_addressed() {
+        let a = engine();
+        let b = engine();
+        assert_eq!(a.fingerprint(), b.fingerprint());
+    }
+}

@@ -1,0 +1,68 @@
+//! # fannet-engine
+//!
+//! The persistent verification query engine (DESIGN.md §8): everything
+//! the FANNet analyses need to stop paying for cold starts.
+//!
+//! PR 1 made a single P2 query fast; this crate makes *workloads* fast.
+//! The paper's headline analyses — noise-tolerance sweeps, per-node
+//! sensitivity, bias flows — decompose into thousands of region queries
+//! against the *same* trained network, and those queries are heavily
+//! related: a region proven robust proves every nested region, a found
+//! counterexample decides every region containing it. A resident
+//! [`Engine`] exploits that structure:
+//!
+//! * [`engine`] — owns the network, its content [`fingerprint`]
+//!   namespace, the float shadow and the checker configuration; answers
+//!   witness-exact checks, verdict-level probes, incremental tolerance
+//!   searches and P3 extractions.
+//! * [`cache`] — the subsumption-aware LRU verdict cache with
+//!   [`EngineStats`] accounting.
+//! * [`batch`] — order-preserving parallel dispatch of independent
+//!   requests against one engine.
+//! * [`protocol`] — the JSONL request/response wire format of
+//!   `fannet serve`.
+//!
+//! Soundness is inherited, never traded: every cache rule is a theorem
+//! about the checker's semantics (DESIGN.md §8), and every answer the
+//! engine returns for a witness-bearing query is bit-identical to a cold
+//! `check_region` run — enforced by `tests/engine_equivalence.rs`.
+//!
+//! ## Example
+//!
+//! ```
+//! use fannet_engine::{Engine, EngineConfig};
+//! use fannet_nn::{Activation, DenseLayer, Network, Readout};
+//! use fannet_numeric::Rational;
+//! use fannet_tensor::Matrix;
+//! use fannet_verify::region::NoiseRegion;
+//!
+//! let r = |n: i128| Rational::from_integer(n);
+//! let net = Network::new(vec![DenseLayer::new(
+//!     Matrix::from_rows(vec![vec![r(1), r(0)], vec![r(0), r(1)]])?,
+//!     vec![r(0), r(0)],
+//!     Activation::Identity,
+//! )?], Readout::MaxPool)?;
+//!
+//! let engine = Engine::new(net, EngineConfig::serving());
+//! let x = [r(100), r(82)];
+//! // First answer runs the solver; the repeat is an exact cache hit.
+//! let cold = engine.check(&x, 0, &NoiseRegion::symmetric(5, 2))?;
+//! let warm = engine.check(&x, 0, &NoiseRegion::symmetric(5, 2))?;
+//! assert_eq!(cold.outcome, warm.outcome);
+//! assert_eq!(engine.stats().exact_hits, 1);
+//! // The robust proof at ±5 also answers any nested region.
+//! let nested = engine.check(&x, 0, &NoiseRegion::symmetric(2, 2))?;
+//! assert!(nested.outcome.is_robust());
+//! assert_eq!(engine.stats().subsumption_hits, 1);
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+pub mod batch;
+pub mod cache;
+pub mod engine;
+pub mod protocol;
+pub mod stats;
+
+pub use engine::{AnswerSource, CheckReply, Engine, EngineConfig};
+pub use fannet_nn::fingerprint;
+pub use stats::EngineStats;

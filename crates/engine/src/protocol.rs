@@ -1,0 +1,822 @@
+//! The JSONL request/response protocol of `fannet serve` (DESIGN.md §8).
+//!
+//! One request per line on stdin, one response per line on stdout,
+//! `i`-th response answering the `i`-th request. Four operations:
+//!
+//! ```text
+//! {"op":"check","id":1,"input":["100","82"],"label":0,"delta":5}
+//! {"op":"check","input":["100","82"],"label":0,"region":[[-5,5],[0,3]]}
+//! {"op":"tolerance","input":["100","82"],"label":0,"max_delta":50}
+//! {"op":"sensitivity","input":["100","99"],"label":0,"delta":3,"cap":10}
+//! {"op":"stats"}
+//! ```
+//!
+//! Inputs are exact rationals: strings (`"82"`, `"3/4"`, `"-1.25"`) or
+//! bare JSON integers. `delta` is shorthand for the symmetric region
+//! `±delta` over every input node; `region` gives explicit per-node
+//! `[lo, hi]` percent bounds. `id` is an optional client tag echoed back
+//! verbatim; `max_delta` defaults to 50 and `cap` to 100.
+//!
+//! Responses are flat JSON objects tagged with the same `op` (or
+//! `"error"`), e.g.:
+//!
+//! ```text
+//! {"op":"check","id":1,"verdict":"robust","source":"solver","stats":{…}}
+//! {"op":"check","verdict":"counterexample","source":"exact_hit",
+//!  "noise":[-12,4],"predicted":1,"expected":0,
+//!  "noisy_input":["88/1","…"],"outputs":["…"],"stats":{…}}
+//! {"op":"tolerance","radius":12}            // null ⇔ robust through ±max_delta
+//! {"op":"sensitivity","count":4,"exhausted":true,"nodes":[{"node":0,…}]}
+//! {"op":"stats","fingerprint":"…","exact_hits":…,"cache_len":…,"solver":{…}}
+//! {"op":"error","id":7,"message":"label 3 out of range for 2 outputs"}
+//! ```
+//!
+//! The wire impls are written by hand against the serde shim's `Value`
+//! data model: the derive shim has no field attributes, and a protocol
+//! wants lowercase tags, optional fields and flat objects.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+use fannet_numeric::Rational;
+use fannet_verify::bab::{BabStats, RegionOutcome};
+use fannet_verify::exact::Counterexample;
+use fannet_verify::region::NoiseRegion;
+use serde::de::{take_entry, DeserializeOwned};
+use serde::{Deserialize, Serialize, Serializer, Value};
+
+use crate::engine::{AnswerSource, Engine};
+use crate::stats::EngineStats;
+
+/// Default `max_delta` of a `tolerance` request.
+pub const DEFAULT_MAX_DELTA: i64 = 50;
+/// Default counterexample cap of a `sensitivity` request.
+pub const DEFAULT_CAP: usize = 100;
+
+/// One decoded request line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Request {
+    /// Witness-exact P2 check over a region.
+    Check {
+        /// Client tag echoed in the response.
+        id: Option<u64>,
+        /// Exact input vector.
+        input: Vec<Rational>,
+        /// Expected label `Sx`.
+        label: usize,
+        /// Region to certify.
+        region: NoiseRegion,
+    },
+    /// Exact robustness radius by incremental binary search.
+    Tolerance {
+        /// Client tag echoed in the response.
+        id: Option<u64>,
+        /// Exact input vector.
+        input: Vec<Rational>,
+        /// Expected label `Sx`.
+        label: usize,
+        /// Largest radius probed.
+        max_delta: i64,
+    },
+    /// Per-node noise-sign statistics over extracted counterexamples.
+    Sensitivity {
+        /// Client tag echoed in the response.
+        id: Option<u64>,
+        /// Exact input vector.
+        input: Vec<Rational>,
+        /// Expected label `Sx`.
+        label: usize,
+        /// Region to extract from.
+        region: NoiseRegion,
+        /// Maximum counterexamples to extract.
+        cap: usize,
+    },
+    /// Engine/cache/solver counters.
+    Stats {
+        /// Client tag echoed in the response.
+        id: Option<u64>,
+    },
+}
+
+/// Per-node sign statistics of a `sensitivity` reply (the serving-side
+/// counterpart of `fannet_core::sensitivity::NodeSensitivity`, computed
+/// here because the engine sits below `fannet-core` in the crate DAG).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct NodeSigns {
+    /// Input node (0-based).
+    pub node: usize,
+    /// Extracted vectors with strictly positive noise here.
+    pub positive: usize,
+    /// Extracted vectors with strictly negative noise here.
+    pub negative: usize,
+    /// Extracted vectors with zero noise here.
+    pub zero: usize,
+    /// Largest positive percent observed.
+    pub max_positive: i64,
+    /// Most negative percent observed.
+    pub min_negative: i64,
+}
+
+/// One response line.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Response {
+    /// Answer to [`Request::Check`].
+    Check {
+        /// Echo of the request tag.
+        id: Option<u64>,
+        /// Canonical outcome (verdict and witness).
+        outcome: RegionOutcome,
+        /// Cache path that produced it.
+        source: AnswerSource,
+        /// Solver counters of this answer (zero on cache hits).
+        stats: BabStats,
+    },
+    /// Answer to [`Request::Tolerance`].
+    Tolerance {
+        /// Echo of the request tag.
+        id: Option<u64>,
+        /// Smallest flipping `δ`, `None` if robust through `±max_delta`.
+        radius: Option<i64>,
+        /// The `max_delta` that bounded the search.
+        max_delta: i64,
+    },
+    /// Answer to [`Request::Sensitivity`].
+    Sensitivity {
+        /// Echo of the request tag.
+        id: Option<u64>,
+        /// Counterexamples extracted.
+        count: usize,
+        /// `true` iff the region was exhausted before the cap.
+        exhausted: bool,
+        /// Per-node sign statistics.
+        nodes: Vec<NodeSigns>,
+    },
+    /// Answer to [`Request::Stats`].
+    Stats {
+        /// Echo of the request tag.
+        id: Option<u64>,
+        /// The served network's content fingerprint (cache namespace).
+        fingerprint: String,
+        /// Cache counters.
+        engine: EngineStats,
+        /// Verdicts currently cached.
+        cache_len: usize,
+        /// Cumulative solver counters.
+        solver: BabStats,
+    },
+    /// Any failure: malformed line, bad query, or a solver panic.
+    Error {
+        /// Echo of the request tag, when one was decoded.
+        id: Option<u64>,
+        /// Human-readable cause.
+        message: String,
+    },
+}
+
+// ---------------------------------------------------------------------------
+// Request decoding
+// ---------------------------------------------------------------------------
+
+fn field_error(msg: impl std::fmt::Display) -> String {
+    msg.to_string()
+}
+
+fn rational_from_value(v: Value) -> Result<Rational, String> {
+    match v {
+        Value::Str(s) => s
+            .parse::<Rational>()
+            .map_err(|e| field_error(format!("bad input component: {e}"))),
+        Value::Int(n) => Ok(Rational::from_integer(n)),
+        other => Err(field_error(format!(
+            "input components must be strings or integers, found {other:?}"
+        ))),
+    }
+}
+
+fn take_input(m: &mut Vec<(String, Value)>) -> Result<Vec<Rational>, String> {
+    match take_entry(m, "input") {
+        Some(Value::Seq(items)) => items.into_iter().map(rational_from_value).collect(),
+        Some(other) => Err(format!("`input` must be an array, found {other:?}")),
+        None => Err("missing field `input`".to_string()),
+    }
+}
+
+fn take_parsed<T: DeserializeOwned>(
+    m: &mut Vec<(String, Value)>,
+    field: &str,
+) -> Result<Option<T>, String> {
+    match take_entry(m, field) {
+        None | Some(Value::Null) => Ok(None),
+        Some(v) => serde::de::from_value(v)
+            .map(Some)
+            .map_err(|e| format!("bad `{field}`: {e}")),
+    }
+}
+
+fn take_required<T: DeserializeOwned>(
+    m: &mut Vec<(String, Value)>,
+    field: &str,
+) -> Result<T, String> {
+    take_parsed(m, field)?.ok_or_else(|| format!("missing field `{field}`"))
+}
+
+/// Resolves the `delta` / `region` pair into a validated [`NoiseRegion`].
+fn take_region(m: &mut Vec<(String, Value)>, nodes: usize) -> Result<NoiseRegion, String> {
+    let delta: Option<i64> = take_parsed(m, "delta")?;
+    let ranges: Option<Vec<(i64, i64)>> = take_parsed(m, "region")?;
+    match (delta, ranges) {
+        (Some(_), Some(_)) => Err("give either `delta` or `region`, not both".to_string()),
+        (Some(d), None) => {
+            if !(0..=100).contains(&d) {
+                return Err(format!("delta {d} outside the model's [0, 100] range"));
+            }
+            Ok(NoiseRegion::symmetric(d, nodes))
+        }
+        (None, Some(r)) => NoiseRegion::try_new(r),
+        (None, None) => Err("missing field `delta` (or `region`)".to_string()),
+    }
+}
+
+/// Decodes one JSONL line into a [`Request`].
+///
+/// # Errors
+///
+/// Returns a human-readable message for malformed JSON, unknown ops,
+/// missing fields or out-of-model regions. The caller wraps it into a
+/// [`Response::Error`] so one bad line never kills a serving session.
+pub fn parse_request(line: &str) -> Result<Request, String> {
+    let value: Value = ValueDocument::parse(line)?;
+    let Value::Map(mut m) = value else {
+        return Err("request line must be a JSON object".to_string());
+    };
+    let op = match take_entry(&mut m, "op") {
+        Some(Value::Str(s)) => s,
+        Some(other) => return Err(format!("`op` must be a string, found {other:?}")),
+        None => return Err("missing field `op`".to_string()),
+    };
+    let id: Option<u64> = take_parsed(&mut m, "id")?;
+    match op.as_str() {
+        "check" => {
+            let input = take_input(&mut m)?;
+            let label = take_required(&mut m, "label")?;
+            let region = take_region(&mut m, input.len())?;
+            Ok(Request::Check {
+                id,
+                input,
+                label,
+                region,
+            })
+        }
+        "tolerance" => {
+            let input = take_input(&mut m)?;
+            let label = take_required(&mut m, "label")?;
+            let max_delta = take_parsed(&mut m, "max_delta")?.unwrap_or(DEFAULT_MAX_DELTA);
+            if !(1..=100).contains(&max_delta) {
+                return Err(format!("max_delta {max_delta} outside [1, 100]"));
+            }
+            Ok(Request::Tolerance {
+                id,
+                input,
+                label,
+                max_delta,
+            })
+        }
+        "sensitivity" => {
+            let input = take_input(&mut m)?;
+            let label = take_required(&mut m, "label")?;
+            let region = take_region(&mut m, input.len())?;
+            let cap = take_parsed(&mut m, "cap")?.unwrap_or(DEFAULT_CAP);
+            if cap == 0 {
+                return Err("cap must be positive".to_string());
+            }
+            Ok(Request::Sensitivity {
+                id,
+                input,
+                label,
+                region,
+                cap,
+            })
+        }
+        "stats" => Ok(Request::Stats { id }),
+        other => Err(format!(
+            "unknown op `{other}` (expected check/tolerance/sensitivity/stats)"
+        )),
+    }
+}
+
+/// Adapter: the serde_json shim exposes typed `from_str` only, so parse
+/// into the shim's raw `Value` through a thin `Deserialize` wrapper.
+struct ValueDocument(Value);
+
+impl<'de> Deserialize<'de> for ValueDocument {
+    fn deserialize<D: serde::Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        serde::Deserializer::take_value(d).map(ValueDocument)
+    }
+}
+
+impl ValueDocument {
+    fn parse(line: &str) -> Result<Value, String> {
+        serde_json::from_str::<ValueDocument>(line)
+            .map(|doc| doc.0)
+            .map_err(|e| format!("malformed JSON: {e}"))
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Response encoding
+// ---------------------------------------------------------------------------
+
+impl Serialize for Response {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        use serde::ser::SerializeStruct as _;
+        let mut st = serializer.serialize_struct("Response", 8)?;
+        match self {
+            Response::Check {
+                id,
+                outcome,
+                source,
+                stats,
+            } => {
+                st.serialize_field("op", "check")?;
+                if let Some(id) = id {
+                    st.serialize_field("id", id)?;
+                }
+                match outcome {
+                    RegionOutcome::Robust => st.serialize_field("verdict", "robust")?,
+                    RegionOutcome::Counterexample(ce) => {
+                        st.serialize_field("verdict", "counterexample")?;
+                        st.serialize_field("noise", ce.noise.percents())?;
+                        st.serialize_field("predicted", &ce.predicted)?;
+                        st.serialize_field("expected", &ce.expected)?;
+                        st.serialize_field("noisy_input", &ce.noisy_input)?;
+                        st.serialize_field("outputs", &ce.outputs)?;
+                    }
+                }
+                st.serialize_field("source", source.wire_name())?;
+                st.serialize_field("stats", stats)?;
+            }
+            Response::Tolerance {
+                id,
+                radius,
+                max_delta,
+            } => {
+                st.serialize_field("op", "tolerance")?;
+                if let Some(id) = id {
+                    st.serialize_field("id", id)?;
+                }
+                st.serialize_field("radius", radius)?;
+                st.serialize_field("max_delta", max_delta)?;
+            }
+            Response::Sensitivity {
+                id,
+                count,
+                exhausted,
+                nodes,
+            } => {
+                st.serialize_field("op", "sensitivity")?;
+                if let Some(id) = id {
+                    st.serialize_field("id", id)?;
+                }
+                st.serialize_field("count", count)?;
+                st.serialize_field("exhausted", exhausted)?;
+                st.serialize_field("nodes", nodes)?;
+            }
+            Response::Stats {
+                id,
+                fingerprint,
+                engine,
+                cache_len,
+                solver,
+            } => {
+                st.serialize_field("op", "stats")?;
+                if let Some(id) = id {
+                    st.serialize_field("id", id)?;
+                }
+                st.serialize_field("fingerprint", fingerprint)?;
+                st.serialize_field("exact_hits", &engine.exact_hits)?;
+                st.serialize_field("subsumption_hits", &engine.subsumption_hits)?;
+                st.serialize_field("misses", &engine.misses)?;
+                st.serialize_field("evictions", &engine.evictions)?;
+                st.serialize_field("cache_len", cache_len)?;
+                st.serialize_field("solver", solver)?;
+            }
+            Response::Error { id, message } => {
+                st.serialize_field("op", "error")?;
+                if let Some(id) = id {
+                    st.serialize_field("id", id)?;
+                }
+                st.serialize_field("message", message)?;
+            }
+        }
+        st.end()
+    }
+}
+
+/// Renders a response as its compact single-line wire form.
+///
+/// # Panics
+///
+/// Panics if serialization fails (the response model is total).
+#[must_use]
+pub fn render_response(response: &Response) -> String {
+    serde_json::to_string(response).expect("response serialization is total")
+}
+
+// ---------------------------------------------------------------------------
+// Dispatch
+// ---------------------------------------------------------------------------
+
+/// Per-node sign statistics over extracted counterexample noise vectors.
+#[must_use]
+pub fn node_signs(width: usize, counterexamples: &[Counterexample]) -> Vec<NodeSigns> {
+    let mut nodes: Vec<NodeSigns> = (0..width)
+        .map(|node| NodeSigns {
+            node,
+            positive: 0,
+            negative: 0,
+            zero: 0,
+            max_positive: 0,
+            min_negative: 0,
+        })
+        .collect();
+    for ce in counterexamples {
+        for (node, &p) in ce.noise.percents().iter().enumerate() {
+            let entry = &mut nodes[node];
+            if p > 0 {
+                entry.positive += 1;
+                entry.max_positive = entry.max_positive.max(p);
+            } else if p < 0 {
+                entry.negative += 1;
+                entry.min_negative = entry.min_negative.min(p);
+            } else {
+                entry.zero += 1;
+            }
+        }
+    }
+    nodes
+}
+
+/// Answers one request against a resident engine.
+///
+/// Never panics: query validation failures, shape errors and solver
+/// panics (e.g. `i128` overflow on hostile inputs) all come back as
+/// [`Response::Error`], so a serving session survives any single request.
+#[must_use]
+pub fn handle(engine: &Engine, request: &Request) -> Response {
+    let id = request_id(request);
+    match catch_unwind(AssertUnwindSafe(|| dispatch(engine, request))) {
+        Ok(response) => response,
+        Err(panic) => Response::Error {
+            id,
+            message: format!("query aborted: {}", panic_message(&panic)),
+        },
+    }
+}
+
+/// The client tag of a request.
+#[must_use]
+pub fn request_id(request: &Request) -> Option<u64> {
+    match request {
+        Request::Check { id, .. }
+        | Request::Tolerance { id, .. }
+        | Request::Sensitivity { id, .. }
+        | Request::Stats { id } => *id,
+    }
+}
+
+fn panic_message(panic: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = panic.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = panic.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "solver panicked".to_string()
+    }
+}
+
+fn validate_label(engine: &Engine, label: usize) -> Result<(), String> {
+    let outputs = engine.network().outputs();
+    if label >= outputs {
+        Err(format!("label {label} out of range for {outputs} outputs"))
+    } else {
+        Ok(())
+    }
+}
+
+fn dispatch(engine: &Engine, request: &Request) -> Response {
+    let id = request_id(request);
+    let error = |message: String| Response::Error { id, message };
+    match request {
+        Request::Check {
+            input,
+            label,
+            region,
+            ..
+        } => {
+            if let Err(m) = validate_label(engine, *label) {
+                return error(m);
+            }
+            match engine.check(input, *label, region) {
+                Ok(reply) => Response::Check {
+                    id,
+                    outcome: reply.outcome,
+                    source: reply.source,
+                    stats: reply.stats,
+                },
+                Err(e) => error(e.to_string()),
+            }
+        }
+        Request::Tolerance {
+            input,
+            label,
+            max_delta,
+            ..
+        } => {
+            if let Err(m) = validate_label(engine, *label) {
+                return error(m);
+            }
+            match engine.tolerance(input, *label, *max_delta) {
+                Ok(radius) => Response::Tolerance {
+                    id,
+                    radius,
+                    max_delta: *max_delta,
+                },
+                Err(e) => error(e.to_string()),
+            }
+        }
+        Request::Sensitivity {
+            input,
+            label,
+            region,
+            cap,
+            ..
+        } => {
+            if let Err(m) = validate_label(engine, *label) {
+                return error(m);
+            }
+            match engine.collect(input, *label, region, *cap) {
+                Ok((ces, exhausted, _)) => Response::Sensitivity {
+                    id,
+                    count: ces.len(),
+                    exhausted,
+                    nodes: node_signs(input.len(), &ces),
+                },
+                Err(e) => error(e.to_string()),
+            }
+        }
+        Request::Stats { .. } => Response::Stats {
+            id,
+            fingerprint: engine.fingerprint().to_hex(),
+            engine: engine.stats(),
+            cache_len: engine.cache_len(),
+            solver: engine.solver_stats(),
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::EngineConfig;
+    use fannet_nn::{Activation, DenseLayer, Network, Readout};
+    use fannet_tensor::Matrix;
+
+    fn r(n: i128) -> Rational {
+        Rational::from_integer(n)
+    }
+
+    fn engine() -> Engine {
+        let net = Network::new(
+            vec![DenseLayer::new(
+                Matrix::from_rows(vec![vec![r(1), r(0)], vec![r(0), r(1)]]).unwrap(),
+                vec![r(0), r(0)],
+                Activation::Identity,
+            )
+            .unwrap()],
+            Readout::MaxPool,
+        )
+        .unwrap();
+        Engine::new(net, EngineConfig::serving())
+    }
+
+    #[test]
+    fn parses_every_op() {
+        let req =
+            parse_request(r#"{"op":"check","id":7,"input":["100","82"],"label":0,"delta":5}"#)
+                .unwrap();
+        assert_eq!(
+            req,
+            Request::Check {
+                id: Some(7),
+                input: vec![r(100), r(82)],
+                label: 0,
+                region: NoiseRegion::symmetric(5, 2),
+            }
+        );
+        let req =
+            parse_request(r#"{"op":"check","input":[100,82],"label":0,"region":[[-5,5],[0,3]]}"#)
+                .unwrap();
+        assert_eq!(
+            req,
+            Request::Check {
+                id: None,
+                input: vec![r(100), r(82)],
+                label: 0,
+                region: NoiseRegion::new(vec![(-5, 5), (0, 3)]),
+            }
+        );
+        let req = parse_request(r#"{"op":"tolerance","input":["3/4","-1.25"],"label":1}"#).unwrap();
+        assert_eq!(
+            req,
+            Request::Tolerance {
+                id: None,
+                input: vec![Rational::new(3, 4), Rational::new(-5, 4)],
+                label: 1,
+                max_delta: DEFAULT_MAX_DELTA,
+            }
+        );
+        let req = parse_request(
+            r#"{"op":"sensitivity","input":["100","99"],"label":0,"delta":3,"cap":10}"#,
+        )
+        .unwrap();
+        assert!(matches!(req, Request::Sensitivity { cap: 10, .. }));
+        assert_eq!(
+            parse_request(r#"{"op":"stats"}"#).unwrap(),
+            Request::Stats { id: None }
+        );
+    }
+
+    #[test]
+    fn rejects_malformed_requests() {
+        for (line, needle) in [
+            ("not json", "malformed JSON"),
+            ("[]", "must be a JSON object"),
+            (r#"{"input":[],"label":0}"#, "missing field `op`"),
+            (r#"{"op":"frobnicate"}"#, "unknown op"),
+            (
+                r#"{"op":"check","label":0,"delta":5}"#,
+                "missing field `input`",
+            ),
+            (
+                r#"{"op":"check","input":["1","2"],"label":0}"#,
+                "missing field `delta`",
+            ),
+            (
+                r#"{"op":"check","input":["1","2"],"label":0,"delta":5,"region":[[0,0],[0,0]]}"#,
+                "not both",
+            ),
+            (
+                r#"{"op":"check","input":["1","2"],"label":0,"delta":101}"#,
+                "outside the model's",
+            ),
+            (
+                r#"{"op":"check","input":["1","2"],"label":0,"region":[[5,-5],[0,0]]}"#,
+                "inverted",
+            ),
+            (
+                r#"{"op":"tolerance","input":["1","2"],"label":0,"max_delta":0}"#,
+                "outside [1, 100]",
+            ),
+            (
+                r#"{"op":"sensitivity","input":["1","2"],"label":0,"delta":1,"cap":0}"#,
+                "cap must be positive",
+            ),
+            (
+                r#"{"op":"check","input":[true],"label":0,"delta":1}"#,
+                "strings or integers",
+            ),
+        ] {
+            let err = parse_request(line).unwrap_err();
+            assert!(err.contains(needle), "`{line}` → `{err}` lacks `{needle}`");
+        }
+    }
+
+    #[test]
+    fn handles_and_renders_check_round() {
+        let e = engine();
+        let req =
+            parse_request(r#"{"op":"check","id":1,"input":["100","82"],"label":0,"delta":5}"#)
+                .unwrap();
+        let resp = handle(&e, &req);
+        let line = render_response(&resp);
+        assert!(
+            line.starts_with(r#"{"op":"check","id":1,"verdict":"robust""#),
+            "{line}"
+        );
+        assert!(line.contains(r#""source":"solver""#), "{line}");
+
+        let req =
+            parse_request(r#"{"op":"check","input":["100","82"],"label":0,"delta":15}"#).unwrap();
+        let line = render_response(&handle(&e, &req));
+        assert!(line.contains(r#""verdict":"counterexample""#), "{line}");
+        assert!(line.contains(r#""noise":["#), "{line}");
+        assert!(line.contains(r#""predicted":1"#), "{line}");
+    }
+
+    #[test]
+    fn bad_queries_become_error_responses_not_panics() {
+        let e = engine();
+        // Label out of range.
+        let req = Request::Check {
+            id: Some(9),
+            input: vec![r(1), r(2)],
+            label: 5,
+            region: NoiseRegion::symmetric(1, 2),
+        };
+        let resp = handle(&e, &req);
+        assert!(
+            matches!(&resp, Response::Error { id: Some(9), message } if message.contains("out of range")),
+            "{resp:?}"
+        );
+        // Width mismatch.
+        let req = Request::Tolerance {
+            id: None,
+            input: vec![r(1)],
+            label: 0,
+            max_delta: 10,
+        };
+        assert!(matches!(handle(&e, &req), Response::Error { .. }));
+    }
+
+    #[test]
+    fn solver_panic_is_contained() {
+        use fannet_numeric::Rational;
+        // Weights huge enough that exact propagation overflows i128.
+        let huge = Rational::from_integer(i128::MAX / 4);
+        let net = Network::new(
+            vec![DenseLayer::new(
+                Matrix::from_rows(vec![vec![huge, huge], vec![huge, -huge]]).unwrap(),
+                vec![Rational::ZERO, Rational::ZERO],
+                Activation::Identity,
+            )
+            .unwrap()],
+            Readout::MaxPool,
+        )
+        .unwrap();
+        let e = Engine::new(
+            net,
+            EngineConfig {
+                checker: fannet_verify::bab::CheckerConfig::serial_exact(),
+                cache_capacity: 16,
+            },
+        );
+        let req = Request::Check {
+            id: Some(3),
+            input: vec![r(1 << 20), r(1 << 20)],
+            label: 0,
+            region: NoiseRegion::symmetric(8, 2),
+        };
+        let resp = handle(&e, &req);
+        assert!(
+            matches!(&resp, Response::Error { id: Some(3), message } if message.contains("aborted")),
+            "{resp:?}"
+        );
+    }
+
+    #[test]
+    fn stats_response_reports_cache_counters() {
+        let e = engine();
+        let check =
+            parse_request(r#"{"op":"check","input":["100","82"],"label":0,"delta":5}"#).unwrap();
+        let _ = handle(&e, &check);
+        let _ = handle(&e, &check);
+        let line = render_response(&handle(&e, &parse_request(r#"{"op":"stats"}"#).unwrap()));
+        assert!(line.contains(r#""exact_hits":1"#), "{line}");
+        assert!(line.contains(r#""misses":1"#), "{line}");
+        assert!(line.contains(r#""cache_len":1"#), "{line}");
+        assert!(line.contains(r#""fingerprint":""#), "{line}");
+        assert!(line.contains(r#""solver":{"#), "{line}");
+    }
+
+    #[test]
+    fn sensitivity_counts_signs() {
+        let e = engine();
+        let req = parse_request(
+            r#"{"op":"sensitivity","id":4,"input":["100","99"],"label":0,"delta":3}"#,
+        )
+        .unwrap();
+        let resp = handle(&e, &req);
+        let Response::Sensitivity {
+            count,
+            exhausted,
+            nodes,
+            ..
+        } = &resp
+        else {
+            panic!("{resp:?}");
+        };
+        assert!(*exhausted);
+        assert!(*count > 0);
+        assert_eq!(nodes.len(), 2);
+        // Flipping 100 vs 99 needs the x1 side pushed up relative to x0:
+        // node 1 appears with positive noise, and never more negative
+        // than node 0 is positive-capped by the ±3 region.
+        assert!(nodes[1].positive > 0);
+        assert!(nodes[0].max_positive <= 3 && nodes[1].max_positive <= 3);
+        assert_eq!(
+            nodes[0].positive + nodes[0].negative + nodes[0].zero,
+            *count
+        );
+        let line = render_response(&resp);
+        assert!(line.contains(r#""nodes":[{"node":0"#), "{line}");
+    }
+}

@@ -1,0 +1,86 @@
+//! Cache-effectiveness counters (DESIGN.md §8).
+
+use serde::{Deserialize, Serialize};
+
+/// How the engine's verdict cache answered lookups over its lifetime.
+///
+/// Every lookup increments exactly one of `exact_hits`,
+/// `subsumption_hits` or `misses` (one lookup per
+/// [`crate::Engine::check`] / [`crate::Engine::check_verdict`] call, one
+/// per probe of [`crate::Engine::tolerance`]). A tolerance search's
+/// warm-start bracket additionally counts one subsumption hit per bound
+/// it narrows from a cached verdict — those are probes the search never
+/// has to issue.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct EngineStats {
+    /// Lookups answered by an entry with the *identical* region key —
+    /// verdict and witness reused verbatim.
+    pub exact_hits: u64,
+    /// Lookups answered by the subsumption order: a `Robust(R)` entry with
+    /// `query ⊆ R`, or (verdict-level lookups only) a `Counterexample(w)`
+    /// entry with `w ∈ query`.
+    pub subsumption_hits: u64,
+    /// Lookups no cached verdict could answer; the solver ran.
+    pub misses: u64,
+    /// Entries discarded by the LRU bound.
+    pub evictions: u64,
+}
+
+impl EngineStats {
+    /// Total lookups served.
+    #[must_use]
+    pub fn lookups(&self) -> u64 {
+        self.exact_hits + self.subsumption_hits + self.misses
+    }
+
+    /// Fraction of lookups answered without running the solver; `None`
+    /// before the first lookup.
+    #[must_use]
+    pub fn hit_rate(&self) -> Option<f64> {
+        let total = self.lookups();
+        if total == 0 {
+            None
+        } else {
+            Some((self.exact_hits + self.subsumption_hits) as f64 / total as f64)
+        }
+    }
+
+    /// Accumulates another engine's counters into `self`.
+    pub fn merge(&mut self, other: &EngineStats) {
+        self.exact_hits += other.exact_hits;
+        self.subsumption_hits += other.subsumption_hits;
+        self.misses += other.misses;
+        self.evictions += other.evictions;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accounting_identities() {
+        let s = EngineStats {
+            exact_hits: 2,
+            subsumption_hits: 3,
+            misses: 5,
+            evictions: 1,
+        };
+        assert_eq!(s.lookups(), 10);
+        assert_eq!(s.hit_rate(), Some(0.5));
+        assert_eq!(EngineStats::default().hit_rate(), None);
+        let mut m = s;
+        m.merge(&s);
+        assert_eq!(m.lookups(), 20);
+        assert_eq!(m.evictions, 2);
+    }
+
+    #[test]
+    fn serializes_flat() {
+        let s = EngineStats::default();
+        let json = serde_json::to_string(&s).unwrap();
+        assert!(json.contains("\"subsumption_hits\":0"), "{json}");
+        let back: EngineStats = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, s);
+    }
+}

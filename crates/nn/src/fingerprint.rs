@@ -1,0 +1,193 @@
+//! Content-addressed network identity.
+//!
+//! A [`NetworkFingerprint`] is a stable 128-bit hash of a network's
+//! *serialized content* — topology, activations, readout and every exact
+//! weight/bias — computed over the canonical JSON document produced by
+//! [`crate::io::to_json`]'s compact sibling (`serde_json::to_string`).
+//! Two networks fingerprint equal iff their canonical serializations are
+//! byte-identical, which for `Network<Rational>` means exactly equal
+//! parameters (rationals serialize in lowest terms).
+//!
+//! The fingerprint is the cache *namespace* of `fannet-engine`: verdicts
+//! cached for one network can never answer queries against another, even
+//! across process restarts or model reloads, because the namespace is
+//! derived from content rather than from a file path or a pointer.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize, Serializer};
+
+use crate::network::Network;
+use fannet_numeric::Scalar;
+
+/// A 128-bit FNV-1a content hash identifying one network.
+///
+/// Not cryptographic — it guards against *accidental* cross-network cache
+/// mixing, not against an adversary crafting collisions.
+///
+/// # Examples
+///
+/// ```
+/// use fannet_nn::{fingerprint::fingerprint, Activation, DenseLayer, Network, Readout};
+/// use fannet_tensor::Matrix;
+///
+/// let net = Network::new(vec![DenseLayer::new(
+///     Matrix::from_rows(vec![vec![1.0, 0.0], vec![0.0, 1.0]])?,
+///     vec![0.0, 0.0],
+///     Activation::Identity,
+/// )?], Readout::MaxPool)?;
+/// let a = fingerprint(&net);
+/// assert_eq!(a, fingerprint(&net.clone()), "content-addressed");
+/// assert_eq!(a.to_string().len(), 32, "128 bits as hex");
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct NetworkFingerprint {
+    hi: u64,
+    lo: u64,
+}
+
+impl NetworkFingerprint {
+    /// Hashes raw bytes — exposed so callers can fingerprint a model
+    /// document without re-parsing it.
+    #[must_use]
+    pub fn of_bytes(bytes: &[u8]) -> Self {
+        NetworkFingerprint {
+            hi: fnv1a(bytes, 0xcbf2_9ce4_8422_2325),
+            // A second pass from an independent offset basis; the pair
+            // behaves as a 128-bit hash for accidental-collision purposes.
+            lo: fnv1a(bytes, 0x6c62_272e_07bb_0142),
+        }
+    }
+
+    /// The fingerprint as a fixed-width lowercase hex string.
+    #[must_use]
+    pub fn to_hex(&self) -> String {
+        format!("{:016x}{:016x}", self.hi, self.lo)
+    }
+}
+
+impl fmt::Display for NetworkFingerprint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.to_hex())
+    }
+}
+
+impl Serialize for NetworkFingerprint {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_str(&self.to_hex())
+    }
+}
+
+impl<'de> Deserialize<'de> for NetworkFingerprint {
+    fn deserialize<D: serde::Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        let hex = String::deserialize(deserializer)?;
+        if hex.len() != 32 {
+            return Err(serde::de::Error::custom(format!(
+                "fingerprint must be 32 hex digits, got {}",
+                hex.len()
+            )));
+        }
+        let parse = |s: &str| {
+            u64::from_str_radix(s, 16)
+                .map_err(|_| serde::de::Error::custom("fingerprint is not hex"))
+        };
+        Ok(NetworkFingerprint {
+            hi: parse(&hex[..16])?,
+            lo: parse(&hex[16..])?,
+        })
+    }
+}
+
+/// 64-bit FNV-1a with a caller-chosen offset basis.
+fn fnv1a(bytes: &[u8], basis: u64) -> u64 {
+    let mut h = basis;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Fingerprints a network via its canonical (compact) JSON serialization.
+///
+/// # Panics
+///
+/// Panics if the network fails to serialize (cannot happen for the
+/// workspace's scalar types — their `Serialize` impls are total).
+#[must_use]
+pub fn fingerprint<S: Scalar + Serialize>(net: &Network<S>) -> NetworkFingerprint {
+    let json = serde_json::to_string(net).expect("network serialization is total");
+    NetworkFingerprint::of_bytes(json.as_bytes())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::activation::Activation;
+    use crate::layer::DenseLayer;
+    use crate::network::Readout;
+    use fannet_numeric::Rational;
+    use fannet_tensor::Matrix;
+
+    fn r(n: i128) -> Rational {
+        Rational::from_integer(n)
+    }
+
+    fn net(w: i128) -> Network<Rational> {
+        Network::new(
+            vec![DenseLayer::new(
+                Matrix::from_rows(vec![vec![r(w), r(0)], vec![r(0), r(1)]]).unwrap(),
+                vec![r(0), r(0)],
+                Activation::Identity,
+            )
+            .unwrap()],
+            Readout::MaxPool,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn equal_content_equal_fingerprint() {
+        assert_eq!(fingerprint(&net(1)), fingerprint(&net(1)));
+    }
+
+    #[test]
+    fn different_weights_different_fingerprint() {
+        assert_ne!(fingerprint(&net(1)), fingerprint(&net(2)));
+    }
+
+    #[test]
+    fn survives_model_io_round_trip() {
+        let a = net(7);
+        let json = crate::io::to_json(&a).unwrap();
+        let b: Network<Rational> = crate::io::from_json(&json).unwrap();
+        assert_eq!(fingerprint(&a), fingerprint(&b));
+    }
+
+    #[test]
+    fn hex_and_serde_round_trip() {
+        let fp = fingerprint(&net(3));
+        let hex = fp.to_hex();
+        assert_eq!(hex.len(), 32);
+        assert!(hex.chars().all(|c| c.is_ascii_hexdigit()));
+        let json = serde_json::to_string(&fp).unwrap();
+        assert_eq!(json, format!("\"{hex}\""));
+        let back: NetworkFingerprint = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, fp);
+        assert!(serde_json::from_str::<NetworkFingerprint>("\"abc\"").is_err());
+        assert!(
+            serde_json::from_str::<NetworkFingerprint>(&format!("\"{}\"", "g".repeat(32))).is_err()
+        );
+    }
+
+    #[test]
+    fn bytes_entry_point_matches() {
+        let n = net(5);
+        let json = serde_json::to_string(&n).unwrap();
+        assert_eq!(
+            fingerprint(&n),
+            NetworkFingerprint::of_bytes(json.as_bytes())
+        );
+    }
+}

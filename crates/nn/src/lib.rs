@@ -33,6 +33,7 @@
 //! ```
 
 pub mod activation;
+pub mod fingerprint;
 pub mod fold;
 pub mod init;
 pub mod io;
@@ -42,5 +43,6 @@ pub mod quantize;
 pub mod train;
 
 pub use activation::Activation;
+pub use fingerprint::NetworkFingerprint;
 pub use layer::DenseLayer;
 pub use network::{ForwardTrace, Network, Readout};

@@ -139,13 +139,28 @@ impl Default for CheckerConfig {
 }
 
 /// Worker count used by the parallel presets: the `FANNET_THREADS`
-/// environment variable when set (clamped to ≥ 1), otherwise the machine's
-/// available parallelism.
+/// environment variable when set, otherwise the machine's available
+/// parallelism.
+///
+/// A value of `0` — or one that does not parse as an unsigned integer —
+/// falls back to all cores; an unparsable value additionally emits a
+/// one-time warning on stderr (a silently ignored override is worse than
+/// a noisy one).
 #[must_use]
 pub fn default_threads() -> usize {
     if let Ok(v) = std::env::var(THREADS_ENV) {
-        if let Ok(n) = v.trim().parse::<usize>() {
-            return n.max(1);
+        match v.trim().parse::<usize>() {
+            Ok(0) => {} // documented "use all cores" spelling
+            Ok(n) => return n,
+            Err(_) => {
+                static WARN_ONCE: std::sync::Once = std::sync::Once::new();
+                WARN_ONCE.call_once(|| {
+                    eprintln!(
+                        "warning: ignoring unparsable {THREADS_ENV}={v:?}; \
+                         falling back to all cores"
+                    );
+                });
+            }
         }
     }
     std::thread::available_parallelism().map_or(1, |n| n.get())
@@ -198,7 +213,7 @@ impl BabStats {
 }
 
 /// Outcome of a region check.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub enum RegionOutcome {
     /// P2 holds: no noise vector in the region (outside the exclusion set)
     /// misclassifies the input. This is a *proof*.
@@ -330,7 +345,28 @@ impl<'n> RegionChecker<'n> {
     /// piecewise-linear.
     #[must_use]
     pub fn new(net: &'n Network<Rational>, config: CheckerConfig) -> Self {
-        let shadow = config.screening.then(|| FloatShadow::new(net));
+        Self::with_shadow(net, config, None)
+    }
+
+    /// Builds the handle around a shadow constructed elsewhere — the cache
+    /// hook used by `fannet-engine`, whose resident `Engine` owns both the
+    /// network and one [`FloatShadow`] and stamps out per-query handles
+    /// without re-enclosing every weight.
+    ///
+    /// `shadow` must have been built from `net`; it is consulted iff
+    /// `config.screening` (a `None` shadow with screening enabled is
+    /// rebuilt here).
+    #[must_use]
+    pub fn with_shadow(
+        net: &'n Network<Rational>,
+        config: CheckerConfig,
+        shadow: Option<FloatShadow>,
+    ) -> Self {
+        let shadow = if config.screening {
+            shadow.or_else(|| Some(FloatShadow::new(net)))
+        } else {
+            None
+        };
         RegionChecker {
             net,
             config,

@@ -4,12 +4,13 @@
 use fannet_nn::Network;
 use fannet_numeric::Rational;
 use fannet_tensor::ShapeError;
+use serde::{Deserialize, Serialize};
 
 use crate::noise::NoiseVector;
 
 /// A concrete, exactly-evaluated misclassification witness: FANNet's
 /// counterexample object.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct Counterexample {
     /// The adversarial noise vector (integer percents).
     pub noise: NoiseVector,

@@ -34,14 +34,27 @@ impl NoiseRegion {
     /// paper's model `x ± x·ΔX/100` never does for ΔX ≤ 100).
     #[must_use]
     pub fn new(ranges: Vec<(i64, i64)>) -> Self {
+        Self::try_new(ranges).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Non-panicking form of [`NoiseRegion::new`], for callers validating
+    /// untrusted input (e.g. the `fannet serve` JSONL front end).
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first invalid bound.
+    pub fn try_new(ranges: Vec<(i64, i64)>) -> Result<Self, String> {
         for &(lo, hi) in &ranges {
-            assert!(lo <= hi, "noise range [{lo}, {hi}] is inverted");
-            assert!(
-                (-100..=100).contains(&lo) && (-100..=100).contains(&hi),
-                "noise percent out of the model's [-100, 100] range"
-            );
+            if lo > hi {
+                return Err(format!("noise range [{lo}, {hi}] is inverted"));
+            }
+            if !((-100..=100).contains(&lo) && (-100..=100).contains(&hi)) {
+                return Err(format!(
+                    "noise percent out of the model's [-100, 100] range: [{lo}, {hi}]"
+                ));
+            }
         }
-        NoiseRegion { ranges }
+        Ok(NoiseRegion { ranges })
     }
 
     /// The symmetric region `[-delta, +delta]ⁿ` — the paper's "noise range
@@ -78,13 +91,19 @@ impl NoiseRegion {
         &self.ranges
     }
 
-    /// Number of integer grid points in the box.
+    /// Number of integer grid points in the box, saturating at
+    /// `i128::MAX`.
+    ///
+    /// Each endpoint is widened to `i128` *before* the subtraction: a
+    /// deserialized region can carry arbitrary `i64` bounds (serde
+    /// bypasses the constructor's validation), for which `hi - lo` in
+    /// `i64` would overflow.
     #[must_use]
     pub fn point_count(&self) -> i128 {
         self.ranges
             .iter()
-            .map(|&(lo, hi)| i128::from(hi - lo) + 1)
-            .product()
+            .map(|&(lo, hi)| i128::from(hi) - i128::from(lo) + 1)
+            .fold(1i128, i128::saturating_mul)
     }
 
     /// `true` if the box is a single grid point.
@@ -113,6 +132,20 @@ impl NoiseRegion {
                 .iter()
                 .zip(&self.ranges)
                 .all(|(&p, &(lo, hi))| lo <= p && p <= hi)
+    }
+
+    /// `true` if `other` is a sub-box of `self` (`other ⊆ self`).
+    ///
+    /// This is the subsumption order of the engine's verdict cache: a
+    /// region proven robust answers every region it contains.
+    #[must_use]
+    pub fn contains_region(&self, other: &NoiseRegion) -> bool {
+        other.nodes() == self.nodes()
+            && other
+                .ranges
+                .iter()
+                .zip(&self.ranges)
+                .all(|(&(olo, ohi), &(lo, hi))| lo <= olo && ohi <= hi)
     }
 
     /// The multiplicative noise-factor interval `(100 + [lo, hi])/100` for
@@ -318,5 +351,46 @@ mod tests {
     fn display() {
         let r = NoiseRegion::new(vec![(-5, 5), (0, 0)]);
         assert_eq!(r.to_string(), "{[-5, 5]% × [0, 0]%}");
+    }
+
+    #[test]
+    fn try_new_mirrors_new() {
+        assert!(NoiseRegion::try_new(vec![(-5, 5)]).is_ok());
+        assert!(NoiseRegion::try_new(vec![(3, 2)])
+            .unwrap_err()
+            .contains("inverted"));
+        assert!(NoiseRegion::try_new(vec![(-150, 0)])
+            .unwrap_err()
+            .contains("out of the model's"));
+    }
+
+    #[test]
+    fn point_count_survives_extreme_deserialized_ranges() {
+        // serde bypasses the constructor's [-100, 100] validation, so the
+        // count must not compute `hi - lo` in i64 (it would overflow here).
+        let json = format!(r#"{{"ranges":[[{}, {}]]}}"#, i64::MIN, i64::MAX);
+        let r: NoiseRegion = serde_json::from_str(&json).expect("raw ranges deserialize");
+        assert_eq!(r.point_count(), (u64::MAX as i128) + 1);
+        // Many wide axes saturate instead of wrapping.
+        let wide = format!(
+            r#"{{"ranges":[{}]}}"#,
+            vec![format!("[{}, {}]", i64::MIN, i64::MAX); 3].join(",")
+        );
+        let r3: NoiseRegion = serde_json::from_str(&wide).expect("raw ranges deserialize");
+        assert_eq!(r3.point_count(), i128::MAX);
+    }
+
+    #[test]
+    fn containment_order() {
+        let outer = NoiseRegion::new(vec![(-5, 5), (-3, 4)]);
+        let inner = NoiseRegion::new(vec![(-2, 5), (0, 0)]);
+        assert!(outer.contains_region(&inner));
+        assert!(outer.contains_region(&outer), "containment is reflexive");
+        assert!(!inner.contains_region(&outer));
+        // Width mismatch is never contained.
+        assert!(!outer.contains_region(&NoiseRegion::symmetric(1, 3)));
+        // Overlapping but not nested.
+        let shifted = NoiseRegion::new(vec![(-6, 0), (0, 0)]);
+        assert!(!outer.contains_region(&shifted));
     }
 }

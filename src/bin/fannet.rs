@@ -9,21 +9,28 @@
 //!                                             exact robustness radius
 //! fannet export-smv --model model.json --input 1,2,3,4,5 --label 0 --delta 1
 //!                                             print the SMV translation
+//! fannet serve --model model.json [--once] [--threads N]
+//!                                             resident JSONL query engine:
+//!                                             requests on stdin, responses
+//!                                             on stdout (DESIGN.md §8)
 //! ```
 //!
 //! Models are the JSON documents written by `fannet::nn::io` (exact
 //! rational weights serialize as `"num/den"` strings).
 
+use std::io::{BufRead as _, Write as _};
 use std::process::ExitCode;
 
 use fannet::core::casestudy::{build, CaseStudyConfig};
 use fannet::core::tolerance::robustness_radius;
+use fannet::engine::protocol::{parse_request, render_response, Response};
+use fannet::engine::{batch, Engine, EngineConfig};
 use fannet::nn::io;
 use fannet::nn::Network;
 use fannet::numeric::Rational;
 use fannet::smv::nn_to_smv::{network_to_smv, TranslationConfig};
 use fannet::smv::printer::print_module;
-use fannet::verify::bab::find_counterexample;
+use fannet::verify::bab::{default_threads, find_counterexample, CheckerConfig};
 use fannet::verify::region::NoiseRegion;
 
 fn main() -> ExitCode {
@@ -43,7 +50,14 @@ const USAGE: &str = "usage:
   fannet train [--small] --out <model.json>
   fannet check --model <model.json> --input <v1,v2,...> --label <L> --delta <D>
   fannet radius --model <model.json> --input <v1,v2,...> --label <L> [--max <D>]
-  fannet export-smv --model <model.json> --input <v1,v2,...> --label <L> --delta <D>";
+  fannet export-smv --model <model.json> --input <v1,v2,...> --label <L> --delta <D>
+  fannet serve --model <model.json> [--once] [--threads <N>]
+               [--cache-capacity <N>] [--no-screening]
+    JSONL requests on stdin, one response per line on stdout, e.g.
+      {\"op\":\"check\",\"input\":[\"100\",\"82\"],\"label\":0,\"delta\":5}
+      {\"op\":\"tolerance\",\"input\":[\"100\",\"82\"],\"label\":0,\"max_delta\":50}
+      {\"op\":\"sensitivity\",\"input\":[\"100\",\"99\"],\"label\":0,\"delta\":3,\"cap\":10}
+      {\"op\":\"stats\"}";
 
 fn run(args: &[String]) -> Result<(), String> {
     let (command, rest) = args.split_first().ok_or("missing command")?;
@@ -52,6 +66,7 @@ fn run(args: &[String]) -> Result<(), String> {
         "check" => check(rest),
         "radius" => radius(rest),
         "export-smv" => export_smv(rest),
+        "serve" => serve(rest),
         "--help" | "-h" | "help" => {
             println!("{USAGE}");
             Ok(())
@@ -196,6 +211,118 @@ fn radius(args: &[String]) -> Result<(), String> {
         None => println!("robust through ±{max}%"),
     }
     Ok(())
+}
+
+/// `fannet serve`: one resident engine answering JSONL requests.
+///
+/// Streaming by default — each drained chunk of stdin lines is answered
+/// as one parallel batch and flushed, so piped clients see responses as
+/// they are produced. `--once` reads stdin to EOF and answers a single
+/// batch, the deterministic mode CI's golden smoke test runs with
+/// `--threads 1` (parallel batches keep verdicts deterministic, but
+/// `stats` counters then depend on scheduling).
+fn serve(args: &[String]) -> Result<(), String> {
+    let net = load_model(required(args, "--model")?)?;
+    let threads = match flag(args, "--threads") {
+        Some(text) => text
+            .parse::<usize>()
+            .map_err(|_| format!("bad --threads `{text}`"))?
+            .max(1),
+        None => default_threads(),
+    };
+    let cache_capacity = match flag(args, "--cache-capacity") {
+        Some(text) => match text.parse::<usize>() {
+            Ok(n) if n > 0 => n,
+            _ => {
+                return Err(format!(
+                    "bad --cache-capacity `{text}` (need a positive integer)"
+                ))
+            }
+        },
+        None => EngineConfig::serving().cache_capacity,
+    };
+    let checker = if has_switch(args, "--no-screening") {
+        CheckerConfig::serial_exact()
+    } else {
+        // Parallelism is spent across requests, not inside one query.
+        CheckerConfig::screened()
+    };
+    let engine = Engine::new(
+        net,
+        EngineConfig {
+            checker,
+            cache_capacity,
+        },
+    );
+
+    let stdin = std::io::stdin();
+    if has_switch(args, "--once") {
+        let lines: Vec<String> = stdin
+            .lock()
+            .lines()
+            .collect::<Result<_, _>>()
+            .map_err(|e| format!("cannot read stdin: {e}"))?;
+        emit(answer_lines(&engine, &lines, threads))?;
+        return Ok(());
+    }
+
+    // Streaming: a reader thread feeds a channel; the main loop answers
+    // whatever has queued up as one batch, then blocks for more.
+    let (tx, rx) = std::sync::mpsc::channel::<String>();
+    std::thread::spawn(move || {
+        let stdin = std::io::stdin();
+        for line in stdin.lock().lines() {
+            let Ok(line) = line else { break };
+            if tx.send(line).is_err() {
+                break;
+            }
+        }
+    });
+    while let Ok(first) = rx.recv() {
+        let mut chunk = vec![first];
+        while let Ok(more) = rx.try_recv() {
+            chunk.push(more);
+        }
+        emit(answer_lines(&engine, &chunk, threads))?;
+    }
+    Ok(())
+}
+
+/// Answers a chunk of raw stdin lines in order: blank lines are skipped,
+/// unparsable lines become `error` responses, the rest run as one batch.
+fn answer_lines(engine: &Engine, lines: &[String], threads: usize) -> Vec<String> {
+    // Split parses into the batch (by value, no request is cloned) and
+    // per-position parse errors, then zip the answers back in order.
+    let mut requests = Vec::new();
+    let slots: Vec<Result<(), String>> = lines
+        .iter()
+        .filter(|line| !line.trim().is_empty())
+        .map(|line| match parse_request(line) {
+            Ok(request) => {
+                requests.push(request);
+                Ok(())
+            }
+            Err(message) => Err(message),
+        })
+        .collect();
+    let mut answers = batch::run_batch(engine, &requests, threads).into_iter();
+    slots
+        .into_iter()
+        .map(|slot| match slot {
+            Ok(()) => answers.next().expect("one answer per request"),
+            Err(message) => Response::Error { id: None, message },
+        })
+        .map(|response| render_response(&response))
+        .collect()
+}
+
+fn emit(lines: Vec<String>) -> Result<(), String> {
+    let stdout = std::io::stdout();
+    let mut out = stdout.lock();
+    for line in lines {
+        writeln!(out, "{line}").map_err(|e| format!("cannot write stdout: {e}"))?;
+    }
+    out.flush().map_err(|e| format!("cannot flush stdout: {e}"))
 }
 
 fn export_smv(args: &[String]) -> Result<(), String> {

@@ -1,0 +1,122 @@
+//! End-to-end smoke test of `fannet serve`: pipes the committed JSONL
+//! request batch through the real binary and diffs against the committed
+//! golden responses — the same check CI's serve-smoke job runs in shell.
+//!
+//! Run with `--threads 1` so the `stats` response's counters are
+//! scheduling-independent (verdicts are deterministic at any thread
+//! count; the counters are not, because concurrent queries race for who
+//! misses first).
+
+use std::io::Write as _;
+use std::process::{Command, Stdio};
+
+fn repo_file(rel: &str) -> String {
+    format!("{}/{rel}", env!("CARGO_MANIFEST_DIR"))
+}
+
+fn run_serve(extra_args: &[&str], input: &str) -> (String, String, bool) {
+    let mut child = Command::new(env!("CARGO_BIN_EXE_fannet"))
+        .arg("serve")
+        .args(["--model", &repo_file("tests/data/serve_model.json")])
+        .args(extra_args)
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("fannet binary spawns");
+    child
+        .stdin
+        .take()
+        .expect("stdin piped")
+        .write_all(input.as_bytes())
+        .expect("requests written");
+    let out = child.wait_with_output().expect("fannet serve exits");
+    (
+        String::from_utf8(out.stdout).expect("utf-8 stdout"),
+        String::from_utf8(out.stderr).expect("utf-8 stderr"),
+        out.status.success(),
+    )
+}
+
+#[test]
+fn once_batch_matches_committed_golden_responses() {
+    let requests =
+        std::fs::read_to_string(repo_file("tests/data/serve_requests.jsonl")).expect("requests");
+    let golden =
+        std::fs::read_to_string(repo_file("tests/data/serve_golden.jsonl")).expect("golden");
+    let (stdout, stderr, ok) = run_serve(&["--once", "--threads", "1"], &requests);
+    assert!(ok, "serve must exit cleanly: {stderr}");
+    assert_eq!(
+        stdout, golden,
+        "JSONL responses drifted from tests/data/serve_golden.jsonl — if the \
+         change is intentional, regenerate it with:\n  fannet serve --once \
+         --threads 1 --model tests/data/serve_model.json \
+         < tests/data/serve_requests.jsonl > tests/data/serve_golden.jsonl"
+    );
+}
+
+#[test]
+fn parallel_batch_verdicts_match_golden_modulo_stats() {
+    let requests =
+        std::fs::read_to_string(repo_file("tests/data/serve_requests.jsonl")).expect("requests");
+    let golden =
+        std::fs::read_to_string(repo_file("tests/data/serve_golden.jsonl")).expect("golden");
+    let (stdout, stderr, ok) = run_serve(&["--once", "--threads", "4"], &requests);
+    assert!(ok, "serve must exit cleanly: {stderr}");
+    // Verdict-bearing fields are deterministic at any thread count; only
+    // `source` attribution and counters may shift, so compare the stable
+    // prefix of every non-stats line.
+    let stable = |line: &str| {
+        line.split(",\"source\":")
+            .next()
+            .expect("split yields a prefix")
+            .to_string()
+    };
+    let got: Vec<String> = stdout
+        .lines()
+        .filter(|l| !l.contains("\"op\":\"stats\""))
+        .map(stable)
+        .collect();
+    let want: Vec<String> = golden
+        .lines()
+        .filter(|l| !l.contains("\"op\":\"stats\""))
+        .map(stable)
+        .collect();
+    assert_eq!(got, want);
+}
+
+#[test]
+fn streaming_mode_answers_in_order_and_skips_blank_lines() {
+    let input = concat!(
+        "{\"op\":\"check\",\"id\":1,\"input\":[\"100\",\"82\"],\"label\":0,\"delta\":5}\n",
+        "\n",
+        "{\"op\":\"check\",\"id\":2,\"input\":[\"100\",\"82\"],\"label\":0,\"delta\":5}\n",
+        "not json\n",
+        "{\"op\":\"stats\",\"id\":3}\n",
+    );
+    // No --once: the streaming loop drains chunks until stdin closes.
+    let (stdout, stderr, ok) = run_serve(&["--threads", "1"], input);
+    assert!(ok, "serve must exit cleanly: {stderr}");
+    let lines: Vec<&str> = stdout.lines().collect();
+    assert_eq!(lines.len(), 4, "{stdout}");
+    assert!(lines[0].starts_with("{\"op\":\"check\",\"id\":1,\"verdict\":\"robust\""));
+    assert!(lines[1].starts_with("{\"op\":\"check\",\"id\":2,\"verdict\":\"robust\""));
+    assert!(lines[2].starts_with("{\"op\":\"error\""), "{}", lines[2]);
+    assert!(
+        lines[3].starts_with("{\"op\":\"stats\",\"id\":3"),
+        "{}",
+        lines[3]
+    );
+}
+
+#[test]
+fn bad_model_path_fails_with_usage() {
+    let out = Command::new(env!("CARGO_BIN_EXE_fannet"))
+        .args(["serve", "--model", "/nonexistent/model.json", "--once"])
+        .stdin(Stdio::null())
+        .output()
+        .expect("binary runs");
+    assert!(!out.status.success());
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("cannot load model"), "{stderr}");
+}
