@@ -48,6 +48,22 @@ struct AblationRow {
     stats: BabStats,
 }
 
+/// One arm of the zonotope ablation: interval-only vs cascade screening
+/// on identical wide-noise queries, verdicts asserted identical — the
+/// observable win of the zonotope tier is the drop in explored boxes.
+#[derive(Serialize)]
+struct ZonotopeAblationRow {
+    variant: &'static str,
+    delta: i64,
+    seconds: f64,
+    robust: bool,
+    boxes_visited: u64,
+    splits: u64,
+    interval_hit_rate: Option<f64>,
+    zonotope_hit_rate: Option<f64>,
+    stats: BabStats,
+}
+
 /// Engine-vs-cold timings of one mixed query batch (the PR-2 headline:
 /// a resident engine with a verdict cache beats per-query cold starts).
 #[derive(Serialize)]
@@ -79,6 +95,7 @@ struct EngineThroughputReport {
 #[derive(Serialize)]
 struct AblationReport {
     checker_ablation: Vec<AblationRow>,
+    zonotope_ablation: Vec<ZonotopeAblationRow>,
     engine_throughput: EngineThroughputReport,
 }
 
@@ -89,11 +106,12 @@ fn checker_ablation_rows(deltas: &[i64]) -> Vec<AblationRow> {
     let inputs = fannet_bench::paper_test_inputs();
     let labels = cs.test5.labels();
     let idx = 6; // robust input: every variant must cover the whole grid
-    let variants: [(&'static str, CheckerConfig); 4] = [
+    let variants: [(&'static str, CheckerConfig); 5] = [
         ("serial_exact", CheckerConfig::serial_exact()),
         ("screened", CheckerConfig::screened()),
+        ("cascade", CheckerConfig::cascade()),
         ("parallel", CheckerConfig::parallel()),
-        ("screened_parallel", CheckerConfig::fast()),
+        ("cascade_parallel", CheckerConfig::fast()),
     ];
     let mut rows = Vec::new();
     for &delta in deltas {
@@ -119,6 +137,71 @@ fn checker_ablation_rows(deltas: &[i64]) -> Vec<AblationRow> {
                 seconds,
                 robust: outcome.is_robust(),
                 screen_hit_rate: stats.screen_hit_rate(),
+                stats,
+            });
+        }
+    }
+    rows
+}
+
+/// The zonotope ablation (the PR-3 headline): interval-only screening vs
+/// the interval→zonotope→exact cascade on the paper network at wide
+/// noise ranges, where interval decorrelation makes branch-and-bound
+/// split thousands of boxes the zonotope's output-difference
+/// classification decides outright. Verdicts are asserted identical —
+/// the tiers only change who pays per box.
+fn zonotope_ablation_rows(deltas: &[i64]) -> Vec<ZonotopeAblationRow> {
+    let cs = paper_study();
+    let inputs = fannet_bench::paper_test_inputs();
+    let labels = cs.test5.labels();
+    let idx = 6;
+    let variants: [(&'static str, CheckerConfig); 2] = [
+        ("interval", CheckerConfig::screened()),
+        ("cascade", CheckerConfig::cascade()),
+    ];
+    let mut rows = Vec::new();
+    for &delta in deltas {
+        let region = NoiseRegion::symmetric(delta, 5);
+        let mut interval_outcome: Option<(bool, u64)> = None;
+        for (name, config) in &variants {
+            let t = Instant::now();
+            let (outcome, stats) =
+                find_counterexample_with(&cs.exact_net, &inputs[idx], labels[idx], &region, config)
+                    .expect("widths");
+            let seconds = t.elapsed().as_secs_f64();
+            match interval_outcome {
+                None => interval_outcome = Some((outcome.is_robust(), stats.boxes_visited)),
+                Some((robust, interval_boxes)) => {
+                    assert_eq!(
+                        outcome.is_robust(),
+                        robust,
+                        "screening tiers disagree at ±{delta}%"
+                    );
+                    assert!(
+                        stats.boxes_visited <= interval_boxes,
+                        "cascade must never explore more boxes than interval-only \
+                         (±{delta}%: {} vs {interval_boxes})",
+                        stats.boxes_visited
+                    );
+                    if delta >= 30 {
+                        assert!(
+                            stats.boxes_visited < interval_boxes,
+                            "zonotope tier must measurably cut explored boxes at ±{delta}% \
+                             ({} vs {interval_boxes})",
+                            stats.boxes_visited
+                        );
+                    }
+                }
+            }
+            rows.push(ZonotopeAblationRow {
+                variant: name,
+                delta,
+                seconds,
+                robust: outcome.is_robust(),
+                boxes_visited: stats.boxes_visited,
+                splits: stats.splits,
+                interval_hit_rate: stats.interval_hit_rate(),
+                zonotope_hit_rate: stats.zonotope_hit_rate(),
                 stats,
             });
         }
@@ -248,7 +331,7 @@ fn engine_throughput_report() -> EngineThroughputReport {
 
 /// `--bench-json` mode: run the ablation, print a table, write JSON.
 fn run_bench_json(path: &str) {
-    println!("checker ablation (two-tier screening × parallel search)");
+    println!("checker ablation (screening tiers × parallel search)");
     let rows = checker_ablation_rows(&[5, 11, 15, 25, 50]);
     let mut serial_time = 0.0;
     for row in &rows {
@@ -270,6 +353,27 @@ fn run_bench_json(path: &str) {
             100.0 * row.screen_hit_rate.unwrap_or(0.0),
         );
     }
+
+    println!("\nzonotope ablation (interval-only vs cascade at wide noise)");
+    let zonotope = zonotope_ablation_rows(&[15, 30, 50]);
+    for pair in zonotope.chunks(2) {
+        let [interval, cascade] = pair else {
+            unreachable!("rows come in interval/cascade pairs")
+        };
+        println!(
+            "±{:2}%: interval {:>8.1}ms / {:>6} boxes / {:>5} splits   \
+             cascade {:>8.1}ms / {:>6} boxes / {:>5} splits   ({:.1}x fewer boxes)",
+            interval.delta,
+            interval.seconds * 1e3,
+            interval.boxes_visited,
+            interval.splits,
+            cascade.seconds * 1e3,
+            cascade.boxes_visited,
+            cascade.splits,
+            interval.boxes_visited as f64 / cascade.boxes_visited.max(1) as f64,
+        );
+    }
+
     println!("\nengine throughput (resident verdict cache vs cold per-query starts)");
     let engine = engine_throughput_report();
     println!(
@@ -298,6 +402,7 @@ fn run_bench_json(path: &str) {
 
     let json = serde_json::to_string_pretty(&AblationReport {
         checker_ablation: rows,
+        zonotope_ablation: zonotope,
         engine_throughput: engine,
     })
     .expect("ablation report serializes");

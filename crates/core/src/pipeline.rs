@@ -62,8 +62,11 @@ impl Default for AnalysisConfig {
             per_input_cap: 60,
             near_threshold: 15,
             // Per-input fan-out saturates the cores, so each individual
-            // query stays single-threaded (screening still on).
-            checker: CheckerConfig::screened(),
+            // query stays single-threaded; the cascade routes each box
+            // through the cheapest screen that can decide it (interval →
+            // zonotope → exact), which is what keeps the wide-delta
+            // sweep rows affordable.
+            checker: CheckerConfig::cascade(),
             input_threads: default_threads(),
         }
     }

@@ -18,6 +18,7 @@ use fannet_verify::exact::Counterexample;
 use fannet_verify::noise::ExclusionSet;
 use fannet_verify::propagate::FloatShadow;
 use fannet_verify::region::NoiseRegion;
+use fannet_verify::zonotope::ZonotopeShadow;
 
 use crate::cache::{Lookup, VerdictCache, WitnessPolicy};
 use crate::stats::EngineStats;
@@ -96,8 +97,12 @@ pub struct Engine {
     net: Network<Rational>,
     fingerprint: NetworkFingerprint,
     config: EngineConfig,
-    /// Built once iff screening is on; cloned into per-query handles.
+    /// Built once iff the interval tier is on; borrowed (never cloned)
+    /// by per-query handles.
     shadow: Option<FloatShadow>,
+    /// Built once iff the zonotope tier is on; borrowed (never cloned)
+    /// by per-query handles.
+    zonotope: Option<ZonotopeShadow>,
     cache: Mutex<VerdictCache>,
     /// Cumulative branch-and-bound counters across every solver run.
     solver_stats: Mutex<BabStats>,
@@ -113,8 +118,8 @@ impl std::fmt::Debug for Engine {
 }
 
 impl Engine {
-    /// Builds the engine: fingerprints the network and constructs the
-    /// float shadow once (iff the checker screens).
+    /// Builds the engine: fingerprints the network and constructs each
+    /// screening shadow once (iff its tier is active in the checker).
     ///
     /// # Panics
     ///
@@ -123,13 +128,23 @@ impl Engine {
     #[must_use]
     pub fn new(net: Network<Rational>, config: EngineConfig) -> Self {
         let fp = fingerprint(&net);
-        let shadow = config.checker.screening.then(|| FloatShadow::new(&net));
+        let shadow = config
+            .checker
+            .screening
+            .uses_interval()
+            .then(|| FloatShadow::new(&net));
+        let zonotope = config
+            .checker
+            .screening
+            .uses_zonotope()
+            .then(|| ZonotopeShadow::new(&net));
         let cache = VerdictCache::new(config.cache_capacity);
         Engine {
             net,
             fingerprint: fp,
             config,
             shadow,
+            zonotope,
             cache: Mutex::new(cache),
             solver_stats: Mutex::new(BabStats::default()),
         }
@@ -171,9 +186,15 @@ impl Engine {
         self.cache.lock().expect("engine cache poisoned").len()
     }
 
-    /// A per-query checker handle reusing the resident float shadow.
+    /// A per-query checker handle borrowing the resident screening
+    /// shadows (no per-query weight cloning).
     fn checker(&self) -> RegionChecker<'_> {
-        RegionChecker::with_shadow(&self.net, self.config.checker.clone(), self.shadow.clone())
+        RegionChecker::with_shadows(
+            &self.net,
+            self.config.checker.clone(),
+            self.shadow.as_ref(),
+            self.zonotope.as_ref(),
+        )
     }
 
     fn validate(&self, x: &[Rational], region: &NoiseRegion) -> Result<(), ShapeError> {

@@ -7,7 +7,7 @@
 //! convention), with rounding-to-nearest on multiplication.
 //!
 //! The exact decision procedure in `fannet-verify` never uses `Fixed`
-//! (soundness requires [`Rational`](crate::Rational)); `Fixed` exists so the
+//! (soundness requires [`Rational`]); `Fixed` exists so the
 //! examples and benches can compare an "as-deployed" quantized datapath
 //! against the exact model, and so quantization error itself can be studied.
 

@@ -1,5 +1,6 @@
-//! Outward-rounded `f64` interval arithmetic — the cheap screening tier of
-//! the two-tier verifier (DESIGN.md §6).
+//! Outward-rounded `f64` interval arithmetic — the cheapest screening tier
+//! of the tiered verifier (DESIGN.md §6; the zonotope tier of §10 builds
+//! on the same outward-rounding discipline in [`crate::affine`]).
 //!
 //! A [`FloatInterval`] `[lo, hi]` is a **conservative enclosure**: every
 //! transformer here widens its result outward by at least one ulp in each
@@ -16,10 +17,14 @@
 //! network. Only `Unknown` falls back to exact rational propagation.
 //!
 //! Endpoints may be infinite after overflow (still sound: the enclosure
-//! only widens). NaN never appears: constructors reject it and the
-//! transformers cannot produce it from non-NaN finite-or-infinite inputs
-//! used here (`∞ − ∞` is avoided by construction — see `widen`).
+//! only widens). NaN never escapes: constructors reject it, and every
+//! transformer that could produce one from infinite endpoints (`∞ − ∞`,
+//! `0 · ∞`, or a poisoned operand) degrades to
+//! [`FloatInterval::EVERYTHING`] instead — the conservative top element —
+//! so a NaN-bounded interval can never reach `classify_box_float`, where
+//! NaN comparisons (always false) would silently read as a decided box.
 
+use crate::affine::enclose_rational;
 use crate::rational::Rational;
 
 /// A closed `f64` interval `[lo, hi]` used as an outward-rounded enclosure
@@ -45,11 +50,13 @@ pub struct FloatInterval {
 #[inline]
 fn widen(lo: f64, hi: f64) -> FloatInterval {
     // `next_down(-inf)` and `next_up(inf)` are identities, so overflowing
-    // endpoints stay infinite (sound). NaN inputs cannot occur: the only
-    // NaN-producing patterns (∞−∞, 0·∞) are excluded by the callers, which
-    // never mix an infinite endpoint with a zero/opposite-infinite operand
-    // without first checking.
-    debug_assert!(!lo.is_nan() && !hi.is_nan(), "NaN endpoint in widen");
+    // endpoints stay infinite (sound). A NaN endpoint (∞−∞ from operands
+    // that themselves overflowed, or a poisoned input) means the bound is
+    // unknowable — degrade to the whole line rather than let a NaN whose
+    // comparisons are all false masquerade as a decided interval.
+    if lo.is_nan() || hi.is_nan() {
+        return FloatInterval::EVERYTHING;
+    }
     FloatInterval {
         lo: lo.next_down(),
         hi: hi.next_up(),
@@ -83,19 +90,32 @@ impl FloatInterval {
 
     /// The tightest float enclosure of the exact rational `v`.
     ///
-    /// `Rational::to_f64` rounds to nearest (within half an ulp), so one
-    /// ulp outward in each direction encloses `v`.
+    /// `Rational::to_f64` chains three roundings (numerator, denominator,
+    /// quotient), so its result can be several ulps off for values whose
+    /// components exceed 2⁵³; [`enclose_rational`] bounds the compound
+    /// error, and exactly-convertible values get a **point** interval.
     #[must_use]
     pub fn from_rational_point(v: Rational) -> Self {
-        let f = v.to_f64();
-        widen(f, f)
+        let (c, slack) = enclose_rational(v);
+        if slack == 0.0 {
+            FloatInterval { lo: c, hi: c }
+        } else {
+            // `c ± slack` each round once more; one ulp outward restores
+            // true bounds.
+            widen(c - slack, c + slack)
+        }
     }
 
     /// The float enclosure of the exact rational interval `[lo, hi]`.
     #[must_use]
     pub fn from_rationals(lo: Rational, hi: Rational) -> Self {
         debug_assert!(lo <= hi);
-        widen(lo.to_f64(), hi.to_f64())
+        let lo = Self::from_rational_point(lo);
+        let hi = Self::from_rational_point(hi);
+        FloatInterval {
+            lo: lo.lo,
+            hi: hi.hi,
+        }
     }
 
     /// The lower endpoint (a true lower bound of every enclosed quantity).
@@ -115,23 +135,44 @@ impl FloatInterval {
     ///
     /// Endpoints whose exact dyadic expansion fits `Rational` are compared
     /// exactly. A finite endpoint outside that range (subnormal-scale or
-    /// beyond `i128`) is checked by a *sufficient* one-ulp `f64` condition
-    /// instead — `v.to_f64()` is within one ulp of `v`, so
-    /// `lo ≤ next_down(v_f)` implies `lo ≤ v` (and dually for `hi`). The
-    /// function can under-report containment by one ulp at such endpoints
-    /// but never over-reports — it is the soundness oracle of the
-    /// enclosure tests, so "unverifiable" must never read as "contained".
+    /// beyond `i128`) is checked by a *sufficient* `f64` condition
+    /// instead: `v.to_f64()` is within `n` neighbour gaps of `v` — one
+    /// gap when numerator and denominator fit `f64` exactly (only the
+    /// division rounds), four otherwise (three compounded roundings, see
+    /// [`enclose_rational`]) — so `lo ≤ step_downⁿ(v_f)` implies `lo ≤ v`
+    /// (and dually for `hi`). The function can under-report containment
+    /// by a few ulp at such endpoints but never over-reports — it is the
+    /// soundness oracle of the enclosure tests, so "unverifiable" must
+    /// never read as "contained".
     #[must_use]
     pub fn contains_rational(&self, v: Rational) -> bool {
+        fn step_down(mut v: f64, n: u32) -> f64 {
+            for _ in 0..n {
+                v = v.next_down();
+            }
+            v
+        }
+        fn step_up(mut v: f64, n: u32) -> f64 {
+            for _ in 0..n {
+                v = v.next_up();
+            }
+            v
+        }
+        const EXACT: i128 = 1 << 53;
+        let steps = if v.numer().unsigned_abs() <= EXACT as u128 && v.denom() <= EXACT {
+            1
+        } else {
+            4
+        };
         let lo_ok = self.lo == f64::NEG_INFINITY
             || match Rational::from_f64_exact(self.lo) {
                 Some(lo) => lo <= v,
-                None => self.lo <= v.to_f64().next_down(),
+                None => self.lo <= step_down(v.to_f64(), steps),
             };
         let hi_ok = self.hi == f64::INFINITY
             || match Rational::from_f64_exact(self.hi) {
                 Some(hi) => v <= hi,
-                None => v.to_f64().next_up() <= self.hi,
+                None => step_up(v.to_f64(), steps) <= self.hi,
             };
         lo_ok && hi_ok
     }
@@ -157,6 +198,9 @@ impl FloatInterval {
     /// Negation (exact: IEEE negation has no rounding).
     #[must_use]
     pub fn neg(&self) -> Self {
+        if self.lo.is_nan() || self.hi.is_nan() {
+            return FloatInterval::EVERYTHING;
+        }
         FloatInterval {
             lo: -self.hi,
             hi: -self.lo,
@@ -182,17 +226,29 @@ impl FloatInterval {
 
     /// Outward-rounded ReLU: `[max(lo,0), max(hi,0)]` (the max itself is
     /// exact; no extra widening needed).
+    ///
+    /// A poisoned (NaN) endpoint degrades to [`FloatInterval::EVERYTHING`]
+    /// first: `f64::max` *ignores* NaN operands, so `NaN.max(0.0)` would
+    /// otherwise yield the decided-looking point `[0, 0]` from an interval
+    /// that actually bounds nothing.
     #[must_use]
     pub fn relu(&self) -> Self {
+        if self.lo.is_nan() || self.hi.is_nan() {
+            return FloatInterval::EVERYTHING;
+        }
         FloatInterval {
             lo: self.lo.max(0.0),
             hi: self.hi.max(0.0),
         }
     }
 
-    /// Pointwise interval max (exact).
+    /// Pointwise interval max (exact; NaN endpoints degrade to
+    /// [`FloatInterval::EVERYTHING`] for the same reason as [`Self::relu`]).
     #[must_use]
     pub fn max_interval(&self, other: &FloatInterval) -> Self {
+        if self.lo.is_nan() || self.hi.is_nan() || other.lo.is_nan() || other.hi.is_nan() {
+            return FloatInterval::EVERYTHING;
+        }
         FloatInterval {
             lo: self.lo.max(other.lo),
             hi: self.hi.max(other.hi),
@@ -239,8 +295,72 @@ mod tests {
     #[test]
     fn exactly_representable_points_stay_tight() {
         let fi = FloatInterval::from_rational_point(r(1, 2));
-        assert!(fi.lo() <= 0.5 && 0.5 <= fi.hi());
-        assert!(fi.width() < 1e-15, "half is representable; width is 2 ulp");
+        assert_eq!(
+            (fi.lo(), fi.hi()),
+            (0.5, 0.5),
+            "half converts exactly, so the enclosure is a point"
+        );
+    }
+
+    #[test]
+    fn huge_component_rationals_stay_enclosed() {
+        // Numerator and denominator both exceed 2^53: `to_f64` compounds
+        // three roundings, which a single-ulp widen would not cover.
+        let v = Rational::new(i128::MAX / 3, i128::MAX / 7 - 1); // ≈ 7/3
+        let fi = FloatInterval::from_rational_point(v);
+        assert!(fi.contains_rational(v), "{fi:?} must contain {v}");
+        assert!(fi.lo() < fi.hi());
+    }
+
+    #[test]
+    fn poisoned_endpoints_degrade_to_everything() {
+        // NaN endpoints are unreachable through constructors, but release
+        // builds must still never let one masquerade as a decided
+        // interval; construct the poison directly (in-module access).
+        let poisoned = FloatInterval {
+            lo: f64::NAN,
+            hi: f64::NAN,
+        };
+        assert_eq!(poisoned.relu(), FloatInterval::EVERYTHING);
+        assert_eq!(poisoned.neg(), FloatInterval::EVERYTHING);
+        assert_eq!(
+            poisoned.max_interval(&FloatInterval::ZERO),
+            FloatInterval::EVERYTHING
+        );
+        assert_eq!(
+            FloatInterval::ZERO.max_interval(&poisoned),
+            FloatInterval::EVERYTHING
+        );
+        assert_eq!(
+            poisoned.mul(&FloatInterval::ZERO),
+            FloatInterval::EVERYTHING,
+            "NaN endpoints are non-finite, so mul degrades"
+        );
+        assert_eq!(
+            poisoned.add(&FloatInterval::ZERO),
+            FloatInterval::EVERYTHING
+        );
+        // A NaN interval contains nothing it can prove.
+        assert!(!poisoned.contains_rational(r(0, 1)));
+    }
+
+    #[test]
+    fn infinite_endpoint_arithmetic_never_yields_nan() {
+        // [+∞, +∞] is constructible (overflowed bounds are legal); the
+        // ∞ − ∞ and ∞ + (−∞) patterns must degrade, not poison.
+        let pos = FloatInterval::new(f64::INFINITY, f64::INFINITY);
+        assert_eq!(pos.sub(&pos), FloatInterval::EVERYTHING);
+        assert_eq!(
+            pos.add(&FloatInterval::EVERYTHING),
+            FloatInterval::EVERYTHING
+        );
+        assert_eq!(
+            FloatInterval::EVERYTHING.sub(&FloatInterval::EVERYTHING),
+            FloatInterval::EVERYTHING
+        );
+        // ReLU of an overflowed-but-real interval keeps the sound bound.
+        let relu = pos.relu();
+        assert_eq!(relu.hi(), f64::INFINITY);
     }
 
     #[test]

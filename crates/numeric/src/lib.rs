@@ -8,8 +8,10 @@
 //! formal claims, so the entire decision path is carried out in exact
 //! [`Rational`] arithmetic — floating point appears only in training and
 //! reporting. [`Interval`] provides the abstract domain for the
-//! branch-and-bound verifier, and [`Fixed`] models the quantized datapath a
-//! deployed network would use.
+//! branch-and-bound verifier, [`FloatInterval`] and [`AffineForm`] its
+//! outward-rounded `f64` screening counterparts (interval and zonotope
+//! tiers), and [`Fixed`] models the quantized datapath a deployed network
+//! would use.
 //!
 //! ## Example
 //!
@@ -28,12 +30,14 @@
 //! assert!(image.contains(Rational::new(445, 2)));
 //! ```
 
+pub mod affine;
 pub mod fixed;
 pub mod float_interval;
 pub mod interval;
 pub mod rational;
 pub mod scalar;
 
+pub use affine::AffineForm;
 pub use fixed::Fixed;
 pub use float_interval::FloatInterval;
 pub use interval::Interval;

@@ -7,7 +7,7 @@
 //!
 //! Flattening is exponential in the number of variables — exactly the
 //! state-space explosion the paper's Fig. 3 illustrates (3 states → 65
-//! states, 6 → 4160 transitions for a [0,1] % noise range). The `max_states`
+//! states, 6 → 4160 transitions for a \[0,1\] % noise range). The `max_states`
 //! guard turns that explosion into a typed error instead of an OOM; the
 //! branch-and-bound engine in `fannet-verify` exists because real noise
 //! ranges blow far past any explicit limit.

@@ -8,11 +8,13 @@
 //!
 //! The algorithm is classic interval branch-and-bound:
 //!
-//! 1. propagate the region through the network — first through the cheap
-//!    outward-rounded `f64` shadow ([`propagate::FloatShadow`], DESIGN.md
-//!    §6) when screening is enabled, falling back to exact
-//!    [`propagate::output_intervals`] only when the float tier returns
-//!    `Unknown`;
+//! 1. propagate the region through the network — through the active
+//!    screening tiers first ([`ScreeningTier`]): the cheap outward-rounded
+//!    `f64` interval shadow ([`crate::propagate::FloatShadow`], DESIGN.md §6),
+//!    then the correlation-tracking zonotope shadow
+//!    ([`crate::zonotope::ZonotopeShadow`], DESIGN.md §10), falling back
+//!    to exact [`crate::propagate::output_intervals`] only when every active
+//!    screen returns `Unknown`;
 //! 2. if the enclosure proves the box *always correct*, prune it (for
 //!    counterexample search, a fully-correct box cannot contain any
 //!    counterexample, excluded or not);
@@ -24,7 +26,7 @@
 //!
 //! Every verdict is exact: both interval tiers are sound (step 2/3 verdicts
 //! are proofs — the float tier *over-approximates* the exact one, see
-//! [`propagate::classify_box_float`]) and singleton fallback is ground
+//! [`crate::propagate::classify_box_float`]) and singleton fallback is ground
 //! truth, so the procedure is **sound and complete over the integer noise
 //! grid** — the same finite state space the paper's model checker explores.
 //! Completeness holds because splitting strictly shrinks boxes, terminating
@@ -41,6 +43,7 @@
 //! order exactly, so serial, screened and parallel modes return the
 //! identical counterexample.
 
+use std::borrow::Cow;
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering as AtomicOrdering};
 use std::sync::{Condvar, Mutex};
 
@@ -55,12 +58,90 @@ use crate::propagate::{
     classify_box, classify_box_float, output_intervals, BoxVerdict, FloatShadow,
 };
 use crate::region::NoiseRegion;
+use crate::zonotope::{classify_box_zonotope, ZonotopeShadow};
 
 /// Environment variable overriding the default worker count.
 pub const THREADS_ENV: &str = "FANNET_THREADS";
 
-/// How a region check runs: which tiers are active and how many workers
-/// explore the box tree.
+/// Which screening tiers run before exact rational propagation.
+///
+/// Every tier is a sound over-approximation, so the *verdict and witness*
+/// are identical across all four settings (enforced by
+/// `tests/checker_cross_validation.rs`); only which tier pays for each
+/// box changes. Cheapest-first is the design invariant: an interval pass
+/// is one `f64` multiply-add per weight, a zonotope pass is one per
+/// weight *per tracked symbol*, exact rational propagation is gcd-heavy
+/// `i128` arithmetic.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ScreeningTier {
+    /// Exact propagation only (the seed baseline).
+    None,
+    /// Outward-rounded `f64` interval screen (DESIGN.md §6).
+    Interval,
+    /// Affine-form zonotope screen classifying on output differences
+    /// (DESIGN.md §10).
+    Zonotope,
+    /// Interval first, zonotope on interval-`Unknown`, exact last —
+    /// cheapest tier that can decide each box pays for it.
+    Cascade,
+}
+
+impl ScreeningTier {
+    /// `true` if the float-interval screen runs.
+    #[must_use]
+    pub fn uses_interval(self) -> bool {
+        matches!(self, ScreeningTier::Interval | ScreeningTier::Cascade)
+    }
+
+    /// `true` if the zonotope screen runs.
+    #[must_use]
+    pub fn uses_zonotope(self) -> bool {
+        matches!(self, ScreeningTier::Zonotope | ScreeningTier::Cascade)
+    }
+
+    /// `true` unless every box goes straight to exact propagation.
+    #[must_use]
+    pub fn is_active(self) -> bool {
+        self != ScreeningTier::None
+    }
+
+    /// The CLI spelling (`--screening=<name>`).
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            ScreeningTier::None => "none",
+            ScreeningTier::Interval => "interval",
+            ScreeningTier::Zonotope => "zonotope",
+            ScreeningTier::Cascade => "cascade",
+        }
+    }
+
+    /// Parses the CLI spelling.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message listing the accepted names.
+    pub fn parse(text: &str) -> Result<Self, String> {
+        match text.trim().to_ascii_lowercase().as_str() {
+            "none" => Ok(ScreeningTier::None),
+            "interval" => Ok(ScreeningTier::Interval),
+            "zonotope" => Ok(ScreeningTier::Zonotope),
+            "cascade" => Ok(ScreeningTier::Cascade),
+            other => Err(format!(
+                "unknown screening tier `{other}` (expected none/interval/zonotope/cascade)"
+            )),
+        }
+    }
+}
+
+impl std::fmt::Display for ScreeningTier {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// How a region check runs: which screening tiers are active and how many
+/// workers explore the box tree.
 ///
 /// All configurations decide the *same* property with the *same* outcome
 /// and counterexample (enforced by `tests/checker_cross_validation.rs`);
@@ -69,19 +150,19 @@ pub const THREADS_ENV: &str = "FANNET_THREADS";
 /// # Examples
 ///
 /// ```
-/// use fannet_verify::bab::CheckerConfig;
+/// use fannet_verify::bab::{CheckerConfig, ScreeningTier};
 ///
 /// assert_eq!(CheckerConfig::serial_exact().threads, 1);
-/// assert!(CheckerConfig::fast().screening);
+/// assert_eq!(CheckerConfig::fast().screening, ScreeningTier::Cascade);
 /// assert!(CheckerConfig::fast().threads >= 1);
 /// assert_eq!(CheckerConfig::screened().with_threads(4).threads, 4);
+/// assert!(CheckerConfig::zonotope().screening.uses_zonotope());
 /// ```
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct CheckerConfig {
-    /// Route each box through the outward-rounded `f64` shadow network
-    /// first, using exact rational propagation only for boxes the float
-    /// tier cannot decide.
-    pub screening: bool,
+    /// Screening tiers each box routes through before exact rational
+    /// propagation runs (only on boxes no active screen can decide).
+    pub screening: ScreeningTier,
     /// Worker threads exploring the box tree (`1` = serial).
     pub threads: usize,
 }
@@ -91,16 +172,34 @@ impl CheckerConfig {
     #[must_use]
     pub fn serial_exact() -> Self {
         CheckerConfig {
-            screening: false,
+            screening: ScreeningTier::None,
             threads: 1,
         }
     }
 
-    /// Single-threaded with float screening.
+    /// Single-threaded with float-interval screening.
     #[must_use]
     pub fn screened() -> Self {
         CheckerConfig {
-            screening: true,
+            screening: ScreeningTier::Interval,
+            threads: 1,
+        }
+    }
+
+    /// Single-threaded with zonotope screening only.
+    #[must_use]
+    pub fn zonotope() -> Self {
+        CheckerConfig {
+            screening: ScreeningTier::Zonotope,
+            threads: 1,
+        }
+    }
+
+    /// Single-threaded cascade: interval → zonotope → exact.
+    #[must_use]
+    pub fn cascade() -> Self {
+        CheckerConfig {
+            screening: ScreeningTier::Cascade,
             threads: 1,
         }
     }
@@ -109,16 +208,16 @@ impl CheckerConfig {
     #[must_use]
     pub fn parallel() -> Self {
         CheckerConfig {
-            screening: false,
+            screening: ScreeningTier::None,
             threads: default_threads(),
         }
     }
 
-    /// Screening + parallel search: the production configuration.
+    /// Cascade screening + parallel search: the production configuration.
     #[must_use]
     pub fn fast() -> Self {
         CheckerConfig {
-            screening: true,
+            screening: ScreeningTier::Cascade,
             threads: default_threads(),
         }
     }
@@ -127,6 +226,13 @@ impl CheckerConfig {
     #[must_use]
     pub fn with_threads(mut self, threads: usize) -> Self {
         self.threads = threads.max(1);
+        self
+    }
+
+    /// Overrides the screening tier.
+    #[must_use]
+    pub fn with_screening(mut self, tier: ScreeningTier) -> Self {
+        self.screening = tier;
         self
     }
 }
@@ -180,11 +286,26 @@ pub struct BabStats {
     pub exact_evals: u64,
     /// Splits performed.
     pub splits: u64,
-    /// Boxes resolved by the float screen alone (no exact propagation).
+    /// Boxes resolved by some screening tier alone (no exact propagation
+    /// needed).
     pub screen_hits: u64,
-    /// Boxes where the float screen returned `Unknown` and the checker
-    /// fell back to exact rational propagation.
+    /// Boxes where every active screening tier returned `Unknown` (or a
+    /// point box still needed its exact witness evaluation) and exact
+    /// rational work ran.
     pub screen_fallbacks: u64,
+    /// Boxes the float-interval tier classified (`AlwaysCorrect` or
+    /// `AlwaysWrong`).
+    pub interval_hits: u64,
+    /// Boxes the float-interval tier ran on but returned `Unknown`,
+    /// handing them to the next tier (zonotope in a cascade, exact
+    /// otherwise).
+    pub interval_fallbacks: u64,
+    /// Boxes the zonotope tier classified (after the interval tier could
+    /// not, when both are active).
+    pub zonotope_hits: u64,
+    /// Boxes the zonotope tier ran on but returned `Unknown`, falling
+    /// through to exact propagation.
+    pub zonotope_fallbacks: u64,
 }
 
 impl BabStats {
@@ -197,17 +318,40 @@ impl BabStats {
         self.splits += other.splits;
         self.screen_hits += other.screen_hits;
         self.screen_fallbacks += other.screen_fallbacks;
+        self.interval_hits += other.interval_hits;
+        self.interval_fallbacks += other.interval_fallbacks;
+        self.zonotope_hits += other.zonotope_hits;
+        self.zonotope_fallbacks += other.zonotope_fallbacks;
     }
 
-    /// Fraction of screened boxes the float tier decided on its own;
+    /// Fraction of screened boxes some screening tier decided on its own;
     /// `None` when screening never ran.
     #[must_use]
     pub fn screen_hit_rate(&self) -> Option<f64> {
-        let screened = self.screen_hits + self.screen_fallbacks;
-        if screened == 0 {
+        Self::rate(self.screen_hits, self.screen_fallbacks)
+    }
+
+    /// Fraction of interval-tier passes that classified their box; `None`
+    /// when the interval tier never ran.
+    #[must_use]
+    pub fn interval_hit_rate(&self) -> Option<f64> {
+        Self::rate(self.interval_hits, self.interval_fallbacks)
+    }
+
+    /// Fraction of zonotope-tier passes that classified their box (in a
+    /// cascade these are exactly the boxes the interval tier gave up on);
+    /// `None` when the zonotope tier never ran.
+    #[must_use]
+    pub fn zonotope_hit_rate(&self) -> Option<f64> {
+        Self::rate(self.zonotope_hits, self.zonotope_fallbacks)
+    }
+
+    fn rate(hits: u64, fallbacks: u64) -> Option<f64> {
+        let total = hits + fallbacks;
+        if total == 0 {
             None
         } else {
-            Some(self.screen_hits as f64 / screened as f64)
+            Some(hits as f64 / total as f64)
         }
     }
 }
@@ -320,7 +464,7 @@ pub fn check_region_with(
     RegionChecker::new(net, config.clone()).check_region(x, label, region, excluded)
 }
 
-/// A reusable query handle: the network plus its float shadow, built
+/// A reusable query handle: the network plus its screening shadows, built
 /// **once** and shared across any number of queries (and across threads —
 /// the handle is `Sync`).
 ///
@@ -332,12 +476,17 @@ pub fn check_region_with(
 pub struct RegionChecker<'n> {
     net: &'n Network<Rational>,
     config: CheckerConfig,
-    shadow: Option<FloatShadow>,
+    /// Owned when this handle built the shadow itself, borrowed when a
+    /// resident owner (`fannet-engine`) lends its per-network copy — the
+    /// serving hot path must not deep-clone every enclosed weight per
+    /// query.
+    shadow: Option<Cow<'n, FloatShadow>>,
+    zonotope: Option<Cow<'n, ZonotopeShadow>>,
 }
 
 impl<'n> RegionChecker<'n> {
-    /// Builds the handle; the float shadow is constructed here iff
-    /// `config.screening`.
+    /// Builds the handle; each screening shadow is constructed here iff
+    /// its tier is active in `config.screening`.
     ///
     /// # Panics
     ///
@@ -345,25 +494,41 @@ impl<'n> RegionChecker<'n> {
     /// piecewise-linear.
     #[must_use]
     pub fn new(net: &'n Network<Rational>, config: CheckerConfig) -> Self {
-        Self::with_shadow(net, config, None)
+        Self::with_shadows(net, config, None, None)
     }
 
-    /// Builds the handle around a shadow constructed elsewhere — the cache
-    /// hook used by `fannet-engine`, whose resident `Engine` owns both the
-    /// network and one [`FloatShadow`] and stamps out per-query handles
-    /// without re-enclosing every weight.
+    /// Builds the handle around borrowed shadows constructed elsewhere —
+    /// the cache hook used by `fannet-engine`, whose resident `Engine`
+    /// owns the network, one [`FloatShadow`] and one [`ZonotopeShadow`],
+    /// and stamps out per-query handles without re-enclosing (or
+    /// cloning) a single weight.
     ///
-    /// `shadow` must have been built from `net`; it is consulted iff
-    /// `config.screening` (a `None` shadow with screening enabled is
-    /// rebuilt here).
+    /// Both shadows must have been built from `net`; each is consulted
+    /// iff its tier is active in `config.screening` (a `None` shadow with
+    /// its tier enabled is built and owned here, an unused one is
+    /// ignored).
     #[must_use]
-    pub fn with_shadow(
+    pub fn with_shadows(
         net: &'n Network<Rational>,
         config: CheckerConfig,
-        shadow: Option<FloatShadow>,
+        shadow: Option<&'n FloatShadow>,
+        zonotope: Option<&'n ZonotopeShadow>,
     ) -> Self {
-        let shadow = if config.screening {
-            shadow.or_else(|| Some(FloatShadow::new(net)))
+        let shadow = if config.screening.uses_interval() {
+            Some(
+                shadow
+                    .map(Cow::Borrowed)
+                    .unwrap_or_else(|| Cow::Owned(FloatShadow::new(net))),
+            )
+        } else {
+            None
+        };
+        let zonotope = if config.screening.uses_zonotope() {
+            Some(
+                zonotope
+                    .map(Cow::Borrowed)
+                    .unwrap_or_else(|| Cow::Owned(ZonotopeShadow::new(net))),
+            )
         } else {
             None
         };
@@ -371,6 +536,7 @@ impl<'n> RegionChecker<'n> {
             net,
             config,
             shadow,
+            zonotope,
         }
     }
 
@@ -405,7 +571,14 @@ impl<'n> RegionChecker<'n> {
     ) -> Result<(RegionOutcome, BabStats), ShapeError> {
         assert!(label < self.net.outputs(), "label {label} out of range");
         validate_widths(self.net, x, region)?;
-        let ctx = QueryContext::new(self.net, x, label, excluded, self.shadow.as_ref());
+        let ctx = QueryContext::new(
+            self.net,
+            x,
+            label,
+            excluded,
+            self.shadow.as_deref(),
+            self.zonotope.as_deref(),
+        );
         if self.config.threads <= 1 {
             Ok(check_serial(&ctx, region))
         } else {
@@ -434,7 +607,14 @@ impl<'n> RegionChecker<'n> {
         assert!(cap > 0, "cap must be positive");
         validate_widths(self.net, x, region)?;
         let excluded = ExclusionSet::new();
-        let ctx = QueryContext::new(self.net, x, label, &excluded, self.shadow.as_ref());
+        let ctx = QueryContext::new(
+            self.net,
+            x,
+            label,
+            &excluded,
+            self.shadow.as_deref(),
+            self.zonotope.as_deref(),
+        );
         let mut stats = BabStats::default();
         let mut found = Vec::new();
         let mut stack = vec![region.clone()];
@@ -624,9 +804,12 @@ struct QueryContext<'a> {
     x: &'a [Rational],
     label: usize,
     excluded: &'a ExclusionSet,
-    /// `Some` iff screening is enabled: the (borrowed, per-network) float
-    /// shadow plus the per-query input enclosure.
+    /// `Some` iff the interval tier is active: the (borrowed, per-network)
+    /// float shadow plus the per-query input enclosure.
     shadow: Option<(&'a FloatShadow, Vec<FloatInterval>)>,
+    /// `Some` iff the zonotope tier is active: the (borrowed, per-network)
+    /// zonotope shadow plus the per-query `(center, slack)` enclosure.
+    zonotope: Option<(&'a ZonotopeShadow, Vec<(f64, f64)>)>,
 }
 
 /// How one box was resolved.
@@ -651,35 +834,63 @@ impl<'a> QueryContext<'a> {
         label: usize,
         excluded: &'a ExclusionSet,
         shadow: Option<&'a FloatShadow>,
+        zonotope: Option<&'a ZonotopeShadow>,
     ) -> Self {
         let shadow = shadow.map(|s| (s, FloatShadow::enclose_input(x)));
+        let zonotope = zonotope.map(|z| (z, ZonotopeShadow::enclose_input(x)));
         QueryContext {
             net,
             x,
             label,
             excluded,
             shadow,
+            zonotope,
         }
+    }
+
+    /// Runs the active screening tiers on one box, cheapest first, and
+    /// returns the first decided verdict (`Unknown` if every tier gives
+    /// up). Per-tier hit/fallback counters record which tier classified.
+    fn screen_box(&self, current: &NoiseRegion, stats: &mut BabStats) -> BoxVerdict {
+        let mut verdict = BoxVerdict::Unknown;
+        if let Some((shadow, xf)) = &self.shadow {
+            verdict = classify_box_float(&shadow.output_intervals(xf, current), self.label);
+            if verdict == BoxVerdict::Unknown {
+                stats.interval_fallbacks += 1;
+            } else {
+                stats.interval_hits += 1;
+            }
+        }
+        if verdict == BoxVerdict::Unknown {
+            if let Some((zono, xe)) = &self.zonotope {
+                verdict = classify_box_zonotope(&zono.output_forms(xe, current), self.label);
+                if verdict == BoxVerdict::Unknown {
+                    stats.zonotope_fallbacks += 1;
+                } else {
+                    stats.zonotope_hits += 1;
+                }
+            }
+        }
+        verdict
     }
 
     /// Classifies one box through the active tiers, updating `stats`.
     ///
-    /// A box counts as a `screen_hit` when the float tier made the exact
-    /// tier unnecessary, and as a `screen_fallback` when exact work still
-    /// had to run. Widths were validated at query entry, so propagation
-    /// cannot fail.
+    /// A box counts as a `screen_hit` when some screening tier made the
+    /// exact tier unnecessary, and as a `screen_fallback` when exact work
+    /// still had to run; `interval_*`/`zonotope_*` additionally record
+    /// which tier classified each screened box. Widths were validated at
+    /// query entry, so propagation cannot fail.
     fn decide_box(&self, current: &NoiseRegion, stats: &mut BabStats) -> BoxDecision {
-        // Tier 1: float screen (sound by over-approximation).
-        let mut verdict = BoxVerdict::Unknown;
-        if let Some((shadow, xf)) = &self.shadow {
-            verdict = classify_box_float(&shadow.output_intervals(xf, current), self.label);
-        }
-        let screened = self.shadow.is_some();
+        // Screening tiers, cheapest first (sound by over-approximation).
+        let mut verdict = self.screen_box(current, stats);
+        let screened = self.shadow.is_some() || self.zonotope.is_some();
 
         if current.is_point() {
-            // The float tier can prove a point correct and skip the exact
-            // forward pass; everything else needs the exact evaluation
-            // anyway (a counterexample record carries exact outputs).
+            // A screening tier can prove a point correct and skip the
+            // exact forward pass; everything else needs the exact
+            // evaluation anyway (a counterexample record carries exact
+            // outputs).
             if verdict == BoxVerdict::AlwaysCorrect {
                 stats.screen_hits += 1;
                 stats.pruned_correct += 1;
@@ -701,7 +912,7 @@ impl<'a> QueryContext<'a> {
             };
         }
 
-        // Tier 2: exact propagation when the screen could not decide.
+        // Last tier: exact propagation when no screen could decide.
         if screened {
             if verdict == BoxVerdict::Unknown {
                 stats.screen_fallbacks += 1;
@@ -1009,8 +1220,11 @@ mod tests {
         vec![
             CheckerConfig::serial_exact(),
             CheckerConfig::screened(),
+            CheckerConfig::zonotope(),
+            CheckerConfig::cascade(),
             CheckerConfig::serial_exact().with_threads(4),
             CheckerConfig::screened().with_threads(4),
+            CheckerConfig::cascade().with_threads(4),
         ]
     }
 
@@ -1261,6 +1475,10 @@ mod tests {
             splits: 5,
             screen_hits: 6,
             screen_fallbacks: 7,
+            interval_hits: 8,
+            interval_fallbacks: 9,
+            zonotope_hits: 10,
+            zonotope_fallbacks: 11,
         };
         a.merge(&a.clone());
         assert_eq!(
@@ -1273,20 +1491,99 @@ mod tests {
                 splits: 10,
                 screen_hits: 12,
                 screen_fallbacks: 14,
+                interval_hits: 16,
+                interval_fallbacks: 18,
+                zonotope_hits: 20,
+                zonotope_fallbacks: 22,
             }
         );
+        assert_eq!(a.interval_hit_rate(), Some(16.0 / 34.0));
+        assert_eq!(a.zonotope_hit_rate(), Some(20.0 / 42.0));
+        assert_eq!(BabStats::default().interval_hit_rate(), None);
+        assert_eq!(BabStats::default().zonotope_hit_rate(), None);
     }
 
     #[test]
     fn checker_config_presets_and_env() {
         assert_eq!(CheckerConfig::serial_exact().threads, 1);
-        assert!(!CheckerConfig::serial_exact().screening);
+        assert_eq!(CheckerConfig::serial_exact().screening, ScreeningTier::None);
+        assert!(!CheckerConfig::serial_exact().screening.is_active());
         assert_eq!(CheckerConfig::screened().threads, 1);
-        assert!(CheckerConfig::screened().screening);
+        assert_eq!(CheckerConfig::screened().screening, ScreeningTier::Interval);
+        assert_eq!(CheckerConfig::zonotope().screening, ScreeningTier::Zonotope);
+        assert_eq!(CheckerConfig::cascade().screening, ScreeningTier::Cascade);
         assert!(CheckerConfig::parallel().threads >= 1);
         assert_eq!(CheckerConfig::default(), CheckerConfig::fast());
+        assert_eq!(CheckerConfig::fast().screening, ScreeningTier::Cascade);
         assert_eq!(CheckerConfig::fast().with_threads(0).threads, 1);
+        assert_eq!(
+            CheckerConfig::serial_exact()
+                .with_screening(ScreeningTier::Zonotope)
+                .screening,
+            ScreeningTier::Zonotope
+        );
         assert!(default_threads() >= 1);
+    }
+
+    #[test]
+    fn screening_tier_names_round_trip() {
+        for tier in [
+            ScreeningTier::None,
+            ScreeningTier::Interval,
+            ScreeningTier::Zonotope,
+            ScreeningTier::Cascade,
+        ] {
+            assert_eq!(ScreeningTier::parse(tier.name()), Ok(tier));
+            assert_eq!(tier.to_string(), tier.name());
+        }
+        assert_eq!(
+            ScreeningTier::parse(" Cascade "),
+            Ok(ScreeningTier::Cascade)
+        );
+        assert!(ScreeningTier::parse("frobnicate")
+            .unwrap_err()
+            .contains("none/interval/zonotope/cascade"));
+        assert!(ScreeningTier::Cascade.uses_interval());
+        assert!(ScreeningTier::Cascade.uses_zonotope());
+        assert!(!ScreeningTier::Interval.uses_zonotope());
+        assert!(!ScreeningTier::Zonotope.uses_interval());
+        assert!(!ScreeningTier::None.is_active());
+    }
+
+    #[test]
+    fn per_tier_counters_record_cascade_structure() {
+        let net = relu_net();
+        let x = [r(9), r(8)];
+        let label = net.classify(&x).unwrap();
+        let region = NoiseRegion::symmetric(6, 2);
+        let (_, cascade) =
+            find_counterexample_with(&net, &x, label, &region, &CheckerConfig::cascade()).unwrap();
+        // In a cascade the zonotope tier sees exactly the interval tier's
+        // fallbacks, and the aggregate counters cover every screened box.
+        assert_eq!(
+            cascade.zonotope_hits + cascade.zonotope_fallbacks,
+            cascade.interval_fallbacks,
+            "{cascade:?}"
+        );
+        assert_eq!(
+            cascade.screen_hits + cascade.screen_fallbacks,
+            cascade.interval_hits + cascade.interval_fallbacks,
+            "{cascade:?}"
+        );
+        // Interval-only screening records no zonotope activity…
+        let (_, interval) =
+            find_counterexample_with(&net, &x, label, &region, &CheckerConfig::screened()).unwrap();
+        assert_eq!(interval.zonotope_hits + interval.zonotope_fallbacks, 0);
+        assert!(interval.interval_hits + interval.interval_fallbacks > 0);
+        // …and zonotope-only screening no interval activity.
+        let (_, zono) =
+            find_counterexample_with(&net, &x, label, &region, &CheckerConfig::zonotope()).unwrap();
+        assert_eq!(zono.interval_hits + zono.interval_fallbacks, 0);
+        assert!(zono.zonotope_hits + zono.zonotope_fallbacks > 0);
+        // The serial-exact baseline records nothing.
+        let (_, base) = find_counterexample(&net, &x, label, &region).unwrap();
+        assert_eq!(base.interval_hits + base.zonotope_hits, 0);
+        assert_eq!(base.interval_fallbacks + base.zonotope_fallbacks, 0);
     }
 
     #[test]

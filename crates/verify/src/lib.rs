@@ -9,6 +9,8 @@
 //! * [`region`] — boxes of noise vectors, the abstract states of the search.
 //! * [`propagate`] — sound interval abstract interpretation of rational
 //!   networks over a noise box.
+//! * [`zonotope`] — sound affine-form (zonotope) abstract interpretation,
+//!   the middle screening tier that classifies on output *differences*.
 //! * [`exact`] — ground-truth rational evaluation and counterexample
 //!   records.
 //! * [`bab`] — branch-and-bound: sound *and complete* over the integer
@@ -43,8 +45,9 @@ pub mod exact;
 pub mod noise;
 pub mod propagate;
 pub mod region;
+pub mod zonotope;
 
-pub use bab::{BabStats, CheckerConfig, RegionChecker, RegionOutcome};
+pub use bab::{BabStats, CheckerConfig, RegionChecker, RegionOutcome, ScreeningTier};
 pub use exact::Counterexample;
 pub use noise::{ExclusionSet, NoiseVector};
 pub use region::NoiseRegion;

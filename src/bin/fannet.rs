@@ -5,6 +5,7 @@
 //!                                             and save the exact model
 //! fannet check --model model.json --input 1,2,3,4,5 --label 0 --delta 11
 //!                                             one P2 robustness query
+//!                                             (--screening picks the tier)
 //! fannet radius --model model.json --input 1,2,3,4,5 --label 0 [--max 50]
 //!                                             exact robustness radius
 //! fannet export-smv --model model.json --input 1,2,3,4,5 --label 0 --delta 1
@@ -30,7 +31,9 @@ use fannet::nn::Network;
 use fannet::numeric::Rational;
 use fannet::smv::nn_to_smv::{network_to_smv, TranslationConfig};
 use fannet::smv::printer::print_module;
-use fannet::verify::bab::{default_threads, find_counterexample, CheckerConfig};
+use fannet::verify::bab::{
+    default_threads, find_counterexample_with, CheckerConfig, ScreeningTier,
+};
 use fannet::verify::region::NoiseRegion;
 
 fn main() -> ExitCode {
@@ -49,10 +52,12 @@ fn main() -> ExitCode {
 const USAGE: &str = "usage:
   fannet train [--small] --out <model.json>
   fannet check --model <model.json> --input <v1,v2,...> --label <L> --delta <D>
+               [--screening <none|interval|zonotope|cascade>]
   fannet radius --model <model.json> --input <v1,v2,...> --label <L> [--max <D>]
   fannet export-smv --model <model.json> --input <v1,v2,...> --label <L> --delta <D>
   fannet serve --model <model.json> [--once] [--threads <N>]
-               [--cache-capacity <N>] [--no-screening]
+               [--cache-capacity <N>]
+               [--screening <none|interval|zonotope|cascade>] [--no-screening]
     JSONL requests on stdin, one response per line on stdout, e.g.
       {\"op\":\"check\",\"input\":[\"100\",\"82\"],\"label\":0,\"delta\":5}
       {\"op\":\"tolerance\",\"input\":[\"100\",\"82\"],\"label\":0,\"max_delta\":50}
@@ -75,12 +80,17 @@ fn run(args: &[String]) -> Result<(), String> {
     }
 }
 
-/// Looks up the value following `--name`.
+/// Looks up the value of `--name`, accepting both the space-separated
+/// (`--name value`) and the `=`-joined (`--name=value`) spellings.
 fn flag<'a>(args: &'a [String], name: &str) -> Option<&'a str> {
     args.iter()
         .position(|a| a == name)
         .and_then(|i| args.get(i + 1))
         .map(String::as_str)
+        .or_else(|| {
+            args.iter()
+                .find_map(|a| a.strip_prefix(name)?.strip_prefix('='))
+        })
 }
 
 fn required<'a>(args: &'a [String], name: &str) -> Result<&'a str, String> {
@@ -159,16 +169,29 @@ fn train(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
+/// The `--screening <tier>` flag; each subcommand passes its own
+/// `default` (`check` defaults to the cascade, `serve` to the interval
+/// tier). Every tier returns identical verdicts — the flag only chooses
+/// who pays per box.
+fn parse_screening(args: &[String], default: ScreeningTier) -> Result<ScreeningTier, String> {
+    match flag(args, "--screening") {
+        Some(text) => ScreeningTier::parse(text),
+        None => Ok(default),
+    }
+}
+
 fn check(args: &[String]) -> Result<(), String> {
     let net = load_model(required(args, "--model")?)?;
     let x = parse_input(required(args, "--input")?)?;
     let label = parse_label(required(args, "--label")?)?;
     let delta = parse_delta(required(args, "--delta")?)?;
+    let screening = parse_screening(args, ScreeningTier::Cascade)?;
     validate_query(&net, &x, label)?;
 
     let region = NoiseRegion::symmetric(delta, x.len());
+    let config = CheckerConfig::serial_exact().with_screening(screening);
     let (outcome, stats) =
-        find_counterexample(&net, &x, label, &region).map_err(|e| e.to_string())?;
+        find_counterexample_with(&net, &x, label, &region, &config).map_err(|e| e.to_string())?;
     match outcome.counterexample() {
         None => println!(
             "ROBUST: no noise vector within ±{delta}% flips label L{label} \
@@ -189,6 +212,17 @@ fn check(args: &[String]) -> Result<(), String> {
                 ce.outputs.iter().map(Rational::to_f64).collect::<Vec<_>>()
             );
         }
+    }
+    if screening.is_active() {
+        println!(
+            "screening [{screening}]: interval tier decided {} of {} boxes, \
+             zonotope tier {} of {}, exact tier ran on {}",
+            stats.interval_hits,
+            stats.interval_hits + stats.interval_fallbacks,
+            stats.zonotope_hits,
+            stats.zonotope_hits + stats.zonotope_fallbacks,
+            stats.screen_fallbacks,
+        );
     }
     Ok(())
 }
@@ -241,12 +275,20 @@ fn serve(args: &[String]) -> Result<(), String> {
         },
         None => EngineConfig::serving().cache_capacity,
     };
-    let checker = if has_switch(args, "--no-screening") {
-        CheckerConfig::serial_exact()
+    // Parallelism is spent across requests, not inside one query. The
+    // default tier stays `interval` (the serving-latency sweet spot for
+    // typical request mixes — see DESIGN.md §10); `--screening cascade`
+    // adds the zonotope tier, `--no-screening` is the legacy spelling of
+    // `--screening none`. Verdicts are identical under every tier.
+    let screening = if has_switch(args, "--no-screening") {
+        if flag(args, "--screening").is_some() {
+            return Err("give either --screening or --no-screening, not both".to_string());
+        }
+        ScreeningTier::None
     } else {
-        // Parallelism is spent across requests, not inside one query.
-        CheckerConfig::screened()
+        parse_screening(args, ScreeningTier::Interval)?
     };
+    let checker = CheckerConfig::serial_exact().with_screening(screening);
     let engine = Engine::new(
         net,
         EngineConfig {
@@ -354,6 +396,14 @@ mod tests {
         assert!(required(&args, "--nope").is_err());
         assert!(has_switch(&args, "--model"));
         assert!(!has_switch(&args, "--small"));
+        // The `=`-joined spelling is equivalent.
+        let eq = strings(&["--screening=cascade", "--model=m.json"]);
+        assert_eq!(flag(&eq, "--screening"), Some("cascade"));
+        assert_eq!(flag(&eq, "--model"), Some("m.json"));
+        assert_eq!(flag(&eq, "--delta"), None);
+        // A space-separated occurrence wins over a later `=` form.
+        let both = strings(&["--delta", "5", "--delta=9"]);
+        assert_eq!(flag(&both, "--delta"), Some("5"));
     }
 
     #[test]
@@ -366,6 +416,22 @@ mod tests {
         assert!(parse_delta("11").is_ok());
         assert!(parse_delta("101").is_err());
         assert!(parse_delta("x").is_err());
+    }
+
+    #[test]
+    fn screening_flag_parsing() {
+        assert_eq!(
+            parse_screening(
+                &strings(&["--screening", "cascade"]),
+                ScreeningTier::Interval
+            ),
+            Ok(ScreeningTier::Cascade)
+        );
+        assert_eq!(
+            parse_screening(&[], ScreeningTier::Interval),
+            Ok(ScreeningTier::Interval)
+        );
+        assert!(parse_screening(&strings(&["--screening", "bogus"]), ScreeningTier::None).is_err());
     }
 
     #[test]

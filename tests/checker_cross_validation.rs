@@ -14,9 +14,11 @@ use fannet::smv::nn_to_smv::{network_to_smv, TranslationConfig};
 use fannet::smv::TransitionSystem;
 use fannet::verify::bab::{
     check_region_exhaustive, find_counterexample, find_counterexample_with, CheckerConfig,
+    ScreeningTier,
 };
 use fannet::verify::noise::ExclusionSet;
 use fannet::verify::region::NoiseRegion;
+use fannet::verify::zonotope::ZonotopeShadow;
 use proptest::prelude::*;
 use rand::SeedableRng;
 
@@ -96,10 +98,11 @@ proptest! {
         }
     }
 
-    /// The tentpole's soundness-is-never-traded guarantee: serial-exact,
-    /// screened, parallel and screened+parallel `check_region` return the
-    /// identical outcome AND the identical (lexicographically-first, i.e.
-    /// serial-DFS-first) counterexample on random small networks.
+    /// The tentpole's soundness-is-never-traded guarantee: every
+    /// [`ScreeningTier`] (none/interval/zonotope/cascade), serial and
+    /// parallel, returns the identical outcome AND the identical
+    /// (lexicographically-first, i.e. serial-DFS-first) counterexample on
+    /// random small networks.
     #[test]
     fn all_checker_variants_agree_on_outcome_and_witness(
         seed in 0u64..500,
@@ -119,8 +122,11 @@ proptest! {
         let baseline_ce = baseline.counterexample().map(|c| c.noise.clone());
         for config in [
             CheckerConfig::screened(),
+            CheckerConfig::zonotope(),
+            CheckerConfig::cascade(),
             CheckerConfig::serial_exact().with_threads(4),
             CheckerConfig::screened().with_threads(4),
+            CheckerConfig::cascade().with_threads(4),
         ] {
             let (out, _) = find_counterexample_with(&net, &x, label, &region, &config)
                 .expect("widths");
@@ -133,6 +139,82 @@ proptest! {
                 baseline_ce.clone(),
                 out.counterexample().map(|c| c.noise.clone()),
                 "counterexample identity differs under {:?}", config
+            );
+        }
+    }
+
+    /// Zonotope soundness lemma, checked against ground truth: the
+    /// concretization of every output form encloses the exact rational
+    /// network output for every grid point of the region (random
+    /// networks, random inputs, asymmetric random regions).
+    #[test]
+    fn zonotope_concretization_encloses_exact_outputs(
+        seed in 0u64..300,
+        x0 in -30i64..30,
+        x1 in -30i64..30,
+        lo0 in -3i64..=0, hi0 in 0i64..=3,
+        lo1 in -3i64..=0, hi1 in 0i64..=3,
+    ) {
+        let net = random_exact_net(seed);
+        let shadow = ZonotopeShadow::new(&net);
+        let x = [
+            Rational::from_integer(i128::from(x0)),
+            Rational::from_integer(i128::from(x1)),
+        ];
+        let region = NoiseRegion::new(vec![(lo0, hi0), (lo1, hi1)]);
+        let forms = shadow.output_forms(&ZonotopeShadow::enclose_input(&x), &region);
+        for nv in region.iter_points() {
+            let exact = net.forward(&nv.apply(&x)).expect("width");
+            for (form, &v) in forms.iter().zip(&exact) {
+                let (lo, hi) = form.range();
+                let vf = v.to_f64();
+                prop_assert!(
+                    lo <= vf.next_up() && vf.next_down() <= hi,
+                    "output {} of noise {} escapes [{}, {}] (net seed {}, x {:?})",
+                    v, nv, lo, hi, seed, x
+                );
+            }
+        }
+    }
+
+    /// ScreeningTier settings are pure routing: on random asymmetric
+    /// regions every tier's verdict and witness equal the serial-exact
+    /// baseline's (the box-level guarantee behind the acceptance
+    /// criterion; symmetric regions are covered above).
+    #[test]
+    fn all_screening_tiers_identical_on_asymmetric_regions(
+        seed in 0u64..300,
+        x0 in -30i64..30,
+        x1 in -30i64..30,
+        lo0 in -5i64..=0, hi0 in 0i64..=5,
+        lo1 in -5i64..=0, hi1 in 0i64..=5,
+    ) {
+        let net = random_exact_net(seed);
+        let x = [
+            Rational::from_integer(i128::from(x0)),
+            Rational::from_integer(i128::from(x1)),
+        ];
+        let label = net.classify(&x).expect("width");
+        let region = NoiseRegion::new(vec![(lo0, hi0), (lo1, hi1)]);
+        let (baseline, _) = find_counterexample(&net, &x, label, &region).expect("widths");
+        let baseline_ce = baseline.counterexample().map(|c| c.noise.clone());
+        for tier in [
+            ScreeningTier::None,
+            ScreeningTier::Interval,
+            ScreeningTier::Zonotope,
+            ScreeningTier::Cascade,
+        ] {
+            let config = CheckerConfig::serial_exact().with_screening(tier);
+            let (out, _) = find_counterexample_with(&net, &x, label, &region, &config)
+                .expect("widths");
+            prop_assert_eq!(
+                baseline.is_robust(), out.is_robust(),
+                "verdict differs under tier {:?}", tier
+            );
+            prop_assert_eq!(
+                baseline_ce.clone(),
+                out.counterexample().map(|c| c.noise.clone()),
+                "witness differs under tier {:?}", tier
             );
         }
     }

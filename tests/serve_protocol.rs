@@ -85,6 +85,50 @@ fn parallel_batch_verdicts_match_golden_modulo_stats() {
     assert_eq!(got, want);
 }
 
+/// Verdict-bearing fields must be identical across screening tiers —
+/// the tiers only change who pays for each box, never the answer (the
+/// same invariant CI's serve-smoke job re-checks in shell for the
+/// cascade tier). Solver counters legitimately differ per tier, so the
+/// comparison strips from the `source`/`stats` suffix on.
+#[test]
+fn all_screening_tiers_match_golden_verdicts_modulo_stats() {
+    let requests =
+        std::fs::read_to_string(repo_file("tests/data/serve_requests.jsonl")).expect("requests");
+    let golden =
+        std::fs::read_to_string(repo_file("tests/data/serve_golden.jsonl")).expect("golden");
+    let stable = |line: &str| {
+        line.split(",\"source\":")
+            .next()
+            .expect("split yields a prefix")
+            .to_string()
+    };
+    let want: Vec<String> = golden
+        .lines()
+        .filter(|l| !l.contains("\"op\":\"stats\""))
+        .map(stable)
+        .collect();
+    for tier in ["none", "interval", "zonotope", "cascade"] {
+        let (stdout, stderr, ok) = run_serve(
+            &["--once", "--threads", "1", "--screening", tier],
+            &requests,
+        );
+        assert!(ok, "serve --screening {tier} must exit cleanly: {stderr}");
+        let got: Vec<String> = stdout
+            .lines()
+            .filter(|l| !l.contains("\"op\":\"stats\""))
+            .map(stable)
+            .collect();
+        assert_eq!(got, want, "tier {tier} drifted from the golden verdicts");
+    }
+}
+
+#[test]
+fn conflicting_screening_flags_fail_with_usage() {
+    let (_, stderr, ok) = run_serve(&["--once", "--no-screening", "--screening", "cascade"], "");
+    assert!(!ok);
+    assert!(stderr.contains("not both"), "{stderr}");
+}
+
 #[test]
 fn streaming_mode_answers_in_order_and_skips_blank_lines() {
     let input = concat!(
