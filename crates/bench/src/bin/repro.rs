@@ -19,6 +19,7 @@ use fannet_data::golub::{L0_AML, L1_ALL};
 use fannet_data::mrmr::{select_by_variance, select_mrmr, select_random, MrmrScheme};
 use fannet_data::normalize::Affine;
 use fannet_engine::{Engine, EngineConfig, EngineStats};
+use fannet_faults::{FaultChecker, FaultCheckerConfig, FaultStats};
 use fannet_nn::{fold, init, quantize, train, Activation};
 use fannet_smv::statespace::{growth_table, PaperFsm};
 use fannet_verify::bab::{
@@ -91,11 +92,27 @@ struct EngineThroughputReport {
     engine_stats: EngineStats,
 }
 
+/// One arm of the fault ablation: interval-only vs cascade screening
+/// over the *fault space* (weight-noise balls on the trained 5–20–2
+/// network), verdicts asserted identical — the fault-space mirror of the
+/// zonotope ablation.
+#[derive(Serialize)]
+struct FaultAblationRow {
+    variant: &'static str,
+    /// ε = `eps_numer`/100 relative weight noise.
+    eps_numer: i64,
+    seconds: f64,
+    verdict: &'static str,
+    boxes_visited: u64,
+    stats: FaultStats,
+}
+
 /// The `--bench-json` document.
 #[derive(Serialize)]
 struct AblationReport {
     checker_ablation: Vec<AblationRow>,
     zonotope_ablation: Vec<ZonotopeAblationRow>,
+    fault_ablation: Vec<FaultAblationRow>,
     engine_throughput: EngineThroughputReport,
 }
 
@@ -202,6 +219,62 @@ fn zonotope_ablation_rows(deltas: &[i64]) -> Vec<ZonotopeAblationRow> {
                 splits: stats.splits,
                 interval_hit_rate: stats.interval_hit_rate(),
                 zonotope_hit_rate: stats.zonotope_hit_rate(),
+                stats,
+            });
+        }
+    }
+    rows
+}
+
+/// The fault ablation: weight-noise robustness of one case-study input
+/// at increasing ε under interval-only vs cascade screening of the
+/// fault-space search. Decided verdicts are asserted identical between
+/// the arms; unlike the input-noise checker the fault checker is
+/// *incomplete*, so one arm may legitimately return `unknown` where the
+/// other decides (e.g. a budget-exhausted interval arm vs a root-level
+/// zonotope proof) — only contradictory *proofs* would be a bug.
+fn fault_ablation_rows(eps_numers: &[i64]) -> Vec<FaultAblationRow> {
+    use fannet_faults::FaultModel;
+    use fannet_verify::bab::ScreeningTier;
+    let cs = paper_study();
+    let inputs = fannet_bench::paper_test_inputs();
+    let labels = cs.test5.labels();
+    let idx = 6;
+    let variants: [(&'static str, FaultCheckerConfig); 2] = [
+        (
+            "interval",
+            FaultCheckerConfig::default().with_screening(ScreeningTier::Interval),
+        ),
+        ("cascade", FaultCheckerConfig::default()),
+    ];
+    let mut rows = Vec::new();
+    for &eps_numer in eps_numers {
+        let model = FaultModel::WeightNoise {
+            rel_eps: fannet_numeric::Rational::new(i128::from(eps_numer), 100),
+        };
+        let mut baseline: Option<&'static str> = None;
+        for (name, config) in &variants {
+            let checker = FaultChecker::new(cs.exact_net.clone(), config.clone());
+            let t = Instant::now();
+            let (outcome, stats) = checker
+                .check(&inputs[idx], labels[idx], &model)
+                .expect("valid query");
+            let seconds = t.elapsed().as_secs_f64();
+            let verdict = outcome.wire_name();
+            match baseline {
+                None => baseline = Some(verdict),
+                Some(expected) => assert!(
+                    verdict == expected || verdict == "unknown" || expected == "unknown",
+                    "fault screening arms return contradictory proofs at eps \
+                     {eps_numer}/100: {expected} vs {verdict}"
+                ),
+            }
+            rows.push(FaultAblationRow {
+                variant: name,
+                eps_numer,
+                seconds,
+                verdict,
+                boxes_visited: stats.boxes_visited,
                 stats,
             });
         }
@@ -374,6 +447,24 @@ fn run_bench_json(path: &str) {
         );
     }
 
+    println!("\nfault ablation (weight-noise fault space: interval-only vs cascade)");
+    let fault = fault_ablation_rows(&[1, 3, 6, 10, 20]);
+    for pair in fault.chunks(2) {
+        let [interval, cascade] = pair else {
+            unreachable!("rows come in interval/cascade pairs")
+        };
+        println!(
+            "eps {:>2}/100: interval {:>8.1}ms / {:>4} boxes / {:<10}  cascade {:>8.1}ms / {:>4} boxes / {:<10}",
+            interval.eps_numer,
+            interval.seconds * 1e3,
+            interval.boxes_visited,
+            interval.verdict,
+            cascade.seconds * 1e3,
+            cascade.boxes_visited,
+            cascade.verdict,
+        );
+    }
+
     println!("\nengine throughput (resident verdict cache vs cold per-query starts)");
     let engine = engine_throughput_report();
     println!(
@@ -403,6 +494,7 @@ fn run_bench_json(path: &str) {
     let json = serde_json::to_string_pretty(&AblationReport {
         checker_ablation: rows,
         zonotope_ablation: zonotope,
+        fault_ablation: fault,
         engine_throughput: engine,
     })
     .expect("ablation report serializes");
@@ -489,6 +581,18 @@ fn main() {
     println!(
         "noise tolerance: measured ±{}%   (paper: ±11%)",
         report.noise_tolerance()
+    );
+    let fault_eps: Vec<String> = report
+        .fault
+        .per_class_tolerance()
+        .iter()
+        .map(|eps| match eps {
+            Some(e) => format!("{e} (~{:.3})", e.to_f64()),
+            None => "n/a".to_string(),
+        })
+        .collect();
+    println!(
+        "per-class weight-fault tolerance eps: {fault_eps:?}   (fault workload, no paper analogue)"
     );
     println!(
         "misclassification flow: measured L0->L1 {} / L1->L0 {}   (paper: all L0->L1)",

@@ -1,0 +1,295 @@
+//! Weight-fault tolerance analysis — the `fault_report` section of the
+//! pipeline (DESIGN.md §11).
+//!
+//! The input-noise analyses ask how much the *environment* may perturb
+//! an input before the verdict flips; this section asks the symmetric
+//! question about the *hardware*: how much relative weight drift
+//! (`FaultModel::WeightNoise`) each correctly-classified input provably
+//! survives, aggregated per class — the fault-space counterpart of the
+//! per-class fragility table. Every reported ε is **certified** by the
+//! fault checker ([`fannet_faults::FaultChecker::tolerance`]): probes the
+//! budgeted search cannot decide count as failures, so per-input values
+//! are sound lower bounds.
+
+use fannet_data::Dataset;
+use fannet_faults::{FaultChecker, FaultCheckerConfig, FaultModel, ToleranceSearch};
+use fannet_nn::Network;
+use fannet_numeric::Rational;
+use fannet_verify::bab::default_threads;
+use serde::{Deserialize, Serialize};
+
+use crate::behavior::rational_input;
+use crate::par;
+
+/// Knobs of the fault-tolerance analysis.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FaultAnalysisConfig {
+    /// The ε bisection grid per input.
+    pub search: ToleranceSearch,
+    /// Per-probe checker configuration. The default keeps the
+    /// fault-space box budget small: on realistic networks the cascade
+    /// decides at the root or not at all (splitting a 100+-dimensional
+    /// fault box converges too slowly to chase), so a deep search only
+    /// burns time on probes that end `Unknown` anyway.
+    pub checker: FaultCheckerConfig,
+    /// Worker threads fanning the per-input bisections.
+    pub input_threads: usize,
+}
+
+impl Default for FaultAnalysisConfig {
+    /// Percent-resolution grid up to ε = 1/4, 32-box fault search, all
+    /// cores.
+    fn default() -> Self {
+        FaultAnalysisConfig {
+            search: ToleranceSearch::new(100, 25),
+            checker: FaultCheckerConfig::default().with_max_boxes(32),
+            input_threads: default_threads(),
+        }
+    }
+}
+
+/// Certified weight-noise tolerance of one input.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct InputFaultTolerance {
+    /// Index of the input in the analysed dataset.
+    pub index: usize,
+    /// The input's true label.
+    pub label: usize,
+    /// The largest grid ε proven robust (`None` iff the fault-free
+    /// network already misclassifies — excluded by construction when the
+    /// analysis runs over correctly classified inputs).
+    pub robust_eps: Option<Rational>,
+    /// The smallest grid ε not proven robust (`None` when robust through
+    /// the whole grid).
+    pub first_failure: Option<Rational>,
+}
+
+/// Dataset-level fault-tolerance report.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FaultReport {
+    /// The bisection grid used.
+    pub search: ToleranceSearch,
+    /// Number of classes of the analysed dataset.
+    pub classes: usize,
+    /// Per-input certified tolerances.
+    pub per_input: Vec<InputFaultTolerance>,
+}
+
+impl FaultReport {
+    /// Per-class fault tolerance: the smallest certified ε over the
+    /// class's analysed inputs (`None` for classes with no analysed
+    /// inputs). This is the per-class number `fannet faults` and the
+    /// repro report print.
+    #[must_use]
+    pub fn per_class_tolerance(&self) -> Vec<Option<Rational>> {
+        (0..self.classes)
+            .map(|class| {
+                self.per_input
+                    .iter()
+                    .filter(|t| t.label == class)
+                    .map(|t| t.robust_eps.unwrap_or(Rational::ZERO))
+                    .min()
+            })
+            .collect()
+    }
+
+    /// The network's fault tolerance: the smallest certified ε over
+    /// every analysed input (`None` when nothing was analysed).
+    #[must_use]
+    pub fn network_tolerance(&self) -> Option<Rational> {
+        self.per_input
+            .iter()
+            .map(|t| t.robust_eps.unwrap_or(Rational::ZERO))
+            .min()
+    }
+}
+
+/// Runs the per-input weight-noise bisection over `indices` (typically
+/// the correctly classified samples), fanned across
+/// `config.input_threads` workers. The report is identical at any thread
+/// count — each bisection is deterministic and inputs are independent.
+///
+/// # Panics
+///
+/// Panics if an index is out of range or widths mismatch.
+#[must_use]
+pub fn analyze(
+    net: &Network<Rational>,
+    data: &Dataset,
+    indices: &[usize],
+    config: &FaultAnalysisConfig,
+) -> FaultReport {
+    let checker = FaultChecker::new(net.clone(), config.checker.clone());
+    let per_input = par::ordered_map(indices, config.input_threads, |&i| {
+        let (sample, label) = (data.samples()[i].as_slice(), data.labels()[i]);
+        let x = rational_input(sample);
+        let (tolerance, _) = checker
+            .tolerance(&x, label, &config.search)
+            .expect("widths validated by caller");
+        InputFaultTolerance {
+            index: i,
+            label,
+            robust_eps: tolerance.robust_eps,
+            first_failure: tolerance.first_failure,
+        }
+    });
+    FaultReport {
+        search: config.search,
+        classes: data.class_counts().len(),
+        per_input,
+    }
+}
+
+/// One-off robustness verdicts of every indexed input under a fixed
+/// fault model, as per-class `(robust, vulnerable, unknown)` counts —
+/// the `--eps` spot check of `fannet faults`.
+///
+/// # Panics
+///
+/// Panics if an index is out of range or widths mismatch.
+#[must_use]
+pub fn class_verdicts(
+    net: &Network<Rational>,
+    data: &Dataset,
+    indices: &[usize],
+    model: &FaultModel,
+    config: &FaultAnalysisConfig,
+) -> Vec<(usize, usize, usize)> {
+    let checker = FaultChecker::new(net.clone(), config.checker.clone());
+    let verdicts = par::ordered_map(indices, config.input_threads, |&i| {
+        let x = rational_input(data.samples()[i].as_slice());
+        let (outcome, _) = checker
+            .check(&x, data.labels()[i], model)
+            .expect("widths validated by caller");
+        (data.labels()[i], outcome)
+    });
+    let classes = data.class_counts().len();
+    let mut counts = vec![(0, 0, 0); classes];
+    for (label, outcome) in verdicts {
+        let entry = &mut counts[label];
+        match outcome {
+            fannet_faults::FaultOutcome::Robust => entry.0 += 1,
+            fannet_faults::FaultOutcome::Vulnerable(_) => entry.1 += 1,
+            fannet_faults::FaultOutcome::Unknown => entry.2 += 1,
+        }
+    }
+    counts
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fannet_nn::{Activation, DenseLayer, Readout};
+    use fannet_tensor::Matrix;
+
+    fn r(n: i128) -> Rational {
+        Rational::from_integer(n)
+    }
+
+    /// label 0 iff x0 ≥ x1 — fault tolerance has the closed form
+    /// ε* = (x0 − x1)/(x0 + x1).
+    fn comparator() -> Network<Rational> {
+        Network::new(
+            vec![DenseLayer::new(
+                Matrix::from_rows(vec![vec![r(1), r(0)], vec![r(0), r(1)]]).unwrap(),
+                vec![r(0), r(0)],
+                Activation::Identity,
+            )
+            .unwrap()],
+            Readout::MaxPool,
+        )
+        .unwrap()
+    }
+
+    fn dataset() -> Dataset {
+        // Radii: (100, 82) → ε* ≈ 0.099; (100, 95) → ε* ≈ 0.0256;
+        // (40, 100) label 1 → ε* = 60/140 ≈ 0.43 (beyond the grid).
+        Dataset::new(
+            vec![vec![100.0, 82.0], vec![100.0, 95.0], vec![40.0, 100.0]],
+            vec![0, 0, 1],
+            2,
+        )
+        .unwrap()
+    }
+
+    fn config() -> FaultAnalysisConfig {
+        FaultAnalysisConfig {
+            search: ToleranceSearch::new(1000, 200),
+            input_threads: 1,
+            ..FaultAnalysisConfig::default()
+        }
+    }
+
+    #[test]
+    fn per_input_values_match_the_closed_form() {
+        let report = analyze(&comparator(), &dataset(), &[0, 1, 2], &config());
+        assert_eq!(report.per_input.len(), 3);
+        // Largest k/1000 ≤ (x0−x1)/(x0+x1): 98/1000 and 25/1000.
+        assert_eq!(
+            report.per_input[0].robust_eps,
+            Some(Rational::new(98, 1000))
+        );
+        assert_eq!(
+            report.per_input[1].robust_eps,
+            Some(Rational::new(25, 1000))
+        );
+        // Label-1 input is robust through the whole grid (ε* ≈ 0.43).
+        assert_eq!(
+            report.per_input[2].robust_eps,
+            Some(Rational::new(200, 1000))
+        );
+        assert_eq!(report.per_input[2].first_failure, None);
+    }
+
+    #[test]
+    fn per_class_and_network_aggregation() {
+        let report = analyze(&comparator(), &dataset(), &[0, 1, 2], &config());
+        let per_class = report.per_class_tolerance();
+        assert_eq!(per_class.len(), 2);
+        assert_eq!(
+            per_class[0],
+            Some(Rational::new(25, 1000)),
+            "min of class 0"
+        );
+        assert_eq!(per_class[1], Some(Rational::new(200, 1000)));
+        assert_eq!(report.network_tolerance(), Some(Rational::new(25, 1000)));
+    }
+
+    #[test]
+    fn report_is_thread_count_invariant() {
+        let net = comparator();
+        let data = dataset();
+        let serial = analyze(&net, &data, &[0, 1, 2], &config());
+        let parallel = analyze(
+            &net,
+            &data,
+            &[0, 1, 2],
+            &FaultAnalysisConfig {
+                input_threads: 4,
+                ..config()
+            },
+        );
+        assert_eq!(serial, parallel);
+    }
+
+    #[test]
+    fn class_verdict_counts() {
+        let counts = class_verdicts(
+            &comparator(),
+            &dataset(),
+            &[0, 1, 2],
+            &FaultModel::WeightNoise {
+                rel_eps: Rational::new(5, 100),
+            },
+            &config(),
+        );
+        // ε = 0.05: (100, 82) robust, (100, 95) vulnerable, label-1 robust.
+        assert_eq!(counts, vec![(1, 1, 0), (1, 0, 0)]);
+    }
+
+    #[test]
+    fn empty_classes_report_none() {
+        let report = analyze(&comparator(), &dataset(), &[0], &config());
+        assert_eq!(report.per_class_tolerance()[1], None);
+    }
+}

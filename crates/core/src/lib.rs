@@ -13,6 +13,8 @@
 //! * [`bias`] — training-bias analysis of misclassification flows.
 //! * [`sensitivity`] — per-input-node noise-sign statistics.
 //! * [`boundary`] — classification-boundary proximity estimation.
+//! * [`faults`] — per-class weight-fault tolerance (the `fannet-faults`
+//!   workload as a pipeline section).
 //! * [`casestudy`] — the leukemia case study, dataset to quantized network.
 //! * [`pipeline`] — the full methodology as a single [`pipeline::run`].
 //!
@@ -56,6 +58,7 @@ pub mod behavior;
 pub mod bias;
 pub mod boundary;
 pub mod casestudy;
+pub mod faults;
 pub mod par;
 pub mod pipeline;
 pub mod property;

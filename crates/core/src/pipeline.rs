@@ -24,6 +24,7 @@ use crate::adversarial::{self, AdversarialReport};
 use crate::behavior::{self, ValidationReport};
 use crate::bias::{self, BiasReport};
 use crate::boundary::{self, BoundaryReport};
+use crate::faults::{self, FaultAnalysisConfig, FaultReport};
 use crate::sensitivity::{self, SensitivityReport};
 use crate::tolerance::{self, SweepRow, ToleranceReport};
 
@@ -51,6 +52,9 @@ pub struct AnalysisConfig {
     /// Worker threads fanning the per-input P2/P3 queries
     /// (`FANNET_THREADS` overrides the default of all cores; `1` = serial).
     pub input_threads: usize,
+    /// The weight-fault tolerance section (`fault_report`): ε grid and
+    /// fault-checker budget of the per-input bisections.
+    pub fault: FaultAnalysisConfig,
 }
 
 impl Default for AnalysisConfig {
@@ -68,6 +72,7 @@ impl Default for AnalysisConfig {
             // sweep rows affordable.
             checker: CheckerConfig::cascade(),
             input_threads: default_threads(),
+            fault: FaultAnalysisConfig::default(),
         }
     }
 }
@@ -89,6 +94,8 @@ pub struct FannetReport {
     pub sensitivity: SensitivityReport,
     /// Boundary-proximity view.
     pub boundary: BoundaryReport,
+    /// Per-class weight-fault tolerance (DESIGN.md §11).
+    pub fault: FaultReport,
 }
 
 impl FannetReport {
@@ -185,6 +192,25 @@ impl FannetReport {
             );
         }
 
+        let _ = writeln!(out, "\n== Weight-fault tolerance (fannet-faults) ==");
+        let _ = writeln!(
+            out,
+            "relative weight noise, certified on the grid eps = k/{}, k <= {}:",
+            self.fault.search.denom, self.fault.search.max_numer
+        );
+        let fmt_eps = |eps: &Option<Rational>| match eps {
+            Some(e) => format!("eps >= {e} (~{:.3})", e.to_f64()),
+            None => "n/a (no analysed inputs)".to_string(),
+        };
+        for (class, eps) in self.fault.per_class_tolerance().iter().enumerate() {
+            let _ = writeln!(out, "class L{class}: {}", fmt_eps(eps));
+        }
+        let _ = writeln!(
+            out,
+            "network fault tolerance: {}",
+            fmt_eps(&self.fault.network_tolerance())
+        );
+
         let _ = writeln!(out, "\n== Boundary analysis (§V-C.2) ==");
         let _ = writeln!(
             out,
@@ -252,6 +278,7 @@ pub fn run(
     let bias = bias::analyze(&adversarial, &tolerance, train);
     let sensitivity = sensitivity::analyze(&adversarial);
     let boundary = boundary::analyze(exact, test, &tolerance, config.near_threshold);
+    let fault = faults::analyze(exact, test, &correct, &config.fault);
 
     FannetReport {
         validation,
@@ -261,6 +288,7 @@ pub fn run(
         bias,
         sensitivity,
         boundary,
+        fault,
     }
 }
 
@@ -365,6 +393,19 @@ mod tests {
 
         // Boundary: the wide-margin input is robust through ±20.
         assert!(report.boundary.far_from_boundary().contains(&2));
+
+        // Fault section: one entry per correctly classified input; the
+        // near-boundary pair (ε* = 4/196 ≈ 0.0204) pins the network
+        // tolerance to the 2/100 grid point, the wide-margin input
+        // (ε* = 60/140) saturates the default grid at 25/100.
+        assert_eq!(report.fault.per_input.len(), 3);
+        assert_eq!(
+            report.fault.network_tolerance(),
+            Some(Rational::new(2, 100))
+        );
+        let per_class = report.fault.per_class_tolerance();
+        assert_eq!(per_class[0], Some(Rational::new(2, 100)));
+        assert_eq!(per_class[1], Some(Rational::new(2, 100)));
     }
 
     #[test]
@@ -379,6 +420,8 @@ mod tests {
             "Adversarial noise vectors",
             "Training bias",
             "Input-node sensitivity",
+            "Weight-fault tolerance",
+            "network fault tolerance: eps >=",
             "Boundary analysis",
             "noise tolerance: ±",
         ] {

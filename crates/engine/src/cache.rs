@@ -23,6 +23,7 @@
 
 use std::collections::HashMap;
 
+use fannet_faults::{FaultModel, FaultOutcome};
 use fannet_numeric::Rational;
 use fannet_verify::bab::RegionOutcome;
 use fannet_verify::region::NoiseRegion;
@@ -281,6 +282,141 @@ impl VerdictCache {
     }
 }
 
+// ---------------------------------------------------------------------------
+// Fault-verdict cache (DESIGN.md §11)
+// ---------------------------------------------------------------------------
+
+/// Lookup/eviction counters of a [`FaultVerdictCache`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FaultCacheStats {
+    /// Lookups answered by an entry with the identical
+    /// `(input, label, model)` key.
+    pub hits: u64,
+    /// Lookups that fell through to the fault checker.
+    pub misses: u64,
+    /// Entries discarded by the LRU bound.
+    pub evictions: u64,
+}
+
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+struct FaultKey {
+    input: Vec<Rational>,
+    label: usize,
+    model: FaultModel,
+}
+
+/// Bounded LRU store of fault verdicts for **one** network, keyed by
+/// `(input, label, model)` — the engine namespaces it under the
+/// network's content fingerprint exactly like the region-verdict cache.
+///
+/// Reuse is **exact-key only**. Weight-noise verdicts do admit a sound
+/// monotone order (`Robust` at ε answers every ε′ ≤ ε), but the fault
+/// checker is *incomplete*: a cold run at the smaller ε may legitimately
+/// return `Unknown` where the subsumed answer would say `Robust`, so
+/// serving the monotone answer would break the engine's bit-identical-
+/// to-cold contract (the same reasoning that makes counterexample
+/// containment verdict-only in [`VerdictCache`], taken one step
+/// further).
+#[derive(Debug)]
+pub struct FaultVerdictCache {
+    entries: HashMap<FaultKey, (FaultOutcome, u64)>,
+    capacity: usize,
+    clock: u64,
+    stats: FaultCacheStats,
+}
+
+impl FaultVerdictCache {
+    /// Creates an empty cache holding at most `capacity` verdicts.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity == 0`.
+    #[must_use]
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "cache capacity must be positive");
+        FaultVerdictCache {
+            entries: HashMap::new(),
+            capacity,
+            clock: 0,
+            stats: FaultCacheStats::default(),
+        }
+    }
+
+    /// Number of cached verdicts.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// `true` before the first insertion.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Lifetime counters.
+    #[must_use]
+    pub fn stats(&self) -> FaultCacheStats {
+        self.stats
+    }
+
+    /// Exact-key lookup, refreshing recency on a hit.
+    pub fn lookup(
+        &mut self,
+        input: &[Rational],
+        label: usize,
+        model: &FaultModel,
+    ) -> Option<FaultOutcome> {
+        self.clock += 1;
+        let key = FaultKey {
+            input: input.to_vec(),
+            label,
+            model: model.clone(),
+        };
+        match self.entries.get_mut(&key) {
+            Some((outcome, last_used)) => {
+                *last_used = self.clock;
+                self.stats.hits += 1;
+                Some(outcome.clone())
+            }
+            None => {
+                self.stats.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Stores a fresh checker verdict, evicting the least recently used
+    /// entry when full.
+    pub fn insert(
+        &mut self,
+        input: &[Rational],
+        label: usize,
+        model: &FaultModel,
+        outcome: FaultOutcome,
+    ) {
+        self.clock += 1;
+        let key = FaultKey {
+            input: input.to_vec(),
+            label,
+            model: model.clone(),
+        };
+        let clock = self.clock;
+        let fresh = self.entries.insert(key, (outcome, clock)).is_none();
+        if fresh && self.entries.len() > self.capacity {
+            let victim = self
+                .entries
+                .iter()
+                .min_by_key(|(_, &(_, t))| t)
+                .map(|(k, _)| k.clone());
+            if let Some(victim) = victim {
+                self.entries.remove(&victim);
+                self.stats.evictions += 1;
+            }
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -463,5 +599,41 @@ mod tests {
     #[should_panic(expected = "capacity must be positive")]
     fn zero_capacity_rejected() {
         let _ = VerdictCache::new(0);
+    }
+
+    #[test]
+    fn fault_cache_exact_hits_and_lru() {
+        let mut c = FaultVerdictCache::new(2);
+        let x = [r(100), r(82)];
+        let eps = |n: i128| FaultModel::WeightNoise {
+            rel_eps: Rational::new(n, 100),
+        };
+        assert_eq!(c.lookup(&x, 0, &eps(1)), None);
+        c.insert(&x, 0, &eps(1), FaultOutcome::Robust);
+        assert_eq!(c.lookup(&x, 0, &eps(1)), Some(FaultOutcome::Robust));
+        // A different model parameter, label or input is a distinct key —
+        // no monotone reuse (see the type doc).
+        assert_eq!(c.lookup(&x, 0, &eps(2)), None);
+        assert_eq!(c.lookup(&x, 1, &eps(1)), None);
+        assert_eq!(c.lookup(&[r(1), r(2)], 0, &eps(1)), None);
+        // LRU bound: touch eps(1), insert two more, eps(5) evicts eps(3).
+        c.insert(&x, 0, &eps(3), FaultOutcome::Unknown);
+        assert_eq!(c.lookup(&x, 0, &eps(1)), Some(FaultOutcome::Robust));
+        c.insert(&x, 0, &eps(5), FaultOutcome::Unknown);
+        assert_eq!(c.len(), 2);
+        assert_eq!(c.stats().evictions, 1);
+        assert_eq!(c.lookup(&x, 0, &eps(3)), None, "LRU victim is gone");
+        assert_eq!(c.lookup(&x, 0, &eps(1)), Some(FaultOutcome::Robust));
+        assert!(c.stats().hits >= 3 && c.stats().misses >= 5);
+        // Re-inserting an existing key refreshes in place.
+        c.insert(&x, 0, &eps(1), FaultOutcome::Robust);
+        assert_eq!(c.len(), 2);
+        assert!(!c.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity must be positive")]
+    fn fault_cache_zero_capacity_rejected() {
+        let _ = FaultVerdictCache::new(0);
     }
 }

@@ -9,6 +9,10 @@
 
 use std::sync::Mutex;
 
+use fannet_faults::{
+    tolerance_search, FaultChecker, FaultCheckerConfig, FaultModel, FaultOutcome, FaultStats,
+    FaultTolerance, ToleranceSearch,
+};
 use fannet_nn::fingerprint::{fingerprint, NetworkFingerprint};
 use fannet_nn::Network;
 use fannet_numeric::Rational;
@@ -20,7 +24,7 @@ use fannet_verify::propagate::FloatShadow;
 use fannet_verify::region::NoiseRegion;
 use fannet_verify::zonotope::ZonotopeShadow;
 
-use crate::cache::{Lookup, VerdictCache, WitnessPolicy};
+use crate::cache::{FaultCacheStats, FaultVerdictCache, Lookup, VerdictCache, WitnessPolicy};
 use crate::stats::EngineStats;
 
 /// How an engine runs its solver and bounds its cache.
@@ -106,6 +110,13 @@ pub struct Engine {
     cache: Mutex<VerdictCache>,
     /// Cumulative branch-and-bound counters across every solver run.
     solver_stats: Mutex<BabStats>,
+    /// The resident weight-fault checker (DESIGN.md §11); runs the
+    /// deterministic default [`FaultCheckerConfig`], so cold
+    /// `FaultChecker` runs reproduce engine answers bit for bit.
+    faults: FaultChecker,
+    fault_cache: Mutex<FaultVerdictCache>,
+    /// Cumulative fault-checker counters across every cold fault run.
+    fault_stats: Mutex<FaultStats>,
 }
 
 impl std::fmt::Debug for Engine {
@@ -139,6 +150,8 @@ impl Engine {
             .uses_zonotope()
             .then(|| ZonotopeShadow::new(&net));
         let cache = VerdictCache::new(config.cache_capacity);
+        let fault_cache = FaultVerdictCache::new(config.cache_capacity);
+        let faults = FaultChecker::new(net.clone(), FaultCheckerConfig::default());
         Engine {
             net,
             fingerprint: fp,
@@ -147,6 +160,9 @@ impl Engine {
             zonotope,
             cache: Mutex::new(cache),
             solver_stats: Mutex::new(BabStats::default()),
+            faults,
+            fault_cache: Mutex::new(fault_cache),
+            fault_stats: Mutex::new(FaultStats::default()),
         }
     }
 
@@ -429,6 +445,134 @@ impl Engine {
             .merge(&result.2);
         Ok(result)
     }
+
+    /// Weight-fault robustness of `x` under `model`
+    /// ([`FaultChecker::check`]) through the fault-verdict cache,
+    /// namespaced by this engine's network fingerprint.
+    ///
+    /// Replies are **bit-identical** to a cold [`FaultChecker`] with the
+    /// default configuration: the cache reuses exact keys only (the
+    /// monotone weight-noise order is deliberately withheld — see
+    /// [`FaultVerdictCache`]), and the checker itself is deterministic.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message on width mismatch, out-of-range label, or an
+    /// out-of-domain model.
+    pub fn fault_check(
+        &self,
+        x: &[Rational],
+        label: usize,
+        model: &FaultModel,
+    ) -> Result<FaultReply, String> {
+        // Validate before touching the cache (mirroring `check`), so
+        // malformed queries never skew the hit/miss accounting.
+        if x.len() != self.net.inputs() {
+            return Err(format!(
+                "input of width {} against network with {} inputs",
+                x.len(),
+                self.net.inputs()
+            ));
+        }
+        if label >= self.net.outputs() {
+            return Err(format!(
+                "label {label} out of range for {} outputs",
+                self.net.outputs()
+            ));
+        }
+        if !self.net.is_piecewise_linear() {
+            return Err("fault verification requires piecewise-linear activations".to_string());
+        }
+        model.validate(&self.net)?;
+        let hit = self
+            .fault_cache
+            .lock()
+            .expect("engine fault cache poisoned")
+            .lookup(x, label, model);
+        if let Some(outcome) = hit {
+            return Ok(FaultReply {
+                outcome,
+                source: AnswerSource::ExactHit,
+                stats: FaultStats::default(),
+            });
+        }
+        let (outcome, stats) = self.faults.check(x, label, model)?;
+        self.fault_stats
+            .lock()
+            .expect("engine fault stats poisoned")
+            .merge(&stats);
+        self.fault_cache
+            .lock()
+            .expect("engine fault cache poisoned")
+            .insert(x, label, model, outcome.clone());
+        Ok(FaultReply {
+            outcome,
+            source: AnswerSource::Solver,
+            stats,
+        })
+    }
+
+    /// Weight-noise fault tolerance of `x`
+    /// ([`FaultChecker::tolerance`]) with every bisection probe flowing
+    /// through [`Engine::fault_check`]'s cache — the probe sequence is a
+    /// pure function of the verdicts, which cached answers reproduce
+    /// exactly, so the result equals the cold search's bit for bit (a
+    /// warm repeat issues zero checker runs).
+    ///
+    /// # Errors
+    ///
+    /// Returns a message on width mismatch or out-of-range label.
+    pub fn fault_tolerance(
+        &self,
+        x: &[Rational],
+        label: usize,
+        search: &ToleranceSearch,
+    ) -> Result<FaultTolerance, String> {
+        tolerance_search(search, |eps| {
+            self.fault_check(x, label, &FaultModel::WeightNoise { rel_eps: eps })
+                .map(|reply| reply.outcome)
+        })
+    }
+
+    /// Cumulative fault-checker counters across every cold fault run.
+    #[must_use]
+    pub fn fault_solver_stats(&self) -> FaultStats {
+        *self
+            .fault_stats
+            .lock()
+            .expect("engine fault stats poisoned")
+    }
+
+    /// Lifetime fault-cache counters.
+    #[must_use]
+    pub fn fault_cache_stats(&self) -> FaultCacheStats {
+        self.fault_cache
+            .lock()
+            .expect("engine fault cache poisoned")
+            .stats()
+    }
+
+    /// Number of cached fault verdicts.
+    #[must_use]
+    pub fn fault_cache_len(&self) -> usize {
+        self.fault_cache
+            .lock()
+            .expect("engine fault cache poisoned")
+            .len()
+    }
+}
+
+/// An engine answer to a fault query: the outcome plus how it was
+/// obtained (`stats` are zero on cache hits, mirroring [`CheckReply`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FaultReply {
+    /// The verdict, bit-identical to a cold [`FaultChecker`] run.
+    pub outcome: FaultOutcome,
+    /// Cache path that produced it (fault lookups are exact-key only, so
+    /// [`AnswerSource::SubsumptionHit`] never appears here).
+    pub source: AnswerSource,
+    /// Fault-checker counters of this answer (zero on cache hits).
+    pub stats: FaultStats,
 }
 
 #[cfg(test)]
@@ -578,5 +722,110 @@ mod tests {
         let a = engine();
         let b = engine();
         assert_eq!(a.fingerprint(), b.fingerprint());
+    }
+
+    #[test]
+    fn fault_check_cold_then_exact_hit_bit_identical() {
+        let e = engine();
+        let x = [r(100), r(82)];
+        let cold_checker = FaultChecker::new(comparator(), FaultCheckerConfig::default());
+        for eps in [(1i128, 100i128), (5, 100), (15, 100)] {
+            let model = FaultModel::WeightNoise {
+                rel_eps: Rational::new(eps.0, eps.1),
+            };
+            let (cold, cold_stats) = cold_checker.check(&x, 0, &model).unwrap();
+            let first = e.fault_check(&x, 0, &model).unwrap();
+            assert_eq!(first.source, AnswerSource::Solver);
+            assert_eq!(first.outcome, cold, "eps {eps:?}");
+            assert_eq!(first.stats, cold_stats);
+            let warm = e.fault_check(&x, 0, &model).unwrap();
+            assert_eq!(warm.source, AnswerSource::ExactHit);
+            assert_eq!(warm.outcome, cold);
+            assert_eq!(warm.stats, FaultStats::default(), "hits do no work");
+        }
+        let stats = e.fault_cache_stats();
+        assert_eq!((stats.hits, stats.misses), (3, 3));
+        assert_eq!(e.fault_cache_len(), 3);
+        assert!(e.fault_solver_stats().concrete_evals > 0);
+    }
+
+    #[test]
+    fn fault_tolerance_matches_cold_search_and_replays_from_cache() {
+        let e = engine();
+        let cold_checker = FaultChecker::new(comparator(), FaultCheckerConfig::default());
+        let search = ToleranceSearch::new(1000, 400);
+        for (x0, x1) in [(100i128, 82i128), (100, 95), (100, 50)] {
+            let x = [r(x0), r(x1)];
+            let (cold, _) = cold_checker.tolerance(&x, 0, &search).unwrap();
+            let warm = e.fault_tolerance(&x, 0, &search).unwrap();
+            assert_eq!(warm, cold, "({x0}, {x1})");
+            // The repeat resolves every probe from the cache.
+            let misses_before = e.fault_cache_stats().misses;
+            let again = e.fault_tolerance(&x, 0, &search).unwrap();
+            assert_eq!(again, cold);
+            assert_eq!(
+                e.fault_cache_stats().misses,
+                misses_before,
+                "warm re-search must issue zero checker runs"
+            );
+        }
+    }
+
+    #[test]
+    fn sigmoid_model_engine_builds_and_contains_fault_errors() {
+        // A screening-free engine must still construct for any loadable
+        // model (a sigmoid net used to crash Engine::new through the
+        // fault checker's admissibility assert); fault queries surface
+        // the error per request, and invalid queries never touch the
+        // fault cache's hit/miss accounting.
+        let net = Network::new(
+            vec![fannet_nn::DenseLayer::new(
+                fannet_tensor::Matrix::from_rows(vec![vec![r(1), r(0)], vec![r(0), r(1)]]).unwrap(),
+                vec![r(0), r(0)],
+                fannet_nn::Activation::Sigmoid,
+            )
+            .unwrap()],
+            fannet_nn::Readout::MaxPool,
+        )
+        .unwrap();
+        let e = Engine::new(
+            net,
+            EngineConfig {
+                checker: CheckerConfig::serial_exact(),
+                cache_capacity: 16,
+            },
+        );
+        let model = FaultModel::WeightNoise {
+            rel_eps: Rational::new(1, 100),
+        };
+        let err = e.fault_check(&[r(1), r(2)], 0, &model).unwrap_err();
+        assert!(err.contains("piecewise-linear"), "{err}");
+        // Width/label/admissibility failures are all rejected before the
+        // cache, so the hit/miss accounting stays clean.
+        assert!(e.fault_check(&[r(1)], 0, &model).is_err());
+        assert!(e.fault_check(&[r(1), r(2)], 9, &model).is_err());
+        let stats = e.fault_cache_stats();
+        assert_eq!((stats.hits, stats.misses), (0, 0), "{stats:?}");
+    }
+
+    #[test]
+    fn fault_queries_reject_bad_inputs() {
+        let e = engine();
+        let model = FaultModel::WeightNoise {
+            rel_eps: Rational::new(1, 100),
+        };
+        assert!(e.fault_check(&[r(1)], 0, &model).is_err());
+        assert!(e.fault_check(&[r(1), r(2)], 9, &model).is_err());
+        assert!(e
+            .fault_check(
+                &[r(1), r(2)],
+                0,
+                &FaultModel::StuckAt {
+                    layer: 7,
+                    neuron: 0,
+                    value: Rational::ZERO,
+                }
+            )
+            .is_err());
     }
 }

@@ -1,13 +1,18 @@
 //! The JSONL request/response protocol of `fannet serve` (DESIGN.md §8).
 //!
 //! One request per line on stdin, one response per line on stdout,
-//! `i`-th response answering the `i`-th request. Four operations:
+//! `i`-th response answering the `i`-th request. Six operations:
 //!
 //! ```text
 //! {"op":"check","id":1,"input":["100","82"],"label":0,"delta":5}
 //! {"op":"check","input":["100","82"],"label":0,"region":[[-5,5],[0,3]]}
 //! {"op":"tolerance","input":["100","82"],"label":0,"max_delta":50}
 //! {"op":"sensitivity","input":["100","99"],"label":0,"delta":3,"cap":10}
+//! {"op":"fault_check","input":["100","82"],"label":0,"model":"weight-noise","eps":"1/50"}
+//! {"op":"fault_check","input":["100","82"],"label":0,"model":"stuck-at","layer":0,"neuron":1,"value":"0"}
+//! {"op":"fault_check","input":["100","82"],"label":0,"model":"bit-flips","budget":1}
+//! {"op":"fault_check","input":["100","82"],"label":0,"model":"quantization","denom_bits":8}
+//! {"op":"fault_tolerance","input":["100","82"],"label":0,"denom":1000,"max_numer":200}
 //! {"op":"stats"}
 //! ```
 //!
@@ -15,7 +20,10 @@
 //! bare JSON integers. `delta` is shorthand for the symmetric region
 //! `±delta` over every input node; `region` gives explicit per-node
 //! `[lo, hi]` percent bounds. `id` is an optional client tag echoed back
-//! verbatim; `max_delta` defaults to 50 and `cap` to 100.
+//! verbatim; `max_delta` defaults to 50 and `cap` to 100. Fault queries
+//! (DESIGN.md §11) name a [`FaultModel`] by its kind plus flat model
+//! parameters; `fault_tolerance` bisects relative weight noise on the
+//! grid `{0, 1/denom, …, max_numer/denom}` (defaults 1000 and 200).
 //!
 //! Responses are flat JSON objects tagged with the same `op` (or
 //! `"error"`), e.g.:
@@ -37,6 +45,7 @@
 
 use std::panic::{catch_unwind, AssertUnwindSafe};
 
+use fannet_faults::{FaultModel, FaultOutcome, FaultStats, FaultTolerance, ToleranceSearch};
 use fannet_numeric::Rational;
 use fannet_verify::bab::{BabStats, RegionOutcome};
 use fannet_verify::exact::Counterexample;
@@ -90,6 +99,28 @@ pub enum Request {
         /// Maximum counterexamples to extract.
         cap: usize,
     },
+    /// Weight-fault robustness check (DESIGN.md §11).
+    FaultCheck {
+        /// Client tag echoed in the response.
+        id: Option<u64>,
+        /// Exact input vector.
+        input: Vec<Rational>,
+        /// Expected label `Sx`.
+        label: usize,
+        /// The fault model to verify against.
+        model: FaultModel,
+    },
+    /// Weight-noise fault-tolerance bisection.
+    FaultTolerance {
+        /// Client tag echoed in the response.
+        id: Option<u64>,
+        /// Exact input vector.
+        input: Vec<Rational>,
+        /// Expected label `Sx`.
+        label: usize,
+        /// The ε grid searched.
+        search: ToleranceSearch,
+    },
     /// Engine/cache/solver counters.
     Stats {
         /// Client tag echoed in the response.
@@ -139,6 +170,26 @@ pub enum Response {
         /// The `max_delta` that bounded the search.
         max_delta: i64,
     },
+    /// Answer to [`Request::FaultCheck`].
+    FaultCheck {
+        /// Echo of the request tag.
+        id: Option<u64>,
+        /// The verdict (with witness, when vulnerable).
+        outcome: FaultOutcome,
+        /// Cache path that produced it.
+        source: AnswerSource,
+        /// Fault-checker counters of this answer (zero on cache hits).
+        stats: FaultStats,
+    },
+    /// Answer to [`Request::FaultTolerance`].
+    FaultTolerance {
+        /// Echo of the request tag.
+        id: Option<u64>,
+        /// The bisection result.
+        tolerance: FaultTolerance,
+        /// The grid that bounded the search.
+        search: ToleranceSearch,
+    },
     /// Answer to [`Request::Sensitivity`].
     Sensitivity {
         /// Echo of the request tag.
@@ -162,6 +213,12 @@ pub enum Response {
         cache_len: usize,
         /// Cumulative solver counters.
         solver: BabStats,
+        /// Fault-cache counters.
+        fault_cache: crate::cache::FaultCacheStats,
+        /// Fault verdicts currently cached.
+        fault_cache_len: usize,
+        /// Cumulative fault-checker counters.
+        fault_solver: FaultStats,
     },
     /// Any failure: malformed line, bad query, or a solver panic.
     Error {
@@ -236,6 +293,46 @@ fn take_region(m: &mut Vec<(String, Value)>, nodes: usize) -> Result<NoiseRegion
     }
 }
 
+/// Resolves the flat fault-model fields of a `fault_check` request.
+fn take_fault_model(m: &mut Vec<(String, Value)>) -> Result<FaultModel, String> {
+    let kind = match take_entry(m, "model") {
+        Some(Value::Str(s)) => s,
+        Some(other) => return Err(format!("`model` must be a string, found {other:?}")),
+        None => return Err("missing field `model`".to_string()),
+    };
+    match kind.as_str() {
+        "weight-noise" | "weight_noise" => {
+            let rel_eps: Rational = take_required(m, "eps")?;
+            if rel_eps.is_negative() {
+                return Err(format!(
+                    "weight-noise eps must be non-negative, got {rel_eps}"
+                ));
+            }
+            Ok(FaultModel::WeightNoise { rel_eps })
+        }
+        "stuck-at" | "stuck_at" => Ok(FaultModel::StuckAt {
+            layer: take_required(m, "layer")?,
+            neuron: take_required(m, "neuron")?,
+            value: take_required(m, "value")?,
+        }),
+        "bit-flips" | "bit_flips" => Ok(FaultModel::BitFlips {
+            budget: take_required(m, "budget")?,
+        }),
+        "quantization" => {
+            let bits: usize = take_required(m, "denom_bits")?;
+            if bits >= 126 {
+                return Err(format!("denom_bits {bits} overflows the exact domain"));
+            }
+            Ok(FaultModel::Quantization {
+                denom_bits: bits as u32,
+            })
+        }
+        other => Err(format!(
+            "unknown fault model `{other}` (expected weight-noise/stuck-at/bit-flips/quantization)"
+        )),
+    }
+}
+
 /// Decodes one JSONL line into a [`Request`].
 ///
 /// # Errors
@@ -296,9 +393,39 @@ pub fn parse_request(line: &str) -> Result<Request, String> {
                 cap,
             })
         }
+        "fault_check" => {
+            let input = take_input(&mut m)?;
+            let label = take_required(&mut m, "label")?;
+            let model = take_fault_model(&mut m)?;
+            Ok(Request::FaultCheck {
+                id,
+                input,
+                label,
+                model,
+            })
+        }
+        "fault_tolerance" => {
+            let input = take_input(&mut m)?;
+            let label = take_required(&mut m, "label")?;
+            let denom: i64 = take_parsed(&mut m, "denom")?.unwrap_or(1000);
+            let max_numer: i64 = take_parsed(&mut m, "max_numer")?.unwrap_or(200);
+            if denom <= 0 {
+                return Err(format!("denom must be positive, got {denom}"));
+            }
+            if max_numer < 0 {
+                return Err(format!("max_numer must be non-negative, got {max_numer}"));
+            }
+            Ok(Request::FaultTolerance {
+                id,
+                input,
+                label,
+                search: ToleranceSearch::new(i128::from(denom), i128::from(max_numer)),
+            })
+        }
         "stats" => Ok(Request::Stats { id }),
         other => Err(format!(
-            "unknown op `{other}` (expected check/tolerance/sensitivity/stats)"
+            "unknown op `{other}` (expected check/tolerance/sensitivity/fault_check/\
+             fault_tolerance/stats)"
         )),
     }
 }
@@ -366,6 +493,41 @@ impl Serialize for Response {
                 st.serialize_field("radius", radius)?;
                 st.serialize_field("max_delta", max_delta)?;
             }
+            Response::FaultCheck {
+                id,
+                outcome,
+                source,
+                stats,
+            } => {
+                st.serialize_field("op", "fault_check")?;
+                if let Some(id) = id {
+                    st.serialize_field("id", id)?;
+                }
+                st.serialize_field("verdict", outcome.wire_name())?;
+                if let FaultOutcome::Vulnerable(witness) = outcome {
+                    st.serialize_field("fault", &witness.description)?;
+                    st.serialize_field("predicted", &witness.predicted)?;
+                    st.serialize_field("expected", &witness.expected)?;
+                    st.serialize_field("outputs", &witness.outputs)?;
+                }
+                st.serialize_field("source", source.wire_name())?;
+                st.serialize_field("stats", stats)?;
+            }
+            Response::FaultTolerance {
+                id,
+                tolerance,
+                search,
+            } => {
+                st.serialize_field("op", "fault_tolerance")?;
+                if let Some(id) = id {
+                    st.serialize_field("id", id)?;
+                }
+                st.serialize_field("robust_eps", &tolerance.robust_eps)?;
+                st.serialize_field("first_failure", &tolerance.first_failure)?;
+                st.serialize_field("probes", &tolerance.probes)?;
+                st.serialize_field("denom", &(search.denom as i64))?;
+                st.serialize_field("max_numer", &(search.max_numer as i64))?;
+            }
             Response::Sensitivity {
                 id,
                 count,
@@ -386,6 +548,9 @@ impl Serialize for Response {
                 engine,
                 cache_len,
                 solver,
+                fault_cache,
+                fault_cache_len,
+                fault_solver,
             } => {
                 st.serialize_field("op", "stats")?;
                 if let Some(id) = id {
@@ -398,6 +563,11 @@ impl Serialize for Response {
                 st.serialize_field("evictions", &engine.evictions)?;
                 st.serialize_field("cache_len", cache_len)?;
                 st.serialize_field("solver", solver)?;
+                st.serialize_field("fault_hits", &fault_cache.hits)?;
+                st.serialize_field("fault_misses", &fault_cache.misses)?;
+                st.serialize_field("fault_evictions", &fault_cache.evictions)?;
+                st.serialize_field("fault_cache_len", fault_cache_len)?;
+                st.serialize_field("fault_solver", fault_solver)?;
             }
             Response::Error { id, message } => {
                 st.serialize_field("op", "error")?;
@@ -479,6 +649,8 @@ pub fn request_id(request: &Request) -> Option<u64> {
         Request::Check { id, .. }
         | Request::Tolerance { id, .. }
         | Request::Sensitivity { id, .. }
+        | Request::FaultCheck { id, .. }
+        | Request::FaultTolerance { id, .. }
         | Request::Stats { id } => *id,
     }
 }
@@ -563,12 +735,52 @@ fn dispatch(engine: &Engine, request: &Request) -> Response {
                 Err(e) => error(e.to_string()),
             }
         }
+        Request::FaultCheck {
+            input,
+            label,
+            model,
+            ..
+        } => {
+            if let Err(m) = validate_label(engine, *label) {
+                return error(m);
+            }
+            match engine.fault_check(input, *label, model) {
+                Ok(reply) => Response::FaultCheck {
+                    id,
+                    outcome: reply.outcome,
+                    source: reply.source,
+                    stats: reply.stats,
+                },
+                Err(e) => error(e),
+            }
+        }
+        Request::FaultTolerance {
+            input,
+            label,
+            search,
+            ..
+        } => {
+            if let Err(m) = validate_label(engine, *label) {
+                return error(m);
+            }
+            match engine.fault_tolerance(input, *label, search) {
+                Ok(tolerance) => Response::FaultTolerance {
+                    id,
+                    tolerance,
+                    search: *search,
+                },
+                Err(e) => error(e),
+            }
+        }
         Request::Stats { .. } => Response::Stats {
             id,
             fingerprint: engine.fingerprint().to_hex(),
             engine: engine.stats(),
             cache_len: engine.cache_len(),
             solver: engine.solver_stats(),
+            fault_cache: engine.fault_cache_stats(),
+            fault_cache_len: engine.fault_cache_len(),
+            fault_solver: engine.fault_solver_stats(),
         },
     }
 }
@@ -643,6 +855,166 @@ mod tests {
             parse_request(r#"{"op":"stats"}"#).unwrap(),
             Request::Stats { id: None }
         );
+    }
+
+    #[test]
+    fn parses_fault_ops() {
+        let req = parse_request(
+            r#"{"op":"fault_check","id":2,"input":["100","82"],"label":0,"model":"weight-noise","eps":"1/50"}"#,
+        )
+        .unwrap();
+        assert_eq!(
+            req,
+            Request::FaultCheck {
+                id: Some(2),
+                input: vec![r(100), r(82)],
+                label: 0,
+                model: FaultModel::WeightNoise {
+                    rel_eps: Rational::new(1, 50),
+                },
+            }
+        );
+        let req = parse_request(
+            r#"{"op":"fault_check","input":[1,2],"label":0,"model":"stuck-at","layer":0,"neuron":1,"value":"-3/2"}"#,
+        )
+        .unwrap();
+        assert!(matches!(
+            req,
+            Request::FaultCheck {
+                model: FaultModel::StuckAt {
+                    layer: 0,
+                    neuron: 1,
+                    ..
+                },
+                ..
+            }
+        ));
+        let req = parse_request(
+            r#"{"op":"fault_check","input":[1,2],"label":0,"model":"bit_flips","budget":2}"#,
+        )
+        .unwrap();
+        assert!(matches!(
+            req,
+            Request::FaultCheck {
+                model: FaultModel::BitFlips { budget: 2 },
+                ..
+            }
+        ));
+        let req = parse_request(
+            r#"{"op":"fault_check","input":[1,2],"label":0,"model":"quantization","denom_bits":8}"#,
+        )
+        .unwrap();
+        assert!(matches!(
+            req,
+            Request::FaultCheck {
+                model: FaultModel::Quantization { denom_bits: 8 },
+                ..
+            }
+        ));
+        // Tolerance defaults and explicit grids.
+        let req =
+            parse_request(r#"{"op":"fault_tolerance","input":["100","82"],"label":0}"#).unwrap();
+        assert_eq!(
+            req,
+            Request::FaultTolerance {
+                id: None,
+                input: vec![r(100), r(82)],
+                label: 0,
+                search: ToleranceSearch::new(1000, 200),
+            }
+        );
+        let req = parse_request(
+            r#"{"op":"fault_tolerance","input":["100","82"],"label":0,"denom":100,"max_numer":25}"#,
+        )
+        .unwrap();
+        assert!(matches!(
+            req,
+            Request::FaultTolerance {
+                search: ToleranceSearch {
+                    denom: 100,
+                    max_numer: 25,
+                },
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn rejects_malformed_fault_requests() {
+        for (line, needle) in [
+            (
+                r#"{"op":"fault_check","input":[1,2],"label":0}"#,
+                "missing field `model`",
+            ),
+            (
+                r#"{"op":"fault_check","input":[1,2],"label":0,"model":"frobnicate"}"#,
+                "unknown fault model",
+            ),
+            (
+                r#"{"op":"fault_check","input":[1,2],"label":0,"model":"weight-noise"}"#,
+                "missing field `eps`",
+            ),
+            (
+                r#"{"op":"fault_check","input":[1,2],"label":0,"model":"weight-noise","eps":"-1/50"}"#,
+                "non-negative",
+            ),
+            (
+                r#"{"op":"fault_check","input":[1,2],"label":0,"model":"quantization","denom_bits":127}"#,
+                "overflows",
+            ),
+            (
+                r#"{"op":"fault_tolerance","input":[1,2],"label":0,"denom":0}"#,
+                "denom must be positive",
+            ),
+            (
+                r#"{"op":"fault_tolerance","input":[1,2],"label":0,"max_numer":-1}"#,
+                "non-negative",
+            ),
+        ] {
+            let err = parse_request(line).unwrap_err();
+            assert!(err.contains(needle), "`{line}` → `{err}` lacks `{needle}`");
+        }
+    }
+
+    #[test]
+    fn fault_round_trips_through_handle_and_render() {
+        let e = engine();
+        let req = parse_request(
+            r#"{"op":"fault_check","id":5,"input":["100","82"],"label":0,"model":"weight-noise","eps":"1/50"}"#,
+        )
+        .unwrap();
+        let line = render_response(&handle(&e, &req));
+        assert!(
+            line.starts_with(r#"{"op":"fault_check","id":5,"verdict":"robust""#),
+            "{line}"
+        );
+        assert!(line.contains(r#""source":"solver""#), "{line}");
+        // Vulnerable replies carry the witness fields.
+        let req = parse_request(
+            r#"{"op":"fault_check","input":["100","82"],"label":0,"model":"weight-noise","eps":"1/5"}"#,
+        )
+        .unwrap();
+        let line = render_response(&handle(&e, &req));
+        assert!(line.contains(r#""verdict":"vulnerable""#), "{line}");
+        assert!(line.contains(r#""fault":""#), "{line}");
+        assert!(line.contains(r#""predicted":1"#), "{line}");
+        // Tolerance reports the certified grid point.
+        let req = parse_request(
+            r#"{"op":"fault_tolerance","id":6,"input":["100","82"],"label":0,"denom":100,"max_numer":50}"#,
+        )
+        .unwrap();
+        let line = render_response(&handle(&e, &req));
+        assert!(
+            line.starts_with(r#"{"op":"fault_tolerance","id":6,"robust_eps":"9/100""#),
+            "{line}"
+        );
+        assert!(line.contains(r#""first_failure":"1/10""#), "{line}");
+        // Label validation surfaces as an error response.
+        let req = parse_request(
+            r#"{"op":"fault_check","input":["100","82"],"label":7,"model":"bit-flips","budget":1}"#,
+        )
+        .unwrap();
+        assert!(matches!(handle(&e, &req), Response::Error { .. }));
     }
 
     #[test]

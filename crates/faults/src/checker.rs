@@ -1,0 +1,1254 @@
+//! The fault checker: screening cascade, concrete fault probes,
+//! branch-and-bound over the fault space, and the fault-tolerance binary
+//! search (DESIGN.md §11).
+//!
+//! ## Verdict semantics
+//!
+//! [`FaultChecker::check`] decides the property *"every faulted network
+//! of the model classifies `x` (under every noise vector of the input
+//! box) as `label`"*:
+//!
+//! * [`FaultOutcome::Robust`] — a proof: the interval-weight enclosure
+//!   (possibly after fault-space splitting) certifies every assignment
+//!   in the model's lift, which over-approximates the model
+//!   ([`FaultRegion::lift`]).
+//! * [`FaultOutcome::Vulnerable`] — a proof by witness: a **concrete,
+//!   in-model** faulted network misclassifies (corner/midpoint probes,
+//!   explicit single-bit-flip enumeration, or the midpoint of a box the
+//!   enclosure proves uniformly wrong — legal for the continuous models,
+//!   whose lift *is* the model set).
+//! * [`FaultOutcome::Unknown`] — the box budget ran out, or the model is
+//!   combinatorial (`BitFlips`) and neither direction could be certified.
+//!   Unlike the input-noise checker there is no finite grid to fall back
+//!   on: the fault space is continuous, so the procedure is sound but
+//!   deliberately incomplete.
+//!
+//! ## Branch-and-bound over the fault space
+//!
+//! Boxes are [`FaultRegion`]s; an undecided box splits its **widest
+//! parameter interval** at the midpoint ([`FaultRegion::split`]) — the
+//! dependency problem loses the most where a weight interval is widest,
+//! and halving it tightens every downstream product. Exploration is
+//! depth-first and fully deterministic (no threads, canonical split
+//! order), which is what lets `fannet-engine` replay cached verdicts
+//! bit-identically.
+
+use fannet_nn::Network;
+use fannet_numeric::Rational;
+use fannet_verify::bab::ScreeningTier;
+use fannet_verify::noise::NoiseVector;
+use fannet_verify::region::NoiseRegion;
+use serde::{Deserialize, Serialize};
+
+use crate::model::FaultModel;
+use crate::propagate::{
+    classify_box, classify_box_float, classify_box_zonotope, enclose_input, enclose_input_float,
+    BoxVerdict,
+};
+use crate::region::{FaultRegion, FaultedNetwork};
+
+/// How a fault check runs: which screening tiers route each fault box,
+/// and how many boxes the fault-space branch-and-bound may explore.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FaultCheckerConfig {
+    /// Screening tiers, cheapest first (the exact interval tier always
+    /// runs last on boxes no screen decides — there is no grid-point
+    /// fallback below it).
+    pub screening: ScreeningTier,
+    /// Box budget of the fault-space search; when it runs out the check
+    /// returns [`FaultOutcome::Unknown`] with `budget_exhausted` set.
+    pub max_boxes: u64,
+    /// Maximum split depth per box chain. The fault space is continuous
+    /// — without a grid floor a straddling decision boundary would be
+    /// bisected forever, and every split adds one bit to the split
+    /// parameter's denominator (exact midpoints halve), so unbounded
+    /// depth also walks the `i128` rationals into overflow. Boxes at the
+    /// limit are abandoned as undecided.
+    pub max_depth: u32,
+}
+
+impl FaultCheckerConfig {
+    /// Overrides the box budget (`0` is clamped to 1).
+    #[must_use]
+    pub fn with_max_boxes(mut self, max_boxes: u64) -> Self {
+        self.max_boxes = max_boxes.max(1);
+        self
+    }
+
+    /// Overrides the screening tiers.
+    #[must_use]
+    pub fn with_screening(mut self, tier: ScreeningTier) -> Self {
+        self.screening = tier;
+        self
+    }
+
+    /// Overrides the split-depth limit.
+    #[must_use]
+    pub fn with_max_depth(mut self, max_depth: u32) -> Self {
+        self.max_depth = max_depth;
+        self
+    }
+}
+
+impl Default for FaultCheckerConfig {
+    /// Cascade screening, 512-box fault-space budget, 16-deep splits.
+    fn default() -> Self {
+        FaultCheckerConfig {
+            screening: ScreeningTier::Cascade,
+            max_boxes: 512,
+            max_depth: 16,
+        }
+    }
+}
+
+/// Search counters of one fault check (merged across probes of a
+/// tolerance search).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FaultStats {
+    /// Fault boxes taken off the work stack.
+    pub boxes_visited: u64,
+    /// Fault-space splits performed.
+    pub splits: u64,
+    /// Boxes the float-interval screen classified.
+    pub interval_hits: u64,
+    /// Boxes the float-interval screen handed to the next tier.
+    pub interval_fallbacks: u64,
+    /// Boxes the zonotope screen classified.
+    pub zonotope_hits: u64,
+    /// Boxes the zonotope screen handed to the exact tier.
+    pub zonotope_fallbacks: u64,
+    /// Boxes the exact interval tier classified.
+    pub exact_decisions: u64,
+    /// Boxes no tier could classify (split or abandoned).
+    pub exact_fallbacks: u64,
+    /// Concrete faulted networks evaluated (probes and witnesses).
+    pub concrete_evals: u64,
+    /// `true` when the box budget ran out before the search finished.
+    pub budget_exhausted: bool,
+}
+
+impl FaultStats {
+    /// Accumulates another run's counters into `self`.
+    pub fn merge(&mut self, other: &FaultStats) {
+        self.boxes_visited += other.boxes_visited;
+        self.splits += other.splits;
+        self.interval_hits += other.interval_hits;
+        self.interval_fallbacks += other.interval_fallbacks;
+        self.zonotope_hits += other.zonotope_hits;
+        self.zonotope_fallbacks += other.zonotope_fallbacks;
+        self.exact_decisions += other.exact_decisions;
+        self.exact_fallbacks += other.exact_fallbacks;
+        self.concrete_evals += other.concrete_evals;
+        self.budget_exhausted |= other.budget_exhausted;
+    }
+}
+
+/// A concrete, in-model misclassification witness.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FaultWitness {
+    /// Human-readable description of the faulted assignment (full
+    /// parameter vectors are not serialized; the checker is
+    /// deterministic, so re-running the query reproduces them).
+    pub description: String,
+    /// Exact output activations of the faulted network.
+    pub outputs: Vec<Rational>,
+    /// The (wrong) label the faulted network predicted.
+    pub predicted: usize,
+    /// The expected label.
+    pub expected: usize,
+}
+
+/// Outcome of a fault check.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FaultOutcome {
+    /// Proof: every faulted network of the model keeps the label.
+    Robust,
+    /// Proof by witness: a concrete in-model faulted network flips it.
+    Vulnerable(FaultWitness),
+    /// The budgeted search could not decide (sound in both directions).
+    Unknown,
+}
+
+impl FaultOutcome {
+    /// `true` for [`FaultOutcome::Robust`].
+    #[must_use]
+    pub fn is_robust(&self) -> bool {
+        matches!(self, FaultOutcome::Robust)
+    }
+
+    /// The witness, if any.
+    #[must_use]
+    pub fn witness(&self) -> Option<&FaultWitness> {
+        match self {
+            FaultOutcome::Vulnerable(w) => Some(w),
+            _ => None,
+        }
+    }
+
+    /// The JSONL wire spelling of the verdict.
+    #[must_use]
+    pub fn wire_name(&self) -> &'static str {
+        match self {
+            FaultOutcome::Robust => "robust",
+            FaultOutcome::Vulnerable(_) => "vulnerable",
+            FaultOutcome::Unknown => "unknown",
+        }
+    }
+}
+
+/// A resident fault checker for one trained network.
+#[derive(Debug, Clone)]
+pub struct FaultChecker {
+    net: Network<Rational>,
+    config: FaultCheckerConfig,
+}
+
+impl FaultChecker {
+    /// Builds the checker. Admissibility (piecewise-linear activations)
+    /// is checked per query rather than here, so resident owners (the
+    /// engine, `fannet serve`) can hold a checker for any loadable model
+    /// and surface the error on the first fault query instead of
+    /// crashing at startup.
+    #[must_use]
+    pub fn new(net: Network<Rational>, config: FaultCheckerConfig) -> Self {
+        FaultChecker { net, config }
+    }
+
+    /// The verified network.
+    #[must_use]
+    pub fn network(&self) -> &Network<Rational> {
+        &self.net
+    }
+
+    /// The checker's configuration.
+    #[must_use]
+    pub fn config(&self) -> &FaultCheckerConfig {
+        &self.config
+    }
+
+    /// Checks classification robustness of `x` under `model` with a
+    /// point input (no input noise).
+    ///
+    /// # Errors
+    ///
+    /// Returns a message on width mismatch, out-of-range label, or an
+    /// out-of-domain model.
+    pub fn check(
+        &self,
+        x: &[Rational],
+        label: usize,
+        model: &FaultModel,
+    ) -> Result<(FaultOutcome, FaultStats), String> {
+        self.check_with_noise(x, label, &NoiseRegion::symmetric(0, x.len()), model)
+    }
+
+    /// [`FaultChecker::check`] over a boxed input: the property
+    /// quantifies over every noise vector of `noise` **and** every
+    /// faulted network of `model` simultaneously.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message on width mismatch, out-of-range label, or an
+    /// out-of-domain model.
+    pub fn check_with_noise(
+        &self,
+        x: &[Rational],
+        label: usize,
+        noise: &NoiseRegion,
+        model: &FaultModel,
+    ) -> Result<(FaultOutcome, FaultStats), String> {
+        if x.len() != self.net.inputs() {
+            return Err(format!(
+                "input of width {} against network with {} inputs",
+                x.len(),
+                self.net.inputs()
+            ));
+        }
+        if noise.nodes() != self.net.inputs() {
+            return Err(format!(
+                "noise region over {} nodes against network with {} inputs",
+                noise.nodes(),
+                self.net.inputs()
+            ));
+        }
+        if label >= self.net.outputs() {
+            return Err(format!(
+                "label {label} out of range for {} outputs",
+                self.net.outputs()
+            ));
+        }
+        let root = FaultRegion::lift(&self.net, model)?;
+        let mut stats = FaultStats::default();
+
+        // Concrete probes: cheap Vulnerable detection with in-model
+        // assignments. Probes evaluate at the plain input, so they apply
+        // only when the zero-noise vector is part of the claim.
+        if noise.contains(&NoiseVector::zero(x.len())) {
+            if let Some(witness) = self.probe_concrete(x, label, model, &root, &mut stats)? {
+                return Ok((FaultOutcome::Vulnerable(witness), stats));
+            }
+        }
+
+        // `BitFlips { budget: 1 }` on a point input box is decided
+        // completely by the probe enumeration above: every legal faulted
+        // network was evaluated.
+        if let FaultModel::BitFlips { budget: 1 } = model {
+            if noise.is_point() && noise.contains(&NoiseVector::zero(x.len())) {
+                return Ok((FaultOutcome::Robust, stats));
+            }
+        }
+
+        let outcome = self.branch_and_bound(x, label, noise, model, root, &mut stats)?;
+        Ok((outcome, stats))
+    }
+
+    /// Deterministic concrete probes, in order: the fault-free identity
+    /// assignment, the box corners/midpoint (continuous models and
+    /// stuck-at, whose lifts are exactly the model set), and the explicit
+    /// single-flip enumeration for `BitFlips`.
+    fn probe_concrete(
+        &self,
+        x: &[Rational],
+        label: usize,
+        model: &FaultModel,
+        root: &FaultRegion,
+        stats: &mut FaultStats,
+    ) -> Result<Option<FaultWitness>, String> {
+        let probe = |faulted: &FaultedNetwork,
+                     description: &dyn Fn() -> String,
+                     stats: &mut FaultStats|
+         -> Result<Option<FaultWitness>, String> {
+            stats.concrete_evals += 1;
+            let outputs = faulted.forward(x)?;
+            let predicted = fannet_tensor::vector::argmax(&outputs).expect("outputs non-empty");
+            if predicted == label {
+                Ok(None)
+            } else {
+                Ok(Some(FaultWitness {
+                    description: description(),
+                    outputs,
+                    predicted,
+                    expected: label,
+                }))
+            }
+        };
+
+        // Identity first: a misclassified input makes every model
+        // vulnerable through its zero-fault member.
+        let identity = FaultedNetwork::from_network(&self.net);
+        let id_witness = match model {
+            // Stuck-at has no identity member; its single assignment is
+            // the region itself.
+            FaultModel::StuckAt { .. } => None,
+            _ => probe(
+                &identity,
+                &|| "fault-free network already misclassifies".to_string(),
+                stats,
+            )?,
+        };
+        if let Some(w) = id_witness {
+            return Ok(Some(w));
+        }
+
+        match model {
+            FaultModel::WeightNoise { .. } | FaultModel::Quantization { .. } => {
+                for (faulted, name) in [
+                    (root.corner_lo(), "lower"),
+                    (root.corner_hi(), "upper"),
+                    (root.midpoint(), "midpoint"),
+                ] {
+                    if let Some(w) = probe(
+                        &faulted,
+                        &|| format!("all parameters at their {name} fault bound"),
+                        stats,
+                    )? {
+                        return Ok(Some(w));
+                    }
+                }
+                // Targeted corners: push the label's output row down and a
+                // rival's up — the strongest single legal assignment
+                // against each rival (uniform corners cancel out on
+                // comparator-like output layers).
+                for rival in 0..self.net.outputs() {
+                    if rival == label {
+                        continue;
+                    }
+                    if let Some(w) = probe(
+                        &adversarial_corner(root, label, rival),
+                        &|| {
+                            format!(
+                                "last-layer parameters at their adversarial fault \
+                                 bounds against rival {rival}"
+                            )
+                        },
+                        stats,
+                    )? {
+                        return Ok(Some(w));
+                    }
+                }
+            }
+            FaultModel::StuckAt {
+                layer,
+                neuron,
+                value,
+            } => {
+                if let Some(w) = probe(
+                    &root.midpoint(),
+                    &|| format!("neuron {neuron} of layer {layer} stuck at {value}"),
+                    stats,
+                )? {
+                    return Ok(Some(w));
+                }
+            }
+            FaultModel::BitFlips { budget } => {
+                if *budget >= 1 {
+                    if let Some(w) = self.probe_single_flips(x, label, stats)? {
+                        return Ok(Some(w));
+                    }
+                }
+            }
+        }
+        Ok(None)
+    }
+
+    /// Evaluates every single-parameter sign/exponent flip (a legal
+    /// fault for any `budget ≥ 1`), in canonical parameter order.
+    fn probe_single_flips(
+        &self,
+        x: &[Rational],
+        label: usize,
+        stats: &mut FaultStats,
+    ) -> Result<Option<FaultWitness>, String> {
+        let base = FaultedNetwork::from_network(&self.net);
+        let shapes = base.layer_shapes();
+        let half = Rational::new(1, 2);
+        for (layer, (weights, biases)) in shapes.iter().enumerate() {
+            for kind in 0..2usize {
+                let count = if kind == 0 { *weights } else { *biases };
+                for index in 0..count {
+                    let original = if kind == 0 {
+                        base.weight(layer, index)
+                    } else {
+                        base.bias(layer, index)
+                    };
+                    if original.is_zero() {
+                        continue; // flips of zero are zero
+                    }
+                    for (flip_name, flipped) in [
+                        ("sign", -original),
+                        ("exponent+1", original + original),
+                        ("exponent-1", original * half),
+                    ] {
+                        let mut faulted = base.clone();
+                        if kind == 0 {
+                            faulted.set_weight(layer, index, flipped);
+                        } else {
+                            faulted.set_bias(layer, index, flipped);
+                        }
+                        stats.concrete_evals += 1;
+                        let outputs = faulted.forward(x)?;
+                        let predicted =
+                            fannet_tensor::vector::argmax(&outputs).expect("outputs non-empty");
+                        if predicted != label {
+                            let kind_name = if kind == 0 { "weight" } else { "bias" };
+                            return Ok(Some(FaultWitness {
+                                description: format!(
+                                    "{flip_name} flip of layer {layer} {kind_name} [{index}]: \
+                                     {original} -> {flipped}"
+                                ),
+                                outputs,
+                                predicted,
+                                expected: label,
+                            }));
+                        }
+                    }
+                }
+            }
+        }
+        Ok(None)
+    }
+
+    /// Depth-first branch-and-bound over fault boxes (see the module doc
+    /// for the verdict rules per model).
+    fn branch_and_bound(
+        &self,
+        x: &[Rational],
+        label: usize,
+        noise: &NoiseRegion,
+        model: &FaultModel,
+        root: FaultRegion,
+        stats: &mut FaultStats,
+    ) -> Result<FaultOutcome, String> {
+        // The lift equals the model set for these models, so any point of
+        // any sub-box is a legal faulted network.
+        let lift_is_exact = matches!(
+            model,
+            FaultModel::WeightNoise { .. } | FaultModel::Quantization { .. }
+        );
+        let x_exact = enclose_input(x, noise);
+        let x_float = self
+            .config
+            .screening
+            .uses_interval()
+            .then(|| enclose_input_float(x, noise));
+
+        let mut stack = vec![(root, 0u32)];
+        let mut unresolved = false;
+        while let Some((region, depth)) = stack.pop() {
+            if stats.boxes_visited >= self.config.max_boxes {
+                stats.budget_exhausted = true;
+                unresolved = true;
+                break;
+            }
+            stats.boxes_visited += 1;
+
+            let mut verdict = BoxVerdict::Unknown;
+            if let Some(xf) = &x_float {
+                verdict = classify_box_float(&region.float_outputs(xf), label);
+                if verdict == BoxVerdict::Unknown {
+                    stats.interval_fallbacks += 1;
+                } else {
+                    stats.interval_hits += 1;
+                }
+            }
+            if verdict == BoxVerdict::Unknown && self.config.screening.uses_zonotope() {
+                verdict = classify_box_zonotope(&region.zonotope_outputs(x, noise), label);
+                if verdict == BoxVerdict::Unknown {
+                    stats.zonotope_fallbacks += 1;
+                } else {
+                    stats.zonotope_hits += 1;
+                }
+            }
+            if verdict == BoxVerdict::Unknown {
+                verdict = classify_box(&region.output_intervals(&x_exact), label);
+                if verdict == BoxVerdict::Unknown {
+                    stats.exact_fallbacks += 1;
+                } else {
+                    stats.exact_decisions += 1;
+                }
+            }
+
+            match verdict {
+                BoxVerdict::AlwaysCorrect => {}
+                BoxVerdict::AlwaysWrong => {
+                    if lift_is_exact || region.is_point() {
+                        // Every assignment of the box misclassifies under
+                        // every noise vector; the midpoint (legal — the
+                        // box is entirely in-model) evaluated at the
+                        // region's first grid point is a concrete witness.
+                        let faulted = region.midpoint();
+                        let nv = noise
+                            .iter_points()
+                            .next()
+                            .expect("noise regions are non-empty");
+                        stats.concrete_evals += 1;
+                        let outputs = faulted.forward(&nv.apply(x))?;
+                        let predicted =
+                            fannet_tensor::vector::argmax(&outputs).expect("outputs non-empty");
+                        assert_ne!(
+                            predicted, label,
+                            "interval proof of misclassification is sound"
+                        );
+                        return Ok(FaultOutcome::Vulnerable(FaultWitness {
+                            description: format!(
+                                "fault-space box proven uniformly misclassifying \
+                                 (midpoint assignment, noise {nv})"
+                            ),
+                            outputs,
+                            predicted,
+                            expected: label,
+                        }));
+                    }
+                    // Combinatorial lift (`BitFlips`): the box may contain
+                    // no legal assignment, so a uniformly-wrong box proves
+                    // nothing and refining it cannot help — Robust is off
+                    // the table, Vulnerable needs a concrete witness the
+                    // probes did not find. The outcome is pinned to
+                    // Unknown; stop instead of burning the box budget.
+                    unresolved = true;
+                    break;
+                }
+                BoxVerdict::Unknown => {
+                    if depth >= self.config.max_depth {
+                        // Abandon, don't refine: the boundary may be
+                        // bisected forever (continuous fault space). For
+                        // a combinatorial lift nothing can rescue the
+                        // outcome (no box ever yields Vulnerable), so
+                        // stop; continuous models keep exploring — a
+                        // sibling box may still prove AlwaysWrong.
+                        unresolved = true;
+                        if !lift_is_exact {
+                            break;
+                        }
+                        continue;
+                    }
+                    match region.split() {
+                        Some((a, b)) => {
+                            stats.splits += 1;
+                            stack.push((b, depth + 1));
+                            stack.push((a, depth + 1));
+                        }
+                        // A point fault box undecided by the exact tier:
+                        // the input box is too wide for interval
+                        // propagation and there is no fault interval left
+                        // to refine.
+                        None => unresolved = true,
+                    }
+                }
+            }
+        }
+        Ok(if unresolved {
+            FaultOutcome::Unknown
+        } else {
+            FaultOutcome::Robust
+        })
+    }
+
+    /// Fault tolerance of one input under relative weight noise: the
+    /// largest `ε = k/denom` (with `k ∈ [0, max_numer]`) the bisection
+    /// **certifies** robust — every reported value is backed by a
+    /// [`FaultOutcome::Robust`] proof, `Unknown` probes count as
+    /// failures, so the result is a sound lower bound on the true
+    /// tolerance.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message on width mismatch or out-of-range label.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the search grid is empty (`denom <= 0` or
+    /// `max_numer < 0`).
+    pub fn tolerance(
+        &self,
+        x: &[Rational],
+        label: usize,
+        search: &ToleranceSearch,
+    ) -> Result<(FaultTolerance, FaultStats), String> {
+        let mut stats = FaultStats::default();
+        let tolerance = tolerance_search(search, |eps| {
+            let (outcome, probe_stats) =
+                self.check(x, label, &FaultModel::WeightNoise { rel_eps: eps })?;
+            stats.merge(&probe_stats);
+            Ok::<_, String>(outcome)
+        })?;
+        Ok((tolerance, stats))
+    }
+}
+
+/// The in-model assignment that attacks `rival` hardest through the last
+/// layer: hidden parameters at their midpoints, the label's output row at
+/// its lower fault bounds, the rival's at its upper bounds. Legal for the
+/// continuous models, whose lift is exactly the model set.
+fn adversarial_corner(root: &FaultRegion, label: usize, rival: usize) -> FaultedNetwork {
+    let mut faulted = root.midpoint();
+    let last = root.layers.len() - 1;
+    let layer = &root.layers[last];
+    for c in 0..layer.cols {
+        faulted.set_weight(
+            last,
+            label * layer.cols + c,
+            layer.weights[label * layer.cols + c].lo(),
+        );
+        faulted.set_weight(
+            last,
+            rival * layer.cols + c,
+            layer.weights[rival * layer.cols + c].hi(),
+        );
+    }
+    faulted.set_bias(last, label, layer.biases[label].lo());
+    faulted.set_bias(last, rival, layer.biases[rival].hi());
+    faulted
+}
+
+/// The grid of the fault-tolerance bisection: ε ranges over
+/// `{0, 1/denom, …, max_numer/denom}`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct ToleranceSearch {
+    /// Grid denominator.
+    pub denom: i128,
+    /// Largest numerator probed.
+    pub max_numer: i128,
+}
+
+impl ToleranceSearch {
+    /// A coarser/cheaper grid (`denom` steps up to `max_numer/denom`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `denom <= 0` or `max_numer < 0`.
+    #[must_use]
+    pub fn new(denom: i128, max_numer: i128) -> Self {
+        assert!(denom > 0, "tolerance grid denominator must be positive");
+        assert!(max_numer >= 0, "tolerance grid must be non-empty");
+        ToleranceSearch { denom, max_numer }
+    }
+
+    /// The largest ε the grid can report.
+    #[must_use]
+    pub fn max_eps(&self) -> Rational {
+        Rational::new(self.max_numer, self.denom)
+    }
+}
+
+impl Default for ToleranceSearch {
+    /// Per-mille resolution up to ε = 1/5.
+    fn default() -> Self {
+        ToleranceSearch {
+            denom: 1000,
+            max_numer: 200,
+        }
+    }
+}
+
+/// Result of a fault-tolerance bisection.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FaultTolerance {
+    /// The largest probed ε proven robust; `None` when even the
+    /// fault-free network (ε = 0) misclassifies.
+    pub robust_eps: Option<Rational>,
+    /// The smallest probed ε **not** proven robust (vulnerable or
+    /// undecided); `None` when robust through the whole grid.
+    pub first_failure: Option<Rational>,
+    /// Probes issued.
+    pub probes: u32,
+}
+
+/// The bisection itself, parameterized over the probe so a resident
+/// engine can replay it through its verdict cache **bit-identically**:
+/// the probe sequence is a pure function of the verdicts, which cached
+/// answers reproduce exactly.
+///
+/// Probe order: ε = 0, ε = max, then classic bisection on the invariant
+/// *lo robust / hi not robust*.
+///
+/// # Errors
+///
+/// Propagates the first probe error.
+///
+/// # Panics
+///
+/// Panics if the search grid is invalid (`denom <= 0`, `max_numer < 0`).
+pub fn tolerance_search<E>(
+    search: &ToleranceSearch,
+    mut probe: impl FnMut(Rational) -> Result<FaultOutcome, E>,
+) -> Result<FaultTolerance, E> {
+    assert!(
+        search.denom > 0,
+        "tolerance grid denominator must be positive"
+    );
+    assert!(search.max_numer >= 0, "tolerance grid must be non-empty");
+    let mut probes = 0u32;
+    let mut is_robust = |k: i128, probes: &mut u32| -> Result<bool, E> {
+        *probes += 1;
+        Ok(probe(Rational::new(k, search.denom))?.is_robust())
+    };
+
+    if !is_robust(0, &mut probes)? {
+        return Ok(FaultTolerance {
+            robust_eps: None,
+            first_failure: Some(Rational::ZERO),
+            probes,
+        });
+    }
+    if search.max_numer == 0 || is_robust(search.max_numer, &mut probes)? {
+        return Ok(FaultTolerance {
+            robust_eps: Some(Rational::new(search.max_numer, search.denom)),
+            first_failure: None,
+            probes,
+        });
+    }
+    // Invariant: lo proven robust, hi not proven robust.
+    let mut lo = 0i128;
+    let mut hi = search.max_numer;
+    while hi - lo > 1 {
+        let mid = lo + (hi - lo) / 2;
+        if is_robust(mid, &mut probes)? {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+    }
+    Ok(FaultTolerance {
+        robust_eps: Some(Rational::new(lo, search.denom)),
+        first_failure: Some(Rational::new(hi, search.denom)),
+        probes,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fannet_nn::{Activation, DenseLayer, Readout};
+    use fannet_tensor::Matrix;
+
+    fn r(n: i128) -> Rational {
+        Rational::from_integer(n)
+    }
+
+    fn rq(n: i128, d: i128) -> Rational {
+        Rational::new(n, d)
+    }
+
+    /// label 0 iff x0 ≥ x1.
+    fn comparator() -> Network<Rational> {
+        Network::new(
+            vec![DenseLayer::new(
+                Matrix::from_rows(vec![vec![r(1), r(0)], vec![r(0), r(1)]]).unwrap(),
+                vec![r(0), r(0)],
+                Activation::Identity,
+            )
+            .unwrap()],
+            Readout::MaxPool,
+        )
+        .unwrap()
+    }
+
+    fn checker() -> FaultChecker {
+        FaultChecker::new(comparator(), FaultCheckerConfig::default())
+    }
+
+    /// Closed form for the comparator: weight noise flips label 0 of
+    /// `(x0, x1)` iff `x0·(1−ε) < x1·(1+ε)`, i.e. ε > (x0−x1)/(x0+x1).
+    fn analytic_flip_eps(x0: i128, x1: i128) -> Rational {
+        Rational::new(x0 - x1, x0 + x1)
+    }
+
+    #[test]
+    fn weight_noise_robust_below_the_analytic_threshold() {
+        let c = checker();
+        let x = [r(100), r(82)];
+        let threshold = analytic_flip_eps(100, 82); // 18/182 ≈ 0.0989
+        let (out, stats) = c
+            .check(
+                &x,
+                0,
+                &FaultModel::WeightNoise {
+                    rel_eps: rq(9, 100),
+                },
+            )
+            .unwrap();
+        assert_eq!(out, FaultOutcome::Robust, "{stats:?}");
+        let (out, _) = c
+            .check(&x, 0, &FaultModel::WeightNoise { rel_eps: threshold })
+            .unwrap();
+        // At exactly the threshold the corner assignment ties; the
+        // lower-index tie-break keeps label 0, so it is still robust.
+        assert_eq!(out, FaultOutcome::Robust);
+        let (out, _) = c
+            .check(
+                &x,
+                0,
+                &FaultModel::WeightNoise {
+                    rel_eps: rq(11, 100),
+                },
+            )
+            .unwrap();
+        let witness = out.witness().expect("above threshold must flip");
+        assert_eq!(witness.expected, 0);
+        assert_eq!(witness.predicted, 1);
+        assert!(witness.description.contains("fault bound"));
+    }
+
+    #[test]
+    fn zero_eps_reduces_to_plain_classification() {
+        let c = checker();
+        let model = FaultModel::WeightNoise {
+            rel_eps: Rational::ZERO,
+        };
+        let (out, _) = c.check(&[r(100), r(82)], 0, &model).unwrap();
+        assert_eq!(out, FaultOutcome::Robust);
+        let (out, _) = c.check(&[r(100), r(82)], 1, &model).unwrap();
+        let w = out.witness().expect("wrong label flips at zero fault");
+        assert!(w.description.contains("fault-free"));
+    }
+
+    #[test]
+    fn stuck_at_is_decided_completely() {
+        let c = checker();
+        let x = [r(100), r(82)];
+        // Sticking output 0 to 0 hands the argmax to output 1.
+        let (out, _) = c
+            .check(
+                &x,
+                0,
+                &FaultModel::StuckAt {
+                    layer: 0,
+                    neuron: 0,
+                    value: r(0),
+                },
+            )
+            .unwrap();
+        let w = out.witness().expect("dead target neuron must flip");
+        assert!(w.description.contains("stuck at"));
+        // Sticking the rival to a small value is harmless.
+        let (out, _) = c
+            .check(
+                &x,
+                0,
+                &FaultModel::StuckAt {
+                    layer: 0,
+                    neuron: 1,
+                    value: r(1),
+                },
+            )
+            .unwrap();
+        assert_eq!(out, FaultOutcome::Robust);
+    }
+
+    #[test]
+    fn single_bit_flips_are_enumerated_completely() {
+        let c = checker();
+        let x = [r(100), r(82)];
+        // A sign flip of weight (0,0) sends output 0 to −100 < 82.
+        let (out, stats) = c.check(&x, 0, &FaultModel::BitFlips { budget: 1 }).unwrap();
+        let w = out.witness().expect("sign flip must be found");
+        assert!(w.description.contains("sign flip"), "{w:?}");
+        assert!(stats.concrete_evals > 0);
+        // Robust edge case: at x = (100, −100) every single flip ties at
+        // worst (sign flip of w00 gives −100 = out1; sign flip of w11
+        // gives out1 = 100 = out0) and the lower-index rule keeps L0 —
+        // the complete enumeration proves it.
+        let (out, _) = c
+            .check(&[r(100), r(-100)], 0, &FaultModel::BitFlips { budget: 1 })
+            .unwrap();
+        assert_eq!(
+            out,
+            FaultOutcome::Robust,
+            "complete enumeration proves budget-1 robustness"
+        );
+        // budget 0 is the fault-free network.
+        let (out, _) = c
+            .check(&[r(100), r(82)], 0, &FaultModel::BitFlips { budget: 0 })
+            .unwrap();
+        assert_eq!(out, FaultOutcome::Robust);
+    }
+
+    #[test]
+    fn multi_flip_budget_is_sound_not_complete() {
+        let c = checker();
+        // Single-flip witnesses are within any budget ≥ 1, so the
+        // enumeration still decides vulnerable margins.
+        let (out, _) = c
+            .check(&[r(100), r(82)], 0, &FaultModel::BitFlips { budget: 2 })
+            .unwrap();
+        assert!(
+            out.witness().is_some(),
+            "the single-flip witness is legal within budget 2: {out:?}"
+        );
+        // Budget-1-robust input that a *pair* of flips breaks (both sign
+        // flips swap the outputs): the checker must not claim Robust —
+        // the honest answer under the independent-interval lift is
+        // Unknown.
+        let (out, _) = c
+            .check(&[r(100), r(-100)], 0, &FaultModel::BitFlips { budget: 2 })
+            .unwrap();
+        assert_eq!(out, FaultOutcome::Unknown);
+        // A degenerate-but-provable case: the label's row is all zeros
+        // (flips of zero are zero) and the rival's only path reads a
+        // zero input — every flip leaves the 0-vs-0 tie in place and the
+        // interval proof closes at the root for any budget.
+        let tie_net = Network::new(
+            vec![DenseLayer::new(
+                Matrix::from_rows(vec![vec![r(0), r(0)], vec![r(0), r(1)]]).unwrap(),
+                vec![r(0), r(0)],
+                Activation::Identity,
+            )
+            .unwrap()],
+            Readout::MaxPool,
+        )
+        .unwrap();
+        let c = FaultChecker::new(tie_net, FaultCheckerConfig::default());
+        let (out, _) = c
+            .check(&[r(7), r(0)], 0, &FaultModel::BitFlips { budget: 3 })
+            .unwrap();
+        assert_eq!(out, FaultOutcome::Robust);
+    }
+
+    #[test]
+    fn quantization_model_tracks_precision() {
+        // Weights quantized to 2^-bits: a 2-bit datapath has error ≤ 1/8,
+        // enough to flip a tight margin; a 20-bit one is safe.
+        let c = FaultChecker::new(
+            Network::new(
+                vec![DenseLayer::new(
+                    Matrix::from_rows(vec![vec![r(1), r(0)], vec![r(0), r(1)]]).unwrap(),
+                    vec![r(0), r(0)],
+                    Activation::Identity,
+                )
+                .unwrap()],
+                Readout::MaxPool,
+            )
+            .unwrap(),
+            FaultCheckerConfig::default(),
+        );
+        let x = [r(100), r(99)];
+        let (out, _) = c
+            .check(&x, 0, &FaultModel::Quantization { denom_bits: 2 })
+            .unwrap();
+        assert!(
+            out.witness().is_some(),
+            "±1/8 per weight flips a 1% margin: {out:?}"
+        );
+        let (out, _) = c
+            .check(&x, 0, &FaultModel::Quantization { denom_bits: 20 })
+            .unwrap();
+        assert_eq!(out, FaultOutcome::Robust);
+    }
+
+    #[test]
+    fn fault_space_splitting_refines_unknown_roots() {
+        // One faulted parameter dominating the verdict: the root interval
+        // straddles the boundary, but splitting isolates the decidable
+        // halves. Screening off forces the exact tier + splits to do it.
+        let c = FaultChecker::new(
+            comparator(),
+            FaultCheckerConfig::default()
+                .with_screening(ScreeningTier::None)
+                .with_max_boxes(64),
+        );
+        let x = [r(100), r(82)];
+        let (out, stats) = c
+            .check(
+                &x,
+                0,
+                &FaultModel::WeightNoise {
+                    rel_eps: rq(5, 100),
+                },
+            )
+            .unwrap();
+        assert_eq!(out, FaultOutcome::Robust);
+        assert!(stats.boxes_visited >= 1);
+    }
+
+    #[test]
+    fn budget_exhaustion_reports_unknown_not_a_guess() {
+        // Both outputs read the same faulted hidden neuron, so plain
+        // intervals decorrelate at the root (the dependency problem); a
+        // 1-box budget with screening off cannot refine and must say so.
+        let shared = DenseLayer::new(
+            Matrix::from_rows(vec![vec![r(3), r(1)]]).unwrap(),
+            vec![r(0)],
+            Activation::Identity,
+        )
+        .unwrap();
+        let split = DenseLayer::new(
+            Matrix::from_rows(vec![vec![r(1)], vec![r(1)]]).unwrap(),
+            vec![r(5), r(0)],
+            Activation::Identity,
+        )
+        .unwrap();
+        let net = Network::new(vec![shared, split], Readout::MaxPool).unwrap();
+        let c = FaultChecker::new(
+            net,
+            FaultCheckerConfig::default()
+                .with_screening(ScreeningTier::None)
+                .with_max_boxes(1),
+        );
+        let (out, stats) = c
+            .check(
+                &[r(10), r(10)],
+                0,
+                &FaultModel::WeightNoise { rel_eps: rq(1, 20) },
+            )
+            .unwrap();
+        assert_eq!(out, FaultOutcome::Unknown, "{stats:?}");
+        assert!(stats.budget_exhausted);
+        // The cascade's zonotope tier decides the same query at the root
+        // (shared fault symbols cancel in the output difference).
+        let net = c.network().clone();
+        let c = FaultChecker::new(net, FaultCheckerConfig::default().with_max_boxes(1));
+        let (out, stats) = c
+            .check(
+                &[r(10), r(10)],
+                0,
+                &FaultModel::WeightNoise { rel_eps: rq(1, 20) },
+            )
+            .unwrap();
+        assert_eq!(out, FaultOutcome::Robust, "{stats:?}");
+        assert!(stats.zonotope_hits >= 1, "{stats:?}");
+    }
+
+    #[test]
+    fn tolerance_bisection_matches_the_analytic_threshold() {
+        let c = checker();
+        for (x0, x1) in [(100i128, 82i128), (100, 95), (100, 50)] {
+            let x = [r(x0), r(x1)];
+            let search = ToleranceSearch::new(1000, 400);
+            let (tol, _) = c.tolerance(&x, 0, &search).unwrap();
+            let robust = tol.robust_eps.expect("correctly classified input");
+            let threshold = analytic_flip_eps(x0, x1);
+            // The certified value is the largest grid point ≤ threshold
+            // (the tie itself stays robust via the lower-index rule).
+            assert!(robust <= threshold, "({x0},{x1}): {robust} > {threshold}");
+            let next = robust + rq(1, 1000);
+            assert!(
+                next > threshold || tol.first_failure == Some(next),
+                "({x0},{x1}): grid neighbour {next} must cross or fail"
+            );
+            assert!(tol.probes >= 2);
+        }
+    }
+
+    #[test]
+    fn tolerance_handles_degenerate_grids_and_misclassified_inputs() {
+        let c = checker();
+        // Misclassified input: no ε is robust.
+        let (tol, _) = c
+            .tolerance(&[r(82), r(100)], 0, &ToleranceSearch::default())
+            .unwrap();
+        assert_eq!(tol.robust_eps, None);
+        assert_eq!(tol.first_failure, Some(Rational::ZERO));
+        // Single-point grid.
+        let (tol, _) = c
+            .tolerance(&[r(100), r(82)], 0, &ToleranceSearch::new(1000, 0))
+            .unwrap();
+        assert_eq!(tol.robust_eps, Some(Rational::ZERO));
+        assert_eq!(tol.first_failure, None);
+        // Fully robust through the grid.
+        let (tol, _) = c
+            .tolerance(&[r(100), r(10)], 0, &ToleranceSearch::new(100, 20))
+            .unwrap();
+        assert_eq!(tol.robust_eps, Some(rq(20, 100)));
+        assert_eq!(tol.first_failure, None);
+    }
+
+    #[test]
+    fn screening_tiers_agree_on_verdicts() {
+        let x = [r(100), r(82)];
+        for eps in [rq(1, 100), rq(5, 100), rq(9, 100), rq(15, 100)] {
+            let model = FaultModel::WeightNoise { rel_eps: eps };
+            let mut verdicts = Vec::new();
+            for tier in [
+                ScreeningTier::None,
+                ScreeningTier::Interval,
+                ScreeningTier::Zonotope,
+                ScreeningTier::Cascade,
+            ] {
+                let c = FaultChecker::new(
+                    comparator(),
+                    FaultCheckerConfig::default().with_screening(tier),
+                );
+                let (out, _) = c.check(&x, 0, &model).unwrap();
+                verdicts.push((tier, out));
+            }
+            let (_, first) = &verdicts[0];
+            for (tier, out) in &verdicts {
+                assert_eq!(out, first, "tier {tier} disagrees at eps {eps}");
+            }
+        }
+    }
+
+    #[test]
+    fn width_and_label_validation() {
+        let c = checker();
+        let model = FaultModel::WeightNoise {
+            rel_eps: rq(1, 100),
+        };
+        assert!(c.check(&[r(1)], 0, &model).unwrap_err().contains("width"));
+        assert!(c
+            .check(&[r(1), r(2)], 7, &model)
+            .unwrap_err()
+            .contains("out of range"));
+        assert!(c
+            .check_with_noise(&[r(1), r(2)], 0, &NoiseRegion::symmetric(1, 3), &model)
+            .unwrap_err()
+            .contains("3 nodes"));
+    }
+
+    #[test]
+    fn boxed_input_composes_with_fault_verdicts() {
+        let c = checker();
+        let x = [r(100), r(82)];
+        let model = FaultModel::WeightNoise {
+            rel_eps: rq(2, 100),
+        };
+        // ±2% input noise and ±2% weight noise together stay far from
+        // the ≈9.9% flip threshold.
+        let (out, _) = c
+            .check_with_noise(&x, 0, &NoiseRegion::symmetric(2, 2), &model)
+            .unwrap();
+        assert_eq!(out, FaultOutcome::Robust);
+        // ±12% input noise alone already flips — the joint claim fails
+        // with a witness or stays undecided, never Robust.
+        let (out, _) = c
+            .check_with_noise(&x, 0, &NoiseRegion::symmetric(12, 2), &model)
+            .unwrap();
+        assert!(!out.is_robust(), "{out:?}");
+    }
+
+    #[test]
+    fn stats_merge_accumulates() {
+        let mut a = FaultStats {
+            boxes_visited: 1,
+            splits: 2,
+            interval_hits: 3,
+            interval_fallbacks: 4,
+            zonotope_hits: 5,
+            zonotope_fallbacks: 6,
+            exact_decisions: 7,
+            exact_fallbacks: 8,
+            concrete_evals: 9,
+            budget_exhausted: false,
+        };
+        let b = FaultStats {
+            budget_exhausted: true,
+            ..a
+        };
+        a.merge(&b);
+        assert_eq!(a.boxes_visited, 2);
+        assert_eq!(a.concrete_evals, 18);
+        assert!(a.budget_exhausted);
+    }
+
+    #[test]
+    fn config_presets() {
+        assert_eq!(
+            FaultCheckerConfig::default().screening,
+            ScreeningTier::Cascade
+        );
+        assert_eq!(FaultCheckerConfig::default().with_max_boxes(0).max_boxes, 1);
+        assert_eq!(FaultCheckerConfig::default().with_max_depth(4).max_depth, 4);
+        assert_eq!(
+            FaultCheckerConfig::default()
+                .with_screening(ScreeningTier::Interval)
+                .screening,
+            ScreeningTier::Interval
+        );
+        assert_eq!(ToleranceSearch::default().denom, 1000);
+        assert_eq!(ToleranceSearch::new(100, 25).max_eps(), rq(25, 100));
+    }
+
+    #[test]
+    #[should_panic(expected = "denominator must be positive")]
+    fn zero_denominator_grid_rejected() {
+        let _ = ToleranceSearch::new(0, 10);
+    }
+
+    #[test]
+    fn sigmoid_networks_error_instead_of_panicking() {
+        // Resident owners hold a checker for any loadable model; the
+        // admissibility failure must surface as a per-query error.
+        let net = Network::new(
+            vec![DenseLayer::new(
+                Matrix::from_rows(vec![vec![r(1), r(0)], vec![r(0), r(1)]]).unwrap(),
+                vec![r(0), r(0)],
+                Activation::Sigmoid,
+            )
+            .unwrap()],
+            Readout::MaxPool,
+        )
+        .unwrap();
+        let c = FaultChecker::new(net, FaultCheckerConfig::default());
+        let err = c
+            .check(
+                &[r(1), r(2)],
+                0,
+                &FaultModel::WeightNoise {
+                    rel_eps: rq(1, 100),
+                },
+            )
+            .unwrap_err();
+        assert!(err.contains("piecewise-linear"), "{err}");
+    }
+}

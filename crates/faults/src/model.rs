@@ -1,0 +1,246 @@
+//! The fault-model taxonomy (DESIGN.md §11).
+//!
+//! A [`FaultModel`] names a *set of faulted networks* derived from one
+//! trained [`Network<Rational>`]: the verification question is whether
+//! every network in the set still classifies a given input correctly.
+//! Each model is given exact semantics here and an interval-weight
+//! over-approximation in [`crate::region`]; the soundness lemma (why
+//! independent per-parameter intervals cover correlated faults) lives
+//! with the lift, DESIGN.md §11 carries the proof sketch.
+
+use std::fmt;
+
+use fannet_nn::Network;
+use fannet_numeric::Rational;
+
+/// A set of faulted parameter assignments of one network.
+///
+/// `Eq + Hash` so the engine can key fault-verdict cache entries by
+/// `(input, label, model)` within a network-fingerprint namespace.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum FaultModel {
+    /// Every weight and bias independently perturbed within a relative
+    /// ball: `ŵ ∈ [w − ε·|w|, w + ε·|w|]` (weight drift, analog noise).
+    WeightNoise {
+        /// The relative radius ε ≥ 0.
+        rel_eps: Rational,
+    },
+    /// One neuron's post-activation output forced to a constant (dead or
+    /// saturated hardware unit). `layer` indexes the dense layers from
+    /// the input side, `neuron` that layer's outputs.
+    StuckAt {
+        /// Dense-layer index (0 = first hidden layer).
+        layer: usize,
+        /// Output-neuron index within the layer.
+        neuron: usize,
+        /// The forced post-activation value.
+        value: Rational,
+    },
+    /// Up to `budget` single-bit storage faults, each turning one
+    /// parameter `w` into a sign flip `−w` or a neighbour-exponent flip
+    /// `2w` / `w/2`. `budget == 0` is the fault-free network.
+    BitFlips {
+        /// Maximum number of simultaneously flipped parameters.
+        budget: usize,
+    },
+    /// Deployment-time quantization of every parameter to the nearest
+    /// rational with denominator `2^denom_bits`:
+    /// `ŵ ∈ [w − e, w + e]` with `e = 2^-(denom_bits+1)` — the supremum
+    /// of `fannet_nn::quantize::max_quantization_error` over all
+    /// networks, which [`crate::FaultChecker`] uses as the sound
+    /// per-parameter bound.
+    Quantization {
+        /// Denominator precision in bits.
+        denom_bits: u32,
+    },
+}
+
+impl FaultModel {
+    /// The CLI/wire spelling of the model kind (parameters excluded).
+    #[must_use]
+    pub fn name(&self) -> &'static str {
+        match self {
+            FaultModel::WeightNoise { .. } => "weight-noise",
+            FaultModel::StuckAt { .. } => "stuck-at",
+            FaultModel::BitFlips { .. } => "bit-flips",
+            FaultModel::Quantization { .. } => "quantization",
+        }
+    }
+
+    /// The half-ulp worst-case rounding error of `denom_bits`-bit
+    /// quantization, `2^-(denom_bits+1)` — the bound the
+    /// [`FaultModel::Quantization`] lift charges per parameter.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `denom_bits >= 126` (the bound's denominator would
+    /// overflow `i128`).
+    #[must_use]
+    pub fn quantization_error_bound(denom_bits: u32) -> Rational {
+        assert!(
+            denom_bits < 126,
+            "2^-({denom_bits}+1) underflows the i128 rational range"
+        );
+        Rational::new(1, 1i128 << (denom_bits + 1))
+    }
+
+    /// Validates the model against a concrete network.
+    ///
+    /// # Errors
+    ///
+    /// Returns a human-readable message when a parameter is out of the
+    /// model's domain (negative ε, stuck coordinates out of range,
+    /// excessive quantization precision).
+    pub fn validate(&self, net: &Network<Rational>) -> Result<(), String> {
+        match self {
+            FaultModel::WeightNoise { rel_eps } => {
+                if rel_eps.is_negative() {
+                    return Err(format!(
+                        "weight-noise ε must be non-negative, got {rel_eps}"
+                    ));
+                }
+            }
+            FaultModel::StuckAt { layer, neuron, .. } => {
+                let layers = net.layers().len();
+                if *layer >= layers {
+                    return Err(format!(
+                        "stuck-at layer {layer} out of range for {layers} layers"
+                    ));
+                }
+                let outputs = net.layers()[*layer].outputs();
+                if *neuron >= outputs {
+                    return Err(format!(
+                        "stuck-at neuron {neuron} out of range for {outputs} neurons in layer {layer}"
+                    ));
+                }
+            }
+            FaultModel::BitFlips { .. } => {}
+            FaultModel::Quantization { denom_bits } => {
+                if *denom_bits >= 126 {
+                    return Err(format!(
+                        "quantization precision 2^{denom_bits} overflows the exact domain"
+                    ));
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Display for FaultModel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FaultModel::WeightNoise { rel_eps } => write!(f, "weight-noise(eps={rel_eps})"),
+            FaultModel::StuckAt {
+                layer,
+                neuron,
+                value,
+            } => write!(f, "stuck-at(layer={layer}, neuron={neuron}, value={value})"),
+            FaultModel::BitFlips { budget } => write!(f, "bit-flips(budget={budget})"),
+            FaultModel::Quantization { denom_bits } => {
+                write!(f, "quantization(denom_bits={denom_bits})")
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fannet_nn::{Activation, DenseLayer, Readout};
+    use fannet_tensor::Matrix;
+
+    fn r(n: i128) -> Rational {
+        Rational::from_integer(n)
+    }
+
+    fn net() -> Network<Rational> {
+        Network::new(
+            vec![DenseLayer::new(
+                Matrix::from_rows(vec![vec![r(1), r(0)], vec![r(0), r(1)]]).unwrap(),
+                vec![r(0), r(0)],
+                Activation::Identity,
+            )
+            .unwrap()],
+            Readout::MaxPool,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn names_and_display() {
+        let m = FaultModel::WeightNoise {
+            rel_eps: Rational::new(1, 50),
+        };
+        assert_eq!(m.name(), "weight-noise");
+        assert_eq!(m.to_string(), "weight-noise(eps=1/50)");
+        assert_eq!(FaultModel::BitFlips { budget: 2 }.name(), "bit-flips");
+        assert_eq!(
+            FaultModel::Quantization { denom_bits: 8 }.to_string(),
+            "quantization(denom_bits=8)"
+        );
+        assert_eq!(
+            FaultModel::StuckAt {
+                layer: 0,
+                neuron: 1,
+                value: r(0),
+            }
+            .to_string(),
+            "stuck-at(layer=0, neuron=1, value=0)"
+        );
+    }
+
+    #[test]
+    fn quantization_bound_is_half_ulp() {
+        assert_eq!(
+            FaultModel::quantization_error_bound(8),
+            Rational::new(1, 512)
+        );
+        assert_eq!(
+            FaultModel::quantization_error_bound(20),
+            Rational::new(1, 1 << 21)
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "underflows")]
+    fn quantization_bound_rejects_overflowing_precision() {
+        let _ = FaultModel::quantization_error_bound(126);
+    }
+
+    #[test]
+    fn validation_rejects_out_of_domain_models() {
+        let n = net();
+        assert!(FaultModel::WeightNoise {
+            rel_eps: Rational::new(-1, 10)
+        }
+        .validate(&n)
+        .unwrap_err()
+        .contains("non-negative"));
+        assert!(FaultModel::StuckAt {
+            layer: 3,
+            neuron: 0,
+            value: r(0)
+        }
+        .validate(&n)
+        .unwrap_err()
+        .contains("layer 3 out of range"));
+        assert!(FaultModel::StuckAt {
+            layer: 0,
+            neuron: 9,
+            value: r(0)
+        }
+        .validate(&n)
+        .unwrap_err()
+        .contains("neuron 9 out of range"));
+        assert!(FaultModel::Quantization { denom_bits: 127 }
+            .validate(&n)
+            .is_err());
+        assert!(FaultModel::WeightNoise {
+            rel_eps: Rational::new(1, 50)
+        }
+        .validate(&n)
+        .is_ok());
+        assert!(FaultModel::BitFlips { budget: 3 }.validate(&n).is_ok());
+    }
+}

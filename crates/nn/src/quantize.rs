@@ -76,28 +76,67 @@ pub fn to_f64(net: &Network<Rational>) -> Network<f64> {
     net.map(|w| w.to_f64())
 }
 
+/// A quantized network bundled with its quantization-error bound — the
+/// single-pass form of [`to_rational`] + [`max_quantization_error`].
+///
+/// `max_quantization_error` recomputes the full quantization per call;
+/// callers that need both the exact network *and* its error budget (the
+/// `fannet-faults` quantization fault model, report sections) get them
+/// here from one traversal, with the error cached alongside the network
+/// instead of re-derived.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Quantization {
+    /// The exact rational network (identical to [`to_rational`]'s output).
+    pub net: Network<Rational>,
+    /// The largest absolute per-parameter rounding error, exact.
+    pub max_error: Rational,
+    /// The denominator precision the quantization used.
+    pub denom_bits: u32,
+}
+
+/// Quantizes every parameter to denominator `2^denom_bits` **and**
+/// records the worst per-parameter rounding error in the same pass.
+///
+/// The returned network is identical to [`to_rational`]'s and the error
+/// to [`max_quantization_error`]'s (pinned by a regression test on the
+/// Golub case-study network); only the duplicate quantization pass is
+/// gone.
+///
+/// # Panics
+///
+/// Panics if `denom_bits >= 127` or a parameter is not finite.
+#[must_use]
+pub fn quantize_with_error(net: &Network<f64>, denom_bits: u32) -> Quantization {
+    assert!(
+        denom_bits < 127,
+        "denominator 2^{denom_bits} would overflow i128"
+    );
+    let den = 1i128 << denom_bits;
+    let mut worst = Rational::ZERO;
+    let quantized = net.map(|&w| {
+        let q = Rational::from_f64_approx(w, den);
+        let exact = Rational::from_f64_exact(w).expect("trained weights are finite");
+        let err = (exact - q).abs();
+        if err > worst {
+            worst = err;
+        }
+        q
+    });
+    Quantization {
+        net: quantized,
+        max_error: worst,
+        denom_bits,
+    }
+}
+
 /// The largest absolute quantization error across all parameters, as an
 /// exact rational — useful for error-budget arguments in reports.
+///
+/// Callers that also need the quantized network should use
+/// [`quantize_with_error`], which computes both in one pass.
 #[must_use]
 pub fn max_quantization_error(net: &Network<f64>, denom_bits: u32) -> Rational {
-    let q = to_rational(net, denom_bits);
-    let mut worst = Rational::ZERO;
-    for (orig, quant) in net.layers().iter().zip(q.layers()) {
-        let pairs = orig
-            .weights()
-            .as_slice()
-            .iter()
-            .zip(quant.weights().as_slice())
-            .chain(orig.biases().iter().zip(quant.biases()));
-        for (&fw, &qw) in pairs {
-            let exact = Rational::from_f64_exact(fw).expect("trained weights are finite");
-            let err = (exact - qw).abs();
-            if err > worst {
-                worst = err;
-            }
-        }
-    }
-    worst
+    quantize_with_error(net, denom_bits).max_error
 }
 
 #[cfg(test)]
@@ -158,6 +197,18 @@ mod tests {
             // the classifications agree; tolerate no disagreement here since
             // the seed gives comfortable margins.
             assert_eq!(fx, qx, "disagreement at {x:?}");
+        }
+    }
+
+    #[test]
+    fn quantize_with_error_matches_two_pass_path() {
+        let net = sample_net();
+        for bits in [8, 16, 20] {
+            let q = quantize_with_error(&net, bits);
+            assert_eq!(q.denom_bits, bits);
+            assert_eq!(q.net, to_rational(&net, bits), "bits={bits}");
+            assert_eq!(q.max_error, max_quantization_error(&net, bits));
+            assert!(q.max_error <= Rational::new(1, 1i128 << (bits + 1)));
         }
     }
 

@@ -208,11 +208,32 @@ impl FloatInterval {
     }
 
     /// Outward-rounded general interval multiplication (min/max over the
-    /// four endpoint products).
+    /// four endpoint products) — alias of [`FloatInterval::mul_interval`].
     #[must_use]
     pub fn mul(&self, rhs: &FloatInterval) -> Self {
-        // 0 · ±∞ would produce NaN; an infinite endpoint only arises after
-        // overflow, at which point the whole line is an acceptable bound.
+        self.mul_interval(rhs)
+    }
+
+    /// Outward-rounded general interval multiplication, the `f64`
+    /// analogue of [`Interval::mul_interval`](crate::Interval::mul_interval).
+    ///
+    /// Rounding audit (mirroring the exact tier's semantics): each of the
+    /// four endpoint products is a **single** round-to-nearest operation,
+    /// so its computed value differs from the real product by strictly
+    /// less than one ulp; `min`/`max` selection over finite doubles is
+    /// exact; the result then steps one ulp outward on each side —
+    /// the same per-operation discipline `AffineForm` applies through
+    /// [`crate::affine::ulp_gap`]. Hence for any exact rationals enclosed
+    /// by the operands, the exact product interval is enclosed by the
+    /// result.
+    ///
+    /// Poisoned or overflowed operands degrade: `0 · ±∞` would produce a
+    /// NaN whose comparisons are all false (a `min`/`max` chain over NaN
+    /// products could silently select a garbage endpoint), so any
+    /// non-finite endpoint — infinite after overflow, or NaN poison —
+    /// returns [`FloatInterval::EVERYTHING`], the always-sound top.
+    #[must_use]
+    pub fn mul_interval(&self, rhs: &FloatInterval) -> Self {
         if !(self.lo.is_finite() && self.hi.is_finite() && rhs.lo.is_finite() && rhs.hi.is_finite())
         {
             return FloatInterval::EVERYTHING;
@@ -397,6 +418,78 @@ mod tests {
             let exact = ae.mul_interval(&be);
             assert!(encloses(&prod, &exact), "{prod:?} must enclose {exact:?}");
         }
+    }
+
+    #[test]
+    fn mul_interval_encloses_exact_general_products() {
+        // The same cross-sign matrix the exact tier's mul_interval covers:
+        // positive × positive, negative × positive, straddling × straddling.
+        let cases = [
+            (
+                Interval::new(r(1, 3), r(2, 3)),
+                Interval::new(r(3, 7), r(9, 7)),
+            ),
+            (
+                Interval::new(r(-5, 3), r(-1, 3)),
+                Interval::new(r(-2, 9), r(7, 9)),
+            ),
+            (
+                Interval::new(r(-1, 3), r(1, 3)),
+                Interval::new(r(-2, 7), r(3, 7)),
+            ),
+            (
+                Interval::new(r(-11, 13), r(-5, 13)),
+                Interval::new(r(-17, 19), r(-1, 19)),
+            ),
+        ];
+        for (ae, be) in cases {
+            let a = FloatInterval::from_rationals(ae.lo(), ae.hi());
+            let b = FloatInterval::from_rationals(be.lo(), be.hi());
+            let prod = a.mul_interval(&b);
+            let exact = ae.mul_interval(&be);
+            assert!(encloses(&prod, &exact), "{prod:?} must enclose {exact:?}");
+            assert_eq!(prod, a.mul(&b), "mul is an alias of mul_interval");
+        }
+    }
+
+    #[test]
+    fn mul_interval_poisoned_and_infinite_endpoints_degrade() {
+        // NaN poison (unreachable via constructors; in-module access) must
+        // never survive the min/max chain as a decided-looking interval.
+        let poisoned = FloatInterval {
+            lo: f64::NAN,
+            hi: f64::NAN,
+        };
+        assert_eq!(
+            poisoned.mul_interval(&FloatInterval::new(1.0, 2.0)),
+            FloatInterval::EVERYTHING
+        );
+        assert_eq!(
+            FloatInterval::new(1.0, 2.0).mul_interval(&poisoned),
+            FloatInterval::EVERYTHING
+        );
+        // 0 · ±∞ is the classic NaN factory; it must degrade instead.
+        assert_eq!(
+            FloatInterval::ZERO.mul_interval(&FloatInterval::EVERYTHING),
+            FloatInterval::EVERYTHING
+        );
+        assert_eq!(
+            FloatInterval::EVERYTHING.mul_interval(&FloatInterval::ZERO),
+            FloatInterval::EVERYTHING
+        );
+        // One overflowed (infinite) endpoint also degrades — the enclosure
+        // only ever widens, which stays sound.
+        let overflowed = FloatInterval::new(f64::MAX, f64::INFINITY);
+        assert_eq!(
+            overflowed.mul_interval(&FloatInterval::new(-1.0, 1.0)),
+            FloatInterval::EVERYTHING
+        );
+        // Finite-but-huge products that overflow during multiplication
+        // keep infinite bounds without ever producing NaN.
+        let huge = FloatInterval::new(f64::MAX / 2.0, f64::MAX);
+        let prod = huge.mul_interval(&huge);
+        assert!(!prod.lo().is_nan() && !prod.hi().is_nan());
+        assert_eq!(prod.hi(), f64::INFINITY);
     }
 
     #[test]

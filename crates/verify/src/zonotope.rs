@@ -164,7 +164,11 @@ impl ZonotopeShadow {
 /// rounding gaps; the radius coefficient is rounded *up* so the scaled
 /// symbol always covers the true factor range (a larger coefficient only
 /// widens the enclosure).
-fn input_form(xc: f64, xs: f64, lo: i64, hi: i64, symbol: usize) -> AffineForm {
+///
+/// Public because `fannet-faults` builds its interval-weight zonotope
+/// propagator on the same input enclosure (DESIGN.md §11).
+#[must_use]
+pub fn input_form(xc: f64, xs: f64, lo: i64, hi: i64, symbol: usize) -> AffineForm {
     // Upward-rounded accumulation of non-negative slack magnitudes.
     let up = |a: f64, b: f64| (a + b).next_up();
     // i128 arithmetic cannot overflow for any i64 bounds; the i128 → f64

@@ -8,6 +8,11 @@
 //!                                             (--screening picks the tier)
 //! fannet radius --model model.json --input 1,2,3,4,5 --label 0 [--max 50]
 //!                                             exact robustness radius
+//! fannet faults --model weight-noise --eps 0.02 [--net model.json]
+//!                                             weight-fault robustness: per-class
+//!                                             fault tolerance of the case-study
+//!                                             network, or one query with
+//!                                             --input/--label (DESIGN.md §11)
 //! fannet export-smv --model model.json --input 1,2,3,4,5 --label 0 --delta 1
 //!                                             print the SMV translation
 //! fannet serve --model model.json [--once] [--threads N]
@@ -23,9 +28,11 @@ use std::io::{BufRead as _, Write as _};
 use std::process::ExitCode;
 
 use fannet::core::casestudy::{build, CaseStudyConfig};
+use fannet::core::faults as core_faults;
 use fannet::core::tolerance::robustness_radius;
 use fannet::engine::protocol::{parse_request, render_response, Response};
 use fannet::engine::{batch, Engine, EngineConfig};
+use fannet::faults::{FaultChecker, FaultModel, FaultOutcome, ToleranceSearch};
 use fannet::nn::io;
 use fannet::nn::Network;
 use fannet::numeric::Rational;
@@ -54,6 +61,14 @@ const USAGE: &str = "usage:
   fannet check --model <model.json> --input <v1,v2,...> --label <L> --delta <D>
                [--screening <none|interval|zonotope|cascade>]
   fannet radius --model <model.json> --input <v1,v2,...> --label <L> [--max <D>]
+  fannet faults --model <weight-noise|stuck-at|bit-flips|quantization>
+                [--eps <E>] [--layer <L> --neuron <N> --value <V>]
+                [--budget <K>] [--denom-bits <B>]
+                [--net <model.json>] [--small]
+                [--input <v1,v2,...> --label <L>]
+                [--denom <D>] [--max-numer <K>]
+    without --net, trains the Golub case study and reports per-class
+    fault tolerance over its test set; with --input/--label, one query
   fannet export-smv --model <model.json> --input <v1,v2,...> --label <L> --delta <D>
   fannet serve --model <model.json> [--once] [--threads <N>]
                [--cache-capacity <N>]
@@ -62,6 +77,8 @@ const USAGE: &str = "usage:
       {\"op\":\"check\",\"input\":[\"100\",\"82\"],\"label\":0,\"delta\":5}
       {\"op\":\"tolerance\",\"input\":[\"100\",\"82\"],\"label\":0,\"max_delta\":50}
       {\"op\":\"sensitivity\",\"input\":[\"100\",\"99\"],\"label\":0,\"delta\":3,\"cap\":10}
+      {\"op\":\"fault_check\",\"input\":[\"100\",\"82\"],\"label\":0,\"model\":\"weight-noise\",\"eps\":\"1/50\"}
+      {\"op\":\"fault_tolerance\",\"input\":[\"100\",\"82\"],\"label\":0,\"denom\":1000,\"max_numer\":200}
       {\"op\":\"stats\"}";
 
 fn run(args: &[String]) -> Result<(), String> {
@@ -70,6 +87,7 @@ fn run(args: &[String]) -> Result<(), String> {
         "train" => train(rest),
         "check" => check(rest),
         "radius" => radius(rest),
+        "faults" => faults(rest),
         "export-smv" => export_smv(rest),
         "serve" => serve(rest),
         "--help" | "-h" | "help" => {
@@ -225,6 +243,173 @@ fn check(args: &[String]) -> Result<(), String> {
         );
     }
     Ok(())
+}
+
+/// Resolves the `--model <kind>` fault-model flags of `fannet faults`.
+fn parse_fault_model(args: &[String]) -> Result<FaultModel, String> {
+    let parse_rational = |name: &str, text: &str| -> Result<Rational, String> {
+        text.parse::<Rational>()
+            .map_err(|e| format!("bad {name} `{text}`: {e}"))
+    };
+    match required(args, "--model")? {
+        "weight-noise" => {
+            let eps = parse_rational("--eps", required(args, "--eps")?)?;
+            if eps.is_negative() {
+                return Err(format!("--eps must be non-negative, got {eps}"));
+            }
+            Ok(FaultModel::WeightNoise { rel_eps: eps })
+        }
+        "stuck-at" => Ok(FaultModel::StuckAt {
+            layer: required(args, "--layer")?
+                .parse()
+                .map_err(|_| "bad --layer".to_string())?,
+            neuron: required(args, "--neuron")?
+                .parse()
+                .map_err(|_| "bad --neuron".to_string())?,
+            value: parse_rational("--value", required(args, "--value")?)?,
+        }),
+        "bit-flips" => Ok(FaultModel::BitFlips {
+            budget: match flag(args, "--budget") {
+                Some(text) => text.parse().map_err(|_| "bad --budget".to_string())?,
+                None => 1,
+            },
+        }),
+        "quantization" => {
+            let bits: u32 = match flag(args, "--denom-bits") {
+                Some(text) => text.parse().map_err(|_| "bad --denom-bits".to_string())?,
+                None => fannet::nn::quantize::DEFAULT_DENOM_BITS,
+            };
+            if bits >= 126 {
+                return Err(format!("--denom-bits {bits} overflows the exact domain"));
+            }
+            Ok(FaultModel::Quantization { denom_bits: bits })
+        }
+        other => Err(format!(
+            "unknown fault model `{other}` (expected weight-noise/stuck-at/bit-flips/quantization)"
+        )),
+    }
+}
+
+/// `fannet faults`: weight-fault robustness (DESIGN.md §11) — one query
+/// with `--input`/`--label`, or the per-class fault-tolerance report of
+/// the Golub case study when no input is given.
+fn faults(args: &[String]) -> Result<(), String> {
+    let model = parse_fault_model(args)?;
+    let denom: i64 = match flag(args, "--denom") {
+        Some(text) => match text.parse() {
+            Ok(d) if d > 0 => d,
+            _ => return Err(format!("bad --denom `{text}` (need a positive integer)")),
+        },
+        None => 100,
+    };
+    let max_numer: i64 = match flag(args, "--max-numer") {
+        Some(text) => match text.parse() {
+            Ok(k) if k >= 0 => k,
+            _ => return Err(format!("bad --max-numer `{text}`")),
+        },
+        None => 25,
+    };
+    let search = ToleranceSearch::new(i128::from(denom), i128::from(max_numer));
+
+    if let Some(input) = flag(args, "--input") {
+        // Single-query mode (works with --net or the trained case study).
+        let x = parse_input(input)?;
+        let label = parse_label(required(args, "--label")?)?;
+        let net = match flag(args, "--net") {
+            Some(path) => load_model(path)?,
+            None => faults_case_study(args).exact_net,
+        };
+        validate_query(&net, &x, label)?;
+        let checker = FaultChecker::new(net, Default::default());
+        let (outcome, stats) = checker.check(&x, label, &model)?;
+        match &outcome {
+            FaultOutcome::Robust => println!(
+                "ROBUST under {model}: every faulted network keeps label L{label} \
+                 ({} fault boxes, {} concrete probes — this is a proof)",
+                stats.boxes_visited, stats.concrete_evals
+            ),
+            FaultOutcome::Vulnerable(w) => {
+                println!("VULNERABLE under {model}: {}", w.description);
+                println!("  predicted L{} instead of L{}", w.predicted, w.expected);
+                println!(
+                    "  outputs: {:?}",
+                    w.outputs.iter().map(Rational::to_f64).collect::<Vec<_>>()
+                );
+            }
+            FaultOutcome::Unknown => println!(
+                "UNKNOWN under {model}: the budgeted fault-space search could not \
+                 decide ({} boxes, budget exhausted: {})",
+                stats.boxes_visited, stats.budget_exhausted
+            ),
+        }
+        let (tolerance, _) = checker.tolerance(&x, label, &search)?;
+        match tolerance.robust_eps {
+            Some(eps) => println!(
+                "weight-noise fault tolerance of this input: eps >= {eps} (~{:.4}, \
+                 grid k/{denom}, k <= {max_numer})",
+                eps.to_f64()
+            ),
+            None => println!("fault-free network already misclassifies this input"),
+        }
+        return Ok(());
+    }
+    if flag(args, "--net").is_some() {
+        return Err(
+            "give --input/--label with --net (the per-class report needs the case-study \
+             dataset; omit --net to train it)"
+                .to_string(),
+        );
+    }
+
+    // Per-class report over the trained case study's test set.
+    let cs = faults_case_study(args);
+    let correct = fannet::core::behavior::correctly_classified(&cs.exact_net, &cs.test5);
+    let config = core_faults::FaultAnalysisConfig {
+        search,
+        ..Default::default()
+    };
+    println!(
+        "== weight-fault analysis of the {} network ==",
+        cs.exact_net
+            .topology()
+            .iter()
+            .map(ToString::to_string)
+            .collect::<Vec<_>>()
+            .join("-")
+    );
+    let verdicts = core_faults::class_verdicts(&cs.exact_net, &cs.test5, &correct, &model, &config);
+    println!("verdicts under {model}:");
+    for (class, (robust, vulnerable, unknown)) in verdicts.iter().enumerate() {
+        println!("  class L{class}: {robust} robust / {vulnerable} vulnerable / {unknown} unknown");
+    }
+    let report = core_faults::analyze(&cs.exact_net, &cs.test5, &correct, &config);
+    println!("per-class weight-noise fault tolerance (grid k/{denom}, k <= {max_numer}):");
+    for (class, eps) in report.per_class_tolerance().iter().enumerate() {
+        match eps {
+            Some(e) => println!("  class L{class}: eps >= {e} (~{:.4})", e.to_f64()),
+            None => println!("  class L{class}: no analysed inputs"),
+        }
+    }
+    match report.network_tolerance() {
+        Some(e) => println!("network fault tolerance: eps >= {e} (~{:.4})", e.to_f64()),
+        None => println!("network fault tolerance: no analysed inputs"),
+    }
+    Ok(())
+}
+
+/// Trains the case study for `fannet faults` (`--small` for the quick
+/// variant), with progress on stderr.
+fn faults_case_study(args: &[String]) -> fannet::core::CaseStudy {
+    let config = if has_switch(args, "--small") {
+        CaseStudyConfig::small()
+    } else {
+        CaseStudyConfig::paper()
+    };
+    eprintln!(
+        "no --net given; training the {}-gene leukemia case study…",
+        config.golub.genes
+    );
+    build(&config)
 }
 
 fn radius(args: &[String]) -> Result<(), String> {
@@ -432,6 +617,45 @@ mod tests {
             Ok(ScreeningTier::Interval)
         );
         assert!(parse_screening(&strings(&["--screening", "bogus"]), ScreeningTier::None).is_err());
+    }
+
+    #[test]
+    fn fault_model_flag_parsing() {
+        assert_eq!(
+            parse_fault_model(&strings(&["--model", "weight-noise", "--eps", "0.02"])),
+            Ok(FaultModel::WeightNoise {
+                rel_eps: Rational::new(1, 50)
+            })
+        );
+        assert_eq!(
+            parse_fault_model(&strings(&[
+                "--model", "stuck-at", "--layer", "0", "--neuron", "3", "--value", "-1/2"
+            ])),
+            Ok(FaultModel::StuckAt {
+                layer: 0,
+                neuron: 3,
+                value: Rational::new(-1, 2)
+            })
+        );
+        assert_eq!(
+            parse_fault_model(&strings(&["--model", "bit-flips"])),
+            Ok(FaultModel::BitFlips { budget: 1 })
+        );
+        assert_eq!(
+            parse_fault_model(&strings(&["--model", "quantization", "--denom-bits", "8"])),
+            Ok(FaultModel::Quantization { denom_bits: 8 })
+        );
+        assert!(parse_fault_model(&strings(&["--model", "weight-noise"]))
+            .unwrap_err()
+            .contains("--eps"));
+        assert!(
+            parse_fault_model(&strings(&["--model", "weight-noise", "--eps", "-1/50"]))
+                .unwrap_err()
+                .contains("non-negative")
+        );
+        assert!(parse_fault_model(&strings(&["--model", "frobnicate"]))
+            .unwrap_err()
+            .contains("unknown fault model"));
     }
 
     #[test]

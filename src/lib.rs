@@ -14,6 +14,7 @@
 //! | [`data`] | `fannet-data` | synthetic Golub leukemia dataset, normalization, mRMR feature selection |
 //! | [`smv`] | `fannet-smv` | SMV-subset front end, NN→SMV translation, explicit-state model checking, Fig. 3 state-space accounting |
 //! | [`verify`] | `fannet-verify` | exact branch-and-bound decision procedure over integer-percent noise regions |
+//! | [`faults`] | `fannet-faults` | weight-fault & quantization robustness: interval-weight propagation, fault-space branch-and-bound, fault-tolerance search |
 //! | [`engine`] | `fannet-engine` | persistent query engine: subsumption-aware verdict cache, incremental tolerance search, batch/JSONL serving |
 //! | [`core`] | `fannet-core` | the FANNet methodology: P1/P2/P3, noise tolerance, adversarial extraction, bias, sensitivity, boundary analysis |
 //!
@@ -43,6 +44,7 @@
 pub use fannet_core as core;
 pub use fannet_data as data;
 pub use fannet_engine as engine;
+pub use fannet_faults as faults;
 pub use fannet_nn as nn;
 pub use fannet_numeric as numeric;
 pub use fannet_smv as smv;

@@ -76,6 +76,25 @@ fn small_case_study_full_pipeline() {
             p.margin
         );
     }
+
+    // Fault section: one certified ε per analysed (correctly classified)
+    // input, and a meaningful network-level weight-noise tolerance.
+    assert_eq!(
+        report.fault.per_input.len(),
+        report.tolerance.per_input.len()
+    );
+    let eps = report
+        .fault
+        .network_tolerance()
+        .expect("analysed inputs exist");
+    assert!(!eps.is_negative());
+    for t in &report.fault.per_input {
+        assert!(
+            t.robust_eps.is_some(),
+            "correctly classified input {} must be robust at ε = 0",
+            t.index
+        );
+    }
 }
 
 #[test]
