@@ -107,12 +107,36 @@ struct FaultAblationRow {
     stats: FaultStats,
 }
 
+/// One arm of the joint ablation: the generic `fannet-search` core on
+/// the joint input×weight workload, plus the δ = 0 anchor rows where
+/// the product domain must reproduce the single-factor fault checker's
+/// verdict *and* search shape exactly.
+#[derive(Serialize)]
+struct JointAblationRow {
+    variant: &'static str,
+    /// Symmetric input-noise radius (±δ%).
+    delta: i64,
+    /// ε = `eps_numer`/100 relative weight noise.
+    eps_numer: i64,
+    seconds: f64,
+    verdict: &'static str,
+    boxes_visited: u64,
+    stats: FaultStats,
+}
+
 /// The `--bench-json` document.
+///
+/// The `checker_ablation` and `fault_ablation` tables double as the
+/// refactor trajectory: they time the *same* input-noise and fault
+/// workloads as every pre-`fannet-search` `BENCH_*.json`, so comparing
+/// entries across PRs is the "no slowdown beyond noise" check for the
+/// generic core.
 #[derive(Serialize)]
 struct AblationReport {
     checker_ablation: Vec<AblationRow>,
     zonotope_ablation: Vec<ZonotopeAblationRow>,
     fault_ablation: Vec<FaultAblationRow>,
+    joint_ablation: Vec<JointAblationRow>,
     engine_throughput: EngineThroughputReport,
 }
 
@@ -271,6 +295,88 @@ fn fault_ablation_rows(eps_numers: &[i64]) -> Vec<FaultAblationRow> {
             }
             rows.push(FaultAblationRow {
                 variant: name,
+                eps_numer,
+                seconds,
+                verdict,
+                boxes_visited: stats.boxes_visited,
+                stats,
+            });
+        }
+    }
+    rows
+}
+
+/// The joint ablation: the product-domain search on (δ, ε) claims over
+/// the trained 5–20–2 network, interval-only vs cascade screening. Two
+/// invariants are asserted:
+///
+/// * the arms never return contradictory *proofs* (Unknown is legal for
+///   the incomplete search, exactly as in the fault ablation);
+/// * at δ = 0 the joint cascade arm reproduces the single-factor fault
+///   checker **exactly** — same verdict, same number of explored boxes
+///   — because a point noise factor makes the product domain's split
+///   sequence collapse to the fault domain's. This is the live
+///   generic-core-vs-instantiation equivalence check (the timing
+///   trajectory against pre-refactor runs lives in `fault_ablation`).
+fn joint_ablation_rows() -> Vec<JointAblationRow> {
+    use fannet_faults::{FaultModel, JointChecker};
+    use fannet_verify::bab::ScreeningTier;
+    use fannet_verify::region::NoiseRegion;
+    let cs = paper_study();
+    let inputs = fannet_bench::paper_test_inputs();
+    let labels = cs.test5.labels();
+    let idx = 6;
+    let variants: [(&'static str, FaultCheckerConfig); 2] = [
+        (
+            "interval",
+            FaultCheckerConfig::default().with_screening(ScreeningTier::Interval),
+        ),
+        ("cascade", FaultCheckerConfig::default()),
+    ];
+    let mut rows = Vec::new();
+    for &(delta, eps_numer) in &[(0i64, 1i64), (0, 6), (2, 3), (5, 3), (5, 10)] {
+        let model = FaultModel::WeightNoise {
+            rel_eps: fannet_numeric::Rational::new(i128::from(eps_numer), 100),
+        };
+        let noise = NoiseRegion::symmetric(delta, 5);
+        let mut baseline: Option<&'static str> = None;
+        for (name, config) in &variants {
+            let checker = JointChecker::new(cs.exact_net.clone(), config.clone());
+            let t = Instant::now();
+            let (outcome, stats) = checker
+                .check(&inputs[idx], labels[idx], &noise, &model)
+                .expect("valid query");
+            let seconds = t.elapsed().as_secs_f64();
+            let verdict = outcome.wire_name();
+            match baseline {
+                None => baseline = Some(verdict),
+                Some(expected) => assert!(
+                    verdict == expected || verdict == "unknown" || expected == "unknown",
+                    "joint screening arms return contradictory proofs at \
+                     delta {delta} eps {eps_numer}/100: {expected} vs {verdict}"
+                ),
+            }
+            if delta == 0 && *name == "cascade" {
+                // δ = 0 anchor: the product search must collapse to the
+                // fault checker's exact behaviour.
+                let fault = FaultChecker::new(cs.exact_net.clone(), FaultCheckerConfig::default());
+                let (fault_outcome, fault_stats) = fault
+                    .check(&inputs[idx], labels[idx], &model)
+                    .expect("valid query");
+                assert_eq!(
+                    verdict,
+                    fault_outcome.wire_name(),
+                    "joint δ=0 verdict must equal the fault checker's at eps {eps_numer}/100"
+                );
+                assert_eq!(
+                    stats.boxes_visited, fault_stats.boxes_visited,
+                    "joint δ=0 search shape must equal the fault checker's \
+                     at eps {eps_numer}/100"
+                );
+            }
+            rows.push(JointAblationRow {
+                variant: name,
+                delta,
                 eps_numer,
                 seconds,
                 verdict,
@@ -465,6 +571,25 @@ fn run_bench_json(path: &str) {
         );
     }
 
+    println!("\njoint ablation (input×weight product domain: interval-only vs cascade)");
+    let joint = joint_ablation_rows();
+    for pair in joint.chunks(2) {
+        let [interval, cascade] = pair else {
+            unreachable!("rows come in interval/cascade pairs")
+        };
+        println!(
+            "δ ±{}% eps {:>2}/100: interval {:>8.1}ms / {:>4} boxes / {:<10}  cascade {:>8.1}ms / {:>4} boxes / {:<10}",
+            interval.delta,
+            interval.eps_numer,
+            interval.seconds * 1e3,
+            interval.boxes_visited,
+            interval.verdict,
+            cascade.seconds * 1e3,
+            cascade.boxes_visited,
+            cascade.verdict,
+        );
+    }
+
     println!("\nengine throughput (resident verdict cache vs cold per-query starts)");
     let engine = engine_throughput_report();
     println!(
@@ -495,6 +620,7 @@ fn run_bench_json(path: &str) {
         checker_ablation: rows,
         zonotope_ablation: zonotope,
         fault_ablation: fault,
+        joint_ablation: joint,
         engine_throughput: engine,
     })
     .expect("ablation report serializes");

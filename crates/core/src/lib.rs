@@ -15,6 +15,8 @@
 //! * [`boundary`] — classification-boundary proximity estimation.
 //! * [`faults`] — per-class weight-fault tolerance (the `fannet-faults`
 //!   workload as a pipeline section).
+//! * [`joint`] — the per-class joint input×weight (δ, ε) frontier
+//!   (the `fannet-search` product domain as a pipeline section).
 //! * [`casestudy`] — the leukemia case study, dataset to quantized network.
 //! * [`pipeline`] — the full methodology as a single [`pipeline::run`].
 //!
@@ -59,6 +61,7 @@ pub mod bias;
 pub mod boundary;
 pub mod casestudy;
 pub mod faults;
+pub mod joint;
 pub mod par;
 pub mod pipeline;
 pub mod property;

@@ -25,6 +25,7 @@ use crate::behavior::{self, ValidationReport};
 use crate::bias::{self, BiasReport};
 use crate::boundary::{self, BoundaryReport};
 use crate::faults::{self, FaultAnalysisConfig, FaultReport};
+use crate::joint::{self, JointAnalysisConfig, JointFrontierReport};
 use crate::sensitivity::{self, SensitivityReport};
 use crate::tolerance::{self, SweepRow, ToleranceReport};
 
@@ -55,6 +56,9 @@ pub struct AnalysisConfig {
     /// The weight-fault tolerance section (`fault_report`): ε grid and
     /// fault-checker budget of the per-input bisections.
     pub fault: FaultAnalysisConfig,
+    /// The joint input×weight frontier section (`joint_frontier`): δ
+    /// axis, ε grid and product-search budget.
+    pub joint: JointAnalysisConfig,
 }
 
 impl Default for AnalysisConfig {
@@ -73,6 +77,7 @@ impl Default for AnalysisConfig {
             checker: CheckerConfig::cascade(),
             input_threads: default_threads(),
             fault: FaultAnalysisConfig::default(),
+            joint: JointAnalysisConfig::default(),
         }
     }
 }
@@ -96,6 +101,8 @@ pub struct FannetReport {
     pub boundary: BoundaryReport,
     /// Per-class weight-fault tolerance (DESIGN.md §11).
     pub fault: FaultReport,
+    /// Per-class joint input×weight (δ, ε) frontier (DESIGN.md §12).
+    pub joint: JointFrontierReport,
 }
 
 impl FannetReport {
@@ -211,6 +218,28 @@ impl FannetReport {
             fmt_eps(&self.fault.network_tolerance())
         );
 
+        let _ = writeln!(
+            out,
+            "\n== Joint input × weight robustness (fannet-search) =="
+        );
+        let _ = writeln!(
+            out,
+            "largest certified weight-noise eps (grid k/{}, k <= {}) per input-noise radius:",
+            self.joint.search.denom, self.joint.search.max_numer
+        );
+        let deltas: Vec<String> = self.joint.deltas.iter().map(|d| format!("±{d}%")).collect();
+        let _ = writeln!(out, "class      {}", deltas.join("      "));
+        let fmt_cell = |eps: &Option<Rational>| match eps {
+            Some(e) => format!("{:.3}", e.to_f64()),
+            None => "  -  ".to_string(),
+        };
+        for (class, row) in self.joint.per_class_frontier().iter().enumerate() {
+            let cells: Vec<String> = row.iter().map(fmt_cell).collect();
+            let _ = writeln!(out, "L{class}        {}", cells.join("     "));
+        }
+        let cells: Vec<String> = self.joint.network_frontier().iter().map(fmt_cell).collect();
+        let _ = writeln!(out, "network   {}", cells.join("     "));
+
         let _ = writeln!(out, "\n== Boundary analysis (§V-C.2) ==");
         let _ = writeln!(
             out,
@@ -279,6 +308,7 @@ pub fn run(
     let sensitivity = sensitivity::analyze(&adversarial);
     let boundary = boundary::analyze(exact, test, &tolerance, config.near_threshold);
     let fault = faults::analyze(exact, test, &correct, &config.fault);
+    let joint = joint::analyze(exact, test, &correct, &config.joint);
 
     FannetReport {
         validation,
@@ -289,6 +319,7 @@ pub fn run(
         sensitivity,
         boundary,
         fault,
+        joint,
     }
 }
 
@@ -422,6 +453,7 @@ mod tests {
             "Input-node sensitivity",
             "Weight-fault tolerance",
             "network fault tolerance: eps >=",
+            "Joint input × weight robustness",
             "Boundary analysis",
             "noise tolerance: ±",
         ] {

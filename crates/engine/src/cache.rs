@@ -23,7 +23,7 @@
 
 use std::collections::HashMap;
 
-use fannet_faults::{FaultModel, FaultOutcome};
+use fannet_faults::{FaultModel, FaultOutcome, JointOutcome};
 use fannet_numeric::Rational;
 use fannet_verify::bab::RegionOutcome;
 use fannet_verify::region::NoiseRegion;
@@ -283,50 +283,48 @@ impl VerdictCache {
 }
 
 // ---------------------------------------------------------------------------
-// Fault-verdict cache (DESIGN.md §11)
+// Exact-key LRU caches (fault and joint verdicts, DESIGN.md §11/§12)
 // ---------------------------------------------------------------------------
 
-/// Lookup/eviction counters of a [`FaultVerdictCache`].
+/// Lookup/eviction counters of an [`ExactLru`]-backed cache.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
-pub struct FaultCacheStats {
-    /// Lookups answered by an entry with the identical
-    /// `(input, label, model)` key.
+pub struct ExactCacheStats {
+    /// Lookups answered by an entry with the identical key.
     pub hits: u64,
-    /// Lookups that fell through to the fault checker.
+    /// Lookups that fell through to the solver.
     pub misses: u64,
     /// Entries discarded by the LRU bound.
     pub evictions: u64,
 }
 
-#[derive(Debug, Clone, PartialEq, Eq, Hash)]
-struct FaultKey {
-    input: Vec<Rational>,
-    label: usize,
-    model: FaultModel,
-}
+/// Historical name of the fault cache's counter block; the joint cache
+/// shares the same shape.
+pub type FaultCacheStats = ExactCacheStats;
 
-/// Bounded LRU store of fault verdicts for **one** network, keyed by
-/// `(input, label, model)` — the engine namespaces it under the
-/// network's content fingerprint exactly like the region-verdict cache.
+/// A bounded exact-key LRU store — the shared machinery of the fault
+/// and joint verdict caches (the engine namespaces each instance under
+/// the network's content fingerprint exactly like the region-verdict
+/// cache).
 ///
 /// Reuse is **exact-key only**. Weight-noise verdicts do admit a sound
-/// monotone order (`Robust` at ε answers every ε′ ≤ ε), but the fault
-/// checker is *incomplete*: a cold run at the smaller ε may legitimately
-/// return `Unknown` where the subsumed answer would say `Robust`, so
-/// serving the monotone answer would break the engine's bit-identical-
-/// to-cold contract (the same reasoning that makes counterexample
-/// containment verdict-only in [`VerdictCache`], taken one step
-/// further).
+/// monotone order (`Robust` at ε answers every ε′ ≤ ε, and a joint
+/// `Robust` answers every nested (δ′, ε′)), but the budgeted checkers
+/// are *incomplete*: a cold run at the smaller parameters may
+/// legitimately return `Unknown` where the subsumed answer would say
+/// `Robust`, so serving the monotone answer would break the engine's
+/// bit-identical-to-cold contract (the same reasoning that makes
+/// counterexample containment verdict-only in [`VerdictCache`], taken
+/// one step further).
 #[derive(Debug)]
-pub struct FaultVerdictCache {
-    entries: HashMap<FaultKey, (FaultOutcome, u64)>,
+pub struct ExactLru<K, V> {
+    entries: HashMap<K, (V, u64)>,
     capacity: usize,
     clock: u64,
-    stats: FaultCacheStats,
+    stats: ExactCacheStats,
 }
 
-impl FaultVerdictCache {
-    /// Creates an empty cache holding at most `capacity` verdicts.
+impl<K: std::hash::Hash + Eq + Clone, V: Clone> ExactLru<K, V> {
+    /// Creates an empty cache holding at most `capacity` entries.
     ///
     /// # Panics
     ///
@@ -334,15 +332,15 @@ impl FaultVerdictCache {
     #[must_use]
     pub fn new(capacity: usize) -> Self {
         assert!(capacity > 0, "cache capacity must be positive");
-        FaultVerdictCache {
+        ExactLru {
             entries: HashMap::new(),
             capacity,
             clock: 0,
-            stats: FaultCacheStats::default(),
+            stats: ExactCacheStats::default(),
         }
     }
 
-    /// Number of cached verdicts.
+    /// Number of cached entries.
     #[must_use]
     pub fn len(&self) -> usize {
         self.entries.len()
@@ -356,28 +354,18 @@ impl FaultVerdictCache {
 
     /// Lifetime counters.
     #[must_use]
-    pub fn stats(&self) -> FaultCacheStats {
+    pub fn stats(&self) -> ExactCacheStats {
         self.stats
     }
 
     /// Exact-key lookup, refreshing recency on a hit.
-    pub fn lookup(
-        &mut self,
-        input: &[Rational],
-        label: usize,
-        model: &FaultModel,
-    ) -> Option<FaultOutcome> {
+    pub fn lookup(&mut self, key: &K) -> Option<V> {
         self.clock += 1;
-        let key = FaultKey {
-            input: input.to_vec(),
-            label,
-            model: model.clone(),
-        };
-        match self.entries.get_mut(&key) {
-            Some((outcome, last_used)) => {
+        match self.entries.get_mut(key) {
+            Some((value, last_used)) => {
                 *last_used = self.clock;
                 self.stats.hits += 1;
-                Some(outcome.clone())
+                Some(value.clone())
             }
             None => {
                 self.stats.misses += 1;
@@ -386,23 +374,12 @@ impl FaultVerdictCache {
         }
     }
 
-    /// Stores a fresh checker verdict, evicting the least recently used
+    /// Stores a fresh solver result, evicting the least recently used
     /// entry when full.
-    pub fn insert(
-        &mut self,
-        input: &[Rational],
-        label: usize,
-        model: &FaultModel,
-        outcome: FaultOutcome,
-    ) {
+    pub fn insert(&mut self, key: K, value: V) {
         self.clock += 1;
-        let key = FaultKey {
-            input: input.to_vec(),
-            label,
-            model: model.clone(),
-        };
         let clock = self.clock;
-        let fresh = self.entries.insert(key, (outcome, clock)).is_none();
+        let fresh = self.entries.insert(key, (value, clock)).is_none();
         if fresh && self.entries.len() > self.capacity {
             let victim = self
                 .entries
@@ -414,6 +391,172 @@ impl FaultVerdictCache {
                 self.stats.evictions += 1;
             }
         }
+    }
+}
+
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+struct FaultKey {
+    input: Vec<Rational>,
+    label: usize,
+    model: FaultModel,
+}
+
+/// Bounded LRU store of fault verdicts for **one** network, keyed by
+/// `(input, label, model)` (see [`ExactLru`] for the reuse policy).
+#[derive(Debug)]
+pub struct FaultVerdictCache {
+    inner: ExactLru<FaultKey, FaultOutcome>,
+}
+
+impl FaultVerdictCache {
+    /// Creates an empty cache holding at most `capacity` verdicts.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity == 0`.
+    #[must_use]
+    pub fn new(capacity: usize) -> Self {
+        FaultVerdictCache {
+            inner: ExactLru::new(capacity),
+        }
+    }
+
+    /// Number of cached verdicts.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.inner.len()
+    }
+
+    /// `true` before the first insertion.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.inner.is_empty()
+    }
+
+    /// Lifetime counters.
+    #[must_use]
+    pub fn stats(&self) -> FaultCacheStats {
+        self.inner.stats()
+    }
+
+    /// Exact-key lookup, refreshing recency on a hit.
+    pub fn lookup(
+        &mut self,
+        input: &[Rational],
+        label: usize,
+        model: &FaultModel,
+    ) -> Option<FaultOutcome> {
+        self.inner.lookup(&FaultKey {
+            input: input.to_vec(),
+            label,
+            model: model.clone(),
+        })
+    }
+
+    /// Stores a fresh checker verdict, evicting the least recently used
+    /// entry when full.
+    pub fn insert(
+        &mut self,
+        input: &[Rational],
+        label: usize,
+        model: &FaultModel,
+        outcome: FaultOutcome,
+    ) {
+        self.inner.insert(
+            FaultKey {
+                input: input.to_vec(),
+                label,
+                model: model.clone(),
+            },
+            outcome,
+        );
+    }
+}
+
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+struct JointKey {
+    input: Vec<Rational>,
+    label: usize,
+    ranges: Vec<(i64, i64)>,
+    model: FaultModel,
+}
+
+/// Bounded LRU store of **joint** input×weight verdicts for one
+/// network, keyed by `(input, label, noise ranges, model)` — the joint
+/// queries' own cache namespace, disjoint from both the region-verdict
+/// and the fault-verdict stores (see [`ExactLru`] for the reuse
+/// policy).
+#[derive(Debug)]
+pub struct JointVerdictCache {
+    inner: ExactLru<JointKey, JointOutcome>,
+}
+
+impl JointVerdictCache {
+    /// Creates an empty cache holding at most `capacity` verdicts.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity == 0`.
+    #[must_use]
+    pub fn new(capacity: usize) -> Self {
+        JointVerdictCache {
+            inner: ExactLru::new(capacity),
+        }
+    }
+
+    /// Number of cached verdicts.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.inner.len()
+    }
+
+    /// `true` before the first insertion.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.inner.is_empty()
+    }
+
+    /// Lifetime counters.
+    #[must_use]
+    pub fn stats(&self) -> ExactCacheStats {
+        self.inner.stats()
+    }
+
+    /// Exact-key lookup, refreshing recency on a hit.
+    pub fn lookup(
+        &mut self,
+        input: &[Rational],
+        label: usize,
+        noise: &NoiseRegion,
+        model: &FaultModel,
+    ) -> Option<JointOutcome> {
+        self.inner.lookup(&JointKey {
+            input: input.to_vec(),
+            label,
+            ranges: noise.ranges().to_vec(),
+            model: model.clone(),
+        })
+    }
+
+    /// Stores a fresh checker verdict, evicting the least recently used
+    /// entry when full.
+    pub fn insert(
+        &mut self,
+        input: &[Rational],
+        label: usize,
+        noise: &NoiseRegion,
+        model: &FaultModel,
+        outcome: JointOutcome,
+    ) {
+        self.inner.insert(
+            JointKey {
+                input: input.to_vec(),
+                label,
+                ranges: noise.ranges().to_vec(),
+                model: model.clone(),
+            },
+            outcome,
+        );
     }
 }
 

@@ -11,7 +11,7 @@ use std::sync::Mutex;
 
 use fannet_faults::{
     tolerance_search, FaultChecker, FaultCheckerConfig, FaultModel, FaultOutcome, FaultStats,
-    FaultTolerance, ToleranceSearch,
+    FaultTolerance, JointChecker, JointOutcome, JointTolerance, ToleranceSearch,
 };
 use fannet_nn::fingerprint::{fingerprint, NetworkFingerprint};
 use fannet_nn::Network;
@@ -24,7 +24,10 @@ use fannet_verify::propagate::FloatShadow;
 use fannet_verify::region::NoiseRegion;
 use fannet_verify::zonotope::ZonotopeShadow;
 
-use crate::cache::{FaultCacheStats, FaultVerdictCache, Lookup, VerdictCache, WitnessPolicy};
+use crate::cache::{
+    ExactCacheStats, FaultCacheStats, FaultVerdictCache, JointVerdictCache, Lookup, VerdictCache,
+    WitnessPolicy,
+};
 use crate::stats::EngineStats;
 
 /// How an engine runs its solver and bounds its cache.
@@ -117,6 +120,14 @@ pub struct Engine {
     fault_cache: Mutex<FaultVerdictCache>,
     /// Cumulative fault-checker counters across every cold fault run.
     fault_stats: Mutex<FaultStats>,
+    /// The resident joint input×weight checker (DESIGN.md §12); runs
+    /// the deterministic default [`FaultCheckerConfig`] like the fault
+    /// checker, so cold [`JointChecker`] runs reproduce engine answers
+    /// bit for bit.
+    joint: JointChecker,
+    joint_cache: Mutex<JointVerdictCache>,
+    /// Cumulative joint-checker counters across every cold joint run.
+    joint_stats: Mutex<FaultStats>,
 }
 
 impl std::fmt::Debug for Engine {
@@ -151,7 +162,9 @@ impl Engine {
             .then(|| ZonotopeShadow::new(&net));
         let cache = VerdictCache::new(config.cache_capacity);
         let fault_cache = FaultVerdictCache::new(config.cache_capacity);
+        let joint_cache = JointVerdictCache::new(config.cache_capacity);
         let faults = FaultChecker::new(net.clone(), FaultCheckerConfig::default());
+        let joint = JointChecker::new(net.clone(), FaultCheckerConfig::default());
         Engine {
             net,
             fingerprint: fp,
@@ -163,6 +176,9 @@ impl Engine {
             faults,
             fault_cache: Mutex::new(fault_cache),
             fault_stats: Mutex::new(FaultStats::default()),
+            joint,
+            joint_cache: Mutex::new(joint_cache),
+            joint_stats: Mutex::new(FaultStats::default()),
         }
     }
 
@@ -560,6 +576,136 @@ impl Engine {
             .expect("engine fault cache poisoned")
             .len()
     }
+
+    /// Joint input×weight robustness of `x` under `noise` and `model`
+    /// ([`JointChecker::check`]) through the joint-verdict cache — its
+    /// own namespace, keyed by `(input, label, noise ranges, model)`
+    /// under this engine's network fingerprint.
+    ///
+    /// Replies are **bit-identical** to a cold [`JointChecker`] with
+    /// the default configuration: the cache reuses exact keys only (the
+    /// monotone (δ, ε) order is withheld for the same incompleteness
+    /// reason as the fault cache's) and the checker is deterministic.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message on width mismatch, out-of-range label, or an
+    /// out-of-domain model.
+    pub fn joint_check(
+        &self,
+        x: &[Rational],
+        label: usize,
+        noise: &NoiseRegion,
+        model: &FaultModel,
+    ) -> Result<JointReply, String> {
+        // Validate before touching the cache, so malformed queries
+        // never skew the hit/miss accounting.
+        if x.len() != self.net.inputs() {
+            return Err(format!(
+                "input of width {} against network with {} inputs",
+                x.len(),
+                self.net.inputs()
+            ));
+        }
+        if noise.nodes() != self.net.inputs() {
+            return Err(format!(
+                "noise region over {} nodes against network with {} inputs",
+                noise.nodes(),
+                self.net.inputs()
+            ));
+        }
+        if label >= self.net.outputs() {
+            return Err(format!(
+                "label {label} out of range for {} outputs",
+                self.net.outputs()
+            ));
+        }
+        if !self.net.is_piecewise_linear() {
+            return Err("fault verification requires piecewise-linear activations".to_string());
+        }
+        model.validate(&self.net)?;
+        let hit = self
+            .joint_cache
+            .lock()
+            .expect("engine joint cache poisoned")
+            .lookup(x, label, noise, model);
+        if let Some(outcome) = hit {
+            return Ok(JointReply {
+                outcome,
+                source: AnswerSource::ExactHit,
+                stats: FaultStats::default(),
+            });
+        }
+        let (outcome, stats) = self.joint.check(x, label, noise, model)?;
+        self.joint_stats
+            .lock()
+            .expect("engine joint stats poisoned")
+            .merge(&stats);
+        self.joint_cache
+            .lock()
+            .expect("engine joint cache poisoned")
+            .insert(x, label, noise, model, outcome.clone());
+        Ok(JointReply {
+            outcome,
+            source: AnswerSource::Solver,
+            stats,
+        })
+    }
+
+    /// Joint tolerance at a fixed noise radius
+    /// ([`JointChecker::tolerance`]) with every bisection probe flowing
+    /// through [`Engine::joint_check`]'s cache — the probe sequence is
+    /// a pure function of the verdicts, which cached answers reproduce
+    /// exactly, so the result equals the cold search's bit for bit (a
+    /// warm repeat issues zero checker runs).
+    ///
+    /// # Errors
+    ///
+    /// Returns a message on width mismatch or out-of-range label.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `delta` is outside `[0, 100]` or the grid is invalid.
+    pub fn joint_tolerance(
+        &self,
+        x: &[Rational],
+        label: usize,
+        delta: i64,
+        search: &ToleranceSearch,
+    ) -> Result<JointTolerance, String> {
+        let noise = NoiseRegion::symmetric(delta, x.len());
+        fannet_search::tolerance_search(search, |eps| {
+            self.joint_check(x, label, &noise, &FaultModel::WeightNoise { rel_eps: eps })
+                .map(|reply| reply.outcome.is_robust())
+        })
+    }
+
+    /// Cumulative joint-checker counters across every cold joint run.
+    #[must_use]
+    pub fn joint_solver_stats(&self) -> FaultStats {
+        *self
+            .joint_stats
+            .lock()
+            .expect("engine joint stats poisoned")
+    }
+
+    /// Lifetime joint-cache counters.
+    #[must_use]
+    pub fn joint_cache_stats(&self) -> ExactCacheStats {
+        self.joint_cache
+            .lock()
+            .expect("engine joint cache poisoned")
+            .stats()
+    }
+
+    /// Number of cached joint verdicts.
+    #[must_use]
+    pub fn joint_cache_len(&self) -> usize {
+        self.joint_cache
+            .lock()
+            .expect("engine joint cache poisoned")
+            .len()
+    }
 }
 
 /// An engine answer to a fault query: the outcome plus how it was
@@ -572,6 +718,18 @@ pub struct FaultReply {
     /// [`AnswerSource::SubsumptionHit`] never appears here).
     pub source: AnswerSource,
     /// Fault-checker counters of this answer (zero on cache hits).
+    pub stats: FaultStats,
+}
+
+/// An engine answer to a joint input×weight query.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JointReply {
+    /// The verdict, bit-identical to a cold [`JointChecker`] run.
+    pub outcome: JointOutcome,
+    /// Cache path that produced it (joint lookups are exact-key only,
+    /// so [`AnswerSource::SubsumptionHit`] never appears here).
+    pub source: AnswerSource,
+    /// Joint-checker counters of this answer (zero on cache hits).
     pub stats: FaultStats,
 }
 
@@ -805,6 +963,72 @@ mod tests {
         assert!(e.fault_check(&[r(1)], 0, &model).is_err());
         assert!(e.fault_check(&[r(1), r(2)], 9, &model).is_err());
         let stats = e.fault_cache_stats();
+        assert_eq!((stats.hits, stats.misses), (0, 0), "{stats:?}");
+    }
+
+    #[test]
+    fn joint_check_cold_then_exact_hit_bit_identical() {
+        let e = engine();
+        let x = [r(100), r(82)];
+        let cold_checker = JointChecker::new(comparator(), FaultCheckerConfig::default());
+        let noise = NoiseRegion::symmetric(3, 2);
+        for eps in [(1i128, 100i128), (4, 100), (15, 100)] {
+            let model = FaultModel::WeightNoise {
+                rel_eps: Rational::new(eps.0, eps.1),
+            };
+            let (cold, cold_stats) = cold_checker.check(&x, 0, &noise, &model).unwrap();
+            let first = e.joint_check(&x, 0, &noise, &model).unwrap();
+            assert_eq!(first.source, AnswerSource::Solver);
+            assert_eq!(first.outcome, cold, "eps {eps:?}");
+            assert_eq!(first.stats, cold_stats);
+            let warm = e.joint_check(&x, 0, &noise, &model).unwrap();
+            assert_eq!(warm.source, AnswerSource::ExactHit);
+            assert_eq!(warm.outcome, cold);
+            assert_eq!(warm.stats, FaultStats::default(), "hits do no work");
+        }
+        let stats = e.joint_cache_stats();
+        assert_eq!((stats.hits, stats.misses), (3, 3));
+        assert_eq!(e.joint_cache_len(), 3);
+        assert!(e.joint_solver_stats().concrete_evals > 0);
+        // The joint namespace is disjoint from the fault cache.
+        assert_eq!(e.fault_cache_len(), 0);
+    }
+
+    #[test]
+    fn joint_tolerance_matches_cold_search_and_replays_from_cache() {
+        let e = engine();
+        let cold_checker = JointChecker::new(comparator(), FaultCheckerConfig::default());
+        let search = ToleranceSearch::new(100, 25);
+        for delta in [0i64, 2, 5] {
+            let x = [r(100), r(82)];
+            let (cold, _) = cold_checker.tolerance(&x, 0, delta, &search).unwrap();
+            let warm = e.joint_tolerance(&x, 0, delta, &search).unwrap();
+            assert_eq!(warm, cold, "delta {delta}");
+            // The repeat resolves every probe from the cache.
+            let misses_before = e.joint_cache_stats().misses;
+            let again = e.joint_tolerance(&x, 0, delta, &search).unwrap();
+            assert_eq!(again, cold);
+            assert_eq!(
+                e.joint_cache_stats().misses,
+                misses_before,
+                "warm re-search must issue zero checker runs"
+            );
+        }
+    }
+
+    #[test]
+    fn joint_queries_reject_bad_inputs() {
+        let e = engine();
+        let model = FaultModel::WeightNoise {
+            rel_eps: Rational::new(1, 100),
+        };
+        let noise = NoiseRegion::symmetric(2, 2);
+        assert!(e.joint_check(&[r(1)], 0, &noise, &model).is_err());
+        assert!(e.joint_check(&[r(1), r(2)], 9, &noise, &model).is_err());
+        assert!(e
+            .joint_check(&[r(1), r(2)], 0, &NoiseRegion::symmetric(1, 3), &model)
+            .is_err());
+        let stats = e.joint_cache_stats();
         assert_eq!((stats.hits, stats.misses), (0, 0), "{stats:?}");
     }
 

@@ -63,6 +63,6 @@ pub mod engine;
 pub mod protocol;
 pub mod stats;
 
-pub use engine::{AnswerSource, CheckReply, Engine, EngineConfig, FaultReply};
+pub use engine::{AnswerSource, CheckReply, Engine, EngineConfig, FaultReply, JointReply};
 pub use fannet_nn::fingerprint;
 pub use stats::EngineStats;

@@ -1,7 +1,7 @@
 //! The JSONL request/response protocol of `fannet serve` (DESIGN.md §8).
 //!
 //! One request per line on stdin, one response per line on stdout,
-//! `i`-th response answering the `i`-th request. Six operations:
+//! `i`-th response answering the `i`-th request. Eight operations:
 //!
 //! ```text
 //! {"op":"check","id":1,"input":["100","82"],"label":0,"delta":5}
@@ -13,6 +13,8 @@
 //! {"op":"fault_check","input":["100","82"],"label":0,"model":"bit-flips","budget":1}
 //! {"op":"fault_check","input":["100","82"],"label":0,"model":"quantization","denom_bits":8}
 //! {"op":"fault_tolerance","input":["100","82"],"label":0,"denom":1000,"max_numer":200}
+//! {"op":"joint_check","input":["100","82"],"label":0,"delta":3,"model":"weight-noise","eps":"1/50"}
+//! {"op":"joint_tolerance","input":["100","82"],"label":0,"delta":3,"denom":100,"max_numer":25}
 //! {"op":"stats"}
 //! ```
 //!
@@ -24,20 +26,32 @@
 //! (DESIGN.md §11) name a [`FaultModel`] by its kind plus flat model
 //! parameters; `fault_tolerance` bisects relative weight noise on the
 //! grid `{0, 1/denom, …, max_numer/denom}` (defaults 1000 and 200).
+//! Joint queries (DESIGN.md §12) combine an input-noise region with a
+//! fault model — `joint_check` decides the product claim, and
+//! `joint_tolerance` bisects ε at a fixed ±`delta` (default 0, which
+//! degenerates to `fault_tolerance`).
 //!
 //! Responses are flat JSON objects tagged with the same `op` (or
 //! `"error"`), e.g.:
 //!
 //! ```text
-//! {"op":"check","id":1,"verdict":"robust","source":"solver","stats":{…}}
+//! {"op":"check","id":1,"verdict":"robust","source":"solver","stats":{…},"search":{…}}
 //! {"op":"check","verdict":"counterexample","source":"exact_hit",
 //!  "noise":[-12,4],"predicted":1,"expected":0,
-//!  "noisy_input":["88/1","…"],"outputs":["…"],"stats":{…}}
+//!  "noisy_input":["88/1","…"],"outputs":["…"],"stats":{…},"search":{…}}
 //! {"op":"tolerance","radius":12}            // null ⇔ robust through ±max_delta
+//! {"op":"joint_check","verdict":"vulnerable","noise":[-3,3],"fault":"…","source":"solver","stats":{…}}
 //! {"op":"sensitivity","count":4,"exhausted":true,"nodes":[{"node":0,…}]}
 //! {"op":"stats","fingerprint":"…","exact_hits":…,"cache_len":…,"solver":{…}}
 //! {"op":"error","id":7,"message":"label 3 out of range for 2 outputs"}
 //! ```
+//!
+//! Since the `fannet-search` extraction, solver counters ride in **two**
+//! forms: the historical per-domain shape under the legacy keys
+//! (`stats`, `solver`, `fault_solver` — byte-compatible with pre-unification
+//! clients) and the unified [`FaultStats`]/`SearchStats` block under
+//! `search` (respectively `solver_search`/`fault_solver_search`; the
+//! new joint ops carry only the unified form).
 //!
 //! The wire impls are written by hand against the serde shim's `Value`
 //! data model: the derive shim has no field attributes, and a protocol
@@ -45,7 +59,10 @@
 
 use std::panic::{catch_unwind, AssertUnwindSafe};
 
-use fannet_faults::{FaultModel, FaultOutcome, FaultStats, FaultTolerance, ToleranceSearch};
+use fannet_faults::{
+    FaultModel, FaultOutcome, FaultStats, FaultTolerance, JointOutcome, JointTolerance,
+    ToleranceSearch,
+};
 use fannet_numeric::Rational;
 use fannet_verify::bab::{BabStats, RegionOutcome};
 use fannet_verify::exact::Counterexample;
@@ -121,6 +138,32 @@ pub enum Request {
         /// The ε grid searched.
         search: ToleranceSearch,
     },
+    /// Joint input-noise × weight-fault robustness check (DESIGN.md §12).
+    JointCheck {
+        /// Client tag echoed in the response.
+        id: Option<u64>,
+        /// Exact input vector.
+        input: Vec<Rational>,
+        /// Expected label `Sx`.
+        label: usize,
+        /// The input-noise factor of the product claim.
+        region: NoiseRegion,
+        /// The weight-fault factor of the product claim.
+        model: FaultModel,
+    },
+    /// Joint weight-noise tolerance at a fixed input-noise radius.
+    JointTolerance {
+        /// Client tag echoed in the response.
+        id: Option<u64>,
+        /// Exact input vector.
+        input: Vec<Rational>,
+        /// Expected label `Sx`.
+        label: usize,
+        /// Symmetric input-noise radius (±δ%).
+        delta: i64,
+        /// The ε grid searched.
+        search: ToleranceSearch,
+    },
     /// Engine/cache/solver counters.
     Stats {
         /// Client tag echoed in the response.
@@ -149,6 +192,10 @@ pub struct NodeSigns {
 
 /// One response line.
 #[derive(Debug, Clone, PartialEq)]
+// One transient value per answered request; the size spread (the
+// `Stats` reply carries three full counter blocks) costs nothing worth
+// an indirection.
+#[allow(clippy::large_enum_variant)]
 pub enum Response {
     /// Answer to [`Request::Check`].
     Check {
@@ -190,6 +237,28 @@ pub enum Response {
         /// The grid that bounded the search.
         search: ToleranceSearch,
     },
+    /// Answer to [`Request::JointCheck`].
+    JointCheck {
+        /// Echo of the request tag.
+        id: Option<u64>,
+        /// The verdict (with joint witness, when vulnerable).
+        outcome: JointOutcome,
+        /// Cache path that produced it.
+        source: AnswerSource,
+        /// Joint-checker counters of this answer (zero on cache hits).
+        stats: FaultStats,
+    },
+    /// Answer to [`Request::JointTolerance`].
+    JointTolerance {
+        /// Echo of the request tag.
+        id: Option<u64>,
+        /// The bisection result.
+        tolerance: JointTolerance,
+        /// The input-noise radius that fixed the δ axis.
+        delta: i64,
+        /// The grid that bounded the ε search.
+        search: ToleranceSearch,
+    },
     /// Answer to [`Request::Sensitivity`].
     Sensitivity {
         /// Echo of the request tag.
@@ -219,6 +288,12 @@ pub enum Response {
         fault_cache_len: usize,
         /// Cumulative fault-checker counters.
         fault_solver: FaultStats,
+        /// Joint-cache counters.
+        joint_cache: crate::cache::ExactCacheStats,
+        /// Joint verdicts currently cached.
+        joint_cache_len: usize,
+        /// Cumulative joint-checker counters.
+        joint_solver: FaultStats,
     },
     /// Any failure: malformed line, bad query, or a solver panic.
     Error {
@@ -333,6 +408,22 @@ fn take_fault_model(m: &mut Vec<(String, Value)>) -> Result<FaultModel, String> 
     }
 }
 
+/// Resolves the `denom` / `max_numer` pair of a tolerance-grid request.
+fn take_tolerance_grid(m: &mut Vec<(String, Value)>) -> Result<ToleranceSearch, String> {
+    let denom: i64 = take_parsed(m, "denom")?.unwrap_or(1000);
+    let max_numer: i64 = take_parsed(m, "max_numer")?.unwrap_or(200);
+    if denom <= 0 {
+        return Err(format!("denom must be positive, got {denom}"));
+    }
+    if max_numer < 0 {
+        return Err(format!("max_numer must be non-negative, got {max_numer}"));
+    }
+    Ok(ToleranceSearch::new(
+        i128::from(denom),
+        i128::from(max_numer),
+    ))
+}
+
 /// Decodes one JSONL line into a [`Request`].
 ///
 /// # Errors
@@ -407,25 +498,47 @@ pub fn parse_request(line: &str) -> Result<Request, String> {
         "fault_tolerance" => {
             let input = take_input(&mut m)?;
             let label = take_required(&mut m, "label")?;
-            let denom: i64 = take_parsed(&mut m, "denom")?.unwrap_or(1000);
-            let max_numer: i64 = take_parsed(&mut m, "max_numer")?.unwrap_or(200);
-            if denom <= 0 {
-                return Err(format!("denom must be positive, got {denom}"));
-            }
-            if max_numer < 0 {
-                return Err(format!("max_numer must be non-negative, got {max_numer}"));
-            }
+            let search = take_tolerance_grid(&mut m)?;
             Ok(Request::FaultTolerance {
                 id,
                 input,
                 label,
-                search: ToleranceSearch::new(i128::from(denom), i128::from(max_numer)),
+                search,
+            })
+        }
+        "joint_check" => {
+            let input = take_input(&mut m)?;
+            let label = take_required(&mut m, "label")?;
+            let region = take_region(&mut m, input.len())?;
+            let model = take_fault_model(&mut m)?;
+            Ok(Request::JointCheck {
+                id,
+                input,
+                label,
+                region,
+                model,
+            })
+        }
+        "joint_tolerance" => {
+            let input = take_input(&mut m)?;
+            let label = take_required(&mut m, "label")?;
+            let delta: i64 = take_parsed(&mut m, "delta")?.unwrap_or(0);
+            if !(0..=100).contains(&delta) {
+                return Err(format!("delta {delta} outside the model's [0, 100] range"));
+            }
+            let search = take_tolerance_grid(&mut m)?;
+            Ok(Request::JointTolerance {
+                id,
+                input,
+                label,
+                delta,
+                search,
             })
         }
         "stats" => Ok(Request::Stats { id }),
         other => Err(format!(
             "unknown op `{other}` (expected check/tolerance/sensitivity/fault_check/\
-             fault_tolerance/stats)"
+             fault_tolerance/joint_check/joint_tolerance/stats)"
         )),
     }
 }
@@ -451,6 +564,56 @@ impl ValueDocument {
 // ---------------------------------------------------------------------------
 // Response encoding
 // ---------------------------------------------------------------------------
+
+/// The pre-refactor `BabStats` field set, serialized under the legacy
+/// keys — the `stats`/`solver` objects of `check`/`stats` responses
+/// keep their historical shape (satellite of the `fannet-search`
+/// extraction: clients parsing the old keys keep working), while the
+/// full unified block rides alongside under `search`.
+struct LegacyCheckStats<'a>(&'a BabStats);
+
+impl Serialize for LegacyCheckStats<'_> {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        use serde::ser::SerializeStruct as _;
+        let s = self.0;
+        let mut st = serializer.serialize_struct("BabStats", 11)?;
+        st.serialize_field("boxes_visited", &s.boxes_visited)?;
+        st.serialize_field("pruned_correct", &s.pruned_correct)?;
+        st.serialize_field("proved_wrong", &s.proved_wrong)?;
+        st.serialize_field("exact_evals", &s.exact_evals)?;
+        st.serialize_field("splits", &s.splits)?;
+        st.serialize_field("screen_hits", &s.screen_hits)?;
+        st.serialize_field("screen_fallbacks", &s.screen_fallbacks)?;
+        st.serialize_field("interval_hits", &s.interval_hits)?;
+        st.serialize_field("interval_fallbacks", &s.interval_fallbacks)?;
+        st.serialize_field("zonotope_hits", &s.zonotope_hits)?;
+        st.serialize_field("zonotope_fallbacks", &s.zonotope_fallbacks)?;
+        st.end()
+    }
+}
+
+/// The pre-refactor `FaultStats` field set under its legacy keys (see
+/// [`LegacyCheckStats`]).
+struct LegacyFaultStats<'a>(&'a FaultStats);
+
+impl Serialize for LegacyFaultStats<'_> {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        use serde::ser::SerializeStruct as _;
+        let s = self.0;
+        let mut st = serializer.serialize_struct("FaultStats", 10)?;
+        st.serialize_field("boxes_visited", &s.boxes_visited)?;
+        st.serialize_field("splits", &s.splits)?;
+        st.serialize_field("interval_hits", &s.interval_hits)?;
+        st.serialize_field("interval_fallbacks", &s.interval_fallbacks)?;
+        st.serialize_field("zonotope_hits", &s.zonotope_hits)?;
+        st.serialize_field("zonotope_fallbacks", &s.zonotope_fallbacks)?;
+        st.serialize_field("exact_decisions", &s.exact_decisions)?;
+        st.serialize_field("exact_fallbacks", &s.exact_fallbacks)?;
+        st.serialize_field("concrete_evals", &s.concrete_evals)?;
+        st.serialize_field("budget_exhausted", &s.budget_exhausted)?;
+        st.end()
+    }
+}
 
 impl Serialize for Response {
     fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
@@ -479,7 +642,8 @@ impl Serialize for Response {
                     }
                 }
                 st.serialize_field("source", source.wire_name())?;
-                st.serialize_field("stats", stats)?;
+                st.serialize_field("stats", &LegacyCheckStats(stats))?;
+                st.serialize_field("search", stats)?;
             }
             Response::Tolerance {
                 id,
@@ -511,7 +675,8 @@ impl Serialize for Response {
                     st.serialize_field("outputs", &witness.outputs)?;
                 }
                 st.serialize_field("source", source.wire_name())?;
-                st.serialize_field("stats", stats)?;
+                st.serialize_field("stats", &LegacyFaultStats(stats))?;
+                st.serialize_field("search", stats)?;
             }
             Response::FaultTolerance {
                 id,
@@ -525,6 +690,45 @@ impl Serialize for Response {
                 st.serialize_field("robust_eps", &tolerance.robust_eps)?;
                 st.serialize_field("first_failure", &tolerance.first_failure)?;
                 st.serialize_field("probes", &tolerance.probes)?;
+                st.serialize_field("denom", &(search.denom as i64))?;
+                st.serialize_field("max_numer", &(search.max_numer as i64))?;
+            }
+            Response::JointCheck {
+                id,
+                outcome,
+                source,
+                stats,
+            } => {
+                st.serialize_field("op", "joint_check")?;
+                if let Some(id) = id {
+                    st.serialize_field("id", id)?;
+                }
+                st.serialize_field("verdict", outcome.wire_name())?;
+                if let JointOutcome::Vulnerable(witness) = outcome {
+                    st.serialize_field("noise", witness.noise.percents())?;
+                    st.serialize_field("fault", &witness.description)?;
+                    st.serialize_field("predicted", &witness.predicted)?;
+                    st.serialize_field("expected", &witness.expected)?;
+                    st.serialize_field("outputs", &witness.outputs)?;
+                }
+                st.serialize_field("source", source.wire_name())?;
+                // A new op carries the unified stats block only.
+                st.serialize_field("stats", stats)?;
+            }
+            Response::JointTolerance {
+                id,
+                tolerance,
+                delta,
+                search,
+            } => {
+                st.serialize_field("op", "joint_tolerance")?;
+                if let Some(id) = id {
+                    st.serialize_field("id", id)?;
+                }
+                st.serialize_field("robust_eps", &tolerance.robust_eps)?;
+                st.serialize_field("first_failure", &tolerance.first_failure)?;
+                st.serialize_field("probes", &tolerance.probes)?;
+                st.serialize_field("delta", delta)?;
                 st.serialize_field("denom", &(search.denom as i64))?;
                 st.serialize_field("max_numer", &(search.max_numer as i64))?;
             }
@@ -551,6 +755,9 @@ impl Serialize for Response {
                 fault_cache,
                 fault_cache_len,
                 fault_solver,
+                joint_cache,
+                joint_cache_len,
+                joint_solver,
             } => {
                 st.serialize_field("op", "stats")?;
                 if let Some(id) = id {
@@ -562,12 +769,19 @@ impl Serialize for Response {
                 st.serialize_field("misses", &engine.misses)?;
                 st.serialize_field("evictions", &engine.evictions)?;
                 st.serialize_field("cache_len", cache_len)?;
-                st.serialize_field("solver", solver)?;
+                st.serialize_field("solver", &LegacyCheckStats(solver))?;
+                st.serialize_field("solver_search", solver)?;
                 st.serialize_field("fault_hits", &fault_cache.hits)?;
                 st.serialize_field("fault_misses", &fault_cache.misses)?;
                 st.serialize_field("fault_evictions", &fault_cache.evictions)?;
                 st.serialize_field("fault_cache_len", fault_cache_len)?;
-                st.serialize_field("fault_solver", fault_solver)?;
+                st.serialize_field("fault_solver", &LegacyFaultStats(fault_solver))?;
+                st.serialize_field("fault_solver_search", fault_solver)?;
+                st.serialize_field("joint_hits", &joint_cache.hits)?;
+                st.serialize_field("joint_misses", &joint_cache.misses)?;
+                st.serialize_field("joint_evictions", &joint_cache.evictions)?;
+                st.serialize_field("joint_cache_len", joint_cache_len)?;
+                st.serialize_field("joint_solver", joint_solver)?;
             }
             Response::Error { id, message } => {
                 st.serialize_field("op", "error")?;
@@ -651,6 +865,8 @@ pub fn request_id(request: &Request) -> Option<u64> {
         | Request::Sensitivity { id, .. }
         | Request::FaultCheck { id, .. }
         | Request::FaultTolerance { id, .. }
+        | Request::JointCheck { id, .. }
+        | Request::JointTolerance { id, .. }
         | Request::Stats { id } => *id,
     }
 }
@@ -772,6 +988,46 @@ fn dispatch(engine: &Engine, request: &Request) -> Response {
                 Err(e) => error(e),
             }
         }
+        Request::JointCheck {
+            input,
+            label,
+            region,
+            model,
+            ..
+        } => {
+            if let Err(m) = validate_label(engine, *label) {
+                return error(m);
+            }
+            match engine.joint_check(input, *label, region, model) {
+                Ok(reply) => Response::JointCheck {
+                    id,
+                    outcome: reply.outcome,
+                    source: reply.source,
+                    stats: reply.stats,
+                },
+                Err(e) => error(e),
+            }
+        }
+        Request::JointTolerance {
+            input,
+            label,
+            delta,
+            search,
+            ..
+        } => {
+            if let Err(m) = validate_label(engine, *label) {
+                return error(m);
+            }
+            match engine.joint_tolerance(input, *label, *delta, search) {
+                Ok(tolerance) => Response::JointTolerance {
+                    id,
+                    tolerance,
+                    delta: *delta,
+                    search: *search,
+                },
+                Err(e) => error(e),
+            }
+        }
         Request::Stats { .. } => Response::Stats {
             id,
             fingerprint: engine.fingerprint().to_hex(),
@@ -781,6 +1037,9 @@ fn dispatch(engine: &Engine, request: &Request) -> Response {
             fault_cache: engine.fault_cache_stats(),
             fault_cache_len: engine.fault_cache_len(),
             fault_solver: engine.fault_solver_stats(),
+            joint_cache: engine.joint_cache_stats(),
+            joint_cache_len: engine.joint_cache_len(),
+            joint_solver: engine.joint_solver_stats(),
         },
     }
 }
@@ -937,6 +1196,161 @@ mod tests {
                 ..
             }
         ));
+    }
+
+    #[test]
+    fn parses_joint_ops() {
+        let req = parse_request(
+            r#"{"op":"joint_check","id":3,"input":["100","82"],"label":0,"delta":3,"model":"weight-noise","eps":"1/50"}"#,
+        )
+        .unwrap();
+        assert_eq!(
+            req,
+            Request::JointCheck {
+                id: Some(3),
+                input: vec![r(100), r(82)],
+                label: 0,
+                region: NoiseRegion::symmetric(3, 2),
+                model: FaultModel::WeightNoise {
+                    rel_eps: Rational::new(1, 50),
+                },
+            }
+        );
+        // Explicit per-node region bounds work too.
+        let req = parse_request(
+            r#"{"op":"joint_check","input":[1,2],"label":0,"region":[[-2,2],[0,1]],"model":"bit-flips","budget":1}"#,
+        )
+        .unwrap();
+        assert!(matches!(
+            req,
+            Request::JointCheck {
+                model: FaultModel::BitFlips { budget: 1 },
+                ..
+            }
+        ));
+        // joint_tolerance defaults: δ = 0, grid 200/1000.
+        let req =
+            parse_request(r#"{"op":"joint_tolerance","input":["100","82"],"label":0}"#).unwrap();
+        assert_eq!(
+            req,
+            Request::JointTolerance {
+                id: None,
+                input: vec![r(100), r(82)],
+                label: 0,
+                delta: 0,
+                search: ToleranceSearch::new(1000, 200),
+            }
+        );
+        let req = parse_request(
+            r#"{"op":"joint_tolerance","input":["100","82"],"label":0,"delta":5,"denom":100,"max_numer":25}"#,
+        )
+        .unwrap();
+        assert!(matches!(
+            req,
+            Request::JointTolerance {
+                delta: 5,
+                search: ToleranceSearch {
+                    denom: 100,
+                    max_numer: 25,
+                },
+                ..
+            }
+        ));
+        // Validation mirrors the underlying ops.
+        assert!(
+            parse_request(r#"{"op":"joint_check","input":[1,2],"label":0,"delta":3}"#)
+                .unwrap_err()
+                .contains("missing field `model`")
+        );
+        assert!(
+            parse_request(r#"{"op":"joint_tolerance","input":[1,2],"label":0,"delta":101}"#)
+                .unwrap_err()
+                .contains("outside the model's")
+        );
+        assert!(
+            parse_request(r#"{"op":"joint_tolerance","input":[1,2],"label":0,"denom":0}"#)
+                .unwrap_err()
+                .contains("denom must be positive")
+        );
+    }
+
+    #[test]
+    fn joint_round_trips_through_handle_and_render() {
+        let e = engine();
+        let req = parse_request(
+            r#"{"op":"joint_check","id":7,"input":["100","82"],"label":0,"delta":2,"model":"weight-noise","eps":"1/50"}"#,
+        )
+        .unwrap();
+        let line = render_response(&handle(&e, &req));
+        assert!(
+            line.starts_with(r#"{"op":"joint_check","id":7,"verdict":"robust""#),
+            "{line}"
+        );
+        assert!(line.contains(r#""source":"solver""#), "{line}");
+        // A vulnerable joint reply carries the witness noise vector.
+        let req = parse_request(
+            r#"{"op":"joint_check","input":["100","82"],"label":0,"delta":5,"model":"weight-noise","eps":"1/5"}"#,
+        )
+        .unwrap();
+        let line = render_response(&handle(&e, &req));
+        assert!(line.contains(r#""verdict":"vulnerable""#), "{line}");
+        assert!(line.contains(r#""noise":["#), "{line}");
+        assert!(line.contains(r#""fault":""#), "{line}");
+        // Tolerance reports the certified grid point and echoes δ.
+        let req = parse_request(
+            r#"{"op":"joint_tolerance","id":8,"input":["100","82"],"label":0,"delta":2,"denom":100,"max_numer":50}"#,
+        )
+        .unwrap();
+        let line = render_response(&handle(&e, &req));
+        assert!(
+            line.starts_with(r#"{"op":"joint_tolerance","id":8,"robust_eps":"7/100""#),
+            "{line}"
+        );
+        assert!(line.contains(r#""delta":2"#), "{line}");
+        // Label validation surfaces as an error response.
+        let req = parse_request(
+            r#"{"op":"joint_check","input":["100","82"],"label":7,"delta":1,"model":"bit-flips","budget":1}"#,
+        )
+        .unwrap();
+        assert!(matches!(handle(&e, &req), Response::Error { .. }));
+    }
+
+    #[test]
+    fn stats_objects_carry_legacy_and_unified_forms() {
+        let e = engine();
+        let req =
+            parse_request(r#"{"op":"check","input":["100","82"],"label":0,"delta":5}"#).unwrap();
+        let line = render_response(&handle(&e, &req));
+        // Legacy shape: no budgeted-domain keys inside `stats`…
+        let stats_obj = line
+            .split(r#""stats":"#)
+            .nth(1)
+            .and_then(|s| s.split('}').next())
+            .expect("stats object present");
+        assert!(!stats_obj.contains("concrete_evals"), "{line}");
+        // …while the unified `search` block has every counter.
+        assert!(line.contains(r#""search":{"#), "{line}");
+        assert!(line.contains(r#""concrete_evals":0"#), "{line}");
+        let req = parse_request(
+            r#"{"op":"fault_check","input":["100","82"],"label":0,"model":"weight-noise","eps":"1/50"}"#,
+        )
+        .unwrap();
+        let line = render_response(&handle(&e, &req));
+        let stats_obj = line
+            .split(r#""stats":"#)
+            .nth(1)
+            .and_then(|s| s.split('}').next())
+            .expect("stats object present");
+        assert!(!stats_obj.contains("screen_hits"), "{line}");
+        assert!(stats_obj.contains("concrete_evals"), "{line}");
+        assert!(line.contains(r#""search":{"#), "{line}");
+        // The cumulative stats op reports both plus the joint block.
+        let line = render_response(&handle(&e, &parse_request(r#"{"op":"stats"}"#).unwrap()));
+        assert!(line.contains(r#""solver":{"#), "{line}");
+        assert!(line.contains(r#""solver_search":{"#), "{line}");
+        assert!(line.contains(r#""fault_solver_search":{"#), "{line}");
+        assert!(line.contains(r#""joint_hits":0"#), "{line}");
+        assert!(line.contains(r#""joint_solver":{"#), "{line}");
     }
 
     #[test]

@@ -1,6 +1,7 @@
-//! The fault checker: screening cascade, concrete fault probes,
-//! branch-and-bound over the fault space, and the fault-tolerance binary
-//! search (DESIGN.md §11).
+//! The fault checker: screening cascade, concrete fault probes, and the
+//! fault-space instantiation of the generic `fannet-search`
+//! branch-and-bound (DESIGN.md §11/§12), plus the fault-tolerance
+//! binary search.
 //!
 //! ## Verdict semantics
 //!
@@ -28,13 +29,14 @@
 //! Boxes are [`FaultRegion`]s; an undecided box splits its **widest
 //! parameter interval** at the midpoint ([`FaultRegion::split`]) — the
 //! dependency problem loses the most where a weight interval is widest,
-//! and halving it tightens every downstream product. Exploration is
-//! depth-first and fully deterministic (no threads, canonical split
-//! order), which is what lets `fannet-engine` replay cached verdicts
-//! bit-identically.
+//! and halving it tightens every downstream product. The generic search
+//! runs depth-first, serial and fully deterministic (canonical split
+//! order, budgeted via [`fannet_search::search_serial`]), which is what
+//! lets `fannet-engine` replay cached verdicts bit-identically.
 
 use fannet_nn::Network;
-use fannet_numeric::Rational;
+use fannet_numeric::{FloatInterval, Interval, Rational};
+use fannet_search::{BoxDecision, Cascade, Classifier, SearchDomain, SearchOutcome, TierKind};
 use fannet_verify::bab::ScreeningTier;
 use fannet_verify::noise::NoiseVector;
 use fannet_verify::region::NoiseRegion;
@@ -46,6 +48,14 @@ use crate::propagate::{
     BoxVerdict,
 };
 use crate::region::{FaultRegion, FaultedNetwork};
+
+/// Search counters of one fault check (merged across probes of a
+/// tolerance search) — the unified [`fannet_search::SearchStats`] block.
+pub use fannet_search::SearchStats as FaultStats;
+/// Result of a fault-tolerance bisection — the shared
+/// [`fannet_search::ToleranceResult`] since the core extraction.
+pub use fannet_search::ToleranceResult as FaultTolerance;
+pub use fannet_search::ToleranceSearch;
 
 /// How a fault check runs: which screening tiers route each fault box,
 /// and how many boxes the fault-space branch-and-bound may explore.
@@ -98,48 +108,6 @@ impl Default for FaultCheckerConfig {
             max_boxes: 512,
             max_depth: 16,
         }
-    }
-}
-
-/// Search counters of one fault check (merged across probes of a
-/// tolerance search).
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
-pub struct FaultStats {
-    /// Fault boxes taken off the work stack.
-    pub boxes_visited: u64,
-    /// Fault-space splits performed.
-    pub splits: u64,
-    /// Boxes the float-interval screen classified.
-    pub interval_hits: u64,
-    /// Boxes the float-interval screen handed to the next tier.
-    pub interval_fallbacks: u64,
-    /// Boxes the zonotope screen classified.
-    pub zonotope_hits: u64,
-    /// Boxes the zonotope screen handed to the exact tier.
-    pub zonotope_fallbacks: u64,
-    /// Boxes the exact interval tier classified.
-    pub exact_decisions: u64,
-    /// Boxes no tier could classify (split or abandoned).
-    pub exact_fallbacks: u64,
-    /// Concrete faulted networks evaluated (probes and witnesses).
-    pub concrete_evals: u64,
-    /// `true` when the box budget ran out before the search finished.
-    pub budget_exhausted: bool,
-}
-
-impl FaultStats {
-    /// Accumulates another run's counters into `self`.
-    pub fn merge(&mut self, other: &FaultStats) {
-        self.boxes_visited += other.boxes_visited;
-        self.splits += other.splits;
-        self.interval_hits += other.interval_hits;
-        self.interval_fallbacks += other.interval_fallbacks;
-        self.zonotope_hits += other.zonotope_hits;
-        self.zonotope_fallbacks += other.zonotope_fallbacks;
-        self.exact_decisions += other.exact_decisions;
-        self.exact_fallbacks += other.exact_fallbacks;
-        self.concrete_evals += other.concrete_evals;
-        self.budget_exhausted |= other.budget_exhausted;
     }
 }
 
@@ -244,7 +212,9 @@ impl FaultChecker {
 
     /// [`FaultChecker::check`] over a boxed input: the property
     /// quantifies over every noise vector of `noise` **and** every
-    /// faulted network of `model` simultaneously.
+    /// faulted network of `model` simultaneously. (The noise box itself
+    /// is never split here — see `crate::joint` for the product-domain
+    /// search that refines both factors.)
     ///
     /// # Errors
     ///
@@ -257,26 +227,7 @@ impl FaultChecker {
         noise: &NoiseRegion,
         model: &FaultModel,
     ) -> Result<(FaultOutcome, FaultStats), String> {
-        if x.len() != self.net.inputs() {
-            return Err(format!(
-                "input of width {} against network with {} inputs",
-                x.len(),
-                self.net.inputs()
-            ));
-        }
-        if noise.nodes() != self.net.inputs() {
-            return Err(format!(
-                "noise region over {} nodes against network with {} inputs",
-                noise.nodes(),
-                self.net.inputs()
-            ));
-        }
-        if label >= self.net.outputs() {
-            return Err(format!(
-                "label {label} out of range for {} outputs",
-                self.net.outputs()
-            ));
-        }
+        validate_query(&self.net, x, label, noise)?;
         let root = FaultRegion::lift(&self.net, model)?;
         let mut stats = FaultStats::default();
 
@@ -284,7 +235,7 @@ impl FaultChecker {
         // assignments. Probes evaluate at the plain input, so they apply
         // only when the zero-noise vector is part of the claim.
         if noise.contains(&NoiseVector::zero(x.len())) {
-            if let Some(witness) = self.probe_concrete(x, label, model, &root, &mut stats)? {
+            if let Some(witness) = probe_concrete(&self.net, x, label, model, &root, &mut stats)? {
                 return Ok((FaultOutcome::Vulnerable(witness), stats));
             }
         }
@@ -298,310 +249,19 @@ impl FaultChecker {
             }
         }
 
-        let outcome = self.branch_and_bound(x, label, noise, model, root, &mut stats)?;
-        Ok((outcome, stats))
-    }
-
-    /// Deterministic concrete probes, in order: the fault-free identity
-    /// assignment, the box corners/midpoint (continuous models and
-    /// stuck-at, whose lifts are exactly the model set), and the explicit
-    /// single-flip enumeration for `BitFlips`.
-    fn probe_concrete(
-        &self,
-        x: &[Rational],
-        label: usize,
-        model: &FaultModel,
-        root: &FaultRegion,
-        stats: &mut FaultStats,
-    ) -> Result<Option<FaultWitness>, String> {
-        let probe = |faulted: &FaultedNetwork,
-                     description: &dyn Fn() -> String,
-                     stats: &mut FaultStats|
-         -> Result<Option<FaultWitness>, String> {
-            stats.concrete_evals += 1;
-            let outputs = faulted.forward(x)?;
-            let predicted = fannet_tensor::vector::argmax(&outputs).expect("outputs non-empty");
-            if predicted == label {
-                Ok(None)
-            } else {
-                Ok(Some(FaultWitness {
-                    description: description(),
-                    outputs,
-                    predicted,
-                    expected: label,
-                }))
-            }
+        let tiers = FaultTiers::new(&self.net, x, label, noise, self.config.screening);
+        let domain = FaultQuery {
+            x,
+            label,
+            noise,
+            lift_is_exact: lift_is_exact(model),
+            max_depth: self.config.max_depth,
+            cascade: tiers.cascade(),
         };
-
-        // Identity first: a misclassified input makes every model
-        // vulnerable through its zero-fault member.
-        let identity = FaultedNetwork::from_network(&self.net);
-        let id_witness = match model {
-            // Stuck-at has no identity member; its single assignment is
-            // the region itself.
-            FaultModel::StuckAt { .. } => None,
-            _ => probe(
-                &identity,
-                &|| "fault-free network already misclassifies".to_string(),
-                stats,
-            )?,
-        };
-        if let Some(w) = id_witness {
-            return Ok(Some(w));
-        }
-
-        match model {
-            FaultModel::WeightNoise { .. } | FaultModel::Quantization { .. } => {
-                for (faulted, name) in [
-                    (root.corner_lo(), "lower"),
-                    (root.corner_hi(), "upper"),
-                    (root.midpoint(), "midpoint"),
-                ] {
-                    if let Some(w) = probe(
-                        &faulted,
-                        &|| format!("all parameters at their {name} fault bound"),
-                        stats,
-                    )? {
-                        return Ok(Some(w));
-                    }
-                }
-                // Targeted corners: push the label's output row down and a
-                // rival's up — the strongest single legal assignment
-                // against each rival (uniform corners cancel out on
-                // comparator-like output layers).
-                for rival in 0..self.net.outputs() {
-                    if rival == label {
-                        continue;
-                    }
-                    if let Some(w) = probe(
-                        &adversarial_corner(root, label, rival),
-                        &|| {
-                            format!(
-                                "last-layer parameters at their adversarial fault \
-                                 bounds against rival {rival}"
-                            )
-                        },
-                        stats,
-                    )? {
-                        return Ok(Some(w));
-                    }
-                }
-            }
-            FaultModel::StuckAt {
-                layer,
-                neuron,
-                value,
-            } => {
-                if let Some(w) = probe(
-                    &root.midpoint(),
-                    &|| format!("neuron {neuron} of layer {layer} stuck at {value}"),
-                    stats,
-                )? {
-                    return Ok(Some(w));
-                }
-            }
-            FaultModel::BitFlips { budget } => {
-                if *budget >= 1 {
-                    if let Some(w) = self.probe_single_flips(x, label, stats)? {
-                        return Ok(Some(w));
-                    }
-                }
-            }
-        }
-        Ok(None)
-    }
-
-    /// Evaluates every single-parameter sign/exponent flip (a legal
-    /// fault for any `budget ≥ 1`), in canonical parameter order.
-    fn probe_single_flips(
-        &self,
-        x: &[Rational],
-        label: usize,
-        stats: &mut FaultStats,
-    ) -> Result<Option<FaultWitness>, String> {
-        let base = FaultedNetwork::from_network(&self.net);
-        let shapes = base.layer_shapes();
-        let half = Rational::new(1, 2);
-        for (layer, (weights, biases)) in shapes.iter().enumerate() {
-            for kind in 0..2usize {
-                let count = if kind == 0 { *weights } else { *biases };
-                for index in 0..count {
-                    let original = if kind == 0 {
-                        base.weight(layer, index)
-                    } else {
-                        base.bias(layer, index)
-                    };
-                    if original.is_zero() {
-                        continue; // flips of zero are zero
-                    }
-                    for (flip_name, flipped) in [
-                        ("sign", -original),
-                        ("exponent+1", original + original),
-                        ("exponent-1", original * half),
-                    ] {
-                        let mut faulted = base.clone();
-                        if kind == 0 {
-                            faulted.set_weight(layer, index, flipped);
-                        } else {
-                            faulted.set_bias(layer, index, flipped);
-                        }
-                        stats.concrete_evals += 1;
-                        let outputs = faulted.forward(x)?;
-                        let predicted =
-                            fannet_tensor::vector::argmax(&outputs).expect("outputs non-empty");
-                        if predicted != label {
-                            let kind_name = if kind == 0 { "weight" } else { "bias" };
-                            return Ok(Some(FaultWitness {
-                                description: format!(
-                                    "{flip_name} flip of layer {layer} {kind_name} [{index}]: \
-                                     {original} -> {flipped}"
-                                ),
-                                outputs,
-                                predicted,
-                                expected: label,
-                            }));
-                        }
-                    }
-                }
-            }
-        }
-        Ok(None)
-    }
-
-    /// Depth-first branch-and-bound over fault boxes (see the module doc
-    /// for the verdict rules per model).
-    fn branch_and_bound(
-        &self,
-        x: &[Rational],
-        label: usize,
-        noise: &NoiseRegion,
-        model: &FaultModel,
-        root: FaultRegion,
-        stats: &mut FaultStats,
-    ) -> Result<FaultOutcome, String> {
-        // The lift equals the model set for these models, so any point of
-        // any sub-box is a legal faulted network.
-        let lift_is_exact = matches!(
-            model,
-            FaultModel::WeightNoise { .. } | FaultModel::Quantization { .. }
-        );
-        let x_exact = enclose_input(x, noise);
-        let x_float = self
-            .config
-            .screening
-            .uses_interval()
-            .then(|| enclose_input_float(x, noise));
-
-        let mut stack = vec![(root, 0u32)];
-        let mut unresolved = false;
-        while let Some((region, depth)) = stack.pop() {
-            if stats.boxes_visited >= self.config.max_boxes {
-                stats.budget_exhausted = true;
-                unresolved = true;
-                break;
-            }
-            stats.boxes_visited += 1;
-
-            let mut verdict = BoxVerdict::Unknown;
-            if let Some(xf) = &x_float {
-                verdict = classify_box_float(&region.float_outputs(xf), label);
-                if verdict == BoxVerdict::Unknown {
-                    stats.interval_fallbacks += 1;
-                } else {
-                    stats.interval_hits += 1;
-                }
-            }
-            if verdict == BoxVerdict::Unknown && self.config.screening.uses_zonotope() {
-                verdict = classify_box_zonotope(&region.zonotope_outputs(x, noise), label);
-                if verdict == BoxVerdict::Unknown {
-                    stats.zonotope_fallbacks += 1;
-                } else {
-                    stats.zonotope_hits += 1;
-                }
-            }
-            if verdict == BoxVerdict::Unknown {
-                verdict = classify_box(&region.output_intervals(&x_exact), label);
-                if verdict == BoxVerdict::Unknown {
-                    stats.exact_fallbacks += 1;
-                } else {
-                    stats.exact_decisions += 1;
-                }
-            }
-
-            match verdict {
-                BoxVerdict::AlwaysCorrect => {}
-                BoxVerdict::AlwaysWrong => {
-                    if lift_is_exact || region.is_point() {
-                        // Every assignment of the box misclassifies under
-                        // every noise vector; the midpoint (legal — the
-                        // box is entirely in-model) evaluated at the
-                        // region's first grid point is a concrete witness.
-                        let faulted = region.midpoint();
-                        let nv = noise
-                            .iter_points()
-                            .next()
-                            .expect("noise regions are non-empty");
-                        stats.concrete_evals += 1;
-                        let outputs = faulted.forward(&nv.apply(x))?;
-                        let predicted =
-                            fannet_tensor::vector::argmax(&outputs).expect("outputs non-empty");
-                        assert_ne!(
-                            predicted, label,
-                            "interval proof of misclassification is sound"
-                        );
-                        return Ok(FaultOutcome::Vulnerable(FaultWitness {
-                            description: format!(
-                                "fault-space box proven uniformly misclassifying \
-                                 (midpoint assignment, noise {nv})"
-                            ),
-                            outputs,
-                            predicted,
-                            expected: label,
-                        }));
-                    }
-                    // Combinatorial lift (`BitFlips`): the box may contain
-                    // no legal assignment, so a uniformly-wrong box proves
-                    // nothing and refining it cannot help — Robust is off
-                    // the table, Vulnerable needs a concrete witness the
-                    // probes did not find. The outcome is pinned to
-                    // Unknown; stop instead of burning the box budget.
-                    unresolved = true;
-                    break;
-                }
-                BoxVerdict::Unknown => {
-                    if depth >= self.config.max_depth {
-                        // Abandon, don't refine: the boundary may be
-                        // bisected forever (continuous fault space). For
-                        // a combinatorial lift nothing can rescue the
-                        // outcome (no box ever yields Vulnerable), so
-                        // stop; continuous models keep exploring — a
-                        // sibling box may still prove AlwaysWrong.
-                        unresolved = true;
-                        if !lift_is_exact {
-                            break;
-                        }
-                        continue;
-                    }
-                    match region.split() {
-                        Some((a, b)) => {
-                            stats.splits += 1;
-                            stack.push((b, depth + 1));
-                            stack.push((a, depth + 1));
-                        }
-                        // A point fault box undecided by the exact tier:
-                        // the input box is too wide for interval
-                        // propagation and there is no fault interval left
-                        // to refine.
-                        None => unresolved = true,
-                    }
-                }
-            }
-        }
-        Ok(if unresolved {
-            FaultOutcome::Unknown
-        } else {
-            FaultOutcome::Robust
-        })
+        let (outcome, search_stats) =
+            fannet_search::search_serial(&domain, root, Some(self.config.max_boxes));
+        stats.merge(&search_stats);
+        Ok((fault_outcome(outcome), stats))
     }
 
     /// Fault tolerance of one input under relative weight noise: the
@@ -636,6 +296,225 @@ impl FaultChecker {
     }
 }
 
+/// Maps a generic search outcome to the fault verdict.
+pub(crate) fn fault_outcome(outcome: SearchOutcome<FaultWitness>) -> FaultOutcome {
+    match outcome {
+        SearchOutcome::Proven => FaultOutcome::Robust,
+        SearchOutcome::Witness(w) => FaultOutcome::Vulnerable(w),
+        SearchOutcome::Undecided => FaultOutcome::Unknown,
+    }
+}
+
+/// `true` when the interval lift contains exactly the model's fault set,
+/// so any point of any sub-box is a legal faulted network.
+pub(crate) fn lift_is_exact(model: &FaultModel) -> bool {
+    matches!(
+        model,
+        FaultModel::WeightNoise { .. } | FaultModel::Quantization { .. }
+    )
+}
+
+/// Shared query validation (width/label), also used by the joint checker.
+pub(crate) fn validate_query(
+    net: &Network<Rational>,
+    x: &[Rational],
+    label: usize,
+    noise: &NoiseRegion,
+) -> Result<(), String> {
+    if x.len() != net.inputs() {
+        return Err(format!(
+            "input of width {} against network with {} inputs",
+            x.len(),
+            net.inputs()
+        ));
+    }
+    if noise.nodes() != net.inputs() {
+        return Err(format!(
+            "noise region over {} nodes against network with {} inputs",
+            noise.nodes(),
+            net.inputs()
+        ));
+    }
+    if label >= net.outputs() {
+        return Err(format!(
+            "label {label} out of range for {} outputs",
+            net.outputs()
+        ));
+    }
+    Ok(())
+}
+
+// ---------------------------------------------------------------------------
+// Concrete probes (shared with the joint checker)
+// ---------------------------------------------------------------------------
+
+/// Deterministic concrete probes, in order: the fault-free identity
+/// assignment, the box corners/midpoint (continuous models and stuck-at,
+/// whose lifts are exactly the model set), and the explicit single-flip
+/// enumeration for `BitFlips`. Evaluates at the plain (zero-noise)
+/// input, so callers gate on the zero vector being part of the claim.
+pub(crate) fn probe_concrete(
+    net: &Network<Rational>,
+    x: &[Rational],
+    label: usize,
+    model: &FaultModel,
+    root: &FaultRegion,
+    stats: &mut FaultStats,
+) -> Result<Option<FaultWitness>, String> {
+    let probe = |faulted: &FaultedNetwork,
+                 description: &dyn Fn() -> String,
+                 stats: &mut FaultStats|
+     -> Result<Option<FaultWitness>, String> {
+        stats.concrete_evals += 1;
+        let outputs = faulted.forward(x)?;
+        let predicted = fannet_tensor::vector::argmax(&outputs).expect("outputs non-empty");
+        if predicted == label {
+            Ok(None)
+        } else {
+            Ok(Some(FaultWitness {
+                description: description(),
+                outputs,
+                predicted,
+                expected: label,
+            }))
+        }
+    };
+
+    // Identity first: a misclassified input makes every model
+    // vulnerable through its zero-fault member.
+    let identity = FaultedNetwork::from_network(net);
+    let id_witness = match model {
+        // Stuck-at has no identity member; its single assignment is
+        // the region itself.
+        FaultModel::StuckAt { .. } => None,
+        _ => probe(
+            &identity,
+            &|| "fault-free network already misclassifies".to_string(),
+            stats,
+        )?,
+    };
+    if let Some(w) = id_witness {
+        return Ok(Some(w));
+    }
+
+    match model {
+        FaultModel::WeightNoise { .. } | FaultModel::Quantization { .. } => {
+            for (faulted, name) in [
+                (root.corner_lo(), "lower"),
+                (root.corner_hi(), "upper"),
+                (root.midpoint(), "midpoint"),
+            ] {
+                if let Some(w) = probe(
+                    &faulted,
+                    &|| format!("all parameters at their {name} fault bound"),
+                    stats,
+                )? {
+                    return Ok(Some(w));
+                }
+            }
+            // Targeted corners: push the label's output row down and a
+            // rival's up — the strongest single legal assignment
+            // against each rival (uniform corners cancel out on
+            // comparator-like output layers).
+            for rival in 0..net.outputs() {
+                if rival == label {
+                    continue;
+                }
+                if let Some(w) = probe(
+                    &adversarial_corner(root, label, rival),
+                    &|| {
+                        format!(
+                            "last-layer parameters at their adversarial fault \
+                             bounds against rival {rival}"
+                        )
+                    },
+                    stats,
+                )? {
+                    return Ok(Some(w));
+                }
+            }
+        }
+        FaultModel::StuckAt {
+            layer,
+            neuron,
+            value,
+        } => {
+            if let Some(w) = probe(
+                &root.midpoint(),
+                &|| format!("neuron {neuron} of layer {layer} stuck at {value}"),
+                stats,
+            )? {
+                return Ok(Some(w));
+            }
+        }
+        FaultModel::BitFlips { budget } => {
+            if *budget >= 1 {
+                if let Some(w) = probe_single_flips(net, x, label, stats)? {
+                    return Ok(Some(w));
+                }
+            }
+        }
+    }
+    Ok(None)
+}
+
+/// Evaluates every single-parameter sign/exponent flip (a legal
+/// fault for any `budget ≥ 1`), in canonical parameter order.
+fn probe_single_flips(
+    net: &Network<Rational>,
+    x: &[Rational],
+    label: usize,
+    stats: &mut FaultStats,
+) -> Result<Option<FaultWitness>, String> {
+    let base = FaultedNetwork::from_network(net);
+    let shapes = base.layer_shapes();
+    let half = Rational::new(1, 2);
+    for (layer, (weights, biases)) in shapes.iter().enumerate() {
+        for kind in 0..2usize {
+            let count = if kind == 0 { *weights } else { *biases };
+            for index in 0..count {
+                let original = if kind == 0 {
+                    base.weight(layer, index)
+                } else {
+                    base.bias(layer, index)
+                };
+                if original.is_zero() {
+                    continue; // flips of zero are zero
+                }
+                for (flip_name, flipped) in [
+                    ("sign", -original),
+                    ("exponent+1", original + original),
+                    ("exponent-1", original * half),
+                ] {
+                    let mut faulted = base.clone();
+                    if kind == 0 {
+                        faulted.set_weight(layer, index, flipped);
+                    } else {
+                        faulted.set_bias(layer, index, flipped);
+                    }
+                    stats.concrete_evals += 1;
+                    let outputs = faulted.forward(x)?;
+                    let predicted =
+                        fannet_tensor::vector::argmax(&outputs).expect("outputs non-empty");
+                    if predicted != label {
+                        let kind_name = if kind == 0 { "weight" } else { "bias" };
+                        return Ok(Some(FaultWitness {
+                            description: format!(
+                                "{flip_name} flip of layer {layer} {kind_name} [{index}]: \
+                                 {original} -> {flipped}"
+                            ),
+                            outputs,
+                            predicted,
+                            expected: label,
+                        }));
+                    }
+                }
+            }
+        }
+    }
+    Ok(None)
+}
+
 /// The in-model assignment that attacks `rival` hardest through the last
 /// layer: hidden parameters at their midpoints, the label's output row at
 /// its lower fault bounds, the rival's at its upper bounds. Legal for the
@@ -661,66 +540,206 @@ fn adversarial_corner(root: &FaultRegion, label: usize, rival: usize) -> Faulted
     faulted
 }
 
-/// The grid of the fault-tolerance bisection: ε ranges over
-/// `{0, 1/denom, …, max_numer/denom}`.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
-pub struct ToleranceSearch {
-    /// Grid denominator.
-    pub denom: i128,
-    /// Largest numerator probed.
-    pub max_numer: i128,
+// ---------------------------------------------------------------------------
+// The fault-space search domain
+// ---------------------------------------------------------------------------
+
+/// The float-interval screening tier of one fault query.
+pub(crate) struct FaultIntervalScreen {
+    x: Vec<FloatInterval>,
+    label: usize,
 }
 
-impl ToleranceSearch {
-    /// A coarser/cheaper grid (`denom` steps up to `max_numer/denom`).
-    ///
-    /// # Panics
-    ///
-    /// Panics if `denom <= 0` or `max_numer < 0`.
-    #[must_use]
-    pub fn new(denom: i128, max_numer: i128) -> Self {
-        assert!(denom > 0, "tolerance grid denominator must be positive");
-        assert!(max_numer >= 0, "tolerance grid must be non-empty");
-        ToleranceSearch { denom, max_numer }
+impl Classifier<FaultRegion> for FaultIntervalScreen {
+    fn tier(&self) -> TierKind {
+        TierKind::Interval
     }
-
-    /// The largest ε the grid can report.
-    #[must_use]
-    pub fn max_eps(&self) -> Rational {
-        Rational::new(self.max_numer, self.denom)
+    fn classify(&self, region: &FaultRegion) -> BoxVerdict {
+        classify_box_float(&region.float_outputs(&self.x), self.label)
     }
 }
 
-impl Default for ToleranceSearch {
-    /// Per-mille resolution up to ε = 1/5.
-    fn default() -> Self {
-        ToleranceSearch {
-            denom: 1000,
-            max_numer: 200,
+/// The zonotope screening tier of one fault query (one shared symbol
+/// per faulted parameter, so correlated faults cancel in output
+/// differences).
+pub(crate) struct FaultZonotopeScreen<'a> {
+    x: &'a [Rational],
+    noise: &'a NoiseRegion,
+    label: usize,
+}
+
+impl Classifier<FaultRegion> for FaultZonotopeScreen<'_> {
+    fn tier(&self) -> TierKind {
+        TierKind::Zonotope
+    }
+    fn classify(&self, region: &FaultRegion) -> BoxVerdict {
+        classify_box_zonotope(&region.zonotope_outputs(self.x, self.noise), self.label)
+    }
+}
+
+/// The exact interval tier — always last; unlike the input-noise domain
+/// there is no grid-point fallback below it.
+pub(crate) struct FaultExactTier {
+    x: Vec<Interval>,
+    label: usize,
+}
+
+impl Classifier<FaultRegion> for FaultExactTier {
+    fn tier(&self) -> TierKind {
+        TierKind::Exact
+    }
+    fn classify(&self, region: &FaultRegion) -> BoxVerdict {
+        classify_box(&region.output_intervals(&self.x), self.label)
+    }
+}
+
+/// Per-query owners of the fault cascade's tiers; the interval and
+/// exact tiers precompute their input enclosures once per query.
+pub(crate) struct FaultTiers<'a> {
+    interval: Option<FaultIntervalScreen>,
+    zonotope: Option<FaultZonotopeScreen<'a>>,
+    exact: FaultExactTier,
+}
+
+impl<'a> FaultTiers<'a> {
+    pub(crate) fn new(
+        net: &Network<Rational>,
+        x: &'a [Rational],
+        label: usize,
+        noise: &'a NoiseRegion,
+        screening: ScreeningTier,
+    ) -> Self {
+        debug_assert_eq!(net.inputs(), x.len());
+        FaultTiers {
+            interval: screening.uses_interval().then(|| FaultIntervalScreen {
+                x: enclose_input_float(x, noise),
+                label,
+            }),
+            zonotope: screening
+                .uses_zonotope()
+                .then_some(FaultZonotopeScreen { x, noise, label }),
+            exact: FaultExactTier {
+                x: enclose_input(x, noise),
+                label,
+            },
+        }
+    }
+
+    pub(crate) fn cascade(&self) -> Cascade<'_, FaultRegion> {
+        let mut tiers: Vec<&dyn Classifier<FaultRegion>> = Vec::new();
+        if let Some(screen) = &self.interval {
+            tiers.push(screen);
+        }
+        if let Some(screen) = &self.zonotope {
+            tiers.push(screen);
+        }
+        tiers.push(&self.exact);
+        Cascade::new(tiers)
+    }
+}
+
+/// The fault-space instantiation of [`SearchDomain`].
+struct FaultQuery<'a> {
+    x: &'a [Rational],
+    label: usize,
+    noise: &'a NoiseRegion,
+    /// The lift equals the model set for the continuous models, so any
+    /// point of any sub-box is a legal faulted network.
+    lift_is_exact: bool,
+    max_depth: u32,
+    cascade: Cascade<'a, FaultRegion>,
+}
+
+impl SearchDomain for FaultQuery<'_> {
+    type Region = FaultRegion;
+    type Witness = FaultWitness;
+
+    fn decide(
+        &self,
+        region: &FaultRegion,
+        depth: u32,
+        stats: &mut FaultStats,
+    ) -> BoxDecision<FaultRegion, FaultWitness> {
+        match self.cascade.classify(region, stats) {
+            BoxVerdict::AlwaysCorrect => {
+                stats.pruned_correct += 1;
+                BoxDecision::Pruned
+            }
+            BoxVerdict::AlwaysWrong => {
+                if self.lift_is_exact || region.is_point() {
+                    stats.proved_wrong += 1;
+                    // Every assignment of the box misclassifies under
+                    // every noise vector; the midpoint (legal — the
+                    // box is entirely in-model) evaluated at the
+                    // region's first grid point is a concrete witness.
+                    let faulted = region.midpoint();
+                    let nv = self
+                        .noise
+                        .iter_points()
+                        .next()
+                        .expect("noise regions are non-empty");
+                    stats.concrete_evals += 1;
+                    let outputs = faulted
+                        .forward(&nv.apply(self.x))
+                        .expect("widths validated at query entry");
+                    let predicted =
+                        fannet_tensor::vector::argmax(&outputs).expect("outputs non-empty");
+                    assert_ne!(
+                        predicted, self.label,
+                        "interval proof of misclassification is sound"
+                    );
+                    return BoxDecision::UniformWitness(FaultWitness {
+                        description: format!(
+                            "fault-space box proven uniformly misclassifying \
+                             (midpoint assignment, noise {nv})"
+                        ),
+                        outputs,
+                        predicted,
+                        expected: self.label,
+                    });
+                }
+                // Combinatorial lift (`BitFlips`): the box may contain
+                // no legal assignment, so a uniformly-wrong box proves
+                // nothing and refining it cannot help — Robust is off
+                // the table, Vulnerable needs a concrete witness the
+                // probes did not find. The outcome is pinned to
+                // Unknown; stop instead of burning the box budget.
+                BoxDecision::AbandonAll
+            }
+            BoxVerdict::Unknown => {
+                if depth >= self.max_depth {
+                    // Abandon, don't refine: the boundary may be
+                    // bisected forever (continuous fault space). For
+                    // a combinatorial lift nothing can rescue the
+                    // outcome (no box ever yields Vulnerable), so
+                    // stop; continuous models keep exploring — a
+                    // sibling box may still prove AlwaysWrong.
+                    return if self.lift_is_exact {
+                        BoxDecision::Abandon
+                    } else {
+                        BoxDecision::AbandonAll
+                    };
+                }
+                match region.split() {
+                    Some((a, b)) => {
+                        stats.splits += 1;
+                        BoxDecision::Split(a, b)
+                    }
+                    // A point fault box undecided by the exact tier:
+                    // the input box is too wide for interval
+                    // propagation and there is no fault interval left
+                    // to refine.
+                    None => BoxDecision::Abandon,
+                }
+            }
         }
     }
 }
 
-/// Result of a fault-tolerance bisection.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
-pub struct FaultTolerance {
-    /// The largest probed ε proven robust; `None` when even the
-    /// fault-free network (ε = 0) misclassifies.
-    pub robust_eps: Option<Rational>,
-    /// The smallest probed ε **not** proven robust (vulnerable or
-    /// undecided); `None` when robust through the whole grid.
-    pub first_failure: Option<Rational>,
-    /// Probes issued.
-    pub probes: u32,
-}
-
-/// The bisection itself, parameterized over the probe so a resident
-/// engine can replay it through its verdict cache **bit-identically**:
-/// the probe sequence is a pure function of the verdicts, which cached
-/// answers reproduce exactly.
-///
-/// Probe order: ε = 0, ε = max, then classic bisection on the invariant
-/// *lo robust / hi not robust*.
+/// The fault-tolerance bisection with the historical probe signature
+/// (verdict-valued), delegating to the generic
+/// [`fannet_search::tolerance_search`]: `Unknown` probes count as
+/// failures, so the result is a certified lower bound.
 ///
 /// # Errors
 ///
@@ -733,47 +752,7 @@ pub fn tolerance_search<E>(
     search: &ToleranceSearch,
     mut probe: impl FnMut(Rational) -> Result<FaultOutcome, E>,
 ) -> Result<FaultTolerance, E> {
-    assert!(
-        search.denom > 0,
-        "tolerance grid denominator must be positive"
-    );
-    assert!(search.max_numer >= 0, "tolerance grid must be non-empty");
-    let mut probes = 0u32;
-    let mut is_robust = |k: i128, probes: &mut u32| -> Result<bool, E> {
-        *probes += 1;
-        Ok(probe(Rational::new(k, search.denom))?.is_robust())
-    };
-
-    if !is_robust(0, &mut probes)? {
-        return Ok(FaultTolerance {
-            robust_eps: None,
-            first_failure: Some(Rational::ZERO),
-            probes,
-        });
-    }
-    if search.max_numer == 0 || is_robust(search.max_numer, &mut probes)? {
-        return Ok(FaultTolerance {
-            robust_eps: Some(Rational::new(search.max_numer, search.denom)),
-            first_failure: None,
-            probes,
-        });
-    }
-    // Invariant: lo proven robust, hi not proven robust.
-    let mut lo = 0i128;
-    let mut hi = search.max_numer;
-    while hi - lo > 1 {
-        let mid = lo + (hi - lo) / 2;
-        if is_robust(mid, &mut probes)? {
-            lo = mid;
-        } else {
-            hi = mid;
-        }
-    }
-    Ok(FaultTolerance {
-        robust_eps: Some(Rational::new(lo, search.denom)),
-        first_failure: Some(Rational::new(hi, search.denom)),
-        probes,
-    })
+    fannet_search::tolerance_search(search, |eps| Ok(probe(eps)?.is_robust()))
 }
 
 #[cfg(test)]
@@ -1119,12 +1098,7 @@ mod tests {
         for eps in [rq(1, 100), rq(5, 100), rq(9, 100), rq(15, 100)] {
             let model = FaultModel::WeightNoise { rel_eps: eps };
             let mut verdicts = Vec::new();
-            for tier in [
-                ScreeningTier::None,
-                ScreeningTier::Interval,
-                ScreeningTier::Zonotope,
-                ScreeningTier::Cascade,
-            ] {
+            for tier in ScreeningTier::ALL {
                 let c = FaultChecker::new(
                     comparator(),
                     FaultCheckerConfig::default().with_screening(tier),
@@ -1178,30 +1152,6 @@ mod tests {
     }
 
     #[test]
-    fn stats_merge_accumulates() {
-        let mut a = FaultStats {
-            boxes_visited: 1,
-            splits: 2,
-            interval_hits: 3,
-            interval_fallbacks: 4,
-            zonotope_hits: 5,
-            zonotope_fallbacks: 6,
-            exact_decisions: 7,
-            exact_fallbacks: 8,
-            concrete_evals: 9,
-            budget_exhausted: false,
-        };
-        let b = FaultStats {
-            budget_exhausted: true,
-            ..a
-        };
-        a.merge(&b);
-        assert_eq!(a.boxes_visited, 2);
-        assert_eq!(a.concrete_evals, 18);
-        assert!(a.budget_exhausted);
-    }
-
-    #[test]
     fn config_presets() {
         assert_eq!(
             FaultCheckerConfig::default().screening,
@@ -1223,6 +1173,22 @@ mod tests {
     #[should_panic(expected = "denominator must be positive")]
     fn zero_denominator_grid_rejected() {
         let _ = ToleranceSearch::new(0, 10);
+    }
+
+    #[test]
+    fn verdict_probe_tolerance_search_counts_unknown_as_failure() {
+        // The historical wrapper: probes return verdicts, Unknown is a
+        // failure — the certified value stops below the Unknown band.
+        let result = tolerance_search(&ToleranceSearch::new(100, 10), |eps| {
+            Ok::<_, String>(if eps <= rq(4, 100) {
+                FaultOutcome::Robust
+            } else {
+                FaultOutcome::Unknown
+            })
+        })
+        .unwrap();
+        assert_eq!(result.robust_eps, Some(rq(4, 100)));
+        assert_eq!(result.first_failure, Some(rq(5, 100)));
     }
 
     #[test]

@@ -1,0 +1,855 @@
+//! Joint input-noise × weight-fault robustness: the product-domain
+//! instantiation of the generic `fannet-search` core (DESIGN.md §12).
+//!
+//! FANNet asks how much *input* noise a verdict survives; PR 4's fault
+//! subsystem asks the same about the network's *parameters*. Galloway
+//! et al. ("Adversarial Examples as an Input-Fault Tolerance Problem")
+//! and Duddu et al. ("Fault Tolerance of Neural Networks in Adversarial
+//! Settings") argue these are one robustness question — this module
+//! finally lets the repo pose it: *"is the classification of `x` robust
+//! to ±δ input noise **and** ±ε weight noise simultaneously?"*
+//!
+//! The abstract state is a [`ProductRegion`] — a noise box × a fault
+//! box. Both factors over-approximate independently, so the product's
+//! concretization (every noise grid point paired with every faulted
+//! network of the lift) contains every pair the claim quantifies over;
+//! verdicts of the screening tiers therefore transfer exactly as in the
+//! single-factor domains (the independence argument of DESIGN.md §12).
+//! Unlike [`crate::FaultChecker::check_with_noise`], which only ever
+//! splits the *fault* factor and goes `Unknown` once the input box is
+//! too wide for one-shot propagation, the joint search refines **both**
+//! factors, alternating by depth — which is what makes non-trivial
+//! (δ, ε) frontiers decidable.
+
+use fannet_nn::Network;
+use fannet_numeric::{Interval, Rational};
+use fannet_search::{
+    BoxDecision, Cascade, Classifier, SearchDomain, SearchOutcome, SearchStats, TierKind,
+    ToleranceSearch,
+};
+use fannet_verify::bab::ScreeningTier;
+use fannet_verify::noise::NoiseVector;
+use fannet_verify::region::NoiseRegion;
+use serde::{Deserialize, Serialize};
+
+use crate::checker::{lift_is_exact, probe_concrete, validate_query, FaultCheckerConfig};
+use crate::model::FaultModel;
+use crate::propagate::{
+    classify_box, classify_box_float, classify_box_zonotope, enclose_input, enclose_input_float,
+    BoxVerdict,
+};
+use crate::region::{FaultRegion, FaultedNetwork};
+
+pub use fannet_search::ToleranceResult as JointTolerance;
+
+/// A box of the joint search: every noise vector of `noise` paired with
+/// every faulted network of `fault`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ProductRegion {
+    /// The input-noise factor (integer-percent grid box).
+    pub noise: NoiseRegion,
+    /// The weight-fault factor (per-parameter interval box).
+    pub fault: FaultRegion,
+}
+
+impl ProductRegion {
+    /// Builds the product of the two factors.
+    #[must_use]
+    pub fn new(noise: NoiseRegion, fault: FaultRegion) -> Self {
+        ProductRegion { noise, fault }
+    }
+
+    /// `true` when both factors are single points — propagation is then
+    /// a concrete forward pass and the region cannot be split.
+    #[must_use]
+    pub fn is_point(&self) -> bool {
+        self.noise.is_point() && self.fault.is_point()
+    }
+
+    /// Splits one factor, alternating by `depth`: even depths bisect
+    /// the noise box (widest input dimension), odd depths the fault box
+    /// (widest parameter interval), falling back to the other factor
+    /// when the preferred one is already a point. Alternation keeps the
+    /// refinement balanced without comparing the incommensurable widths
+    /// of the two factors (integer percents vs. rational weights), and
+    /// it is a pure function of `depth`, so the search stays
+    /// deterministic and cache-replayable.
+    ///
+    /// Returns `None` when both factors are points.
+    #[must_use]
+    pub fn split(&self, depth: u32) -> Option<(ProductRegion, ProductRegion)> {
+        let split_noise = || {
+            self.noise.split().map(|(a, b)| {
+                (
+                    ProductRegion::new(a, self.fault.clone()),
+                    ProductRegion::new(b, self.fault.clone()),
+                )
+            })
+        };
+        let split_fault = || {
+            self.fault.split().map(|(a, b)| {
+                (
+                    ProductRegion::new(self.noise.clone(), a),
+                    ProductRegion::new(self.noise.clone(), b),
+                )
+            })
+        };
+        if depth.is_multiple_of(2) {
+            split_noise().or_else(split_fault)
+        } else {
+            split_fault().or_else(split_noise)
+        }
+    }
+
+    /// Exact interval enclosure of every output over the whole product
+    /// (the exact tier's transformer, exposed for enclosure tests).
+    #[must_use]
+    pub fn output_intervals(&self, x: &[Rational]) -> Vec<Interval> {
+        self.fault.output_intervals(&enclose_input(x, &self.noise))
+    }
+}
+
+/// A concrete, in-model joint misclassification witness: one noise grid
+/// point plus one faulted network.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct JointWitness {
+    /// The witnessing noise vector (integer percents).
+    pub noise: NoiseVector,
+    /// Human-readable description of the faulted assignment.
+    pub description: String,
+    /// Exact output activations of the faulted network on the noisy
+    /// input.
+    pub outputs: Vec<Rational>,
+    /// The (wrong) label predicted.
+    pub predicted: usize,
+    /// The expected label.
+    pub expected: usize,
+}
+
+/// Outcome of a joint check.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum JointOutcome {
+    /// Proof: every (noise vector, faulted network) pair keeps the
+    /// label.
+    Robust,
+    /// Proof by witness: a concrete in-model pair flips it.
+    Vulnerable(JointWitness),
+    /// The budgeted search could not decide (sound in both directions).
+    Unknown,
+}
+
+impl JointOutcome {
+    /// `true` for [`JointOutcome::Robust`].
+    #[must_use]
+    pub fn is_robust(&self) -> bool {
+        matches!(self, JointOutcome::Robust)
+    }
+
+    /// The witness, if any.
+    #[must_use]
+    pub fn witness(&self) -> Option<&JointWitness> {
+        match self {
+            JointOutcome::Vulnerable(w) => Some(w),
+            _ => None,
+        }
+    }
+
+    /// The JSONL wire spelling of the verdict.
+    #[must_use]
+    pub fn wire_name(&self) -> &'static str {
+        match self {
+            JointOutcome::Robust => "robust",
+            JointOutcome::Vulnerable(_) => "vulnerable",
+            JointOutcome::Unknown => "unknown",
+        }
+    }
+}
+
+/// A resident joint checker for one trained network.
+///
+/// Reuses [`FaultCheckerConfig`]: the same screening tiers route each
+/// product box, the same box/depth budgets bound the (continuous, hence
+/// incomplete) search. Deterministic throughout, so `fannet-engine`
+/// replays cached joint verdicts bit-identically.
+#[derive(Debug, Clone)]
+pub struct JointChecker {
+    net: Network<Rational>,
+    config: FaultCheckerConfig,
+}
+
+impl JointChecker {
+    /// Builds the checker; admissibility is checked per query (see
+    /// [`crate::FaultChecker::new`] for the rationale).
+    #[must_use]
+    pub fn new(net: Network<Rational>, config: FaultCheckerConfig) -> Self {
+        JointChecker { net, config }
+    }
+
+    /// The verified network.
+    #[must_use]
+    pub fn network(&self) -> &Network<Rational> {
+        &self.net
+    }
+
+    /// The checker's configuration.
+    #[must_use]
+    pub fn config(&self) -> &FaultCheckerConfig {
+        &self.config
+    }
+
+    /// Decides the joint claim: every noise vector of `noise` and every
+    /// faulted network of `model` together keep `label`.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message on width mismatch, out-of-range label, or an
+    /// out-of-domain model.
+    pub fn check(
+        &self,
+        x: &[Rational],
+        label: usize,
+        noise: &NoiseRegion,
+        model: &FaultModel,
+    ) -> Result<(JointOutcome, SearchStats), String> {
+        validate_query(&self.net, x, label, noise)?;
+        let fault_root = FaultRegion::lift(&self.net, model)?;
+        let mut stats = SearchStats::default();
+
+        // Concrete probes at the zero-noise point (when it is part of
+        // the claim): the fault probes of the single-factor checker,
+        // lifted to joint witnesses.
+        if noise.contains(&NoiseVector::zero(x.len())) {
+            if let Some(w) = probe_concrete(&self.net, x, label, model, &fault_root, &mut stats)? {
+                return Ok((
+                    JointOutcome::Vulnerable(joint_witness(NoiseVector::zero(x.len()), w)),
+                    stats,
+                ));
+            }
+        }
+        // Noise-corner probes: the all-lower / all-upper noise corners
+        // against an in-model assignment (identity, or the stuck-at
+        // region's only member) — cheap joint-vulnerability detection
+        // when the input box alone already flips the label.
+        if let Some(w) =
+            self.probe_noise_corners(x, label, noise, model, &fault_root, &mut stats)?
+        {
+            return Ok((JointOutcome::Vulnerable(w), stats));
+        }
+
+        let tiers = JointTiers::new(x, label, self.config.screening);
+        let domain = JointQuery {
+            x,
+            label,
+            lift_is_exact: lift_is_exact(model),
+            max_depth: self.config.max_depth,
+            cascade: tiers.cascade(),
+        };
+        let root = ProductRegion::new(noise.clone(), fault_root);
+        let (outcome, search_stats) =
+            fannet_search::search_serial(&domain, root, Some(self.config.max_boxes));
+        stats.merge(&search_stats);
+        Ok((
+            match outcome {
+                SearchOutcome::Proven => JointOutcome::Robust,
+                SearchOutcome::Witness(w) => JointOutcome::Vulnerable(w),
+                SearchOutcome::Undecided => JointOutcome::Unknown,
+            },
+            stats,
+        ))
+    }
+
+    /// Evaluates an in-model assignment at the noise box's lower and
+    /// upper corner grid points.
+    fn probe_noise_corners(
+        &self,
+        x: &[Rational],
+        label: usize,
+        noise: &NoiseRegion,
+        model: &FaultModel,
+        fault_root: &FaultRegion,
+        stats: &mut SearchStats,
+    ) -> Result<Option<JointWitness>, String> {
+        // Stuck-at's lift has a single member (the region itself); the
+        // other models all contain the fault-free identity network.
+        let (assignment, description) = match model {
+            FaultModel::StuckAt {
+                layer,
+                neuron,
+                value,
+            } => (
+                fault_root.midpoint(),
+                format!("neuron {neuron} of layer {layer} stuck at {value}"),
+            ),
+            _ => (
+                FaultedNetwork::from_network(&self.net),
+                "fault-free network".to_string(),
+            ),
+        };
+        let corners = [
+            NoiseVector::new(noise.ranges().iter().map(|&(lo, _)| lo).collect()),
+            NoiseVector::new(noise.ranges().iter().map(|&(_, hi)| hi).collect()),
+        ];
+        for nv in corners {
+            stats.concrete_evals += 1;
+            let outputs = assignment.forward(&nv.apply(x))?;
+            let predicted = fannet_tensor::vector::argmax(&outputs).expect("outputs non-empty");
+            if predicted != label {
+                return Ok(Some(JointWitness {
+                    noise: nv,
+                    description: description.clone(),
+                    outputs,
+                    predicted,
+                    expected: label,
+                }));
+            }
+        }
+        Ok(None)
+    }
+
+    /// Joint tolerance at a fixed noise radius: the largest
+    /// `ε = k/denom` the bisection **certifies** jointly robust with
+    /// `±delta`% input noise. `Unknown` probes count as failures, so
+    /// the result is a sound lower bound; at `delta = 0` this
+    /// degenerates to the plain weight-noise fault tolerance.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message on width mismatch or out-of-range label.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `delta` is outside `[0, 100]` or the grid is invalid.
+    pub fn tolerance(
+        &self,
+        x: &[Rational],
+        label: usize,
+        delta: i64,
+        search: &ToleranceSearch,
+    ) -> Result<(JointTolerance, SearchStats), String> {
+        let noise = NoiseRegion::symmetric(delta, x.len());
+        let mut stats = SearchStats::default();
+        let tolerance = fannet_search::tolerance_search(search, |eps| {
+            let (outcome, probe_stats) =
+                self.check(x, label, &noise, &FaultModel::WeightNoise { rel_eps: eps })?;
+            stats.merge(&probe_stats);
+            Ok::<_, String>(outcome.is_robust())
+        })?;
+        Ok((tolerance, stats))
+    }
+}
+
+/// Lifts a fault witness found at a concrete noise vector to a joint
+/// witness.
+fn joint_witness(noise: NoiseVector, w: crate::checker::FaultWitness) -> JointWitness {
+    JointWitness {
+        noise,
+        description: w.description,
+        outputs: w.outputs,
+        predicted: w.predicted,
+        expected: w.expected,
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The product-domain search
+// ---------------------------------------------------------------------------
+
+/// Float-interval tier over product boxes: the noise factor changes per
+/// box, so the input enclosure is recomputed per classification (unlike
+/// the fixed-noise fault cascade).
+struct JointIntervalScreen<'a> {
+    x: &'a [Rational],
+    label: usize,
+}
+
+impl Classifier<ProductRegion> for JointIntervalScreen<'_> {
+    fn tier(&self) -> TierKind {
+        TierKind::Interval
+    }
+    fn classify(&self, region: &ProductRegion) -> BoxVerdict {
+        let enclosure = enclose_input_float(self.x, &region.noise);
+        classify_box_float(&region.fault.float_outputs(&enclosure), self.label)
+    }
+}
+
+/// Zonotope tier over product boxes: shared symbols per input node and
+/// per faulted parameter, so correlations cancel in output differences
+/// across *both* factors.
+struct JointZonotopeScreen<'a> {
+    x: &'a [Rational],
+    label: usize,
+}
+
+impl Classifier<ProductRegion> for JointZonotopeScreen<'_> {
+    fn tier(&self) -> TierKind {
+        TierKind::Zonotope
+    }
+    fn classify(&self, region: &ProductRegion) -> BoxVerdict {
+        classify_box_zonotope(
+            &region.fault.zonotope_outputs(self.x, &region.noise),
+            self.label,
+        )
+    }
+}
+
+/// Exact interval tier over product boxes — always last.
+struct JointExactTier<'a> {
+    x: &'a [Rational],
+    label: usize,
+}
+
+impl Classifier<ProductRegion> for JointExactTier<'_> {
+    fn tier(&self) -> TierKind {
+        TierKind::Exact
+    }
+    fn classify(&self, region: &ProductRegion) -> BoxVerdict {
+        classify_box(&region.output_intervals(self.x), self.label)
+    }
+}
+
+/// Per-query owners of the joint cascade's tiers.
+struct JointTiers<'a> {
+    interval: Option<JointIntervalScreen<'a>>,
+    zonotope: Option<JointZonotopeScreen<'a>>,
+    exact: JointExactTier<'a>,
+}
+
+impl<'a> JointTiers<'a> {
+    fn new(x: &'a [Rational], label: usize, screening: ScreeningTier) -> Self {
+        JointTiers {
+            interval: screening
+                .uses_interval()
+                .then_some(JointIntervalScreen { x, label }),
+            zonotope: screening
+                .uses_zonotope()
+                .then_some(JointZonotopeScreen { x, label }),
+            exact: JointExactTier { x, label },
+        }
+    }
+
+    fn cascade(&self) -> Cascade<'_, ProductRegion> {
+        let mut tiers: Vec<&dyn Classifier<ProductRegion>> = Vec::new();
+        if let Some(screen) = &self.interval {
+            tiers.push(screen);
+        }
+        if let Some(screen) = &self.zonotope {
+            tiers.push(screen);
+        }
+        tiers.push(&self.exact);
+        Cascade::new(tiers)
+    }
+}
+
+/// The product-domain instantiation of [`SearchDomain`].
+struct JointQuery<'a> {
+    x: &'a [Rational],
+    label: usize,
+    lift_is_exact: bool,
+    max_depth: u32,
+    cascade: Cascade<'a, ProductRegion>,
+}
+
+impl SearchDomain for JointQuery<'_> {
+    type Region = ProductRegion;
+    type Witness = JointWitness;
+
+    fn decide(
+        &self,
+        region: &ProductRegion,
+        depth: u32,
+        stats: &mut SearchStats,
+    ) -> BoxDecision<ProductRegion, JointWitness> {
+        match self.cascade.classify(region, stats) {
+            BoxVerdict::AlwaysCorrect => {
+                stats.pruned_correct += 1;
+                BoxDecision::Pruned
+            }
+            BoxVerdict::AlwaysWrong => {
+                if self.lift_is_exact || region.fault.is_point() {
+                    stats.proved_wrong += 1;
+                    // Any (grid point, in-model assignment) pair of the
+                    // box witnesses; take the canonically-first noise
+                    // grid point with the fault midpoint (legal — the
+                    // fault box is entirely in-model here).
+                    let faulted = region.fault.midpoint();
+                    let nv = region
+                        .noise
+                        .iter_points()
+                        .next()
+                        .expect("noise regions are non-empty");
+                    stats.concrete_evals += 1;
+                    let outputs = faulted
+                        .forward(&nv.apply(self.x))
+                        .expect("widths validated at query entry");
+                    let predicted =
+                        fannet_tensor::vector::argmax(&outputs).expect("outputs non-empty");
+                    assert_ne!(
+                        predicted, self.label,
+                        "interval proof of misclassification is sound"
+                    );
+                    return BoxDecision::UniformWitness(JointWitness {
+                        noise: nv,
+                        description: "joint box proven uniformly misclassifying \
+                                      (midpoint assignment)"
+                            .to_string(),
+                        outputs,
+                        predicted,
+                        expected: self.label,
+                    });
+                }
+                // Combinatorial lift: a uniformly-wrong box proves
+                // nothing (it may contain no legal assignment) — the
+                // outcome is pinned Unknown, as in the fault domain.
+                BoxDecision::AbandonAll
+            }
+            BoxVerdict::Unknown => {
+                if depth >= self.max_depth {
+                    return if self.lift_is_exact {
+                        BoxDecision::Abandon
+                    } else {
+                        BoxDecision::AbandonAll
+                    };
+                }
+                match region.split(depth) {
+                    Some((a, b)) => {
+                        stats.splits += 1;
+                        BoxDecision::Split(a, b)
+                    }
+                    // Both factors are points: the exact tier computes
+                    // point intervals and always decides, so this is
+                    // unreachable in practice; abandon defensively.
+                    None => BoxDecision::Abandon,
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::checker::{FaultChecker, FaultOutcome};
+    use fannet_nn::{Activation, DenseLayer, Readout};
+    use fannet_tensor::Matrix;
+
+    fn r(n: i128) -> Rational {
+        Rational::from_integer(n)
+    }
+
+    fn rq(n: i128, d: i128) -> Rational {
+        Rational::new(n, d)
+    }
+
+    /// label 0 iff x0 ≥ x1.
+    fn comparator() -> Network<Rational> {
+        Network::new(
+            vec![DenseLayer::new(
+                Matrix::from_rows(vec![vec![r(1), r(0)], vec![r(0), r(1)]]).unwrap(),
+                vec![r(0), r(0)],
+                Activation::Identity,
+            )
+            .unwrap()],
+            Readout::MaxPool,
+        )
+        .unwrap()
+    }
+
+    fn checker() -> JointChecker {
+        JointChecker::new(comparator(), FaultCheckerConfig::default())
+    }
+
+    /// Closed form for the comparator under joint noise: label 0 of
+    /// `(x0, x1)` survives ±δ input noise and ±ε weight noise iff
+    /// `x0·(1−δ/100)·(1−ε) ≥ x1·(1+δ/100)·(1+ε)` (worst corners).
+    fn jointly_robust(x0: i128, x1: i128, delta: i64, eps: Rational) -> bool {
+        let d = Rational::new(i128::from(delta), 100);
+        let lo = r(x0) * (r(1) - d) * (r(1) - eps);
+        let hi = r(x1) * (r(1) + d) * (r(1) + eps);
+        lo >= hi
+    }
+
+    #[test]
+    fn joint_verdicts_match_the_analytic_corner_condition() {
+        let c = checker();
+        let x = [r(100), r(82)];
+        for delta in [0i64, 2, 5, 8] {
+            for eps_numer in [0i128, 2, 5, 8, 12] {
+                let eps = rq(eps_numer, 100);
+                let noise = NoiseRegion::symmetric(delta, 2);
+                let (out, stats) = c
+                    .check(&x, 0, &noise, &FaultModel::WeightNoise { rel_eps: eps })
+                    .unwrap();
+                let expected = jointly_robust(100, 82, delta, eps);
+                // The budgeted search may honestly answer Unknown on
+                // razor-thin margins; it must decide comfortable ones —
+                // robust with slack, or vulnerable already at the
+                // zero-noise probe corners.
+                let comfortably_robust = jointly_robust(100, 82, delta + 4, eps + rq(4, 100));
+                let vulnerable_at_zero_noise = !jointly_robust(100, 82, 0, eps);
+                match &out {
+                    JointOutcome::Robust => {
+                        assert!(expected, "claimed Robust at δ={delta} ε={eps}: {stats:?}")
+                    }
+                    JointOutcome::Vulnerable(w) => {
+                        assert!(!expected, "claimed Vulnerable at δ={delta} ε={eps}");
+                        assert_eq!(w.expected, 0);
+                        assert_ne!(w.predicted, 0);
+                        assert!(noise.contains(&w.noise), "witness noise inside the box");
+                    }
+                    JointOutcome::Unknown => {
+                        assert!(
+                            !comfortably_robust && !vulnerable_at_zero_noise,
+                            "comfortable joint query must decide at δ={delta} ε={eps}: {stats:?}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn zero_delta_matches_the_plain_fault_checker() {
+        let joint = checker();
+        let fault = FaultChecker::new(comparator(), FaultCheckerConfig::default());
+        let x = [r(100), r(82)];
+        let zero = NoiseRegion::symmetric(0, 2);
+        for eps_numer in [0i128, 3, 9, 11, 20] {
+            let model = FaultModel::WeightNoise {
+                rel_eps: rq(eps_numer, 100),
+            };
+            let (joint_out, _) = joint.check(&x, 0, &zero, &model).unwrap();
+            let (fault_out, _) = fault.check(&x, 0, &model).unwrap();
+            match (&joint_out, &fault_out) {
+                (JointOutcome::Robust, FaultOutcome::Robust)
+                | (JointOutcome::Vulnerable(_), FaultOutcome::Vulnerable(_))
+                | (JointOutcome::Unknown, FaultOutcome::Unknown) => {}
+                other => panic!("δ=0 joint/fault verdicts diverge at ε={eps_numer}/100: {other:?}"),
+            }
+        }
+    }
+
+    /// Both outputs read the same hidden neuron (`out0 = h + 5`,
+    /// `out1 = h`), so the claim is trivially robust in truth — but
+    /// interval propagation decorrelates `h`, and once the input box is
+    /// wide the *fault* checker cannot recover: it only ever splits the
+    /// fault factor ([`FaultChecker::check_with_noise`]), which never
+    /// shrinks the input-induced width. The joint search splits the
+    /// noise factor too and proves the same query.
+    #[test]
+    fn joint_search_decides_where_single_factor_splitting_cannot() {
+        let shared = DenseLayer::new(
+            Matrix::from_rows(vec![vec![r(3), r(1)]]).unwrap(),
+            vec![r(0)],
+            Activation::Identity,
+        )
+        .unwrap();
+        let split = DenseLayer::new(
+            Matrix::from_rows(vec![vec![r(1)], vec![r(1)]]).unwrap(),
+            vec![r(5), r(0)],
+            Activation::Identity,
+        )
+        .unwrap();
+        let net = Network::new(vec![shared, split], Readout::MaxPool).unwrap();
+        let x = [r(10), r(10)];
+        let noise = NoiseRegion::symmetric(10, 2);
+        let model = FaultModel::WeightNoise {
+            rel_eps: rq(1, 200),
+        };
+        // Screening off isolates the split policies (the zonotope tier
+        // would decide both queries at the root).
+        let config = FaultCheckerConfig::default().with_screening(ScreeningTier::None);
+        let fault = FaultChecker::new(net.clone(), config.clone());
+        let (single, _) = fault.check_with_noise(&x, 0, &noise, &model).unwrap();
+        assert_eq!(
+            single,
+            FaultOutcome::Unknown,
+            "fault-factor-only splitting must fail on an input-wide box"
+        );
+        let joint = JointChecker::new(net, config);
+        let (out, stats) = joint.check(&x, 0, &noise, &model).unwrap();
+        assert_eq!(out, JointOutcome::Robust, "{stats:?}");
+        assert!(
+            stats.splits > 0,
+            "the proof must need refinement: {stats:?}"
+        );
+    }
+
+    #[test]
+    fn product_split_alternates_factors_and_partitions() {
+        let net = comparator();
+        let fault =
+            FaultRegion::lift(&net, &FaultModel::WeightNoise { rel_eps: rq(1, 10) }).unwrap();
+        let root = ProductRegion::new(NoiseRegion::symmetric(4, 2), fault);
+        // Even depth: the noise factor splits, the fault factor is shared.
+        let (a, b) = root.split(0).expect("root splits");
+        assert_eq!(a.fault, root.fault);
+        assert_eq!(b.fault, root.fault);
+        assert_ne!(a.noise, root.noise);
+        assert_eq!(
+            a.noise.point_count() + b.noise.point_count(),
+            root.noise.point_count()
+        );
+        // Odd depth: the fault factor splits, the noise factor is shared.
+        let (c, d) = root.split(1).expect("root splits");
+        assert_eq!(c.noise, root.noise);
+        assert_eq!(d.noise, root.noise);
+        assert_ne!(c.fault, root.fault);
+        // A point noise factor falls back to the fault factor even at
+        // even depths.
+        let point = ProductRegion::new(NoiseRegion::symmetric(0, 2), root.fault.clone());
+        let (e, _) = point.split(0).expect("fault factor still splits");
+        assert_eq!(e.noise, point.noise);
+        assert_ne!(e.fault, point.fault);
+        assert!(!point.is_point());
+        // Both factors point: no split.
+        let frozen = ProductRegion::new(
+            NoiseRegion::symmetric(0, 2),
+            FaultRegion::lift(
+                &net,
+                &FaultModel::WeightNoise {
+                    rel_eps: Rational::ZERO,
+                },
+            )
+            .unwrap(),
+        );
+        assert!(frozen.is_point());
+        assert!(frozen.split(0).is_none());
+        assert!(frozen.split(1).is_none());
+    }
+
+    #[test]
+    fn enclosure_covers_sampled_noise_fault_pairs_through_splits() {
+        // The product enclosure must cover every (grid point, corner /
+        // midpoint assignment) pair, at the root and down a few splits.
+        let net = comparator();
+        let x = [r(100), r(82)];
+        let fault =
+            FaultRegion::lift(&net, &FaultModel::WeightNoise { rel_eps: rq(1, 20) }).unwrap();
+        let mut frontier = vec![ProductRegion::new(NoiseRegion::symmetric(3, 2), fault)];
+        for depth in 0..4u32 {
+            let mut next = Vec::new();
+            for region in &frontier {
+                let enclosure = region.output_intervals(&x);
+                for nv in region.noise.iter_points() {
+                    let noisy = nv.apply(&x);
+                    for assignment in [
+                        region.fault.corner_lo(),
+                        region.fault.corner_hi(),
+                        region.fault.midpoint(),
+                    ] {
+                        let out = assignment.forward(&noisy).unwrap();
+                        for (iv, v) in enclosure.iter().zip(&out) {
+                            assert!(
+                                iv.contains(*v),
+                                "output {v} of noise {nv} escapes {iv} at depth {depth}"
+                            );
+                        }
+                    }
+                }
+                if let Some((a, b)) = region.split(depth) {
+                    next.push(a);
+                    next.push(b);
+                }
+            }
+            if !next.is_empty() {
+                frontier = next;
+            }
+        }
+    }
+
+    #[test]
+    fn joint_tolerance_shrinks_as_delta_grows() {
+        let c = checker();
+        let x = [r(100), r(82)];
+        let search = ToleranceSearch::new(100, 25);
+        let mut last = None;
+        for delta in [0i64, 2, 5, 8] {
+            let (tol, _) = c.tolerance(&x, 0, delta, &search).unwrap();
+            let eps = tol.robust_eps.expect("correctly classified input");
+            // Certified: the reported ε really is jointly robust.
+            assert!(
+                jointly_robust(100, 82, delta, eps),
+                "certified ε={eps} at δ={delta} violates the corner condition"
+            );
+            if let Some(prev) = last {
+                assert!(eps <= prev, "frontier must be monotone: δ={delta}");
+            }
+            last = Some(eps);
+        }
+        // δ = 0 reproduces the plain fault tolerance.
+        let fault = FaultChecker::new(comparator(), FaultCheckerConfig::default());
+        let (plain, _) = fault.tolerance(&x, 0, &search).unwrap();
+        let (joint0, _) = c.tolerance(&x, 0, 0, &search).unwrap();
+        assert_eq!(joint0.robust_eps, plain.robust_eps);
+    }
+
+    #[test]
+    fn misclassified_input_fails_at_zero() {
+        let c = checker();
+        let (out, _) = c
+            .check(
+                &[r(82), r(100)],
+                0,
+                &NoiseRegion::symmetric(2, 2),
+                &FaultModel::WeightNoise { rel_eps: rq(1, 50) },
+            )
+            .unwrap();
+        let w = out.witness().expect("identity member already flips");
+        assert!(w.description.contains("fault-free"), "{w:?}");
+        assert_eq!(w.noise, NoiseVector::zero(2));
+    }
+
+    #[test]
+    fn screening_tiers_agree_on_joint_verdicts() {
+        let x = [r(100), r(82)];
+        let noise = NoiseRegion::symmetric(3, 2);
+        for eps in [rq(1, 100), rq(4, 100), rq(8, 100), rq(15, 100)] {
+            let model = FaultModel::WeightNoise { rel_eps: eps };
+            let mut verdicts = Vec::new();
+            for tier in ScreeningTier::ALL {
+                let c = JointChecker::new(
+                    comparator(),
+                    FaultCheckerConfig::default().with_screening(tier),
+                );
+                let (out, _) = c.check(&x, 0, &noise, &model).unwrap();
+                verdicts.push((tier, out.wire_name()));
+            }
+            // The incomplete search may answer Unknown under a weaker
+            // tier, but decided verdicts must never contradict.
+            let decided: Vec<_> = verdicts.iter().filter(|(_, v)| *v != "unknown").collect();
+            for window in decided.windows(2) {
+                assert_eq!(
+                    window[0].1, window[1].1,
+                    "contradictory proofs across tiers at ε={eps}: {verdicts:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn validation_and_sigmoid_errors_are_contained() {
+        let c = checker();
+        let model = FaultModel::WeightNoise { rel_eps: rq(1, 50) };
+        assert!(c
+            .check(&[r(1)], 0, &NoiseRegion::symmetric(1, 1), &model)
+            .is_err());
+        assert!(c
+            .check(&[r(1), r(2)], 7, &NoiseRegion::symmetric(1, 2), &model)
+            .is_err());
+        let sigmoid = Network::new(
+            vec![DenseLayer::new(
+                Matrix::from_rows(vec![vec![r(1), r(0)], vec![r(0), r(1)]]).unwrap(),
+                vec![r(0), r(0)],
+                Activation::Sigmoid,
+            )
+            .unwrap()],
+            Readout::MaxPool,
+        )
+        .unwrap();
+        let c = JointChecker::new(sigmoid, FaultCheckerConfig::default());
+        let err = c
+            .check(&[r(1), r(2)], 0, &NoiseRegion::symmetric(1, 2), &model)
+            .unwrap_err();
+        assert!(err.contains("piecewise-linear"), "{err}");
+    }
+}

@@ -21,7 +21,12 @@
 //! * [`checker`] — the [`FaultChecker`]: screening-tier cascade plus
 //!   branch-and-bound over the *fault space* (splitting weight
 //!   intervals, not input boxes), and the fault-tolerance binary search
-//!   (largest ε whose weight-noise ball provably keeps the label).
+//!   (largest ε whose weight-noise ball provably keeps the label) —
+//!   instantiating the generic `fannet-search` core (DESIGN.md §12).
+//! * [`joint`] — the joint input×weight product domain
+//!   ([`ProductRegion`], [`JointChecker`]): "robust to ±δ input noise
+//!   *and* ±ε weight noise simultaneously", with both factors refined
+//!   by the same generic search.
 //!
 //! Verdict semantics differ from the input-noise checker in one
 //! fundamental way: the fault space is continuous (or combinatorially
@@ -60,6 +65,7 @@
 //! ```
 
 pub mod checker;
+pub mod joint;
 pub mod model;
 pub mod propagate;
 pub mod region;
@@ -68,5 +74,6 @@ pub use checker::{
     tolerance_search, FaultChecker, FaultCheckerConfig, FaultOutcome, FaultStats, FaultTolerance,
     FaultWitness, ToleranceSearch,
 };
+pub use joint::{JointChecker, JointOutcome, JointTolerance, JointWitness, ProductRegion};
 pub use model::FaultModel;
 pub use region::{FaultRegion, FaultedNetwork};

@@ -1,0 +1,192 @@
+//! The verdict-driven tolerance bisection, shared by the weight-fault
+//! and joint checkers (and replayable through resident caches).
+
+use fannet_numeric::Rational;
+use serde::{Deserialize, Serialize};
+
+/// The grid of a tolerance bisection: ε ranges over
+/// `{0, 1/denom, …, max_numer/denom}`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct ToleranceSearch {
+    /// Grid denominator.
+    pub denom: i128,
+    /// Largest numerator probed.
+    pub max_numer: i128,
+}
+
+impl ToleranceSearch {
+    /// A coarser/cheaper grid (`denom` steps up to `max_numer/denom`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `denom <= 0` or `max_numer < 0`.
+    #[must_use]
+    pub fn new(denom: i128, max_numer: i128) -> Self {
+        assert!(denom > 0, "tolerance grid denominator must be positive");
+        assert!(max_numer >= 0, "tolerance grid must be non-empty");
+        ToleranceSearch { denom, max_numer }
+    }
+
+    /// The largest ε the grid can report.
+    #[must_use]
+    pub fn max_eps(&self) -> Rational {
+        Rational::new(self.max_numer, self.denom)
+    }
+}
+
+impl Default for ToleranceSearch {
+    /// Per-mille resolution up to ε = 1/5.
+    fn default() -> Self {
+        ToleranceSearch {
+            denom: 1000,
+            max_numer: 200,
+        }
+    }
+}
+
+/// Result of a tolerance bisection.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ToleranceResult {
+    /// The largest probed ε proven robust; `None` when even the ε = 0
+    /// probe fails (the unperturbed system already misclassifies).
+    pub robust_eps: Option<Rational>,
+    /// The smallest probed ε **not** proven robust (vulnerable or
+    /// undecided); `None` when robust through the whole grid.
+    pub first_failure: Option<Rational>,
+    /// Probes issued.
+    pub probes: u32,
+}
+
+/// The bisection itself, parameterized over the probe so a resident
+/// engine can replay it through its verdict cache **bit-identically**:
+/// the probe sequence is a pure function of the verdicts, which cached
+/// answers reproduce exactly.
+///
+/// `probe(ε)` must return `true` iff ε is *proven* robust — undecided
+/// probes count as failures, so every reported value is backed by a
+/// proof and the result is a sound lower bound on the true tolerance.
+///
+/// Probe order: ε = 0, ε = max, then classic bisection on the invariant
+/// *lo robust / hi not robust*.
+///
+/// # Errors
+///
+/// Propagates the first probe error.
+///
+/// # Panics
+///
+/// Panics if the search grid is invalid (`denom <= 0`, `max_numer < 0`).
+pub fn tolerance_search<E>(
+    search: &ToleranceSearch,
+    mut probe: impl FnMut(Rational) -> Result<bool, E>,
+) -> Result<ToleranceResult, E> {
+    assert!(
+        search.denom > 0,
+        "tolerance grid denominator must be positive"
+    );
+    assert!(search.max_numer >= 0, "tolerance grid must be non-empty");
+    let mut probes = 0u32;
+    let mut is_robust = |k: i128, probes: &mut u32| -> Result<bool, E> {
+        *probes += 1;
+        probe(Rational::new(k, search.denom))
+    };
+
+    if !is_robust(0, &mut probes)? {
+        return Ok(ToleranceResult {
+            robust_eps: None,
+            first_failure: Some(Rational::ZERO),
+            probes,
+        });
+    }
+    if search.max_numer == 0 || is_robust(search.max_numer, &mut probes)? {
+        return Ok(ToleranceResult {
+            robust_eps: Some(Rational::new(search.max_numer, search.denom)),
+            first_failure: None,
+            probes,
+        });
+    }
+    // Invariant: lo proven robust, hi not proven robust.
+    let mut lo = 0i128;
+    let mut hi = search.max_numer;
+    while hi - lo > 1 {
+        let mid = lo + (hi - lo) / 2;
+        if is_robust(mid, &mut probes)? {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+    }
+    Ok(ToleranceResult {
+        robust_eps: Some(Rational::new(lo, search.denom)),
+        first_failure: Some(Rational::new(hi, search.denom)),
+        probes,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A threshold oracle: ε is robust iff ε ≤ threshold.
+    fn threshold_probe(numer: i128, denom: i128) -> impl FnMut(Rational) -> Result<bool, String> {
+        move |eps| Ok(eps <= Rational::new(numer, denom))
+    }
+
+    #[test]
+    fn bisection_lands_on_the_largest_grid_point_below_the_threshold() {
+        for (numer, denom) in [(99, 1000), (1, 3), (17, 100)] {
+            let search = ToleranceSearch::new(1000, 400);
+            let result = tolerance_search(&search, threshold_probe(numer, denom)).unwrap();
+            let robust = result.robust_eps.expect("zero is robust");
+            assert!(robust <= Rational::new(numer, denom));
+            let next = robust + Rational::new(1, 1000);
+            assert!(next > Rational::new(numer, denom));
+            assert_eq!(result.first_failure, Some(next));
+            assert!(result.probes >= 2);
+        }
+    }
+
+    #[test]
+    fn degenerate_grids_and_immediate_failures() {
+        // ε = 0 already fails.
+        let result =
+            tolerance_search(&ToleranceSearch::default(), |_| Ok::<_, String>(false)).unwrap();
+        assert_eq!(result.robust_eps, None);
+        assert_eq!(result.first_failure, Some(Rational::ZERO));
+        assert_eq!(result.probes, 1);
+        // Single-point grid.
+        let result =
+            tolerance_search(&ToleranceSearch::new(1000, 0), |_| Ok::<_, String>(true)).unwrap();
+        assert_eq!(result.robust_eps, Some(Rational::ZERO));
+        assert_eq!(result.first_failure, None);
+        // Robust through the whole grid: two probes suffice.
+        let result =
+            tolerance_search(&ToleranceSearch::new(100, 20), |_| Ok::<_, String>(true)).unwrap();
+        assert_eq!(result.robust_eps, Some(Rational::new(20, 100)));
+        assert_eq!(result.first_failure, None);
+        assert_eq!(result.probes, 2);
+    }
+
+    #[test]
+    fn probe_errors_propagate() {
+        let result = tolerance_search(&ToleranceSearch::default(), |_| {
+            Err::<bool, _>("boom".to_string())
+        });
+        assert_eq!(result.unwrap_err(), "boom");
+    }
+
+    #[test]
+    fn grid_constructors_validate() {
+        assert_eq!(ToleranceSearch::default().denom, 1000);
+        assert_eq!(
+            ToleranceSearch::new(100, 25).max_eps(),
+            Rational::new(25, 100)
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "denominator must be positive")]
+    fn zero_denominator_rejected() {
+        let _ = ToleranceSearch::new(0, 10);
+    }
+}

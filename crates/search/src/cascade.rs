@@ -1,0 +1,210 @@
+//! The screening cascade: a sequence of sound box classifiers, cheapest
+//! first, with per-tier accounting (DESIGN.md §12).
+
+use crate::stats::SearchStats;
+
+/// Sound classification verdict for a whole box.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BoxVerdict {
+    /// Every point of the box keeps the predicted label equal to the
+    /// expected one.
+    AlwaysCorrect,
+    /// Every point of the box produces a different label.
+    AlwaysWrong,
+    /// The classifier cannot decide; the box must be split, enumerated
+    /// or handed to a stronger tier.
+    Unknown,
+}
+
+/// Which [`SearchStats`] counters a classifier's verdicts land in.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum TierKind {
+    /// Outward-rounded `f64` interval propagation
+    /// (`interval_hits`/`interval_fallbacks`).
+    Interval,
+    /// Affine-form zonotope propagation
+    /// (`zonotope_hits`/`zonotope_fallbacks`).
+    Zonotope,
+    /// Exact rational interval propagation
+    /// (`exact_decisions`/`exact_fallbacks`).
+    Exact,
+}
+
+/// One screening tier over regions of type `R`.
+///
+/// # Soundness obligations
+///
+/// A classifier's verdicts must be **proofs** over the domain's
+/// concretization γ(R) (every concrete point the search's top-level
+/// claim quantifies over — noise grid points, faulted networks, or
+/// noise×fault pairs):
+///
+/// * [`BoxVerdict::AlwaysCorrect`] ⇒ every point of γ(R) classifies as
+///   the expected label;
+/// * [`BoxVerdict::AlwaysWrong`] ⇒ every point of γ(R) classifies as
+///   some other label;
+/// * [`BoxVerdict::Unknown`] is always sound.
+///
+/// Incompleteness is free (a weaker tier just falls through); a single
+/// unsound verdict breaks the whole search, so each implementation
+/// carries its own enclosure proof (DESIGN.md §6/§10/§11).
+pub trait Classifier<R: ?Sized>: Sync {
+    /// Which counters this tier's verdicts feed.
+    fn tier(&self) -> TierKind;
+
+    /// Classifies one box.
+    fn classify(&self, region: &R) -> BoxVerdict;
+}
+
+/// An ordered sequence of classifiers, consulted cheapest-first until
+/// one decides.
+///
+/// Every tier that *runs* books either a hit (it decided) or a fallback
+/// (it returned `Unknown` and handed the box on) into its
+/// [`TierKind`]'s counters — the per-tier accounting both legacy stat
+/// blocks exposed.
+pub struct Cascade<'a, R: ?Sized> {
+    tiers: Vec<&'a (dyn Classifier<R> + 'a)>,
+}
+
+impl<'a, R: ?Sized> Cascade<'a, R> {
+    /// Builds a cascade from the tiers that are active for this query,
+    /// in consultation order.
+    #[must_use]
+    pub fn new(tiers: Vec<&'a (dyn Classifier<R> + 'a)>) -> Self {
+        Cascade { tiers }
+    }
+
+    /// The empty cascade: every box falls through undecided.
+    #[must_use]
+    pub fn empty() -> Self {
+        Cascade { tiers: Vec::new() }
+    }
+
+    /// `true` when no tier is active.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.tiers.is_empty()
+    }
+
+    /// Number of active tiers.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.tiers.len()
+    }
+
+    /// Runs the tiers in order and returns the first decided verdict
+    /// (`Unknown` if every tier gives up), booking per-tier counters.
+    pub fn classify(&self, region: &R, stats: &mut SearchStats) -> BoxVerdict {
+        for tier in &self.tiers {
+            let verdict = tier.classify(region);
+            let (hits, fallbacks) = match tier.tier() {
+                TierKind::Interval => (&mut stats.interval_hits, &mut stats.interval_fallbacks),
+                TierKind::Zonotope => (&mut stats.zonotope_hits, &mut stats.zonotope_fallbacks),
+                TierKind::Exact => (&mut stats.exact_decisions, &mut stats.exact_fallbacks),
+            };
+            if verdict == BoxVerdict::Unknown {
+                *fallbacks += 1;
+            } else {
+                *hits += 1;
+                return verdict;
+            }
+        }
+        BoxVerdict::Unknown
+    }
+}
+
+impl<R: ?Sized> std::fmt::Debug for Cascade<'_, R> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Cascade")
+            .field("tiers", &self.len())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A classifier deciding iff the region value clears a threshold.
+    struct Threshold {
+        kind: TierKind,
+        decides_at: i64,
+        verdict: BoxVerdict,
+    }
+
+    impl Classifier<i64> for Threshold {
+        fn tier(&self) -> TierKind {
+            self.kind
+        }
+        fn classify(&self, region: &i64) -> BoxVerdict {
+            if *region >= self.decides_at {
+                self.verdict
+            } else {
+                BoxVerdict::Unknown
+            }
+        }
+    }
+
+    #[test]
+    fn cheapest_deciding_tier_wins_and_books_counters() {
+        let interval = Threshold {
+            kind: TierKind::Interval,
+            decides_at: 10,
+            verdict: BoxVerdict::AlwaysCorrect,
+        };
+        let zonotope = Threshold {
+            kind: TierKind::Zonotope,
+            decides_at: 5,
+            verdict: BoxVerdict::AlwaysWrong,
+        };
+        let exact = Threshold {
+            kind: TierKind::Exact,
+            decides_at: 0,
+            verdict: BoxVerdict::AlwaysCorrect,
+        };
+        let cascade = Cascade::new(vec![&interval, &zonotope, &exact]);
+        assert_eq!(cascade.len(), 3);
+        assert!(!cascade.is_empty());
+
+        let mut stats = SearchStats::default();
+        // 12 ≥ 10: the interval tier decides alone.
+        assert_eq!(cascade.classify(&12, &mut stats), BoxVerdict::AlwaysCorrect);
+        assert_eq!((stats.interval_hits, stats.interval_fallbacks), (1, 0));
+        assert_eq!(stats.zonotope_hits + stats.zonotope_fallbacks, 0);
+
+        // 7: interval falls back, zonotope decides.
+        assert_eq!(cascade.classify(&7, &mut stats), BoxVerdict::AlwaysWrong);
+        assert_eq!((stats.interval_hits, stats.interval_fallbacks), (1, 1));
+        assert_eq!((stats.zonotope_hits, stats.zonotope_fallbacks), (1, 0));
+
+        // 2: both screens fall back, the exact tier decides.
+        assert_eq!(cascade.classify(&2, &mut stats), BoxVerdict::AlwaysCorrect);
+        assert_eq!((stats.exact_decisions, stats.exact_fallbacks), (1, 0));
+        assert_eq!(stats.interval_fallbacks, 2);
+        assert_eq!(stats.zonotope_fallbacks, 1);
+    }
+
+    #[test]
+    fn empty_cascade_is_always_unknown() {
+        let cascade: Cascade<'_, i64> = Cascade::empty();
+        let mut stats = SearchStats::default();
+        assert_eq!(cascade.classify(&100, &mut stats), BoxVerdict::Unknown);
+        assert_eq!(stats, SearchStats::default());
+        assert!(cascade.is_empty());
+        assert_eq!(cascade.len(), 0);
+    }
+
+    #[test]
+    fn all_tiers_unknown_books_every_fallback() {
+        let never = Threshold {
+            kind: TierKind::Exact,
+            decides_at: i64::MAX,
+            verdict: BoxVerdict::AlwaysCorrect,
+        };
+        let cascade = Cascade::new(vec![&never]);
+        let mut stats = SearchStats::default();
+        assert_eq!(cascade.classify(&3, &mut stats), BoxVerdict::Unknown);
+        assert_eq!((stats.exact_decisions, stats.exact_fallbacks), (0, 1));
+    }
+}

@@ -1,0 +1,37 @@
+//! # fannet-search
+//!
+//! The domain-generic branch-and-bound core behind every FANNet analysis
+//! (DESIGN.md §12). Input-noise verification (`fannet-verify`),
+//! weight-fault verification (`fannet-faults`) and the joint
+//! input×weight product domain are all instances of one algorithm:
+//!
+//! 1. route each box through a **cascade** of sound classifiers,
+//!    cheapest first ([`Cascade`], [`Classifier`]);
+//! 2. prune boxes proven uniformly correct, stop on boxes proven
+//!    uniformly wrong (with a concrete witness), split the rest
+//!    ([`SearchDomain::decide`], [`BoxDecision`]);
+//! 3. explore the box tree serially ([`search_serial`]) or with
+//!    work-stealing workers whose path keys reproduce the serial
+//!    first-witness order exactly ([`search_parallel`]);
+//! 4. bound the answer from below with a verdict-driven bisection
+//!    ([`tolerance_search`]).
+//!
+//! The crate owns no abstract domain of its own: a `SearchDomain`
+//! supplies the region type, the split policy and the per-box decision,
+//! and discharges the soundness obligations documented on each trait.
+//! [`SearchStats`] is the single counter block shared by every
+//! instantiation — per-tier hits/fallbacks, boxes, splits, budgets.
+
+pub mod bisect;
+pub mod cascade;
+pub mod domain;
+pub mod solve;
+pub mod stats;
+pub mod tier;
+
+pub use bisect::{tolerance_search, ToleranceResult, ToleranceSearch};
+pub use cascade::{BoxVerdict, Cascade, Classifier, TierKind};
+pub use domain::{BoxDecision, SearchDomain, SearchOutcome};
+pub use solve::{collect_witnesses, search_parallel, search_serial, search_with_threads};
+pub use stats::SearchStats;
+pub use tier::ScreeningTier;

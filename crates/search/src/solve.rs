@@ -1,0 +1,565 @@
+//! The branch-and-bound loops: serial DFS, work-stealing parallel
+//! exploration with deterministic first-witness semantics, and the
+//! single-pass witness collector (DESIGN.md §7/§12).
+
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering as AtomicOrdering};
+use std::sync::{Condvar, Mutex};
+
+use crate::domain::{BoxDecision, SearchDomain, SearchOutcome};
+use crate::stats::SearchStats;
+
+/// Serial depth-first search over `root`, LIFO so memory stays at
+/// `O(depth · box size)`.
+///
+/// `max_boxes` bounds how many boxes may be taken off the stack; when
+/// it runs out the outcome degrades to [`SearchOutcome::Undecided`]
+/// with `budget_exhausted` set (pass `None` for complete domains —
+/// they terminate by splitting to unsplittable boxes).
+#[must_use]
+pub fn search_serial<D: SearchDomain>(
+    domain: &D,
+    root: D::Region,
+    max_boxes: Option<u64>,
+) -> (SearchOutcome<D::Witness>, SearchStats) {
+    let mut stats = SearchStats::default();
+    let mut stack = vec![(root, 0u32)];
+    let mut undecided = false;
+
+    while let Some((region, depth)) = stack.pop() {
+        if let Some(max) = max_boxes {
+            if stats.boxes_visited >= max {
+                stats.budget_exhausted = true;
+                undecided = true;
+                break;
+            }
+        }
+        stats.boxes_visited += 1;
+        match domain.decide(&region, depth, &mut stats) {
+            BoxDecision::Pruned => {}
+            BoxDecision::Witness(w) | BoxDecision::UniformWitness(w) => {
+                return (SearchOutcome::Witness(w), stats);
+            }
+            BoxDecision::Split(a, b) => {
+                // Push the right half first so the left (canonically
+                // first) half is explored first — deterministic witness
+                // order.
+                stack.push((b, depth + 1));
+                stack.push((a, depth + 1));
+            }
+            BoxDecision::Abandon => undecided = true,
+            BoxDecision::AbandonAll => {
+                undecided = true;
+                break;
+            }
+        }
+    }
+    let outcome = if undecided {
+        SearchOutcome::Undecided
+    } else {
+        SearchOutcome::Proven
+    };
+    (outcome, stats)
+}
+
+/// Dispatches to [`search_serial`] or [`search_parallel`] on `threads`.
+///
+/// # Panics
+///
+/// Panics if a box budget is combined with `threads > 1`: budgeted
+/// searches must stay serial so the set of visited boxes — and with it
+/// the verdict — is deterministic (resident caches replay them bit for
+/// bit).
+#[must_use]
+pub fn search_with_threads<D: SearchDomain>(
+    domain: &D,
+    root: D::Region,
+    threads: usize,
+    max_boxes: Option<u64>,
+) -> (SearchOutcome<D::Witness>, SearchStats) {
+    if threads <= 1 {
+        search_serial(domain, root, max_boxes)
+    } else {
+        assert!(
+            max_boxes.is_none(),
+            "box budgets require the serial search (deterministic visit set)"
+        );
+        search_parallel(domain, root, threads)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Witness collection
+// ---------------------------------------------------------------------------
+
+/// Collects up to `cap` distinct witnesses in a **single** DFS pass.
+///
+/// Semantically equivalent to restarting the search `cap` times with
+/// growing exclusion sets, but each proven-safe box is pruned once
+/// instead of once per restart — the asymptotic difference between
+/// `O(search)` and `O(cap · search)`.
+///
+/// `expand_uniform` handles a [`BoxDecision::UniformWitness`] box: it
+/// receives the box and its first witness and must push *every* witness
+/// of the box (first included, canonical order) into the sink,
+/// returning `false` as soon as the sink reaches the cap (collection
+/// stops immediately). The hook exists because only the domain knows
+/// how to enumerate a box's concretization.
+///
+/// Returns `(witnesses, exhausted, stats)` — `exhausted` is `true` when
+/// the whole root was explored (every witness found before the cap and
+/// no box abandoned).
+#[must_use]
+pub fn collect_witnesses<D: SearchDomain>(
+    domain: &D,
+    root: D::Region,
+    cap: usize,
+    mut expand_uniform: impl FnMut(
+        &D::Region,
+        D::Witness,
+        &mut Vec<D::Witness>,
+        &mut SearchStats,
+    ) -> bool,
+) -> (Vec<D::Witness>, bool, SearchStats) {
+    assert!(cap > 0, "cap must be positive");
+    let mut stats = SearchStats::default();
+    let mut found = Vec::new();
+    let mut stack = vec![(root, 0u32)];
+    let mut complete = true;
+
+    while let Some((region, depth)) = stack.pop() {
+        stats.boxes_visited += 1;
+        match domain.decide(&region, depth, &mut stats) {
+            BoxDecision::Pruned => {}
+            BoxDecision::Witness(w) => {
+                found.push(w);
+                if found.len() == cap {
+                    return (found, false, stats);
+                }
+            }
+            BoxDecision::UniformWitness(first) => {
+                if !expand_uniform(&region, first, &mut found, &mut stats) {
+                    return (found, false, stats);
+                }
+            }
+            BoxDecision::Split(a, b) => {
+                stack.push((b, depth + 1));
+                stack.push((a, depth + 1));
+            }
+            BoxDecision::Abandon => complete = false,
+            BoxDecision::AbandonAll => {
+                complete = false;
+                break;
+            }
+        }
+    }
+    (found, complete, stats)
+}
+
+// ---------------------------------------------------------------------------
+// Parallel engine (DESIGN.md §7)
+// ---------------------------------------------------------------------------
+
+/// A box plus its DFS path from the root (`0` = left child, `1` =
+/// right).
+///
+/// Decided boxes are leaves of the explored tree, so their paths are
+/// prefix-free and lexicographic path order is exactly serial DFS
+/// pre-order — the key to deterministic first-witness semantics.
+struct Work<R> {
+    region: R,
+    path: Vec<u8>,
+}
+
+/// Shared state of one parallel search.
+struct ParallelSearch<R, W> {
+    /// Steal pool: idle workers pop from here; busy workers donate the
+    /// sibling of every split while the pool runs low.
+    pool: Mutex<Vec<Work<R>>>,
+    /// Parks idle workers; notified when work arrives, when the last
+    /// box completes, and when a sibling worker panics.
+    available: Condvar,
+    /// Boxes queued or in flight; `0` means the whole tree is explored.
+    pending: AtomicUsize,
+    /// Set when a worker panics, so its siblings stop instead of
+    /// waiting forever on `pending`.
+    abort: AtomicBool,
+    /// Best (lexicographically-first-path) witness found so far.
+    best: Mutex<Option<(Vec<u8>, W)>>,
+    /// Per-worker stats, merged once at each worker's exit.
+    stats: Mutex<SearchStats>,
+}
+
+impl<R, W> ParallelSearch<R, W> {
+    /// Records a candidate witness; keeps the smaller path on conflict.
+    fn offer(&self, path: Vec<u8>, witness: W) {
+        let mut best = self.best.lock().expect("search mutex poisoned");
+        match &*best {
+            Some((existing, _)) if *existing <= path => {}
+            _ => *best = Some((path, witness)),
+        }
+    }
+
+    /// `true` once `path` can no longer influence the outcome: a
+    /// candidate with a smaller (or equal-prefix) path already exists.
+    ///
+    /// A candidate only *loses* to boxes with strictly smaller paths,
+    /// so anything ≥ the current best path is dead work.
+    fn is_dead(&self, path: &[u8]) -> bool {
+        let best = self.best.lock().expect("search mutex poisoned");
+        matches!(&*best, Some((winning, _)) if winning.as_slice() <= path)
+    }
+
+    /// Marks one box fully processed; wakes every parked worker when it
+    /// was the last (taking the pool lock first so no waiter can miss
+    /// the notification between its predicate check and its `wait`).
+    fn finish_box(&self) {
+        if self.pending.fetch_sub(1, AtomicOrdering::AcqRel) == 1 {
+            let _pool = self.pool.lock().expect("search mutex poisoned");
+            self.available.notify_all();
+        }
+    }
+}
+
+/// Raises the search's abort flag if the owning worker unwinds, so
+/// sibling workers exit their idle wait instead of hanging on a
+/// `pending` count that can no longer reach zero; `std::thread::scope`
+/// then joins everyone and propagates the original panic.
+struct AbortOnPanic<'a, R, W>(&'a ParallelSearch<R, W>);
+
+impl<R, W> Drop for AbortOnPanic<'_, R, W> {
+    fn drop(&mut self) {
+        if std::thread::panicking() {
+            self.0.abort.store(true, AtomicOrdering::Release);
+            self.0.available.notify_all();
+        }
+    }
+}
+
+/// Work-stealing parallel search: workers keep a private LIFO stack and
+/// overflow halves into a shared steal pool. Each box carries its DFS
+/// *path key*, and a found witness only wins if no candidate with a
+/// lexicographically smaller path exists — which reproduces the serial
+/// first-witness order exactly, so serial and parallel runs return the
+/// identical witness (DESIGN.md §7).
+///
+/// Requires a **complete** domain: every box resolves to
+/// `Pruned`/`Witness`/`Split`. Abandoning decisions make the verdict
+/// depend on exploration order, so a worker that receives one panics
+/// (budgeted/incomplete domains belong on [`search_serial`], which
+/// [`search_with_threads`] enforces for box budgets).
+///
+/// # Panics
+///
+/// Panics if the domain returns [`BoxDecision::Abandon`] or
+/// [`BoxDecision::AbandonAll`].
+#[must_use]
+pub fn search_parallel<D: SearchDomain>(
+    domain: &D,
+    root: D::Region,
+    threads: usize,
+) -> (SearchOutcome<D::Witness>, SearchStats) {
+    let search = ParallelSearch {
+        pool: Mutex::new(vec![Work {
+            region: root,
+            path: Vec::new(),
+        }]),
+        available: Condvar::new(),
+        pending: AtomicUsize::new(1),
+        abort: AtomicBool::new(false),
+        best: Mutex::new(None),
+        stats: Mutex::new(SearchStats::default()),
+    };
+    // Keep roughly two stealable boxes per worker in the pool; beyond
+    // that splits stay in the worker's private stack.
+    let pool_target = threads * 2;
+
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|| worker(domain, &search, pool_target));
+        }
+    });
+
+    let stats = *search.stats.lock().expect("search mutex poisoned");
+    let best = search.best.into_inner().expect("search mutex poisoned");
+    let outcome = match best {
+        Some((_, witness)) => SearchOutcome::Witness(witness),
+        // Complete domains never abandon (enforced by the worker), so
+        // an empty best is a full proof.
+        None => SearchOutcome::Proven,
+    };
+    (outcome, stats)
+}
+
+fn worker<D: SearchDomain>(
+    domain: &D,
+    search: &ParallelSearch<D::Region, D::Witness>,
+    pool_target: usize,
+) {
+    let _abort_guard = AbortOnPanic(search);
+    let mut local: Vec<Work<D::Region>> = Vec::new();
+    let mut stats = SearchStats::default();
+    'work: loop {
+        let work = match local.pop() {
+            Some(w) => w,
+            None => {
+                // Park on the pool until work, completion, or abort.
+                let mut pool = search.pool.lock().expect("search mutex poisoned");
+                loop {
+                    if search.abort.load(AtomicOrdering::Acquire) {
+                        break 'work;
+                    }
+                    if let Some(w) = pool.pop() {
+                        break w;
+                    }
+                    if search.pending.load(AtomicOrdering::Acquire) == 0 {
+                        break 'work;
+                    }
+                    pool = search.available.wait(pool).expect("search mutex poisoned");
+                }
+            }
+        };
+
+        if search.abort.load(AtomicOrdering::Acquire) {
+            break;
+        }
+        if search.is_dead(&work.path) {
+            // Nothing in this subtree can beat the current best witness.
+            search.finish_box();
+            continue;
+        }
+
+        stats.boxes_visited += 1;
+        let depth = u32::try_from(work.path.len()).expect("split depth fits u32");
+        match domain.decide(&work.region, depth, &mut stats) {
+            BoxDecision::Pruned => {}
+            BoxDecision::Witness(w) | BoxDecision::UniformWitness(w) => {
+                search.offer(work.path.clone(), w);
+            }
+            BoxDecision::Abandon | BoxDecision::AbandonAll => {
+                // An abandoning domain makes the verdict depend on the
+                // exploration order (serial stops at the first
+                // `AbandonAll`; concurrent workers may race a witness
+                // against the abort flag), so the deterministic
+                // first-witness contract cannot hold — refuse loudly
+                // instead of returning a scheduling-dependent answer.
+                panic!(
+                    "incomplete domains (Abandon/AbandonAll) must use the \
+                     serial search"
+                );
+            }
+            BoxDecision::Split(a, b) => {
+                let mut left_path = work.path.clone();
+                left_path.push(0);
+                let mut right_path = work.path;
+                right_path.push(1);
+                search.pending.fetch_add(1, AtomicOrdering::AcqRel);
+                let right = Work {
+                    region: b,
+                    path: right_path,
+                };
+                // Donate the right half when the pool runs low so idle
+                // workers always find food; keep it local otherwise.
+                {
+                    let mut pool = search.pool.lock().expect("search mutex poisoned");
+                    if pool.len() < pool_target {
+                        pool.push(right);
+                        search.available.notify_one();
+                    } else {
+                        drop(pool);
+                        local.push(right);
+                    }
+                }
+                local.push(Work {
+                    region: a,
+                    path: left_path,
+                });
+                // The parent box is consumed but two children were
+                // added: net pending change is +1, done above.
+                continue;
+            }
+        }
+        search.finish_box();
+    }
+    search
+        .stats
+        .lock()
+        .expect("search mutex poisoned")
+        .merge(&stats);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::domain::BoxDecision;
+
+    /// A toy domain over integer ranges: witnesses are the members of a
+    /// fixed "bad" set; a range splits until it is a single integer.
+    struct RangeDomain {
+        bad: Vec<i64>,
+        /// Ranges at least this wide prune immediately if they contain
+        /// no bad point (models a screening tier).
+        abandon_at_depth: Option<u32>,
+    }
+
+    impl SearchDomain for RangeDomain {
+        type Region = (i64, i64);
+        type Witness = i64;
+
+        fn decide(
+            &self,
+            &(lo, hi): &(i64, i64),
+            depth: u32,
+            stats: &mut SearchStats,
+        ) -> BoxDecision<(i64, i64), i64> {
+            if !self.bad.iter().any(|&b| lo <= b && b <= hi) {
+                stats.pruned_correct += 1;
+                return BoxDecision::Pruned;
+            }
+            if lo == hi {
+                stats.exact_evals += 1;
+                return BoxDecision::Witness(lo);
+            }
+            if self.bad.iter().all(|&b| lo <= b && b <= hi) && self.bad.len() as i64 == hi - lo + 1
+            {
+                stats.proved_wrong += 1;
+                return BoxDecision::UniformWitness(lo);
+            }
+            if let Some(cap) = self.abandon_at_depth {
+                if depth >= cap {
+                    return BoxDecision::Abandon;
+                }
+            }
+            stats.splits += 1;
+            let mid = lo + (hi - lo) / 2;
+            BoxDecision::Split((lo, mid), (mid + 1, hi))
+        }
+    }
+
+    #[test]
+    fn serial_finds_first_witness_or_proves() {
+        let domain = RangeDomain {
+            bad: vec![17, 40],
+            abandon_at_depth: None,
+        };
+        let (outcome, stats) = search_serial(&domain, (0, 63), None);
+        assert_eq!(outcome, SearchOutcome::Witness(17), "canonical first");
+        assert!(stats.boxes_visited > 0);
+        let clean = RangeDomain {
+            bad: vec![],
+            abandon_at_depth: None,
+        };
+        let (outcome, stats) = search_serial(&clean, (0, 63), None);
+        assert!(outcome.is_proven());
+        assert_eq!(stats.pruned_correct, 1);
+        assert_eq!(outcome.witness(), None);
+    }
+
+    #[test]
+    fn parallel_reproduces_the_serial_witness() {
+        let domain = RangeDomain {
+            bad: vec![55, 9, 33],
+            abandon_at_depth: None,
+        };
+        let (serial, _) = search_serial(&domain, (0, 63), None);
+        for threads in [2, 4] {
+            let (parallel, _) = search_parallel(&domain, (0, 63), threads);
+            assert_eq!(parallel, serial, "{threads} threads");
+        }
+        let (dispatched, _) = search_with_threads(&domain, (0, 63), 4, None);
+        assert_eq!(dispatched, serial);
+    }
+
+    #[test]
+    fn budget_exhaustion_degrades_to_undecided() {
+        let domain = RangeDomain {
+            bad: vec![63],
+            abandon_at_depth: None,
+        };
+        let (outcome, stats) = search_serial(&domain, (0, 63), Some(2));
+        assert_eq!(outcome, SearchOutcome::Undecided);
+        assert!(stats.budget_exhausted);
+        assert_eq!(stats.boxes_visited, 2);
+    }
+
+    #[test]
+    fn depth_abandon_degrades_to_undecided_without_budget_flag() {
+        let domain = RangeDomain {
+            bad: vec![63],
+            abandon_at_depth: Some(1),
+        };
+        let (outcome, stats) = search_serial(&domain, (0, 63), None);
+        assert_eq!(outcome, SearchOutcome::Undecided);
+        assert!(!stats.budget_exhausted);
+    }
+
+    #[test]
+    #[should_panic(expected = "serial search")]
+    fn budget_with_threads_is_rejected() {
+        let domain = RangeDomain {
+            bad: vec![],
+            abandon_at_depth: None,
+        };
+        let _ = search_with_threads(&domain, (0, 7), 2, Some(8));
+    }
+
+    #[test]
+    #[should_panic(expected = "scoped thread panicked")]
+    fn abandoning_domain_in_parallel_is_rejected() {
+        // An abandoning decision would make the parallel verdict
+        // scheduling-dependent; the worker panics instead and the
+        // scope propagates it.
+        let domain = RangeDomain {
+            bad: vec![63],
+            abandon_at_depth: Some(1),
+        };
+        let _ = search_parallel(&domain, (0, 63), 2);
+    }
+
+    #[test]
+    fn collector_enumerates_with_cap_and_exhaustion() {
+        let domain = RangeDomain {
+            bad: vec![4, 5, 6, 7],
+            abandon_at_depth: None,
+        };
+        let expand = |region: &(i64, i64),
+                      first: i64,
+                      sink: &mut Vec<i64>,
+                      _stats: &mut SearchStats|
+         -> bool {
+            let cap = 3;
+            for v in first..=region.1 {
+                sink.push(v);
+                if sink.len() == cap {
+                    return false;
+                }
+            }
+            true
+        };
+        // The (4,7) box is uniformly bad once the search narrows to it.
+        let (found, exhausted, _) = collect_witnesses(&domain, (0, 7), 3, expand);
+        assert_eq!(found, vec![4, 5, 6]);
+        assert!(!exhausted, "cap reached before the region was exhausted");
+
+        let all = |region: &(i64, i64),
+                   first: i64,
+                   sink: &mut Vec<i64>,
+                   _stats: &mut SearchStats|
+         -> bool {
+            sink.extend(first..=region.1);
+            true
+        };
+        let (found, exhausted, _) = collect_witnesses(&domain, (0, 7), usize::MAX, all);
+        assert_eq!(found, vec![4, 5, 6, 7]);
+        assert!(exhausted);
+    }
+
+    #[test]
+    #[should_panic(expected = "cap must be positive")]
+    fn collector_rejects_zero_cap() {
+        let domain = RangeDomain {
+            bad: vec![],
+            abandon_at_depth: None,
+        };
+        let _ = collect_witnesses(&domain, (0, 7), 0, |_, _, _, _| true);
+    }
+}

@@ -1,0 +1,174 @@
+//! The unified search-statistics block shared by every branch-and-bound
+//! instantiation (DESIGN.md §12).
+//!
+//! Before the `fannet-search` extraction the input-noise checker
+//! (`BabStats`) and the fault checker (`FaultStats`) each carried their
+//! own counter struct with overlapping fields. This is the union: one
+//! domain never touches every counter (the grid-complete input-noise
+//! search has no budget, the budgeted fault search tracks exact-tier
+//! decisions instead of aggregate screen hits), but the meaning of each
+//! field is identical wherever it is incremented. The JSONL protocol
+//! serializes the block under the legacy per-domain keys *and* the
+//! unified form (see `fannet-engine`'s protocol module).
+
+use serde::{Deserialize, Serialize};
+
+/// Counters of one branch-and-bound run (or the merge of several —
+/// tolerance bisections merge their probes' counters).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SearchStats {
+    /// Boxes taken off the work stack.
+    pub boxes_visited: u64,
+    /// Splits performed.
+    pub splits: u64,
+    /// Boxes proven uniformly correct and pruned.
+    pub pruned_correct: u64,
+    /// Boxes proven uniformly wrong (a witness proof).
+    pub proved_wrong: u64,
+    /// Singleton grid points decided by exact evaluation (input-noise
+    /// domain: the ground-truth fallback below every screen).
+    pub exact_evals: u64,
+    /// Boxes some screening tier decided on its own, making the exact
+    /// fallback unnecessary (aggregate over every active screen).
+    pub screen_hits: u64,
+    /// Boxes where every active screen returned `Unknown` and exact work
+    /// still had to run.
+    pub screen_fallbacks: u64,
+    /// Boxes the float-interval tier classified.
+    pub interval_hits: u64,
+    /// Boxes the float-interval tier handed to the next tier.
+    pub interval_fallbacks: u64,
+    /// Boxes the zonotope tier classified.
+    pub zonotope_hits: u64,
+    /// Boxes the zonotope tier handed to the next tier.
+    pub zonotope_fallbacks: u64,
+    /// Boxes the exact interval tier classified (budgeted domains, where
+    /// the exact tier is a cascade member rather than a grid fallback).
+    pub exact_decisions: u64,
+    /// Boxes no cascade tier could classify (split or abandoned).
+    pub exact_fallbacks: u64,
+    /// Concrete candidate evaluations (fault domains: faulted networks
+    /// evaluated for probes and witnesses).
+    pub concrete_evals: u64,
+    /// `true` when a box budget ran out before the search finished.
+    pub budget_exhausted: bool,
+}
+
+impl SearchStats {
+    /// Accumulates another run's counters into `self`.
+    pub fn merge(&mut self, other: &SearchStats) {
+        self.boxes_visited += other.boxes_visited;
+        self.splits += other.splits;
+        self.pruned_correct += other.pruned_correct;
+        self.proved_wrong += other.proved_wrong;
+        self.exact_evals += other.exact_evals;
+        self.screen_hits += other.screen_hits;
+        self.screen_fallbacks += other.screen_fallbacks;
+        self.interval_hits += other.interval_hits;
+        self.interval_fallbacks += other.interval_fallbacks;
+        self.zonotope_hits += other.zonotope_hits;
+        self.zonotope_fallbacks += other.zonotope_fallbacks;
+        self.exact_decisions += other.exact_decisions;
+        self.exact_fallbacks += other.exact_fallbacks;
+        self.concrete_evals += other.concrete_evals;
+        self.budget_exhausted |= other.budget_exhausted;
+    }
+
+    /// Fraction of screened boxes some screening tier decided on its
+    /// own; `None` when screening never ran.
+    #[must_use]
+    pub fn screen_hit_rate(&self) -> Option<f64> {
+        Self::rate(self.screen_hits, self.screen_fallbacks)
+    }
+
+    /// Fraction of interval-tier passes that classified their box;
+    /// `None` when the interval tier never ran.
+    #[must_use]
+    pub fn interval_hit_rate(&self) -> Option<f64> {
+        Self::rate(self.interval_hits, self.interval_fallbacks)
+    }
+
+    /// Fraction of zonotope-tier passes that classified their box (in a
+    /// cascade these are exactly the boxes the interval tier gave up
+    /// on); `None` when the zonotope tier never ran.
+    #[must_use]
+    pub fn zonotope_hit_rate(&self) -> Option<f64> {
+        Self::rate(self.zonotope_hits, self.zonotope_fallbacks)
+    }
+
+    fn rate(hits: u64, fallbacks: u64) -> Option<f64> {
+        let total = hits + fallbacks;
+        if total == 0 {
+            None
+        } else {
+            Some(hits as f64 / total as f64)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn filled() -> SearchStats {
+        SearchStats {
+            boxes_visited: 1,
+            splits: 2,
+            pruned_correct: 3,
+            proved_wrong: 4,
+            exact_evals: 5,
+            screen_hits: 6,
+            screen_fallbacks: 7,
+            interval_hits: 8,
+            interval_fallbacks: 9,
+            zonotope_hits: 10,
+            zonotope_fallbacks: 11,
+            exact_decisions: 12,
+            exact_fallbacks: 13,
+            concrete_evals: 14,
+            budget_exhausted: false,
+        }
+    }
+
+    #[test]
+    fn merge_accumulates_every_counter() {
+        let mut a = filled();
+        let b = SearchStats {
+            budget_exhausted: true,
+            ..filled()
+        };
+        a.merge(&b);
+        assert_eq!(
+            a,
+            SearchStats {
+                boxes_visited: 2,
+                splits: 4,
+                pruned_correct: 6,
+                proved_wrong: 8,
+                exact_evals: 10,
+                screen_hits: 12,
+                screen_fallbacks: 14,
+                interval_hits: 16,
+                interval_fallbacks: 18,
+                zonotope_hits: 20,
+                zonotope_fallbacks: 22,
+                exact_decisions: 24,
+                exact_fallbacks: 26,
+                concrete_evals: 28,
+                budget_exhausted: true,
+            }
+        );
+        assert_eq!(a.interval_hit_rate(), Some(16.0 / 34.0));
+        assert_eq!(a.zonotope_hit_rate(), Some(20.0 / 42.0));
+        assert_eq!(a.screen_hit_rate(), Some(12.0 / 26.0));
+    }
+
+    #[test]
+    fn empty_rates_are_none() {
+        let s = SearchStats::default();
+        assert_eq!(s.screen_hit_rate(), None);
+        assert_eq!(s.interval_hit_rate(), None);
+        assert_eq!(s.zonotope_hit_rate(), None);
+        assert!(!s.budget_exhausted);
+    }
+}

@@ -1,0 +1,150 @@
+//! Which screening tiers run before the domain's exact decision
+//! procedure — shared by the input-noise, weight-fault and joint
+//! checkers.
+
+use serde::{Deserialize, Serialize};
+
+/// Which screening tiers route each box before exact work runs.
+///
+/// Every tier is a sound over-approximation, so the *verdict and
+/// witness* are identical across all four settings (enforced by
+/// `tests/checker_cross_validation.rs`); only which tier pays for each
+/// box changes. Cheapest-first is the design invariant: an interval
+/// pass is one `f64` multiply-add per weight, a zonotope pass is one
+/// per weight *per tracked symbol*, exact rational propagation is
+/// gcd-heavy `i128` arithmetic.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ScreeningTier {
+    /// Exact propagation only (the seed baseline).
+    None,
+    /// Outward-rounded `f64` interval screen (DESIGN.md §6).
+    Interval,
+    /// Affine-form zonotope screen classifying on output differences
+    /// (DESIGN.md §10).
+    Zonotope,
+    /// Interval first, zonotope on interval-`Unknown`, exact last —
+    /// cheapest tier that can decide each box pays for it.
+    Cascade,
+}
+
+impl ScreeningTier {
+    /// Every variant, in CLI listing order.
+    pub const ALL: [ScreeningTier; 4] = [
+        ScreeningTier::None,
+        ScreeningTier::Interval,
+        ScreeningTier::Zonotope,
+        ScreeningTier::Cascade,
+    ];
+
+    /// `true` if the float-interval screen runs.
+    #[must_use]
+    pub fn uses_interval(self) -> bool {
+        matches!(self, ScreeningTier::Interval | ScreeningTier::Cascade)
+    }
+
+    /// `true` if the zonotope screen runs.
+    #[must_use]
+    pub fn uses_zonotope(self) -> bool {
+        matches!(self, ScreeningTier::Zonotope | ScreeningTier::Cascade)
+    }
+
+    /// `true` unless every box goes straight to exact propagation.
+    #[must_use]
+    pub fn is_active(self) -> bool {
+        self != ScreeningTier::None
+    }
+
+    /// The CLI spelling (`--screening=<name>`).
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            ScreeningTier::None => "none",
+            ScreeningTier::Interval => "interval",
+            ScreeningTier::Zonotope => "zonotope",
+            ScreeningTier::Cascade => "cascade",
+        }
+    }
+
+    /// Parses the CLI spelling, case-insensitively and ignoring
+    /// surrounding whitespace (`--screening=Cascade` is accepted).
+    ///
+    /// # Errors
+    ///
+    /// Returns a message listing every valid variant.
+    pub fn parse(text: &str) -> Result<Self, String> {
+        let lowered = text.trim().to_ascii_lowercase();
+        ScreeningTier::ALL
+            .into_iter()
+            .find(|tier| tier.name() == lowered)
+            .ok_or_else(|| {
+                let names: Vec<&str> = ScreeningTier::ALL.iter().map(|t| t.name()).collect();
+                format!(
+                    "unknown screening tier `{text}` (expected one of: {})",
+                    names.join(", ")
+                )
+            })
+    }
+}
+
+impl std::str::FromStr for ScreeningTier {
+    type Err = String;
+
+    /// [`ScreeningTier::parse`] under the standard trait, so
+    /// `text.parse::<ScreeningTier>()` works wherever `FromStr` is
+    /// expected.
+    fn from_str(text: &str) -> Result<Self, Self::Err> {
+        ScreeningTier::parse(text)
+    }
+}
+
+impl std::fmt::Display for ScreeningTier {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_round_trip_through_parse_and_from_str() {
+        for tier in ScreeningTier::ALL {
+            assert_eq!(ScreeningTier::parse(tier.name()), Ok(tier));
+            assert_eq!(tier.name().parse::<ScreeningTier>(), Ok(tier));
+            assert_eq!(tier.to_string(), tier.name());
+        }
+    }
+
+    #[test]
+    fn parse_is_case_insensitive_and_trims() {
+        assert_eq!(
+            ScreeningTier::parse(" Cascade "),
+            Ok(ScreeningTier::Cascade)
+        );
+        assert_eq!(
+            "ZONOTOPE".parse::<ScreeningTier>(),
+            Ok(ScreeningTier::Zonotope)
+        );
+        assert_eq!("None".parse::<ScreeningTier>(), Ok(ScreeningTier::None));
+    }
+
+    #[test]
+    fn errors_list_every_variant() {
+        let err = "frobnicate".parse::<ScreeningTier>().unwrap_err();
+        for tier in ScreeningTier::ALL {
+            assert!(err.contains(tier.name()), "{err} lacks {}", tier.name());
+        }
+        assert!(err.contains("frobnicate"), "{err} must echo the input");
+    }
+
+    #[test]
+    fn tier_activity_flags() {
+        assert!(ScreeningTier::Cascade.uses_interval());
+        assert!(ScreeningTier::Cascade.uses_zonotope());
+        assert!(!ScreeningTier::Interval.uses_zonotope());
+        assert!(!ScreeningTier::Zonotope.uses_interval());
+        assert!(!ScreeningTier::None.is_active());
+        assert!(ScreeningTier::Interval.is_active());
+    }
+}

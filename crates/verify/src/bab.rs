@@ -1,4 +1,6 @@
-//! The branch-and-bound decision procedure over noise boxes.
+//! The branch-and-bound decision procedure over noise boxes — the
+//! input-noise instantiation of the generic `fannet-search` core
+//! (DESIGN.md §5/§12).
 //!
 //! This is the reproduction's substitute for nuXmv's symbolic search (see
 //! DESIGN.md §5). The property checked is the paper's **P2**
@@ -6,49 +8,40 @@
 //! noise vector in a [`NoiseRegion`], with optional exclusion of
 //! already-extracted vectors (**P3**).
 //!
-//! The algorithm is classic interval branch-and-bound:
+//! The domain plugged into [`fannet_search`] is:
 //!
-//! 1. propagate the region through the network — through the active
-//!    screening tiers first ([`ScreeningTier`]): the cheap outward-rounded
-//!    `f64` interval shadow ([`crate::propagate::FloatShadow`], DESIGN.md §6),
-//!    then the correlation-tracking zonotope shadow
-//!    ([`crate::zonotope::ZonotopeShadow`], DESIGN.md §10), falling back
-//!    to exact [`crate::propagate::output_intervals`] only when every active
-//!    screen returns `Unknown`;
-//! 2. if the enclosure proves the box *always correct*, prune it (for
-//!    counterexample search, a fully-correct box cannot contain any
-//!    counterexample, excluded or not);
-//! 3. if it proves the box *always wrong*, every grid point is a
-//!    counterexample — return the lexicographically first one not in the
-//!    exclusion set;
-//! 4. otherwise split the widest dimension and recurse; singleton boxes are
-//!    decided by exact rational evaluation ([`exact`]).
+//! * **regions** — integer-percent noise boxes ([`NoiseRegion`]), split
+//!   on the widest dimension, terminating at grid points;
+//! * **cascade** — the float-interval screen
+//!   ([`crate::propagate::FloatShadow`], DESIGN.md §6) and the
+//!   correlation-tracking zonotope screen
+//!   ([`crate::zonotope::ZonotopeShadow`], DESIGN.md §10), with exact
+//!   rational propagation ([`crate::propagate::output_intervals`]) as
+//!   the complete fallback below them;
+//! * **witnesses** — exact [`exact::Counterexample`] records; singleton
+//!   boxes are decided by ground-truth rational evaluation.
 //!
-//! Every verdict is exact: both interval tiers are sound (step 2/3 verdicts
-//! are proofs — the float tier *over-approximates* the exact one, see
-//! [`crate::propagate::classify_box_float`]) and singleton fallback is ground
-//! truth, so the procedure is **sound and complete over the integer noise
-//! grid** — the same finite state space the paper's model checker explores.
-//! Completeness holds because splitting strictly shrinks boxes, terminating
-//! at singletons.
+//! Every verdict is exact: the screening tiers are sound
+//! over-approximations and the singleton fallback is ground truth, so
+//! the procedure is **sound and complete over the integer noise grid** —
+//! the same finite state space the paper's model checker explores.
+//! Completeness holds because splitting strictly shrinks boxes,
+//! terminating at singletons; the search therefore never returns
+//! `Undecided` here.
 //!
 //! ## Parallel search
 //!
-//! [`CheckerConfig::threads`] > 1 runs the same search as a work-stealing
-//! parallel exploration (DESIGN.md §7): workers keep a private LIFO stack
-//! and overflow halves into a shared steal pool. Each box carries its DFS
-//! *path key* (the left/right split choices from the root), and a found
-//! counterexample only wins if no candidate with a lexicographically
-//! smaller path exists — which reproduces the serial first-counterexample
-//! order exactly, so serial, screened and parallel modes return the
-//! identical counterexample.
+//! [`CheckerConfig::threads`] > 1 runs the same search through
+//! [`fannet_search::search_parallel`] (DESIGN.md §7): path-keyed
+//! work-stealing reproduces the serial first-counterexample order
+//! exactly, so serial, screened and parallel modes return the identical
+//! counterexample.
 
 use std::borrow::Cow;
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering as AtomicOrdering};
-use std::sync::{Condvar, Mutex};
 
 use fannet_nn::Network;
 use fannet_numeric::{FloatInterval, Rational};
+use fannet_search::{BoxDecision, Cascade, Classifier, SearchDomain, SearchOutcome, TierKind};
 use fannet_tensor::ShapeError;
 use serde::{Deserialize, Serialize};
 
@@ -60,85 +53,15 @@ use crate::propagate::{
 use crate::region::NoiseRegion;
 use crate::zonotope::{classify_box_zonotope, ZonotopeShadow};
 
+pub use fannet_search::ScreeningTier;
+/// Search statistics of the input-noise checker — since the
+/// `fannet-search` extraction this *is* the unified
+/// [`fannet_search::SearchStats`] block (the budget/exact-tier counters
+/// stay zero here; the grid search is complete and unbudgeted).
+pub use fannet_search::SearchStats as BabStats;
+
 /// Environment variable overriding the default worker count.
 pub const THREADS_ENV: &str = "FANNET_THREADS";
-
-/// Which screening tiers run before exact rational propagation.
-///
-/// Every tier is a sound over-approximation, so the *verdict and witness*
-/// are identical across all four settings (enforced by
-/// `tests/checker_cross_validation.rs`); only which tier pays for each
-/// box changes. Cheapest-first is the design invariant: an interval pass
-/// is one `f64` multiply-add per weight, a zonotope pass is one per
-/// weight *per tracked symbol*, exact rational propagation is gcd-heavy
-/// `i128` arithmetic.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
-pub enum ScreeningTier {
-    /// Exact propagation only (the seed baseline).
-    None,
-    /// Outward-rounded `f64` interval screen (DESIGN.md §6).
-    Interval,
-    /// Affine-form zonotope screen classifying on output differences
-    /// (DESIGN.md §10).
-    Zonotope,
-    /// Interval first, zonotope on interval-`Unknown`, exact last —
-    /// cheapest tier that can decide each box pays for it.
-    Cascade,
-}
-
-impl ScreeningTier {
-    /// `true` if the float-interval screen runs.
-    #[must_use]
-    pub fn uses_interval(self) -> bool {
-        matches!(self, ScreeningTier::Interval | ScreeningTier::Cascade)
-    }
-
-    /// `true` if the zonotope screen runs.
-    #[must_use]
-    pub fn uses_zonotope(self) -> bool {
-        matches!(self, ScreeningTier::Zonotope | ScreeningTier::Cascade)
-    }
-
-    /// `true` unless every box goes straight to exact propagation.
-    #[must_use]
-    pub fn is_active(self) -> bool {
-        self != ScreeningTier::None
-    }
-
-    /// The CLI spelling (`--screening=<name>`).
-    #[must_use]
-    pub fn name(self) -> &'static str {
-        match self {
-            ScreeningTier::None => "none",
-            ScreeningTier::Interval => "interval",
-            ScreeningTier::Zonotope => "zonotope",
-            ScreeningTier::Cascade => "cascade",
-        }
-    }
-
-    /// Parses the CLI spelling.
-    ///
-    /// # Errors
-    ///
-    /// Returns a message listing the accepted names.
-    pub fn parse(text: &str) -> Result<Self, String> {
-        match text.trim().to_ascii_lowercase().as_str() {
-            "none" => Ok(ScreeningTier::None),
-            "interval" => Ok(ScreeningTier::Interval),
-            "zonotope" => Ok(ScreeningTier::Zonotope),
-            "cascade" => Ok(ScreeningTier::Cascade),
-            other => Err(format!(
-                "unknown screening tier `{other}` (expected none/interval/zonotope/cascade)"
-            )),
-        }
-    }
-}
-
-impl std::fmt::Display for ScreeningTier {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.write_str(self.name())
-    }
-}
 
 /// How a region check runs: which screening tiers are active and how many
 /// workers explore the box tree.
@@ -272,90 +195,6 @@ pub fn default_threads() -> usize {
     std::thread::available_parallelism().map_or(1, |n| n.get())
 }
 
-/// Search statistics, exposed for the checker-ablation bench (A2) and for
-/// state-space-growth reporting.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
-pub struct BabStats {
-    /// Boxes taken off the work stack.
-    pub boxes_visited: u64,
-    /// Boxes proven uniformly correct by interval propagation (either tier).
-    pub pruned_correct: u64,
-    /// Boxes proven uniformly wrong by interval propagation (either tier).
-    pub proved_wrong: u64,
-    /// Singleton boxes decided by exact evaluation.
-    pub exact_evals: u64,
-    /// Splits performed.
-    pub splits: u64,
-    /// Boxes resolved by some screening tier alone (no exact propagation
-    /// needed).
-    pub screen_hits: u64,
-    /// Boxes where every active screening tier returned `Unknown` (or a
-    /// point box still needed its exact witness evaluation) and exact
-    /// rational work ran.
-    pub screen_fallbacks: u64,
-    /// Boxes the float-interval tier classified (`AlwaysCorrect` or
-    /// `AlwaysWrong`).
-    pub interval_hits: u64,
-    /// Boxes the float-interval tier ran on but returned `Unknown`,
-    /// handing them to the next tier (zonotope in a cascade, exact
-    /// otherwise).
-    pub interval_fallbacks: u64,
-    /// Boxes the zonotope tier classified (after the interval tier could
-    /// not, when both are active).
-    pub zonotope_hits: u64,
-    /// Boxes the zonotope tier ran on but returned `Unknown`, falling
-    /// through to exact propagation.
-    pub zonotope_fallbacks: u64,
-}
-
-impl BabStats {
-    /// Accumulates another run's counters into `self`.
-    pub fn merge(&mut self, other: &BabStats) {
-        self.boxes_visited += other.boxes_visited;
-        self.pruned_correct += other.pruned_correct;
-        self.proved_wrong += other.proved_wrong;
-        self.exact_evals += other.exact_evals;
-        self.splits += other.splits;
-        self.screen_hits += other.screen_hits;
-        self.screen_fallbacks += other.screen_fallbacks;
-        self.interval_hits += other.interval_hits;
-        self.interval_fallbacks += other.interval_fallbacks;
-        self.zonotope_hits += other.zonotope_hits;
-        self.zonotope_fallbacks += other.zonotope_fallbacks;
-    }
-
-    /// Fraction of screened boxes some screening tier decided on its own;
-    /// `None` when screening never ran.
-    #[must_use]
-    pub fn screen_hit_rate(&self) -> Option<f64> {
-        Self::rate(self.screen_hits, self.screen_fallbacks)
-    }
-
-    /// Fraction of interval-tier passes that classified their box; `None`
-    /// when the interval tier never ran.
-    #[must_use]
-    pub fn interval_hit_rate(&self) -> Option<f64> {
-        Self::rate(self.interval_hits, self.interval_fallbacks)
-    }
-
-    /// Fraction of zonotope-tier passes that classified their box (in a
-    /// cascade these are exactly the boxes the interval tier gave up on);
-    /// `None` when the zonotope tier never ran.
-    #[must_use]
-    pub fn zonotope_hit_rate(&self) -> Option<f64> {
-        Self::rate(self.zonotope_hits, self.zonotope_fallbacks)
-    }
-
-    fn rate(hits: u64, fallbacks: u64) -> Option<f64> {
-        let total = hits + fallbacks;
-        if total == 0 {
-            None
-        } else {
-            Some(hits as f64 / total as f64)
-        }
-    }
-}
-
 /// Outcome of a region check.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub enum RegionOutcome {
@@ -443,7 +282,7 @@ pub fn check_region(
 }
 
 /// [`check_region`] under an explicit [`CheckerConfig`] — the entry point
-/// of the two-tier, optionally parallel checker.
+/// of the tiered, optionally parallel checker.
 ///
 /// # Errors
 ///
@@ -571,19 +410,24 @@ impl<'n> RegionChecker<'n> {
     ) -> Result<(RegionOutcome, BabStats), ShapeError> {
         assert!(label < self.net.outputs(), "label {label} out of range");
         validate_widths(self.net, x, region)?;
-        let ctx = QueryContext::new(
-            self.net,
+        let screens = QueryScreens::new(x, label, self.shadow.as_deref(), self.zonotope.as_deref());
+        let ctx = QueryContext {
+            net: self.net,
             x,
             label,
             excluded,
-            self.shadow.as_deref(),
-            self.zonotope.as_deref(),
-        );
-        if self.config.threads <= 1 {
-            Ok(check_serial(&ctx, region))
-        } else {
-            Ok(check_parallel(&ctx, region, self.config.threads))
-        }
+            cascade: screens.cascade(),
+        };
+        let (outcome, stats) =
+            fannet_search::search_with_threads(&ctx, region.clone(), self.config.threads, None);
+        let outcome = match outcome {
+            SearchOutcome::Proven => RegionOutcome::Robust,
+            SearchOutcome::Witness(ce) => RegionOutcome::Counterexample(ce),
+            // Splitting terminates at grid points and nothing is ever
+            // abandoned: the grid search is complete.
+            SearchOutcome::Undecided => unreachable!("the noise-grid search is complete"),
+        };
+        Ok((outcome, stats))
     }
 
     /// [`collect_region_counterexamples`] through this handle (see the
@@ -607,52 +451,40 @@ impl<'n> RegionChecker<'n> {
         assert!(cap > 0, "cap must be positive");
         validate_widths(self.net, x, region)?;
         let excluded = ExclusionSet::new();
-        let ctx = QueryContext::new(
-            self.net,
+        let screens = QueryScreens::new(x, label, self.shadow.as_deref(), self.zonotope.as_deref());
+        let ctx = QueryContext {
+            net: self.net,
             x,
             label,
-            &excluded,
-            self.shadow.as_deref(),
-            self.zonotope.as_deref(),
-        );
-        let mut stats = BabStats::default();
-        let mut found = Vec::new();
-        let mut stack = vec![region.clone()];
-
-        while let Some(current) = stack.pop() {
-            stats.boxes_visited += 1;
-            match ctx.decide_box(&current, &mut stats) {
-                BoxDecision::Pruned => {}
-                BoxDecision::PointCounterexample(ce) => {
-                    found.push(ce);
-                    if found.len() == cap {
-                        return Ok((found, false, stats));
-                    }
-                }
-                BoxDecision::UniformWrong(first) => {
-                    // With an empty exclusion set the uniform witness is
-                    // the box's first grid point; the remaining points all
-                    // misclassify too (interval proof).
-                    found.push(first);
-                    if found.len() == cap {
-                        return Ok((found, false, stats));
-                    }
-                    for nv in current.iter_points().skip(1) {
-                        let ce = exact::witness(self.net, x, label, &nv)?
-                            .expect("interval proof of misclassification is sound");
-                        found.push(ce);
-                        if found.len() == cap {
-                            return Ok((found, false, stats));
-                        }
-                    }
-                }
-                BoxDecision::Split(a, b) => {
-                    stack.push(b);
-                    stack.push(a);
+            excluded: &excluded,
+            cascade: screens.cascade(),
+        };
+        // With an empty exclusion set the uniform witness is the box's
+        // first grid point; the remaining points all misclassify too
+        // (interval proof), so the expansion enumerates them directly.
+        let expand = |uniform: &NoiseRegion,
+                      first: exact::Counterexample,
+                      sink: &mut Vec<exact::Counterexample>,
+                      _stats: &mut BabStats|
+         -> bool {
+            sink.push(first);
+            if sink.len() == cap {
+                return false;
+            }
+            for nv in uniform.iter_points().skip(1) {
+                let ce = exact::witness(self.net, x, label, &nv)
+                    .expect("widths validated at query entry")
+                    .expect("interval proof of misclassification is sound");
+                sink.push(ce);
+                if sink.len() == cap {
+                    return false;
                 }
             }
-        }
-        Ok((found, true, stats))
+            true
+        };
+        let (found, exhausted, stats) =
+            fannet_search::collect_witnesses(&ctx, region.clone(), cap, expand);
+        Ok((found, exhausted, stats))
     }
 }
 
@@ -773,7 +605,7 @@ pub fn collect_region_counterexamples_with(
 }
 
 // ---------------------------------------------------------------------------
-// Shared query machinery
+// The input-noise search domain
 // ---------------------------------------------------------------------------
 
 fn validate_widths(
@@ -798,81 +630,92 @@ fn validate_widths(
     Ok(())
 }
 
-/// Everything immutable a worker needs to decide boxes for one query.
+/// The float-interval screening tier of one query: the per-network
+/// shadow plus the per-query input enclosure.
+struct IntervalScreen<'a> {
+    shadow: &'a FloatShadow,
+    x: Vec<FloatInterval>,
+    label: usize,
+}
+
+impl Classifier<NoiseRegion> for IntervalScreen<'_> {
+    fn tier(&self) -> TierKind {
+        TierKind::Interval
+    }
+    fn classify(&self, region: &NoiseRegion) -> BoxVerdict {
+        classify_box_float(&self.shadow.output_intervals(&self.x, region), self.label)
+    }
+}
+
+/// The zonotope screening tier of one query: the per-network shadow
+/// plus the per-query `(center, slack)` enclosure.
+struct ZonotopeScreen<'a> {
+    shadow: &'a ZonotopeShadow,
+    x: Vec<(f64, f64)>,
+    label: usize,
+}
+
+impl Classifier<NoiseRegion> for ZonotopeScreen<'_> {
+    fn tier(&self) -> TierKind {
+        TierKind::Zonotope
+    }
+    fn classify(&self, region: &NoiseRegion) -> BoxVerdict {
+        classify_box_zonotope(&self.shadow.output_forms(&self.x, region), self.label)
+    }
+}
+
+/// The per-query screen owners; [`QueryScreens::cascade`] borrows them
+/// into the [`Cascade`] the domain consults per box.
+struct QueryScreens<'a> {
+    interval: Option<IntervalScreen<'a>>,
+    zonotope: Option<ZonotopeScreen<'a>>,
+}
+
+impl<'a> QueryScreens<'a> {
+    fn new(
+        x: &[Rational],
+        label: usize,
+        shadow: Option<&'a FloatShadow>,
+        zonotope: Option<&'a ZonotopeShadow>,
+    ) -> Self {
+        QueryScreens {
+            interval: shadow.map(|shadow| IntervalScreen {
+                shadow,
+                x: FloatShadow::enclose_input(x),
+                label,
+            }),
+            zonotope: zonotope.map(|shadow| ZonotopeScreen {
+                shadow,
+                x: ZonotopeShadow::enclose_input(x),
+                label,
+            }),
+        }
+    }
+
+    fn cascade(&self) -> Cascade<'_, NoiseRegion> {
+        let mut tiers: Vec<&dyn Classifier<NoiseRegion>> = Vec::new();
+        if let Some(screen) = &self.interval {
+            tiers.push(screen);
+        }
+        if let Some(screen) = &self.zonotope {
+            tiers.push(screen);
+        }
+        Cascade::new(tiers)
+    }
+}
+
+/// Everything immutable the search needs to decide boxes for one query.
 struct QueryContext<'a> {
     net: &'a Network<Rational>,
     x: &'a [Rational],
     label: usize,
     excluded: &'a ExclusionSet,
-    /// `Some` iff the interval tier is active: the (borrowed, per-network)
-    /// float shadow plus the per-query input enclosure.
-    shadow: Option<(&'a FloatShadow, Vec<FloatInterval>)>,
-    /// `Some` iff the zonotope tier is active: the (borrowed, per-network)
-    /// zonotope shadow plus the per-query `(center, slack)` enclosure.
-    zonotope: Option<(&'a ZonotopeShadow, Vec<(f64, f64)>)>,
+    cascade: Cascade<'a, NoiseRegion>,
 }
 
-/// How one box was resolved.
-enum BoxDecision {
-    /// Proven free of (fresh) counterexamples — or a point that classifies
-    /// correctly / is excluded.
-    Pruned,
-    /// A singleton grid point that misclassifies.
-    PointCounterexample(exact::Counterexample),
-    /// Interval proof that every grid point misclassifies; carries the
-    /// lexicographically first non-excluded witness. `Pruned` is returned
-    /// instead when the whole box is excluded.
-    UniformWrong(exact::Counterexample),
-    /// Undecided: the two halves to recurse into.
-    Split(NoiseRegion, NoiseRegion),
-}
-
-impl<'a> QueryContext<'a> {
-    fn new(
-        net: &'a Network<Rational>,
-        x: &'a [Rational],
-        label: usize,
-        excluded: &'a ExclusionSet,
-        shadow: Option<&'a FloatShadow>,
-        zonotope: Option<&'a ZonotopeShadow>,
-    ) -> Self {
-        let shadow = shadow.map(|s| (s, FloatShadow::enclose_input(x)));
-        let zonotope = zonotope.map(|z| (z, ZonotopeShadow::enclose_input(x)));
-        QueryContext {
-            net,
-            x,
-            label,
-            excluded,
-            shadow,
-            zonotope,
-        }
-    }
-
-    /// Runs the active screening tiers on one box, cheapest first, and
-    /// returns the first decided verdict (`Unknown` if every tier gives
-    /// up). Per-tier hit/fallback counters record which tier classified.
-    fn screen_box(&self, current: &NoiseRegion, stats: &mut BabStats) -> BoxVerdict {
-        let mut verdict = BoxVerdict::Unknown;
-        if let Some((shadow, xf)) = &self.shadow {
-            verdict = classify_box_float(&shadow.output_intervals(xf, current), self.label);
-            if verdict == BoxVerdict::Unknown {
-                stats.interval_fallbacks += 1;
-            } else {
-                stats.interval_hits += 1;
-            }
-        }
-        if verdict == BoxVerdict::Unknown {
-            if let Some((zono, xe)) = &self.zonotope {
-                verdict = classify_box_zonotope(&zono.output_forms(xe, current), self.label);
-                if verdict == BoxVerdict::Unknown {
-                    stats.zonotope_fallbacks += 1;
-                } else {
-                    stats.zonotope_hits += 1;
-                }
-            }
-        }
-        verdict
-    }
+impl SearchDomain for QueryContext<'_> {
+    type Region = NoiseRegion;
+    type Witness = exact::Counterexample;
 
     /// Classifies one box through the active tiers, updating `stats`.
     ///
@@ -881,10 +724,15 @@ impl<'a> QueryContext<'a> {
     /// still had to run; `interval_*`/`zonotope_*` additionally record
     /// which tier classified each screened box. Widths were validated at
     /// query entry, so propagation cannot fail.
-    fn decide_box(&self, current: &NoiseRegion, stats: &mut BabStats) -> BoxDecision {
+    fn decide(
+        &self,
+        current: &NoiseRegion,
+        _depth: u32,
+        stats: &mut BabStats,
+    ) -> BoxDecision<NoiseRegion, exact::Counterexample> {
         // Screening tiers, cheapest first (sound by over-approximation).
-        let mut verdict = self.screen_box(current, stats);
-        let screened = self.shadow.is_some() || self.zonotope.is_some();
+        let mut verdict = self.cascade.classify(current, stats);
+        let screened = !self.cascade.is_empty();
 
         if current.is_point() {
             // A screening tier can prove a point correct and skip the
@@ -907,7 +755,7 @@ impl<'a> QueryContext<'a> {
             return match exact::witness(self.net, self.x, self.label, &nv)
                 .expect("widths validated at query entry")
             {
-                Some(ce) => BoxDecision::PointCounterexample(ce),
+                Some(ce) => BoxDecision::Witness(ce),
                 None => BoxDecision::Pruned,
             };
         }
@@ -939,7 +787,7 @@ impl<'a> QueryContext<'a> {
                         let ce = exact::witness(self.net, self.x, self.label, &nv)
                             .expect("widths validated at query entry")
                             .expect("interval proof of misclassification is sound");
-                        BoxDecision::UniformWrong(ce)
+                        BoxDecision::UniformWitness(ce)
                     }
                     // Entire box already extracted — nothing fresh here.
                     None => BoxDecision::Pruned,
@@ -952,226 +800,6 @@ impl<'a> QueryContext<'a> {
             }
         }
     }
-}
-
-// ---------------------------------------------------------------------------
-// Serial engine
-// ---------------------------------------------------------------------------
-
-fn check_serial(ctx: &QueryContext<'_>, region: &NoiseRegion) -> (RegionOutcome, BabStats) {
-    let mut stats = BabStats::default();
-    // DFS over sub-boxes; LIFO keeps memory at O(depth · nodes).
-    let mut stack = vec![region.clone()];
-
-    while let Some(current) = stack.pop() {
-        stats.boxes_visited += 1;
-        match ctx.decide_box(&current, &mut stats) {
-            BoxDecision::Pruned => {}
-            BoxDecision::PointCounterexample(ce) | BoxDecision::UniformWrong(ce) => {
-                return (RegionOutcome::Counterexample(ce), stats);
-            }
-            BoxDecision::Split(a, b) => {
-                // Push the right half first so the left (more-negative)
-                // half is explored first — deterministic CE order.
-                stack.push(b);
-                stack.push(a);
-            }
-        }
-    }
-    (RegionOutcome::Robust, stats)
-}
-
-// ---------------------------------------------------------------------------
-// Parallel engine (DESIGN.md §7)
-// ---------------------------------------------------------------------------
-
-/// A box plus its DFS path from the root (`0` = left child, `1` = right).
-///
-/// Decided boxes are leaves of the explored tree, so their paths are
-/// prefix-free and lexicographic path order is exactly serial DFS
-/// pre-order — the key to deterministic first-counterexample semantics.
-struct Work {
-    region: NoiseRegion,
-    path: Vec<u8>,
-}
-
-/// Shared state of one parallel region check.
-struct ParallelSearch {
-    /// Steal pool: idle workers pop from here; busy workers donate the
-    /// sibling of every split while the pool runs low.
-    pool: Mutex<Vec<Work>>,
-    /// Parks idle workers; notified when work arrives, when the last box
-    /// completes, and when a sibling worker panics.
-    available: Condvar,
-    /// Boxes queued or in flight; `0` means the whole tree is explored.
-    pending: AtomicUsize,
-    /// Set when a worker panics so its siblings stop instead of waiting
-    /// forever on `pending` (the dying worker can no longer decrement it).
-    abort: AtomicBool,
-    /// Best (lexicographically-first-path) counterexample found so far.
-    best: Mutex<Option<(Vec<u8>, exact::Counterexample)>>,
-    /// Per-worker stats, merged once at each worker's exit.
-    stats: Mutex<BabStats>,
-}
-
-impl ParallelSearch {
-    /// Records a candidate CE; keeps the smaller path on conflict.
-    fn offer(&self, path: Vec<u8>, ce: exact::Counterexample) {
-        let mut best = self.best.lock().expect("search mutex poisoned");
-        match &*best {
-            Some((existing, _)) if *existing <= path => {}
-            _ => *best = Some((path, ce)),
-        }
-    }
-
-    /// `true` once `path` can no longer influence the outcome: a candidate
-    /// with a smaller (or equal-prefix) path already exists.
-    ///
-    /// A candidate only *loses* to boxes with strictly smaller paths, so
-    /// anything ≥ the current best path is dead work.
-    fn is_dead(&self, path: &[u8]) -> bool {
-        let best = self.best.lock().expect("search mutex poisoned");
-        matches!(&*best, Some((winning, _)) if winning.as_slice() <= path)
-    }
-
-    /// Marks one box fully processed; wakes every parked worker when it
-    /// was the last (taking the pool lock first so no waiter can miss the
-    /// notification between its predicate check and its `wait`).
-    fn finish_box(&self) {
-        if self.pending.fetch_sub(1, AtomicOrdering::AcqRel) == 1 {
-            let _pool = self.pool.lock().expect("search mutex poisoned");
-            self.available.notify_all();
-        }
-    }
-}
-
-/// Raises the search's abort flag if the owning worker unwinds, so sibling
-/// workers exit their idle wait instead of hanging on a `pending` count
-/// that can no longer reach zero; `std::thread::scope` then joins everyone
-/// and propagates the original panic.
-struct AbortOnPanic<'a>(&'a ParallelSearch);
-
-impl Drop for AbortOnPanic<'_> {
-    fn drop(&mut self) {
-        if std::thread::panicking() {
-            self.0.abort.store(true, AtomicOrdering::Release);
-            self.0.available.notify_all();
-        }
-    }
-}
-
-fn check_parallel(
-    ctx: &QueryContext<'_>,
-    region: &NoiseRegion,
-    threads: usize,
-) -> (RegionOutcome, BabStats) {
-    let search = ParallelSearch {
-        pool: Mutex::new(vec![Work {
-            region: region.clone(),
-            path: Vec::new(),
-        }]),
-        available: Condvar::new(),
-        pending: AtomicUsize::new(1),
-        abort: AtomicBool::new(false),
-        best: Mutex::new(None),
-        stats: Mutex::new(BabStats::default()),
-    };
-    // Keep roughly two stealable boxes per worker in the pool; beyond that
-    // splits stay in the worker's private stack.
-    let pool_target = threads * 2;
-
-    std::thread::scope(|scope| {
-        for _ in 0..threads {
-            scope.spawn(|| worker(ctx, &search, pool_target));
-        }
-    });
-
-    let stats = *search.stats.lock().expect("search mutex poisoned");
-    let best = search.best.into_inner().expect("search mutex poisoned");
-    match best {
-        Some((_, ce)) => (RegionOutcome::Counterexample(ce), stats),
-        None => (RegionOutcome::Robust, stats),
-    }
-}
-
-fn worker(ctx: &QueryContext<'_>, search: &ParallelSearch, pool_target: usize) {
-    let _abort_guard = AbortOnPanic(search);
-    let mut local: Vec<Work> = Vec::new();
-    let mut stats = BabStats::default();
-    'work: loop {
-        let work = match local.pop() {
-            Some(w) => w,
-            None => {
-                // Park on the pool until work, completion, or abort.
-                let mut pool = search.pool.lock().expect("search mutex poisoned");
-                loop {
-                    if search.abort.load(AtomicOrdering::Acquire) {
-                        break 'work;
-                    }
-                    if let Some(w) = pool.pop() {
-                        break w;
-                    }
-                    if search.pending.load(AtomicOrdering::Acquire) == 0 {
-                        break 'work;
-                    }
-                    pool = search.available.wait(pool).expect("search mutex poisoned");
-                }
-            }
-        };
-
-        if search.abort.load(AtomicOrdering::Acquire) {
-            break;
-        }
-        if search.is_dead(&work.path) {
-            // Nothing in this subtree can beat the current best CE.
-            search.finish_box();
-            continue;
-        }
-
-        stats.boxes_visited += 1;
-        match ctx.decide_box(&work.region, &mut stats) {
-            BoxDecision::Pruned => {}
-            BoxDecision::PointCounterexample(ce) | BoxDecision::UniformWrong(ce) => {
-                search.offer(work.path.clone(), ce);
-            }
-            BoxDecision::Split(a, b) => {
-                let mut left_path = work.path.clone();
-                left_path.push(0);
-                let mut right_path = work.path;
-                right_path.push(1);
-                search.pending.fetch_add(1, AtomicOrdering::AcqRel);
-                let right = Work {
-                    region: b,
-                    path: right_path,
-                };
-                // Donate the right half when the pool runs low so idle
-                // workers always find food; keep it local otherwise.
-                {
-                    let mut pool = search.pool.lock().expect("search mutex poisoned");
-                    if pool.len() < pool_target {
-                        pool.push(right);
-                        search.available.notify_one();
-                    } else {
-                        drop(pool);
-                        local.push(right);
-                    }
-                }
-                local.push(Work {
-                    region: a,
-                    path: left_path,
-                });
-                // The parent box is consumed but two children were added:
-                // net pending change is +1, done above.
-                continue;
-            }
-        }
-        search.finish_box();
-    }
-    search
-        .stats
-        .lock()
-        .expect("search mutex poisoned")
-        .merge(&stats);
 }
 
 #[cfg(test)]
@@ -1419,6 +1047,10 @@ mod tests {
             stats.exact_evals < full_grid,
             "branch-and-bound should not degenerate to full enumeration ({stats:?})"
         );
+        // The complete grid domain never touches the budgeted counters.
+        assert_eq!(stats.exact_decisions + stats.exact_fallbacks, 0);
+        assert_eq!(stats.concrete_evals, 0);
+        assert!(!stats.budget_exhausted);
     }
 
     #[test]
@@ -1466,44 +1098,6 @@ mod tests {
     }
 
     #[test]
-    fn stats_merge_accumulates_everything() {
-        let mut a = BabStats {
-            boxes_visited: 1,
-            pruned_correct: 2,
-            proved_wrong: 3,
-            exact_evals: 4,
-            splits: 5,
-            screen_hits: 6,
-            screen_fallbacks: 7,
-            interval_hits: 8,
-            interval_fallbacks: 9,
-            zonotope_hits: 10,
-            zonotope_fallbacks: 11,
-        };
-        a.merge(&a.clone());
-        assert_eq!(
-            a,
-            BabStats {
-                boxes_visited: 2,
-                pruned_correct: 4,
-                proved_wrong: 6,
-                exact_evals: 8,
-                splits: 10,
-                screen_hits: 12,
-                screen_fallbacks: 14,
-                interval_hits: 16,
-                interval_fallbacks: 18,
-                zonotope_hits: 20,
-                zonotope_fallbacks: 22,
-            }
-        );
-        assert_eq!(a.interval_hit_rate(), Some(16.0 / 34.0));
-        assert_eq!(a.zonotope_hit_rate(), Some(20.0 / 42.0));
-        assert_eq!(BabStats::default().interval_hit_rate(), None);
-        assert_eq!(BabStats::default().zonotope_hit_rate(), None);
-    }
-
-    #[test]
     fn checker_config_presets_and_env() {
         assert_eq!(CheckerConfig::serial_exact().threads, 1);
         assert_eq!(CheckerConfig::serial_exact().screening, ScreeningTier::None);
@@ -1526,28 +1120,19 @@ mod tests {
     }
 
     #[test]
-    fn screening_tier_names_round_trip() {
-        for tier in [
-            ScreeningTier::None,
-            ScreeningTier::Interval,
-            ScreeningTier::Zonotope,
-            ScreeningTier::Cascade,
-        ] {
+    fn screening_tier_reexport_round_trips() {
+        // The tier moved to fannet-search; the re-exported path must
+        // keep parsing (case-insensitively) and printing as before.
+        for tier in ScreeningTier::ALL {
             assert_eq!(ScreeningTier::parse(tier.name()), Ok(tier));
             assert_eq!(tier.to_string(), tier.name());
         }
         assert_eq!(
-            ScreeningTier::parse(" Cascade "),
+            " Cascade ".parse::<ScreeningTier>(),
             Ok(ScreeningTier::Cascade)
         );
-        assert!(ScreeningTier::parse("frobnicate")
-            .unwrap_err()
-            .contains("none/interval/zonotope/cascade"));
-        assert!(ScreeningTier::Cascade.uses_interval());
-        assert!(ScreeningTier::Cascade.uses_zonotope());
-        assert!(!ScreeningTier::Interval.uses_zonotope());
-        assert!(!ScreeningTier::Zonotope.uses_interval());
-        assert!(!ScreeningTier::None.is_active());
+        let err = ScreeningTier::parse("frobnicate").unwrap_err();
+        assert!(err.contains("none") && err.contains("cascade"), "{err}");
     }
 
     #[test]

@@ -84,18 +84,10 @@ pub fn output_intervals(
     Ok(acts)
 }
 
-/// Sound classification verdict for a whole box, derived from output
-/// enclosures and the maxpool readout's lower-index tie-break.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
-pub enum BoxVerdict {
-    /// Every noise vector in the box keeps the predicted label equal to the
-    /// expected one.
-    AlwaysCorrect,
-    /// Every noise vector in the box produces a different label.
-    AlwaysWrong,
-    /// The enclosure cannot decide; the box must be split or enumerated.
-    Unknown,
-}
+// The verdict type lives in the generic search core since the
+// `fannet-search` extraction; re-exported here so every existing
+// `crate::propagate::BoxVerdict` path keeps working.
+pub use fannet_search::BoxVerdict;
 
 /// Classifies a box from its output enclosures, for expected label `label`.
 ///

@@ -13,6 +13,11 @@
 //!                                             fault tolerance of the case-study
 //!                                             network, or one query with
 //!                                             --input/--label (DESIGN.md §11)
+//! fannet joint [--deltas 0,2,5] [--small]     joint input×weight robustness:
+//!                                             the per-class (δ, ε) frontier of
+//!                                             the case-study network, or one
+//!                                             query with --input/--label
+//!                                             --delta/--model (DESIGN.md §12)
 //! fannet export-smv --model model.json --input 1,2,3,4,5 --label 0 --delta 1
 //!                                             print the SMV translation
 //! fannet serve --model model.json [--once] [--threads N]
@@ -29,10 +34,13 @@ use std::process::ExitCode;
 
 use fannet::core::casestudy::{build, CaseStudyConfig};
 use fannet::core::faults as core_faults;
+use fannet::core::joint as core_joint;
 use fannet::core::tolerance::robustness_radius;
 use fannet::engine::protocol::{parse_request, render_response, Response};
 use fannet::engine::{batch, Engine, EngineConfig};
-use fannet::faults::{FaultChecker, FaultModel, FaultOutcome, ToleranceSearch};
+use fannet::faults::{
+    FaultChecker, FaultModel, FaultOutcome, JointChecker, JointOutcome, ToleranceSearch,
+};
 use fannet::nn::io;
 use fannet::nn::Network;
 use fannet::numeric::Rational;
@@ -69,6 +77,14 @@ const USAGE: &str = "usage:
                 [--denom <D>] [--max-numer <K>]
     without --net, trains the Golub case study and reports per-class
     fault tolerance over its test set; with --input/--label, one query
+  fannet joint [--deltas <d1,d2,...>] [--denom <D>] [--max-numer <K>]
+               [--max-boxes <N>] [--small]
+               [--input <v1,v2,...> --label <L> --delta <D>
+                --model <weight-noise|stuck-at|bit-flips|quantization> ...
+                [--net <model.json>]]
+    without --input, trains the Golub case study and reports the
+    per-class joint (input-noise δ, weight-noise ε) frontier over its
+    test set; with --input/--label, one joint query at ±delta%
   fannet export-smv --model <model.json> --input <v1,v2,...> --label <L> --delta <D>
   fannet serve --model <model.json> [--once] [--threads <N>]
                [--cache-capacity <N>]
@@ -79,6 +95,8 @@ const USAGE: &str = "usage:
       {\"op\":\"sensitivity\",\"input\":[\"100\",\"99\"],\"label\":0,\"delta\":3,\"cap\":10}
       {\"op\":\"fault_check\",\"input\":[\"100\",\"82\"],\"label\":0,\"model\":\"weight-noise\",\"eps\":\"1/50\"}
       {\"op\":\"fault_tolerance\",\"input\":[\"100\",\"82\"],\"label\":0,\"denom\":1000,\"max_numer\":200}
+      {\"op\":\"joint_check\",\"input\":[\"100\",\"82\"],\"label\":0,\"delta\":3,\"model\":\"weight-noise\",\"eps\":\"1/50\"}
+      {\"op\":\"joint_tolerance\",\"input\":[\"100\",\"82\"],\"label\":0,\"delta\":3,\"denom\":100,\"max_numer\":25}
       {\"op\":\"stats\"}";
 
 fn run(args: &[String]) -> Result<(), String> {
@@ -88,6 +106,7 @@ fn run(args: &[String]) -> Result<(), String> {
         "check" => check(rest),
         "radius" => radius(rest),
         "faults" => faults(rest),
+        "joint" => joint(rest),
         "export-smv" => export_smv(rest),
         "serve" => serve(rest),
         "--help" | "-h" | "help" => {
@@ -395,6 +414,162 @@ fn faults(args: &[String]) -> Result<(), String> {
         None => println!("network fault tolerance: no analysed inputs"),
     }
     Ok(())
+}
+
+/// `fannet joint`: joint input-noise × weight-fault robustness
+/// (DESIGN.md §12) — one product query with `--input`/`--label`, or the
+/// per-class (δ, ε) frontier of the Golub case study when no input is
+/// given. Deterministic throughout (the search is serial and the δ/ε
+/// grids are fixed), so repeat runs print the identical report.
+fn joint(args: &[String]) -> Result<(), String> {
+    let denom: i64 = match flag(args, "--denom") {
+        Some(text) => match text.parse() {
+            Ok(d) if d > 0 => d,
+            _ => return Err(format!("bad --denom `{text}` (need a positive integer)")),
+        },
+        None => 100,
+    };
+    let max_numer: i64 = match flag(args, "--max-numer") {
+        Some(text) => match text.parse() {
+            Ok(k) if k >= 0 => k,
+            _ => return Err(format!("bad --max-numer `{text}`")),
+        },
+        None => 25,
+    };
+    let search = ToleranceSearch::new(i128::from(denom), i128::from(max_numer));
+
+    if let Some(input) = flag(args, "--input") {
+        // Single-query mode (works with --net or the trained case study).
+        let x = parse_input(input)?;
+        let label = parse_label(required(args, "--label")?)?;
+        let delta = parse_delta(required(args, "--delta")?)?;
+        let model = parse_fault_model(args)?;
+        let net = match flag(args, "--net") {
+            Some(path) => load_model(path)?,
+            None => faults_case_study(args).exact_net,
+        };
+        validate_query(&net, &x, label)?;
+        // Single queries get the engine/serve budget (512 boxes): the
+        // frontier's slim fan-out default would answer the *same* query
+        // UNKNOWN where `fannet serve`'s joint_check proves it.
+        let base = fannet::faults::FaultCheckerConfig::default();
+        let checker = JointChecker::new(net, joint_checker_config(args, base)?);
+        let noise = fannet::verify::region::NoiseRegion::symmetric(delta, x.len());
+        let (outcome, stats) = checker.check(&x, label, &noise, &model)?;
+        match &outcome {
+            JointOutcome::Robust => println!(
+                "ROBUST: every noise vector within ±{delta}% and every faulted \
+                 network under {model} keep label L{label} ({} product boxes, \
+                 {} concrete probes — this is a proof)",
+                stats.boxes_visited, stats.concrete_evals
+            ),
+            JointOutcome::Vulnerable(w) => {
+                println!("VULNERABLE under ±{delta}% × {model}: {}", w.description);
+                println!("  witness noise: {}", w.noise);
+                println!("  predicted L{} instead of L{}", w.predicted, w.expected);
+                println!(
+                    "  outputs: {:?}",
+                    w.outputs.iter().map(Rational::to_f64).collect::<Vec<_>>()
+                );
+            }
+            JointOutcome::Unknown => println!(
+                "UNKNOWN: the budgeted joint search could not decide ±{delta}% × \
+                 {model} ({} boxes, budget exhausted: {})",
+                stats.boxes_visited, stats.budget_exhausted
+            ),
+        }
+        let (tolerance, _) = checker.tolerance(&x, label, delta, &search)?;
+        match tolerance.robust_eps {
+            Some(eps) => println!(
+                "joint weight-noise tolerance at ±{delta}% input noise: eps >= {eps} \
+                 (~{:.4}, grid k/{denom}, k <= {max_numer})",
+                eps.to_f64()
+            ),
+            None => println!(
+                "no weight-noise eps is certified at ±{delta}% input noise \
+                 (the input noise alone flips, or the search could not decide)"
+            ),
+        }
+        return Ok(());
+    }
+    if flag(args, "--net").is_some() {
+        return Err(
+            "give --input/--label with --net (the per-class frontier needs the \
+             case-study dataset; omit --net to train it)"
+                .to_string(),
+        );
+    }
+
+    // Per-class frontier over the trained case study's test set.
+    let deltas: Vec<i64> = match flag(args, "--deltas") {
+        Some(text) => text
+            .split(',')
+            .map(|part| parse_delta(part.trim()))
+            .collect::<Result<_, _>>()?,
+        None => vec![0, 1, 2, 3, 5],
+    };
+    if deltas.is_empty() {
+        return Err("--deltas needs at least one radius".to_string());
+    }
+    let cs = faults_case_study(args);
+    let correct = fannet::core::behavior::correctly_classified(&cs.exact_net, &cs.test5);
+    let base = core_joint::JointAnalysisConfig::default().checker;
+    let config = core_joint::JointAnalysisConfig {
+        deltas: deltas.clone(),
+        search,
+        checker: joint_checker_config(args, base)?,
+        ..Default::default()
+    };
+    println!(
+        "== joint input×weight robustness of the {} network ==",
+        cs.exact_net
+            .topology()
+            .iter()
+            .map(ToString::to_string)
+            .collect::<Vec<_>>()
+            .join("-")
+    );
+    println!(
+        "largest certified weight-noise eps (grid k/{denom}, k <= {max_numer}) \
+         per input-noise radius ±δ%:"
+    );
+    let report = core_joint::analyze(&cs.exact_net, &cs.test5, &correct, &config);
+    let header: Vec<String> = deltas.iter().map(|d| format!("δ=±{d}%")).collect();
+    println!("  class     {}", header.join("   "));
+    let fmt_cell = |eps: &Option<Rational>| match eps {
+        Some(e) => format!("{:.3}", e.to_f64()),
+        None => "  -  ".to_string(),
+    };
+    for (class, row) in report.per_class_frontier().iter().enumerate() {
+        let cells: Vec<String> = row.iter().map(fmt_cell).collect();
+        println!("  L{class}       {}", cells.join("   "));
+    }
+    let cells: Vec<String> = report.network_frontier().iter().map(fmt_cell).collect();
+    println!("  network  {}", cells.join("   "));
+    println!(
+        "(each cell is a proof: every correctly-classified input of the class \
+         keeps its label under ±δ% input noise and ±ε·|w| weight noise \
+         simultaneously; `-` = not certified at this radius)"
+    );
+    Ok(())
+}
+
+/// The `--max-boxes` override of `fannet joint`'s product searches,
+/// applied to the mode's base budget (single queries run the full
+/// engine default, the per-input frontier the slimmer fan-out budget).
+fn joint_checker_config(
+    args: &[String],
+    base: fannet::faults::FaultCheckerConfig,
+) -> Result<fannet::faults::FaultCheckerConfig, String> {
+    match flag(args, "--max-boxes") {
+        Some(text) => match text.parse::<u64>() {
+            Ok(n) if n > 0 => Ok(base.with_max_boxes(n)),
+            _ => Err(format!(
+                "bad --max-boxes `{text}` (need a positive integer)"
+            )),
+        },
+        None => Ok(base),
+    }
 }
 
 /// Trains the case study for `fannet faults` (`--small` for the quick

@@ -177,6 +177,62 @@ proptest! {
         }
     }
 
+    /// The generic `fannet-search` collector: on random networks the
+    /// single-pass counterexample collection returns, under every
+    /// screening tier, the identical sequence to the serial-exact
+    /// baseline — and as a *set* exactly the brute-force population of
+    /// misclassifying grid points. This pins the post-refactor
+    /// `collect_witnesses` loop (uniform-box expansion included) to the
+    /// pre-refactor semantics.
+    #[test]
+    fn generic_collector_bit_identical_across_tiers_and_complete(
+        seed in 0u64..300,
+        x0 in -30i64..30,
+        x1 in -30i64..30,
+        delta in 1i64..5,
+    ) {
+        use fannet::verify::bab::{
+            collect_region_counterexamples, collect_region_counterexamples_with,
+        };
+        let net = random_exact_net(seed);
+        let x = [
+            Rational::from_integer(i128::from(x0)),
+            Rational::from_integer(i128::from(x1)),
+        ];
+        let label = net.classify(&x).expect("width");
+        let region = NoiseRegion::symmetric(delta, 2);
+        let (baseline, exhausted, _) =
+            collect_region_counterexamples(&net, &x, label, &region, usize::MAX)
+                .expect("widths");
+        prop_assert!(exhausted, "uncapped collection exhausts the region");
+        let baseline_noise: Vec<_> = baseline.iter().map(|ce| ce.noise.clone()).collect();
+        // Set-level completeness against brute force.
+        let mut brute: Vec<_> = region
+            .iter_points()
+            .filter(|nv| {
+                fannet::verify::exact::classify_noisy(&net, &x, nv).expect("width") != label
+            })
+            .collect();
+        let mut sorted = baseline_noise.clone();
+        sorted.sort_by_key(|nv| nv.percents().to_vec());
+        brute.sort_by_key(|nv| nv.percents().to_vec());
+        prop_assert_eq!(sorted, brute, "collector must enumerate every CE exactly once");
+        // Sequence-level identity across every screening tier.
+        for tier in ScreeningTier::ALL {
+            let config = CheckerConfig::serial_exact().with_screening(tier);
+            let (collected, tier_exhausted, _) = collect_region_counterexamples_with(
+                &net, &x, label, &region, usize::MAX, &config,
+            )
+            .expect("widths");
+            prop_assert_eq!(tier_exhausted, exhausted);
+            let got: Vec<_> = collected.iter().map(|ce| ce.noise.clone()).collect();
+            prop_assert_eq!(
+                &got, &baseline_noise,
+                "collection order/content differs under tier {:?}", tier
+            );
+        }
+    }
+
     /// ScreeningTier settings are pure routing: on random asymmetric
     /// regions every tier's verdict and witness equal the serial-exact
     /// baseline's (the box-level guarantee behind the acceptance

@@ -8,7 +8,7 @@
 use fannet::engine::{Engine, EngineConfig};
 use fannet::faults::{
     propagate, FaultChecker, FaultCheckerConfig, FaultModel, FaultOutcome, FaultRegion,
-    FaultedNetwork, ToleranceSearch,
+    FaultedNetwork, JointChecker, JointOutcome, ProductRegion, ToleranceSearch,
 };
 use fannet::nn::{init, quantize, Activation, Network};
 use fannet::numeric::Rational;
@@ -213,6 +213,183 @@ proptest! {
                 FaultOutcome::Unknown => {} // always sound
             }
         }
+    }
+
+    /// The product-region enclosure lemma, against ground truth: every
+    /// sampled (noise grid point, in-model faulted network) pair stays
+    /// inside the [`ProductRegion`] output enclosure — at the root and
+    /// down a chain of alternating splits (the joint domain's abstract
+    /// transformer is sound on every box the search can reach).
+    #[test]
+    fn product_region_enclosure_covers_sampled_pairs_through_splits(
+        seed in 0u64..200,
+        sample_seed in 0u64..1000,
+        x0 in -30i64..30,
+        x1 in -30i64..30,
+        delta in 0i64..4,
+        eps_numer in 0i128..20,
+    ) {
+        let net = random_exact_net(seed);
+        let x = [
+            Rational::from_integer(i128::from(x0)),
+            Rational::from_integer(i128::from(x1)),
+        ];
+        let model = FaultModel::WeightNoise {
+            rel_eps: Rational::new(eps_numer, 100),
+        };
+        let fault = FaultRegion::lift(&net, &model).expect("in-domain model");
+        let mut region = ProductRegion::new(NoiseRegion::symmetric(delta, 2), fault);
+        let mut rng = StdRng::seed_from_u64(sample_seed);
+        for depth in 0..5u32 {
+            let enclosure = region.output_intervals(&x);
+            // Sample noise grid points (corners + a random interior
+            // point) × sampled in-model faulted networks.
+            let ranges = region.noise.ranges().to_vec();
+            let corners = [
+                ranges.iter().map(|&(lo, _)| lo).collect::<Vec<_>>(),
+                ranges.iter().map(|&(_, hi)| hi).collect::<Vec<_>>(),
+                ranges
+                    .iter()
+                    .map(|&(lo, hi)| rng.gen_range(lo..=hi))
+                    .collect::<Vec<_>>(),
+            ];
+            for percents in corners {
+                let nv = fannet::verify::noise::NoiseVector::new(percents);
+                let noisy = nv.apply(&x);
+                // In-box assignments: the sub-box's own corners and
+                // midpoint always work; whole-model samples are only
+                // guaranteed inside the *root* fault box.
+                let mut assignments = vec![
+                    region.fault.corner_lo(),
+                    region.fault.corner_hi(),
+                    region.fault.midpoint(),
+                ];
+                if depth == 0 {
+                    assignments.push(sample_faulted(&net, &model, &mut rng));
+                }
+                for faulted in assignments {
+                    let out = faulted.forward(&noisy).expect("widths");
+                    for (iv, v) in enclosure.iter().zip(&out) {
+                        prop_assert!(
+                            iv.contains(*v),
+                            "pair (noise {}, in-box fault) escapes the product \
+                             enclosure at depth {} (net {}, x {:?}): {} outside {:?}",
+                            nv, depth, seed, x, v, iv
+                        );
+                    }
+                }
+            }
+            match region.split(depth) {
+                // Descend a deterministic-but-varied path.
+                Some((a, b)) => region = if depth % 2 == 0 { a } else { b },
+                None => break,
+            }
+        }
+    }
+
+    /// Joint verdict soundness against ground truth: a joint `Robust`
+    /// is never contradicted by any sampled (grid point, in-model
+    /// fault) pair, and a `Vulnerable` witness genuinely misclassifies
+    /// at its recorded noise vector.
+    #[test]
+    fn joint_robust_verdicts_never_contradicted_by_sampling(
+        seed in 0u64..200,
+        sample_seed in 0u64..1000,
+        x0 in -30i64..30,
+        x1 in -30i64..30,
+        delta in 0i64..4,
+        eps_numer in 0i128..20,
+    ) {
+        let net = random_exact_net(seed);
+        let x = [
+            Rational::from_integer(i128::from(x0)),
+            Rational::from_integer(i128::from(x1)),
+        ];
+        let label = net.classify(&x).expect("widths");
+        let noise = NoiseRegion::symmetric(delta, 2);
+        let model = FaultModel::WeightNoise {
+            rel_eps: Rational::new(eps_numer, 100),
+        };
+        let checker = JointChecker::new(net.clone(), FaultCheckerConfig::default());
+        let (outcome, _) = checker.check(&x, label, &noise, &model).expect("valid query");
+        match &outcome {
+            JointOutcome::Robust => {
+                let mut rng = StdRng::seed_from_u64(sample_seed);
+                for _ in 0..10 {
+                    let percents: Vec<i64> = noise
+                        .ranges()
+                        .iter()
+                        .map(|&(lo, hi)| rng.gen_range(lo..=hi))
+                        .collect();
+                    let nv = fannet::verify::noise::NoiseVector::new(percents);
+                    let faulted = sample_faulted(&net, &model, &mut rng);
+                    prop_assert_eq!(
+                        faulted.classify(&nv.apply(&x)).expect("widths"),
+                        label,
+                        "joint Robust contradicted (net {}, x {:?}, noise {}, δ {}, ε {}/100)",
+                        seed, x, nv, delta, eps_numer
+                    );
+                }
+            }
+            JointOutcome::Vulnerable(w) => {
+                prop_assert_ne!(w.predicted, w.expected);
+                prop_assert_eq!(w.expected, label);
+                prop_assert!(noise.contains(&w.noise), "witness noise inside the box");
+            }
+            JointOutcome::Unknown => {} // always sound
+        }
+        // δ = 0 anchor: the joint verdict kind equals the fault checker's.
+        if delta == 0 {
+            let fault = FaultChecker::new(net.clone(), FaultCheckerConfig::default());
+            let (fault_outcome, _) = fault.check(&x, label, &model).expect("valid query");
+            prop_assert_eq!(
+                outcome.wire_name(),
+                fault_outcome.wire_name(),
+                "δ=0 joint/fault verdicts diverge (net {}, x {:?}, ε {}/100)",
+                seed, x, eps_numer
+            );
+        }
+    }
+
+    /// The engine's joint answers are bit-identical to the cold joint
+    /// checker — cold and warm, including a zero-miss tolerance replay.
+    #[test]
+    fn engine_joint_answers_equal_cold_checker(
+        seed in 0u64..150,
+        x0 in -30i64..30,
+        x1 in -30i64..30,
+        delta in 0i64..3,
+        eps_numer in 0i128..20,
+    ) {
+        let net = random_exact_net(seed);
+        let x = [
+            Rational::from_integer(i128::from(x0)),
+            Rational::from_integer(i128::from(x1)),
+        ];
+        let label = net.classify(&x).expect("widths");
+        let noise = NoiseRegion::symmetric(delta, 2);
+        let cold = JointChecker::new(net.clone(), FaultCheckerConfig::default());
+        let engine = Engine::new(net, EngineConfig::serving());
+        let model = FaultModel::WeightNoise {
+            rel_eps: Rational::new(eps_numer, 100),
+        };
+        let (cold_outcome, cold_stats) =
+            cold.check(&x, label, &noise, &model).expect("valid");
+        let reply = engine.joint_check(&x, label, &noise, &model).expect("valid");
+        prop_assert_eq!(&reply.outcome, &cold_outcome);
+        prop_assert_eq!(reply.stats, cold_stats);
+        let warm = engine.joint_check(&x, label, &noise, &model).expect("valid");
+        prop_assert_eq!(&warm.outcome, &cold_outcome);
+
+        let search = ToleranceSearch::new(50, 10);
+        let (cold_tol, _) = cold.tolerance(&x, label, delta, &search).expect("valid");
+        let engine_tol = engine.joint_tolerance(&x, label, delta, &search).expect("valid");
+        prop_assert_eq!(&engine_tol, &cold_tol);
+        // The warm repeat replays entirely from the cache.
+        let misses = engine.joint_cache_stats().misses;
+        let again = engine.joint_tolerance(&x, label, delta, &search).expect("valid");
+        prop_assert_eq!(&again, &cold_tol);
+        prop_assert_eq!(engine.joint_cache_stats().misses, misses);
     }
 
     /// The engine's fault answers are bit-identical to the cold checker —
