@@ -21,6 +21,8 @@ use fannet_data::normalize::Affine;
 use fannet_engine::{Engine, EngineConfig, EngineStats};
 use fannet_faults::{FaultChecker, FaultCheckerConfig, FaultStats};
 use fannet_nn::{fold, init, quantize, train, Activation};
+use fannet_server::session::{answer_lines, SessionConfig};
+use fannet_server::tcp::serve_tcp;
 use fannet_smv::statespace::{growth_table, PaperFsm};
 use fannet_verify::bab::{
     check_region_exhaustive, find_counterexample, find_counterexample_with, BabStats, CheckerConfig,
@@ -30,6 +32,8 @@ use fannet_verify::region::NoiseRegion;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use serde::Serialize;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{mpsc, Arc};
 use std::time::Instant;
 
 fn header(title: &str) {
@@ -92,6 +96,35 @@ struct EngineThroughputReport {
     engine_stats: EngineStats,
 }
 
+/// One arm of the server throughput comparison: `connections` loopback
+/// clients pipelining the same JSONL batch into one resident
+/// `serve_tcp` front end.
+#[derive(Serialize)]
+struct ServerThroughputArm {
+    connections: usize,
+    requests: usize,
+    seconds: f64,
+    qps: f64,
+    /// `qps / pipe_qps` — how much the resident server beats restarting
+    /// the engine for every batch.
+    speedup_vs_pipe: f64,
+}
+
+/// Resident TCP front end vs the one-shot pipe access pattern (the
+/// PR-7 headline). The baseline re-creates the engine for every batch —
+/// the cost profile of `fannet serve --once < batch.jsonl` per client,
+/// minus process spawn (charitably) — while the server arms share one
+/// resident engine and its verdict cache across connections. Verdicts
+/// are asserted identical between every arm and the pipe baseline.
+#[derive(Serialize)]
+struct ServerThroughputReport {
+    requests_per_connection: usize,
+    pipe_rounds: usize,
+    pipe_seconds: f64,
+    pipe_qps: f64,
+    arms: Vec<ServerThroughputArm>,
+}
+
 /// One arm of the fault ablation: interval-only vs cascade screening
 /// over the *fault space* (weight-noise balls on the trained 5–20–2
 /// network), verdicts asserted identical — the fault-space mirror of the
@@ -138,6 +171,7 @@ struct AblationReport {
     fault_ablation: Vec<FaultAblationRow>,
     joint_ablation: Vec<JointAblationRow>,
     engine_throughput: EngineThroughputReport,
+    server_throughput: ServerThroughputReport,
 }
 
 /// The ablation arms: every checker configuration on identical P2 queries
@@ -508,6 +542,146 @@ fn engine_throughput_report() -> EngineThroughputReport {
     }
 }
 
+/// The JSONL batch each connection pipelines in [`server_throughput_report`]:
+/// per input one tolerance search, checks at two deltas and a joint
+/// input×weight query — the mixed serving load — with ids keyed by line
+/// position so every arm's responses line up.
+fn server_workload(inputs: &[Vec<fannet_numeric::Rational>], labels: &[usize]) -> String {
+    let mut lines = String::new();
+    let mut id = 0u64;
+    for (input, &label) in inputs.iter().zip(labels) {
+        let quoted: Vec<String> = input.iter().map(|r| format!("\"{r}\"")).collect();
+        let vec = quoted.join(",");
+        id += 1;
+        lines += &format!(
+            "{{\"op\":\"tolerance\",\"id\":{id},\"input\":[{vec}],\"label\":{label},\"max_delta\":15}}\n"
+        );
+        for delta in [3, 8] {
+            id += 1;
+            lines += &format!(
+                "{{\"op\":\"check\",\"id\":{id},\"input\":[{vec}],\"label\":{label},\"delta\":{delta}}}\n"
+            );
+        }
+        id += 1;
+        lines += &format!(
+            "{{\"op\":\"joint_check\",\"id\":{id},\"input\":[{vec}],\"label\":{label},\"delta\":2,\"model\":\"weight-noise\",\"eps\":\"1/100\"}}\n"
+        );
+    }
+    lines
+}
+
+/// Resident `serve_tcp` front end at 1/4/8 loopback connections vs the
+/// one-shot pipe baseline (fresh engine per batch), verdicts asserted
+/// identical. The resident arms win by amortizing engine start-up and
+/// sharing the verdict cache across connections — a gain that holds on
+/// a single core, where thread parallelism alone could not.
+fn server_throughput_report() -> ServerThroughputReport {
+    let cs = paper_study();
+    let inputs = fannet_bench::paper_test_inputs();
+    let labels = cs.test5.labels();
+    let batch: Vec<usize> = (0..inputs.len())
+        .filter(|&i| cs.exact_net.classify(&inputs[i]).expect("width") == labels[i])
+        .take(6)
+        .collect();
+    let batch_inputs: Vec<Vec<fannet_numeric::Rational>> =
+        batch.iter().map(|&i| inputs[i].clone()).collect();
+    let batch_labels: Vec<usize> = batch.iter().map(|&i| labels[i]).collect();
+    let workload = server_workload(&batch_inputs, &batch_labels);
+    let requests = workload.lines().count();
+
+    // Pipe baseline: every batch pays a fresh engine (cold verdict
+    // cache), like piping the file into its own `fannet serve --once`.
+    const PIPE_ROUNDS: usize = 2;
+    let t = Instant::now();
+    let mut reference = Vec::new();
+    for _ in 0..PIPE_ROUNDS {
+        let engine = Arc::new(Engine::new(cs.exact_net.clone(), EngineConfig::serving()));
+        reference = answer_lines(engine, &SessionConfig::with_workers(1), &workload);
+    }
+    let pipe_seconds = t.elapsed().as_secs_f64();
+    let pipe_qps = (PIPE_ROUNDS * requests) as f64 / pipe_seconds;
+    // Everything before any `source` attribution is cache-independent.
+    let stable = |line: &str| line.split(",\"source\":").next().unwrap().to_string();
+    let want: Vec<String> = reference.iter().map(|l| stable(l)).collect();
+
+    let mut arms = Vec::new();
+    for connections in [1usize, 4, 8] {
+        let engine = Arc::new(Engine::new(cs.exact_net.clone(), EngineConfig::serving()));
+        let stop = Arc::new(AtomicBool::new(false));
+        let (ready_tx, ready_rx) = mpsc::channel();
+        let server = std::thread::spawn({
+            let stop = Arc::clone(&stop);
+            move || {
+                serve_tcp(
+                    engine,
+                    &SessionConfig::with_workers(2),
+                    "127.0.0.1:0",
+                    move || stop.load(Ordering::Relaxed),
+                    move |addr| {
+                        let _ = ready_tx.send(addr);
+                    },
+                )
+            }
+        });
+        let addr = ready_rx.recv().expect("listener binds");
+        let t = Instant::now();
+        let answers: Vec<Vec<String>> = std::thread::scope(|scope| {
+            let clients: Vec<_> = (0..connections)
+                .map(|_| {
+                    scope.spawn(|| {
+                        use std::io::{BufRead as _, BufReader, Write as _};
+                        let mut stream =
+                            std::net::TcpStream::connect(addr).expect("loopback connect");
+                        stream.write_all(workload.as_bytes()).expect("batch sent");
+                        let mut lines = Vec::with_capacity(requests);
+                        let mut reader = BufReader::new(stream);
+                        for _ in 0..requests {
+                            let mut line = String::new();
+                            reader.read_line(&mut line).expect("response line");
+                            lines.push(line.trim_end().to_string());
+                        }
+                        lines
+                    })
+                })
+                .collect();
+            clients
+                .into_iter()
+                .map(|c| c.join().expect("client thread"))
+                .collect()
+        });
+        let seconds = t.elapsed().as_secs_f64();
+        stop.store(true, Ordering::Relaxed);
+        server
+            .join()
+            .expect("server thread")
+            .expect("serve_tcp exits cleanly");
+        for (c, lines) in answers.iter().enumerate() {
+            let got: Vec<String> = lines.iter().map(|l| stable(l)).collect();
+            assert_eq!(
+                got, want,
+                "connection {c} of {connections}: verdicts must equal the pipe baseline's"
+            );
+        }
+        let total = connections * requests;
+        let qps = total as f64 / seconds;
+        arms.push(ServerThroughputArm {
+            connections,
+            requests: total,
+            seconds,
+            qps,
+            speedup_vs_pipe: qps / pipe_qps,
+        });
+    }
+
+    ServerThroughputReport {
+        requests_per_connection: requests,
+        pipe_rounds: PIPE_ROUNDS,
+        pipe_seconds,
+        pipe_qps,
+        arms,
+    }
+}
+
 /// `--bench-json` mode: run the ablation, print a table, write JSON.
 fn run_bench_json(path: &str) {
     println!("checker ablation (screening tiers × parallel search)");
@@ -616,12 +790,41 @@ fn run_bench_json(path: &str) {
         "the mixed batch must exercise subsumption"
     );
 
+    println!("\nserver throughput (resident TCP front end vs one-shot pipe)");
+    let server = server_throughput_report();
+    println!(
+        "pipe baseline: {} requests/batch × {} rounds  {:>8.1}ms  {:>8.1} qps",
+        server.requests_per_connection,
+        server.pipe_rounds,
+        server.pipe_seconds * 1e3,
+        server.pipe_qps,
+    );
+    for arm in &server.arms {
+        println!(
+            "{:>2} connections: {:>4} requests  {:>8.1}ms  {:>8.1} qps  ({:.2}x vs pipe)",
+            arm.connections,
+            arm.requests,
+            arm.seconds * 1e3,
+            arm.qps,
+            arm.speedup_vs_pipe,
+        );
+        assert!(
+            arm.connections == 1 || arm.qps > server.pipe_qps,
+            "multi-connection arms must beat the one-shot pipe baseline \
+             ({} connections: {:.1} qps vs pipe {:.1} qps)",
+            arm.connections,
+            arm.qps,
+            server.pipe_qps,
+        );
+    }
+
     let json = serde_json::to_string_pretty(&AblationReport {
         checker_ablation: rows,
         zonotope_ablation: zonotope,
         fault_ablation: fault,
         joint_ablation: joint,
         engine_throughput: engine,
+        server_throughput: server,
     })
     .expect("ablation report serializes");
     std::fs::write(path, &json).unwrap_or_else(|e| panic!("cannot write {path}: {e}"));

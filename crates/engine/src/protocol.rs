@@ -1,7 +1,8 @@
 //! The JSONL request/response protocol of `fannet serve` (DESIGN.md §8).
 //!
-//! One request per line on stdin, one response per line on stdout,
-//! `i`-th response answering the `i`-th request. Eight operations:
+//! One request per line, one response per line, `i`-th response
+//! answering the `i`-th request — over stdin/stdout (`fannet serve`) or
+//! a TCP connection (`fannet listen`, DESIGN.md §13). The operations:
 //!
 //! ```text
 //! {"op":"check","id":1,"input":["100","82"],"label":0,"delta":5}
@@ -16,6 +17,7 @@
 //! {"op":"joint_check","input":["100","82"],"label":0,"delta":3,"model":"weight-noise","eps":"1/50"}
 //! {"op":"joint_tolerance","input":["100","82"],"label":0,"delta":3,"denom":100,"max_numer":25}
 //! {"op":"stats"}
+//! {"op":"shutdown"}
 //! ```
 //!
 //! Inputs are exact rationals: strings (`"82"`, `"3/4"`, `"-1.25"`) or
@@ -42,9 +44,17 @@
 //! {"op":"tolerance","radius":12}            // null ⇔ robust through ±max_delta
 //! {"op":"joint_check","verdict":"vulnerable","noise":[-3,3],"fault":"…","source":"solver","stats":{…}}
 //! {"op":"sensitivity","count":4,"exhausted":true,"nodes":[{"node":0,…}]}
-//! {"op":"stats","fingerprint":"…","exact_hits":…,"cache_len":…,"solver":{…}}
+//! {"op":"stats","fingerprint":"…","exact_hits":…,"cache_len":…,"solver":{…},"server":{…}}
+//! {"op":"shutdown","ok":true}
 //! {"op":"error","id":7,"message":"label 3 out of range for 2 outputs"}
 //! ```
+//!
+//! When a serving front end answers a `stats` request it adds a
+//! `server` object (uptime, qps, queue gauges, per-op dispatch counts —
+//! [`crate::stats::ServerStats`]) after the legacy keys; a bare
+//! [`handle`] call leaves it out. `shutdown` asks the front end to
+//! drain and exit: in-flight requests finish and their responses are
+//! delivered, then the session closes (DESIGN.md §13).
 //!
 //! Since the `fannet-search` extraction, solver counters ride in **two**
 //! forms: the historical per-domain shape under the legacy keys
@@ -166,6 +176,14 @@ pub enum Request {
     },
     /// Engine/cache/solver counters.
     Stats {
+        /// Client tag echoed in the response.
+        id: Option<u64>,
+    },
+    /// Graceful drain: the front end acknowledges, finishes in-flight
+    /// requests and exits (DESIGN.md §13). The engine itself is
+    /// untouched — this op exists so a TCP server, which never sees a
+    /// stdin EOF, has an in-band way to stop.
+    Shutdown {
         /// Client tag echoed in the response.
         id: Option<u64>,
     },
@@ -294,6 +312,17 @@ pub enum Response {
         joint_cache_len: usize,
         /// Cumulative joint-checker counters.
         joint_solver: FaultStats,
+        /// Front-end metrics (uptime, qps, queue depth, per-op counts),
+        /// filled by the serving session that owns the sockets; `None`
+        /// when the request was answered outside a serving front end
+        /// (e.g. a bare [`handle`] call).
+        server: Option<crate::stats::ServerStats>,
+    },
+    /// Answer to [`Request::Shutdown`]: the drain is acknowledged before
+    /// the front end stops reading.
+    Shutdown {
+        /// Echo of the request tag.
+        id: Option<u64>,
     },
     /// Any failure: malformed line, bad query, or a solver panic.
     Error {
@@ -536,9 +565,10 @@ pub fn parse_request(line: &str) -> Result<Request, String> {
             })
         }
         "stats" => Ok(Request::Stats { id }),
+        "shutdown" => Ok(Request::Shutdown { id }),
         other => Err(format!(
             "unknown op `{other}` (expected check/tolerance/sensitivity/fault_check/\
-             fault_tolerance/joint_check/joint_tolerance/stats)"
+             fault_tolerance/joint_check/joint_tolerance/stats/shutdown)"
         )),
     }
 }
@@ -758,6 +788,7 @@ impl Serialize for Response {
                 joint_cache,
                 joint_cache_len,
                 joint_solver,
+                server,
             } => {
                 st.serialize_field("op", "stats")?;
                 if let Some(id) = id {
@@ -782,6 +813,16 @@ impl Serialize for Response {
                 st.serialize_field("joint_evictions", &joint_cache.evictions)?;
                 st.serialize_field("joint_cache_len", joint_cache_len)?;
                 st.serialize_field("joint_solver", joint_solver)?;
+                if let Some(server) = server {
+                    st.serialize_field("server", server)?;
+                }
+            }
+            Response::Shutdown { id } => {
+                st.serialize_field("op", "shutdown")?;
+                if let Some(id) = id {
+                    st.serialize_field("id", id)?;
+                }
+                st.serialize_field("ok", &true)?;
             }
             Response::Error { id, message } => {
                 st.serialize_field("op", "error")?;
@@ -867,7 +908,8 @@ pub fn request_id(request: &Request) -> Option<u64> {
         | Request::FaultTolerance { id, .. }
         | Request::JointCheck { id, .. }
         | Request::JointTolerance { id, .. }
-        | Request::Stats { id } => *id,
+        | Request::Stats { id }
+        | Request::Shutdown { id } => *id,
     }
 }
 
@@ -1040,7 +1082,11 @@ fn dispatch(engine: &Engine, request: &Request) -> Response {
             joint_cache: engine.joint_cache_stats(),
             joint_cache_len: engine.joint_cache_len(),
             joint_solver: engine.joint_solver_stats(),
+            server: None,
         },
+        // The engine has nothing to drain; the owning front end watches
+        // for this reply and stops reading (DESIGN.md §13).
+        Request::Shutdown { .. } => Response::Shutdown { id },
     }
 }
 
@@ -1571,6 +1617,54 @@ mod tests {
         assert!(line.contains(r#""cache_len":1"#), "{line}");
         assert!(line.contains(r#""fingerprint":""#), "{line}");
         assert!(line.contains(r#""solver":{"#), "{line}");
+    }
+
+    #[test]
+    fn shutdown_round_trips_and_engine_is_untouched() {
+        let e = engine();
+        let req = parse_request(r#"{"op":"shutdown","id":9}"#).unwrap();
+        assert_eq!(req, Request::Shutdown { id: Some(9) });
+        let line = render_response(&handle(&e, &req));
+        assert_eq!(line, r#"{"op":"shutdown","id":9,"ok":true}"#);
+        // No engine state was consulted or mutated.
+        assert_eq!(e.stats().lookups(), 0);
+        // Untagged spelling.
+        let line = render_response(&handle(&e, &parse_request(r#"{"op":"shutdown"}"#).unwrap()));
+        assert_eq!(line, r#"{"op":"shutdown","ok":true}"#);
+    }
+
+    #[test]
+    fn bare_handle_leaves_server_metrics_out_of_stats() {
+        let e = engine();
+        let line = render_response(&handle(&e, &parse_request(r#"{"op":"stats"}"#).unwrap()));
+        assert!(!line.contains(r#""server":"#), "{line}");
+        // A serving front end fills the slot; the key then serializes
+        // after every legacy key (see fannet-server).
+        let req = parse_request(r#"{"op":"stats"}"#).unwrap();
+        let mut resp = handle(&e, &req);
+        if let Response::Stats { server, .. } = &mut resp {
+            *server = Some(crate::stats::ServerStats {
+                uptime_ms: 1,
+                requests_total: 1,
+                requests_in_flight: 1,
+                qps: 1.0,
+                queue_depth: 0,
+                queue_high_water: 1,
+                queue_capacity: 64,
+                connections_open: 1,
+                connections_total: 1,
+                ops: crate::stats::OpCounts {
+                    stats: 1,
+                    ..Default::default()
+                },
+            });
+        }
+        let line = render_response(&resp);
+        assert!(
+            line.contains(r#""joint_solver":{"#) && line.contains(r#""server":{"uptime_ms":1"#),
+            "{line}"
+        );
+        assert!(line.contains(r#""ops":{"check":0"#), "{line}");
     }
 
     #[test]

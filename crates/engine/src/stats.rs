@@ -54,6 +54,90 @@ impl EngineStats {
     }
 }
 
+/// Per-operation dispatch counts of a serving front end.
+///
+/// Requests are counted when a worker *starts* handling them (dispatch
+/// time), so with one worker the counts a `stats` request observes are
+/// deterministic: every earlier request of the session, plus itself.
+/// Lines that never parsed into a request (malformed JSON, oversized or
+/// non-UTF-8 frames) count under `invalid`.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct OpCounts {
+    /// `check` requests dispatched.
+    pub check: u64,
+    /// `tolerance` requests dispatched.
+    pub tolerance: u64,
+    /// `sensitivity` requests dispatched.
+    pub sensitivity: u64,
+    /// `fault_check` requests dispatched.
+    pub fault_check: u64,
+    /// `fault_tolerance` requests dispatched.
+    pub fault_tolerance: u64,
+    /// `joint_check` requests dispatched.
+    pub joint_check: u64,
+    /// `joint_tolerance` requests dispatched.
+    pub joint_tolerance: u64,
+    /// `stats` requests dispatched.
+    pub stats: u64,
+    /// `shutdown` requests dispatched.
+    pub shutdown: u64,
+    /// Lines that produced an error response before dispatch (malformed
+    /// JSON, unknown op, oversized frame, invalid UTF-8).
+    pub invalid: u64,
+}
+
+impl OpCounts {
+    /// Total lines dispatched (every counter summed).
+    #[must_use]
+    pub fn total(&self) -> u64 {
+        self.check
+            + self.tolerance
+            + self.sensitivity
+            + self.fault_check
+            + self.fault_tolerance
+            + self.joint_check
+            + self.joint_tolerance
+            + self.stats
+            + self.shutdown
+            + self.invalid
+    }
+}
+
+/// The operator metrics surface of a serving front end (DESIGN.md §13),
+/// serialized under the `server` key of a `stats` response — alongside,
+/// never instead of, the legacy cache/solver counters.
+///
+/// `uptime_ms`, `qps`, `queue_depth` and `queue_high_water` are
+/// wall-clock- or scheduling-dependent; golden tests mask exactly those
+/// four fields and compare everything else byte-exact.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ServerStats {
+    /// Milliseconds since the front end started serving.
+    pub uptime_ms: u64,
+    /// Requests dispatched to a worker over the session's lifetime
+    /// (equals [`OpCounts::total`]).
+    pub requests_total: u64,
+    /// Requests currently being handled by a worker (a `stats` request
+    /// counts itself, so a quiet single-worker session reports 1).
+    pub requests_in_flight: u64,
+    /// `requests_total` per second of uptime.
+    pub qps: f64,
+    /// Requests queued but not yet claimed by a worker, sampled when the
+    /// `stats` request was handled.
+    pub queue_depth: u64,
+    /// Deepest the bounded request queue ever got.
+    pub queue_high_water: u64,
+    /// The queue bound: readers block (and TCP flow control pushes back
+    /// on clients) once this many requests are waiting.
+    pub queue_capacity: u64,
+    /// Connections currently open (the stdin front end reports 1).
+    pub connections_open: u64,
+    /// Connections accepted over the session's lifetime.
+    pub connections_total: u64,
+    /// Per-operation dispatch counts.
+    pub ops: OpCounts,
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -81,6 +165,49 @@ mod tests {
         let json = serde_json::to_string(&s).unwrap();
         assert!(json.contains("\"subsumption_hits\":0"), "{json}");
         let back: EngineStats = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, s);
+    }
+
+    #[test]
+    fn op_counts_total_sums_every_counter() {
+        let ops = OpCounts {
+            check: 1,
+            tolerance: 2,
+            sensitivity: 3,
+            fault_check: 4,
+            fault_tolerance: 5,
+            joint_check: 6,
+            joint_tolerance: 7,
+            stats: 8,
+            shutdown: 9,
+            invalid: 10,
+        };
+        assert_eq!(ops.total(), 55);
+        assert_eq!(OpCounts::default().total(), 0);
+    }
+
+    #[test]
+    fn server_stats_round_trip() {
+        let s = ServerStats {
+            uptime_ms: 1500,
+            requests_total: 12,
+            requests_in_flight: 1,
+            qps: 8.0,
+            queue_depth: 0,
+            queue_high_water: 3,
+            queue_capacity: 1024,
+            connections_open: 2,
+            connections_total: 5,
+            ops: OpCounts {
+                check: 11,
+                stats: 1,
+                ..OpCounts::default()
+            },
+        };
+        let json = serde_json::to_string(&s).unwrap();
+        assert!(json.contains("\"queue_high_water\":3"), "{json}");
+        assert!(json.contains("\"ops\":{\"check\":11"), "{json}");
+        let back: ServerStats = serde_json::from_str(&json).unwrap();
         assert_eq!(back, s);
     }
 }

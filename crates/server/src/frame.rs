@@ -1,0 +1,233 @@
+//! Bounded line framing for the JSONL front ends (DESIGN.md §13).
+//!
+//! `BufRead::lines` would buffer a newline-free stream without limit — a
+//! single hostile connection could then exhaust memory before the first
+//! request parses. [`FramedLineReader`] reads through a fixed-size chunk
+//! buffer instead and enforces a per-line byte cap: an oversized line
+//! yields one [`Frame::TooLong`] (the front end answers it with a
+//! contained `error` response) and the remainder of that line is
+//! discarded up to its newline, after which framing resumes cleanly.
+//!
+//! Framing matches `BufRead::lines` where they overlap, so the stdio
+//! front end stays byte-identical to the historical serve loop: the
+//! terminating `\n` is stripped, one trailing `\r` before it is stripped
+//! too, and EOF flushes a final unterminated line. Invalid UTF-8 becomes
+//! [`Frame::Invalid`] rather than an I/O error, because one garbage line
+//! must never end the connection.
+
+use std::io::{ErrorKind, Read};
+
+/// Default per-line byte cap of both front ends (`--max-line-bytes`).
+///
+/// A worst-case legitimate request — a `check` with an explicit
+/// per-node `region` over a few thousand inputs, every component an
+/// exact rational string — stays well under this; a megabyte of
+/// newline-free garbage does not.
+pub const DEFAULT_MAX_LINE_BYTES: usize = 1 << 20;
+
+/// One framed unit of input.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Frame {
+    /// A complete line, newline (and one trailing `\r`) stripped.
+    Line(String),
+    /// A line that exceeded the byte cap; its payload was discarded.
+    TooLong {
+        /// The configured cap the line overran.
+        limit: usize,
+    },
+    /// A complete line that was not valid UTF-8.
+    Invalid,
+}
+
+/// A line reader with a hard per-line byte bound.
+#[derive(Debug)]
+pub struct FramedLineReader<R> {
+    inner: R,
+    /// Unconsumed bytes carried between reads.
+    buf: Vec<u8>,
+    max_line_bytes: usize,
+    /// Inside an oversized line: drop bytes until its newline.
+    discarding: bool,
+    eof: bool,
+}
+
+impl<R: Read> FramedLineReader<R> {
+    /// Wraps `inner`, capping every line at `max_line_bytes` bytes
+    /// (minimum 1; the cap excludes the newline itself).
+    #[must_use]
+    pub fn new(inner: R, max_line_bytes: usize) -> Self {
+        FramedLineReader {
+            inner,
+            buf: Vec::new(),
+            max_line_bytes: max_line_bytes.max(1),
+            discarding: false,
+            eof: false,
+        }
+    }
+
+    /// Returns the next frame, or `None` on EOF, a hard read error, or
+    /// when `stop` reports true during a read timeout.
+    ///
+    /// `stop` is consulted only when the underlying reader returns
+    /// `WouldBlock`/`TimedOut` (a socket with a read timeout) or
+    /// `Interrupted` — a reader blocked on an untimed pipe simply stays
+    /// blocked, which is why the TCP front end arms read timeouts on
+    /// every accepted socket (DESIGN.md §13).
+    pub fn next_frame(&mut self, stop: &dyn Fn() -> bool) -> Option<Frame> {
+        loop {
+            // A complete line in the carry buffer?
+            if let Some(pos) = self.buf.iter().position(|&b| b == b'\n') {
+                let rest = self.buf.split_off(pos + 1);
+                let mut line = std::mem::replace(&mut self.buf, rest);
+                line.pop(); // the `\n`
+                if self.discarding {
+                    // Tail of an oversized line already answered.
+                    self.discarding = false;
+                    continue;
+                }
+                return Some(finish_line(line, self.max_line_bytes));
+            }
+            // No newline yet: an overlong prefix is answered once, then
+            // discarded to its newline.
+            if self.buf.len() > self.max_line_bytes {
+                self.buf.clear();
+                if !self.discarding {
+                    self.discarding = true;
+                    return Some(Frame::TooLong {
+                        limit: self.max_line_bytes,
+                    });
+                }
+                continue;
+            }
+            if self.eof {
+                if self.buf.is_empty() || self.discarding {
+                    return None;
+                }
+                // Final unterminated line, exactly like `BufRead::lines`.
+                let line = std::mem::take(&mut self.buf);
+                return Some(finish_line(line, self.max_line_bytes));
+            }
+            let mut chunk = [0u8; 8192];
+            match self.inner.read(&mut chunk) {
+                Ok(0) => self.eof = true,
+                Ok(n) => self.buf.extend_from_slice(&chunk[..n]),
+                Err(e) => match e.kind() {
+                    ErrorKind::WouldBlock | ErrorKind::TimedOut | ErrorKind::Interrupted => {
+                        if stop() {
+                            return None;
+                        }
+                    }
+                    // A dead socket ends this connection, nothing more.
+                    _ => return None,
+                },
+            }
+        }
+    }
+}
+
+/// Strips one trailing `\r` (CRLF clients) and decodes.
+fn finish_line(mut line: Vec<u8>, limit: usize) -> Frame {
+    if line.last() == Some(&b'\r') {
+        line.pop();
+    }
+    if line.len() > limit {
+        return Frame::TooLong { limit };
+    }
+    match String::from_utf8(line) {
+        Ok(s) => Frame::Line(s),
+        Err(_) => Frame::Invalid,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn never() -> bool {
+        false
+    }
+
+    fn frames(input: &[u8], cap: usize) -> Vec<Frame> {
+        let mut reader = FramedLineReader::new(input, cap);
+        let mut out = Vec::new();
+        while let Some(frame) = reader.next_frame(&never) {
+            out.push(frame);
+        }
+        out
+    }
+
+    #[test]
+    fn matches_bufread_lines_framing() {
+        let input = b"alpha\nbeta\r\n\ngamma";
+        assert_eq!(
+            frames(input, 64),
+            vec![
+                Frame::Line("alpha".into()),
+                Frame::Line("beta".into()),
+                Frame::Line(String::new()),
+                Frame::Line("gamma".into()),
+            ]
+        );
+        // Trailing newline produces no phantom empty line.
+        assert_eq!(frames(b"x\n", 64), vec![Frame::Line("x".into())]);
+        assert_eq!(frames(b"", 64), Vec::<Frame>::new());
+    }
+
+    #[test]
+    fn oversized_line_is_one_frame_and_framing_resumes() {
+        let mut input = vec![b'a'; 100];
+        input.extend_from_slice(b"\nok\n");
+        assert_eq!(
+            frames(&input, 8),
+            vec![Frame::TooLong { limit: 8 }, Frame::Line("ok".into())]
+        );
+        // Oversized *final* line without a newline: same single frame.
+        assert_eq!(frames(&[b'a'; 100], 8), vec![Frame::TooLong { limit: 8 }]);
+        // Boundary: a line of exactly `cap` bytes is fine.
+        let mut input = vec![b'b'; 8];
+        input.push(b'\n');
+        assert_eq!(frames(&input, 8), vec![Frame::Line("bbbbbbbb".into())]);
+    }
+
+    #[test]
+    fn oversized_detection_does_not_wait_for_the_newline() {
+        // 100 bytes, no newline ever: the frame must come from the
+        // prefix alone (a hostile stream may never send `\n`).
+        let endless = [b'x'; 100];
+        let mut reader = FramedLineReader::new(&endless[..], 8);
+        assert_eq!(reader.next_frame(&never), Some(Frame::TooLong { limit: 8 }));
+        assert_eq!(reader.next_frame(&never), None);
+    }
+
+    #[test]
+    fn invalid_utf8_is_contained() {
+        assert_eq!(
+            frames(b"\xff\xfe\nok\n", 64),
+            vec![Frame::Invalid, Frame::Line("ok".into())]
+        );
+    }
+
+    #[test]
+    fn crlf_stripping_applies_before_the_cap() {
+        // 8 payload bytes + \r\n under an 8-byte cap: still a clean line.
+        assert_eq!(
+            frames(b"bbbbbbbb\r\n", 8),
+            vec![Frame::Line("bbbbbbbb".into())]
+        );
+    }
+
+    /// A reader that yields `TimedOut` forever — the stop closure must
+    /// be able to end it.
+    struct AlwaysTimedOut;
+    impl Read for AlwaysTimedOut {
+        fn read(&mut self, _: &mut [u8]) -> std::io::Result<usize> {
+            Err(std::io::Error::new(ErrorKind::TimedOut, "timed out"))
+        }
+    }
+
+    #[test]
+    fn stop_closure_ends_a_timed_out_reader() {
+        let mut reader = FramedLineReader::new(AlwaysTimedOut, 64);
+        assert_eq!(reader.next_frame(&|| true), None);
+    }
+}

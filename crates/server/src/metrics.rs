@@ -1,0 +1,166 @@
+//! The operator metrics surface (DESIGN.md §13).
+//!
+//! One [`ServerMetrics`] per serving session, shared by every reader and
+//! worker thread. Requests are counted at *dispatch* time — when a
+//! worker claims the job, not when the reader enqueues it — so with one
+//! worker the counts a `stats` request observes are deterministic:
+//! every request dispatched before it, plus itself. That determinism is
+//! what lets the golden tests compare the `server` block (minus the four
+//! wall-clock/scheduling gauges) byte-exact.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+use std::time::Instant;
+
+use fannet_engine::protocol::Request;
+use fannet_engine::{OpCounts, ServerStats};
+
+/// Shared counters of one serving session.
+#[derive(Debug)]
+pub struct ServerMetrics {
+    started: Instant,
+    in_flight: AtomicU64,
+    connections_open: AtomicU64,
+    connections_total: AtomicU64,
+    /// One lock for the whole per-op block so a snapshot reads a
+    /// consistent set (individual atomics could tear across ops).
+    ops: Mutex<OpCounts>,
+}
+
+impl ServerMetrics {
+    /// Fresh counters; the uptime clock starts now.
+    #[must_use]
+    pub fn new() -> Self {
+        ServerMetrics {
+            started: Instant::now(),
+            in_flight: AtomicU64::new(0),
+            connections_open: AtomicU64::new(0),
+            connections_total: AtomicU64::new(0),
+            ops: Mutex::new(OpCounts::default()),
+        }
+    }
+
+    /// Records a worker claiming `request`; pair with [`Self::end`].
+    pub fn begin(&self, request: &Request) {
+        {
+            let mut ops = self.ops.lock().expect("metrics lock poisoned");
+            match request {
+                Request::Check { .. } => ops.check += 1,
+                Request::Tolerance { .. } => ops.tolerance += 1,
+                Request::Sensitivity { .. } => ops.sensitivity += 1,
+                Request::FaultCheck { .. } => ops.fault_check += 1,
+                Request::FaultTolerance { .. } => ops.fault_tolerance += 1,
+                Request::JointCheck { .. } => ops.joint_check += 1,
+                Request::JointTolerance { .. } => ops.joint_tolerance += 1,
+                Request::Stats { .. } => ops.stats += 1,
+                Request::Shutdown { .. } => ops.shutdown += 1,
+            }
+        }
+        self.in_flight.fetch_add(1, Ordering::SeqCst);
+    }
+
+    /// Records a worker claiming a line that never parsed into a
+    /// request (malformed JSON, oversized or non-UTF-8 frame); pair
+    /// with [`Self::end`].
+    pub fn begin_invalid(&self) {
+        self.ops.lock().expect("metrics lock poisoned").invalid += 1;
+        self.in_flight.fetch_add(1, Ordering::SeqCst);
+    }
+
+    /// Records the matching request leaving its worker.
+    pub fn end(&self) {
+        self.in_flight.fetch_sub(1, Ordering::SeqCst);
+    }
+
+    /// Records an accepted connection.
+    pub fn connection_opened(&self) {
+        self.connections_open.fetch_add(1, Ordering::SeqCst);
+        self.connections_total.fetch_add(1, Ordering::SeqCst);
+    }
+
+    /// Records a connection ending (EOF, error, or drain).
+    pub fn connection_closed(&self) {
+        self.connections_open.fetch_sub(1, Ordering::SeqCst);
+    }
+
+    /// Assembles the wire block for a `stats` response; the queue
+    /// gauges come from the caller because the queue lives next to the
+    /// metrics in the session, not inside them.
+    #[must_use]
+    pub fn snapshot(
+        &self,
+        queue_depth: u64,
+        queue_high_water: u64,
+        queue_capacity: u64,
+    ) -> ServerStats {
+        let ops = *self.ops.lock().expect("metrics lock poisoned");
+        let uptime = self.started.elapsed();
+        let uptime_ms = u64::try_from(uptime.as_millis()).unwrap_or(u64::MAX);
+        let requests_total = ops.total();
+        let secs = uptime.as_secs_f64();
+        let qps = if secs > 0.0 {
+            requests_total as f64 / secs
+        } else {
+            0.0
+        };
+        ServerStats {
+            uptime_ms,
+            requests_total,
+            requests_in_flight: self.in_flight.load(Ordering::SeqCst),
+            qps,
+            queue_depth,
+            queue_high_water,
+            queue_capacity,
+            connections_open: self.connections_open.load(Ordering::SeqCst),
+            connections_total: self.connections_total.load(Ordering::SeqCst),
+            ops,
+        }
+    }
+}
+
+impl Default for ServerMetrics {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fannet_engine::protocol::parse_request;
+
+    #[test]
+    fn dispatch_counts_by_op_and_in_flight_pairs() {
+        let m = ServerMetrics::new();
+        let check = parse_request(r#"{"op":"check","input":[1,2],"label":0,"delta":1}"#).unwrap();
+        let stats = parse_request(r#"{"op":"stats"}"#).unwrap();
+        m.begin(&check);
+        m.begin(&stats);
+        m.begin_invalid();
+        let snap = m.snapshot(2, 3, 64);
+        assert_eq!(snap.ops.check, 1);
+        assert_eq!(snap.ops.stats, 1);
+        assert_eq!(snap.ops.invalid, 1);
+        assert_eq!(snap.requests_total, 3);
+        assert_eq!(snap.requests_in_flight, 3);
+        assert_eq!(
+            (snap.queue_depth, snap.queue_high_water, snap.queue_capacity),
+            (2, 3, 64)
+        );
+        m.end();
+        m.end();
+        m.end();
+        assert_eq!(m.snapshot(0, 3, 64).requests_in_flight, 0);
+    }
+
+    #[test]
+    fn connection_gauges_track_open_and_total() {
+        let m = ServerMetrics::new();
+        m.connection_opened();
+        m.connection_opened();
+        m.connection_closed();
+        let snap = m.snapshot(0, 0, 1);
+        assert_eq!(snap.connections_open, 1);
+        assert_eq!(snap.connections_total, 2);
+    }
+}

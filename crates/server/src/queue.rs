@@ -1,0 +1,235 @@
+//! The bounded MPMC request queue (DESIGN.md §13).
+//!
+//! This is the backpressure contract of the server: `push` **blocks**
+//! while the queue is at capacity. A per-connection reader thread that
+//! blocks here stops reading its socket, the socket's receive buffer
+//! fills, and TCP flow control pushes back on the client — so a client
+//! that pipelines faster than the workers can solve is throttled at the
+//! transport, never buffered unboundedly in memory.
+//!
+//! `std::sync::mpsc::sync_channel` is bounded but single-consumer; a
+//! worker *pool* needs multiple consumers, and the metrics surface
+//! needs depth gauges, so the queue is a hand-rolled
+//! `Mutex<VecDeque>` + two condvars with a depth high-water mark.
+
+use std::collections::VecDeque;
+use std::sync::{Condvar, Mutex};
+
+/// A blocking bounded multi-producer multi-consumer FIFO.
+#[derive(Debug)]
+pub struct BoundedQueue<T> {
+    state: Mutex<State<T>>,
+    /// Signalled when an item is popped (producers blocked in `push`).
+    not_full: Condvar,
+    /// Signalled when an item is pushed or the queue closes (consumers
+    /// blocked in `pop`).
+    not_empty: Condvar,
+}
+
+#[derive(Debug)]
+struct State<T> {
+    items: VecDeque<T>,
+    capacity: usize,
+    closed: bool,
+    high_water: usize,
+}
+
+impl<T> BoundedQueue<T> {
+    /// Creates a queue holding at most `capacity` items (minimum 1).
+    #[must_use]
+    pub fn new(capacity: usize) -> Self {
+        BoundedQueue {
+            state: Mutex::new(State {
+                items: VecDeque::new(),
+                capacity: capacity.max(1),
+                closed: false,
+                high_water: 0,
+            }),
+            not_full: Condvar::new(),
+            not_empty: Condvar::new(),
+        }
+    }
+
+    /// Enqueues `item`, blocking while the queue is full.
+    ///
+    /// # Errors
+    ///
+    /// Returns the item back if the queue was closed (the session is
+    /// draining; the caller should stop producing).
+    pub fn push(&self, item: T) -> Result<(), T> {
+        let mut state = self.state.lock().expect("queue lock poisoned");
+        while state.items.len() >= state.capacity && !state.closed {
+            state = self.not_full.wait(state).expect("queue lock poisoned");
+        }
+        if state.closed {
+            return Err(item);
+        }
+        state.items.push_back(item);
+        state.high_water = state.high_water.max(state.items.len());
+        drop(state);
+        self.not_empty.notify_one();
+        Ok(())
+    }
+
+    /// Dequeues the oldest item, blocking while the queue is empty.
+    /// Returns `None` once the queue is closed *and* drained — the
+    /// worker-pool exit condition (items enqueued before the close are
+    /// still delivered).
+    pub fn pop(&self) -> Option<T> {
+        let mut state = self.state.lock().expect("queue lock poisoned");
+        loop {
+            if let Some(item) = state.items.pop_front() {
+                drop(state);
+                self.not_full.notify_one();
+                return Some(item);
+            }
+            if state.closed {
+                return None;
+            }
+            state = self.not_empty.wait(state).expect("queue lock poisoned");
+        }
+    }
+
+    /// Closes the queue: blocked producers fail, and consumers drain the
+    /// remaining items then observe `None`.
+    pub fn close(&self) {
+        let mut state = self.state.lock().expect("queue lock poisoned");
+        state.closed = true;
+        drop(state);
+        self.not_full.notify_all();
+        self.not_empty.notify_all();
+    }
+
+    /// Items currently queued (a racy gauge, exact only when sampled by
+    /// the sole worker of a single-threaded session).
+    #[must_use]
+    pub fn depth(&self) -> usize {
+        self.state.lock().expect("queue lock poisoned").items.len()
+    }
+
+    /// The deepest the queue ever got.
+    #[must_use]
+    pub fn high_water(&self) -> usize {
+        self.state.lock().expect("queue lock poisoned").high_water
+    }
+
+    /// The configured bound.
+    #[must_use]
+    pub fn capacity(&self) -> usize {
+        self.state.lock().expect("queue lock poisoned").capacity
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::Arc;
+    use std::time::Duration;
+
+    #[test]
+    fn fifo_order_and_high_water() {
+        let q = BoundedQueue::new(8);
+        for i in 0..5 {
+            q.push(i).unwrap();
+        }
+        assert_eq!(q.depth(), 5);
+        assert_eq!(q.high_water(), 5);
+        assert_eq!(q.capacity(), 8);
+        for i in 0..5 {
+            assert_eq!(q.pop(), Some(i));
+        }
+        assert_eq!(q.depth(), 0);
+        assert_eq!(q.high_water(), 5, "high water survives the drain");
+    }
+
+    #[test]
+    fn push_blocks_at_capacity_until_a_pop() {
+        let q = Arc::new(BoundedQueue::new(2));
+        q.push(0).unwrap();
+        q.push(1).unwrap();
+        let pushed = Arc::new(AtomicUsize::new(0));
+        let producer = {
+            let (q, pushed) = (Arc::clone(&q), Arc::clone(&pushed));
+            std::thread::spawn(move || {
+                q.push(2).unwrap();
+                pushed.store(1, Ordering::SeqCst);
+            })
+        };
+        // The producer must be stuck: nothing was popped yet.
+        std::thread::sleep(Duration::from_millis(50));
+        assert_eq!(
+            pushed.load(Ordering::SeqCst),
+            0,
+            "push must block when full"
+        );
+        assert_eq!(q.pop(), Some(0));
+        producer.join().unwrap();
+        assert_eq!(pushed.load(Ordering::SeqCst), 1);
+        assert_eq!(q.pop(), Some(1));
+        assert_eq!(q.pop(), Some(2));
+        assert_eq!(q.high_water(), 2, "the bound is never exceeded");
+    }
+
+    #[test]
+    fn close_drains_then_ends_consumers_and_fails_producers() {
+        let q = Arc::new(BoundedQueue::new(4));
+        q.push(7).unwrap();
+        q.close();
+        assert_eq!(q.push(8), Err(8), "closed queue rejects producers");
+        assert_eq!(q.pop(), Some(7), "items enqueued before close drain");
+        assert_eq!(q.pop(), None, "then consumers observe the close");
+    }
+
+    #[test]
+    fn close_wakes_a_blocked_producer() {
+        let q = Arc::new(BoundedQueue::new(1));
+        q.push(0).unwrap();
+        let producer = {
+            let q = Arc::clone(&q);
+            std::thread::spawn(move || q.push(1))
+        };
+        std::thread::sleep(Duration::from_millis(50));
+        q.close();
+        assert_eq!(producer.join().unwrap(), Err(1));
+    }
+
+    #[test]
+    fn concurrent_producers_and_consumers_deliver_everything_once() {
+        let q = Arc::new(BoundedQueue::new(3));
+        let produced: usize = 4 * 50;
+        let consumers: Vec<_> = (0..2)
+            .map(|_| {
+                let q = Arc::clone(&q);
+                std::thread::spawn(move || {
+                    let mut got = Vec::new();
+                    while let Some(item) = q.pop() {
+                        got.push(item);
+                    }
+                    got
+                })
+            })
+            .collect();
+        let producers: Vec<_> = (0..4)
+            .map(|p| {
+                let q = Arc::clone(&q);
+                std::thread::spawn(move || {
+                    for i in 0..50 {
+                        q.push(p * 50 + i).unwrap();
+                    }
+                })
+            })
+            .collect();
+        for p in producers {
+            p.join().unwrap();
+        }
+        q.close();
+        let mut all: Vec<usize> = consumers
+            .into_iter()
+            .flat_map(|c| c.join().unwrap())
+            .collect();
+        all.sort_unstable();
+        assert_eq!(all, (0..produced).collect::<Vec<_>>());
+        assert!(q.high_water() <= 3, "bound respected under contention");
+    }
+}

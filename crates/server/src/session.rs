@@ -1,0 +1,477 @@
+//! The connection-handler core shared by `fannet serve` and
+//! `fannet listen` (DESIGN.md §13).
+//!
+//! A [`Session`] owns one resident [`Engine`], a worker pool draining a
+//! bounded [`BoundedQueue`] of framed request lines, and the shared
+//! [`ServerMetrics`]. Front ends differ only in where connections come
+//! from: the stdio front end ([`serve_stdio`]) opens exactly one
+//! (stdin/stdout), the TCP front end ([`crate::tcp::serve_tcp`]) opens
+//! one per accepted socket.
+//!
+//! ## The ordering guarantee
+//!
+//! Each connection's reader assigns consecutive sequence numbers to its
+//! frames. Workers answer jobs in whatever order the pool schedules
+//! them, but a completed response is handed to the *connection
+//! sequencer* (`Connection::complete`), which parks out-of-order
+//! completions in a `BTreeMap` and writes a response only when every
+//! earlier one of the same connection has been written. Every client
+//! therefore sees responses in request order, regardless of worker
+//! count — the property the historical sequential serve loop provided
+//! for free, kept under concurrency.
+//!
+//! ## Containment
+//!
+//! One malformed, oversized or panicking request becomes one `error`
+//! response ([`fannet_engine::protocol::handle`] already contains solver
+//! panics); one connection whose client vanished mid-write has its
+//! writer dropped and its remaining responses discarded, while every
+//! other connection keeps streaming.
+//!
+//! ## Drain
+//!
+//! A `shutdown` request (or a signal, for the TCP front end) sets the
+//! session-wide shutdown flag. Readers stop submitting, in-flight
+//! requests finish and their responses are delivered, then the queue
+//! closes and the workers exit ([`Session::drain`]). Lines a client
+//! pipelined after the acknowledged `shutdown` may be answered or
+//! dropped, depending on how far its reader got.
+
+use std::collections::BTreeMap;
+use std::io::{Read, Write};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use fannet_engine::protocol::{self, Response};
+use fannet_engine::Engine;
+
+use crate::frame::{Frame, FramedLineReader, DEFAULT_MAX_LINE_BYTES};
+use crate::metrics::ServerMetrics;
+use crate::queue::BoundedQueue;
+
+/// Default bound of the request queue (`--queue-capacity`).
+pub const DEFAULT_QUEUE_CAPACITY: usize = 256;
+
+/// Tuning knobs of a serving session.
+#[derive(Debug, Clone)]
+pub struct SessionConfig {
+    /// Worker threads draining the request queue.
+    pub workers: usize,
+    /// Requests the queue holds before readers block (backpressure).
+    pub queue_capacity: usize,
+    /// Per-line byte cap of the framing layer.
+    pub max_line_bytes: usize,
+}
+
+impl SessionConfig {
+    /// `workers` threads with the default queue bound and line cap.
+    #[must_use]
+    pub fn with_workers(workers: usize) -> Self {
+        SessionConfig {
+            workers,
+            ..SessionConfig::default()
+        }
+    }
+}
+
+impl Default for SessionConfig {
+    fn default() -> Self {
+        SessionConfig {
+            workers: 1,
+            queue_capacity: DEFAULT_QUEUE_CAPACITY,
+            max_line_bytes: DEFAULT_MAX_LINE_BYTES,
+        }
+    }
+}
+
+/// Everything the reader, worker and front-end threads share.
+#[derive(Debug)]
+pub(crate) struct Shared {
+    pub(crate) engine: Arc<Engine>,
+    pub(crate) queue: BoundedQueue<Job>,
+    pub(crate) metrics: ServerMetrics,
+    /// Set by a `shutdown` request or an external signal; readers stop
+    /// submitting once they observe it.
+    pub(crate) shutdown: AtomicBool,
+    pub(crate) progress: Mutex<Progress>,
+    /// Signalled on every completion (and on a withdrawn submission) so
+    /// [`Session::drain`] can wait for `completed == submitted`.
+    pub(crate) idle: Condvar,
+    pub(crate) max_line_bytes: usize,
+}
+
+/// Submission/completion accounting for the drain barrier.
+#[derive(Debug, Default)]
+pub(crate) struct Progress {
+    pub(crate) submitted: u64,
+    pub(crate) completed: u64,
+}
+
+/// One framed line waiting for (or claimed by) a worker.
+#[derive(Debug)]
+pub(crate) struct Job {
+    pub(crate) conn: Arc<Connection>,
+    pub(crate) seq: u64,
+    pub(crate) frame: Frame,
+}
+
+/// The write side of one client connection, with its response sequencer.
+#[derive(Debug)]
+pub struct Connection {
+    next_seq: AtomicU64,
+    out: Mutex<OutState>,
+}
+
+struct OutState {
+    /// Sequence number the next written response must carry.
+    next: u64,
+    /// Completions that arrived ahead of an earlier, still-running job.
+    pending: BTreeMap<u64, String>,
+    /// `None` once a write failed — the client is gone; later responses
+    /// are sequenced (for the drain accounting) but discarded.
+    writer: Option<Box<dyn Write + Send>>,
+}
+
+// `Box<dyn Write + Send>` has no Debug; summarize the sequencer state.
+impl std::fmt::Debug for OutState {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("OutState")
+            .field("next", &self.next)
+            .field("parked", &self.pending.len())
+            .field("alive", &self.writer.is_some())
+            .finish()
+    }
+}
+
+impl Connection {
+    fn new(writer: Box<dyn Write + Send>) -> Self {
+        Connection {
+            next_seq: AtomicU64::new(0),
+            out: Mutex::new(OutState {
+                next: 0,
+                pending: BTreeMap::new(),
+                writer: Some(writer),
+            }),
+        }
+    }
+
+    /// Hands a completed response line to the sequencer: it is written
+    /// immediately if every earlier response went out, parked otherwise.
+    fn complete(&self, seq: u64, line: String) {
+        let mut out = self.out.lock().expect("connection lock poisoned");
+        out.pending.insert(seq, line);
+        loop {
+            let next = out.next;
+            let Some(line) = out.pending.remove(&next) else {
+                break;
+            };
+            out.next += 1;
+            if let Some(writer) = out.writer.as_mut() {
+                let wrote = writer
+                    .write_all(line.as_bytes())
+                    .and_then(|()| writer.write_all(b"\n"))
+                    .and_then(|()| writer.flush());
+                if wrote.is_err() {
+                    // Dead client: contain it, keep the session alive.
+                    out.writer = None;
+                }
+            }
+        }
+    }
+}
+
+/// A running worker pool bound to one resident engine.
+#[derive(Debug)]
+pub struct Session {
+    pub(crate) shared: Arc<Shared>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl Session {
+    /// Spawns `config.workers` worker threads against `engine`.
+    #[must_use]
+    pub fn new(engine: Arc<Engine>, config: &SessionConfig) -> Self {
+        let shared = Arc::new(Shared {
+            engine,
+            queue: BoundedQueue::new(config.queue_capacity),
+            metrics: ServerMetrics::new(),
+            shutdown: AtomicBool::new(false),
+            progress: Mutex::new(Progress::default()),
+            idle: Condvar::new(),
+            max_line_bytes: config.max_line_bytes,
+        });
+        let workers = (0..config.workers.max(1))
+            .map(|_| {
+                let shared = Arc::clone(&shared);
+                std::thread::spawn(move || worker_loop(&shared))
+            })
+            .collect();
+        Session { shared, workers }
+    }
+
+    /// Registers a new client connection writing responses to `writer`.
+    #[must_use]
+    pub fn open_connection(&self, writer: Box<dyn Write + Send>) -> Arc<Connection> {
+        self.shared.metrics.connection_opened();
+        Arc::new(Connection::new(writer))
+    }
+
+    /// Records `conn`'s reader ending (EOF, error, or drain). In-flight
+    /// requests of the connection still complete and still write.
+    pub fn close_connection(&self, _conn: &Arc<Connection>) {
+        self.shared.metrics.connection_closed();
+    }
+
+    /// Reads `input` to EOF (or until shutdown), submitting one job per
+    /// frame. Blank lines are skipped without consuming a sequence
+    /// number, matching the historical serve loop. Runs on the calling
+    /// thread; spawn one per connection.
+    pub fn run_reader<R: Read>(&self, conn: &Arc<Connection>, input: R) {
+        run_reader(&self.shared, conn, input);
+    }
+
+    /// Asks the session to stop: readers cease submitting at their next
+    /// shutdown-flag poll.
+    pub fn request_shutdown(&self) {
+        self.shared.shutdown.store(true, Ordering::SeqCst);
+    }
+
+    /// Whether a `shutdown` request or external signal was observed.
+    #[must_use]
+    pub fn shutdown_requested(&self) -> bool {
+        self.shared.shutdown.load(Ordering::SeqCst)
+    }
+
+    /// Waits for every submitted request to complete (responses
+    /// written), then closes the queue and joins the workers.
+    ///
+    /// Call after the readers stopped submitting — at EOF of the stdio
+    /// front end, or after the shutdown flag stopped the TCP readers.
+    pub fn drain(self) {
+        {
+            let mut progress = self.shared.progress.lock().expect("progress lock poisoned");
+            while progress.completed < progress.submitted {
+                progress = self
+                    .shared
+                    .idle
+                    .wait(progress)
+                    .expect("progress lock poisoned");
+            }
+        }
+        self.shared.queue.close();
+        for worker in self.workers {
+            let _ = worker.join();
+        }
+    }
+}
+
+/// The body of a TCP per-connection reader thread: read to EOF (or
+/// shutdown), then record the connection closed.
+pub(crate) fn run_connection_reader<R: Read>(
+    shared: &Arc<Shared>,
+    conn: &Arc<Connection>,
+    input: R,
+) {
+    run_reader(shared, conn, input);
+    shared.metrics.connection_closed();
+}
+
+/// The per-connection read loop: frame, filter blanks, submit.
+fn run_reader<R: Read>(shared: &Arc<Shared>, conn: &Arc<Connection>, input: R) {
+    let stop = || shared.shutdown.load(Ordering::SeqCst);
+    let mut reader = FramedLineReader::new(input, shared.max_line_bytes);
+    loop {
+        if stop() {
+            break;
+        }
+        let Some(frame) = reader.next_frame(&stop) else {
+            break;
+        };
+        if let Frame::Line(line) = &frame {
+            if line.trim().is_empty() {
+                continue;
+            }
+        }
+        // Submission is counted before the push so the drain barrier can
+        // never observe a completion ahead of its submission.
+        let seq = conn.next_seq.fetch_add(1, Ordering::SeqCst);
+        shared
+            .progress
+            .lock()
+            .expect("progress lock poisoned")
+            .submitted += 1;
+        let job = Job {
+            conn: Arc::clone(conn),
+            seq,
+            frame,
+        };
+        if shared.queue.push(job).is_err() {
+            // Queue closed mid-push: withdraw the submission.
+            shared
+                .progress
+                .lock()
+                .expect("progress lock poisoned")
+                .submitted -= 1;
+            shared.idle.notify_all();
+            break;
+        }
+    }
+}
+
+/// One worker: claim a job, answer it, sequence the response.
+fn worker_loop(shared: &Arc<Shared>) {
+    while let Some(job) = shared.queue.pop() {
+        let line = process_frame(shared, &job.frame);
+        shared.metrics.end();
+        job.conn.complete(job.seq, line);
+        shared
+            .progress
+            .lock()
+            .expect("progress lock poisoned")
+            .completed += 1;
+        shared.idle.notify_all();
+    }
+}
+
+/// Answers one frame; this is where requests are counted (dispatch time)
+/// and where a `stats` response gains its `server` block.
+fn process_frame(shared: &Shared, frame: &Frame) -> String {
+    let response = match frame {
+        Frame::Line(line) => match protocol::parse_request(line) {
+            Ok(request) => {
+                shared.metrics.begin(&request);
+                let mut response = protocol::handle(&shared.engine, &request);
+                match &mut response {
+                    Response::Stats { server, .. } => {
+                        *server = Some(shared.metrics.snapshot(
+                            shared.queue.depth() as u64,
+                            shared.queue.high_water() as u64,
+                            shared.queue.capacity() as u64,
+                        ));
+                    }
+                    Response::Shutdown { .. } => {
+                        shared.shutdown.store(true, Ordering::SeqCst);
+                    }
+                    _ => {}
+                }
+                response
+            }
+            Err(message) => {
+                shared.metrics.begin_invalid();
+                Response::Error { id: None, message }
+            }
+        },
+        Frame::TooLong { limit } => {
+            shared.metrics.begin_invalid();
+            Response::Error {
+                id: None,
+                message: format!("line exceeds --max-line-bytes ({limit} bytes)"),
+            }
+        }
+        Frame::Invalid => {
+            shared.metrics.begin_invalid();
+            Response::Error {
+                id: None,
+                message: "line is not valid UTF-8".to_string(),
+            }
+        }
+    };
+    protocol::render_response(&response)
+}
+
+/// Runs the stdio front end: one connection reading `input`, writing
+/// `output`, over a fresh session. Returns when the input reaches EOF or
+/// a `shutdown` request drains the session — whichever comes first.
+///
+/// The reader runs on its own thread so a `shutdown` request can end
+/// the session while `input` (an untimed pipe, typically stdin) stays
+/// open and blocked. After a shutdown-without-EOF the reader thread is
+/// left parked on that read; the caller is expected to exit.
+pub fn serve_stdio<R, W>(engine: Arc<Engine>, config: &SessionConfig, input: R, output: W)
+where
+    R: Read + Send + 'static,
+    W: Write + Send + 'static,
+{
+    let session = Session::new(engine, config);
+    let conn = session.open_connection(Box::new(output));
+    let reader_done = Arc::new((Mutex::new(false), Condvar::new()));
+    {
+        let shared = Arc::clone(&session.shared);
+        let conn = Arc::clone(&conn);
+        let reader_done = Arc::clone(&reader_done);
+        std::thread::spawn(move || {
+            run_reader(&shared, &conn, input);
+            let (done, bell) = &*reader_done;
+            *done.lock().expect("reader-done lock poisoned") = true;
+            bell.notify_all();
+        });
+    }
+    // Wait for EOF or shutdown; the poll interval only bounds how fast a
+    // shutdown request turns into an exit.
+    {
+        let (done, bell) = &*reader_done;
+        let mut finished = done.lock().expect("reader-done lock poisoned");
+        while !*finished && !session.shutdown_requested() {
+            let (guard, _) = bell
+                .wait_timeout(finished, Duration::from_millis(50))
+                .expect("reader-done lock poisoned");
+            finished = guard;
+        }
+    }
+    // The connection's write side stays live until every queued request
+    // has answered — close it after the drain, so a `stats` request
+    // always observes `connections_open` = 1 regardless of how fast the
+    // input reached EOF.
+    let shared = Arc::clone(&session.shared);
+    session.drain();
+    shared.metrics.connection_closed();
+}
+
+/// Convenience used by tests and callers that already hold raw lines:
+/// answers them through a full session round-trip (submit → worker →
+/// sequencer) and returns the response lines in order.
+#[must_use]
+pub fn answer_lines(engine: Arc<Engine>, config: &SessionConfig, input: &str) -> Vec<String> {
+    let output = SharedBuffer::default();
+    serve_stdio(
+        engine,
+        config,
+        std::io::Cursor::new(input.to_string()),
+        output.clone(),
+    );
+    let text = output.take();
+    text.lines().map(str::to_string).collect()
+}
+
+/// An in-memory `Write` target shared across threads (test plumbing).
+#[derive(Debug, Clone, Default)]
+pub struct SharedBuffer(Arc<Mutex<Vec<u8>>>);
+
+impl SharedBuffer {
+    /// The UTF-8 contents written so far.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a writer produced invalid UTF-8 (responses never do).
+    #[must_use]
+    pub fn take(&self) -> String {
+        String::from_utf8(self.0.lock().expect("buffer lock poisoned").clone())
+            .expect("responses are UTF-8")
+    }
+}
+
+impl Write for SharedBuffer {
+    fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+        self.0
+            .lock()
+            .expect("buffer lock poisoned")
+            .extend_from_slice(buf);
+        Ok(buf.len())
+    }
+
+    fn flush(&mut self) -> std::io::Result<()> {
+        Ok(())
+    }
+}

@@ -1,0 +1,70 @@
+//! Minimal SIGINT/SIGTERM handling for `fannet listen` (DESIGN.md §13).
+//!
+//! The workspace is offline, so there is no `libc`/`signal-hook` crate
+//! to lean on; the handler is registered through the C `signal(2)`
+//! symbol that `std` already links. The handler body is as small as an
+//! async-signal-safe handler must be: one relaxed store into a static
+//! atomic, which the TCP accept loop polls and converts into the same
+//! graceful drain a `shutdown` request triggers.
+//!
+//! On non-Unix targets registration is a no-op and [`triggered`] stays
+//! false — the in-band `shutdown` op is then the only way to stop a
+//! listener remotely.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+
+static TRIGGERED: AtomicBool = AtomicBool::new(false);
+
+#[cfg(unix)]
+mod imp {
+    use super::{Ordering, TRIGGERED};
+
+    const SIGINT: i32 = 2;
+    const SIGTERM: i32 = 15;
+
+    extern "C" {
+        /// `signal(2)` from the platform libc; `handler` is a function
+        /// pointer (or `SIG_DFL`/`SIG_ERR`) smuggled as `usize` to keep
+        /// the declaration dependency-free.
+        fn signal(signum: i32, handler: usize) -> usize;
+    }
+
+    extern "C" fn on_signal(_signum: i32) {
+        // Async-signal-safe: a single atomic store, nothing else.
+        TRIGGERED.store(true, Ordering::Relaxed);
+    }
+
+    pub(super) fn install() {
+        // SAFETY: `signal` is the libc prototype declared above; the
+        // handler only touches a static atomic, which is allowed in a
+        // signal context. A failed registration (SIG_ERR) just leaves
+        // the default disposition — the listener then stops un-drained
+        // on that signal, exactly the pre-handler behavior.
+        unsafe {
+            signal(SIGINT, on_signal as *const () as usize);
+            signal(SIGTERM, on_signal as *const () as usize);
+        }
+    }
+}
+
+#[cfg(not(unix))]
+mod imp {
+    pub(super) fn install() {}
+}
+
+/// Registers the SIGINT/SIGTERM → [`triggered`] handlers (idempotent).
+pub fn install() {
+    imp::install();
+}
+
+/// Whether a termination signal arrived since [`install`].
+#[must_use]
+pub fn triggered() -> bool {
+    TRIGGERED.load(Ordering::Relaxed)
+}
+
+/// Sets the flag by hand — lets tests (and the stdio front end, which
+/// installs no handler) reuse the same stop plumbing.
+pub fn trigger() {
+    TRIGGERED.store(true, Ordering::Relaxed);
+}

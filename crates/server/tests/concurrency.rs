@@ -1,0 +1,380 @@
+//! Concurrency contracts of the session core (DESIGN.md §13): per-
+//! connection response ordering under a multi-worker pool, byte-level
+//! agreement with a single-worker run, containment of dead clients and
+//! garbage frames, and the graceful drain — over in-memory connections
+//! and over real loopback TCP.
+
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::TcpStream;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{mpsc, Arc, Mutex};
+use std::time::Duration;
+
+use fannet_engine::{Engine, EngineConfig};
+use fannet_nn::{Activation, DenseLayer, Network, Readout};
+use fannet_numeric::Rational;
+use fannet_server::session::{answer_lines, serve_stdio, Session, SessionConfig};
+use fannet_server::tcp::serve_tcp;
+use fannet_tensor::Matrix;
+
+fn r(n: i128) -> Rational {
+    Rational::from_integer(n)
+}
+
+/// The 2→2 identity network the engine protocol tests use: tiny enough
+/// that a request costs microseconds, rich enough that checks flip.
+fn engine() -> Arc<Engine> {
+    let net = Network::new(
+        vec![DenseLayer::new(
+            Matrix::from_rows(vec![vec![r(1), r(0)], vec![r(0), r(1)]]).unwrap(),
+            vec![r(0), r(0)],
+            Activation::Identity,
+        )
+        .unwrap()],
+        Readout::MaxPool,
+    )
+    .unwrap();
+    Arc::new(Engine::new(net, EngineConfig::serving()))
+}
+
+/// A pipelined mixed workload; `tag` keeps ids distinct per client.
+fn mixed_requests(tag: u64, rounds: u64) -> String {
+    let mut lines = String::new();
+    for i in 0..rounds {
+        let id = tag * 1000 + i * 10;
+        let d = 1 + (i % 5);
+        lines += &format!(
+            "{{\"op\":\"check\",\"id\":{},\"input\":[100,82],\"label\":0,\"delta\":{d}}}\n",
+            id + 1
+        );
+        lines += &format!(
+            "{{\"op\":\"tolerance\",\"id\":{},\"input\":[100,{}],\"label\":0,\"max_delta\":20}}\n",
+            id + 2,
+            80 + i
+        );
+        lines += &format!(
+            "{{\"op\":\"fault_check\",\"id\":{},\"input\":[100,82],\"label\":0,\"model\":\"weight-noise\",\"eps\":\"1/{}\"}}\n",
+            id + 3,
+            40 + i
+        );
+        lines += &format!(
+            "{{\"op\":\"joint_check\",\"id\":{},\"input\":[100,82],\"label\":0,\"delta\":{d},\"model\":\"bit-flips\",\"budget\":1}}\n",
+            id + 4
+        );
+    }
+    lines
+}
+
+fn response_ids(lines: &[String]) -> Vec<u64> {
+    lines
+        .iter()
+        .map(|line| {
+            let tail = line.split("\"id\":").nth(1).expect("response carries id");
+            tail.split(|c: char| !c.is_ascii_digit())
+                .next()
+                .unwrap()
+                .parse()
+                .unwrap()
+        })
+        .collect()
+}
+
+/// Everything before the first scheduling-dependent field. `source`
+/// depends on what the shared cache already learned from *other*
+/// clients, so cross-run comparisons stop there; the verdict and any
+/// witness serialize before it.
+fn stable_prefix(line: &str) -> &str {
+    line.split(",\"source\":").next().unwrap()
+}
+
+#[test]
+fn multi_worker_pool_preserves_per_connection_order() {
+    let input = mixed_requests(1, 6);
+    let answers = answer_lines(engine(), &SessionConfig::with_workers(4), &input);
+    assert_eq!(answers.len(), 24);
+    let ids = response_ids(&answers);
+    let mut sorted = ids.clone();
+    sorted.sort_unstable();
+    assert_eq!(ids, sorted, "responses must come back in request order");
+}
+
+#[test]
+fn multi_worker_run_matches_single_worker_byte_for_byte() {
+    let input = mixed_requests(2, 5);
+    // Fresh engines: both runs start with a cold cache, and within one
+    // connection the request order fixes the cache history, so even the
+    // `source` fields must agree.
+    let single = answer_lines(engine(), &SessionConfig::with_workers(1), &input);
+    let multi = answer_lines(engine(), &SessionConfig::with_workers(4), &input);
+    assert_eq!(single.len(), multi.len());
+    for (s, m) in single.iter().zip(&multi) {
+        assert_eq!(stable_prefix(s), stable_prefix(m));
+    }
+    // And under one worker the whole line is reproducible.
+    let again = answer_lines(engine(), &SessionConfig::with_workers(1), &input);
+    assert_eq!(single, again);
+}
+
+#[test]
+fn garbage_frames_are_contained_per_line() {
+    let config = SessionConfig {
+        workers: 2,
+        queue_capacity: 4,
+        max_line_bytes: 64,
+    };
+    let mut input = String::new();
+    input += "{\"op\":\"check\",\"id\":1,\"input\":[100,82],\"label\":0,\"delta\":2}\n";
+    input += "not json at all\n";
+    input += &format!("{{\"pad\":\"{}\"}}\n", "x".repeat(200)); // over the 64-byte cap
+    input += "\n"; // blank: skipped, no response
+    input += "{\"op\":\"stats\",\"id\":4}\n";
+    let answers = answer_lines(engine(), &config, &input);
+    assert_eq!(answers.len(), 4, "{answers:?}");
+    assert!(
+        answers[0].starts_with("{\"op\":\"check\",\"id\":1"),
+        "{}",
+        answers[0]
+    );
+    assert!(answers[1].contains("malformed JSON"), "{}", answers[1]);
+    assert!(
+        answers[2].contains("exceeds --max-line-bytes (64 bytes)"),
+        "{}",
+        answers[2]
+    );
+    // The session survived and still counts: 1 check + 1 stats + 2 invalid.
+    assert!(
+        answers[3].contains("\"ops\":{\"check\":1"),
+        "{}",
+        answers[3]
+    );
+    assert!(answers[3].contains("\"invalid\":2"), "{}", answers[3]);
+}
+
+/// A writer whose client vanished: every write fails.
+struct DeadWriter;
+
+impl Write for DeadWriter {
+    fn write(&mut self, _: &[u8]) -> std::io::Result<usize> {
+        Err(std::io::Error::new(
+            std::io::ErrorKind::BrokenPipe,
+            "client gone",
+        ))
+    }
+    fn flush(&mut self) -> std::io::Result<()> {
+        Ok(())
+    }
+}
+
+/// An in-memory sink for the surviving connection.
+#[derive(Clone, Default)]
+struct Sink(Arc<Mutex<Vec<u8>>>);
+
+impl Write for Sink {
+    fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+        self.0.lock().unwrap().extend_from_slice(buf);
+        Ok(buf.len())
+    }
+    fn flush(&mut self) -> std::io::Result<()> {
+        Ok(())
+    }
+}
+
+#[test]
+fn dead_connection_never_kills_the_session() {
+    let session = Session::new(engine(), &SessionConfig::with_workers(2));
+    let dead = session.open_connection(Box::new(DeadWriter));
+    let sink = Sink::default();
+    let live = session.open_connection(Box::new(sink.clone()));
+    let dead_input = mixed_requests(7, 3);
+    let live_input = mixed_requests(8, 3);
+    std::thread::scope(|scope| {
+        scope.spawn(|| {
+            session.run_reader(&dead, std::io::Cursor::new(dead_input.as_bytes()));
+            session.close_connection(&dead);
+        });
+        scope.spawn(|| {
+            session.run_reader(&live, std::io::Cursor::new(live_input.as_bytes()));
+            session.close_connection(&live);
+        });
+    });
+    session.drain();
+    let lines: Vec<String> = sink
+        .0
+        .lock()
+        .unwrap()
+        .split(|&b| b == b'\n')
+        .filter(|l| !l.is_empty())
+        .map(|l| String::from_utf8(l.to_vec()).unwrap())
+        .collect();
+    assert_eq!(lines.len(), 12, "the live client got every response");
+    let ids = response_ids(&lines);
+    let mut sorted = ids.clone();
+    sorted.sort_unstable();
+    assert_eq!(ids, sorted, "ordering survives a dying sibling");
+}
+
+/// A stdin that delivers a `shutdown` request and then stays open
+/// forever (returning `WouldBlock`, as a timed socket would).
+struct OpenForever {
+    payload: std::io::Cursor<Vec<u8>>,
+}
+
+impl Read for OpenForever {
+    fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+        match self.payload.read(buf) {
+            Ok(0) => {
+                std::thread::sleep(Duration::from_millis(5));
+                Err(std::io::Error::new(std::io::ErrorKind::WouldBlock, "idle"))
+            }
+            other => other,
+        }
+    }
+}
+
+#[test]
+fn shutdown_request_drains_without_eof() {
+    let sink = Sink::default();
+    let input = OpenForever {
+        payload: std::io::Cursor::new(
+            b"{\"op\":\"check\",\"id\":1,\"input\":[100,82],\"label\":0,\"delta\":2}\n{\"op\":\"shutdown\",\"id\":2}\n".to_vec(),
+        ),
+    };
+    // Must return even though the input never reaches EOF.
+    serve_stdio(
+        engine(),
+        &SessionConfig::with_workers(2),
+        input,
+        sink.clone(),
+    );
+    let out = String::from_utf8(sink.0.lock().unwrap().clone()).unwrap();
+    let lines: Vec<&str> = out.lines().collect();
+    assert_eq!(lines.len(), 2, "{out}");
+    assert!(lines[0].starts_with("{\"op\":\"check\",\"id\":1"), "{out}");
+    assert_eq!(lines[1], "{\"op\":\"shutdown\",\"id\":2,\"ok\":true}");
+}
+
+#[test]
+fn loopback_tcp_serves_concurrent_clients_in_order_and_drains() {
+    const CLIENTS: u64 = 4;
+    const ROUNDS: u64 = 3;
+    let (addr_tx, addr_rx) = mpsc::channel();
+    let stop = Arc::new(AtomicBool::new(false));
+    let server = {
+        let engine = engine();
+        let stop = Arc::clone(&stop);
+        std::thread::spawn(move || {
+            serve_tcp(
+                engine,
+                &SessionConfig::with_workers(3),
+                "127.0.0.1:0",
+                move || stop.load(Ordering::SeqCst),
+                move |addr| addr_tx.send(addr).unwrap(),
+            )
+        })
+    };
+    let addr = addr_rx
+        .recv_timeout(Duration::from_secs(10))
+        .expect("listener came up");
+
+    // A single-client reference run against a fresh engine, for the
+    // stable-prefix comparison below.
+    let references: Vec<Vec<String>> = (0..CLIENTS)
+        .map(|c| {
+            answer_lines(
+                engine(),
+                &SessionConfig::with_workers(1),
+                &mixed_requests(c, ROUNDS),
+            )
+        })
+        .collect();
+
+    let clients: Vec<_> = (0..CLIENTS)
+        .map(|c| {
+            std::thread::spawn(move || {
+                let mut stream = TcpStream::connect(addr).unwrap();
+                let input = mixed_requests(c, ROUNDS);
+                // Pipeline everything before reading a single response.
+                stream.write_all(input.as_bytes()).unwrap();
+                stream.flush().unwrap();
+                let expected = input.lines().count();
+                let mut reader = BufReader::new(stream);
+                let mut lines = Vec::new();
+                for _ in 0..expected {
+                    let mut line = String::new();
+                    reader.read_line(&mut line).unwrap();
+                    lines.push(line.trim_end().to_string());
+                }
+                lines
+            })
+        })
+        .collect();
+    for (c, client) in clients.into_iter().enumerate() {
+        let lines = client.join().unwrap();
+        let ids = response_ids(&lines);
+        let mut sorted = ids.clone();
+        sorted.sort_unstable();
+        assert_eq!(ids, sorted, "client {c} saw responses out of order");
+        // Interleaving with other clients must not change any answer
+        // (the shared cache may change `source`, nothing before it).
+        let reference = &references[c];
+        assert_eq!(lines.len(), reference.len());
+        for (got, want) in lines.iter().zip(reference) {
+            assert_eq!(stable_prefix(got), stable_prefix(want), "client {c}");
+        }
+    }
+
+    // Disconnect mid-batch: a client that slams the door after writing
+    // must not disturb the next client.
+    {
+        let mut stream = TcpStream::connect(addr).unwrap();
+        stream.write_all(mixed_requests(99, 2).as_bytes()).unwrap();
+        drop(stream); // vanish without reading a byte
+    }
+    {
+        let mut stream = TcpStream::connect(addr).unwrap();
+        stream
+            .write_all(b"{\"op\":\"check\",\"id\":1,\"input\":[100,82],\"label\":0,\"delta\":2}\n")
+            .unwrap();
+        let mut reader = BufReader::new(stream.try_clone().unwrap());
+        let mut line = String::new();
+        reader.read_line(&mut line).unwrap();
+        assert!(line.starts_with("{\"op\":\"check\",\"id\":1"), "{line}");
+    }
+
+    // In-band shutdown: the ack arrives, then the server drains.
+    {
+        let mut stream = TcpStream::connect(addr).unwrap();
+        stream.write_all(b"{\"op\":\"shutdown\"}\n").unwrap();
+        let mut reader = BufReader::new(stream.try_clone().unwrap());
+        let mut line = String::new();
+        reader.read_line(&mut line).unwrap();
+        assert_eq!(line.trim_end(), "{\"op\":\"shutdown\",\"ok\":true}");
+    }
+    server.join().unwrap().expect("listener exits cleanly");
+}
+
+#[test]
+fn external_stop_flag_drains_the_listener() {
+    let (addr_tx, addr_rx) = mpsc::channel();
+    let stop = Arc::new(AtomicBool::new(false));
+    let server = {
+        let engine = engine();
+        let stop = Arc::clone(&stop);
+        std::thread::spawn(move || {
+            serve_tcp(
+                engine,
+                &SessionConfig::with_workers(1),
+                "127.0.0.1:0",
+                move || stop.load(Ordering::SeqCst),
+                move |addr| addr_tx.send(addr).unwrap(),
+            )
+        })
+    };
+    let addr = addr_rx
+        .recv_timeout(Duration::from_secs(10))
+        .expect("listener came up");
+    // An idle open connection must not block the drain.
+    let _idle = TcpStream::connect(addr).unwrap();
+    stop.store(true, Ordering::SeqCst);
+    server.join().unwrap().expect("signal-style stop drains");
+}

@@ -24,26 +24,33 @@
 //!                                             resident JSONL query engine:
 //!                                             requests on stdin, responses
 //!                                             on stdout (DESIGN.md §8)
+//! fannet listen --addr host:port --model model.json [--threads N]
+//!                                             the same engine over TCP:
+//!                                             concurrent connections, bounded
+//!                                             queue, graceful drain
+//!                                             (DESIGN.md §13)
 //! ```
 //!
 //! Models are the JSON documents written by `fannet::nn::io` (exact
 //! rational weights serialize as `"num/den"` strings).
 
-use std::io::{BufRead as _, Write as _};
+use std::io::Write as _;
 use std::process::ExitCode;
+use std::sync::Arc;
 
 use fannet::core::casestudy::{build, CaseStudyConfig};
 use fannet::core::faults as core_faults;
 use fannet::core::joint as core_joint;
 use fannet::core::tolerance::robustness_radius;
-use fannet::engine::protocol::{parse_request, render_response, Response};
-use fannet::engine::{batch, Engine, EngineConfig};
+use fannet::engine::{Engine, EngineConfig};
 use fannet::faults::{
     FaultChecker, FaultModel, FaultOutcome, JointChecker, JointOutcome, ToleranceSearch,
 };
 use fannet::nn::io;
 use fannet::nn::Network;
 use fannet::numeric::Rational;
+use fannet::server::session::SessionConfig;
+use fannet::server::{serve_stdio, serve_tcp, signal};
 use fannet::smv::nn_to_smv::{network_to_smv, TranslationConfig};
 use fannet::smv::printer::print_module;
 use fannet::verify::bab::{
@@ -87,7 +94,7 @@ const USAGE: &str = "usage:
     test set; with --input/--label, one joint query at ±delta%
   fannet export-smv --model <model.json> --input <v1,v2,...> --label <L> --delta <D>
   fannet serve --model <model.json> [--once] [--threads <N>]
-               [--cache-capacity <N>]
+               [--cache-capacity <N>] [--queue-capacity <N>] [--max-line-bytes <N>]
                [--screening <none|interval|zonotope|cascade>] [--no-screening]
     JSONL requests on stdin, one response per line on stdout, e.g.
       {\"op\":\"check\",\"input\":[\"100\",\"82\"],\"label\":0,\"delta\":5}
@@ -97,7 +104,15 @@ const USAGE: &str = "usage:
       {\"op\":\"fault_tolerance\",\"input\":[\"100\",\"82\"],\"label\":0,\"denom\":1000,\"max_numer\":200}
       {\"op\":\"joint_check\",\"input\":[\"100\",\"82\"],\"label\":0,\"delta\":3,\"model\":\"weight-noise\",\"eps\":\"1/50\"}
       {\"op\":\"joint_tolerance\",\"input\":[\"100\",\"82\"],\"label\":0,\"delta\":3,\"denom\":100,\"max_numer\":25}
-      {\"op\":\"stats\"}";
+      {\"op\":\"stats\"}
+      {\"op\":\"shutdown\"}
+  fannet listen --addr <host:port> --model <model.json> [--threads <N>]
+               [--cache-capacity <N>] [--queue-capacity <N>] [--max-line-bytes <N>]
+               [--screening <none|interval|zonotope|cascade>] [--no-screening]
+    the same JSONL protocol over TCP: one resident engine shared by all
+    connections, per-connection response ordering, bounded-queue
+    backpressure; prints `listening on <addr>` once bound, drains on
+    SIGINT/SIGTERM or an in-band shutdown request";
 
 fn run(args: &[String]) -> Result<(), String> {
     let (command, rest) = args.split_first().ok_or("missing command")?;
@@ -109,6 +124,7 @@ fn run(args: &[String]) -> Result<(), String> {
         "joint" => joint(rest),
         "export-smv" => export_smv(rest),
         "serve" => serve(rest),
+        "listen" => listen(rest),
         "--help" | "-h" | "help" => {
             println!("{USAGE}");
             Ok(())
@@ -607,17 +623,14 @@ fn radius(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
-/// `fannet serve`: one resident engine answering JSONL requests.
-///
-/// Streaming by default — each drained chunk of stdin lines is answered
-/// as one parallel batch and flushed, so piped clients see responses as
-/// they are produced. `--once` reads stdin to EOF and answers a single
-/// batch, the deterministic mode CI's golden smoke test runs with
-/// `--threads 1` (parallel batches keep verdicts deterministic, but
-/// `stats` counters then depend on scheduling).
-fn serve(args: &[String]) -> Result<(), String> {
+/// Builds the resident engine and session knobs shared by `fannet
+/// serve` and `fannet listen`: `--threads` sizes the worker pool,
+/// `--cache-capacity` the verdict cache, `--queue-capacity` the bounded
+/// request queue (full ⇒ readers block ⇒ backpressure), and
+/// `--max-line-bytes` the per-line framing cap.
+fn serving_engine(args: &[String]) -> Result<(Arc<Engine>, SessionConfig), String> {
     let net = load_model(required(args, "--model")?)?;
-    let threads = match flag(args, "--threads") {
+    let workers = match flag(args, "--threads") {
         Some(text) => text
             .parse::<usize>()
             .map_err(|_| format!("bad --threads `{text}`"))?
@@ -634,6 +647,28 @@ fn serve(args: &[String]) -> Result<(), String> {
             }
         },
         None => EngineConfig::serving().cache_capacity,
+    };
+    let queue_capacity = match flag(args, "--queue-capacity") {
+        Some(text) => match text.parse::<usize>() {
+            Ok(n) if n > 0 => n,
+            _ => {
+                return Err(format!(
+                    "bad --queue-capacity `{text}` (need a positive integer)"
+                ))
+            }
+        },
+        None => fannet::server::DEFAULT_QUEUE_CAPACITY,
+    };
+    let max_line_bytes = match flag(args, "--max-line-bytes") {
+        Some(text) => match text.parse::<usize>() {
+            Ok(n) if n > 0 => n,
+            _ => {
+                return Err(format!(
+                    "bad --max-line-bytes `{text}` (need a positive integer)"
+                ))
+            }
+        },
+        None => fannet::server::DEFAULT_MAX_LINE_BYTES,
     };
     // Parallelism is spent across requests, not inside one query. The
     // default tier stays `interval` (the serving-latency sweet spot for
@@ -656,75 +691,43 @@ fn serve(args: &[String]) -> Result<(), String> {
             cache_capacity,
         },
     );
+    Ok((
+        Arc::new(engine),
+        SessionConfig {
+            workers,
+            queue_capacity,
+            max_line_bytes,
+        },
+    ))
+}
 
-    let stdin = std::io::stdin();
-    if has_switch(args, "--once") {
-        let lines: Vec<String> = stdin
-            .lock()
-            .lines()
-            .collect::<Result<_, _>>()
-            .map_err(|e| format!("cannot read stdin: {e}"))?;
-        emit(answer_lines(&engine, &lines, threads))?;
-        return Ok(());
-    }
-
-    // Streaming: a reader thread feeds a channel; the main loop answers
-    // whatever has queued up as one batch, then blocks for more.
-    let (tx, rx) = std::sync::mpsc::channel::<String>();
-    std::thread::spawn(move || {
-        let stdin = std::io::stdin();
-        for line in stdin.lock().lines() {
-            let Ok(line) = line else { break };
-            if tx.send(line).is_err() {
-                break;
-            }
-        }
-    });
-    while let Ok(first) = rx.recv() {
-        let mut chunk = vec![first];
-        while let Ok(more) = rx.try_recv() {
-            chunk.push(more);
-        }
-        emit(answer_lines(&engine, &chunk, threads))?;
-    }
+/// `fannet serve`: one resident engine answering JSONL requests over
+/// stdin/stdout, through the same connection-handler core as `fannet
+/// listen` (DESIGN.md §13) — a worker pool drains a bounded queue and a
+/// sequencer keeps responses in request order, so `--threads N` speeds
+/// up a pipelined client without reordering anything. Exits at stdin
+/// EOF or on a `shutdown` request. `--once` is accepted for
+/// compatibility with the historical batch mode; both modes stream.
+fn serve(args: &[String]) -> Result<(), String> {
+    let (engine, config) = serving_engine(args)?;
+    serve_stdio(engine, &config, std::io::stdin(), std::io::stdout());
     Ok(())
 }
 
-/// Answers a chunk of raw stdin lines in order: blank lines are skipped,
-/// unparsable lines become `error` responses, the rest run as one batch.
-fn answer_lines(engine: &Engine, lines: &[String], threads: usize) -> Vec<String> {
-    // Split parses into the batch (by value, no request is cloned) and
-    // per-position parse errors, then zip the answers back in order.
-    let mut requests = Vec::new();
-    let slots: Vec<Result<(), String>> = lines
-        .iter()
-        .filter(|line| !line.trim().is_empty())
-        .map(|line| match parse_request(line) {
-            Ok(request) => {
-                requests.push(request);
-                Ok(())
-            }
-            Err(message) => Err(message),
-        })
-        .collect();
-    let mut answers = batch::run_batch(engine, &requests, threads).into_iter();
-    slots
-        .into_iter()
-        .map(|slot| match slot {
-            Ok(()) => answers.next().expect("one answer per request"),
-            Err(message) => Response::Error { id: None, message },
-        })
-        .map(|response| render_response(&response))
-        .collect()
-}
-
-fn emit(lines: Vec<String>) -> Result<(), String> {
-    let stdout = std::io::stdout();
-    let mut out = stdout.lock();
-    for line in lines {
-        writeln!(out, "{line}").map_err(|e| format!("cannot write stdout: {e}"))?;
-    }
-    out.flush().map_err(|e| format!("cannot flush stdout: {e}"))
+/// `fannet listen`: the serving core over TCP. Every accepted
+/// connection speaks the same JSONL protocol against one shared
+/// resident engine; `listening on <addr>` on stdout signals readiness
+/// (and reveals the port under `--addr host:0`). Drains gracefully on
+/// SIGINT/SIGTERM or an in-band `shutdown` request.
+fn listen(args: &[String]) -> Result<(), String> {
+    let (engine, config) = serving_engine(args)?;
+    let addr = required(args, "--addr")?;
+    signal::install();
+    serve_tcp(engine, &config, addr, signal::triggered, |bound| {
+        println!("listening on {bound}");
+        let _ = std::io::stdout().flush();
+    })
+    .map_err(|e| format!("cannot listen on `{addr}`: {e}"))
 }
 
 fn export_smv(args: &[String]) -> Result<(), String> {

@@ -16,6 +16,7 @@
 //! | [`verify`] | `fannet-verify` | exact branch-and-bound decision procedure over integer-percent noise regions |
 //! | [`faults`] | `fannet-faults` | weight-fault & quantization robustness: interval-weight propagation, fault-space branch-and-bound, fault-tolerance search |
 //! | [`engine`] | `fannet-engine` | persistent query engine: subsumption-aware verdict cache, incremental tolerance search, batch/JSONL serving |
+//! | [`server`] | `fannet-server` | concurrent serving front end: TCP listener, bounded-queue backpressure, per-connection response ordering, graceful drain |
 //! | [`core`] | `fannet-core` | the FANNet methodology: P1/P2/P3, noise tolerance, adversarial extraction, bias, sensitivity, boundary analysis |
 //!
 //! ## Quickstart
@@ -47,6 +48,7 @@ pub use fannet_engine as engine;
 pub use fannet_faults as faults;
 pub use fannet_nn as nn;
 pub use fannet_numeric as numeric;
+pub use fannet_server as server;
 pub use fannet_smv as smv;
 pub use fannet_tensor as tensor;
 pub use fannet_verify as verify;

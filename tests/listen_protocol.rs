@@ -1,0 +1,272 @@
+//! End-to-end tests of `fannet listen`: the real binary, real loopback
+//! TCP. The contracts under test (DESIGN.md §13):
+//!
+//! * the golden request replay over TCP produces the *same* responses as
+//!   `fannet serve --once` over stdin (modulo the four masked volatile
+//!   gauges) — one protocol, two transports;
+//! * ≥4 concurrent pipelined clients each see their responses in request
+//!   order, byte-identical to a single-client `fannet serve --once` run
+//!   of the same workload;
+//! * a client disconnecting mid-batch leaves other streams intact;
+//! * an in-band `shutdown` request and a SIGTERM both drain and exit
+//!   cleanly.
+
+use std::io::{BufRead as _, BufReader, Read as _, Write as _};
+use std::net::{SocketAddr, TcpStream};
+use std::process::{Child, Command, Stdio};
+use std::time::Duration;
+
+fn repo_file(rel: &str) -> String {
+    format!("{}/{rel}", env!("CARGO_MANIFEST_DIR"))
+}
+
+/// Zeroes the four volatile `server` gauges (same rewrite as the serve
+/// golden test and CI's serve-smoke job).
+fn mask_volatile(text: &str) -> String {
+    let mut masked = text.to_string();
+    for key in ["uptime_ms", "qps", "queue_depth", "queue_high_water"] {
+        let pat = format!("\"{key}\":");
+        let mut from = 0;
+        while let Some(at) = masked[from..].find(&pat) {
+            let start = from + at + pat.len();
+            let end = start
+                + masked[start..]
+                    .find([',', '}'])
+                    .expect("JSON value terminates");
+            masked.replace_range(start..end, "0");
+            from = start + 1;
+        }
+    }
+    masked
+}
+
+/// Spawns `fannet listen --addr 127.0.0.1:0 …` and returns the child
+/// plus the OS-assigned address parsed from the readiness line.
+fn spawn_listen(extra_args: &[&str]) -> (Child, SocketAddr) {
+    let mut child = Command::new(env!("CARGO_BIN_EXE_fannet"))
+        .arg("listen")
+        .args(["--addr", "127.0.0.1:0"])
+        .args(["--model", &repo_file("tests/data/serve_model.json")])
+        .args(extra_args)
+        .stdin(Stdio::null())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("fannet binary spawns");
+    let mut ready = String::new();
+    BufReader::new(child.stdout.take().expect("stdout piped"))
+        .read_line(&mut ready)
+        .expect("readiness line");
+    let addr = ready
+        .trim()
+        .strip_prefix("listening on ")
+        .unwrap_or_else(|| panic!("unexpected readiness line: {ready:?}"))
+        .parse()
+        .expect("bound address parses");
+    (child, addr)
+}
+
+fn connect(addr: SocketAddr) -> TcpStream {
+    let stream = TcpStream::connect(addr).expect("loopback connect");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(120)))
+        .expect("read timeout arms");
+    stream
+}
+
+/// Pipelines `input` over one connection and reads one response line per
+/// non-blank request line.
+fn roundtrip(addr: SocketAddr, input: &str) -> Vec<String> {
+    let mut stream = connect(addr);
+    stream.write_all(input.as_bytes()).expect("requests sent");
+    stream.flush().expect("requests flushed");
+    let expected = input.lines().filter(|l| !l.trim().is_empty()).count();
+    let mut reader = BufReader::new(stream);
+    let mut lines = Vec::with_capacity(expected);
+    for _ in 0..expected {
+        let mut line = String::new();
+        reader.read_line(&mut line).expect("response line");
+        lines.push(line.trim_end().to_string());
+    }
+    lines
+}
+
+/// Runs `fannet serve --once --threads 1` over stdin with `input` — the
+/// single-client reference every TCP run is compared against.
+fn serve_once(input: &str) -> Vec<String> {
+    let mut child = Command::new(env!("CARGO_BIN_EXE_fannet"))
+        .arg("serve")
+        .args(["--once", "--threads", "1"])
+        .args(["--model", &repo_file("tests/data/serve_model.json")])
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("fannet binary spawns");
+    child
+        .stdin
+        .take()
+        .expect("stdin piped")
+        .write_all(input.as_bytes())
+        .expect("requests written");
+    let out = child.wait_with_output().expect("fannet serve exits");
+    assert!(out.status.success());
+    String::from_utf8(out.stdout)
+        .expect("utf-8 stdout")
+        .lines()
+        .map(str::to_string)
+        .collect()
+}
+
+/// Sends `shutdown`, checks the ack, and waits for a clean exit.
+fn shutdown_and_join(mut child: Child, addr: SocketAddr) {
+    let mut stream = connect(addr);
+    stream
+        .write_all(b"{\"op\":\"shutdown\"}\n")
+        .expect("shutdown sent");
+    let mut reader = BufReader::new(stream);
+    let mut ack = String::new();
+    reader.read_line(&mut ack).expect("shutdown ack");
+    assert_eq!(ack.trim_end(), "{\"op\":\"shutdown\",\"ok\":true}");
+    let status = child.wait().expect("listener exits");
+    assert!(status.success(), "listener must drain and exit cleanly");
+}
+
+/// A workload of globally unique queries (no two requests anywhere share
+/// an input vector), so the shared verdict cache cannot couple clients:
+/// every answer, including its `source` and per-answer solver counters,
+/// is then byte-identical to a solo run of the same lines.
+fn unique_workload(client: u64) -> String {
+    let mut lines = String::new();
+    for i in 0..2u64 {
+        let base = client * 20 + i * 5;
+        let id = client * 100 + i * 10;
+        lines += &format!(
+            "{{\"op\":\"check\",\"id\":{},\"input\":[\"100\",\"{}\"],\"label\":0,\"delta\":2}}\n",
+            id + 1,
+            40 + base
+        );
+        lines += &format!(
+            "{{\"op\":\"tolerance\",\"id\":{},\"input\":[\"100\",\"{}\"],\"label\":0,\"max_delta\":15}}\n",
+            id + 2,
+            41 + base
+        );
+        lines += &format!(
+            "{{\"op\":\"fault_check\",\"id\":{},\"input\":[\"100\",\"{}\"],\"label\":0,\"model\":\"weight-noise\",\"eps\":\"1/25\"}}\n",
+            id + 3,
+            42 + base
+        );
+        lines += &format!(
+            "{{\"op\":\"joint_check\",\"id\":{},\"input\":[\"100\",\"{}\"],\"label\":0,\"delta\":1,\"model\":\"bit-flips\",\"budget\":1}}\n",
+            id + 4,
+            43 + base
+        );
+    }
+    lines
+}
+
+#[test]
+fn golden_replay_over_tcp_matches_the_stdin_golden() {
+    let requests =
+        std::fs::read_to_string(repo_file("tests/data/serve_requests.jsonl")).expect("requests");
+    let golden =
+        std::fs::read_to_string(repo_file("tests/data/serve_golden.jsonl")).expect("golden");
+    let (child, addr) = spawn_listen(&["--threads", "1"]);
+    let got = roundtrip(addr, &requests);
+    let got = format!("{}\n", got.join("\n"));
+    assert_eq!(
+        mask_volatile(&got),
+        golden,
+        "the TCP transport must answer the golden batch exactly like stdin"
+    );
+    shutdown_and_join(child, addr);
+}
+
+#[test]
+fn four_concurrent_clients_see_ordered_single_client_responses() {
+    const CLIENTS: u64 = 4;
+    let (child, addr) = spawn_listen(&["--threads", "2"]);
+    // Single-client references first (each against its own fresh solo
+    // process), then the concurrent run.
+    let references: Vec<Vec<String>> = (0..CLIENTS)
+        .map(|c| serve_once(&unique_workload(c)))
+        .collect();
+    let handles: Vec<_> = (0..CLIENTS)
+        .map(|c| std::thread::spawn(move || roundtrip(addr, &unique_workload(c))))
+        .collect();
+    for (c, handle) in handles.into_iter().enumerate() {
+        let got = handle.join().expect("client thread");
+        assert_eq!(
+            got, references[c],
+            "client {c}: concurrent responses must be byte-identical to its solo serve --once run"
+        );
+    }
+    shutdown_and_join(child, addr);
+}
+
+#[test]
+fn disconnect_mid_batch_leaves_other_streams_intact() {
+    let (child, addr) = spawn_listen(&["--threads", "2"]);
+    // A long-lived client mid-conversation…
+    let mut survivor = connect(addr);
+    survivor
+        .write_all(
+            b"{\"op\":\"check\",\"id\":1,\"input\":[\"100\",\"82\"],\"label\":0,\"delta\":5}\n",
+        )
+        .expect("first request");
+    let mut reader = BufReader::new(survivor.try_clone().expect("clone"));
+    let mut line = String::new();
+    reader.read_line(&mut line).expect("first response");
+    assert!(line.starts_with("{\"op\":\"check\",\"id\":1"), "{line}");
+    // …while another client writes a batch and vanishes without reading.
+    {
+        let mut doomed = connect(addr);
+        doomed
+            .write_all(unique_workload(9).as_bytes())
+            .expect("doomed batch");
+        // Drop without reading a single response.
+    }
+    // The survivor's stream still works, in order.
+    survivor
+        .write_all(
+            b"{\"op\":\"tolerance\",\"id\":2,\"input\":[\"100\",\"82\"],\"label\":0,\"max_delta\":15}\n\
+              {\"op\":\"stats\",\"id\":3}\n",
+        )
+        .expect("followup requests");
+    let mut line = String::new();
+    reader.read_line(&mut line).expect("tolerance response");
+    assert!(line.starts_with("{\"op\":\"tolerance\",\"id\":2"), "{line}");
+    let mut line = String::new();
+    reader.read_line(&mut line).expect("stats response");
+    assert!(line.starts_with("{\"op\":\"stats\",\"id\":3"), "{line}");
+    assert!(line.contains("\"server\":{"), "{line}");
+    shutdown_and_join(child, addr);
+}
+
+#[cfg(unix)]
+#[test]
+fn sigterm_drains_and_exits_cleanly() {
+    let (mut child, addr) = spawn_listen(&["--threads", "1"]);
+    // Prove the engine is live first.
+    let lines = roundtrip(
+        addr,
+        "{\"op\":\"check\",\"id\":1,\"input\":[\"100\",\"82\"],\"label\":0,\"delta\":5}\n",
+    );
+    assert!(
+        lines[0].starts_with("{\"op\":\"check\",\"id\":1"),
+        "{lines:?}"
+    );
+    let kill = Command::new("kill")
+        .args(["-TERM", &child.id().to_string()])
+        .status()
+        .expect("kill runs");
+    assert!(kill.success());
+    let status = child.wait().expect("listener exits");
+    assert!(status.success(), "SIGTERM must drain, not abort");
+    // And the listener said nothing alarming.
+    let mut stderr = String::new();
+    if let Some(mut pipe) = child.stderr.take() {
+        let _ = pipe.read_to_string(&mut stderr);
+    }
+    assert!(stderr.is_empty(), "{stderr}");
+}

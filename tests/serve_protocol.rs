@@ -6,12 +6,39 @@
 //! scheduling-independent (verdicts are deterministic at any thread
 //! count; the counters are not, because concurrent queries race for who
 //! misses first).
+//!
+//! Four fields of the `server` block are wall-clock- or scheduling-
+//! dependent even at one worker (`uptime_ms`, `qps`, `queue_depth`,
+//! `queue_high_water` — how far the reader ran ahead of the worker).
+//! The committed golden holds them masked to `0`, and [`mask_volatile`]
+//! applies the same rewrite to live output before diffing; everything
+//! else, including the rest of the `server` block, compares byte-exact.
 
 use std::io::Write as _;
 use std::process::{Command, Stdio};
 
 fn repo_file(rel: &str) -> String {
     format!("{}/{rel}", env!("CARGO_MANIFEST_DIR"))
+}
+
+/// Zeroes the four volatile `server` gauges, leaving every other byte
+/// alone (mirrors the `sed` rewrite of CI's serve-smoke job).
+fn mask_volatile(text: &str) -> String {
+    let mut masked = text.to_string();
+    for key in ["uptime_ms", "qps", "queue_depth", "queue_high_water"] {
+        let pat = format!("\"{key}\":");
+        let mut from = 0;
+        while let Some(at) = masked[from..].find(&pat) {
+            let start = from + at + pat.len();
+            let end = start
+                + masked[start..]
+                    .find([',', '}'])
+                    .expect("JSON value terminates");
+            masked.replace_range(start..end, "0");
+            from = start + 1;
+        }
+    }
+    masked
 }
 
 fn run_serve(extra_args: &[&str], input: &str) -> (String, String, bool) {
@@ -47,11 +74,73 @@ fn once_batch_matches_committed_golden_responses() {
     let (stdout, stderr, ok) = run_serve(&["--once", "--threads", "1"], &requests);
     assert!(ok, "serve must exit cleanly: {stderr}");
     assert_eq!(
-        stdout, golden,
+        mask_volatile(&stdout),
+        golden,
         "JSONL responses drifted from tests/data/serve_golden.jsonl — if the \
          change is intentional, regenerate it with:\n  fannet serve --once \
          --threads 1 --model tests/data/serve_model.json \
-         < tests/data/serve_requests.jsonl > tests/data/serve_golden.jsonl"
+         < tests/data/serve_requests.jsonl \
+         | sed -E 's/\"(uptime_ms|qps|queue_depth|queue_high_water)\":[0-9.eE+-]+/\"\\1\":0/g' \
+         > tests/data/serve_golden.jsonl"
+    );
+}
+
+/// A `shutdown` request must end the session even though stdin never
+/// reaches EOF — the in-band stop the TCP front end relies on, checked
+/// here through the stdio front end that shares the core.
+#[test]
+fn shutdown_request_exits_without_stdin_eof() {
+    let mut child = Command::new(env!("CARGO_BIN_EXE_fannet"))
+        .arg("serve")
+        .args(["--model", &repo_file("tests/data/serve_model.json")])
+        .args(["--threads", "1"])
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("fannet binary spawns");
+    let mut stdin = child.stdin.take().expect("stdin piped");
+    stdin
+        .write_all(
+            b"{\"op\":\"check\",\"id\":1,\"input\":[\"100\",\"82\"],\"label\":0,\"delta\":5}\n\
+              {\"op\":\"shutdown\",\"id\":2}\n",
+        )
+        .expect("requests written");
+    stdin.flush().expect("requests flushed");
+    // `stdin` stays open in this variable: the exit below can only come
+    // from the shutdown drain, never from an EOF.
+    let out = child.wait_with_output().expect("fannet serve exits");
+    drop(stdin);
+    assert!(out.status.success());
+    let stdout = String::from_utf8(out.stdout).expect("utf-8 stdout");
+    let lines: Vec<&str> = stdout.lines().collect();
+    assert_eq!(lines.len(), 2, "{stdout}");
+    assert!(
+        lines[0].starts_with("{\"op\":\"check\",\"id\":1,\"verdict\":\"robust\""),
+        "{stdout}"
+    );
+    assert_eq!(lines[1], "{\"op\":\"shutdown\",\"id\":2,\"ok\":true}");
+}
+
+/// An oversized request line is answered with one contained error
+/// response and the session keeps serving the next line.
+#[test]
+fn oversized_line_is_contained() {
+    let huge = format!("{{\"pad\":\"{}\"}}\n", "x".repeat(512));
+    let input = format!(
+        "{huge}{{\"op\":\"check\",\"id\":2,\"input\":[\"100\",\"82\"],\"label\":0,\"delta\":5}}\n"
+    );
+    let (stdout, stderr, ok) = run_serve(&["--threads", "1", "--max-line-bytes", "256"], &input);
+    assert!(ok, "serve must exit cleanly: {stderr}");
+    let lines: Vec<&str> = stdout.lines().collect();
+    assert_eq!(lines.len(), 2, "{stdout}");
+    assert!(
+        lines[0].contains("exceeds --max-line-bytes (256 bytes)"),
+        "{stdout}"
+    );
+    assert!(
+        lines[1].starts_with("{\"op\":\"check\",\"id\":2,\"verdict\":\"robust\""),
+        "{stdout}"
     );
 }
 
