@@ -25,10 +25,12 @@ use fannet_server::session::{answer_lines, SessionConfig};
 use fannet_server::tcp::serve_tcp;
 use fannet_smv::statespace::{growth_table, PaperFsm};
 use fannet_verify::bab::{
-    check_region_exhaustive, find_counterexample, find_counterexample_with, BabStats, CheckerConfig,
+    check_region_exhaustive, find_counterexample, find_counterexample_with, BabStats,
+    CheckerConfig, RegionChecker,
 };
 use fannet_verify::noise::ExclusionSet;
 use fannet_verify::region::NoiseRegion;
+use fannet_verify::TierTimer;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use serde::Serialize;
@@ -66,6 +68,27 @@ struct ZonotopeAblationRow {
     splits: u64,
     interval_hit_rate: Option<f64>,
     zonotope_hit_rate: Option<f64>,
+    stats: BabStats,
+}
+
+/// Per-tier cost attribution of one traced cascade query (the PR-8
+/// observability headline): an enabled [`TierTimer`] books every solver
+/// nanosecond into the interval/zonotope/exact tier, and the verdict
+/// plus every counter stay bit-identical to the untraced run — asserted
+/// per row before it is recorded.
+#[derive(Serialize)]
+struct TierAttributionRow {
+    delta: i64,
+    /// Wall time of the traced run.
+    seconds: f64,
+    robust: bool,
+    interval_ns: u64,
+    zonotope_ns: u64,
+    exact_ns: u64,
+    /// Each tier's fraction of the total attributed nanoseconds.
+    interval_share: f64,
+    zonotope_share: f64,
+    exact_share: f64,
     stats: BabStats,
 }
 
@@ -168,6 +191,7 @@ struct JointAblationRow {
 struct AblationReport {
     checker_ablation: Vec<AblationRow>,
     zonotope_ablation: Vec<ZonotopeAblationRow>,
+    tier_attribution: Vec<TierAttributionRow>,
     fault_ablation: Vec<FaultAblationRow>,
     joint_ablation: Vec<JointAblationRow>,
     engine_throughput: EngineThroughputReport,
@@ -280,6 +304,65 @@ fn zonotope_ablation_rows(deltas: &[i64]) -> Vec<ZonotopeAblationRow> {
                 stats,
             });
         }
+    }
+    rows
+}
+
+/// Per-tier cost attribution (the `fannet-obs` instrumentation) of the
+/// cascade checker at wide noise ranges: the same query runs untraced
+/// and traced, the verdict and every counter are asserted bit-identical
+/// (only the never-serialized `*_ns` fields may differ), and the traced
+/// run's interval/zonotope/exact nanosecond split is recorded.
+fn tier_attribution_rows(deltas: &[i64]) -> Vec<TierAttributionRow> {
+    let cs = paper_study();
+    let inputs = fannet_bench::paper_test_inputs();
+    let labels = cs.test5.labels();
+    let idx = 6;
+    let checker = RegionChecker::new(&cs.exact_net, CheckerConfig::cascade());
+    let excluded = ExclusionSet::new();
+    let mut rows = Vec::new();
+    for &delta in deltas {
+        let region = NoiseRegion::symmetric(delta, 5);
+        let (plain, plain_stats) = checker
+            .check_region(&inputs[idx], labels[idx], &region, &excluded)
+            .expect("widths");
+        let t = Instant::now();
+        let (traced, stats) = checker
+            .check_region_timed(
+                &inputs[idx],
+                labels[idx],
+                &region,
+                &excluded,
+                TierTimer::enabled(),
+            )
+            .expect("widths");
+        let seconds = t.elapsed().as_secs_f64();
+        assert_eq!(
+            traced.is_robust(),
+            plain.is_robust(),
+            "tracing changed the verdict at ±{delta}%"
+        );
+        let mut untimed = stats;
+        untimed.interval_ns = 0;
+        untimed.zonotope_ns = 0;
+        untimed.exact_ns = 0;
+        assert_eq!(
+            untimed, plain_stats,
+            "tracing changed a solver counter at ±{delta}%"
+        );
+        let total = (stats.interval_ns + stats.zonotope_ns + stats.exact_ns).max(1) as f64;
+        rows.push(TierAttributionRow {
+            delta,
+            seconds,
+            robust: traced.is_robust(),
+            interval_ns: stats.interval_ns,
+            zonotope_ns: stats.zonotope_ns,
+            exact_ns: stats.exact_ns,
+            interval_share: stats.interval_ns as f64 / total,
+            zonotope_share: stats.zonotope_ns as f64 / total,
+            exact_share: stats.exact_ns as f64 / total,
+            stats,
+        });
     }
     rows
 }
@@ -727,6 +810,24 @@ fn run_bench_json(path: &str) {
         );
     }
 
+    println!("\ntier attribution (traced cascade: per-tier ns shares, verdicts vs untraced)");
+    let attribution = tier_attribution_rows(&[15, 30, 50]);
+    for row in &attribution {
+        println!(
+            "±{:2}%: {:>8.1}ms  interval {:>5.1}%  zonotope {:>5.1}%  exact {:>5.1}%  ({})",
+            row.delta,
+            row.seconds * 1e3,
+            100.0 * row.interval_share,
+            100.0 * row.zonotope_share,
+            100.0 * row.exact_share,
+            if row.robust {
+                "robust"
+            } else {
+                "counterexample"
+            },
+        );
+    }
+
     println!("\nfault ablation (weight-noise fault space: interval-only vs cascade)");
     let fault = fault_ablation_rows(&[1, 3, 6, 10, 20]);
     for pair in fault.chunks(2) {
@@ -821,6 +922,7 @@ fn run_bench_json(path: &str) {
     let json = serde_json::to_string_pretty(&AblationReport {
         checker_ablation: rows,
         zonotope_ablation: zonotope,
+        tier_attribution: attribution,
         fault_ablation: fault,
         joint_ablation: joint,
         engine_throughput: engine,

@@ -18,6 +18,7 @@
 use fannet_data::Dataset;
 use fannet_nn::Network;
 use fannet_numeric::Rational;
+use fannet_obs::Span;
 use fannet_verify::bab::{default_threads, CheckerConfig};
 
 use crate::adversarial::{self, AdversarialReport};
@@ -279,36 +280,57 @@ pub fn run(
     test: &Dataset,
     config: &AnalysisConfig,
 ) -> FannetReport {
-    let validation = behavior::validate(exact, reference, test);
+    // Each stage runs under an obs span, so a full run populates the
+    // process-global registry with one `pipeline::<stage>` histogram per
+    // stage — surfaced through the `metrics` JSONL op (DESIGN.md §14).
+    let validation = {
+        let _span = Span::enter("pipeline::validate");
+        behavior::validate(exact, reference, test)
+    };
     let correct = behavior::correctly_classified(exact, test);
 
-    let tolerance = tolerance::par_analyze(
-        exact,
-        test,
-        &correct,
-        config.max_delta,
-        &config.checker,
-        config.input_threads,
-    );
+    let tolerance = {
+        let _span = Span::enter("pipeline::tolerance");
+        tolerance::par_analyze(
+            exact,
+            test,
+            &correct,
+            config.max_delta,
+            &config.checker,
+            config.input_threads,
+        )
+    };
     let sweep = tolerance.sweep(&config.sweep_deltas);
 
     let extraction_delta = config
         .extraction_delta
         .unwrap_or_else(|| (tolerance.tolerance() + 5).clamp(1, config.max_delta));
-    let adversarial = adversarial::par_extract(
-        exact,
-        test,
-        &correct,
-        extraction_delta,
-        config.per_input_cap,
-        &config.checker,
-        config.input_threads,
-    );
+    let adversarial = {
+        let _span = Span::enter("pipeline::adversarial");
+        adversarial::par_extract(
+            exact,
+            test,
+            &correct,
+            extraction_delta,
+            config.per_input_cap,
+            &config.checker,
+            config.input_threads,
+        )
+    };
     let bias = bias::analyze(&adversarial, &tolerance, train);
     let sensitivity = sensitivity::analyze(&adversarial);
-    let boundary = boundary::analyze(exact, test, &tolerance, config.near_threshold);
-    let fault = faults::analyze(exact, test, &correct, &config.fault);
-    let joint = joint::analyze(exact, test, &correct, &config.joint);
+    let boundary = {
+        let _span = Span::enter("pipeline::boundary");
+        boundary::analyze(exact, test, &tolerance, config.near_threshold)
+    };
+    let fault = {
+        let _span = Span::enter("pipeline::faults");
+        faults::analyze(exact, test, &correct, &config.fault)
+    };
+    let joint = {
+        let _span = Span::enter("pipeline::joint");
+        joint::analyze(exact, test, &correct, &config.joint)
+    };
 
     FannetReport {
         validation,
@@ -458,6 +480,33 @@ mod tests {
             "noise tolerance: ±",
         ] {
             assert!(text.contains(needle), "missing `{needle}` in:\n{text}");
+        }
+    }
+
+    #[test]
+    fn run_populates_the_pipeline_span_registry() {
+        let (exact, float) = nets();
+        let (train, test) = datasets();
+        let counts_of = |name: &str| {
+            fannet_obs::global_registry()
+                .snapshot()
+                .into_iter()
+                .find(|(n, _)| *n == name)
+                .map(|(_, h)| h.count())
+                .unwrap_or(0)
+        };
+        let stages = [
+            "pipeline::validate",
+            "pipeline::tolerance",
+            "pipeline::adversarial",
+            "pipeline::boundary",
+            "pipeline::faults",
+            "pipeline::joint",
+        ];
+        let before: Vec<u64> = stages.iter().map(|s| counts_of(s)).collect();
+        let _ = run(&exact, &float, &train, &test, &config());
+        for (stage, before) in stages.iter().zip(before) {
+            assert_eq!(counts_of(stage), before + 1, "stage {stage} unrecorded");
         }
     }
 

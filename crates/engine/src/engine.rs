@@ -16,6 +16,7 @@ use fannet_faults::{
 use fannet_nn::fingerprint::{fingerprint, NetworkFingerprint};
 use fannet_nn::Network;
 use fannet_numeric::Rational;
+use fannet_search::TierTimer;
 use fannet_tensor::ShapeError;
 use fannet_verify::bab::{BabStats, CheckerConfig, RegionChecker, RegionOutcome};
 use fannet_verify::exact::Counterexample;
@@ -247,16 +248,20 @@ impl Engine {
         Ok(())
     }
 
-    /// Runs the solver cold and stores the canonical verdict.
+    /// Runs the solver cold and stores the canonical verdict. An enabled
+    /// `timer` additionally books per-tier nanoseconds into the returned
+    /// stats; the cumulative engine counters absorb them too, but the
+    /// wire serialization of [`BabStats`] never carries them.
     fn solve(
         &self,
         x: &[Rational],
         label: usize,
         region: &NoiseRegion,
+        timer: TierTimer,
     ) -> Result<(RegionOutcome, BabStats), ShapeError> {
         let (outcome, stats) =
             self.checker()
-                .check_region(x, label, region, &ExclusionSet::new())?;
+                .check_region_timed(x, label, region, &ExclusionSet::new(), timer)?;
         self.solver_stats
             .lock()
             .expect("engine stats poisoned")
@@ -292,6 +297,29 @@ impl Engine {
         label: usize,
         region: &NoiseRegion,
     ) -> Result<CheckReply, ShapeError> {
+        self.check_traced(x, label, region, TierTimer::disabled())
+    }
+
+    /// [`Engine::check`] with an explicit [`TierTimer`]: an enabled
+    /// timer books per-tier nanoseconds into the reply's stats for cost
+    /// attribution (DESIGN.md §14). Verdict, witness, counters and cache
+    /// behaviour are bit-identical to the untimed call; cache hits still
+    /// report zero stats (the cache did no tier work).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ShapeError`] if input/region/network widths disagree.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `label` is out of range.
+    pub fn check_traced(
+        &self,
+        x: &[Rational],
+        label: usize,
+        region: &NoiseRegion,
+        timer: TierTimer,
+    ) -> Result<CheckReply, ShapeError> {
         assert!(label < self.net.outputs(), "label {label} out of range");
         self.validate(x, region)?;
         let hit = self.cache.lock().expect("engine cache poisoned").lookup(
@@ -306,7 +334,7 @@ impl Engine {
                 (outcome, AnswerSource::SubsumptionHit, BabStats::default())
             }
             Lookup::Miss => {
-                let (outcome, stats) = self.solve(x, label, region)?;
+                let (outcome, stats) = self.solve(x, label, region, timer)?;
                 (outcome, AnswerSource::Solver, stats)
             }
         };
@@ -337,16 +365,21 @@ impl Engine {
     ) -> Result<(bool, AnswerSource), ShapeError> {
         assert!(label < self.net.outputs(), "label {label} out of range");
         self.validate(x, region)?;
-        let (outcome, source) = self.probe(x, label, region)?;
+        let mut acc = BabStats::default();
+        let (outcome, source) = self.probe(x, label, region, TierTimer::disabled(), &mut acc)?;
         Ok((outcome.is_robust(), source))
     }
 
-    /// Shared verdict-level lookup-or-solve.
+    /// Shared verdict-level lookup-or-solve; solver probes merge their
+    /// stats into `acc` so traced tolerance searches can attribute the
+    /// cost of the whole bisection.
     fn probe(
         &self,
         x: &[Rational],
         label: usize,
         region: &NoiseRegion,
+        timer: TierTimer,
+        acc: &mut BabStats,
     ) -> Result<(RegionOutcome, AnswerSource), ShapeError> {
         let hit = self.cache.lock().expect("engine cache poisoned").lookup(
             x,
@@ -358,7 +391,8 @@ impl Engine {
             Lookup::Exact(outcome) => (outcome, AnswerSource::ExactHit),
             Lookup::Subsumed(outcome) => (outcome, AnswerSource::SubsumptionHit),
             Lookup::Miss => {
-                let (outcome, _) = self.solve(x, label, region)?;
+                let (outcome, stats) = self.solve(x, label, region, timer)?;
+                acc.merge(&stats);
                 (outcome, AnswerSource::Solver)
             }
         })
@@ -395,6 +429,32 @@ impl Engine {
         label: usize,
         max_delta: i64,
     ) -> Result<Option<i64>, ShapeError> {
+        self.tolerance_traced(x, label, max_delta, TierTimer::disabled())
+            .map(|(radius, _, _)| radius)
+    }
+
+    /// [`Engine::tolerance`] with an explicit [`TierTimer`], returning
+    /// the merged solver stats of every probe plus the aggregate answer
+    /// source: [`AnswerSource::Solver`] if any probe ran the solver,
+    /// else [`AnswerSource::SubsumptionHit`] if any probe (or the warm
+    /// bracket) answered by containment, else [`AnswerSource::ExactHit`].
+    /// The radius is bit-identical to the untimed call.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ShapeError`] if input/network widths disagree.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `label` is out of range or `max_delta` outside
+    /// `[1, 100]`.
+    pub fn tolerance_traced(
+        &self,
+        x: &[Rational],
+        label: usize,
+        max_delta: i64,
+        timer: TierTimer,
+    ) -> Result<(Option<i64>, BabStats, AnswerSource), ShapeError> {
         assert!(label < self.net.outputs(), "label {label} out of range");
         assert!(
             (1..=100).contains(&max_delta),
@@ -402,35 +462,64 @@ impl Engine {
         );
         self.validate(x, &NoiseRegion::symmetric(0, x.len()))?;
 
+        let mut acc = BabStats::default();
+        let mut solved = false;
+        let mut subsumed = false;
+        fn aggregate(solved: bool, subsumed: bool) -> AnswerSource {
+            if solved {
+                AnswerSource::Solver
+            } else if subsumed {
+                AnswerSource::SubsumptionHit
+            } else {
+                AnswerSource::ExactHit
+            }
+        }
+
         let (robust_through, flips_at) = self
             .cache
             .lock()
             .expect("engine cache poisoned")
             .symmetric_bracket(x, label);
         if robust_through >= max_delta {
-            return Ok(None);
+            // The warm bracket alone decided — a containment answer.
+            return Ok((None, acc, AnswerSource::SubsumptionHit));
         }
         let mut lo = robust_through; // invariant: ±lo has no CE (or lo = 0)
         let mut hi = match flips_at.filter(|&m| m <= max_delta) {
             Some(m) => m, // invariant: ±hi contains a CE
             None => {
-                let (outcome, _) =
-                    self.probe(x, label, &NoiseRegion::symmetric(max_delta, x.len()))?;
+                let (outcome, source) = self.probe(
+                    x,
+                    label,
+                    &NoiseRegion::symmetric(max_delta, x.len()),
+                    timer,
+                    &mut acc,
+                )?;
+                solved |= source == AnswerSource::Solver;
+                subsumed |= source == AnswerSource::SubsumptionHit;
                 match outcome.counterexample() {
-                    None => return Ok(None),
+                    None => return Ok((None, acc, aggregate(solved, subsumed))),
                     Some(ce) => ce.noise.max_abs().max(1),
                 }
             }
         };
         while hi - lo > 1 {
             let mid = lo + (hi - lo) / 2;
-            let (outcome, _) = self.probe(x, label, &NoiseRegion::symmetric(mid, x.len()))?;
+            let (outcome, source) = self.probe(
+                x,
+                label,
+                &NoiseRegion::symmetric(mid, x.len()),
+                timer,
+                &mut acc,
+            )?;
+            solved |= source == AnswerSource::Solver;
+            subsumed |= source == AnswerSource::SubsumptionHit;
             match outcome.counterexample() {
                 Some(ce) => hi = ce.noise.max_abs().max(1),
                 None => lo = mid,
             }
         }
-        Ok(Some(hi))
+        Ok((Some(hi), acc, aggregate(solved, subsumed)))
     }
 
     /// Collects up to `cap` counterexamples in `region` (the P3
@@ -481,6 +570,23 @@ impl Engine {
         label: usize,
         model: &FaultModel,
     ) -> Result<FaultReply, String> {
+        self.fault_check_traced(x, label, model, TierTimer::disabled())
+    }
+
+    /// [`Engine::fault_check`] with an explicit [`TierTimer`] (see
+    /// [`Engine::check_traced`]); cache hits still report zero stats.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message on width mismatch, out-of-range label, or an
+    /// out-of-domain model.
+    pub fn fault_check_traced(
+        &self,
+        x: &[Rational],
+        label: usize,
+        model: &FaultModel,
+        timer: TierTimer,
+    ) -> Result<FaultReply, String> {
         // Validate before touching the cache (mirroring `check`), so
         // malformed queries never skew the hit/miss accounting.
         if x.len() != self.net.inputs() {
@@ -512,7 +618,7 @@ impl Engine {
                 stats: FaultStats::default(),
             });
         }
-        let (outcome, stats) = self.faults.check(x, label, model)?;
+        let (outcome, stats) = self.faults.check_timed(x, label, model, timer)?;
         self.fault_stats
             .lock()
             .expect("engine fault stats poisoned")
@@ -544,10 +650,46 @@ impl Engine {
         label: usize,
         search: &ToleranceSearch,
     ) -> Result<FaultTolerance, String> {
-        tolerance_search(search, |eps| {
-            self.fault_check(x, label, &FaultModel::WeightNoise { rel_eps: eps })
-                .map(|reply| reply.outcome)
-        })
+        self.fault_tolerance_traced(x, label, search, TierTimer::disabled())
+            .map(|(tolerance, _, _)| tolerance)
+    }
+
+    /// [`Engine::fault_tolerance`] with an explicit [`TierTimer`],
+    /// returning the merged checker stats of every bisection probe plus
+    /// the aggregate answer source ([`AnswerSource::Solver`] if any
+    /// probe ran the checker, else [`AnswerSource::ExactHit`] — the
+    /// fault cache has no subsumption path). The tolerance is
+    /// bit-identical to the untimed call.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message on width mismatch or out-of-range label.
+    pub fn fault_tolerance_traced(
+        &self,
+        x: &[Rational],
+        label: usize,
+        search: &ToleranceSearch,
+        timer: TierTimer,
+    ) -> Result<(FaultTolerance, FaultStats, AnswerSource), String> {
+        let mut acc = FaultStats::default();
+        let mut solved = false;
+        let tolerance = tolerance_search(search, |eps| {
+            let reply = self.fault_check_traced(
+                x,
+                label,
+                &FaultModel::WeightNoise { rel_eps: eps },
+                timer,
+            )?;
+            acc.merge(&reply.stats);
+            solved |= reply.source == AnswerSource::Solver;
+            Ok::<_, String>(reply.outcome)
+        })?;
+        let source = if solved {
+            AnswerSource::Solver
+        } else {
+            AnswerSource::ExactHit
+        };
+        Ok((tolerance, acc, source))
     }
 
     /// Cumulative fault-checker counters across every cold fault run.
@@ -598,6 +740,24 @@ impl Engine {
         noise: &NoiseRegion,
         model: &FaultModel,
     ) -> Result<JointReply, String> {
+        self.joint_check_traced(x, label, noise, model, TierTimer::disabled())
+    }
+
+    /// [`Engine::joint_check`] with an explicit [`TierTimer`] (see
+    /// [`Engine::check_traced`]); cache hits still report zero stats.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message on width mismatch, out-of-range label, or an
+    /// out-of-domain model.
+    pub fn joint_check_traced(
+        &self,
+        x: &[Rational],
+        label: usize,
+        noise: &NoiseRegion,
+        model: &FaultModel,
+        timer: TierTimer,
+    ) -> Result<JointReply, String> {
         // Validate before touching the cache, so malformed queries
         // never skew the hit/miss accounting.
         if x.len() != self.net.inputs() {
@@ -636,7 +796,7 @@ impl Engine {
                 stats: FaultStats::default(),
             });
         }
-        let (outcome, stats) = self.joint.check(x, label, noise, model)?;
+        let (outcome, stats) = self.joint.check_timed(x, label, noise, model, timer)?;
         self.joint_stats
             .lock()
             .expect("engine joint stats poisoned")
@@ -673,11 +833,50 @@ impl Engine {
         delta: i64,
         search: &ToleranceSearch,
     ) -> Result<JointTolerance, String> {
+        self.joint_tolerance_traced(x, label, delta, search, TierTimer::disabled())
+            .map(|(tolerance, _, _)| tolerance)
+    }
+
+    /// [`Engine::joint_tolerance`] with an explicit [`TierTimer`] (see
+    /// [`Engine::fault_tolerance_traced`] for the stats/source
+    /// aggregation rules).
+    ///
+    /// # Errors
+    ///
+    /// Returns a message on width mismatch or out-of-range label.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `delta` is outside `[0, 100]` or the grid is invalid.
+    pub fn joint_tolerance_traced(
+        &self,
+        x: &[Rational],
+        label: usize,
+        delta: i64,
+        search: &ToleranceSearch,
+        timer: TierTimer,
+    ) -> Result<(JointTolerance, FaultStats, AnswerSource), String> {
         let noise = NoiseRegion::symmetric(delta, x.len());
-        fannet_search::tolerance_search(search, |eps| {
-            self.joint_check(x, label, &noise, &FaultModel::WeightNoise { rel_eps: eps })
-                .map(|reply| reply.outcome.is_robust())
-        })
+        let mut acc = FaultStats::default();
+        let mut solved = false;
+        let tolerance = fannet_search::tolerance_search(search, |eps| {
+            let reply = self.joint_check_traced(
+                x,
+                label,
+                &noise,
+                &FaultModel::WeightNoise { rel_eps: eps },
+                timer,
+            )?;
+            acc.merge(&reply.stats);
+            solved |= reply.source == AnswerSource::Solver;
+            Ok::<_, String>(reply.outcome.is_robust())
+        })?;
+        let source = if solved {
+            AnswerSource::Solver
+        } else {
+            AnswerSource::ExactHit
+        };
+        Ok((tolerance, acc, source))
     }
 
     /// Cumulative joint-checker counters across every cold joint run.

@@ -65,4 +65,4 @@ pub mod stats;
 
 pub use engine::{AnswerSource, CheckReply, Engine, EngineConfig, FaultReply, JointReply};
 pub use fannet_nn::fingerprint;
-pub use stats::{EngineStats, OpCounts, ServerStats};
+pub use stats::{EngineStats, LatencyStats, OpCounts, OpLatency, ServerStats};

@@ -17,6 +17,7 @@
 //! {"op":"joint_check","input":["100","82"],"label":0,"delta":3,"model":"weight-noise","eps":"1/50"}
 //! {"op":"joint_tolerance","input":["100","82"],"label":0,"delta":3,"denom":100,"max_numer":25}
 //! {"op":"stats"}
+//! {"op":"metrics"}
 //! {"op":"shutdown"}
 //! ```
 //!
@@ -32,6 +33,12 @@
 //! fault model — `joint_check` decides the product claim, and
 //! `joint_tolerance` bisects ε at a fixed ±`delta` (default 0, which
 //! degenerates to `fault_tolerance`).
+//!
+//! Every solver-backed op additionally accepts `"trace":true` to attach
+//! a per-query cost trace ([`QueryTrace`]: wall nanoseconds, cache
+//! outcome, per-tier time and counters) to its response — verdicts and
+//! witnesses stay bit-identical (DESIGN.md §14). `metrics` renders the
+//! process-wide latency histograms as Prometheus text exposition.
 //!
 //! Responses are flat JSON objects tagged with the same `op` (or
 //! `"error"`), e.g.:
@@ -74,6 +81,7 @@ use fannet_faults::{
     ToleranceSearch,
 };
 use fannet_numeric::Rational;
+use fannet_search::TierTimer;
 use fannet_verify::bab::{BabStats, RegionOutcome};
 use fannet_verify::exact::Counterexample;
 use fannet_verify::region::NoiseRegion;
@@ -101,6 +109,9 @@ pub enum Request {
         label: usize,
         /// Region to certify.
         region: NoiseRegion,
+        /// `true` to attach a per-query cost trace to the response
+        /// (DESIGN.md §14). Never changes the verdict or witness.
+        trace: bool,
     },
     /// Exact robustness radius by incremental binary search.
     Tolerance {
@@ -112,6 +123,8 @@ pub enum Request {
         label: usize,
         /// Largest radius probed.
         max_delta: i64,
+        /// `true` to attach a per-query cost trace to the response.
+        trace: bool,
     },
     /// Per-node noise-sign statistics over extracted counterexamples.
     Sensitivity {
@@ -136,6 +149,8 @@ pub enum Request {
         label: usize,
         /// The fault model to verify against.
         model: FaultModel,
+        /// `true` to attach a per-query cost trace to the response.
+        trace: bool,
     },
     /// Weight-noise fault-tolerance bisection.
     FaultTolerance {
@@ -147,6 +162,8 @@ pub enum Request {
         label: usize,
         /// The ε grid searched.
         search: ToleranceSearch,
+        /// `true` to attach a per-query cost trace to the response.
+        trace: bool,
     },
     /// Joint input-noise × weight-fault robustness check (DESIGN.md §12).
     JointCheck {
@@ -160,6 +177,8 @@ pub enum Request {
         region: NoiseRegion,
         /// The weight-fault factor of the product claim.
         model: FaultModel,
+        /// `true` to attach a per-query cost trace to the response.
+        trace: bool,
     },
     /// Joint weight-noise tolerance at a fixed input-noise radius.
     JointTolerance {
@@ -173,9 +192,19 @@ pub enum Request {
         delta: i64,
         /// The ε grid searched.
         search: ToleranceSearch,
+        /// `true` to attach a per-query cost trace to the response.
+        trace: bool,
     },
     /// Engine/cache/solver counters.
     Stats {
+        /// Client tag echoed in the response.
+        id: Option<u64>,
+    },
+    /// Prometheus-style text exposition of latency histograms
+    /// (DESIGN.md §14): per-tier solver time from the process-global
+    /// span registry, plus per-op request latency when a serving front
+    /// end enriches the reply.
+    Metrics {
         /// Client tag echoed in the response.
         id: Option<u64>,
     },
@@ -208,6 +237,112 @@ pub struct NodeSigns {
     pub min_negative: i64,
 }
 
+/// Per-query cost attribution (DESIGN.md §14): wall time, cache
+/// outcome, and per-tier nanoseconds of one answered query. Attached to
+/// a response only when the request asked (`"trace": true`); also
+/// surfaced to the serving session for slow-query logging.
+///
+/// Serialized as:
+///
+/// ```text
+/// "trace":{"wall_ns":…,"cache":"exact"|"subsumed"|"miss",
+///          "tiers":{"interval":{"ns":…,"hits":…,"fallbacks":…},
+///                   "zonotope":{…},
+///                   "exact":{"ns":…,"decisions":…,"fallbacks":…,"evals":…}},
+///          "boxes_visited":…,"depth_high_water":…}
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct QueryTrace {
+    /// Wall-clock nanoseconds of the whole engine call (cache lookups
+    /// and witness handling included, framing excluded).
+    pub wall_ns: u64,
+    /// How the cache answered ([`AnswerSource`]); for tolerance
+    /// bisections, the aggregate over every probe.
+    pub cache: AnswerSource,
+    /// Solver counters of the answer, timing fields populated (zero on
+    /// cache hits — the cache did no tier work).
+    pub stats: fannet_search::SearchStats,
+}
+
+impl QueryTrace {
+    /// The wire spelling of the cache outcome.
+    #[must_use]
+    pub fn cache_name(&self) -> &'static str {
+        match self.cache {
+            AnswerSource::ExactHit => "exact",
+            AnswerSource::SubsumptionHit => "subsumed",
+            AnswerSource::Solver => "miss",
+        }
+    }
+}
+
+impl Serialize for QueryTrace {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        use serde::ser::SerializeStruct as _;
+        struct Tiers<'a>(&'a fannet_search::SearchStats);
+        struct Screen {
+            ns: u64,
+            hits: u64,
+            fallbacks: u64,
+        }
+        struct Exact<'a>(&'a fannet_search::SearchStats);
+        impl Serialize for Screen {
+            fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+                use serde::ser::SerializeStruct as _;
+                let mut st = serializer.serialize_struct("Screen", 3)?;
+                st.serialize_field("ns", &self.ns)?;
+                st.serialize_field("hits", &self.hits)?;
+                st.serialize_field("fallbacks", &self.fallbacks)?;
+                st.end()
+            }
+        }
+        impl Serialize for Exact<'_> {
+            fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+                use serde::ser::SerializeStruct as _;
+                let s = self.0;
+                let mut st = serializer.serialize_struct("Exact", 4)?;
+                st.serialize_field("ns", &s.exact_ns)?;
+                st.serialize_field("decisions", &s.exact_decisions)?;
+                st.serialize_field("fallbacks", &s.exact_fallbacks)?;
+                st.serialize_field("evals", &s.exact_evals)?;
+                st.end()
+            }
+        }
+        impl Serialize for Tiers<'_> {
+            fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+                use serde::ser::SerializeStruct as _;
+                let s = self.0;
+                let mut st = serializer.serialize_struct("Tiers", 3)?;
+                st.serialize_field(
+                    "interval",
+                    &Screen {
+                        ns: s.interval_ns,
+                        hits: s.interval_hits,
+                        fallbacks: s.interval_fallbacks,
+                    },
+                )?;
+                st.serialize_field(
+                    "zonotope",
+                    &Screen {
+                        ns: s.zonotope_ns,
+                        hits: s.zonotope_hits,
+                        fallbacks: s.zonotope_fallbacks,
+                    },
+                )?;
+                st.serialize_field("exact", &Exact(s))?;
+                st.end()
+            }
+        }
+        let mut st = serializer.serialize_struct("QueryTrace", 5)?;
+        st.serialize_field("wall_ns", &self.wall_ns)?;
+        st.serialize_field("cache", self.cache_name())?;
+        st.serialize_field("tiers", &Tiers(&self.stats))?;
+        st.serialize_field("boxes_visited", &self.stats.boxes_visited)?;
+        st.serialize_field("depth_high_water", &self.stats.depth_high_water)?;
+        st.end()
+    }
+}
+
 /// One response line.
 #[derive(Debug, Clone, PartialEq)]
 // One transient value per answered request; the size spread (the
@@ -225,6 +360,8 @@ pub enum Response {
         source: AnswerSource,
         /// Solver counters of this answer (zero on cache hits).
         stats: BabStats,
+        /// Cost attribution, present iff the request set `"trace"`.
+        trace: Option<QueryTrace>,
     },
     /// Answer to [`Request::Tolerance`].
     Tolerance {
@@ -234,6 +371,8 @@ pub enum Response {
         radius: Option<i64>,
         /// The `max_delta` that bounded the search.
         max_delta: i64,
+        /// Cost attribution, present iff the request set `"trace"`.
+        trace: Option<QueryTrace>,
     },
     /// Answer to [`Request::FaultCheck`].
     FaultCheck {
@@ -245,6 +384,8 @@ pub enum Response {
         source: AnswerSource,
         /// Fault-checker counters of this answer (zero on cache hits).
         stats: FaultStats,
+        /// Cost attribution, present iff the request set `"trace"`.
+        trace: Option<QueryTrace>,
     },
     /// Answer to [`Request::FaultTolerance`].
     FaultTolerance {
@@ -254,6 +395,8 @@ pub enum Response {
         tolerance: FaultTolerance,
         /// The grid that bounded the search.
         search: ToleranceSearch,
+        /// Cost attribution, present iff the request set `"trace"`.
+        trace: Option<QueryTrace>,
     },
     /// Answer to [`Request::JointCheck`].
     JointCheck {
@@ -265,6 +408,8 @@ pub enum Response {
         source: AnswerSource,
         /// Joint-checker counters of this answer (zero on cache hits).
         stats: FaultStats,
+        /// Cost attribution, present iff the request set `"trace"`.
+        trace: Option<QueryTrace>,
     },
     /// Answer to [`Request::JointTolerance`].
     JointTolerance {
@@ -276,6 +421,8 @@ pub enum Response {
         delta: i64,
         /// The grid that bounded the ε search.
         search: ToleranceSearch,
+        /// Cost attribution, present iff the request set `"trace"`.
+        trace: Option<QueryTrace>,
     },
     /// Answer to [`Request::Sensitivity`].
     Sensitivity {
@@ -317,6 +464,15 @@ pub enum Response {
         /// when the request was answered outside a serving front end
         /// (e.g. a bare [`handle`] call).
         server: Option<crate::stats::ServerStats>,
+    },
+    /// Answer to [`Request::Metrics`]: Prometheus-style text exposition.
+    Metrics {
+        /// Echo of the request tag.
+        id: Option<u64>,
+        /// The exposition body (may be empty when nothing was recorded
+        /// yet). A serving front end appends its per-op request-latency
+        /// families before rendering.
+        text: String,
     },
     /// Answer to [`Request::Shutdown`]: the drain is acknowledged before
     /// the front end stops reading.
@@ -471,6 +627,7 @@ pub fn parse_request(line: &str) -> Result<Request, String> {
         None => return Err("missing field `op`".to_string()),
     };
     let id: Option<u64> = take_parsed(&mut m, "id")?;
+    let trace: bool = take_parsed(&mut m, "trace")?.unwrap_or(false);
     match op.as_str() {
         "check" => {
             let input = take_input(&mut m)?;
@@ -481,6 +638,7 @@ pub fn parse_request(line: &str) -> Result<Request, String> {
                 input,
                 label,
                 region,
+                trace,
             })
         }
         "tolerance" => {
@@ -495,6 +653,7 @@ pub fn parse_request(line: &str) -> Result<Request, String> {
                 input,
                 label,
                 max_delta,
+                trace,
             })
         }
         "sensitivity" => {
@@ -522,6 +681,7 @@ pub fn parse_request(line: &str) -> Result<Request, String> {
                 input,
                 label,
                 model,
+                trace,
             })
         }
         "fault_tolerance" => {
@@ -533,6 +693,7 @@ pub fn parse_request(line: &str) -> Result<Request, String> {
                 input,
                 label,
                 search,
+                trace,
             })
         }
         "joint_check" => {
@@ -546,6 +707,7 @@ pub fn parse_request(line: &str) -> Result<Request, String> {
                 label,
                 region,
                 model,
+                trace,
             })
         }
         "joint_tolerance" => {
@@ -562,13 +724,15 @@ pub fn parse_request(line: &str) -> Result<Request, String> {
                 label,
                 delta,
                 search,
+                trace,
             })
         }
         "stats" => Ok(Request::Stats { id }),
+        "metrics" => Ok(Request::Metrics { id }),
         "shutdown" => Ok(Request::Shutdown { id }),
         other => Err(format!(
             "unknown op `{other}` (expected check/tolerance/sensitivity/fault_check/\
-             fault_tolerance/joint_check/joint_tolerance/stats/shutdown)"
+             fault_tolerance/joint_check/joint_tolerance/stats/metrics/shutdown)"
         )),
     }
 }
@@ -655,6 +819,7 @@ impl Serialize for Response {
                 outcome,
                 source,
                 stats,
+                trace,
             } => {
                 st.serialize_field("op", "check")?;
                 if let Some(id) = id {
@@ -674,11 +839,15 @@ impl Serialize for Response {
                 st.serialize_field("source", source.wire_name())?;
                 st.serialize_field("stats", &LegacyCheckStats(stats))?;
                 st.serialize_field("search", stats)?;
+                if let Some(trace) = trace {
+                    st.serialize_field("trace", trace)?;
+                }
             }
             Response::Tolerance {
                 id,
                 radius,
                 max_delta,
+                trace,
             } => {
                 st.serialize_field("op", "tolerance")?;
                 if let Some(id) = id {
@@ -686,12 +855,16 @@ impl Serialize for Response {
                 }
                 st.serialize_field("radius", radius)?;
                 st.serialize_field("max_delta", max_delta)?;
+                if let Some(trace) = trace {
+                    st.serialize_field("trace", trace)?;
+                }
             }
             Response::FaultCheck {
                 id,
                 outcome,
                 source,
                 stats,
+                trace,
             } => {
                 st.serialize_field("op", "fault_check")?;
                 if let Some(id) = id {
@@ -707,11 +880,15 @@ impl Serialize for Response {
                 st.serialize_field("source", source.wire_name())?;
                 st.serialize_field("stats", &LegacyFaultStats(stats))?;
                 st.serialize_field("search", stats)?;
+                if let Some(trace) = trace {
+                    st.serialize_field("trace", trace)?;
+                }
             }
             Response::FaultTolerance {
                 id,
                 tolerance,
                 search,
+                trace,
             } => {
                 st.serialize_field("op", "fault_tolerance")?;
                 if let Some(id) = id {
@@ -722,12 +899,16 @@ impl Serialize for Response {
                 st.serialize_field("probes", &tolerance.probes)?;
                 st.serialize_field("denom", &(search.denom as i64))?;
                 st.serialize_field("max_numer", &(search.max_numer as i64))?;
+                if let Some(trace) = trace {
+                    st.serialize_field("trace", trace)?;
+                }
             }
             Response::JointCheck {
                 id,
                 outcome,
                 source,
                 stats,
+                trace,
             } => {
                 st.serialize_field("op", "joint_check")?;
                 if let Some(id) = id {
@@ -744,12 +925,16 @@ impl Serialize for Response {
                 st.serialize_field("source", source.wire_name())?;
                 // A new op carries the unified stats block only.
                 st.serialize_field("stats", stats)?;
+                if let Some(trace) = trace {
+                    st.serialize_field("trace", trace)?;
+                }
             }
             Response::JointTolerance {
                 id,
                 tolerance,
                 delta,
                 search,
+                trace,
             } => {
                 st.serialize_field("op", "joint_tolerance")?;
                 if let Some(id) = id {
@@ -761,6 +946,9 @@ impl Serialize for Response {
                 st.serialize_field("delta", delta)?;
                 st.serialize_field("denom", &(search.denom as i64))?;
                 st.serialize_field("max_numer", &(search.max_numer as i64))?;
+                if let Some(trace) = trace {
+                    st.serialize_field("trace", trace)?;
+                }
             }
             Response::Sensitivity {
                 id,
@@ -816,6 +1004,13 @@ impl Serialize for Response {
                 if let Some(server) = server {
                     st.serialize_field("server", server)?;
                 }
+            }
+            Response::Metrics { id, text } => {
+                st.serialize_field("op", "metrics")?;
+                if let Some(id) = id {
+                    st.serialize_field("id", id)?;
+                }
+                st.serialize_field("text", text)?;
             }
             Response::Shutdown { id } => {
                 st.serialize_field("op", "shutdown")?;
@@ -887,13 +1082,33 @@ pub fn node_signs(width: usize, counterexamples: &[Counterexample]) -> Vec<NodeS
 /// [`Response::Error`], so a serving session survives any single request.
 #[must_use]
 pub fn handle(engine: &Engine, request: &Request) -> Response {
+    handle_traced(engine, request, false).0
+}
+
+/// [`handle`] with cost attribution: returns the response plus the
+/// [`QueryTrace`] of the answered query when one was measured.
+///
+/// Timing runs when the request asked (`"trace": true`) **or** when
+/// `force_timing` is set (a serving front end with a slow-query
+/// threshold); the trace is embedded in the response only when the
+/// request asked, so forced timing never changes the wire shape.
+/// Verdicts and witnesses are bit-identical either way.
+#[must_use]
+pub fn handle_traced(
+    engine: &Engine,
+    request: &Request,
+    force_timing: bool,
+) -> (Response, Option<QueryTrace>) {
     let id = request_id(request);
-    match catch_unwind(AssertUnwindSafe(|| dispatch(engine, request))) {
-        Ok(response) => response,
-        Err(panic) => Response::Error {
-            id,
-            message: format!("query aborted: {}", panic_message(&panic)),
-        },
+    match catch_unwind(AssertUnwindSafe(|| dispatch(engine, request, force_timing))) {
+        Ok(answered) => answered,
+        Err(panic) => (
+            Response::Error {
+                id,
+                message: format!("query aborted: {}", panic_message(&panic)),
+            },
+            None,
+        ),
     }
 }
 
@@ -909,7 +1124,42 @@ pub fn request_id(request: &Request) -> Option<u64> {
         | Request::JointCheck { id, .. }
         | Request::JointTolerance { id, .. }
         | Request::Stats { id }
+        | Request::Metrics { id }
         | Request::Shutdown { id } => *id,
+    }
+}
+
+/// The wire op name of a request (per-op metrics keys).
+#[must_use]
+pub fn request_op(request: &Request) -> &'static str {
+    match request {
+        Request::Check { .. } => "check",
+        Request::Tolerance { .. } => "tolerance",
+        Request::Sensitivity { .. } => "sensitivity",
+        Request::FaultCheck { .. } => "fault_check",
+        Request::FaultTolerance { .. } => "fault_tolerance",
+        Request::JointCheck { .. } => "joint_check",
+        Request::JointTolerance { .. } => "joint_tolerance",
+        Request::Stats { .. } => "stats",
+        Request::Metrics { .. } => "metrics",
+        Request::Shutdown { .. } => "shutdown",
+    }
+}
+
+/// Whether a request asked for an embedded trace object.
+#[must_use]
+pub fn request_trace(request: &Request) -> bool {
+    match request {
+        Request::Check { trace, .. }
+        | Request::Tolerance { trace, .. }
+        | Request::FaultCheck { trace, .. }
+        | Request::FaultTolerance { trace, .. }
+        | Request::JointCheck { trace, .. }
+        | Request::JointTolerance { trace, .. } => *trace,
+        Request::Sensitivity { .. }
+        | Request::Stats { .. }
+        | Request::Metrics { .. }
+        | Request::Shutdown { .. } => false,
     }
 }
 
@@ -932,9 +1182,30 @@ fn validate_label(engine: &Engine, label: usize) -> Result<(), String> {
     }
 }
 
-fn dispatch(engine: &Engine, request: &Request) -> Response {
+fn dispatch(
+    engine: &Engine,
+    request: &Request,
+    force_timing: bool,
+) -> (Response, Option<QueryTrace>) {
     let id = request_id(request);
-    let error = |message: String| Response::Error { id, message };
+    let error = |message: String| (Response::Error { id, message }, None);
+    let embed = request_trace(request);
+    let timed = embed || force_timing;
+    let timer = if timed {
+        TierTimer::enabled()
+    } else {
+        TierTimer::disabled()
+    };
+    let start = timed.then(std::time::Instant::now);
+    // Wall time measured around the engine call only — parse/serialize
+    // overhead is the front end's to attribute, not the query's.
+    let qt = |cache: AnswerSource, stats: fannet_search::SearchStats| {
+        start.map(|s| QueryTrace {
+            wall_ns: u64::try_from(s.elapsed().as_nanos()).unwrap_or(u64::MAX),
+            cache,
+            stats,
+        })
+    };
     match request {
         Request::Check {
             input,
@@ -945,13 +1216,20 @@ fn dispatch(engine: &Engine, request: &Request) -> Response {
             if let Err(m) = validate_label(engine, *label) {
                 return error(m);
             }
-            match engine.check(input, *label, region) {
-                Ok(reply) => Response::Check {
-                    id,
-                    outcome: reply.outcome,
-                    source: reply.source,
-                    stats: reply.stats,
-                },
+            match engine.check_traced(input, *label, region, timer) {
+                Ok(reply) => {
+                    let trace = qt(reply.source, reply.stats);
+                    (
+                        Response::Check {
+                            id,
+                            outcome: reply.outcome,
+                            source: reply.source,
+                            stats: reply.stats,
+                            trace: trace.filter(|_| embed),
+                        },
+                        trace,
+                    )
+                }
                 Err(e) => error(e.to_string()),
             }
         }
@@ -964,12 +1242,19 @@ fn dispatch(engine: &Engine, request: &Request) -> Response {
             if let Err(m) = validate_label(engine, *label) {
                 return error(m);
             }
-            match engine.tolerance(input, *label, *max_delta) {
-                Ok(radius) => Response::Tolerance {
-                    id,
-                    radius,
-                    max_delta: *max_delta,
-                },
+            match engine.tolerance_traced(input, *label, *max_delta, timer) {
+                Ok((radius, stats, source)) => {
+                    let trace = qt(source, stats);
+                    (
+                        Response::Tolerance {
+                            id,
+                            radius,
+                            max_delta: *max_delta,
+                            trace: trace.filter(|_| embed),
+                        },
+                        trace,
+                    )
+                }
                 Err(e) => error(e.to_string()),
             }
         }
@@ -984,12 +1269,15 @@ fn dispatch(engine: &Engine, request: &Request) -> Response {
                 return error(m);
             }
             match engine.collect(input, *label, region, *cap) {
-                Ok((ces, exhausted, _)) => Response::Sensitivity {
-                    id,
-                    count: ces.len(),
-                    exhausted,
-                    nodes: node_signs(input.len(), &ces),
-                },
+                Ok((ces, exhausted, _)) => (
+                    Response::Sensitivity {
+                        id,
+                        count: ces.len(),
+                        exhausted,
+                        nodes: node_signs(input.len(), &ces),
+                    },
+                    None,
+                ),
                 Err(e) => error(e.to_string()),
             }
         }
@@ -1002,13 +1290,20 @@ fn dispatch(engine: &Engine, request: &Request) -> Response {
             if let Err(m) = validate_label(engine, *label) {
                 return error(m);
             }
-            match engine.fault_check(input, *label, model) {
-                Ok(reply) => Response::FaultCheck {
-                    id,
-                    outcome: reply.outcome,
-                    source: reply.source,
-                    stats: reply.stats,
-                },
+            match engine.fault_check_traced(input, *label, model, timer) {
+                Ok(reply) => {
+                    let trace = qt(reply.source, reply.stats);
+                    (
+                        Response::FaultCheck {
+                            id,
+                            outcome: reply.outcome,
+                            source: reply.source,
+                            stats: reply.stats,
+                            trace: trace.filter(|_| embed),
+                        },
+                        trace,
+                    )
+                }
                 Err(e) => error(e),
             }
         }
@@ -1021,12 +1316,19 @@ fn dispatch(engine: &Engine, request: &Request) -> Response {
             if let Err(m) = validate_label(engine, *label) {
                 return error(m);
             }
-            match engine.fault_tolerance(input, *label, search) {
-                Ok(tolerance) => Response::FaultTolerance {
-                    id,
-                    tolerance,
-                    search: *search,
-                },
+            match engine.fault_tolerance_traced(input, *label, search, timer) {
+                Ok((tolerance, stats, source)) => {
+                    let trace = qt(source, stats);
+                    (
+                        Response::FaultTolerance {
+                            id,
+                            tolerance,
+                            search: *search,
+                            trace: trace.filter(|_| embed),
+                        },
+                        trace,
+                    )
+                }
                 Err(e) => error(e),
             }
         }
@@ -1040,13 +1342,20 @@ fn dispatch(engine: &Engine, request: &Request) -> Response {
             if let Err(m) = validate_label(engine, *label) {
                 return error(m);
             }
-            match engine.joint_check(input, *label, region, model) {
-                Ok(reply) => Response::JointCheck {
-                    id,
-                    outcome: reply.outcome,
-                    source: reply.source,
-                    stats: reply.stats,
-                },
+            match engine.joint_check_traced(input, *label, region, model, timer) {
+                Ok(reply) => {
+                    let trace = qt(reply.source, reply.stats);
+                    (
+                        Response::JointCheck {
+                            id,
+                            outcome: reply.outcome,
+                            source: reply.source,
+                            stats: reply.stats,
+                            trace: trace.filter(|_| embed),
+                        },
+                        trace,
+                    )
+                }
                 Err(e) => error(e),
             }
         }
@@ -1060,33 +1369,60 @@ fn dispatch(engine: &Engine, request: &Request) -> Response {
             if let Err(m) = validate_label(engine, *label) {
                 return error(m);
             }
-            match engine.joint_tolerance(input, *label, *delta, search) {
-                Ok(tolerance) => Response::JointTolerance {
-                    id,
-                    tolerance,
-                    delta: *delta,
-                    search: *search,
-                },
+            match engine.joint_tolerance_traced(input, *label, *delta, search, timer) {
+                Ok((tolerance, stats, source)) => {
+                    let trace = qt(source, stats);
+                    (
+                        Response::JointTolerance {
+                            id,
+                            tolerance,
+                            delta: *delta,
+                            search: *search,
+                            trace: trace.filter(|_| embed),
+                        },
+                        trace,
+                    )
+                }
                 Err(e) => error(e),
             }
         }
-        Request::Stats { .. } => Response::Stats {
-            id,
-            fingerprint: engine.fingerprint().to_hex(),
-            engine: engine.stats(),
-            cache_len: engine.cache_len(),
-            solver: engine.solver_stats(),
-            fault_cache: engine.fault_cache_stats(),
-            fault_cache_len: engine.fault_cache_len(),
-            fault_solver: engine.fault_solver_stats(),
-            joint_cache: engine.joint_cache_stats(),
-            joint_cache_len: engine.joint_cache_len(),
-            joint_solver: engine.joint_solver_stats(),
-            server: None,
-        },
+        Request::Stats { .. } => (
+            Response::Stats {
+                id,
+                fingerprint: engine.fingerprint().to_hex(),
+                engine: engine.stats(),
+                cache_len: engine.cache_len(),
+                solver: engine.solver_stats(),
+                fault_cache: engine.fault_cache_stats(),
+                fault_cache_len: engine.fault_cache_len(),
+                fault_solver: engine.fault_solver_stats(),
+                joint_cache: engine.joint_cache_stats(),
+                joint_cache_len: engine.joint_cache_len(),
+                joint_solver: engine.joint_solver_stats(),
+                server: None,
+            },
+            None,
+        ),
+        // A bare (front-end-less) dispatch only knows the process-wide
+        // span registry; a serving session prepends its own per-op
+        // request-latency families before answering.
+        Request::Metrics { .. } => {
+            let series: Vec<(String, fannet_obs::Histogram)> = fannet_obs::global_registry()
+                .snapshot()
+                .into_iter()
+                .map(|(name, hist)| (format!("span=\"{name}\""), hist))
+                .collect();
+            (
+                Response::Metrics {
+                    id,
+                    text: fannet_obs::render_prometheus("fannet_span_ns", &series),
+                },
+                None,
+            )
+        }
         // The engine has nothing to drain; the owning front end watches
         // for this reply and stops reading (DESIGN.md §13).
-        Request::Shutdown { .. } => Response::Shutdown { id },
+        Request::Shutdown { .. } => (Response::Shutdown { id }, None),
     }
 }
 
@@ -1127,6 +1463,7 @@ mod tests {
                 input: vec![r(100), r(82)],
                 label: 0,
                 region: NoiseRegion::symmetric(5, 2),
+                trace: false,
             }
         );
         let req =
@@ -1139,6 +1476,7 @@ mod tests {
                 input: vec![r(100), r(82)],
                 label: 0,
                 region: NoiseRegion::new(vec![(-5, 5), (0, 3)]),
+                trace: false,
             }
         );
         let req = parse_request(r#"{"op":"tolerance","input":["3/4","-1.25"],"label":1}"#).unwrap();
@@ -1149,6 +1487,7 @@ mod tests {
                 input: vec![Rational::new(3, 4), Rational::new(-5, 4)],
                 label: 1,
                 max_delta: DEFAULT_MAX_DELTA,
+                trace: false,
             }
         );
         let req = parse_request(
@@ -1177,6 +1516,7 @@ mod tests {
                 model: FaultModel::WeightNoise {
                     rel_eps: Rational::new(1, 50),
                 },
+                trace: false,
             }
         );
         let req = parse_request(
@@ -1226,6 +1566,7 @@ mod tests {
                 input: vec![r(100), r(82)],
                 label: 0,
                 search: ToleranceSearch::new(1000, 200),
+                trace: false,
             }
         );
         let req = parse_request(
@@ -1260,6 +1601,7 @@ mod tests {
                 model: FaultModel::WeightNoise {
                     rel_eps: Rational::new(1, 50),
                 },
+                trace: false,
             }
         );
         // Explicit per-node region bounds work too.
@@ -1285,6 +1627,7 @@ mod tests {
                 label: 0,
                 delta: 0,
                 search: ToleranceSearch::new(1000, 200),
+                trace: false,
             }
         );
         let req = parse_request(
@@ -1544,6 +1887,127 @@ mod tests {
         assert!(line.contains(r#""predicted":1"#), "{line}");
     }
 
+    /// Strips the trailing `"trace"` object off a traced response line.
+    fn without_trace(line: &str) -> String {
+        let idx = line
+            .find(r#","trace":{"wall_ns""#)
+            .unwrap_or_else(|| panic!("no trace object in {line}"));
+        format!("{}}}", &line[..idx])
+    }
+
+    #[test]
+    fn traced_responses_bit_identical_across_tiers() {
+        use fannet_verify::bab::CheckerConfig;
+        // Same op with and without `"trace":true`, answered by fresh
+        // engines under every screening tier: the traced line must be
+        // the untraced line plus a trailing trace object — verdicts,
+        // witnesses and legacy stats byte-identical (DESIGN.md §14).
+        let requests = [
+            r#"{"op":"check","id":1,"input":["100","82"],"label":0,"delta":5}"#,
+            r#"{"op":"check","id":2,"input":["100","82"],"label":0,"delta":15}"#,
+            r#"{"op":"tolerance","id":3,"input":["100","82"],"label":0,"max_delta":30}"#,
+            r#"{"op":"fault_check","id":4,"input":["100","82"],"label":0,"model":"weight-noise","eps":"1/50"}"#,
+            r#"{"op":"fault_tolerance","id":5,"input":["100","82"],"label":0,"denom":100,"max_numer":25}"#,
+            r#"{"op":"joint_check","id":6,"input":["100","82"],"label":0,"delta":3,"model":"weight-noise","eps":"1/100"}"#,
+            r#"{"op":"joint_tolerance","id":7,"input":["100","82"],"label":0,"delta":2,"denom":100,"max_numer":10}"#,
+        ];
+        for (tier, checker) in [
+            ("serial_exact", CheckerConfig::serial_exact()),
+            ("screened", CheckerConfig::screened()),
+            ("zonotope", CheckerConfig::zonotope()),
+            ("cascade", CheckerConfig::cascade()),
+        ] {
+            let net = || {
+                Network::new(
+                    vec![DenseLayer::new(
+                        Matrix::from_rows(vec![vec![r(1), r(0)], vec![r(0), r(1)]]).unwrap(),
+                        vec![r(0), r(0)],
+                        Activation::Identity,
+                    )
+                    .unwrap()],
+                    Readout::MaxPool,
+                )
+                .unwrap()
+            };
+            let config = EngineConfig {
+                checker,
+                cache_capacity: 64,
+            };
+            let plain = Engine::new(net(), config.clone());
+            let traced = Engine::new(net(), config);
+            for request in requests {
+                let req = parse_request(request).unwrap();
+                let untraced_line = render_response(&handle(&plain, &req));
+                let traced_req =
+                    parse_request(&request.replace(r#"{"op""#, r#"{"trace":true,"op""#)).unwrap();
+                assert!(request_trace(&traced_req), "{tier}: {request}");
+                let traced_line = render_response(&handle(&traced, &traced_req));
+                assert_eq!(
+                    without_trace(&traced_line),
+                    untraced_line,
+                    "{tier}: {request}"
+                );
+                assert!(traced_line.contains(r#""cache":"miss""#), "{traced_line}");
+                assert!(
+                    traced_line.contains(r#""tiers":{"interval":{"ns":"#),
+                    "{traced_line}"
+                );
+            }
+            // Answered again from the warm cache: identical payload,
+            // trace now reporting an exact hit with zero solver cost.
+            let req = parse_request(requests[0]).unwrap();
+            let untraced_line = render_response(&handle(&plain, &req));
+            let traced_req =
+                parse_request(&requests[0].replace(r#"{"op""#, r#"{"trace":true,"op""#)).unwrap();
+            let traced_line = render_response(&handle(&traced, &traced_req));
+            assert_eq!(
+                without_trace(&traced_line),
+                untraced_line,
+                "{tier}: warm repeat"
+            );
+            assert!(traced_line.contains(r#""cache":"exact""#), "{traced_line}");
+            assert!(
+                traced_line.contains(r#""boxes_visited":0"#),
+                "{traced_line}"
+            );
+        }
+    }
+
+    #[test]
+    fn forced_timing_measures_without_changing_the_wire() {
+        let e = engine();
+        let req =
+            parse_request(r#"{"op":"check","id":1,"input":["100","82"],"label":0,"delta":5}"#)
+                .unwrap();
+        let (resp, trace) = handle_traced(&e, &req, true);
+        let trace = trace.expect("forced timing yields a trace");
+        assert!(trace.wall_ns > 0);
+        assert_eq!(trace.cache_name(), "miss");
+        // The response itself carries no trace — the client never asked.
+        assert!(!render_response(&resp).contains(r#""trace""#));
+        // Stats ops produce no trace even under forced timing.
+        let (_, trace) = handle_traced(&e, &parse_request(r#"{"op":"stats"}"#).unwrap(), true);
+        assert!(trace.is_none());
+    }
+
+    #[test]
+    fn metrics_op_renders_prometheus_text() {
+        let e = engine();
+        fannet_obs::global_registry().record("protocol_test_span", 1 << 12);
+        let req = parse_request(r#"{"op":"metrics","id":9}"#).unwrap();
+        assert_eq!(req, Request::Metrics { id: Some(9) });
+        let resp = handle(&e, &req);
+        let Response::Metrics { id: Some(9), text } = resp else {
+            panic!("unexpected response {resp:?}");
+        };
+        assert!(text.contains("# TYPE fannet_span_ns histogram"), "{text}");
+        assert!(
+            text.contains(r#"fannet_span_ns_count{span="protocol_test_span"}"#),
+            "{text}"
+        );
+        assert!(text.contains("# TYPE fannet_span_ns_p99 gauge"), "{text}");
+    }
+
     #[test]
     fn bad_queries_become_error_responses_not_panics() {
         let e = engine();
@@ -1553,6 +2017,7 @@ mod tests {
             input: vec![r(1), r(2)],
             label: 5,
             region: NoiseRegion::symmetric(1, 2),
+            trace: false,
         };
         let resp = handle(&e, &req);
         assert!(
@@ -1565,6 +2030,7 @@ mod tests {
             input: vec![r(1)],
             label: 0,
             max_delta: 10,
+            trace: false,
         };
         assert!(matches!(handle(&e, &req), Response::Error { .. }));
     }
@@ -1596,6 +2062,7 @@ mod tests {
             input: vec![r(1 << 20), r(1 << 20)],
             label: 0,
             region: NoiseRegion::symmetric(8, 2),
+            trace: false,
         };
         let resp = handle(&e, &req);
         assert!(
@@ -1657,6 +2124,7 @@ mod tests {
                     stats: 1,
                     ..Default::default()
                 },
+                latency: crate::stats::LatencyStats::default(),
             });
         }
         let line = render_response(&resp);

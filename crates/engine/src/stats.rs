@@ -79,6 +79,8 @@ pub struct OpCounts {
     pub joint_tolerance: u64,
     /// `stats` requests dispatched.
     pub stats: u64,
+    /// `metrics` requests dispatched.
+    pub metrics: u64,
     /// `shutdown` requests dispatched.
     pub shutdown: u64,
     /// Lines that produced an error response before dispatch (malformed
@@ -98,9 +100,56 @@ impl OpCounts {
             + self.joint_check
             + self.joint_tolerance
             + self.stats
+            + self.metrics
             + self.shutdown
             + self.invalid
     }
+}
+
+/// Latency summary of one request class, derived from its log2-bucket
+/// histogram ([`fannet_obs::Histogram`]) at `stats` time.
+///
+/// `count` is deterministic (it equals the matching [`OpCounts`]
+/// counter); the three percentile fields are wall-clock-dependent and
+/// masked by golden tests alongside `uptime_ms`/`qps`.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct OpLatency {
+    /// Requests of this class measured.
+    pub count: u64,
+    /// Conservative median latency, nanoseconds (bucket upper bound).
+    pub p50_ns: u64,
+    /// Conservative 90th-percentile latency, nanoseconds.
+    pub p90_ns: u64,
+    /// Conservative 99th-percentile latency, nanoseconds.
+    pub p99_ns: u64,
+}
+
+/// Per-operation request latency of a serving front end (DESIGN.md §14),
+/// serialized as the `latency` block of [`ServerStats`].
+///
+/// Only dispatched requests are measured (the `invalid` class has no
+/// engine call to clock), so each `count` matches its [`OpCounts`]
+/// counter under single-worker determinism.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LatencyStats {
+    /// `check` request latency.
+    pub check: OpLatency,
+    /// `tolerance` request latency.
+    pub tolerance: OpLatency,
+    /// `sensitivity` request latency.
+    pub sensitivity: OpLatency,
+    /// `fault_check` request latency.
+    pub fault_check: OpLatency,
+    /// `fault_tolerance` request latency.
+    pub fault_tolerance: OpLatency,
+    /// `joint_check` request latency.
+    pub joint_check: OpLatency,
+    /// `joint_tolerance` request latency.
+    pub joint_tolerance: OpLatency,
+    /// `stats` request latency.
+    pub stats: OpLatency,
+    /// `metrics` request latency.
+    pub metrics: OpLatency,
 }
 
 /// The operator metrics surface of a serving front end (DESIGN.md §13),
@@ -108,8 +157,9 @@ impl OpCounts {
 /// never instead of, the legacy cache/solver counters.
 ///
 /// `uptime_ms`, `qps`, `queue_depth` and `queue_high_water` are
-/// wall-clock- or scheduling-dependent; golden tests mask exactly those
-/// four fields and compare everything else byte-exact.
+/// wall-clock- or scheduling-dependent, as are the `p50_ns`/`p90_ns`/
+/// `p99_ns` fields of the `latency` block; golden tests mask exactly
+/// those fields and compare everything else byte-exact.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct ServerStats {
     /// Milliseconds since the front end started serving.
@@ -136,6 +186,8 @@ pub struct ServerStats {
     pub connections_total: u64,
     /// Per-operation dispatch counts.
     pub ops: OpCounts,
+    /// Per-operation request latency summaries.
+    pub latency: LatencyStats,
 }
 
 #[cfg(test)]
@@ -179,10 +231,11 @@ mod tests {
             joint_check: 6,
             joint_tolerance: 7,
             stats: 8,
+            metrics: 11,
             shutdown: 9,
             invalid: 10,
         };
-        assert_eq!(ops.total(), 55);
+        assert_eq!(ops.total(), 66);
         assert_eq!(OpCounts::default().total(), 0);
     }
 
@@ -203,10 +256,23 @@ mod tests {
                 stats: 1,
                 ..OpCounts::default()
             },
+            latency: LatencyStats {
+                check: OpLatency {
+                    count: 11,
+                    p50_ns: 4095,
+                    p90_ns: 8191,
+                    p99_ns: 8191,
+                },
+                ..LatencyStats::default()
+            },
         };
         let json = serde_json::to_string(&s).unwrap();
         assert!(json.contains("\"queue_high_water\":3"), "{json}");
         assert!(json.contains("\"ops\":{\"check\":11"), "{json}");
+        assert!(
+            json.contains("\"latency\":{\"check\":{\"count\":11,\"p50_ns\":4095"),
+            "{json}"
+        );
         let back: ServerStats = serde_json::from_str(&json).unwrap();
         assert_eq!(back, s);
     }

@@ -36,7 +36,9 @@
 
 use fannet_nn::Network;
 use fannet_numeric::{FloatInterval, Interval, Rational};
-use fannet_search::{BoxDecision, Cascade, Classifier, SearchDomain, SearchOutcome, TierKind};
+use fannet_search::{
+    BoxDecision, Cascade, Classifier, SearchDomain, SearchOutcome, TierKind, TierTimer,
+};
 use fannet_verify::bab::ScreeningTier;
 use fannet_verify::noise::NoiseVector;
 use fannet_verify::region::NoiseRegion;
@@ -210,6 +212,25 @@ impl FaultChecker {
         self.check_with_noise(x, label, &NoiseRegion::symmetric(0, x.len()), model)
     }
 
+    /// [`FaultChecker::check`] with an explicit [`TierTimer`]: an
+    /// enabled timer additionally books per-tier nanoseconds into the
+    /// returned stats (DESIGN.md §14); verdict, witness and counters
+    /// are bit-identical to the untimed call.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message on width mismatch, out-of-range label, or an
+    /// out-of-domain model.
+    pub fn check_timed(
+        &self,
+        x: &[Rational],
+        label: usize,
+        model: &FaultModel,
+        timer: TierTimer,
+    ) -> Result<(FaultOutcome, FaultStats), String> {
+        self.check_with_noise_timed(x, label, &NoiseRegion::symmetric(0, x.len()), model, timer)
+    }
+
     /// [`FaultChecker::check`] over a boxed input: the property
     /// quantifies over every noise vector of `noise` **and** every
     /// faulted network of `model` simultaneously. (The noise box itself
@@ -226,6 +247,24 @@ impl FaultChecker {
         label: usize,
         noise: &NoiseRegion,
         model: &FaultModel,
+    ) -> Result<(FaultOutcome, FaultStats), String> {
+        self.check_with_noise_timed(x, label, noise, model, TierTimer::disabled())
+    }
+
+    /// [`FaultChecker::check_with_noise`] with an explicit
+    /// [`TierTimer`] (see [`FaultChecker::check_timed`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns a message on width mismatch, out-of-range label, or an
+    /// out-of-domain model.
+    pub fn check_with_noise_timed(
+        &self,
+        x: &[Rational],
+        label: usize,
+        noise: &NoiseRegion,
+        model: &FaultModel,
+        timer: TierTimer,
     ) -> Result<(FaultOutcome, FaultStats), String> {
         validate_query(&self.net, x, label, noise)?;
         let root = FaultRegion::lift(&self.net, model)?;
@@ -256,7 +295,7 @@ impl FaultChecker {
             noise,
             lift_is_exact: lift_is_exact(model),
             max_depth: self.config.max_depth,
-            cascade: tiers.cascade(),
+            cascade: tiers.cascade().with_timer(timer),
         };
         let (outcome, search_stats) =
             fannet_search::search_serial(&domain, root, Some(self.config.max_boxes));
@@ -285,10 +324,32 @@ impl FaultChecker {
         label: usize,
         search: &ToleranceSearch,
     ) -> Result<(FaultTolerance, FaultStats), String> {
+        self.tolerance_timed(x, label, search, TierTimer::disabled())
+    }
+
+    /// [`FaultChecker::tolerance`] with an explicit [`TierTimer`] (see
+    /// [`FaultChecker::check_timed`]); probe timings accumulate across
+    /// the whole bisection.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message on width mismatch or out-of-range label.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the search grid is empty (`denom <= 0` or
+    /// `max_numer < 0`).
+    pub fn tolerance_timed(
+        &self,
+        x: &[Rational],
+        label: usize,
+        search: &ToleranceSearch,
+        timer: TierTimer,
+    ) -> Result<(FaultTolerance, FaultStats), String> {
         let mut stats = FaultStats::default();
         let tolerance = tolerance_search(search, |eps| {
             let (outcome, probe_stats) =
-                self.check(x, label, &FaultModel::WeightNoise { rel_eps: eps })?;
+                self.check_timed(x, label, &FaultModel::WeightNoise { rel_eps: eps }, timer)?;
             stats.merge(&probe_stats);
             Ok::<_, String>(outcome)
         })?;

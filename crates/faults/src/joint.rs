@@ -25,7 +25,7 @@ use fannet_nn::Network;
 use fannet_numeric::{Interval, Rational};
 use fannet_search::{
     BoxDecision, Cascade, Classifier, SearchDomain, SearchOutcome, SearchStats, TierKind,
-    ToleranceSearch,
+    TierTimer, ToleranceSearch,
 };
 use fannet_verify::bab::ScreeningTier;
 use fannet_verify::noise::NoiseVector;
@@ -211,6 +211,26 @@ impl JointChecker {
         noise: &NoiseRegion,
         model: &FaultModel,
     ) -> Result<(JointOutcome, SearchStats), String> {
+        self.check_timed(x, label, noise, model, TierTimer::disabled())
+    }
+
+    /// [`JointChecker::check`] with an explicit [`TierTimer`]: an
+    /// enabled timer additionally books per-tier nanoseconds into the
+    /// returned stats (DESIGN.md §14); verdict, witness and counters
+    /// are bit-identical to the untimed call.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message on width mismatch, out-of-range label, or an
+    /// out-of-domain model.
+    pub fn check_timed(
+        &self,
+        x: &[Rational],
+        label: usize,
+        noise: &NoiseRegion,
+        model: &FaultModel,
+        timer: TierTimer,
+    ) -> Result<(JointOutcome, SearchStats), String> {
         validate_query(&self.net, x, label, noise)?;
         let fault_root = FaultRegion::lift(&self.net, model)?;
         let mut stats = SearchStats::default();
@@ -242,7 +262,7 @@ impl JointChecker {
             label,
             lift_is_exact: lift_is_exact(model),
             max_depth: self.config.max_depth,
-            cascade: tiers.cascade(),
+            cascade: tiers.cascade().with_timer(timer),
         };
         let root = ProductRegion::new(noise.clone(), fault_root);
         let (outcome, search_stats) =
@@ -326,11 +346,38 @@ impl JointChecker {
         delta: i64,
         search: &ToleranceSearch,
     ) -> Result<(JointTolerance, SearchStats), String> {
+        self.tolerance_timed(x, label, delta, search, TierTimer::disabled())
+    }
+
+    /// [`JointChecker::tolerance`] with an explicit [`TierTimer`] (see
+    /// [`JointChecker::check_timed`]); probe timings accumulate across
+    /// the whole bisection.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message on width mismatch or out-of-range label.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `delta` is outside `[0, 100]` or the grid is invalid.
+    pub fn tolerance_timed(
+        &self,
+        x: &[Rational],
+        label: usize,
+        delta: i64,
+        search: &ToleranceSearch,
+        timer: TierTimer,
+    ) -> Result<(JointTolerance, SearchStats), String> {
         let noise = NoiseRegion::symmetric(delta, x.len());
         let mut stats = SearchStats::default();
         let tolerance = fannet_search::tolerance_search(search, |eps| {
-            let (outcome, probe_stats) =
-                self.check(x, label, &noise, &FaultModel::WeightNoise { rel_eps: eps })?;
+            let (outcome, probe_stats) = self.check_timed(
+                x,
+                label,
+                &noise,
+                &FaultModel::WeightNoise { rel_eps: eps },
+                timer,
+            )?;
             stats.merge(&probe_stats);
             Ok::<_, String>(outcome.is_robust())
         })?;

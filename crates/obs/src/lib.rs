@@ -1,0 +1,33 @@
+//! # fannet-obs
+//!
+//! The structured observability layer of the FANNet stack
+//! (DESIGN.md §14). Hand-rolled like `fannet-server` — this workspace
+//! builds offline, so no `tracing`, no `tokio`, no dependencies at all.
+//!
+//! Three pieces, each usable alone:
+//!
+//! * [`mod@log`] — a leveled structured logger emitting one JSON object per
+//!   line to stderr (`{ts, level, target, msg, fields}`), replacing the
+//!   raw `eprintln!` warnings scattered through the stack. Stdout stays
+//!   reserved for protocol responses and readiness lines.
+//! * [`span`] — a lock-cheap span API: [`Span::enter`] pushes onto a
+//!   thread-local stack and clocks the section with a monotonic
+//!   [`std::time::Instant`]; on drop the elapsed nanoseconds land in a
+//!   shared [`Registry`] histogram keyed by operation name.
+//! * [`hist`] — fixed log2-bucket latency histograms with exact `u64`
+//!   bucket counts. Percentiles (p50/p90/p99) are derived at read time
+//!   from the bucket upper bounds, never stored, so recording stays one
+//!   increment. [`render_prometheus`] turns a set of histograms into
+//!   Prometheus text exposition for the `metrics` JSONL op.
+//!
+//! Everything is deterministic except the clocks themselves: bucket
+//! counts are exact integers, merges are associative (saturating
+//! addition), and the logger writes complete lines atomically.
+
+pub mod hist;
+pub mod log;
+pub mod span;
+
+pub use hist::{render_prometheus, Histogram, HistogramSummary, BUCKETS};
+pub use log::{log, set_level, FieldValue, Level};
+pub use span::{global_registry, Registry, Span};

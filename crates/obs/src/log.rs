@@ -1,0 +1,322 @@
+//! The leveled structured logger: one JSON object per line on stderr.
+//!
+//! Records are `{"ts":<unix ms>,"level":"warn","target":"...",
+//! "msg":"...","fields":{...}}`. Stderr is the log stream by contract —
+//! stdout carries protocol responses and the `listening on <addr>`
+//! readiness line, which scripts parse (DESIGN.md §13), so nothing
+//! structured may ever land there.
+//!
+//! The JSON is hand-escaped here rather than going through the serde
+//! shim: the logger must stay dependency-free so every crate in the
+//! workspace (including the shims' own dependents) can use it.
+
+use std::fmt::Write as _;
+use std::sync::atomic::{AtomicU8, Ordering};
+use std::time::{SystemTime, UNIX_EPOCH};
+
+/// Log severity, least to most severe.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Level {
+    Trace,
+    Debug,
+    Info,
+    Warn,
+    Error,
+}
+
+impl Level {
+    /// Every variant, least severe first.
+    pub const ALL: [Level; 5] = [
+        Level::Trace,
+        Level::Debug,
+        Level::Info,
+        Level::Warn,
+        Level::Error,
+    ];
+
+    /// The wire spelling (`--log-level=<name>`, the `level` field).
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            Level::Trace => "trace",
+            Level::Debug => "debug",
+            Level::Info => "info",
+            Level::Warn => "warn",
+            Level::Error => "error",
+        }
+    }
+
+    /// Parses the wire spelling, case-insensitively and ignoring
+    /// surrounding whitespace.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message listing every valid level.
+    pub fn parse(text: &str) -> Result<Self, String> {
+        let lowered = text.trim().to_ascii_lowercase();
+        Level::ALL
+            .into_iter()
+            .find(|level| level.name() == lowered)
+            .ok_or_else(|| {
+                let names: Vec<&str> = Level::ALL.iter().map(|l| l.name()).collect();
+                format!(
+                    "unknown log level `{text}` (expected one of: {})",
+                    names.join(", ")
+                )
+            })
+    }
+
+    fn from_u8(v: u8) -> Level {
+        match v {
+            0 => Level::Trace,
+            1 => Level::Debug,
+            2 => Level::Info,
+            3 => Level::Warn,
+            _ => Level::Error,
+        }
+    }
+}
+
+impl std::str::FromStr for Level {
+    type Err = String;
+
+    fn from_str(text: &str) -> Result<Self, Self::Err> {
+        Level::parse(text)
+    }
+}
+
+impl std::fmt::Display for Level {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// The process-wide threshold; records below it are dropped.
+static THRESHOLD: AtomicU8 = AtomicU8::new(Level::Info as u8);
+
+/// Sets the process-wide minimum level (`--log-level`).
+pub fn set_level(level: Level) {
+    THRESHOLD.store(level as u8, Ordering::Relaxed);
+}
+
+/// The current process-wide minimum level.
+#[must_use]
+pub fn level() -> Level {
+    Level::from_u8(THRESHOLD.load(Ordering::Relaxed))
+}
+
+/// One structured field value; `From` impls cover the common scalars so
+/// call sites read `("key", value.into())`.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FieldValue {
+    Bool(bool),
+    U64(u64),
+    I64(i64),
+    F64(f64),
+    Str(String),
+}
+
+impl From<bool> for FieldValue {
+    fn from(v: bool) -> Self {
+        FieldValue::Bool(v)
+    }
+}
+impl From<u64> for FieldValue {
+    fn from(v: u64) -> Self {
+        FieldValue::U64(v)
+    }
+}
+impl From<u32> for FieldValue {
+    fn from(v: u32) -> Self {
+        FieldValue::U64(u64::from(v))
+    }
+}
+impl From<usize> for FieldValue {
+    fn from(v: usize) -> Self {
+        FieldValue::U64(v as u64)
+    }
+}
+impl From<i64> for FieldValue {
+    fn from(v: i64) -> Self {
+        FieldValue::I64(v)
+    }
+}
+impl From<f64> for FieldValue {
+    fn from(v: f64) -> Self {
+        FieldValue::F64(v)
+    }
+}
+impl From<&str> for FieldValue {
+    fn from(v: &str) -> Self {
+        FieldValue::Str(v.to_string())
+    }
+}
+impl From<String> for FieldValue {
+    fn from(v: String) -> Self {
+        FieldValue::Str(v)
+    }
+}
+
+/// Appends `text` JSON-string-escaped (without surrounding quotes).
+fn escape_into(out: &mut String, text: &str) {
+    for c in text.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+}
+
+/// Renders one record as its JSONL line (no trailing newline).
+#[must_use]
+pub fn render_record(
+    ts_ms: u64,
+    level: Level,
+    target: &str,
+    msg: &str,
+    fields: &[(&str, FieldValue)],
+) -> String {
+    let mut out = String::with_capacity(96);
+    let _ = write!(out, "{{\"ts\":{ts_ms},\"level\":\"{}\",", level.name());
+    out.push_str("\"target\":\"");
+    escape_into(&mut out, target);
+    out.push_str("\",\"msg\":\"");
+    escape_into(&mut out, msg);
+    out.push('"');
+    if !fields.is_empty() {
+        out.push_str(",\"fields\":{");
+        for (i, (key, value)) in fields.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push('"');
+            escape_into(&mut out, key);
+            out.push_str("\":");
+            match value {
+                FieldValue::Bool(v) => {
+                    let _ = write!(out, "{v}");
+                }
+                FieldValue::U64(v) => {
+                    let _ = write!(out, "{v}");
+                }
+                FieldValue::I64(v) => {
+                    let _ = write!(out, "{v}");
+                }
+                FieldValue::F64(v) => {
+                    if v.is_finite() {
+                        let _ = write!(out, "{v}");
+                    } else {
+                        out.push_str("null");
+                    }
+                }
+                FieldValue::Str(v) => {
+                    out.push('"');
+                    escape_into(&mut out, v);
+                    out.push('"');
+                }
+            }
+        }
+        out.push('}');
+    }
+    out.push('}');
+    out
+}
+
+/// Emits one structured record to stderr if `level` clears the
+/// process-wide threshold. `eprintln!` locks stderr per call, so
+/// concurrent records never interleave within a line.
+pub fn log(level: Level, target: &str, msg: &str, fields: &[(&str, FieldValue)]) {
+    if level < self::level() {
+        return;
+    }
+    let ts_ms = SystemTime::now()
+        .duration_since(UNIX_EPOCH)
+        .map(|d| u64::try_from(d.as_millis()).unwrap_or(u64::MAX))
+        .unwrap_or(0);
+    eprintln!("{}", render_record(ts_ms, level, target, msg, fields));
+}
+
+/// [`log`] at [`Level::Warn`].
+pub fn warn(target: &str, msg: &str, fields: &[(&str, FieldValue)]) {
+    log(Level::Warn, target, msg, fields);
+}
+
+/// [`log`] at [`Level::Info`].
+pub fn info(target: &str, msg: &str, fields: &[(&str, FieldValue)]) {
+    log(Level::Info, target, msg, fields);
+}
+
+/// [`log`] at [`Level::Error`].
+pub fn error(target: &str, msg: &str, fields: &[(&str, FieldValue)]) {
+    log(Level::Error, target, msg, fields);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn levels_round_trip_and_order() {
+        for level in Level::ALL {
+            assert_eq!(Level::parse(level.name()), Ok(level));
+            assert_eq!(level.to_string(), level.name());
+        }
+        assert!(Level::Trace < Level::Debug);
+        assert!(Level::Warn < Level::Error);
+        assert_eq!(Level::parse(" WARN "), Ok(Level::Warn));
+        let err = Level::parse("loud").unwrap_err();
+        for level in Level::ALL {
+            assert!(err.contains(level.name()), "{err}");
+        }
+    }
+
+    #[test]
+    fn records_render_as_one_json_object() {
+        let line = render_record(
+            1700000000123,
+            Level::Warn,
+            "fannet_verify::bab",
+            "ignoring unparsable FANNET_THREADS",
+            &[
+                ("value", "ten\"cores".into()),
+                ("fallback", 8u64.into()),
+                ("strict", false.into()),
+            ],
+        );
+        assert_eq!(
+            line,
+            "{\"ts\":1700000000123,\"level\":\"warn\",\
+             \"target\":\"fannet_verify::bab\",\
+             \"msg\":\"ignoring unparsable FANNET_THREADS\",\
+             \"fields\":{\"value\":\"ten\\\"cores\",\"fallback\":8,\"strict\":false}}"
+        );
+    }
+
+    #[test]
+    fn records_without_fields_omit_the_fields_key() {
+        let line = render_record(7, Level::Info, "t", "m", &[]);
+        assert_eq!(
+            line,
+            "{\"ts\":7,\"level\":\"info\",\"target\":\"t\",\"msg\":\"m\"}"
+        );
+    }
+
+    #[test]
+    fn control_characters_escape() {
+        let line = render_record(0, Level::Error, "t", "a\nb\t\u{1}", &[]);
+        assert!(line.contains("a\\nb\\t\\u0001"), "{line}");
+    }
+
+    #[test]
+    fn nonfinite_floats_render_null() {
+        let line = render_record(0, Level::Info, "t", "m", &[("qps", f64::NAN.into())]);
+        assert!(line.contains("\"qps\":null"), "{line}");
+    }
+}

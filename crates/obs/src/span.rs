@@ -1,0 +1,177 @@
+//! Spans: monotonic-clocked sections aggregated into a shared registry
+//! (DESIGN.md §14).
+//!
+//! [`Span::enter`] pushes the operation name onto a thread-local stack
+//! and starts an [`Instant`]; dropping the span pops the stack and
+//! records the elapsed nanoseconds into the process-global [`Registry`]
+//! histogram for that operation. The hot path is two thread-local
+//! pushes and one `Instant::now` — the only lock is the registry map
+//! on span *exit*, taken once per completed section, never per event.
+
+use std::cell::RefCell;
+use std::collections::BTreeMap;
+use std::sync::{Mutex, OnceLock};
+use std::time::Instant;
+
+use crate::hist::{Histogram, HistogramSummary};
+
+/// A named set of latency histograms, safe to share across threads.
+///
+/// Keys are `&'static str` operation names so recording never
+/// allocates; the map is a `BTreeMap` so snapshots iterate in a
+/// deterministic order.
+#[derive(Debug, Default)]
+pub struct Registry {
+    inner: Mutex<BTreeMap<&'static str, Histogram>>,
+}
+
+impl Registry {
+    /// An empty registry (sessions own private ones; spans share the
+    /// process-global one).
+    #[must_use]
+    pub fn new() -> Self {
+        Registry::default()
+    }
+
+    /// Records one observation under `name`.
+    pub fn record(&self, name: &'static str, ns: u64) {
+        self.inner
+            .lock()
+            .expect("registry lock poisoned")
+            .entry(name)
+            .or_default()
+            .record_ns(ns);
+    }
+
+    /// A consistent copy of every histogram, in name order.
+    #[must_use]
+    pub fn snapshot(&self) -> Vec<(&'static str, Histogram)> {
+        self.inner
+            .lock()
+            .expect("registry lock poisoned")
+            .iter()
+            .map(|(&name, hist)| (name, *hist))
+            .collect()
+    }
+
+    /// Read-time summaries of every histogram, in name order.
+    #[must_use]
+    pub fn summaries(&self) -> Vec<(&'static str, HistogramSummary)> {
+        self.snapshot()
+            .into_iter()
+            .map(|(name, hist)| (name, hist.summary()))
+            .collect()
+    }
+}
+
+/// The process-global registry fed by [`Span`] exits.
+#[must_use]
+pub fn global_registry() -> &'static Registry {
+    static GLOBAL: OnceLock<Registry> = OnceLock::new();
+    GLOBAL.get_or_init(Registry::new)
+}
+
+thread_local! {
+    static SPAN_STACK: RefCell<Vec<&'static str>> = const { RefCell::new(Vec::new()) };
+}
+
+/// One entered section; dropping it records the elapsed time.
+#[derive(Debug)]
+pub struct Span {
+    op: &'static str,
+    start: Instant,
+}
+
+impl Span {
+    /// Enters a section named `op`.
+    #[must_use]
+    pub fn enter(op: &'static str) -> Span {
+        SPAN_STACK.with(|stack| stack.borrow_mut().push(op));
+        Span {
+            op,
+            start: Instant::now(),
+        }
+    }
+
+    /// The innermost active span name on this thread, if any.
+    #[must_use]
+    pub fn current() -> Option<&'static str> {
+        SPAN_STACK.with(|stack| stack.borrow().last().copied())
+    }
+
+    /// Nesting depth of active spans on this thread.
+    #[must_use]
+    pub fn depth() -> usize {
+        SPAN_STACK.with(|stack| stack.borrow().len())
+    }
+
+    /// Elapsed nanoseconds so far (saturating at `u64::MAX`).
+    #[must_use]
+    pub fn elapsed_ns(&self) -> u64 {
+        u64::try_from(self.start.elapsed().as_nanos()).unwrap_or(u64::MAX)
+    }
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        let ns = self.elapsed_ns();
+        SPAN_STACK.with(|stack| {
+            let mut stack = stack.borrow_mut();
+            // Pop this span; out-of-order drops (possible if a span is
+            // moved across an await-free scope boundary) remove the
+            // matching entry instead.
+            if let Some(pos) = stack.iter().rposition(|&op| op == self.op) {
+                stack.remove(pos);
+            }
+        });
+        global_registry().record(self.op, ns);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spans_nest_and_record_into_the_global_registry() {
+        let before = global_registry()
+            .snapshot()
+            .into_iter()
+            .find(|(name, _)| *name == "obs_test_outer")
+            .map(|(_, h)| h.count())
+            .unwrap_or(0);
+        {
+            let _outer = Span::enter("obs_test_outer");
+            assert_eq!(Span::current(), Some("obs_test_outer"));
+            {
+                let _inner = Span::enter("obs_test_inner");
+                assert_eq!(Span::current(), Some("obs_test_inner"));
+                assert_eq!(Span::depth(), 2);
+            }
+            assert_eq!(Span::current(), Some("obs_test_outer"));
+        }
+        assert_eq!(Span::depth(), 0);
+        let after = global_registry()
+            .snapshot()
+            .into_iter()
+            .find(|(name, _)| *name == "obs_test_outer")
+            .map(|(_, h)| h.count())
+            .unwrap_or(0);
+        assert_eq!(after, before + 1);
+    }
+
+    #[test]
+    fn registry_snapshots_are_name_ordered() {
+        let registry = Registry::new();
+        registry.record("zeta", 10);
+        registry.record("alpha", 20);
+        registry.record("alpha", 30);
+        let snapshot = registry.snapshot();
+        let names: Vec<&str> = snapshot.iter().map(|(name, _)| *name).collect();
+        assert_eq!(names, vec!["alpha", "zeta"]);
+        assert_eq!(snapshot[0].1.count(), 2);
+        let summaries = registry.summaries();
+        assert_eq!(summaries[0].0, "alpha");
+        assert_eq!(summaries[0].1.count, 2);
+    }
+}

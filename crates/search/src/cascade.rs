@@ -3,6 +3,51 @@
 
 use crate::stats::SearchStats;
 
+/// An opt-in monotonic clock for per-tier cost attribution
+/// (DESIGN.md §14).
+///
+/// Disabled (the default) it is a no-op — `time` runs the closure and
+/// reports zero nanoseconds, so untraced queries never pay for a clock
+/// read and their stats stay bit-identical to pre-timer builds. Enabled
+/// it brackets the closure with [`std::time::Instant`] reads.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TierTimer {
+    enabled: bool,
+}
+
+impl TierTimer {
+    /// The no-op timer (every untraced query).
+    #[must_use]
+    pub fn disabled() -> Self {
+        TierTimer { enabled: false }
+    }
+
+    /// A live timer (queries answering a `"trace": true` request or a
+    /// slow-query threshold).
+    #[must_use]
+    pub fn enabled() -> Self {
+        TierTimer { enabled: true }
+    }
+
+    /// Whether this timer reads the clock.
+    #[must_use]
+    pub fn is_enabled(self) -> bool {
+        self.enabled
+    }
+
+    /// Runs `f` and returns its result plus the elapsed nanoseconds
+    /// (zero when disabled).
+    pub fn time<T>(self, f: impl FnOnce() -> T) -> (T, u64) {
+        if !self.enabled {
+            return (f(), 0);
+        }
+        let start = std::time::Instant::now();
+        let out = f();
+        let ns = u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX);
+        (out, ns)
+    }
+}
+
 /// Sound classification verdict for a whole box.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum BoxVerdict {
@@ -65,20 +110,42 @@ pub trait Classifier<R: ?Sized>: Sync {
 /// blocks exposed.
 pub struct Cascade<'a, R: ?Sized> {
     tiers: Vec<&'a (dyn Classifier<R> + 'a)>,
+    timer: TierTimer,
 }
 
 impl<'a, R: ?Sized> Cascade<'a, R> {
     /// Builds a cascade from the tiers that are active for this query,
-    /// in consultation order.
+    /// in consultation order (timer disabled).
     #[must_use]
     pub fn new(tiers: Vec<&'a (dyn Classifier<R> + 'a)>) -> Self {
-        Cascade { tiers }
+        Cascade {
+            tiers,
+            timer: TierTimer::disabled(),
+        }
     }
 
     /// The empty cascade: every box falls through undecided.
     #[must_use]
     pub fn empty() -> Self {
-        Cascade { tiers: Vec::new() }
+        Cascade {
+            tiers: Vec::new(),
+            timer: TierTimer::disabled(),
+        }
+    }
+
+    /// Attaches a per-tier timer; [`Cascade::classify`] then books each
+    /// tier's elapsed nanoseconds next to its hit/fallback counters.
+    #[must_use]
+    pub fn with_timer(mut self, timer: TierTimer) -> Self {
+        self.timer = timer;
+        self
+    }
+
+    /// The attached timer (domains reuse it to clock their exact
+    /// fallback work with the same enablement).
+    #[must_use]
+    pub fn timer(&self) -> TierTimer {
+        self.timer
     }
 
     /// `true` when no tier is active.
@@ -97,12 +164,25 @@ impl<'a, R: ?Sized> Cascade<'a, R> {
     /// (`Unknown` if every tier gives up), booking per-tier counters.
     pub fn classify(&self, region: &R, stats: &mut SearchStats) -> BoxVerdict {
         for tier in &self.tiers {
-            let verdict = tier.classify(region);
-            let (hits, fallbacks) = match tier.tier() {
-                TierKind::Interval => (&mut stats.interval_hits, &mut stats.interval_fallbacks),
-                TierKind::Zonotope => (&mut stats.zonotope_hits, &mut stats.zonotope_fallbacks),
-                TierKind::Exact => (&mut stats.exact_decisions, &mut stats.exact_fallbacks),
+            let (verdict, ns) = self.timer.time(|| tier.classify(region));
+            let (hits, fallbacks, elapsed) = match tier.tier() {
+                TierKind::Interval => (
+                    &mut stats.interval_hits,
+                    &mut stats.interval_fallbacks,
+                    &mut stats.interval_ns,
+                ),
+                TierKind::Zonotope => (
+                    &mut stats.zonotope_hits,
+                    &mut stats.zonotope_fallbacks,
+                    &mut stats.zonotope_ns,
+                ),
+                TierKind::Exact => (
+                    &mut stats.exact_decisions,
+                    &mut stats.exact_fallbacks,
+                    &mut stats.exact_ns,
+                ),
             };
+            *elapsed = elapsed.saturating_add(ns);
             if verdict == BoxVerdict::Unknown {
                 *fallbacks += 1;
             } else {
@@ -183,6 +263,51 @@ mod tests {
         assert_eq!((stats.exact_decisions, stats.exact_fallbacks), (1, 0));
         assert_eq!(stats.interval_fallbacks, 2);
         assert_eq!(stats.zonotope_fallbacks, 1);
+    }
+
+    #[test]
+    fn timer_books_nanoseconds_without_changing_counters() {
+        let slow = Threshold {
+            kind: TierKind::Interval,
+            decides_at: 0,
+            verdict: BoxVerdict::AlwaysCorrect,
+        };
+        // Untimed: counters book, nanoseconds stay zero.
+        let cascade = Cascade::new(vec![&slow]);
+        assert_eq!(cascade.timer(), TierTimer::disabled());
+        let mut untimed = SearchStats::default();
+        assert_eq!(
+            cascade.classify(&1, &mut untimed),
+            BoxVerdict::AlwaysCorrect
+        );
+        assert_eq!(untimed.interval_hits, 1);
+        assert_eq!(untimed.interval_ns, 0);
+
+        // Timed: identical counters, nonzero interval time.
+        let busy = Threshold {
+            kind: TierKind::Interval,
+            decides_at: 0,
+            verdict: BoxVerdict::AlwaysCorrect,
+        };
+        let timed_cascade = Cascade::new(vec![&busy]).with_timer(TierTimer::enabled());
+        assert!(timed_cascade.timer().is_enabled());
+        let mut timed = SearchStats::default();
+        // A few classify calls so even a coarse clock ticks.
+        for _ in 0..1000 {
+            let _ = timed_cascade.classify(&1, &mut timed);
+        }
+        assert_eq!(timed.interval_hits, 1000);
+        assert!(timed.interval_ns > 0, "enabled timer must record time");
+        assert_eq!(timed.zonotope_ns, 0);
+        assert_eq!(timed.exact_ns, 0);
+    }
+
+    #[test]
+    fn disabled_timer_reports_zero_elapsed() {
+        let (value, ns) = TierTimer::disabled().time(|| 7);
+        assert_eq!((value, ns), (7, 0));
+        let (value, _) = TierTimer::enabled().time(|| "ran");
+        assert_eq!(value, "ran");
     }
 
     #[test]

@@ -34,6 +34,7 @@ pub fn search_serial<D: SearchDomain>(
             }
         }
         stats.boxes_visited += 1;
+        stats.note_depth(depth);
         match domain.decide(&region, depth, &mut stats) {
             BoxDecision::Pruned => {}
             BoxDecision::Witness(w) | BoxDecision::UniformWitness(w) => {
@@ -128,6 +129,7 @@ pub fn collect_witnesses<D: SearchDomain>(
 
     while let Some((region, depth)) = stack.pop() {
         stats.boxes_visited += 1;
+        stats.note_depth(depth);
         match domain.decide(&region, depth, &mut stats) {
             BoxDecision::Pruned => {}
             BoxDecision::Witness(w) => {
@@ -330,6 +332,7 @@ fn worker<D: SearchDomain>(
 
         stats.boxes_visited += 1;
         let depth = u32::try_from(work.path.len()).expect("split depth fits u32");
+        stats.note_depth(depth);
         match domain.decide(&work.region, depth, &mut stats) {
             BoxDecision::Pruned => {}
             BoxDecision::Witness(w) | BoxDecision::UniformWitness(w) => {

@@ -12,8 +12,35 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
 use std::time::Instant;
 
-use fannet_engine::protocol::Request;
-use fannet_engine::{OpCounts, ServerStats};
+use fannet_engine::protocol::{QueryTrace, Request};
+use fannet_engine::{LatencyStats, OpCounts, OpLatency, ServerStats};
+use fannet_obs::Histogram;
+
+/// Ops whose request latency gets its own histogram, in the order of
+/// the [`LatencyStats`] fields. `shutdown` and `invalid` are excluded:
+/// neither runs the engine, so there is nothing to attribute.
+const OP_NAMES: [&str; 9] = [
+    "check",
+    "tolerance",
+    "sensitivity",
+    "fault_check",
+    "fault_tolerance",
+    "joint_check",
+    "joint_tolerance",
+    "stats",
+    "metrics",
+];
+
+/// Screening-tier labels, in [`fannet_search::SearchStats`] order.
+const TIER_NAMES: [&str; 3] = ["interval", "zonotope", "exact"];
+
+/// Per-op request latency plus per-screening-tier solver time
+/// (DESIGN.md §14), behind one lock like the op counts.
+#[derive(Debug, Default)]
+struct Latencies {
+    ops: [Histogram; OP_NAMES.len()],
+    tiers: [Histogram; TIER_NAMES.len()],
+}
 
 /// Shared counters of one serving session.
 #[derive(Debug)]
@@ -25,6 +52,7 @@ pub struct ServerMetrics {
     /// One lock for the whole per-op block so a snapshot reads a
     /// consistent set (individual atomics could tear across ops).
     ops: Mutex<OpCounts>,
+    latency: Mutex<Latencies>,
 }
 
 impl ServerMetrics {
@@ -37,6 +65,7 @@ impl ServerMetrics {
             connections_open: AtomicU64::new(0),
             connections_total: AtomicU64::new(0),
             ops: Mutex::new(OpCounts::default()),
+            latency: Mutex::new(Latencies::default()),
         }
     }
 
@@ -53,6 +82,7 @@ impl ServerMetrics {
                 Request::JointCheck { .. } => ops.joint_check += 1,
                 Request::JointTolerance { .. } => ops.joint_tolerance += 1,
                 Request::Stats { .. } => ops.stats += 1,
+                Request::Metrics { .. } => ops.metrics += 1,
                 Request::Shutdown { .. } => ops.shutdown += 1,
             }
         }
@@ -70,6 +100,54 @@ impl ServerMetrics {
     /// Records the matching request leaving its worker.
     pub fn end(&self) {
         self.in_flight.fetch_sub(1, Ordering::SeqCst);
+    }
+
+    /// Records a dispatched request's wall time into its op's latency
+    /// histogram. Unlisted ops (`shutdown`) are ignored.
+    pub fn record_latency(&self, op: &str, wall_ns: u64) {
+        if let Some(i) = OP_NAMES.iter().position(|&name| name == op) {
+            let mut latency = self.latency.lock().expect("metrics lock poisoned");
+            latency.ops[i].record_ns(wall_ns);
+        }
+    }
+
+    /// Records a solver-backed query's per-tier time. Tiers the cascade
+    /// never entered record `0` ns, so each tier histogram keeps one
+    /// observation per measured query and the percentiles read as
+    /// "nanoseconds this tier costs a typical query".
+    pub fn record_tiers(&self, trace: &QueryTrace) {
+        let mut latency = self.latency.lock().expect("metrics lock poisoned");
+        for (hist, ns) in latency.tiers.iter_mut().zip([
+            trace.stats.interval_ns,
+            trace.stats.zonotope_ns,
+            trace.stats.exact_ns,
+        ]) {
+            hist.record_ns(ns);
+        }
+    }
+
+    /// Renders the session's latency histograms as Prometheus text:
+    /// the `fannet_request_ns` family keyed by op, `fannet_tier_ns`
+    /// keyed by screening tier, each with derived percentile gauges.
+    #[must_use]
+    pub fn render_prometheus(&self) -> String {
+        let (ops, tiers) = {
+            let latency = self.latency.lock().expect("metrics lock poisoned");
+            let ops: Vec<(String, Histogram)> = OP_NAMES
+                .iter()
+                .zip(latency.ops.iter())
+                .map(|(name, hist)| (format!("op=\"{name}\""), *hist))
+                .collect();
+            let tiers: Vec<(String, Histogram)> = TIER_NAMES
+                .iter()
+                .zip(latency.tiers.iter())
+                .map(|(name, hist)| (format!("tier=\"{name}\""), *hist))
+                .collect();
+            (ops, tiers)
+        };
+        let mut out = fannet_obs::render_prometheus("fannet_request_ns", &ops);
+        out.push_str(&fannet_obs::render_prometheus("fannet_tier_ns", &tiers));
+        out
     }
 
     /// Records an accepted connection.
@@ -94,6 +172,31 @@ impl ServerMetrics {
         queue_capacity: u64,
     ) -> ServerStats {
         let ops = *self.ops.lock().expect("metrics lock poisoned");
+        let latency = {
+            let latency = self.latency.lock().expect("metrics lock poisoned");
+            let summarize = |hist: &Histogram| {
+                let s = hist.summary();
+                OpLatency {
+                    count: s.count,
+                    p50_ns: s.p50_ns,
+                    p90_ns: s.p90_ns,
+                    p99_ns: s.p99_ns,
+                }
+            };
+            let [check, tolerance, sensitivity, fault_check, fault_tolerance, joint_check, joint_tolerance, stats, metrics] =
+                &latency.ops;
+            LatencyStats {
+                check: summarize(check),
+                tolerance: summarize(tolerance),
+                sensitivity: summarize(sensitivity),
+                fault_check: summarize(fault_check),
+                fault_tolerance: summarize(fault_tolerance),
+                joint_check: summarize(joint_check),
+                joint_tolerance: summarize(joint_tolerance),
+                stats: summarize(stats),
+                metrics: summarize(metrics),
+            }
+        };
         let uptime = self.started.elapsed();
         let uptime_ms = u64::try_from(uptime.as_millis()).unwrap_or(u64::MAX);
         let requests_total = ops.total();
@@ -114,6 +217,7 @@ impl ServerMetrics {
             connections_open: self.connections_open.load(Ordering::SeqCst),
             connections_total: self.connections_total.load(Ordering::SeqCst),
             ops,
+            latency,
         }
     }
 }

@@ -63,6 +63,10 @@ pub struct SessionConfig {
     pub queue_capacity: usize,
     /// Per-line byte cap of the framing layer.
     pub max_line_bytes: usize,
+    /// Log any request slower than this many milliseconds, with its
+    /// full cost trace, through the structured logger
+    /// (`--slow-query-ms`, DESIGN.md §14). `None` disables the log.
+    pub slow_query_ms: Option<u64>,
 }
 
 impl SessionConfig {
@@ -82,6 +86,7 @@ impl Default for SessionConfig {
             workers: 1,
             queue_capacity: DEFAULT_QUEUE_CAPACITY,
             max_line_bytes: DEFAULT_MAX_LINE_BYTES,
+            slow_query_ms: None,
         }
     }
 }
@@ -100,6 +105,7 @@ pub(crate) struct Shared {
     /// [`Session::drain`] can wait for `completed == submitted`.
     pub(crate) idle: Condvar,
     pub(crate) max_line_bytes: usize,
+    pub(crate) slow_query_ms: Option<u64>,
 }
 
 /// Submission/completion accounting for the drain barrier.
@@ -201,6 +207,7 @@ impl Session {
             progress: Mutex::new(Progress::default()),
             idle: Condvar::new(),
             max_line_bytes: config.max_line_bytes,
+            slow_query_ms: config.slow_query_ms,
         });
         let workers = (0..config.workers.max(1))
             .map(|_| {
@@ -335,14 +342,27 @@ fn worker_loop(shared: &Arc<Shared>) {
     }
 }
 
-/// Answers one frame; this is where requests are counted (dispatch time)
-/// and where a `stats` response gains its `server` block.
+/// Answers one frame; this is where requests are counted (dispatch
+/// time), timed into the latency histograms, checked against the
+/// slow-query threshold, and where a `stats` response gains its
+/// `server` block (a `metrics` response its request/tier families).
 fn process_frame(shared: &Shared, frame: &Frame) -> String {
     let response = match frame {
         Frame::Line(line) => match protocol::parse_request(line) {
             Ok(request) => {
                 shared.metrics.begin(&request);
-                let mut response = protocol::handle(&shared.engine, &request);
+                // Timing is always forced so the histograms and the
+                // slow-query log see every request; the response embeds
+                // the trace only when the client asked (`"trace":true`).
+                let start = std::time::Instant::now();
+                let (mut response, trace) = protocol::handle_traced(&shared.engine, &request, true);
+                let wall_ns = u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX);
+                let op = protocol::request_op(&request);
+                shared.metrics.record_latency(op, wall_ns);
+                if let Some(trace) = &trace {
+                    shared.metrics.record_tiers(trace);
+                }
+                log_if_slow(shared, op, &request, wall_ns, trace.as_ref());
                 match &mut response {
                     Response::Stats { server, .. } => {
                         *server = Some(shared.metrics.snapshot(
@@ -350,6 +370,11 @@ fn process_frame(shared: &Shared, frame: &Frame) -> String {
                             shared.queue.high_water() as u64,
                             shared.queue.capacity() as u64,
                         ));
+                    }
+                    Response::Metrics { text, .. } => {
+                        // Server families first, then whatever the bare
+                        // dispatch rendered (the process span registry).
+                        *text = format!("{}{}", shared.metrics.render_prometheus(), text);
                     }
                     Response::Shutdown { .. } => {
                         shared.shutdown.store(true, Ordering::SeqCst);
@@ -379,6 +404,41 @@ fn process_frame(shared: &Shared, frame: &Frame) -> String {
         }
     };
     protocol::render_response(&response)
+}
+
+/// Emits the slow-query record when `wall_ns` crosses the configured
+/// threshold: the full cost trace of the offending request, one JSON
+/// line on stderr via the structured logger (DESIGN.md §14).
+fn log_if_slow(
+    shared: &Shared,
+    op: &'static str,
+    request: &protocol::Request,
+    wall_ns: u64,
+    trace: Option<&protocol::QueryTrace>,
+) {
+    let Some(threshold_ms) = shared.slow_query_ms else {
+        return;
+    };
+    if wall_ns < threshold_ms.saturating_mul(1_000_000) {
+        return;
+    }
+    let mut fields: Vec<(&str, fannet_obs::FieldValue)> = vec![
+        ("op", op.into()),
+        ("wall_ns", wall_ns.into()),
+        ("threshold_ms", threshold_ms.into()),
+    ];
+    if let Some(id) = protocol::request_id(request) {
+        fields.push(("id", id.into()));
+    }
+    if let Some(trace) = trace {
+        fields.push(("cache", trace.cache_name().into()));
+        fields.push(("interval_ns", trace.stats.interval_ns.into()));
+        fields.push(("zonotope_ns", trace.stats.zonotope_ns.into()));
+        fields.push(("exact_ns", trace.stats.exact_ns.into()));
+        fields.push(("boxes_visited", trace.stats.boxes_visited.into()));
+        fields.push(("depth_high_water", trace.stats.depth_high_water.into()));
+    }
+    fannet_obs::log::warn("fannet_server::slow_query", "slow query", &fields);
 }
 
 /// Runs the stdio front end: one connection reading `input`, writing

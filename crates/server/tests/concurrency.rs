@@ -121,6 +121,7 @@ fn garbage_frames_are_contained_per_line() {
         workers: 2,
         queue_capacity: 4,
         max_line_bytes: 64,
+        slow_query_ms: None,
     };
     let mut input = String::new();
     input += "{\"op\":\"check\",\"id\":1,\"input\":[100,82],\"label\":0,\"delta\":2}\n";

@@ -41,7 +41,9 @@ use std::borrow::Cow;
 
 use fannet_nn::Network;
 use fannet_numeric::{FloatInterval, Rational};
-use fannet_search::{BoxDecision, Cascade, Classifier, SearchDomain, SearchOutcome, TierKind};
+use fannet_search::{
+    BoxDecision, Cascade, Classifier, SearchDomain, SearchOutcome, TierKind, TierTimer,
+};
 use fannet_tensor::ShapeError;
 use serde::{Deserialize, Serialize};
 
@@ -184,9 +186,10 @@ pub fn default_threads() -> usize {
             Err(_) => {
                 static WARN_ONCE: std::sync::Once = std::sync::Once::new();
                 WARN_ONCE.call_once(|| {
-                    eprintln!(
-                        "warning: ignoring unparsable {THREADS_ENV}={v:?}; \
-                         falling back to all cores"
+                    fannet_obs::log::warn(
+                        "fannet_verify::bab",
+                        "ignoring unparsable thread override; falling back to all cores",
+                        &[("var", THREADS_ENV.into()), ("value", v.as_str().into())],
                     );
                 });
             }
@@ -408,6 +411,31 @@ impl<'n> RegionChecker<'n> {
         region: &NoiseRegion,
         excluded: &ExclusionSet,
     ) -> Result<(RegionOutcome, BabStats), ShapeError> {
+        self.check_region_timed(x, label, region, excluded, TierTimer::disabled())
+    }
+
+    /// [`RegionChecker::check_region`] with an explicit [`TierTimer`]:
+    /// an enabled timer additionally books per-tier nanoseconds
+    /// (`interval_ns`/`zonotope_ns`/`exact_ns`) into the returned stats
+    /// for cost attribution (DESIGN.md §14). The verdict, witness and
+    /// every counter are bit-identical to the untimed call — only the
+    /// never-serialized timing fields differ.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ShapeError`] if input/region/network widths disagree.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `label` is out of range.
+    pub fn check_region_timed(
+        &self,
+        x: &[Rational],
+        label: usize,
+        region: &NoiseRegion,
+        excluded: &ExclusionSet,
+        timer: TierTimer,
+    ) -> Result<(RegionOutcome, BabStats), ShapeError> {
         assert!(label < self.net.outputs(), "label {label} out of range");
         validate_widths(self.net, x, region)?;
         let screens = QueryScreens::new(x, label, self.shadow.as_deref(), self.zonotope.as_deref());
@@ -416,7 +444,7 @@ impl<'n> RegionChecker<'n> {
             x,
             label,
             excluded,
-            cascade: screens.cascade(),
+            cascade: screens.cascade().with_timer(timer),
         };
         let (outcome, stats) =
             fannet_search::search_with_threads(&ctx, region.clone(), self.config.threads, None);
@@ -733,6 +761,9 @@ impl SearchDomain for QueryContext<'_> {
         // Screening tiers, cheapest first (sound by over-approximation).
         let mut verdict = self.cascade.classify(current, stats);
         let screened = !self.cascade.is_empty();
+        // Exact rational work below shares the cascade's timer so traced
+        // queries attribute every tier's cost, untraced ones pay nothing.
+        let timer = self.cascade.timer();
 
         if current.is_point() {
             // A screening tier can prove a point correct and skip the
@@ -752,9 +783,9 @@ impl SearchDomain for QueryContext<'_> {
             if self.excluded.contains(&nv) {
                 return BoxDecision::Pruned;
             }
-            return match exact::witness(self.net, self.x, self.label, &nv)
-                .expect("widths validated at query entry")
-            {
+            let (witness, ns) = timer.time(|| exact::witness(self.net, self.x, self.label, &nv));
+            stats.exact_ns = stats.exact_ns.saturating_add(ns);
+            return match witness.expect("widths validated at query entry") {
                 Some(ce) => BoxDecision::Witness(ce),
                 None => BoxDecision::Pruned,
             };
@@ -769,9 +800,13 @@ impl SearchDomain for QueryContext<'_> {
             }
         }
         if verdict == BoxVerdict::Unknown {
-            let enclosure = output_intervals(self.net, self.x, current)
-                .expect("widths validated at query entry");
-            verdict = classify_box(&enclosure, self.label);
+            let (exact_verdict, ns) = timer.time(|| {
+                let enclosure = output_intervals(self.net, self.x, current)
+                    .expect("widths validated at query entry");
+                classify_box(&enclosure, self.label)
+            });
+            stats.exact_ns = stats.exact_ns.saturating_add(ns);
+            verdict = exact_verdict;
         }
 
         match verdict {
@@ -1169,6 +1204,58 @@ mod tests {
         let (_, base) = find_counterexample(&net, &x, label, &region).unwrap();
         assert_eq!(base.interval_hits + base.zonotope_hits, 0);
         assert_eq!(base.interval_fallbacks + base.zonotope_fallbacks, 0);
+    }
+
+    #[test]
+    fn timed_check_matches_untimed_verdict_and_counters() {
+        let net = relu_net();
+        let x = [r(9), r(8)];
+        let label = net.classify(&x).unwrap();
+        let region = NoiseRegion::symmetric(6, 2);
+        for config in [
+            CheckerConfig::serial_exact(),
+            CheckerConfig::screened(),
+            CheckerConfig::zonotope(),
+            CheckerConfig::cascade(),
+        ] {
+            let checker = RegionChecker::new(&net, config.clone());
+            let (plain, plain_stats) = checker
+                .check_region(&x, label, &region, &ExclusionSet::new())
+                .unwrap();
+            let (timed, timed_stats) = checker
+                .check_region_timed(
+                    &x,
+                    label,
+                    &region,
+                    &ExclusionSet::new(),
+                    TierTimer::enabled(),
+                )
+                .unwrap();
+            assert_eq!(
+                plain, timed,
+                "verdict must not depend on timing: {config:?}"
+            );
+            assert!(
+                timed_stats.exact_ns > 0,
+                "exact work must be clocked under {config:?}: {timed_stats:?}"
+            );
+            // Untimed stats never read the clock…
+            assert_eq!(
+                (
+                    plain_stats.interval_ns,
+                    plain_stats.zonotope_ns,
+                    plain_stats.exact_ns
+                ),
+                (0, 0, 0),
+                "{config:?}"
+            );
+            // …and every non-timing field is bit-identical across modes.
+            let mut scrubbed = timed_stats;
+            scrubbed.interval_ns = 0;
+            scrubbed.zonotope_ns = 0;
+            scrubbed.exact_ns = 0;
+            assert_eq!(scrubbed, plain_stats, "{config:?}");
+        }
     }
 
     #[test]

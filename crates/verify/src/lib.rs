@@ -49,5 +49,8 @@ pub mod zonotope;
 
 pub use bab::{BabStats, CheckerConfig, RegionChecker, RegionOutcome, ScreeningTier};
 pub use exact::Counterexample;
+// Re-exported so cost-attribution callers (`check_region_timed`) need
+// not depend on `fannet-search` directly.
+pub use fannet_search::TierTimer;
 pub use noise::{ExclusionSet, NoiseVector};
 pub use region::NoiseRegion;

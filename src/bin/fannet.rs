@@ -96,6 +96,7 @@ const USAGE: &str = "usage:
   fannet serve --model <model.json> [--once] [--threads <N>]
                [--cache-capacity <N>] [--queue-capacity <N>] [--max-line-bytes <N>]
                [--screening <none|interval|zonotope|cascade>] [--no-screening]
+               [--slow-query-ms <MS>] [--log-level <trace|debug|info|warn|error>]
     JSONL requests on stdin, one response per line on stdout, e.g.
       {\"op\":\"check\",\"input\":[\"100\",\"82\"],\"label\":0,\"delta\":5}
       {\"op\":\"tolerance\",\"input\":[\"100\",\"82\"],\"label\":0,\"max_delta\":50}
@@ -105,10 +106,15 @@ const USAGE: &str = "usage:
       {\"op\":\"joint_check\",\"input\":[\"100\",\"82\"],\"label\":0,\"delta\":3,\"model\":\"weight-noise\",\"eps\":\"1/50\"}
       {\"op\":\"joint_tolerance\",\"input\":[\"100\",\"82\"],\"label\":0,\"delta\":3,\"denom\":100,\"max_numer\":25}
       {\"op\":\"stats\"}
+      {\"op\":\"metrics\"}
       {\"op\":\"shutdown\"}
+    any solver-backed op takes \"trace\":true for a per-query cost trace;
+    --slow-query-ms logs slower requests (full trace, stderr JSON) and
+    --log-level sets the structured-logger threshold (default info)
   fannet listen --addr <host:port> --model <model.json> [--threads <N>]
                [--cache-capacity <N>] [--queue-capacity <N>] [--max-line-bytes <N>]
                [--screening <none|interval|zonotope|cascade>] [--no-screening]
+               [--slow-query-ms <MS>] [--log-level <trace|debug|info|warn|error>]
     the same JSONL protocol over TCP: one resident engine shared by all
     connections, per-connection response ordering, bounded-queue
     backpressure; prints `listening on <addr>` once bound, drains on
@@ -670,6 +676,21 @@ fn serving_engine(args: &[String]) -> Result<(Arc<Engine>, SessionConfig), Strin
         },
         None => fannet::server::DEFAULT_MAX_LINE_BYTES,
     };
+    let slow_query_ms = match flag(args, "--slow-query-ms") {
+        Some(text) => match text.parse::<u64>() {
+            Ok(ms) => Some(ms),
+            Err(_) => {
+                return Err(format!(
+                    "bad --slow-query-ms `{text}` (need a non-negative integer)"
+                ))
+            }
+        },
+        None => None,
+    };
+    if let Some(text) = flag(args, "--log-level") {
+        let level = fannet_obs::Level::parse(text)?;
+        fannet_obs::set_level(level);
+    }
     // Parallelism is spent across requests, not inside one query. The
     // default tier stays `interval` (the serving-latency sweet spot for
     // typical request mixes — see DESIGN.md §10); `--screening cascade`
@@ -697,6 +718,7 @@ fn serving_engine(args: &[String]) -> Result<(Arc<Engine>, SessionConfig), Strin
             workers,
             queue_capacity,
             max_line_bytes,
+            slow_query_ms,
         },
     ))
 }
@@ -724,8 +746,15 @@ fn listen(args: &[String]) -> Result<(), String> {
     let addr = required(args, "--addr")?;
     signal::install();
     serve_tcp(engine, &config, addr, signal::triggered, |bound| {
+        // The bare stdout line is the readiness contract scripts wait
+        // on; the structured record is the operator's copy on stderr.
         println!("listening on {bound}");
         let _ = std::io::stdout().flush();
+        fannet_obs::log::info(
+            "fannet::listen",
+            "listening",
+            &[("addr", bound.to_string().into())],
+        );
     })
     .map_err(|e| format!("cannot listen on `{addr}`: {e}"))
 }

@@ -21,11 +21,21 @@ fn repo_file(rel: &str) -> String {
     format!("{}/{rel}", env!("CARGO_MANIFEST_DIR"))
 }
 
-/// Zeroes the four volatile `server` gauges, leaving every other byte
+/// Zeroes the volatile `server` gauges and the percentile scalars of
+/// the `latency` block, and blanks the (wholly wall-clock-dependent)
+/// `text` payload of a `metrics` response, leaving every other byte
 /// alone (mirrors the `sed` rewrite of CI's serve-smoke job).
 fn mask_volatile(text: &str) -> String {
     let mut masked = text.to_string();
-    for key in ["uptime_ms", "qps", "queue_depth", "queue_high_water"] {
+    for key in [
+        "uptime_ms",
+        "qps",
+        "queue_depth",
+        "queue_high_water",
+        "p50_ns",
+        "p90_ns",
+        "p99_ns",
+    ] {
         let pat = format!("\"{key}\":");
         let mut from = 0;
         while let Some(at) = masked[from..].find(&pat) {
@@ -38,7 +48,16 @@ fn mask_volatile(text: &str) -> String {
             from = start + 1;
         }
     }
+    // `text` is the final field of a `metrics` line; truncate to empty.
     masked
+        .lines()
+        .map(|line| match line.find("\"text\":\"") {
+            Some(at) => format!("{}\"text\":\"\"}}", &line[..at]),
+            None => line.to_string(),
+        })
+        .collect::<Vec<_>>()
+        .join("\n")
+        + if masked.ends_with('\n') { "\n" } else { "" }
 }
 
 fn run_serve(extra_args: &[&str], input: &str) -> (String, String, bool) {
@@ -80,7 +99,8 @@ fn once_batch_matches_committed_golden_responses() {
          change is intentional, regenerate it with:\n  fannet serve --once \
          --threads 1 --model tests/data/serve_model.json \
          < tests/data/serve_requests.jsonl \
-         | sed -E 's/\"(uptime_ms|qps|queue_depth|queue_high_water)\":[0-9.eE+-]+/\"\\1\":0/g' \
+         | sed -E 's/\"(uptime_ms|qps|queue_depth|queue_high_water|p50_ns|p90_ns|p99_ns)\":[0-9.eE+-]+/\"\\1\":0/g; \
+         s/\"text\":\".*/\"text\":\"\"}}/' \
          > tests/data/serve_golden.jsonl"
     );
 }
@@ -161,7 +181,7 @@ fn parallel_batch_verdicts_match_golden_modulo_stats() {
             .expect("split yields a prefix")
             .to_string()
     };
-    let got: Vec<String> = stdout
+    let got: Vec<String> = mask_volatile(&stdout)
         .lines()
         .filter(|l| !l.contains("\"op\":\"stats\""))
         .map(stable)
@@ -202,7 +222,7 @@ fn all_screening_tiers_match_golden_verdicts_modulo_stats() {
             &requests,
         );
         assert!(ok, "serve --screening {tier} must exit cleanly: {stderr}");
-        let got: Vec<String> = stdout
+        let got: Vec<String> = mask_volatile(&stdout)
             .lines()
             .filter(|l| !l.contains("\"op\":\"stats\""))
             .map(stable)
