@@ -148,6 +148,26 @@ struct ServerThroughputReport {
     arms: Vec<ServerThroughputArm>,
 }
 
+/// One arm of the queue-attribution run: `connections` loopback clients
+/// pipeline the traced mixed workload into one resident `serve_tcp`
+/// front end, and every response's `"trace"` object carries the
+/// `queue_ns` stamp the session's phase attribution filled in.
+#[derive(Serialize)]
+struct QueueAttributionRow {
+    connections: usize,
+    /// Total requests across all connections of this arm.
+    requests: usize,
+    /// Wall time of the arm.
+    seconds: f64,
+    /// Sum of per-request front-end queue waits (`trace.queue_ns`).
+    queue_ns_total: u64,
+    /// Sum of per-request solver wall times (`trace.wall_ns`).
+    solver_wall_ns_total: u64,
+    /// `queue_ns_total / (queue_ns_total + solver_wall_ns_total)` — the
+    /// share of accounted per-request time spent waiting for a worker.
+    queue_share: f64,
+}
+
 /// One arm of the fault ablation: interval-only vs cascade screening
 /// over the *fault space* (weight-noise balls on the trained 5–20–2
 /// network), verdicts asserted identical — the fault-space mirror of the
@@ -196,6 +216,7 @@ struct AblationReport {
     joint_ablation: Vec<JointAblationRow>,
     engine_throughput: EngineThroughputReport,
     server_throughput: ServerThroughputReport,
+    queue_attribution: Vec<QueueAttributionRow>,
 }
 
 /// The ablation arms: every checker configuration on identical P2 queries
@@ -765,6 +786,139 @@ fn server_throughput_report() -> ServerThroughputReport {
     }
 }
 
+/// Queue-wait attribution under contention (the PR-9 headline): the
+/// same mixed workload as [`server_throughput_report`] runs with
+/// `"trace":true` on every request at 1/4/8 loopback connections, so
+/// each response's trace carries the front end's `queue_ns` stamp.
+/// Verdicts are asserted identical to an untraced single-worker
+/// reference — attribution must observe scheduling, never change
+/// answers — and each arm books the queue-wait share of the accounted
+/// per-request time (queue wait vs solver wall time).
+fn queue_attribution_report() -> Vec<QueueAttributionRow> {
+    let cs = paper_study();
+    let inputs = fannet_bench::paper_test_inputs();
+    let labels = cs.test5.labels();
+    let batch: Vec<usize> = (0..inputs.len())
+        .filter(|&i| cs.exact_net.classify(&inputs[i]).expect("width") == labels[i])
+        .take(6)
+        .collect();
+    let batch_inputs: Vec<Vec<fannet_numeric::Rational>> =
+        batch.iter().map(|&i| inputs[i].clone()).collect();
+    let batch_labels: Vec<usize> = batch.iter().map(|&i| labels[i]).collect();
+    let workload = server_workload(&batch_inputs, &batch_labels);
+    let requests = workload.lines().count();
+    // The traced twin: every request opts into the per-query trace.
+    let traced: String = workload
+        .lines()
+        .map(|line| format!("{},\"trace\":true}}\n", &line[..line.len() - 1]))
+        .collect();
+
+    // Untraced single-worker reference against a fresh engine: the
+    // verdict baseline every traced arm must reproduce.
+    let engine = Arc::new(Engine::new(cs.exact_net.clone(), EngineConfig::serving()));
+    let reference = answer_lines(engine, &SessionConfig::with_workers(1), &workload);
+    // Strip the trace object and the cache-dependent `source` before
+    // comparing — everything before them is the answer. Lines without
+    // either suffix keep their closing brace where the stripped ones
+    // lost it, so trim it from both sides.
+    let stable = |line: &str| {
+        let line = line.split(",\"trace\":").next().unwrap();
+        let line = line.split(",\"source\":").next().unwrap();
+        line.trim_end_matches('}').to_string()
+    };
+    let want: Vec<String> = reference.iter().map(|l| stable(l)).collect();
+    // Pulls the integer after `key` (e.g. `"queue_ns":`) out of a line.
+    let field = |line: &str, key: &str| -> u64 {
+        line.split(key)
+            .nth(1)
+            .and_then(|tail| tail.split(|c: char| !c.is_ascii_digit()).next())
+            .and_then(|digits| digits.parse().ok())
+            .unwrap_or(0)
+    };
+
+    let mut rows = Vec::new();
+    for connections in [1usize, 4, 8] {
+        let engine = Arc::new(Engine::new(cs.exact_net.clone(), EngineConfig::serving()));
+        let stop = Arc::new(AtomicBool::new(false));
+        let (ready_tx, ready_rx) = mpsc::channel();
+        let server = std::thread::spawn({
+            let stop = Arc::clone(&stop);
+            move || {
+                serve_tcp(
+                    engine,
+                    &SessionConfig::with_workers(2),
+                    "127.0.0.1:0",
+                    move || stop.load(Ordering::Relaxed),
+                    move |addr| {
+                        let _ = ready_tx.send(addr);
+                    },
+                )
+            }
+        });
+        let addr = ready_rx.recv().expect("listener binds");
+        let t = Instant::now();
+        let answers: Vec<Vec<String>> = std::thread::scope(|scope| {
+            let clients: Vec<_> = (0..connections)
+                .map(|_| {
+                    scope.spawn(|| {
+                        use std::io::{BufRead as _, BufReader, Write as _};
+                        let mut stream =
+                            std::net::TcpStream::connect(addr).expect("loopback connect");
+                        stream.write_all(traced.as_bytes()).expect("batch sent");
+                        let mut lines = Vec::with_capacity(requests);
+                        let mut reader = BufReader::new(stream);
+                        for _ in 0..requests {
+                            let mut line = String::new();
+                            reader.read_line(&mut line).expect("response line");
+                            lines.push(line.trim_end().to_string());
+                        }
+                        lines
+                    })
+                })
+                .collect();
+            clients
+                .into_iter()
+                .map(|c| c.join().expect("client thread"))
+                .collect()
+        });
+        let seconds = t.elapsed().as_secs_f64();
+        stop.store(true, Ordering::Relaxed);
+        server
+            .join()
+            .expect("server thread")
+            .expect("serve_tcp exits cleanly");
+
+        let mut queue_ns_total = 0u64;
+        let mut solver_wall_ns_total = 0u64;
+        for (c, lines) in answers.iter().enumerate() {
+            let got: Vec<String> = lines.iter().map(|l| stable(l)).collect();
+            assert_eq!(
+                got, want,
+                "connection {c} of {connections}: traced verdicts must equal \
+                 the untraced baseline's"
+            );
+            for line in lines {
+                assert!(
+                    line.contains("\"queue_ns\":"),
+                    "every traced response carries its queue wait: {line}"
+                );
+                queue_ns_total += field(line, "\"queue_ns\":");
+                solver_wall_ns_total += field(line, "\"wall_ns\":");
+            }
+        }
+        let accounted = (queue_ns_total + solver_wall_ns_total).max(1);
+        rows.push(QueueAttributionRow {
+            connections,
+            requests: connections * requests,
+            seconds,
+            queue_ns_total,
+            solver_wall_ns_total,
+            queue_share: queue_ns_total as f64 / accounted as f64,
+        });
+    }
+    rows
+}
+
 /// `--bench-json` mode: run the ablation, print a table, write JSON.
 fn run_bench_json(path: &str) {
     println!("checker ablation (screening tiers × parallel search)");
@@ -919,6 +1073,21 @@ fn run_bench_json(path: &str) {
         );
     }
 
+    println!("\nqueue attribution (traced mixed load: queue-wait share of request time)");
+    let queue = queue_attribution_report();
+    for row in &queue {
+        println!(
+            "{:>2} connections: {:>4} requests  {:>8.1}ms  queued {:>8.1}ms  \
+             solver {:>8.1}ms  ({:>5.1}% of accounted time in queue)",
+            row.connections,
+            row.requests,
+            row.seconds * 1e3,
+            row.queue_ns_total as f64 / 1e6,
+            row.solver_wall_ns_total as f64 / 1e6,
+            100.0 * row.queue_share,
+        );
+    }
+
     let json = serde_json::to_string_pretty(&AblationReport {
         checker_ablation: rows,
         zonotope_ablation: zonotope,
@@ -927,6 +1096,7 @@ fn run_bench_json(path: &str) {
         joint_ablation: joint,
         engine_throughput: engine,
         server_throughput: server,
+        queue_attribution: queue,
     })
     .expect("ablation report serializes");
     std::fs::write(path, &json).unwrap_or_else(|e| panic!("cannot write {path}: {e}"));
@@ -937,8 +1107,11 @@ fn main() {
     let args: Vec<String> = std::env::args().collect();
     if let Some(pos) = args.iter().position(|a| a == "--bench-json") {
         let Some(path) = args.get(pos + 1) else {
-            eprintln!("error: --bench-json requires a path argument");
-            eprintln!("usage: repro [--bench-json <path>]");
+            fannet_obs::log::error(
+                "fannet_bench::repro",
+                "--bench-json requires a path argument",
+                &[("usage", "repro [--bench-json <path>]".into())],
+            );
             std::process::exit(2);
         };
         run_bench_json(path);

@@ -65,4 +65,7 @@ pub mod stats;
 
 pub use engine::{AnswerSource, CheckReply, Engine, EngineConfig, FaultReply, JointReply};
 pub use fannet_nn::fingerprint;
-pub use stats::{EngineStats, LatencyStats, OpCounts, OpLatency, ServerStats};
+pub use stats::{
+    ConnectionInfo, EngineStats, LatencyStats, OpCounts, OpLatency, OpWindow, PhaseLatencyStats,
+    ServerStats, WindowStats, CONNECTION_TABLE_ROWS,
+};

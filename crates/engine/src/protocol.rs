@@ -249,7 +249,7 @@ pub struct NodeSigns {
 ///          "tiers":{"interval":{"ns":…,"hits":…,"fallbacks":…},
 ///                   "zonotope":{…},
 ///                   "exact":{"ns":…,"decisions":…,"fallbacks":…,"evals":…}},
-///          "boxes_visited":…,"depth_high_water":…}
+///          "boxes_visited":…,"depth_high_water":…[,"queue_ns":…]}
 /// ```
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct QueryTrace {
@@ -262,6 +262,11 @@ pub struct QueryTrace {
     /// Solver counters of the answer, timing fields populated (zero on
     /// cache hits — the cache did no tier work).
     pub stats: fannet_search::SearchStats,
+    /// Nanoseconds the request waited in the serving queue before a
+    /// worker dispatched it (DESIGN.md §15). The bare engine has no
+    /// queue, so [`handle_traced`] leaves this `None` and the key is
+    /// omitted; the serving session fills it before rendering.
+    pub queue_ns: Option<u64>,
 }
 
 impl QueryTrace {
@@ -333,12 +338,63 @@ impl Serialize for QueryTrace {
                 st.end()
             }
         }
-        let mut st = serializer.serialize_struct("QueryTrace", 5)?;
+        let mut st = serializer.serialize_struct("QueryTrace", 6)?;
         st.serialize_field("wall_ns", &self.wall_ns)?;
         st.serialize_field("cache", self.cache_name())?;
         st.serialize_field("tiers", &Tiers(&self.stats))?;
         st.serialize_field("boxes_visited", &self.stats.boxes_visited)?;
         st.serialize_field("depth_high_water", &self.stats.depth_high_water)?;
+        if let Some(queue_ns) = self.queue_ns {
+            st.serialize_field("queue_ns", &queue_ns)?;
+        }
+        st.end()
+    }
+}
+
+/// One request's lifecycle phase breakdown (DESIGN.md §15), kept by
+/// the serving session in a bounded ring and surfaced through the
+/// `metrics` op's `recent` field — the queryable twin of a
+/// `--trace-out` timeline row.
+///
+/// Serialized as
+/// `{"conn":…[,"id":…],"op":"…","queue_ns":…,"service_ns":…,
+///   "sequence_ns":…,"write_ns":…,"wall_ns":…}` with `id` omitted for
+/// untagged requests (matching every other response surface).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RequestTimeline {
+    /// The submitting connection's session-unique id.
+    pub conn: u64,
+    /// Echo of the request tag.
+    pub id: Option<u64>,
+    /// The request's operation name (`"invalid"` for undecodable lines).
+    pub op: &'static str,
+    /// Nanoseconds waited in the bounded queue.
+    pub queue_ns: u64,
+    /// Nanoseconds inside the engine call.
+    pub service_ns: u64,
+    /// Nanoseconds parked in the per-connection sequencer.
+    pub sequence_ns: u64,
+    /// Nanoseconds writing the response line.
+    pub write_ns: u64,
+    /// Nanoseconds from enqueue to the write's return; the four phases
+    /// sum to at most this (the remainder is scheduling slack).
+    pub wall_ns: u64,
+}
+
+impl Serialize for RequestTimeline {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        use serde::ser::SerializeStruct as _;
+        let mut st = serializer.serialize_struct("RequestTimeline", 8)?;
+        st.serialize_field("conn", &self.conn)?;
+        if let Some(id) = self.id {
+            st.serialize_field("id", &id)?;
+        }
+        st.serialize_field("op", self.op)?;
+        st.serialize_field("queue_ns", &self.queue_ns)?;
+        st.serialize_field("service_ns", &self.service_ns)?;
+        st.serialize_field("sequence_ns", &self.sequence_ns)?;
+        st.serialize_field("write_ns", &self.write_ns)?;
+        st.serialize_field("wall_ns", &self.wall_ns)?;
         st.end()
     }
 }
@@ -473,6 +529,10 @@ pub enum Response {
         /// yet). A serving front end appends its per-op request-latency
         /// families before rendering.
         text: String,
+        /// The last requests' phase timelines, oldest first, filled by
+        /// the serving session's bounded ring; empty (and omitted from
+        /// the wire) outside a serving front end.
+        recent: Vec<RequestTimeline>,
     },
     /// Answer to [`Request::Shutdown`]: the drain is acknowledged before
     /// the front end stops reading.
@@ -1005,12 +1065,19 @@ impl Serialize for Response {
                     st.serialize_field("server", server)?;
                 }
             }
-            Response::Metrics { id, text } => {
+            Response::Metrics { id, text, recent } => {
                 st.serialize_field("op", "metrics")?;
                 if let Some(id) = id {
                     st.serialize_field("id", id)?;
                 }
+                // `recent` serializes after `text` so golden masks that
+                // truncate at `"text":"` also hide these volatile
+                // nanosecond fields; omitted entirely when empty so the
+                // bare-dispatch wire shape is unchanged.
                 st.serialize_field("text", text)?;
+                if !recent.is_empty() {
+                    st.serialize_field("recent", recent)?;
+                }
             }
             Response::Shutdown { id } => {
                 st.serialize_field("op", "shutdown")?;
@@ -1146,6 +1213,27 @@ pub fn request_op(request: &Request) -> &'static str {
     }
 }
 
+/// The embedded [`QueryTrace`] of a response, mutably, when the
+/// request asked for one. The serving session uses this to fill
+/// [`QueryTrace::queue_ns`] — queue wait is a front-end quantity the
+/// engine cannot measure — before rendering the line.
+#[must_use]
+pub fn response_trace_mut(response: &mut Response) -> Option<&mut QueryTrace> {
+    match response {
+        Response::Check { trace, .. }
+        | Response::Tolerance { trace, .. }
+        | Response::FaultCheck { trace, .. }
+        | Response::FaultTolerance { trace, .. }
+        | Response::JointCheck { trace, .. }
+        | Response::JointTolerance { trace, .. } => trace.as_mut(),
+        Response::Sensitivity { .. }
+        | Response::Stats { .. }
+        | Response::Metrics { .. }
+        | Response::Shutdown { .. }
+        | Response::Error { .. } => None,
+    }
+}
+
 /// Whether a request asked for an embedded trace object.
 #[must_use]
 pub fn request_trace(request: &Request) -> bool {
@@ -1204,6 +1292,7 @@ fn dispatch(
             wall_ns: u64::try_from(s.elapsed().as_nanos()).unwrap_or(u64::MAX),
             cache,
             stats,
+            queue_ns: None,
         })
     };
     match request {
@@ -1416,6 +1505,7 @@ fn dispatch(
                 Response::Metrics {
                     id,
                     text: fannet_obs::render_prometheus("fannet_span_ns", &series),
+                    recent: Vec::new(),
                 },
                 None,
             )
@@ -1997,15 +2087,88 @@ mod tests {
         let req = parse_request(r#"{"op":"metrics","id":9}"#).unwrap();
         assert_eq!(req, Request::Metrics { id: Some(9) });
         let resp = handle(&e, &req);
-        let Response::Metrics { id: Some(9), text } = resp else {
+        let Response::Metrics {
+            id: Some(9),
+            text,
+            recent,
+        } = resp
+        else {
             panic!("unexpected response {resp:?}");
         };
+        // Bare dispatch has no request ring; the key stays off the wire.
+        assert!(recent.is_empty());
         assert!(text.contains("# TYPE fannet_span_ns histogram"), "{text}");
         assert!(
             text.contains(r#"fannet_span_ns_count{span="protocol_test_span"}"#),
             "{text}"
         );
         assert!(text.contains("# TYPE fannet_span_ns_p99 gauge"), "{text}");
+    }
+
+    #[test]
+    fn metrics_recent_serializes_after_text_when_filled() {
+        let timeline = RequestTimeline {
+            conn: 2,
+            id: Some(41),
+            op: "check",
+            queue_ns: 100,
+            service_ns: 2000,
+            sequence_ns: 30,
+            write_ns: 4,
+            wall_ns: 2200,
+        };
+        let resp = Response::Metrics {
+            id: Some(9),
+            text: String::new(),
+            recent: vec![timeline],
+        };
+        let line = render_response(&resp);
+        assert_eq!(
+            line,
+            "{\"op\":\"metrics\",\"id\":9,\"text\":\"\",\"recent\":[\
+             {\"conn\":2,\"id\":41,\"op\":\"check\",\"queue_ns\":100,\
+             \"service_ns\":2000,\"sequence_ns\":30,\"write_ns\":4,\
+             \"wall_ns\":2200}]}"
+        );
+        // Untagged requests omit `id` from their timeline row too.
+        let untagged = RequestTimeline {
+            id: None,
+            ..timeline
+        };
+        let line = render_response(&Response::Metrics {
+            id: None,
+            text: String::new(),
+            recent: vec![untagged],
+        });
+        assert!(
+            line.contains("\"recent\":[{\"conn\":2,\"op\":\"check\""),
+            "{line}"
+        );
+    }
+
+    #[test]
+    fn query_trace_queue_ns_is_off_the_wire_until_filled() {
+        let e = engine();
+        let req = parse_request(
+            r#"{"op":"check","id":1,"input":["100","82"],"label":0,"delta":3,"trace":true}"#,
+        )
+        .unwrap();
+        let mut resp = handle(&e, &req);
+        let line = render_response(&resp);
+        assert!(line.contains(r#""trace":{"wall_ns":"#), "{line}");
+        assert!(!line.contains(r#""queue_ns":"#), "{line}");
+        // A serving front end fills the slot; the key then serializes
+        // after every engine-owned trace key.
+        let trace = response_trace_mut(&mut resp).expect("trace embedded");
+        trace.queue_ns = Some(777);
+        let line = render_response(&resp);
+        assert!(
+            line.contains(r#""depth_high_water":0,"queue_ns":777}"#),
+            "{line}"
+        );
+        // Traceless responses expose no slot at all.
+        let mut stats = handle(&e, &parse_request(r#"{"op":"stats"}"#).unwrap());
+        assert!(response_trace_mut(&mut stats).is_none());
     }
 
     #[test]
@@ -2115,6 +2278,8 @@ mod tests {
                 requests_total: 1,
                 requests_in_flight: 1,
                 qps: 1.0,
+                qps_10s: 1.0,
+                qps_60s: 1.0,
                 queue_depth: 0,
                 queue_high_water: 1,
                 queue_capacity: 64,
@@ -2125,6 +2290,8 @@ mod tests {
                     ..Default::default()
                 },
                 latency: crate::stats::LatencyStats::default(),
+                window: crate::stats::WindowStats::default(),
+                connections: Vec::new(),
             });
         }
         let line = render_response(&resp);

@@ -124,6 +124,28 @@ pub struct OpLatency {
     pub p99_ns: u64,
 }
 
+/// Lifecycle-phase latency of a serving front end (DESIGN.md §15),
+/// serialized as the `phases` block of [`LatencyStats`].
+///
+/// Each request's wall time decomposes into the queue wait (enqueue →
+/// worker dispatch), the service time (the engine call), the sequencer
+/// park (completion → first byte of the in-order write) and the write
+/// itself, so `queue + service + sequence + write ≤ wall` per request
+/// by construction. The first three phases are recorded *before* the
+/// response bytes leave the server, so any response a client holds is
+/// already counted; `write` lands just after the write returns.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PhaseLatencyStats {
+    /// Time spent waiting in the bounded request queue.
+    pub queue: OpLatency,
+    /// Time spent inside the engine handling the request.
+    pub service: OpLatency,
+    /// Time parked in the per-connection sequencer awaiting order.
+    pub sequence: OpLatency,
+    /// Time spent writing the response line to the connection.
+    pub write: OpLatency,
+}
+
 /// Per-operation request latency of a serving front end (DESIGN.md §14),
 /// serialized as the `latency` block of [`ServerStats`].
 ///
@@ -150,6 +172,79 @@ pub struct LatencyStats {
     pub stats: OpLatency,
     /// `metrics` request latency.
     pub metrics: OpLatency,
+    /// Request-lifecycle phase latency, pooled across operations.
+    pub phases: PhaseLatencyStats,
+}
+
+/// Rolling-window summary of one request class (DESIGN.md §15): the
+/// trailing-10-second count and latency percentiles from the
+/// per-second bucket ring, next to the lifetime numbers in
+/// [`LatencyStats`]. Every field is wall-clock-dependent and masked by
+/// golden tests.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct OpWindow {
+    /// Requests of this class in the trailing 10 seconds.
+    pub count_10s: u64,
+    /// Conservative median latency over the trailing 10 seconds.
+    pub p50_10s_ns: u64,
+    /// Conservative 99th-percentile latency over the trailing 10 seconds.
+    pub p99_10s_ns: u64,
+}
+
+/// Per-operation rolling windows, serialized as the `window` block of
+/// [`ServerStats`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct WindowStats {
+    /// `check` rolling window.
+    pub check: OpWindow,
+    /// `tolerance` rolling window.
+    pub tolerance: OpWindow,
+    /// `sensitivity` rolling window.
+    pub sensitivity: OpWindow,
+    /// `fault_check` rolling window.
+    pub fault_check: OpWindow,
+    /// `fault_tolerance` rolling window.
+    pub fault_tolerance: OpWindow,
+    /// `joint_check` rolling window.
+    pub joint_check: OpWindow,
+    /// `joint_tolerance` rolling window.
+    pub joint_tolerance: OpWindow,
+    /// `stats` rolling window.
+    pub stats: OpWindow,
+    /// `metrics` rolling window.
+    pub metrics: OpWindow,
+}
+
+/// One row of the `server.connections` top-N table (DESIGN.md §15):
+/// traffic and queue pressure attributed to a single connection — the
+/// data a fairness scheduler would act on.
+///
+/// `peer`, `bytes_out`, `queue_blocked_ns` and `queue_peak` are
+/// environment- or timing-dependent and masked by golden tests;
+/// `requests`, `ops` and `bytes_in` are deterministic replays of the
+/// submitted workload.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct ConnectionInfo {
+    /// Session-unique connection id (1-based, accept order).
+    pub id: u64,
+    /// Peer address (`"stdio"` for the stdin front end).
+    pub peer: String,
+    /// Whether the connection is still open.
+    pub open: bool,
+    /// Requests this connection submitted (including invalid frames).
+    pub requests: u64,
+    /// Those requests broken down by operation.
+    pub ops: OpCounts,
+    /// Request bytes read from the connection (newlines included).
+    pub bytes_in: u64,
+    /// Response bytes written to the connection (newlines included).
+    pub bytes_out: u64,
+    /// Cumulative nanoseconds this connection's reader spent blocked on
+    /// the bounded queue (backpressure actually applied to this peer).
+    pub queue_blocked_ns: u64,
+    /// Most requests this connection ever had in the queue at once —
+    /// its contribution to `queue_high_water`.
+    pub queue_peak: u64,
 }
 
 /// The operator metrics surface of a serving front end (DESIGN.md §13),
@@ -170,8 +265,12 @@ pub struct ServerStats {
     /// Requests currently being handled by a worker (a `stats` request
     /// counts itself, so a quiet single-worker session reports 1).
     pub requests_in_flight: u64,
-    /// `requests_total` per second of uptime.
+    /// `requests_total` per second of uptime (lifetime average).
     pub qps: f64,
+    /// Requests per second over the trailing 10 seconds.
+    pub qps_10s: f64,
+    /// Requests per second over the trailing 60 seconds.
+    pub qps_60s: f64,
     /// Requests queued but not yet claimed by a worker, sampled when the
     /// `stats` request was handled.
     pub queue_depth: u64,
@@ -188,7 +287,17 @@ pub struct ServerStats {
     pub ops: OpCounts,
     /// Per-operation request latency summaries.
     pub latency: LatencyStats,
+    /// Per-operation rolling 10-second windows.
+    pub window: WindowStats,
+    /// Top connections by request count (at most
+    /// [`CONNECTION_TABLE_ROWS`] rows, busiest first, ties by id).
+    pub connections: Vec<ConnectionInfo>,
 }
+
+/// Row cap of the `server.connections` table: enough to see every
+/// client of a test or bench run, bounded so a server hammered by churn
+/// cannot grow its `stats` response without limit.
+pub const CONNECTION_TABLE_ROWS: usize = 8;
 
 #[cfg(test)]
 mod tests {
@@ -246,6 +355,8 @@ mod tests {
             requests_total: 12,
             requests_in_flight: 1,
             qps: 8.0,
+            qps_10s: 1.5,
+            qps_60s: 0.25,
             queue_depth: 0,
             queue_high_water: 3,
             queue_capacity: 1024,
@@ -263,14 +374,59 @@ mod tests {
                     p90_ns: 8191,
                     p99_ns: 8191,
                 },
+                phases: PhaseLatencyStats {
+                    queue: OpLatency {
+                        count: 12,
+                        p50_ns: 1023,
+                        p90_ns: 2047,
+                        p99_ns: 2047,
+                    },
+                    ..PhaseLatencyStats::default()
+                },
                 ..LatencyStats::default()
             },
+            window: WindowStats {
+                check: OpWindow {
+                    count_10s: 4,
+                    p50_10s_ns: 4095,
+                    p99_10s_ns: 8191,
+                },
+                ..WindowStats::default()
+            },
+            connections: vec![ConnectionInfo {
+                id: 1,
+                peer: "127.0.0.1:55110".to_string(),
+                open: true,
+                requests: 12,
+                ops: OpCounts {
+                    check: 11,
+                    stats: 1,
+                    ..OpCounts::default()
+                },
+                bytes_in: 640,
+                bytes_out: 981,
+                queue_blocked_ns: 1200,
+                queue_peak: 3,
+            }],
         };
         let json = serde_json::to_string(&s).unwrap();
         assert!(json.contains("\"queue_high_water\":3"), "{json}");
+        assert!(json.contains("\"qps_10s\":1.5"), "{json}");
         assert!(json.contains("\"ops\":{\"check\":11"), "{json}");
         assert!(
             json.contains("\"latency\":{\"check\":{\"count\":11,\"p50_ns\":4095"),
+            "{json}"
+        );
+        assert!(
+            json.contains("\"phases\":{\"queue\":{\"count\":12,\"p50_ns\":1023"),
+            "{json}"
+        );
+        assert!(
+            json.contains("\"window\":{\"check\":{\"count_10s\":4,\"p50_10s_ns\":4095"),
+            "{json}"
+        );
+        assert!(
+            json.contains("\"connections\":[{\"id\":1,\"peer\":\"127.0.0.1:55110\",\"open\":true"),
             "{json}"
         );
         let back: ServerStats = serde_json::from_str(&json).unwrap();

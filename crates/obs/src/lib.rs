@@ -19,6 +19,14 @@
 //!   from the bucket upper bounds, never stored, so recording stays one
 //!   increment. [`render_prometheus`] turns a set of histograms into
 //!   Prometheus text exposition for the `metrics` JSONL op.
+//! * [`window`] — rolling request-rate and latency windows: a fixed
+//!   ring of per-second [`Histogram`] buckets (no allocation, monotonic
+//!   seconds as the index) behind the `qps_10s`/`qps_60s` and windowed
+//!   p50/p99 fields of the `stats` op (DESIGN.md §15).
+//! * [`traceout`] — a streaming Chrome trace-event (catapult) JSON
+//!   writer for `--trace-out`: request phases and pipeline spans as
+//!   complete events on per-connection and per-thread lanes, loadable
+//!   in Perfetto (DESIGN.md §15).
 //!
 //! Everything is deterministic except the clocks themselves: bucket
 //! counts are exact integers, merges are associative (saturating
@@ -27,7 +35,11 @@
 pub mod hist;
 pub mod log;
 pub mod span;
+pub mod traceout;
+pub mod window;
 
 pub use hist::{render_prometheus, Histogram, HistogramSummary, BUCKETS};
 pub use log::{log, set_level, FieldValue, Level};
 pub use span::{global_registry, Registry, Span};
+pub use traceout::{install_global, thread_lane, Lane, TraceWriter};
+pub use window::{RateWindow, WINDOW_SECONDS};

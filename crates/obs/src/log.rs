@@ -158,7 +158,9 @@ impl From<String> for FieldValue {
 }
 
 /// Appends `text` JSON-string-escaped (without surrounding quotes).
-fn escape_into(out: &mut String, text: &str) {
+/// Shared with the trace-event writer, which emits the same hand-built
+/// JSON for the same dependency-free reason.
+pub(crate) fn escape_into(out: &mut String, text: &str) {
     for c in text.chars() {
         match c {
             '"' => out.push_str("\\\""),

@@ -125,6 +125,16 @@ impl Drop for Span {
             }
         });
         global_registry().record(self.op, ns);
+        if let Some(trace) = crate::traceout::global() {
+            trace.complete_event(
+                self.op,
+                "span",
+                crate::traceout::Lane::span(),
+                trace.offset_us(self.start),
+                ns / 1_000,
+                &[],
+            );
+        }
     }
 }
 

@@ -1,0 +1,365 @@
+//! Exportable trace timelines in Chrome trace-event (catapult) JSON
+//! (DESIGN.md §15).
+//!
+//! A [`TraceWriter`] streams an array of *complete* (`"ph":"X"`) events
+//! to any sink — `serve --trace-out <path>` points it at a file that
+//! `chrome://tracing` and [Perfetto](https://ui.perfetto.dev) load
+//! directly. Each event carries microsecond `ts`/`dur` offsets from the
+//! writer's creation instant, so every producer in the process shares
+//! one time base and the phases of a single request nest visually.
+//!
+//! Lane conventions (what the viewer shows as process/thread rows):
+//!
+//! * `pid 1` — request lifecycle. `tid` is the connection id, so each
+//!   client connection gets its own row and the `queue` → `service` →
+//!   `sequence` → `write` phases of one request line up end to end.
+//! * `pid 2` — engine pipeline spans ([`crate::Span`]). `tid` is a
+//!   per-thread lane ([`thread_lane`]) so concurrent workers do not
+//!   overlap on one row.
+//!
+//! The JSON array is comma-managed as events stream out and closed by
+//! [`TraceWriter::finish`] (idempotent; also run on drop), so the file
+//! is valid JSON the moment the server exits. Writers install globally
+//! via [`install_global`]; producers that find no writer pay one atomic
+//! load and move on.
+
+use std::fs::File;
+use std::io::{self, BufWriter, Write};
+use std::path::Path;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+use std::time::Instant;
+
+use crate::log::{escape_into, FieldValue};
+
+/// One trace-event argument; rendered into the event's `args` object.
+/// Reuses the logger's [`FieldValue`] scalars so call sites share the
+/// same `("key", value.into())` shape as structured logging.
+pub type TraceArg = FieldValue;
+
+/// A viewer row in the trace: Chrome trace viewers group events by
+/// `pid`, then draw one horizontal row per `tid` within it (see the
+/// module docs for the lane conventions).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Lane {
+    /// Row group (`1` = request lifecycle, `2` = engine spans).
+    pub pid: u64,
+    /// Row within the group: a connection id (requests) or a worker
+    /// thread lane (spans).
+    pub tid: u64,
+}
+
+impl Lane {
+    /// The request-lifecycle row of connection `conn`.
+    #[must_use]
+    pub fn request(conn: u64) -> Lane {
+        Lane { pid: 1, tid: conn }
+    }
+
+    /// This thread's engine-span row.
+    #[must_use]
+    pub fn span() -> Lane {
+        Lane {
+            pid: 2,
+            tid: thread_lane(),
+        }
+    }
+}
+
+struct Inner {
+    sink: Box<dyn Write + Send>,
+    wrote_event: bool,
+    finished: bool,
+}
+
+impl std::fmt::Debug for Inner {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Inner")
+            .field("wrote_event", &self.wrote_event)
+            .field("finished", &self.finished)
+            .finish_non_exhaustive()
+    }
+}
+
+/// A streaming Chrome trace-event JSON writer.
+#[derive(Debug)]
+pub struct TraceWriter {
+    base: Instant,
+    inner: Mutex<Inner>,
+}
+
+impl TraceWriter {
+    /// Wraps `sink`, writing the opening `[` immediately so even an
+    /// eventless trace closes to valid JSON.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the header write failure.
+    pub fn new(mut sink: Box<dyn Write + Send>) -> io::Result<TraceWriter> {
+        sink.write_all(b"[")?;
+        Ok(TraceWriter {
+            base: Instant::now(),
+            inner: Mutex::new(Inner {
+                sink,
+                wrote_event: false,
+                finished: false,
+            }),
+        })
+    }
+
+    /// Creates (truncating) `path` and streams the trace there through
+    /// a buffered writer.
+    ///
+    /// # Errors
+    ///
+    /// Propagates file creation and header write failures.
+    pub fn to_file(path: &Path) -> io::Result<TraceWriter> {
+        let file = File::create(path)?;
+        TraceWriter::new(Box::new(BufWriter::new(file)))
+    }
+
+    /// Microseconds from the writer's time base to `at` (zero if `at`
+    /// predates the base — e.g. a request enqueued before `--trace-out`
+    /// finished installing).
+    #[must_use]
+    pub fn offset_us(&self, at: Instant) -> u64 {
+        u64::try_from(at.saturating_duration_since(self.base).as_micros()).unwrap_or(u64::MAX)
+    }
+
+    /// Appends one complete (`"ph":"X"`) event. Events arriving after
+    /// [`finish`](TraceWriter::finish) are dropped silently — shutdown
+    /// races a final in-flight span, and losing that one tail event
+    /// beats corrupting the file.
+    pub fn complete_event(
+        &self,
+        name: &str,
+        cat: &str,
+        lane: Lane,
+        ts_us: u64,
+        dur_us: u64,
+        args: &[(&str, TraceArg)],
+    ) {
+        let mut body = String::with_capacity(128);
+        body.push_str("\n{\"name\":\"");
+        escape_into(&mut body, name);
+        body.push_str("\",\"cat\":\"");
+        escape_into(&mut body, cat);
+        body.push_str("\",\"ph\":\"X\"");
+        use std::fmt::Write as _;
+        let _ = write!(
+            body,
+            ",\"ts\":{ts_us},\"dur\":{dur_us},\"pid\":{pid},\"tid\":{tid}",
+            pid = lane.pid,
+            tid = lane.tid,
+        );
+        if !args.is_empty() {
+            body.push_str(",\"args\":{");
+            for (i, (key, value)) in args.iter().enumerate() {
+                if i > 0 {
+                    body.push(',');
+                }
+                body.push('"');
+                escape_into(&mut body, key);
+                body.push_str("\":");
+                match value {
+                    FieldValue::Bool(v) => {
+                        let _ = write!(body, "{v}");
+                    }
+                    FieldValue::U64(v) => {
+                        let _ = write!(body, "{v}");
+                    }
+                    FieldValue::I64(v) => {
+                        let _ = write!(body, "{v}");
+                    }
+                    FieldValue::F64(v) => {
+                        if v.is_finite() {
+                            let _ = write!(body, "{v}");
+                        } else {
+                            body.push_str("null");
+                        }
+                    }
+                    FieldValue::Str(v) => {
+                        body.push('"');
+                        escape_into(&mut body, v);
+                        body.push('"');
+                    }
+                }
+            }
+            body.push('}');
+        }
+        body.push('}');
+
+        let mut inner = self.inner.lock().expect("trace writer lock poisoned");
+        if inner.finished {
+            return;
+        }
+        let comma = inner.wrote_event;
+        inner.wrote_event = true;
+        if comma {
+            let _ = inner.sink.write_all(b",");
+        }
+        let _ = inner.sink.write_all(body.as_bytes());
+    }
+
+    /// Closes the JSON array and flushes. Idempotent; later calls (and
+    /// the drop-time call) are no-ops.
+    pub fn finish(&self) {
+        let mut inner = self.inner.lock().expect("trace writer lock poisoned");
+        if inner.finished {
+            return;
+        }
+        inner.finished = true;
+        let _ = inner.sink.write_all(b"\n]\n");
+        let _ = inner.sink.flush();
+    }
+}
+
+impl Drop for TraceWriter {
+    fn drop(&mut self) {
+        self.finish();
+    }
+}
+
+static GLOBAL: OnceLock<Arc<TraceWriter>> = OnceLock::new();
+
+/// Installs the process-global trace writer fed by [`crate::Span`]
+/// exits and the serving stack. First caller wins; returns whether this
+/// writer was installed.
+pub fn install_global(writer: Arc<TraceWriter>) -> bool {
+    GLOBAL.set(writer).is_ok()
+}
+
+/// The installed global trace writer, if any.
+#[must_use]
+pub fn global() -> Option<Arc<TraceWriter>> {
+    GLOBAL.get().cloned()
+}
+
+static NEXT_LANE: AtomicU64 = AtomicU64::new(1);
+
+thread_local! {
+    static LANE: u64 = NEXT_LANE.fetch_add(1, Ordering::Relaxed);
+}
+
+/// This thread's stable trace lane (the `tid` for pipeline-span
+/// events). Assigned on first use, in thread-first-emission order.
+#[must_use]
+pub fn thread_lane() -> u64 {
+    LANE.with(|lane| *lane)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::mpsc;
+
+    /// A sink that hands every write to a channel so tests can inspect
+    /// the byte stream without files.
+    struct ChannelSink(mpsc::Sender<Vec<u8>>);
+
+    impl Write for ChannelSink {
+        fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+            let _ = self.0.send(buf.to_vec());
+            Ok(buf.len())
+        }
+
+        fn flush(&mut self) -> io::Result<()> {
+            Ok(())
+        }
+    }
+
+    fn collected(rx: &mpsc::Receiver<Vec<u8>>) -> String {
+        let mut bytes = Vec::new();
+        while let Ok(chunk) = rx.try_recv() {
+            bytes.extend_from_slice(&chunk);
+        }
+        String::from_utf8(bytes).expect("trace output is UTF-8")
+    }
+
+    #[test]
+    fn events_stream_as_a_comma_managed_json_array() {
+        let (tx, rx) = mpsc::channel();
+        let writer = TraceWriter::new(Box::new(ChannelSink(tx))).expect("header");
+        writer.complete_event(
+            "queue",
+            "request",
+            Lane::request(3),
+            10,
+            5,
+            &[("op", "check".into()), ("id", 7u64.into())],
+        );
+        writer.complete_event("service", "request", Lane::request(3), 15, 20, &[]);
+        writer.finish();
+        writer.finish(); // idempotent
+        let text = collected(&rx);
+        assert!(text.starts_with('['), "{text}");
+        assert!(text.trim_end().ends_with(']'), "{text}");
+        assert_eq!(text.matches("\"ph\":\"X\"").count(), 2);
+        assert!(
+            text.contains(
+                "{\"name\":\"queue\",\"cat\":\"request\",\"ph\":\"X\",\
+                 \"ts\":10,\"dur\":5,\"pid\":1,\"tid\":3,\
+                 \"args\":{\"op\":\"check\",\"id\":7}}"
+            ),
+            "{text}"
+        );
+        // Exactly one comma between the two events, none dangling.
+        assert_eq!(text.matches("},\n{").count(), 1, "{text}");
+    }
+
+    #[test]
+    fn empty_traces_close_to_an_empty_array() {
+        let (tx, rx) = mpsc::channel();
+        let writer = TraceWriter::new(Box::new(ChannelSink(tx))).expect("header");
+        drop(writer); // drop runs finish
+        let text = collected(&rx);
+        assert_eq!(text, "[\n]\n", "{text}");
+    }
+
+    #[test]
+    fn events_after_finish_are_dropped() {
+        let (tx, rx) = mpsc::channel();
+        let writer = TraceWriter::new(Box::new(ChannelSink(tx))).expect("header");
+        writer.finish();
+        writer.complete_event("late", "request", Lane::request(1), 0, 0, &[]);
+        let text = collected(&rx);
+        assert!(!text.contains("late"), "{text}");
+    }
+
+    #[test]
+    fn names_and_args_escape_into_valid_json_strings() {
+        let (tx, rx) = mpsc::channel();
+        let writer = TraceWriter::new(Box::new(ChannelSink(tx))).expect("header");
+        writer.complete_event(
+            "odd\"name",
+            "c",
+            Lane::request(1),
+            0,
+            1,
+            &[("peer", "127.0.0.1:80\n".into())],
+        );
+        writer.finish();
+        let text = collected(&rx);
+        assert!(text.contains("odd\\\"name"), "{text}");
+        assert!(text.contains("127.0.0.1:80\\n"), "{text}");
+    }
+
+    #[test]
+    fn offsets_clamp_before_the_base_instant() {
+        let (tx, _rx) = mpsc::channel();
+        let earlier = Instant::now();
+        let writer = TraceWriter::new(Box::new(ChannelSink(tx))).expect("header");
+        assert_eq!(writer.offset_us(earlier), 0);
+        let later = Instant::now();
+        // A later instant offsets forward monotonically.
+        assert!(writer.offset_us(later) <= writer.offset_us(Instant::now()));
+    }
+
+    #[test]
+    fn thread_lanes_are_stable_per_thread_and_distinct_across() {
+        let here = thread_lane();
+        assert_eq!(here, thread_lane());
+        let there = std::thread::spawn(thread_lane).join().expect("join");
+        assert_ne!(here, there);
+    }
+}

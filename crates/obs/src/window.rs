@@ -1,0 +1,205 @@
+//! Windowed rates: a fixed ring of per-second buckets (DESIGN.md §15).
+//!
+//! Lifetime-cumulative counters (`server.qps`, the latency histograms)
+//! answer "what happened since start", never "what is happening now".
+//! A [`RateWindow`] closes that gap without allocation: [`WINDOW_SECONDS`]
+//! pre-sized buckets, each holding the observation count and a
+//! log2-bucket [`Histogram`] for one absolute second of the session's
+//! monotonic clock. Recording indexes `second % WINDOW_SECONDS` and
+//! lazily resets a bucket the first time a new second lands in its slot
+//! (the rotate); reads merge the buckets covering the requested trailing
+//! window — merge work proportional to the window, never to the
+//! observation count.
+//!
+//! The caller supplies `now_s`, seconds elapsed on a monotonic clock of
+//! its choosing (the serving session uses seconds since
+//! `ServerMetrics::started`). Wall clocks must never drive the ring:
+//! a backwards step would resurrect expired buckets. Feeding a stale
+//! `now_s` (time moving backwards) is tolerated — the observation lands
+//! in its old bucket if that second is still resident, and is dropped
+//! otherwise — so a racy read of a monotonic clock stays safe.
+
+use crate::hist::Histogram;
+
+/// Ring size in seconds: the 60 s window plus slack so a read at
+/// `now_s` never collides with the bucket a concurrent writer is about
+/// to recycle.
+pub const WINDOW_SECONDS: usize = 64;
+
+/// One second of observations.
+#[derive(Debug, Clone, Copy)]
+struct Bucket {
+    /// The absolute second this slot currently holds (`u64::MAX` when
+    /// the slot was never written).
+    second: u64,
+    hist: Histogram,
+}
+
+impl Default for Bucket {
+    fn default() -> Self {
+        Bucket {
+            second: u64::MAX,
+            hist: Histogram::default(),
+        }
+    }
+}
+
+/// A rolling window of per-second observation buckets.
+#[derive(Debug, Clone)]
+pub struct RateWindow {
+    buckets: [Bucket; WINDOW_SECONDS],
+}
+
+impl Default for RateWindow {
+    fn default() -> Self {
+        RateWindow {
+            buckets: [Bucket::default(); WINDOW_SECONDS],
+        }
+    }
+}
+
+impl RateWindow {
+    /// An empty window.
+    #[must_use]
+    pub fn new() -> Self {
+        RateWindow::default()
+    }
+
+    /// Records one observation at monotonic second `now_s`, rotating
+    /// the slot if it still holds an older second. Observations for a
+    /// second that already left the ring (a stale `now_s`) are dropped.
+    pub fn record(&mut self, now_s: u64, value_ns: u64) {
+        let slot = &mut self.buckets[(now_s as usize) % WINDOW_SECONDS];
+        if slot.second != now_s {
+            // A stale second that lost its slot to a newer one: drop.
+            if slot.second != u64::MAX && slot.second > now_s {
+                return;
+            }
+            slot.second = now_s;
+            slot.hist = Histogram::default();
+        }
+        slot.hist.record_ns(value_ns);
+    }
+
+    /// Observations recorded in the trailing `window_s` seconds
+    /// (`now_s - window_s + 1 ..= now_s`, the current partial second
+    /// included).
+    #[must_use]
+    pub fn count_last(&self, now_s: u64, window_s: u64) -> u64 {
+        self.fold_last(now_s, window_s, 0u64, |acc, hist| {
+            acc.saturating_add(hist.count())
+        })
+    }
+
+    /// The merge of every bucket in the trailing `window_s` seconds —
+    /// the histogram behind windowed percentiles.
+    #[must_use]
+    pub fn merged_last(&self, now_s: u64, window_s: u64) -> Histogram {
+        self.fold_last(now_s, window_s, Histogram::default(), |mut acc, hist| {
+            acc.merge(hist);
+            acc
+        })
+    }
+
+    /// Mean observations per second over the trailing `window_s`
+    /// seconds. The divisor is the full window, so the rate reads low
+    /// during the first `window_s` seconds of a session — a deliberate
+    /// "cold start reads quiet" convention.
+    #[must_use]
+    pub fn rate_last(&self, now_s: u64, window_s: u64) -> f64 {
+        if window_s == 0 {
+            return 0.0;
+        }
+        self.count_last(now_s, window_s) as f64 / window_s as f64
+    }
+
+    fn fold_last<A>(
+        &self,
+        now_s: u64,
+        window_s: u64,
+        init: A,
+        f: impl Fn(A, &Histogram) -> A,
+    ) -> A {
+        let window_s = window_s.min(WINDOW_SECONDS as u64);
+        let oldest = now_s.saturating_sub(window_s.saturating_sub(1));
+        self.buckets
+            .iter()
+            .filter(|b| b.second != u64::MAX && oldest <= b.second && b.second <= now_s)
+            .fold(init, |acc, b| f(acc, &b.hist))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counts_cover_exactly_the_trailing_window() {
+        let mut w = RateWindow::new();
+        for s in 0..20u64 {
+            w.record(s, 100);
+            w.record(s, 200);
+        }
+        // At second 19: the last 10 seconds are 10..=19, two each.
+        assert_eq!(w.count_last(19, 10), 20);
+        assert_eq!(w.count_last(19, 1), 2);
+        // The full ring still holds all 20 seconds.
+        assert_eq!(w.count_last(19, 60), 40);
+        assert!((w.rate_last(19, 10) - 2.0).abs() < 1e-12);
+        // A quiet stretch ages everything out of the 10 s window.
+        assert_eq!(w.count_last(40, 10), 0);
+        assert_eq!(w.rate_last(40, 10), 0.0);
+    }
+
+    #[test]
+    fn rotation_recycles_slots_after_window_seconds() {
+        let mut w = RateWindow::new();
+        w.record(3, 7);
+        assert_eq!(w.count_last(3, 1), 1);
+        // The same slot, one full ring later: the old second must be
+        // gone, replaced by the new one.
+        let later = 3 + WINDOW_SECONDS as u64;
+        w.record(later, 9);
+        assert_eq!(w.count_last(later, 1), 1);
+        assert_eq!(w.count_last(later, WINDOW_SECONDS as u64), 1);
+    }
+
+    #[test]
+    fn merged_percentiles_track_only_live_buckets() {
+        let mut w = RateWindow::new();
+        // A slow second that will expire, then fast traffic.
+        w.record(0, 1 << 30);
+        for s in 20..30u64 {
+            w.record(s, 1000);
+        }
+        let recent = w.merged_last(29, 10);
+        assert_eq!(recent.count(), 10);
+        assert!(recent.percentile(0.99) < 10_000);
+        // A whole-ring read still sees the slow outlier.
+        let all = w.merged_last(29, WINDOW_SECONDS as u64);
+        assert_eq!(all.count(), 11);
+        assert!(all.percentile(0.99) >= 1 << 30);
+    }
+
+    #[test]
+    fn stale_seconds_never_clobber_newer_buckets() {
+        let mut w = RateWindow::new();
+        let newer = 5 + WINDOW_SECONDS as u64;
+        w.record(newer, 1);
+        // Second 5 maps to the same slot but is older: dropped.
+        w.record(5, 2);
+        assert_eq!(w.count_last(newer, 1), 1);
+        // A stale record whose second is still resident lands normally.
+        w.record(newer - 1, 3);
+        w.record(newer, 4);
+        assert_eq!(w.count_last(newer, 2), 3);
+    }
+
+    #[test]
+    fn windows_wider_than_the_ring_clamp() {
+        let mut w = RateWindow::new();
+        w.record(1, 10);
+        assert_eq!(w.count_last(1, 10_000), 1);
+        assert_eq!(w.rate_last(1, 0), 0.0);
+    }
+}

@@ -42,14 +42,21 @@ use std::io::{Read, Write};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
-use fannet_engine::protocol::{self, Response};
+use fannet_engine::protocol::{self, RequestTimeline, Response};
 use fannet_engine::Engine;
+use fannet_obs::TraceWriter;
 
 use crate::frame::{Frame, FramedLineReader, DEFAULT_MAX_LINE_BYTES};
-use crate::metrics::ServerMetrics;
+use crate::metrics::{ConnStats, ServerMetrics};
 use crate::queue::BoundedQueue;
+
+/// Saturating nanoseconds from `from` to `to` (zero if time appears to
+/// run backwards across threads).
+fn ns_between(from: Instant, to: Instant) -> u64 {
+    u64::try_from(to.saturating_duration_since(from).as_nanos()).unwrap_or(u64::MAX)
+}
 
 /// Default bound of the request queue (`--queue-capacity`).
 pub const DEFAULT_QUEUE_CAPACITY: usize = 256;
@@ -67,6 +74,10 @@ pub struct SessionConfig {
     /// full cost trace, through the structured logger
     /// (`--slow-query-ms`, DESIGN.md §14). `None` disables the log.
     pub slow_query_ms: Option<u64>,
+    /// Stream every request's lifecycle phases (and, via the global
+    /// hook, the engine's pipeline spans) to this Chrome trace-event
+    /// writer (`--trace-out`, DESIGN.md §15). `None` disables export.
+    pub trace_out: Option<Arc<TraceWriter>>,
 }
 
 impl SessionConfig {
@@ -87,6 +98,7 @@ impl Default for SessionConfig {
             queue_capacity: DEFAULT_QUEUE_CAPACITY,
             max_line_bytes: DEFAULT_MAX_LINE_BYTES,
             slow_query_ms: None,
+            trace_out: None,
         }
     }
 }
@@ -106,6 +118,9 @@ pub(crate) struct Shared {
     pub(crate) idle: Condvar,
     pub(crate) max_line_bytes: usize,
     pub(crate) slow_query_ms: Option<u64>,
+    /// The Chrome trace-event writer request phases stream to
+    /// (`--trace-out`); `None` when export is off.
+    pub(crate) trace: Option<Arc<TraceWriter>>,
 }
 
 /// Submission/completion accounting for the drain barrier.
@@ -121,20 +136,48 @@ pub(crate) struct Job {
     pub(crate) conn: Arc<Connection>,
     pub(crate) seq: u64,
     pub(crate) frame: Frame,
+    /// When the reader enqueued the frame — the zero point of the
+    /// request's lifecycle phases (DESIGN.md §15).
+    pub(crate) enqueued: Instant,
+}
+
+/// Lifecycle stamps a completed response carries into the sequencer:
+/// everything needed to finish the phase breakdown once the write
+/// actually happens.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct RequestMeta {
+    op: &'static str,
+    id: Option<u64>,
+    enqueued: Instant,
+    queue_ns: u64,
+    service_ns: u64,
+    /// When the worker handed the response to the sequencer; park →
+    /// write-start is the `sequence` phase.
+    parked: Instant,
 }
 
 /// The write side of one client connection, with its response sequencer.
 #[derive(Debug)]
 pub struct Connection {
     next_seq: AtomicU64,
+    /// This connection's row of the accounting table; readers, workers
+    /// and the sequencer all stamp it.
+    pub(crate) stats: Arc<ConnStats>,
     out: Mutex<OutState>,
+}
+
+/// One parked completion: the rendered line plus its lifecycle stamps.
+#[derive(Debug)]
+struct Pending {
+    line: String,
+    meta: RequestMeta,
 }
 
 struct OutState {
     /// Sequence number the next written response must carry.
     next: u64,
     /// Completions that arrived ahead of an earlier, still-running job.
-    pending: BTreeMap<u64, String>,
+    pending: BTreeMap<u64, Pending>,
     /// `None` once a write failed — the client is gone; later responses
     /// are sequenced (for the drain accounting) but discarded.
     writer: Option<Box<dyn Write + Send>>,
@@ -152,9 +195,10 @@ impl std::fmt::Debug for OutState {
 }
 
 impl Connection {
-    fn new(writer: Box<dyn Write + Send>) -> Self {
+    fn new(stats: Arc<ConnStats>, writer: Box<dyn Write + Send>) -> Self {
         Connection {
             next_seq: AtomicU64::new(0),
+            stats,
             out: Mutex::new(OutState {
                 next: 0,
                 pending: BTreeMap::new(),
@@ -165,26 +209,102 @@ impl Connection {
 
     /// Hands a completed response line to the sequencer: it is written
     /// immediately if every earlier response went out, parked otherwise.
-    fn complete(&self, seq: u64, line: String) {
+    ///
+    /// This is also where each written request's phase breakdown is
+    /// finalized. The queue/service/sequence phases are recorded
+    /// *before* the physical write — so by the time a client can read a
+    /// response, its phases are in the histograms (the exact-count
+    /// invariant the concurrency tests assert) — while the write phase,
+    /// the timeline ring entry and the trace-event rows land right
+    /// after the write returns.
+    fn complete(&self, shared: &Shared, seq: u64, line: String, meta: RequestMeta) {
         let mut out = self.out.lock().expect("connection lock poisoned");
-        out.pending.insert(seq, line);
+        out.pending.insert(seq, Pending { line, meta });
         loop {
             let next = out.next;
-            let Some(line) = out.pending.remove(&next) else {
+            let Some(Pending { line, meta }) = out.pending.remove(&next) else {
                 break;
             };
             out.next += 1;
+            let write_start = Instant::now();
+            let sequence_ns = ns_between(meta.parked, write_start);
+            shared
+                .metrics
+                .record_phases(meta.queue_ns, meta.service_ns, sequence_ns);
+            let mut wrote = false;
             if let Some(writer) = out.writer.as_mut() {
-                let wrote = writer
+                let result = writer
                     .write_all(line.as_bytes())
                     .and_then(|()| writer.write_all(b"\n"))
                     .and_then(|()| writer.flush());
-                if wrote.is_err() {
+                if result.is_err() {
                     // Dead client: contain it, keep the session alive.
                     out.writer = None;
+                } else {
+                    wrote = true;
                 }
             }
+            let write_ns = ns_between(write_start, Instant::now());
+            let wall_ns = ns_between(meta.enqueued, Instant::now());
+            shared.metrics.record_write_phase(write_ns);
+            if wrote {
+                self.stats.add_bytes_out(line.len() as u64 + 1);
+            }
+            shared.metrics.record_timeline(RequestTimeline {
+                conn: self.stats.id,
+                id: meta.id,
+                op: meta.op,
+                queue_ns: meta.queue_ns,
+                service_ns: meta.service_ns,
+                sequence_ns,
+                write_ns,
+                wall_ns,
+            });
+            if let Some(trace) = &shared.trace {
+                self.emit_trace_events(trace, &meta, sequence_ns, write_ns);
+            }
         }
+    }
+
+    /// Emits one complete event per lifecycle phase onto this
+    /// connection's lane (`pid` 1, `tid` = connection id), so the four
+    /// phases of a request line up end to end in Perfetto.
+    fn emit_trace_events(
+        &self,
+        trace: &TraceWriter,
+        meta: &RequestMeta,
+        sequence_ns: u64,
+        write_ns: u64,
+    ) {
+        let mut args: Vec<(&str, fannet_obs::FieldValue)> =
+            vec![("conn", self.stats.id.into()), ("op", meta.op.into())];
+        if let Some(id) = meta.id {
+            args.push(("id", id.into()));
+        }
+        let queue_ts = trace.offset_us(meta.enqueued);
+        let queue_us = meta.queue_ns / 1_000;
+        let service_us = meta.service_ns / 1_000;
+        let park_ts = trace.offset_us(meta.parked);
+        let sequence_us = sequence_ns / 1_000;
+        let lane = fannet_obs::Lane::request(self.stats.id);
+        trace.complete_event("queue", "request", lane, queue_ts, queue_us, &args);
+        trace.complete_event(
+            "service",
+            "request",
+            lane,
+            queue_ts + queue_us,
+            service_us,
+            &args,
+        );
+        trace.complete_event("sequence", "request", lane, park_ts, sequence_us, &args);
+        trace.complete_event(
+            "write",
+            "request",
+            lane,
+            park_ts + sequence_us,
+            write_ns / 1_000,
+            &args,
+        );
     }
 }
 
@@ -208,6 +328,7 @@ impl Session {
             idle: Condvar::new(),
             max_line_bytes: config.max_line_bytes,
             slow_query_ms: config.slow_query_ms,
+            trace: config.trace_out.clone(),
         });
         let workers = (0..config.workers.max(1))
             .map(|_| {
@@ -218,17 +339,18 @@ impl Session {
         Session { shared, workers }
     }
 
-    /// Registers a new client connection writing responses to `writer`.
+    /// Registers a new client connection writing responses to `writer`,
+    /// identified as `peer` in the accounting table and lifecycle logs
+    /// (`"stdio"` for the stdin front end, the socket address for TCP).
     #[must_use]
-    pub fn open_connection(&self, writer: Box<dyn Write + Send>) -> Arc<Connection> {
-        self.shared.metrics.connection_opened();
-        Arc::new(Connection::new(writer))
+    pub fn open_connection(&self, peer: &str, writer: Box<dyn Write + Send>) -> Arc<Connection> {
+        open_connection(&self.shared, peer, writer)
     }
 
     /// Records `conn`'s reader ending (EOF, error, or drain). In-flight
     /// requests of the connection still complete and still write.
-    pub fn close_connection(&self, _conn: &Arc<Connection>) {
-        self.shared.metrics.connection_closed();
+    pub fn close_connection(&self, conn: &Arc<Connection>) {
+        close_connection(&self.shared, conn);
     }
 
     /// Reads `input` to EOF (or until shutdown), submitting one job per
@@ -274,6 +396,49 @@ impl Session {
     }
 }
 
+/// Registers a connection against `shared`: one [`ConnStats`] row, one
+/// structured accept record (DESIGN.md §15).
+pub(crate) fn open_connection(
+    shared: &Arc<Shared>,
+    peer: &str,
+    writer: Box<dyn Write + Send>,
+) -> Arc<Connection> {
+    let stats = shared.metrics.register_connection(peer);
+    fannet_obs::log::info(
+        "fannet_server::connection",
+        "connection opened",
+        &[
+            ("conn", stats.id.into()),
+            ("peer", stats.peer.as_str().into()),
+        ],
+    );
+    Arc::new(Connection::new(stats, writer))
+}
+
+/// Marks `conn` closed (idempotently) and emits the structured close
+/// record: how long the connection lived, what it sent and received,
+/// and how long backpressure held its reader.
+pub(crate) fn close_connection(shared: &Shared, conn: &Connection) {
+    let stats = &conn.stats;
+    if !shared.metrics.close_connection(stats) {
+        return;
+    }
+    let duration_ms = u64::try_from(stats.opened.elapsed().as_millis()).unwrap_or(u64::MAX);
+    fannet_obs::log::info(
+        "fannet_server::connection",
+        "connection closed",
+        &[
+            ("conn", stats.id.into()),
+            ("peer", stats.peer.as_str().into()),
+            ("duration_ms", duration_ms.into()),
+            ("requests", stats.requests().into()),
+            ("bytes_in", stats.bytes_in_total().into()),
+            ("bytes_out", stats.bytes_out_total().into()),
+            ("queue_blocked_ns", stats.queue_blocked_total_ns().into()),
+        ],
+    );
+}
+
 /// The body of a TCP per-connection reader thread: read to EOF (or
 /// shutdown), then record the connection closed.
 pub(crate) fn run_connection_reader<R: Read>(
@@ -282,7 +447,7 @@ pub(crate) fn run_connection_reader<R: Read>(
     input: R,
 ) {
     run_reader(shared, conn, input);
-    shared.metrics.connection_closed();
+    close_connection(shared, conn);
 }
 
 /// The per-connection read loop: frame, filter blanks, submit.
@@ -313,9 +478,13 @@ fn run_reader<R: Read>(shared: &Arc<Shared>, conn: &Arc<Connection>, input: R) {
             conn: Arc::clone(conn),
             seq,
             frame,
+            enqueued: Instant::now(),
         };
+        conn.stats.enter_queue();
+        let push_start = Instant::now();
         if shared.queue.push(job).is_err() {
             // Queue closed mid-push: withdraw the submission.
+            conn.stats.leave_queue();
             shared
                 .progress
                 .lock()
@@ -324,15 +493,31 @@ fn run_reader<R: Read>(shared: &Arc<Shared>, conn: &Arc<Connection>, input: R) {
             shared.idle.notify_all();
             break;
         }
+        // Push time is backpressure actually applied to this peer —
+        // near zero when the queue had room, the full block otherwise.
+        conn.stats
+            .add_queue_blocked_ns(ns_between(push_start, Instant::now()));
     }
 }
 
 /// One worker: claim a job, answer it, sequence the response.
 fn worker_loop(shared: &Arc<Shared>) {
     while let Some(job) = shared.queue.pop() {
-        let line = process_frame(shared, &job.frame);
+        job.conn.stats.leave_queue();
+        let dispatched = Instant::now();
+        let queue_ns = ns_between(job.enqueued, dispatched);
+        let (line, op, id) = process_frame(shared, &job, queue_ns);
+        let service_ns = ns_between(dispatched, Instant::now());
         shared.metrics.end();
-        job.conn.complete(job.seq, line);
+        let meta = RequestMeta {
+            op,
+            id,
+            enqueued: job.enqueued,
+            queue_ns,
+            service_ns,
+            parked: Instant::now(),
+        };
+        job.conn.complete(shared, job.seq, line, meta);
         shared
             .progress
             .lock()
@@ -343,53 +528,77 @@ fn worker_loop(shared: &Arc<Shared>) {
 }
 
 /// Answers one frame; this is where requests are counted (dispatch
-/// time), timed into the latency histograms, checked against the
-/// slow-query threshold, and where a `stats` response gains its
-/// `server` block (a `metrics` response its request/tier families).
-fn process_frame(shared: &Shared, frame: &Frame) -> String {
-    let response = match frame {
-        Frame::Line(line) => match protocol::parse_request(line) {
-            Ok(request) => {
-                shared.metrics.begin(&request);
-                // Timing is always forced so the histograms and the
-                // slow-query log see every request; the response embeds
-                // the trace only when the client asked (`"trace":true`).
-                let start = std::time::Instant::now();
-                let (mut response, trace) = protocol::handle_traced(&shared.engine, &request, true);
-                let wall_ns = u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX);
-                let op = protocol::request_op(&request);
-                shared.metrics.record_latency(op, wall_ns);
-                if let Some(trace) = &trace {
-                    shared.metrics.record_tiers(trace);
+/// time, session-wide and per-connection), timed into the latency
+/// histograms, checked against the slow-query threshold, and where a
+/// `stats` response gains its `server` block (a `metrics` response its
+/// request/tier/phase families and `recent` timelines). Returns the
+/// rendered line plus the op name and request tag the sequencer stamps
+/// into the phase records (`"invalid"` for undecodable frames).
+fn process_frame(shared: &Shared, job: &Job, queue_ns: u64) -> (String, &'static str, Option<u64>) {
+    let conn_stats = &job.conn.stats;
+    let mut op: &'static str = "invalid";
+    let mut id: Option<u64> = None;
+    let response = match &job.frame {
+        Frame::Line(line) => {
+            // Bytes are attributed at dispatch, like the op counts, so
+            // the accounting a `stats` request observes under a single
+            // worker is deterministic.
+            conn_stats.add_bytes_in(line.len() as u64 + 1);
+            match protocol::parse_request(line) {
+                Ok(request) => {
+                    shared.metrics.begin(&request);
+                    conn_stats.count_request(&request);
+                    // Timing is always forced so the histograms and the
+                    // slow-query log see every request; the response embeds
+                    // the trace only when the client asked (`"trace":true`).
+                    let start = Instant::now();
+                    let (mut response, trace) =
+                        protocol::handle_traced(&shared.engine, &request, true);
+                    let wall_ns = u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX);
+                    op = protocol::request_op(&request);
+                    id = protocol::request_id(&request);
+                    shared.metrics.record_latency(op, wall_ns);
+                    if let Some(trace) = &trace {
+                        shared.metrics.record_tiers(trace);
+                    }
+                    log_if_slow(shared, op, &request, wall_ns, queue_ns, trace.as_ref());
+                    // The engine cannot see the serving queue; attribute
+                    // the wait here so a `"trace":true` client learns
+                    // where its request actually stalled.
+                    if let Some(embedded) = protocol::response_trace_mut(&mut response) {
+                        embedded.queue_ns = Some(queue_ns);
+                    }
+                    match &mut response {
+                        Response::Stats { server, .. } => {
+                            *server = Some(shared.metrics.snapshot(
+                                shared.queue.depth() as u64,
+                                shared.queue.high_water() as u64,
+                                shared.queue.capacity() as u64,
+                            ));
+                        }
+                        Response::Metrics { text, recent, .. } => {
+                            // Server families first, then whatever the bare
+                            // dispatch rendered (the process span registry).
+                            *text = format!("{}{}", shared.metrics.render_prometheus(), text);
+                            *recent = shared.metrics.recent_timelines();
+                        }
+                        Response::Shutdown { .. } => {
+                            shared.shutdown.store(true, Ordering::SeqCst);
+                        }
+                        _ => {}
+                    }
+                    response
                 }
-                log_if_slow(shared, op, &request, wall_ns, trace.as_ref());
-                match &mut response {
-                    Response::Stats { server, .. } => {
-                        *server = Some(shared.metrics.snapshot(
-                            shared.queue.depth() as u64,
-                            shared.queue.high_water() as u64,
-                            shared.queue.capacity() as u64,
-                        ));
-                    }
-                    Response::Metrics { text, .. } => {
-                        // Server families first, then whatever the bare
-                        // dispatch rendered (the process span registry).
-                        *text = format!("{}{}", shared.metrics.render_prometheus(), text);
-                    }
-                    Response::Shutdown { .. } => {
-                        shared.shutdown.store(true, Ordering::SeqCst);
-                    }
-                    _ => {}
+                Err(message) => {
+                    shared.metrics.begin_invalid();
+                    conn_stats.count_invalid();
+                    Response::Error { id: None, message }
                 }
-                response
             }
-            Err(message) => {
-                shared.metrics.begin_invalid();
-                Response::Error { id: None, message }
-            }
-        },
+        }
         Frame::TooLong { limit } => {
             shared.metrics.begin_invalid();
+            conn_stats.count_invalid();
             Response::Error {
                 id: None,
                 message: format!("line exceeds --max-line-bytes ({limit} bytes)"),
@@ -397,13 +606,14 @@ fn process_frame(shared: &Shared, frame: &Frame) -> String {
         }
         Frame::Invalid => {
             shared.metrics.begin_invalid();
+            conn_stats.count_invalid();
             Response::Error {
                 id: None,
                 message: "line is not valid UTF-8".to_string(),
             }
         }
     };
-    protocol::render_response(&response)
+    (protocol::render_response(&response), op, id)
 }
 
 /// Emits the slow-query record when `wall_ns` crosses the configured
@@ -414,6 +624,7 @@ fn log_if_slow(
     op: &'static str,
     request: &protocol::Request,
     wall_ns: u64,
+    queue_ns: u64,
     trace: Option<&protocol::QueryTrace>,
 ) {
     let Some(threshold_ms) = shared.slow_query_ms else {
@@ -425,6 +636,7 @@ fn log_if_slow(
     let mut fields: Vec<(&str, fannet_obs::FieldValue)> = vec![
         ("op", op.into()),
         ("wall_ns", wall_ns.into()),
+        ("queue_ns", queue_ns.into()),
         ("threshold_ms", threshold_ms.into()),
     ];
     if let Some(id) = protocol::request_id(request) {
@@ -455,7 +667,7 @@ where
     W: Write + Send + 'static,
 {
     let session = Session::new(engine, config);
-    let conn = session.open_connection(Box::new(output));
+    let conn = session.open_connection("stdio", Box::new(output));
     let reader_done = Arc::new((Mutex::new(false), Condvar::new()));
     {
         let shared = Arc::clone(&session.shared);
@@ -483,10 +695,10 @@ where
     // The connection's write side stays live until every queued request
     // has answered — close it after the drain, so a `stats` request
     // always observes `connections_open` = 1 regardless of how fast the
-    // input reached EOF.
+    // input reached EOF (and the close record reports final totals).
     let shared = Arc::clone(&session.shared);
     session.drain();
-    shared.metrics.connection_closed();
+    close_connection(&shared, &conn);
 }
 
 /// Convenience used by tests and callers that already hold raw lines:

@@ -63,7 +63,7 @@ pub fn serve_tcp<A: ToSocketAddrs>(
             break;
         }
         match listener.accept() {
-            Ok((stream, _peer)) => {
+            Ok((stream, peer)) => {
                 // The reader polls the shutdown flag on every timeout;
                 // the writer is an independent clone so responses flow
                 // while the reader blocks.
@@ -73,7 +73,7 @@ pub fn serve_tcp<A: ToSocketAddrs>(
                 let Ok(writer) = stream.try_clone() else {
                     continue;
                 };
-                let conn = session.open_connection(Box::new(writer));
+                let conn = session.open_connection(&peer.to_string(), Box::new(writer));
                 let shared = Arc::clone(&session.shared);
                 readers.push(std::thread::spawn(move || {
                     crate::session::run_connection_reader(&shared, &conn, stream);

@@ -122,6 +122,7 @@ fn garbage_frames_are_contained_per_line() {
         queue_capacity: 4,
         max_line_bytes: 64,
         slow_query_ms: None,
+        trace_out: None,
     };
     let mut input = String::new();
     input += "{\"op\":\"check\",\"id\":1,\"input\":[100,82],\"label\":0,\"delta\":2}\n";
@@ -183,9 +184,9 @@ impl Write for Sink {
 #[test]
 fn dead_connection_never_kills_the_session() {
     let session = Session::new(engine(), &SessionConfig::with_workers(2));
-    let dead = session.open_connection(Box::new(DeadWriter));
+    let dead = session.open_connection("dead", Box::new(DeadWriter));
     let sink = Sink::default();
-    let live = session.open_connection(Box::new(sink.clone()));
+    let live = session.open_connection("live", Box::new(sink.clone()));
     let dead_input = mixed_requests(7, 3);
     let live_input = mixed_requests(8, 3);
     std::thread::scope(|scope| {
@@ -352,6 +353,151 @@ fn loopback_tcp_serves_concurrent_clients_in_order_and_drains() {
         assert_eq!(line.trim_end(), "{\"op\":\"shutdown\",\"ok\":true}");
     }
     server.join().unwrap().expect("listener exits cleanly");
+}
+
+/// Pulls the integer right after `anchor` out of a JSON line.
+fn count_after(text: &str, anchor: &str) -> u64 {
+    let at = text
+        .find(anchor)
+        .unwrap_or_else(|| panic!("`{anchor}` missing in {text}"));
+    text[at + anchor.len()..]
+        .split(|c: char| !c.is_ascii_digit())
+        .next()
+        .unwrap()
+        .parse()
+        .unwrap()
+}
+
+/// The request-lifecycle accounting (DESIGN.md §15) under real load:
+/// 4 pipelined loopback clients × 16 mixed requests against worker
+/// pools of both sizes, then a fifth connection reads `stats` and
+/// `metrics`. Every count must sum exactly to the submitted workload at
+/// any worker count — the queue/service/sequence phases and the per-op
+/// latency histograms are recorded *before* a response's bytes leave
+/// the server, so clients holding all their responses prove the counts
+/// are in — and every `recent` timeline must satisfy the phase-sum
+/// bound `queue + service + sequence + write ≤ wall`.
+#[test]
+fn accounting_sums_to_the_submitted_workload() {
+    const CLIENTS: u64 = 4;
+    const ROUNDS: u64 = 4; // 16 requests per client, 4 per op
+    for workers in [1usize, 3] {
+        let (addr_tx, addr_rx) = mpsc::channel();
+        let server = {
+            let engine = engine();
+            std::thread::spawn(move || {
+                serve_tcp(
+                    engine,
+                    &SessionConfig::with_workers(workers),
+                    "127.0.0.1:0",
+                    || false,
+                    move |addr| addr_tx.send(addr).unwrap(),
+                )
+            })
+        };
+        let addr = addr_rx
+            .recv_timeout(Duration::from_secs(10))
+            .expect("listener came up");
+
+        let clients: Vec<_> = (0..CLIENTS)
+            .map(|c| {
+                std::thread::spawn(move || {
+                    let mut stream = TcpStream::connect(addr).unwrap();
+                    let input = mixed_requests(c, ROUNDS);
+                    stream.write_all(input.as_bytes()).unwrap();
+                    stream.flush().unwrap();
+                    let mut reader = BufReader::new(stream);
+                    for _ in 0..input.lines().count() {
+                        let mut line = String::new();
+                        reader.read_line(&mut line).unwrap();
+                        assert!(!line.is_empty(), "response arrived");
+                    }
+                })
+            })
+            .collect();
+        for client in clients {
+            client.join().unwrap();
+        }
+
+        // The fifth connection audits the books.
+        let mut stream = TcpStream::connect(addr).unwrap();
+        stream.write_all(b"{\"op\":\"stats\",\"id\":1}\n").unwrap();
+        let mut reader = BufReader::new(stream.try_clone().unwrap());
+        let mut stats = String::new();
+        reader.read_line(&mut stats).unwrap();
+
+        let total = CLIENTS * ROUNDS * 4;
+        let latency = &stats[stats.find("\"latency\":").expect("latency block")..];
+        for op in ["check", "tolerance", "fault_check", "joint_check"] {
+            assert_eq!(
+                count_after(latency, &format!("\"{op}\":{{\"count\":")),
+                CLIENTS * ROUNDS,
+                "per-op latency count of {op} at {workers} workers"
+            );
+        }
+        let phases = &stats[stats.find("\"phases\":").expect("phases block")..];
+        for phase in ["queue", "service", "sequence"] {
+            assert_eq!(
+                count_after(phases, &format!("\"{phase}\":{{\"count\":")),
+                total,
+                "{phase} phase count at {workers} workers"
+            );
+        }
+        // The write stamp lands after each response's write returns,
+        // which races the snapshot only for responses still in flight —
+        // and every workload response has been *received*, so at most
+        // the audit connection's own are outstanding.
+        let writes = count_after(phases, "\"write\":{\"count\":");
+        assert!(writes <= total, "{writes} writes at {workers} workers");
+        // Per-connection attribution: the four workload connections
+        // (now closed, retained in the table) plus this one, busiest
+        // first.
+        let connections = &stats[stats.find("\"connections\":[").expect("connection table")..];
+        let per_conn: Vec<u64> = connections
+            .split("\"requests\":")
+            .skip(1)
+            .map(|tail| {
+                tail.split(|c: char| !c.is_ascii_digit())
+                    .next()
+                    .unwrap()
+                    .parse()
+                    .unwrap()
+            })
+            .collect();
+        assert_eq!(
+            per_conn,
+            [16, 16, 16, 16, 1],
+            "per-connection request counts at {workers} workers"
+        );
+
+        // Every recent timeline satisfies the phase-sum bound.
+        stream
+            .write_all(b"{\"op\":\"metrics\",\"id\":2}\n")
+            .unwrap();
+        let mut metrics = String::new();
+        reader.read_line(&mut metrics).unwrap();
+        let recent = &metrics[metrics.find("\"recent\":[").expect("recent timelines")..];
+        let mut entries = 0;
+        for entry in recent.split("{\"conn\":").skip(1) {
+            let phase_sum = count_after(entry, "\"queue_ns\":")
+                + count_after(entry, "\"service_ns\":")
+                + count_after(entry, "\"sequence_ns\":")
+                + count_after(entry, "\"write_ns\":");
+            let wall = count_after(entry, "\"wall_ns\":");
+            assert!(
+                phase_sum <= wall,
+                "phase sum {phase_sum} exceeds wall {wall} at {workers} workers: {entry}"
+            );
+            entries += 1;
+        }
+        assert!(entries > 0, "the timeline ring surfaced entries");
+
+        stream.write_all(b"{\"op\":\"shutdown\"}\n").unwrap();
+        let mut ack = String::new();
+        reader.read_line(&mut ack).unwrap();
+        assert_eq!(ack.trim_end(), "{\"op\":\"shutdown\",\"ok\":true}");
+        server.join().unwrap().expect("listener exits cleanly");
+    }
 }
 
 #[test]

@@ -97,6 +97,7 @@ const USAGE: &str = "usage:
                [--cache-capacity <N>] [--queue-capacity <N>] [--max-line-bytes <N>]
                [--screening <none|interval|zonotope|cascade>] [--no-screening]
                [--slow-query-ms <MS>] [--log-level <trace|debug|info|warn|error>]
+               [--trace-out <trace.json>]
     JSONL requests on stdin, one response per line on stdout, e.g.
       {\"op\":\"check\",\"input\":[\"100\",\"82\"],\"label\":0,\"delta\":5}
       {\"op\":\"tolerance\",\"input\":[\"100\",\"82\"],\"label\":0,\"max_delta\":50}
@@ -109,12 +110,16 @@ const USAGE: &str = "usage:
       {\"op\":\"metrics\"}
       {\"op\":\"shutdown\"}
     any solver-backed op takes \"trace\":true for a per-query cost trace;
-    --slow-query-ms logs slower requests (full trace, stderr JSON) and
-    --log-level sets the structured-logger threshold (default info)
+    --slow-query-ms logs slower requests (full trace, stderr JSON),
+    --log-level sets the structured-logger threshold (default info), and
+    --trace-out streams a Chrome trace-event JSON timeline (open it in
+    Perfetto or chrome://tracing) with one lane per connection and
+    queue/service/sequence/write spans per request
   fannet listen --addr <host:port> --model <model.json> [--threads <N>]
                [--cache-capacity <N>] [--queue-capacity <N>] [--max-line-bytes <N>]
                [--screening <none|interval|zonotope|cascade>] [--no-screening]
                [--slow-query-ms <MS>] [--log-level <trace|debug|info|warn|error>]
+               [--trace-out <trace.json>]
     the same JSONL protocol over TCP: one resident engine shared by all
     connections, per-connection response ordering, bounded-queue
     backpressure; prints `listening on <addr>` once bound, drains on
@@ -704,6 +709,20 @@ fn serving_engine(args: &[String]) -> Result<(Arc<Engine>, SessionConfig), Strin
     } else {
         parse_screening(args, ScreeningTier::Interval)?
     };
+    // `--trace-out` opens the timeline sink up front (so a bad path
+    // fails before the engine loads) and installs it as the global
+    // trace writer, which also routes the engine's internal spans into
+    // the same file as pid-2 lanes.
+    let trace_out = match flag(args, "--trace-out") {
+        Some(path) => {
+            let writer = fannet_obs::TraceWriter::to_file(std::path::Path::new(path))
+                .map_err(|e| format!("cannot open --trace-out `{path}`: {e}"))?;
+            let writer = Arc::new(writer);
+            fannet_obs::install_global(Arc::clone(&writer));
+            Some(writer)
+        }
+        None => None,
+    };
     let checker = CheckerConfig::serial_exact().with_screening(screening);
     let engine = Engine::new(
         net,
@@ -719,6 +738,7 @@ fn serving_engine(args: &[String]) -> Result<(Arc<Engine>, SessionConfig), Strin
             queue_capacity,
             max_line_bytes,
             slow_query_ms,
+            trace_out,
         },
     ))
 }
@@ -733,6 +753,11 @@ fn serving_engine(args: &[String]) -> Result<(Arc<Engine>, SessionConfig), Strin
 fn serve(args: &[String]) -> Result<(), String> {
     let (engine, config) = serving_engine(args)?;
     serve_stdio(engine, &config, std::io::stdin(), std::io::stdout());
+    // Close the timeline array so the file is valid JSON; idempotent,
+    // and a no-op when --trace-out was not given.
+    if let Some(trace) = &config.trace_out {
+        trace.finish();
+    }
     Ok(())
 }
 
@@ -756,7 +781,11 @@ fn listen(args: &[String]) -> Result<(), String> {
             &[("addr", bound.to_string().into())],
         );
     })
-    .map_err(|e| format!("cannot listen on `{addr}`: {e}"))
+    .map_err(|e| format!("cannot listen on `{addr}`: {e}"))?;
+    if let Some(trace) = &config.trace_out {
+        trace.finish();
+    }
+    Ok(())
 }
 
 fn export_smv(args: &[String]) -> Result<(), String> {

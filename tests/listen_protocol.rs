@@ -20,19 +20,33 @@ fn repo_file(rel: &str) -> String {
     format!("{}/{rel}", env!("CARGO_MANIFEST_DIR"))
 }
 
-/// Zeroes the volatile `server` gauges and `latency` percentiles, and
-/// blanks the `text` payload of a `metrics` response (same rewrite as
-/// the serve golden test and CI's serve-smoke job).
+/// Zeroes the volatile `server` gauges (lifetime and windowed rates,
+/// percentiles, per-request nanosecond stamps, per-connection byte and
+/// blocking gauges), blanks the `peer` string (a TCP peer carries an
+/// ephemeral port where the stdin golden says "stdio"), and blanks the
+/// `text` payload of a `metrics` response (same rewrite as the serve
+/// golden test and CI's serve-smoke job).
 fn mask_volatile(text: &str) -> String {
     let mut masked = text.to_string();
     for key in [
         "uptime_ms",
         "qps",
+        "qps_10s",
+        "qps_60s",
         "queue_depth",
         "queue_high_water",
         "p50_ns",
         "p90_ns",
         "p99_ns",
+        "count_10s",
+        "p50_10s_ns",
+        "p99_10s_ns",
+        "wall_ns",
+        "queue_ns",
+        "ns",
+        "bytes_out",
+        "queue_blocked_ns",
+        "queue_peak",
     ] {
         let pat = format!("\"{key}\":");
         let mut from = 0;
@@ -45,6 +59,14 @@ fn mask_volatile(text: &str) -> String {
             masked.replace_range(start..end, "0");
             from = start + 1;
         }
+    }
+    // `peer` is the one volatile *string* gauge.
+    let mut from = 0;
+    while let Some(at) = masked[from..].find("\"peer\":\"") {
+        let start = from + at + "\"peer\":\"".len();
+        let end = start + masked[start..].find('"').expect("string closes");
+        masked.replace_range(start..end, "");
+        from = start + 1;
     }
     masked
         .lines()

@@ -21,20 +21,34 @@ fn repo_file(rel: &str) -> String {
     format!("{}/{rel}", env!("CARGO_MANIFEST_DIR"))
 }
 
-/// Zeroes the volatile `server` gauges and the percentile scalars of
-/// the `latency` block, and blanks the (wholly wall-clock-dependent)
-/// `text` payload of a `metrics` response, leaving every other byte
-/// alone (mirrors the `sed` rewrite of CI's serve-smoke job).
+/// Zeroes the volatile `server` gauges (lifetime and windowed rates,
+/// percentile scalars, per-request nanosecond stamps, per-connection
+/// byte/blocking gauges), blanks the `peer` string (a TCP peer carries
+/// an ephemeral port where stdio says "stdio"), and blanks the (wholly
+/// wall-clock-dependent) `text` payload of a `metrics` response,
+/// leaving every other byte alone (mirrors the `sed` rewrite of CI's
+/// serve-smoke job).
 fn mask_volatile(text: &str) -> String {
     let mut masked = text.to_string();
     for key in [
         "uptime_ms",
         "qps",
+        "qps_10s",
+        "qps_60s",
         "queue_depth",
         "queue_high_water",
         "p50_ns",
         "p90_ns",
         "p99_ns",
+        "count_10s",
+        "p50_10s_ns",
+        "p99_10s_ns",
+        "wall_ns",
+        "queue_ns",
+        "ns",
+        "bytes_out",
+        "queue_blocked_ns",
+        "queue_peak",
     ] {
         let pat = format!("\"{key}\":");
         let mut from = 0;
@@ -48,7 +62,17 @@ fn mask_volatile(text: &str) -> String {
             from = start + 1;
         }
     }
-    // `text` is the final field of a `metrics` line; truncate to empty.
+    // `peer` is the one volatile *string* gauge.
+    let mut from = 0;
+    while let Some(at) = masked[from..].find("\"peer\":\"") {
+        let start = from + at + "\"peer\":\"".len();
+        let end = start + masked[start..].find('"').expect("string closes");
+        masked.replace_range(start..end, "");
+        from = start + 1;
+    }
+    // `text` is the final deterministic-order field of a `metrics`
+    // line; truncating there also drops the trailing `recent` timeline
+    // ring, which is volatile in every field.
     masked
         .lines()
         .map(|line| match line.find("\"text\":\"") {
@@ -99,7 +123,8 @@ fn once_batch_matches_committed_golden_responses() {
          change is intentional, regenerate it with:\n  fannet serve --once \
          --threads 1 --model tests/data/serve_model.json \
          < tests/data/serve_requests.jsonl \
-         | sed -E 's/\"(uptime_ms|qps|queue_depth|queue_high_water|p50_ns|p90_ns|p99_ns)\":[0-9.eE+-]+/\"\\1\":0/g; \
+         | sed -E 's/\"(uptime_ms|qps|qps_10s|qps_60s|queue_depth|queue_high_water|p50_ns|p90_ns|p99_ns|count_10s|p50_10s_ns|p99_10s_ns|wall_ns|queue_ns|ns|bytes_out|queue_blocked_ns|queue_peak)\":[0-9.eE+-]+/\"\\1\":0/g; \
+         s/\"peer\":\"[^\"]*\"/\"peer\":\"\"/g; \
          s/\"text\":\".*/\"text\":\"\"}}/' \
          > tests/data/serve_golden.jsonl"
     );
@@ -259,6 +284,46 @@ fn streaming_mode_answers_in_order_and_skips_blank_lines() {
         lines[3].starts_with("{\"op\":\"stats\",\"id\":3"),
         "{}",
         lines[3]
+    );
+}
+
+/// `--trace-out` writes a Chrome trace-event (catapult) JSON array —
+/// the format Perfetto and chrome://tracing load directly — with one
+/// complete `service` span per answered request (alongside its queue/
+/// sequence/write spans in the same per-connection lane).
+#[test]
+fn trace_out_writes_one_complete_service_event_per_request() {
+    let requests =
+        std::fs::read_to_string(repo_file("tests/data/serve_requests.jsonl")).expect("requests");
+    let path = std::env::temp_dir().join(format!("fannet-trace-{}.json", std::process::id()));
+    let (stdout, stderr, ok) = run_serve(
+        &[
+            "--once",
+            "--threads",
+            "1",
+            "--trace-out",
+            path.to_str().expect("utf-8 path"),
+        ],
+        &requests,
+    );
+    let trace = std::fs::read_to_string(&path).expect("trace file written");
+    std::fs::remove_file(&path).ok();
+    assert!(ok, "serve must exit cleanly: {stderr}");
+    let trimmed = trace.trim();
+    assert!(
+        trimmed.starts_with('[') && trimmed.ends_with(']'),
+        "trace must be a closed JSON array: {trimmed:?}"
+    );
+    let responses = stdout.lines().count();
+    assert_eq!(
+        trace.matches("\"name\":\"service\"").count(),
+        responses,
+        "one service span per answered request"
+    );
+    // Every event in the file is a complete event ("ph":"X").
+    assert_eq!(
+        trace.matches("\"ph\":\"X\"").count(),
+        trace.matches("\"name\":").count()
     );
 }
 
