@@ -200,6 +200,46 @@ struct JointAblationRow {
     stats: FaultStats,
 }
 
+/// One arm of the batched-propagation benchmark (DESIGN.md §16): the
+/// same deterministic frontier of sub-boxes screened by the scalar
+/// per-box float shadow and by the K-lane batched layout, plus a full
+/// interval-screened search per arm. Per-box verdicts, the search
+/// outcome (witness included) and every counter are asserted
+/// bit-identical between the arms before the rows are recorded —
+/// batching is pure layout, so the only observable difference is wall
+/// time.
+#[derive(Serialize)]
+struct BatchPropagationRow {
+    variant: &'static str,
+    delta: i64,
+    /// Best-of-three wall time to screen the whole frontier pool.
+    seconds: f64,
+    /// Sub-boxes in the deterministic frontier pool.
+    frontier_boxes: usize,
+    /// Boxes the float tier decides outright (bit-identical per arm).
+    decided_boxes: usize,
+    /// Full-search outcome with this arm's checker (bit-identical).
+    search_robust: bool,
+    search_stats: BabStats,
+}
+
+/// One arm of the budgeted-parallel benchmark (DESIGN.md §16): the
+/// joint (δ, ε) tolerance frontier probed at 1/2/4 worker threads.
+/// The speculate-then-replay search is deterministic by construction,
+/// so the certified ε, every probe verdict and the merged counters are
+/// asserted bit-identical across thread counts before recording.
+#[derive(Serialize)]
+struct BudgetedParallelRow {
+    threads: usize,
+    /// Symmetric input-noise radius (±δ%) of the frontier probe.
+    delta: i64,
+    seconds: f64,
+    /// The certified joint tolerance ε (exact rational, as text).
+    robust_eps: Option<String>,
+    boxes_visited: u64,
+    stats: FaultStats,
+}
+
 /// The `--bench-json` document.
 ///
 /// The `checker_ablation` and `fault_ablation` tables double as the
@@ -214,6 +254,8 @@ struct AblationReport {
     tier_attribution: Vec<TierAttributionRow>,
     fault_ablation: Vec<FaultAblationRow>,
     joint_ablation: Vec<JointAblationRow>,
+    batch_propagation: Vec<BatchPropagationRow>,
+    budgeted_parallel: Vec<BudgetedParallelRow>,
     engine_throughput: EngineThroughputReport,
     server_throughput: ServerThroughputReport,
     queue_attribution: Vec<QueueAttributionRow>,
@@ -522,6 +564,185 @@ fn joint_ablation_rows() -> Vec<JointAblationRow> {
                 stats,
             });
         }
+    }
+    rows
+}
+
+/// The batched-propagation benchmark (the PR-6 tentpole): a
+/// deterministic frontier of sub-boxes — the shape the search's split
+/// queue takes at wide radii — screened box-by-box through the scalar
+/// [`FloatShadow`] and in K-lane groups through [`BatchFloatShadow`].
+/// Timing the propagation directly (rather than a whole cascade run,
+/// where the exact rational tier dominates wall time) isolates exactly
+/// the cost the batch layout changes. Per-box verdicts are asserted
+/// bit-identical, a full interval-screened search per arm pins the
+/// end-to-end outcome, witness and counters, and at the wide radii
+/// (±30% and up) the batched arm is asserted not slower than scalar.
+///
+/// [`FloatShadow`]: fannet_verify::propagate::FloatShadow
+/// [`BatchFloatShadow`]: fannet_verify::BatchFloatShadow
+fn batch_propagation_rows(deltas: &[i64]) -> Vec<BatchPropagationRow> {
+    use fannet_verify::propagate::{classify_box_float, BoxVerdict, FloatShadow};
+    use fannet_verify::{BatchFloatShadow, BatchWorkspace, BATCH_WIDTH};
+    const POOL: usize = 4096;
+    let cs = paper_study();
+    let inputs = fannet_bench::paper_test_inputs();
+    let labels = cs.test5.labels();
+    let idx = 6;
+    let shadow = FloatShadow::new(&cs.exact_net);
+    let batched = BatchFloatShadow::from_shadow(&shadow);
+    let enclosure = FloatShadow::enclose_input(&inputs[idx]);
+    let excluded = ExclusionSet::new();
+    let mut rows = Vec::new();
+    for &delta in deltas {
+        // Deterministic frontier: breadth-first bisection of the ±δ%
+        // region into a pool of sub-boxes.
+        let mut pool = vec![NoiseRegion::symmetric(delta, 5)];
+        let mut at = 0usize;
+        while pool.len() < POOL && at < 1 << 15 {
+            let slot = at % pool.len();
+            if let Some((a, b)) = pool[slot].split() {
+                pool[slot] = a;
+                pool.push(b);
+            }
+            at += 1;
+        }
+
+        // Scalar arm: one propagation per box, best of three passes.
+        let mut scalar_secs = f64::INFINITY;
+        let mut scalar_verdicts = Vec::new();
+        for _ in 0..3 {
+            scalar_verdicts.clear();
+            let t = Instant::now();
+            for region in &pool {
+                let outputs = shadow.output_intervals(&enclosure, region);
+                scalar_verdicts.push(classify_box_float(&outputs, labels[idx]));
+            }
+            scalar_secs = scalar_secs.min(t.elapsed().as_secs_f64());
+        }
+
+        // Batched arm: the same boxes in K-lane groups through one
+        // shared workspace.
+        let mut batched_secs = f64::INFINITY;
+        let mut batched_verdicts = Vec::new();
+        let mut ws = BatchWorkspace::default();
+        for _ in 0..3 {
+            batched_verdicts.clear();
+            let t = Instant::now();
+            for chunk in pool.chunks(BATCH_WIDTH) {
+                let group: Vec<&NoiseRegion> = chunk.iter().collect();
+                batched_verdicts.extend(batched.classify_batch(
+                    &enclosure,
+                    labels[idx],
+                    &group,
+                    &mut ws,
+                ));
+            }
+            batched_secs = batched_secs.min(t.elapsed().as_secs_f64());
+        }
+
+        assert_eq!(
+            batched_verdicts, scalar_verdicts,
+            "batched propagation changed a frontier verdict at ±{delta}%"
+        );
+        if delta >= 30 {
+            assert!(
+                batched_secs <= scalar_secs,
+                "batched propagation must not be slower than the scalar shadow \
+                 at ±{delta}% ({:.3}ms vs {:.3}ms over {} boxes)",
+                batched_secs * 1e3,
+                scalar_secs * 1e3,
+                pool.len(),
+            );
+        }
+
+        // End-to-end pin: the full interval-screened search with and
+        // without batching returns a bit-identical outcome (witness
+        // included) and counters.
+        let mut search = Vec::new();
+        for batching in [false, true] {
+            let checker = RegionChecker::new(&cs.exact_net, CheckerConfig::screened())
+                .with_batching(batching);
+            let region = NoiseRegion::symmetric(delta, 5);
+            search.push(
+                checker
+                    .check_region(&inputs[idx], labels[idx], &region, &excluded)
+                    .expect("widths"),
+            );
+        }
+        assert_eq!(
+            search[1], search[0],
+            "batched screening changed the search outcome or counters at ±{delta}%"
+        );
+        let (search_outcome, search_stats) = search.pop().expect("two search arms");
+
+        let decided = scalar_verdicts
+            .iter()
+            .filter(|v| !matches!(v, BoxVerdict::Unknown))
+            .count();
+        for (variant, seconds) in [("scalar", scalar_secs), ("batched", batched_secs)] {
+            rows.push(BatchPropagationRow {
+                variant,
+                delta,
+                seconds,
+                frontier_boxes: pool.len(),
+                decided_boxes: decided,
+                search_robust: search_outcome.is_robust(),
+                search_stats,
+            });
+        }
+    }
+    rows
+}
+
+/// The budgeted-parallel benchmark (the PR-6 tentpole, search side):
+/// the joint (δ, ε) tolerance frontier — a bisection of budgeted
+/// product-domain searches — probed with 1, 2 and 4 worker threads.
+/// The budgeted search speculates in parallel but replays serially, so
+/// the certified ε, every probe verdict and the merged counters are
+/// bit-identical across thread counts by construction; each multi-thread
+/// arm is asserted equal to the serial arm before its row is recorded.
+fn budgeted_parallel_rows() -> Vec<BudgetedParallelRow> {
+    use fannet_faults::{JointChecker, ToleranceSearch};
+    let cs = paper_study();
+    let inputs = fannet_bench::paper_test_inputs();
+    let labels = cs.test5.labels();
+    let idx = 6;
+    let delta = 2;
+    let search = ToleranceSearch::new(50, 10);
+    let mut rows = Vec::new();
+    let mut baseline = None;
+    for threads in [1usize, 2, 4] {
+        let checker = JointChecker::new(cs.exact_net.clone(), FaultCheckerConfig::default())
+            .with_threads(threads);
+        let t = Instant::now();
+        let (tolerance, stats) = checker
+            .tolerance(&inputs[idx], labels[idx], delta, &search)
+            .expect("valid query");
+        let seconds = t.elapsed().as_secs_f64();
+        match &baseline {
+            None => baseline = Some((tolerance.clone(), stats)),
+            Some((serial_tolerance, serial_stats)) => {
+                assert_eq!(
+                    &tolerance, serial_tolerance,
+                    "budgeted search at {threads} threads certified a different \
+                     joint tolerance than the serial search"
+                );
+                assert_eq!(
+                    &stats, serial_stats,
+                    "budgeted search at {threads} threads visited a different \
+                     frontier than the serial search"
+                );
+            }
+        }
+        rows.push(BudgetedParallelRow {
+            threads,
+            delta,
+            seconds,
+            robust_eps: tolerance.robust_eps.as_ref().map(ToString::to_string),
+            boxes_visited: stats.boxes_visited,
+            stats,
+        });
     }
     rows
 }
@@ -1019,6 +1240,43 @@ fn run_bench_json(path: &str) {
         );
     }
 
+    println!("\nbatch propagation (scalar float shadow vs K-lane batched layout)");
+    let batch = batch_propagation_rows(&[15, 30, 50]);
+    for pair in batch.chunks(2) {
+        let [scalar, batched] = pair else {
+            unreachable!("rows come in scalar/batched pairs")
+        };
+        println!(
+            "±{:2}%: scalar {:>8.1}ms   batched {:>8.1}ms   ({:.2}x over {} frontier \
+             boxes, {} decided; search {})",
+            scalar.delta,
+            scalar.seconds * 1e3,
+            batched.seconds * 1e3,
+            scalar.seconds / batched.seconds.max(f64::EPSILON),
+            batched.frontier_boxes,
+            batched.decided_boxes,
+            if batched.search_robust {
+                "robust"
+            } else {
+                "counterexample"
+            },
+        );
+    }
+
+    println!("\nbudgeted parallel (joint tolerance frontier, speculate-then-replay)");
+    let budgeted = budgeted_parallel_rows();
+    let serial_seconds = budgeted[0].seconds;
+    for row in &budgeted {
+        println!(
+            "{} threads: {:>8.1}ms  ({:.2}x, eps {}, {} boxes)",
+            row.threads,
+            row.seconds * 1e3,
+            serial_seconds / row.seconds.max(f64::EPSILON),
+            row.robust_eps.as_deref().unwrap_or("-"),
+            row.boxes_visited,
+        );
+    }
+
     println!("\nengine throughput (resident verdict cache vs cold per-query starts)");
     let engine = engine_throughput_report();
     println!(
@@ -1094,6 +1352,8 @@ fn run_bench_json(path: &str) {
         tier_attribution: attribution,
         fault_ablation: fault,
         joint_ablation: joint,
+        batch_propagation: batch,
+        budgeted_parallel: budgeted,
         engine_throughput: engine,
         server_throughput: server,
         queue_attribution: queue,

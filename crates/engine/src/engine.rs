@@ -115,8 +115,10 @@ pub struct Engine {
     /// Cumulative branch-and-bound counters across every solver run.
     solver_stats: Mutex<BabStats>,
     /// The resident weight-fault checker (DESIGN.md §11); runs the
-    /// deterministic default [`FaultCheckerConfig`], so cold
-    /// `FaultChecker` runs reproduce engine answers bit for bit.
+    /// deterministic default [`FaultCheckerConfig`] with the engine's
+    /// thread count — the budgeted search replays deterministically, so
+    /// cold `FaultChecker` runs reproduce engine answers bit for bit at
+    /// any thread count.
     faults: FaultChecker,
     fault_cache: Mutex<FaultVerdictCache>,
     /// Cumulative fault-checker counters across every cold fault run.
@@ -164,8 +166,13 @@ impl Engine {
         let cache = VerdictCache::new(config.cache_capacity);
         let fault_cache = FaultVerdictCache::new(config.cache_capacity);
         let joint_cache = JointVerdictCache::new(config.cache_capacity);
-        let faults = FaultChecker::new(net.clone(), FaultCheckerConfig::default());
-        let joint = JointChecker::new(net.clone(), FaultCheckerConfig::default());
+        // The budgeted search replays speculation deterministically, so
+        // threading the fault/joint checkers keeps their answers (and
+        // counters) bit-identical to single-threaded cold runs.
+        let faults = FaultChecker::new(net.clone(), FaultCheckerConfig::default())
+            .with_threads(config.checker.threads);
+        let joint = JointChecker::new(net.clone(), FaultCheckerConfig::default())
+            .with_threads(config.checker.threads);
         Engine {
             net,
             fingerprint: fp,

@@ -18,8 +18,9 @@
 //! Unlike [`crate::FaultChecker::check_with_noise`], which only ever
 //! splits the *fault* factor and goes `Unknown` once the input box is
 //! too wide for one-shot propagation, the joint search refines **both**
-//! factors, alternating by depth — which is what makes non-trivial
-//! (δ, ε) frontiers decidable.
+//! factors — always the one that is currently least resolved by
+//! normalized width — which is what makes non-trivial (δ, ε) frontiers
+//! decidable.
 
 use fannet_nn::Network;
 use fannet_numeric::{Interval, Rational};
@@ -66,18 +67,32 @@ impl ProductRegion {
         self.noise.is_point() && self.fault.is_point()
     }
 
-    /// Splits one factor, alternating by `depth`: even depths bisect
-    /// the noise box (widest input dimension), odd depths the fault box
-    /// (widest parameter interval), falling back to the other factor
-    /// when the preferred one is already a point. Alternation keeps the
-    /// refinement balanced without comparing the incommensurable widths
-    /// of the two factors (integer percents vs. rational weights), and
-    /// it is a pure function of `depth`, so the search stays
-    /// deterministic and cache-replayable.
+    /// Normalized width of the noise factor: the widest per-node range
+    /// as a fraction of the nominal value (`(hi − lo) / 100`, since
+    /// noise bounds are integer percents). Zero for point regions.
+    #[must_use]
+    pub fn noise_normalized_width(&self) -> Rational {
+        self.noise
+            .ranges()
+            .iter()
+            .map(|&(lo, hi)| Rational::new(i128::from(hi) - i128::from(lo), 100))
+            .max()
+            .unwrap_or(Rational::from_integer(0))
+    }
+
+    /// Splits the factor that is currently *least resolved*: the
+    /// normalized widths of the two factors — widest noise range over
+    /// the nominal 100 % vs. widest relative parameter interval
+    /// ([`FaultRegion::normalized_width`]) — are compared directly, and
+    /// the wider factor bisects (its own widest dimension, as in the
+    /// single-factor domains). Ties prefer the noise factor, and a
+    /// point factor falls back to the other, so the choice is a pure
+    /// deterministic function of the region — the search stays
+    /// scheduling-independent and cache-replayable (DESIGN.md §12).
     ///
     /// Returns `None` when both factors are points.
     #[must_use]
-    pub fn split(&self, depth: u32) -> Option<(ProductRegion, ProductRegion)> {
+    pub fn split(&self) -> Option<(ProductRegion, ProductRegion)> {
         let split_noise = || {
             self.noise.split().map(|(a, b)| {
                 (
@@ -94,7 +109,7 @@ impl ProductRegion {
                 )
             })
         };
-        if depth.is_multiple_of(2) {
+        if self.noise_normalized_width() >= self.fault.normalized_width() {
             split_noise().or_else(split_fault)
         } else {
             split_fault().or_else(split_noise)
@@ -175,6 +190,9 @@ impl JointOutcome {
 pub struct JointChecker {
     net: Network<Rational>,
     config: FaultCheckerConfig,
+    /// Worker-thread count of the budgeted search (a host property —
+    /// deliberately not part of the serialized config).
+    threads: usize,
 }
 
 impl JointChecker {
@@ -182,7 +200,21 @@ impl JointChecker {
     /// [`crate::FaultChecker::new`] for the rationale).
     #[must_use]
     pub fn new(net: Network<Rational>, config: FaultCheckerConfig) -> Self {
-        JointChecker { net, config }
+        JointChecker {
+            net,
+            config,
+            threads: 1,
+        }
+    }
+
+    /// Overrides the worker-thread count (`0` is clamped to 1): the
+    /// budgeted search speculates in parallel and replays
+    /// deterministically, so every joint verdict, witness and counter
+    /// is bit-identical to the serial search at any thread count.
+    #[must_use]
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads.max(1);
+        self
     }
 
     /// The verified network.
@@ -265,8 +297,12 @@ impl JointChecker {
             cascade: tiers.cascade().with_timer(timer),
         };
         let root = ProductRegion::new(noise.clone(), fault_root);
-        let (outcome, search_stats) =
-            fannet_search::search_serial(&domain, root, Some(self.config.max_boxes));
+        let (outcome, search_stats) = fannet_search::search_with_threads(
+            &domain,
+            root,
+            self.threads,
+            Some(self.config.max_boxes),
+        );
         stats.merge(&search_stats);
         Ok((
             match outcome {
@@ -499,11 +535,14 @@ struct JointQuery<'a> {
 impl SearchDomain for JointQuery<'_> {
     type Region = ProductRegion;
     type Witness = JointWitness;
+    type Prepared = ();
+    type Scratch = ();
 
     fn decide(
         &self,
         region: &ProductRegion,
         depth: u32,
+        _scratch: &mut (),
         stats: &mut SearchStats,
     ) -> BoxDecision<ProductRegion, JointWitness> {
         match self.cascade.classify(region, stats) {
@@ -557,7 +596,7 @@ impl SearchDomain for JointQuery<'_> {
                         BoxDecision::AbandonAll
                     };
                 }
-                match region.split(depth) {
+                match region.split() {
                     Some((a, b)) => {
                         stats.splits += 1;
                         BoxDecision::Split(a, b)
@@ -655,6 +694,37 @@ mod tests {
     }
 
     #[test]
+    fn threaded_joint_checks_are_bit_identical_to_serial() {
+        let x = [r(100), r(82)];
+        for screening in [ScreeningTier::None, ScreeningTier::Cascade] {
+            let config = FaultCheckerConfig::default().with_screening(screening);
+            let serial = JointChecker::new(comparator(), config.clone());
+            for delta in [0i64, 3, 6] {
+                for eps_numer in [2i128, 8, 12] {
+                    let noise = NoiseRegion::symmetric(delta, 2);
+                    let model = FaultModel::WeightNoise {
+                        rel_eps: rq(eps_numer, 100),
+                    };
+                    let (want, want_stats) = serial.check(&x, 0, &noise, &model).unwrap();
+                    for threads in [2usize, 4] {
+                        let threaded =
+                            JointChecker::new(comparator(), config.clone()).with_threads(threads);
+                        let (got, got_stats) = threaded.check(&x, 0, &noise, &model).unwrap();
+                        assert_eq!(
+                            got, want,
+                            "verdict at δ={delta} ε={eps_numer}/100 threads={threads}"
+                        );
+                        assert_eq!(
+                            got_stats, want_stats,
+                            "stats at δ={delta} ε={eps_numer}/100 threads={threads}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
     fn zero_delta_matches_the_plain_fault_checker() {
         let joint = checker();
         let fault = FaultChecker::new(comparator(), FaultCheckerConfig::default());
@@ -722,31 +792,42 @@ mod tests {
     }
 
     #[test]
-    fn product_split_alternates_factors_and_partitions() {
+    fn product_split_refines_the_least_resolved_factor() {
         let net = comparator();
+        // fw = 2·(1/10) = 1/5 per unit weight; nw = 8/100 — the fault
+        // factor is less resolved, so it splits and the noise is shared.
         let fault =
             FaultRegion::lift(&net, &FaultModel::WeightNoise { rel_eps: rq(1, 10) }).unwrap();
-        let root = ProductRegion::new(NoiseRegion::symmetric(4, 2), fault);
-        // Even depth: the noise factor splits, the fault factor is shared.
-        let (a, b) = root.split(0).expect("root splits");
-        assert_eq!(a.fault, root.fault);
-        assert_eq!(b.fault, root.fault);
-        assert_ne!(a.noise, root.noise);
+        let root = ProductRegion::new(NoiseRegion::symmetric(4, 2), fault.clone());
+        assert!(root.noise_normalized_width() < root.fault.normalized_width());
+        let (a, b) = root.split().expect("root splits");
+        assert_eq!(a.noise, root.noise);
+        assert_eq!(b.noise, root.noise);
+        assert_ne!(a.fault, root.fault);
+        // nw = 40/100 ≫ 1/5 — the noise factor splits, the fault box is
+        // shared, and the split partitions the noise grid.
+        let wide = ProductRegion::new(NoiseRegion::symmetric(20, 2), fault.clone());
+        let (c, d) = wide.split().expect("root splits");
+        assert_eq!(c.fault, wide.fault);
+        assert_eq!(d.fault, wide.fault);
+        assert_ne!(c.noise, wide.noise);
         assert_eq!(
-            a.noise.point_count() + b.noise.point_count(),
-            root.noise.point_count()
+            c.noise.point_count() + d.noise.point_count(),
+            wide.noise.point_count()
         );
-        // Odd depth: the fault factor splits, the noise factor is shared.
-        let (c, d) = root.split(1).expect("root splits");
-        assert_eq!(c.noise, root.noise);
-        assert_eq!(d.noise, root.noise);
-        assert_ne!(c.fault, root.fault);
-        // A point noise factor falls back to the fault factor even at
-        // even depths.
-        let point = ProductRegion::new(NoiseRegion::symmetric(0, 2), root.fault.clone());
-        let (e, _) = point.split(0).expect("fault factor still splits");
-        assert_eq!(e.noise, point.noise);
-        assert_ne!(e.fault, point.fault);
+        // Exact tie (nw = fw = 1/5): the noise factor wins — the
+        // documented deterministic tie-break.
+        let tied = ProductRegion::new(NoiseRegion::symmetric(10, 2), fault.clone());
+        assert_eq!(tied.noise_normalized_width(), tied.fault.normalized_width());
+        let (e, f) = tied.split().expect("root splits");
+        assert_eq!(e.fault, tied.fault);
+        assert_eq!(f.fault, tied.fault);
+        assert_ne!(e.noise, tied.noise);
+        // A point noise factor falls back to the fault factor.
+        let point = ProductRegion::new(NoiseRegion::symmetric(0, 2), fault);
+        let (g, _) = point.split().expect("fault factor still splits");
+        assert_eq!(g.noise, point.noise);
+        assert_ne!(g.fault, point.fault);
         assert!(!point.is_point());
         // Both factors point: no split.
         let frozen = ProductRegion::new(
@@ -760,8 +841,44 @@ mod tests {
             .unwrap(),
         );
         assert!(frozen.is_point());
-        assert!(frozen.split(0).is_none());
-        assert!(frozen.split(1).is_none());
+        assert!(frozen.split().is_none());
+    }
+
+    #[test]
+    fn product_split_choice_is_a_pure_function_of_the_region() {
+        // Down an entire refinement cascade the chosen factor must (a)
+        // be reproducible call-to-call and (b) always be the one with
+        // the maximal normalized width (modulo point fallback) — the
+        // invariance that keeps budgeted replay deterministic.
+        let net = comparator();
+        let fault =
+            FaultRegion::lift(&net, &FaultModel::WeightNoise { rel_eps: rq(1, 10) }).unwrap();
+        let mut frontier = vec![ProductRegion::new(NoiseRegion::symmetric(6, 2), fault)];
+        for _ in 0..5 {
+            let mut next = Vec::new();
+            for region in &frontier {
+                let Some((a, b)) = region.split() else {
+                    continue;
+                };
+                assert_eq!(
+                    region.split(),
+                    Some((a.clone(), b.clone())),
+                    "split must be reproducible"
+                );
+                let split_noise = a.fault == region.fault;
+                let nw = region.noise_normalized_width();
+                let fw = region.fault.normalized_width();
+                if split_noise {
+                    assert!(nw >= fw || region.fault.is_point());
+                } else {
+                    assert!(fw > nw || region.noise.is_point());
+                }
+                next.push(a);
+                next.push(b);
+            }
+            frontier = next;
+        }
+        assert!(!frontier.is_empty());
     }
 
     #[test]
@@ -793,7 +910,7 @@ mod tests {
                         }
                     }
                 }
-                if let Some((a, b)) = region.split(depth) {
+                if let Some((a, b)) = region.split() {
                     next.push(a);
                     next.push(b);
                 }

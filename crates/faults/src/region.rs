@@ -219,6 +219,22 @@ impl FaultRegion {
         Some((a, b))
     }
 
+    /// Largest *relative* parameter width — `width / max(|midpoint|, 1)`
+    /// over all parameters. Dividing by the midpoint magnitude makes
+    /// widths of large and small weights commensurable, and clamping
+    /// the denominator at 1 keeps near-zero parameters from dominating;
+    /// the adaptive joint split policy (DESIGN.md §12) compares this
+    /// against the noise factor's normalized width. Zero for point
+    /// regions.
+    #[must_use]
+    pub fn normalized_width(&self) -> Rational {
+        let one = Rational::from_integer(1);
+        self.params()
+            .map(|(_, iv)| iv.width() / iv.midpoint().abs().max(one))
+            .max()
+            .unwrap_or(Rational::from_integer(0))
+    }
+
     /// The concrete network with every parameter at its interval
     /// midpoint — a legal assignment for the continuous fault models
     /// (any sub-box of their lift is entirely in-model).

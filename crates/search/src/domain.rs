@@ -82,11 +82,51 @@ impl<W> SearchOutcome<W> {
 /// * **Depth honesty** — `depth` is the number of splits from the root;
 ///   domains with depth caps compare against it *before* splitting so
 ///   abandoned boxes never book a split.
+/// * **Purity** — the decision (and every counter it books) is a pure
+///   function of `(region, depth)`; `scratch` is reusable buffer space
+///   only and must never influence the result. The budgeted parallel
+///   search relies on this to replay speculatively-computed decisions
+///   bit for bit ([`crate::search_budgeted`]).
 pub trait SearchDomain: Sync {
     /// The box type explored (clone-cheap: splits clone the parent).
     type Region: Clone + Send;
     /// The witness type produced (e.g. an exact counterexample record).
     type Witness: Send;
+    /// Screening work precomputed for a whole *batch* of frontier boxes
+    /// at once ([`SearchDomain::prepare_batch`]); `()` for domains that
+    /// never batch.
+    type Prepared;
+    /// Reusable per-worker workspace threaded through every `decide`
+    /// call so hot propagation paths stop allocating per box; `()` for
+    /// domains without one. Each search loop (and each parallel worker)
+    /// owns exactly one, created via `Default`.
+    type Scratch: Default;
+
+    /// How many frontier boxes [`SearchDomain::prepare_batch`] wants per
+    /// call. `1` (the default) disables batching entirely — the search
+    /// loops then never gather a batch and never call `prepare_batch`.
+    fn batch_width(&self) -> usize {
+        1
+    }
+
+    /// Screens `regions` (up to [`SearchDomain::batch_width`] of them)
+    /// in one batched pass, returning one prepared value per region in
+    /// order. Returning an empty vector declines the batch (every box
+    /// then takes the scalar path).
+    ///
+    /// Per-box *counters* must not be booked here — they are booked by
+    /// [`SearchDomain::decide_prepared`] when the box is actually
+    /// visited, which keeps stats bit-identical to the scalar path even
+    /// when the search stops before consuming the whole batch. Only the
+    /// never-serialized `*_ns` timing fields may accumulate here.
+    fn prepare_batch(
+        &self,
+        _regions: &[&Self::Region],
+        _scratch: &mut Self::Scratch,
+        _stats: &mut SearchStats,
+    ) -> Vec<Self::Prepared> {
+        Vec::new()
+    }
 
     /// Decides one box at `depth` splits from the root, booking any
     /// counters it consumes (screen passes, exact evaluations, splits)
@@ -95,6 +135,22 @@ pub trait SearchDomain: Sync {
         &self,
         region: &Self::Region,
         depth: u32,
+        scratch: &mut Self::Scratch,
         stats: &mut SearchStats,
     ) -> BoxDecision<Self::Region, Self::Witness>;
+
+    /// [`SearchDomain::decide`] for a box whose batched screening ran at
+    /// [`SearchDomain::prepare_batch`] time. The verdict and every
+    /// booked counter must be bit-identical to the scalar `decide`; the
+    /// default ignores `prepared` and delegates.
+    fn decide_prepared(
+        &self,
+        region: &Self::Region,
+        _prepared: Option<Self::Prepared>,
+        depth: u32,
+        scratch: &mut Self::Scratch,
+        stats: &mut SearchStats,
+    ) -> BoxDecision<Self::Region, Self::Witness> {
+        self.decide(region, depth, scratch, stats)
+    }
 }

@@ -32,6 +32,8 @@ pub mod tier;
 pub use bisect::{tolerance_search, ToleranceResult, ToleranceSearch};
 pub use cascade::{BoxVerdict, Cascade, Classifier, TierKind, TierTimer};
 pub use domain::{BoxDecision, SearchDomain, SearchOutcome};
-pub use solve::{collect_witnesses, search_parallel, search_serial, search_with_threads};
+pub use solve::{
+    collect_witnesses, search_budgeted, search_parallel, search_serial, search_with_threads,
+};
 pub use stats::SearchStats;
 pub use tier::ScreeningTier;

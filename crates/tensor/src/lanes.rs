@@ -1,0 +1,217 @@
+//! Interval-lane matrices: the batched activation layout of the float
+//! screening tier (DESIGN.md §16).
+//!
+//! A [`LaneMatrix`] stores one row per neuron and one *lane* per box of
+//! a batch, as two contiguous row-major `f64` planes (`lo` and `hi`
+//! endpoints). A batched layer pass then sweeps each weight row once,
+//! streaming `lanes` accumulators through the cache instead of
+//! re-walking the weight matrix once per box — the memory-layout win
+//! behind `BatchFloatShadow`. Every lane applies the exact scalar
+//! [`FloatInterval`] operation sequence (see
+//! [`fannet_numeric::lanes`]), so batched results are bitwise equal to
+//! the scalar tier's.
+
+use fannet_numeric::{lanes, FloatInterval};
+
+/// A `rows × lanes` matrix of `f64` intervals stored as two contiguous
+/// row-major endpoint planes.
+///
+/// Row `r` holds the interval of quantity `r` (e.g. activation `r` of a
+/// layer) for every box of the batch; lane `k` holds box `k`'s value.
+#[derive(Debug, Clone, Default)]
+pub struct LaneMatrix {
+    lo: Vec<f64>,
+    hi: Vec<f64>,
+    rows: usize,
+    lanes: usize,
+}
+
+impl LaneMatrix {
+    /// Reshapes to `rows × lanes`, reusing the existing allocation when
+    /// it is large enough. Contents are unspecified until written.
+    pub fn resize(&mut self, rows: usize, lanes: usize) {
+        let len = rows * lanes;
+        self.lo.resize(len, 0.0);
+        self.hi.resize(len, 0.0);
+        self.rows = rows;
+        self.lanes = lanes;
+    }
+
+    /// Number of rows (quantities).
+    #[must_use]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of lanes (boxes in the batch).
+    #[must_use]
+    pub fn lanes(&self) -> usize {
+        self.lanes
+    }
+
+    /// The lower-endpoint lanes of row `r`.
+    #[must_use]
+    pub fn row_lo(&self, r: usize) -> &[f64] {
+        &self.lo[r * self.lanes..(r + 1) * self.lanes]
+    }
+
+    /// The upper-endpoint lanes of row `r`.
+    #[must_use]
+    pub fn row_hi(&self, r: usize) -> &[f64] {
+        &self.hi[r * self.lanes..(r + 1) * self.lanes]
+    }
+
+    /// Mutable access to both endpoint planes of row `r`.
+    pub fn row_mut(&mut self, r: usize) -> (&mut [f64], &mut [f64]) {
+        let range = r * self.lanes..(r + 1) * self.lanes;
+        (&mut self.lo[range.clone()], &mut self.hi[range])
+    }
+
+    /// The interval at row `r`, lane `k`.
+    #[must_use]
+    pub fn get(&self, r: usize, k: usize) -> FloatInterval {
+        FloatInterval::new(self.lo[r * self.lanes + k], self.hi[r * self.lanes + k])
+    }
+
+    /// Writes the interval at row `r`, lane `k`.
+    pub fn set(&mut self, r: usize, k: usize, v: FloatInterval) {
+        self.lo[r * self.lanes + k] = v.lo();
+        self.hi[r * self.lanes + k] = v.hi();
+    }
+
+    /// Swaps contents with `other` (the double-buffer idiom of layer
+    /// propagation).
+    pub fn swap(&mut self, other: &mut LaneMatrix) {
+        std::mem::swap(self, other);
+    }
+}
+
+/// One batched affine layer pass: for every output row `r`,
+/// `out[r] = bias[r] + Σ_c weights[r·cols + c] · acts[c]`, each lane
+/// running the scalar `z = z.add(&a.mul_interval(&w))` chain bit for
+/// bit. `weights` is row-major `rows × acts.rows()`.
+///
+/// # Panics
+///
+/// Panics if `weights.len() != biases.len() * acts.rows()` or `out` was
+/// not resized to `biases.len() × acts.lanes()`.
+pub fn affine_lane_pass(
+    weights: &[FloatInterval],
+    biases: &[FloatInterval],
+    acts: &LaneMatrix,
+    out: &mut LaneMatrix,
+) {
+    let cols = acts.rows();
+    let rows = biases.len();
+    assert_eq!(weights.len(), rows * cols, "weight matrix shape mismatch");
+    assert_eq!(
+        (out.rows, out.lanes),
+        (rows, acts.lanes),
+        "output lane matrix shape mismatch"
+    );
+    for r in 0..rows {
+        let (z_lo, z_hi) = out.row_mut(r);
+        lanes::fill_broadcast(z_lo, z_hi, biases[r]);
+        for c in 0..cols {
+            let a_lo = &acts.lo[c * acts.lanes..(c + 1) * acts.lanes];
+            let a_hi = &acts.hi[c * acts.lanes..(c + 1) * acts.lanes];
+            lanes::mul_add_accumulate(z_lo, z_hi, a_lo, a_hi, weights[r * cols + c]);
+        }
+    }
+}
+
+/// Lane-wise ReLU over every row of `m`, bitwise identical to
+/// [`FloatInterval::relu`] per entry.
+pub fn relu_lane_pass(m: &mut LaneMatrix) {
+    lanes::relu_lanes(&mut m.lo, &mut m.hi);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn bits(v: FloatInterval) -> (u64, u64) {
+        (v.lo().to_bits(), v.hi().to_bits())
+    }
+
+    #[test]
+    fn affine_lane_pass_matches_per_lane_scalar_chain() {
+        // 3 outputs × 2 inputs, 4 lanes of assorted boxes.
+        let weights = vec![
+            FloatInterval::new(0.5, 0.5),
+            FloatInterval::new(-1.0, -1.0),
+            FloatInterval::new(2.0, 2.5),
+            FloatInterval::ZERO,
+            FloatInterval::new(-0.125, 0.25),
+            FloatInterval::EVERYTHING,
+        ];
+        let biases = vec![
+            FloatInterval::new(0.1, 0.1),
+            FloatInterval::new(-3.0, 3.0),
+            FloatInterval::ZERO,
+        ];
+        let inputs = [
+            [FloatInterval::new(1.0, 2.0), FloatInterval::new(-0.5, 0.5)],
+            [FloatInterval::new(-4.0, -3.0), FloatInterval::ZERO],
+            [FloatInterval::EVERYTHING, FloatInterval::new(0.3, 0.7)],
+            [
+                FloatInterval::new(f64::MAX / 2.0, f64::MAX),
+                FloatInterval::new(1e-300, 2e-300),
+            ],
+        ];
+
+        let mut acts = LaneMatrix::default();
+        acts.resize(2, inputs.len());
+        for (k, lanes) in inputs.iter().enumerate() {
+            for (c, v) in lanes.iter().enumerate() {
+                acts.set(c, k, *v);
+            }
+        }
+        let mut out = LaneMatrix::default();
+        out.resize(3, inputs.len());
+        affine_lane_pass(&weights, &biases, &acts, &mut out);
+        relu_lane_pass(&mut out);
+
+        for (k, lanes) in inputs.iter().enumerate() {
+            for r in 0..3 {
+                let mut z = biases[r];
+                for (c, a) in lanes.iter().enumerate() {
+                    z = z.add(&a.mul_interval(&weights[r * 2 + c]));
+                }
+                z = z.relu();
+                assert_eq!(bits(out.get(r, k)), bits(z), "row {r}, lane {k}");
+            }
+        }
+    }
+
+    #[test]
+    fn resize_reuses_and_reshapes() {
+        let mut m = LaneMatrix::default();
+        m.resize(4, 3);
+        assert_eq!((m.rows(), m.lanes()), (4, 3));
+        m.set(3, 2, FloatInterval::new(-1.0, 1.0));
+        assert_eq!(m.get(3, 2), FloatInterval::new(-1.0, 1.0));
+        m.resize(2, 2);
+        assert_eq!((m.rows(), m.lanes()), (2, 2));
+        assert_eq!(m.row_lo(1).len(), 2);
+        assert_eq!(m.row_hi(1).len(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "shape mismatch")]
+    fn wrong_weight_shape_panics() {
+        let acts = {
+            let mut m = LaneMatrix::default();
+            m.resize(2, 1);
+            m
+        };
+        let mut out = LaneMatrix::default();
+        out.resize(1, 1);
+        affine_lane_pass(
+            &[FloatInterval::ZERO],
+            &[FloatInterval::ZERO],
+            &acts,
+            &mut out,
+        );
+    }
+}

@@ -21,7 +21,9 @@
 //! # Ok::<(), fannet_tensor::ShapeError>(())
 //! ```
 
+pub mod lanes;
 pub mod matrix;
 pub mod vector;
 
+pub use lanes::LaneMatrix;
 pub use matrix::{Matrix, ShapeError};

@@ -1,0 +1,285 @@
+//! Batched float screening: K boxes per propagation pass
+//! (DESIGN.md §16).
+//!
+//! [`FloatShadow::output_intervals`] walks the weight matrix once *per
+//! box*; a branch-and-bound frontier holds many sibling boxes of the
+//! same query, so the weights are re-streamed K times for work that
+//! differs only in the input enclosure. [`BatchFloatShadow`] transposes
+//! the loop: activations live in a [`LaneMatrix`] (one row per neuron,
+//! one lane per box, contiguous `(lo, hi)` `f64` planes) and each layer
+//! is one cache-friendly, auto-vectorizable matrix pass over all K
+//! lanes.
+//!
+//! Every lane applies the exact scalar [`FloatInterval`] operation
+//! sequence (see `fannet_numeric::lanes` for the rounding-charge
+//! audit), so batched outputs are **bitwise equal** to the scalar
+//! shadow's — verdicts, witnesses and search stats stay bit-identical,
+//! which is what lets the cascade adopt batching without perturbing any
+//! golden output.
+
+use fannet_nn::{Activation, Network};
+use fannet_numeric::{FloatInterval, Rational};
+use fannet_tensor::lanes::{affine_lane_pass, relu_lane_pass};
+use fannet_tensor::LaneMatrix;
+
+use crate::propagate::{classify_box_float, float_factor, BoxVerdict, FloatShadow};
+use crate::region::NoiseRegion;
+
+/// How many boxes one batched pass carries. Sized so a batch of lanes
+/// for the case-study layers stays within L1 while still amortizing the
+/// weight stream; the search loops gather up to this many frontier
+/// boxes per [`BatchFloatShadow::classify_batch`] call.
+pub const BATCH_WIDTH: usize = 16;
+
+/// A [`FloatShadow`] re-laid-out for batched propagation: weights
+/// flattened row-major so a layer pass is one linear sweep.
+#[derive(Debug, Clone)]
+pub struct BatchFloatShadow {
+    layers: Vec<BatchLayer>,
+    inputs: usize,
+}
+
+#[derive(Debug, Clone)]
+struct BatchLayer {
+    /// Row-major `outputs × inputs` weight enclosures.
+    weights: Vec<FloatInterval>,
+    biases: Vec<FloatInterval>,
+    activation: Activation,
+}
+
+/// Reusable lane buffers for batched propagation: after warm-up the
+/// per-batch hot path allocates only the returned verdict vector.
+#[derive(Debug, Clone, Default)]
+pub struct BatchWorkspace {
+    acts: LaneMatrix,
+    next: LaneMatrix,
+    column: Vec<FloatInterval>,
+}
+
+impl BatchFloatShadow {
+    /// Re-lays-out an existing scalar shadow (same enclosures, so the
+    /// lanes compute over bit-identical constants).
+    #[must_use]
+    pub fn from_shadow(shadow: &FloatShadow) -> Self {
+        let layers = shadow
+            .layers
+            .iter()
+            .map(|layer| BatchLayer {
+                weights: layer
+                    .weights
+                    .iter()
+                    .flat_map(|row| row.iter().copied())
+                    .collect(),
+                biases: layer.biases.clone(),
+                activation: layer.activation,
+            })
+            .collect();
+        BatchFloatShadow {
+            layers,
+            inputs: shadow.inputs,
+        }
+    }
+
+    /// Builds the batched shadow of a rational network.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the network is not piecewise-linear (same admissibility
+    /// condition as [`FloatShadow::new`]).
+    #[must_use]
+    pub fn new(net: &Network<Rational>) -> Self {
+        Self::from_shadow(&FloatShadow::new(net))
+    }
+
+    /// Number of input features the shadow expects.
+    #[must_use]
+    pub fn inputs(&self) -> usize {
+        self.inputs
+    }
+
+    /// Float output enclosures for every box of the batch, each lane
+    /// bitwise equal to [`FloatShadow::output_intervals`] on that box
+    /// (the identity the proptests pin).
+    ///
+    /// # Panics
+    ///
+    /// Panics if widths disagree or the batch is empty.
+    #[must_use]
+    pub fn output_intervals_batch(
+        &self,
+        x_enclosure: &[FloatInterval],
+        regions: &[&NoiseRegion],
+        ws: &mut BatchWorkspace,
+    ) -> Vec<Vec<FloatInterval>> {
+        self.propagate(x_enclosure, regions, ws);
+        let outputs = ws.acts.rows();
+        (0..regions.len())
+            .map(|k| (0..outputs).map(|r| ws.acts.get(r, k)).collect())
+            .collect()
+    }
+
+    /// Screens every box of the batch in one propagation pass,
+    /// returning per-box verdicts bit-identical to running
+    /// [`FloatShadow::output_intervals`] + [`classify_box_float`] per
+    /// box.
+    ///
+    /// # Panics
+    ///
+    /// Panics if widths disagree or the batch is empty.
+    #[must_use]
+    pub fn classify_batch(
+        &self,
+        x_enclosure: &[FloatInterval],
+        label: usize,
+        regions: &[&NoiseRegion],
+        ws: &mut BatchWorkspace,
+    ) -> Vec<BoxVerdict> {
+        self.propagate(x_enclosure, regions, ws);
+        let outputs = ws.acts.rows();
+        (0..regions.len())
+            .map(|k| {
+                ws.column.clear();
+                for r in 0..outputs {
+                    let v = ws.acts.get(r, k);
+                    ws.column.push(v);
+                }
+                classify_box_float(&ws.column, label)
+            })
+            .collect()
+    }
+
+    /// Runs the layer passes, leaving the output lanes in `ws.acts`.
+    fn propagate(
+        &self,
+        x_enclosure: &[FloatInterval],
+        regions: &[&NoiseRegion],
+        ws: &mut BatchWorkspace,
+    ) {
+        assert_eq!(x_enclosure.len(), self.inputs, "input width mismatch");
+        assert!(!regions.is_empty(), "empty batch");
+        for region in regions {
+            assert_eq!(region.nodes(), self.inputs, "region width mismatch");
+        }
+        let lanes = regions.len();
+
+        // Input enclosure under relative noise, one lane per box — the
+        // same scalar `x · (100 + [lo, hi])/100` chain as the scalar
+        // shadow, per lane.
+        ws.acts.resize(self.inputs, lanes);
+        for (c, xk) in x_enclosure.iter().enumerate() {
+            for (k, region) in regions.iter().enumerate() {
+                let (lo, hi) = region.ranges()[c];
+                ws.acts.set(c, k, xk.mul(&float_factor(lo, hi)));
+            }
+        }
+
+        for layer in &self.layers {
+            ws.next.resize(layer.biases.len(), lanes);
+            affine_lane_pass(&layer.weights, &layer.biases, &ws.acts, &mut ws.next);
+            match layer.activation {
+                Activation::Identity => {}
+                Activation::ReLU => relu_lane_pass(&mut ws.next),
+                Activation::Sigmoid => unreachable!("FloatShadow::new rejects sigmoid"),
+            }
+            ws.acts.swap(&mut ws.next);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fannet_nn::{DenseLayer, Readout};
+    use fannet_tensor::Matrix;
+
+    fn r(n: i128) -> Rational {
+        Rational::from_integer(n)
+    }
+
+    fn net() -> Network<Rational> {
+        let hidden = DenseLayer::new(
+            Matrix::from_rows(vec![
+                vec![r(1), r(-1)],
+                vec![r(-1), r(1)],
+                vec![Rational::new(1, 2), Rational::new(1, 2)],
+                vec![r(0), r(1)],
+            ])
+            .unwrap(),
+            vec![r(0), r(0), r(-1), r(2)],
+            Activation::ReLU,
+        )
+        .unwrap();
+        let output = DenseLayer::new(
+            Matrix::from_rows(vec![
+                vec![r(1), r(0), r(1), r(-1)],
+                vec![r(0), r(1), r(-1), r(1)],
+            ])
+            .unwrap(),
+            vec![r(0), r(0)],
+            Activation::Identity,
+        )
+        .unwrap();
+        Network::new(vec![hidden, output], Readout::MaxPool).unwrap()
+    }
+
+    #[test]
+    fn batched_outputs_are_bitwise_equal_to_the_scalar_shadow() {
+        let net = net();
+        let shadow = FloatShadow::new(&net);
+        let batch = BatchFloatShadow::from_shadow(&shadow);
+        let x = [r(120), r(-80)];
+        let xf = FloatShadow::enclose_input(&x);
+        let regions: Vec<NoiseRegion> = vec![
+            NoiseRegion::symmetric(0, 2),
+            NoiseRegion::symmetric(3, 2),
+            NoiseRegion::new(vec![(-25, 10), (5, 30)]),
+            NoiseRegion::symmetric(50, 2),
+        ];
+        let refs: Vec<&NoiseRegion> = regions.iter().collect();
+        let mut ws = BatchWorkspace::default();
+        let batched = batch.output_intervals_batch(&xf, &refs, &mut ws);
+        for (k, region) in regions.iter().enumerate() {
+            let scalar = shadow.output_intervals(&xf, region);
+            assert_eq!(batched[k].len(), scalar.len());
+            for (b, s) in batched[k].iter().zip(&scalar) {
+                assert_eq!(
+                    (b.lo().to_bits(), b.hi().to_bits()),
+                    (s.lo().to_bits(), s.hi().to_bits()),
+                    "lane {k} must match the scalar shadow bit for bit"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn batched_verdicts_match_scalar_classification() {
+        let net = net();
+        let shadow = FloatShadow::new(&net);
+        let batch = BatchFloatShadow::new(&net);
+        let x = [r(120), r(-80)];
+        let xf = FloatShadow::enclose_input(&x);
+        let label = net.classify(&x).unwrap();
+        // K = 1 singleton and a wider batch, workspace reused across both.
+        let mut ws = BatchWorkspace::default();
+        for deltas in [vec![1], vec![0, 2, 5, 13, 50]] {
+            let regions: Vec<NoiseRegion> = deltas
+                .iter()
+                .map(|&d| NoiseRegion::symmetric(d, 2))
+                .collect();
+            let refs: Vec<&NoiseRegion> = regions.iter().collect();
+            let verdicts = batch.classify_batch(&xf, label, &refs, &mut ws);
+            for (k, region) in regions.iter().enumerate() {
+                let scalar = classify_box_float(&shadow.output_intervals(&xf, region), label);
+                assert_eq!(verdicts[k], scalar, "delta {}", deltas[k]);
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "empty batch")]
+    fn empty_batch_panics() {
+        let batch = BatchFloatShadow::new(&net());
+        let mut ws = BatchWorkspace::default();
+        let _ = batch.classify_batch(&FloatShadow::enclose_input(&[r(1), r(2)]), 0, &[], &mut ws);
+    }
+}

@@ -38,6 +38,38 @@ pub fn output_intervals(
     x: &[Rational],
     region: &NoiseRegion,
 ) -> Result<Vec<Interval>, ShapeError> {
+    let mut ws = PropagationWorkspace::default();
+    output_intervals_with(net, x, region, &mut ws).map(<[Interval]>::to_vec)
+}
+
+/// Reusable activation buffers for [`output_intervals_with`]: the exact
+/// tier's per-box hot path allocates nothing once the workspace has
+/// grown to the widest layer (ROADMAP "exact fallbacks stop allocating
+/// per node").
+#[derive(Debug, Clone, Default)]
+pub struct PropagationWorkspace {
+    acts: Vec<Interval>,
+    next: Vec<Interval>,
+}
+
+/// [`output_intervals`] writing into a caller-owned workspace instead of
+/// allocating fresh activation vectors per box; the returned slice
+/// borrows the workspace and holds exactly the output enclosure.
+///
+/// # Errors
+///
+/// Returns [`ShapeError`] if widths disagree.
+///
+/// # Panics
+///
+/// Panics if the network contains a non-piecewise-linear activation
+/// (sigmoid), as [`output_intervals`] does.
+pub fn output_intervals_with<'w>(
+    net: &Network<Rational>,
+    x: &[Rational],
+    region: &NoiseRegion,
+    ws: &'w mut PropagationWorkspace,
+) -> Result<&'w [Interval], ShapeError> {
     if x.len() != net.inputs() {
         return Err(ShapeError::new(format!(
             "input of width {} against network with {} inputs",
@@ -58,18 +90,20 @@ pub fn output_intervals(
     );
 
     // Input enclosure under relative noise.
-    let mut acts: Vec<Interval> = x
-        .iter()
-        .enumerate()
-        .map(|(k, &xk)| Interval::point(xk).mul_interval(&region.factor_interval(k)))
-        .collect();
+    ws.acts.clear();
+    ws.acts.extend(
+        x.iter()
+            .enumerate()
+            .map(|(k, &xk)| Interval::point(xk).mul_interval(&region.factor_interval(k))),
+    );
 
     for layer in net.layers() {
         let w = layer.weights();
-        let mut next = Vec::with_capacity(layer.outputs());
+        ws.next.clear();
+        ws.next.reserve(layer.outputs());
         for r in 0..w.rows() {
             let mut z = Interval::point(layer.biases()[r]);
-            for (c, a) in acts.iter().enumerate() {
+            for (c, a) in ws.acts.iter().enumerate() {
                 z = z + a.scale(w[(r, c)]);
             }
             let out = match layer.activation() {
@@ -77,11 +111,11 @@ pub fn output_intervals(
                 Activation::ReLU => z.relu(),
                 Activation::Sigmoid => unreachable!("checked piecewise-linear above"),
             };
-            next.push(out);
+            ws.next.push(out);
         }
-        acts = next;
+        std::mem::swap(&mut ws.acts, &mut ws.next);
     }
-    Ok(acts)
+    Ok(&ws.acts)
 }
 
 // The verdict type lives in the generic search core since the
@@ -164,16 +198,16 @@ pub fn classify_box(outputs: &[Interval], label: usize) -> BoxVerdict {
 /// [`classify_box_float`]).
 #[derive(Debug, Clone)]
 pub struct FloatShadow {
-    layers: Vec<FloatShadowLayer>,
-    inputs: usize,
+    pub(crate) layers: Vec<FloatShadowLayer>,
+    pub(crate) inputs: usize,
 }
 
 #[derive(Debug, Clone)]
-struct FloatShadowLayer {
+pub(crate) struct FloatShadowLayer {
     /// `weights[r][c]` encloses the exact weight of output `r`, input `c`.
-    weights: Vec<Vec<FloatInterval>>,
-    biases: Vec<FloatInterval>,
-    activation: Activation,
+    pub(crate) weights: Vec<Vec<FloatInterval>>,
+    pub(crate) biases: Vec<FloatInterval>,
+    pub(crate) activation: Activation,
 }
 
 impl FloatShadow {
@@ -422,6 +456,25 @@ mod tests {
             assert!(w.contains_interval(n));
             assert!(w.width() >= n.width());
         }
+    }
+
+    #[test]
+    fn workspace_reuse_matches_fresh_allocation() {
+        let net = net();
+        let mut ws = PropagationWorkspace::default();
+        for (x0, x1) in [(120, -80), (37, 202), (-15, 4)] {
+            let x = [r(x0), r(x1)];
+            for delta in [0, 3, 11] {
+                let region = NoiseRegion::symmetric(delta, 2);
+                let fresh = output_intervals(&net, &x, &region).unwrap();
+                let reused = output_intervals_with(&net, &x, &region, &mut ws).unwrap();
+                assert_eq!(reused, fresh.as_slice(), "x=({x0},{x1}), delta {delta}");
+            }
+        }
+        // Shape errors propagate through the workspace path too.
+        assert!(
+            output_intervals_with(&net, &[r(1)], &NoiseRegion::symmetric(1, 2), &mut ws).is_err()
+        );
     }
 
     #[test]
